@@ -1,0 +1,139 @@
+// bench_attr_primitives (exp S1, §3.2) - the attribute-space primitives:
+// tdp_put / tdp_get / try_get / async_get cost, swept over value size,
+// attribute-table size and client count, over both transports.
+//
+// Expected shape: inproc ops are sub-10us; TCP loopback adds socket round
+// trips; costs grow mildly with value size and are flat in table size
+// (map lookup).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using tdp::bench::AttrSpaceFixture;
+
+void BM_Put_InProc(benchmark::State& state) {
+  tdp::bench::silence_logs();
+  auto fixture = AttrSpaceFixture::inproc("put");
+  auto client = fixture.client();
+  const std::string value(static_cast<std::size_t>(state.range(0)), 'v');
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client->put("attr" + std::to_string(i++ % 64), value));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(value.size()));
+}
+BENCHMARK(BM_Put_InProc)->Arg(16)->Arg(256)->Arg(4096)->Arg(65536);
+
+void BM_Put_Tcp(benchmark::State& state) {
+  tdp::bench::silence_logs();
+  auto fixture = AttrSpaceFixture::tcp();
+  auto client = fixture.client();
+  const std::string value(static_cast<std::size_t>(state.range(0)), 'v');
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client->put("attr" + std::to_string(i++ % 64), value));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(value.size()));
+}
+BENCHMARK(BM_Put_Tcp)->Arg(16)->Arg(4096)->Arg(65536);
+
+void BM_TryGet_InProc(benchmark::State& state) {
+  tdp::bench::silence_logs();
+  auto fixture = AttrSpaceFixture::inproc("get");
+  auto client = fixture.client();
+  // Pre-populate a table of the requested size.
+  const int table = static_cast<int>(state.range(0));
+  for (int i = 0; i < table; ++i) {
+    client->put("attr" + std::to_string(i), "value" + std::to_string(i));
+  }
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client->try_get("attr" + std::to_string(i++ % table)));
+  }
+}
+BENCHMARK(BM_TryGet_InProc)->Arg(1)->Arg(64)->Arg(4096);
+
+void BM_BlockingGet_AlreadyPresent_InProc(benchmark::State& state) {
+  tdp::bench::silence_logs();
+  auto fixture = AttrSpaceFixture::inproc("bget");
+  auto client = fixture.client();
+  client->put("pid", "1234");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client->get("pid", 1000));
+  }
+}
+BENCHMARK(BM_BlockingGet_AlreadyPresent_InProc);
+
+void BM_ParkedGet_PutWakesWaiter_InProc(benchmark::State& state) {
+  // The Figure-6 handshake kernel: one side parks a get, the other puts.
+  tdp::bench::silence_logs();
+  auto fixture = AttrSpaceFixture::inproc("park");
+  auto rm = fixture.client();
+  auto rt = fixture.client();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const std::string attr = "pid" + std::to_string(i++);
+    std::thread putter([&] { rm->put(attr, "31337"); });
+    benchmark::DoNotOptimize(rt->get(attr, 5000));
+    putter.join();
+  }
+}
+BENCHMARK(BM_ParkedGet_PutWakesWaiter_InProc);
+
+void BM_AsyncGet_Completion_InProc(benchmark::State& state) {
+  tdp::bench::silence_logs();
+  auto fixture = AttrSpaceFixture::inproc("async");
+  auto rm = fixture.client();
+  auto rt = fixture.client();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const std::string attr = "a" + std::to_string(i++);
+    int fired = 0;
+    rt->async_get(attr, [&fired](const tdp::Status&, const std::string&,
+                                 const std::string&) { ++fired; });
+    rm->put(attr, "v");
+    while (fired == 0) rt->service_events();
+  }
+}
+BENCHMARK(BM_AsyncGet_Completion_InProc);
+
+void BM_ManyClients_SharedContext_InProc(benchmark::State& state) {
+  tdp::bench::silence_logs();
+  auto fixture = AttrSpaceFixture::inproc("many");
+  const int nclients = static_cast<int>(state.range(0));
+  std::vector<std::unique_ptr<tdp::attr::AttrClient>> clients;
+  for (int i = 0; i < nclients; ++i) clients.push_back(fixture.client());
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    auto& client = clients[static_cast<std::size_t>(i % nclients)];
+    benchmark::DoNotOptimize(client->put("k" + std::to_string(i % 32), "v"));
+    ++i;
+  }
+}
+BENCHMARK(BM_ManyClients_SharedContext_InProc)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_Subscribe_NotifyDelivery_InProc(benchmark::State& state) {
+  tdp::bench::silence_logs();
+  auto fixture = AttrSpaceFixture::inproc("notify");
+  auto rm = fixture.client();
+  auto rt = fixture.client();
+  int received = 0;
+  rt->subscribe("state*", [&received](const std::string&, const std::string&) {
+    ++received;
+  });
+  int expected = 0;
+  for (auto _ : state) {
+    rm->put("state", "running");
+    ++expected;
+    while (received < expected) rt->service_events();
+  }
+}
+BENCHMARK(BM_Subscribe_NotifyDelivery_InProc);
+
+}  // namespace
+
+BENCHMARK_MAIN();

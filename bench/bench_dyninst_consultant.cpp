@@ -1,0 +1,129 @@
+// bench_dyninst_consultant (ablation) - MiniParadyn internals:
+//   * sampling cost vs number of active instrumentation points (the
+//     overhead dynamic instrumentation trades against data quality —
+//     why Paradyn REMOVES instrumentation it no longer needs);
+//   * metric-store roll-up throughput;
+//   * Performance Consultant search cost vs hierarchy size and threshold
+//     (the W3-search's selling point: it tests hypotheses, not every
+//     focus exhaustively).
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "paradyn/consultant.hpp"
+#include "paradyn/dyninst.hpp"
+
+namespace {
+
+using namespace tdp;
+using namespace tdp::paradyn;
+
+void BM_Sample_VsActivePoints(benchmark::State& state) {
+  bench::silence_logs();
+  const int nfuncs = static_cast<int>(state.range(0));
+  Inferior inferior(1, SymbolTable::synthesize("bench_app", nfuncs));
+  inferior.insert_matching("*", "*", Metric::kCpuTime);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inferior.sample(10'000));
+  }
+  state.counters["points"] = static_cast<double>(inferior.active_points());
+  state.counters["overhead_frac"] = inferior.overhead_fraction();
+}
+BENCHMARK(BM_Sample_VsActivePoints)
+    ->Arg(4)->Arg(16)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Sample_SelectiveVsWholeProgram(benchmark::State& state) {
+  // The ablation Paradyn's design argues for: instrument one suspect
+  // function instead of everything.
+  bench::silence_logs();
+  const bool whole_program = state.range(0) == 1;
+  Inferior inferior(1, SymbolTable::synthesize("bench_app", 128));
+  if (whole_program) {
+    inferior.insert_matching("*", "*", Metric::kCpuTime);
+  } else {
+    inferior.insert_instrumentation("compute.o", "hot_spot", Metric::kCpuTime);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(inferior.sample(10'000));
+  }
+  state.SetLabel(whole_program ? "whole_program" : "one_function");
+  state.counters["overhead_frac"] = inferior.overhead_fraction();
+}
+BENCHMARK(BM_Sample_SelectiveVsWholeProgram)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PatchUnpatch(benchmark::State& state) {
+  bench::silence_logs();
+  Inferior inferior(1, SymbolTable::synthesize("bench_app", 64));
+  for (auto _ : state) {
+    inferior.insert_instrumentation("compute.o", "hot_spot", Metric::kCpuTime);
+    inferior.remove_instrumentation("compute.o", "hot_spot", Metric::kCpuTime);
+  }
+}
+BENCHMARK(BM_PatchUnpatch)->Unit(benchmark::kMicrosecond);
+
+void BM_MetricStore_RollUp(benchmark::State& state) {
+  bench::silence_logs();
+  MetricStore store;
+  Inferior inferior(1, SymbolTable::synthesize("bench_app", 64));
+  inferior.insert_matching("*", "*", Metric::kCpuTime);
+  auto samples = inferior.sample(10'000);
+  for (auto _ : state) {
+    store.record_all(samples, /*pid=*/42);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(samples.size()));
+}
+BENCHMARK(BM_MetricStore_RollUp)->Unit(benchmark::kMicrosecond);
+
+void fill_store(MetricStore& store, int nfuncs) {
+  Inferior inferior(1, SymbolTable::synthesize("search_app", nfuncs));
+  inferior.insert_matching("*", "*", Metric::kCpuTime);
+  inferior.insert_matching("*", "*", Metric::kSyncWait);
+  inferior.insert_matching("*", "*", Metric::kIoWait);
+  store.record_all(inferior.sample(1'000'000));
+}
+
+void BM_Consultant_SearchVsHierarchySize(benchmark::State& state) {
+  bench::silence_logs();
+  const int nfuncs = static_cast<int>(state.range(0));
+  MetricStore store;
+  fill_store(store, nfuncs);
+  std::size_t tested = 0;
+  for (auto _ : state) {
+    PerformanceConsultant consultant(store);
+    benchmark::DoNotOptimize(consultant.search());
+    tested = consultant.hypotheses_tested();
+  }
+  state.counters["funcs"] = nfuncs;
+  state.counters["hypotheses_tested"] = static_cast<double>(tested);
+}
+BENCHMARK(BM_Consultant_SearchVsHierarchySize)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Consultant_SearchVsThreshold(benchmark::State& state) {
+  // Lower thresholds refine further (more hypotheses tested): the
+  // precision/cost dial of the search.
+  bench::silence_logs();
+  MetricStore store;
+  fill_store(store, 256);
+  const double threshold = static_cast<double>(state.range(0)) / 100.0;
+  std::size_t tested = 0;
+  for (auto _ : state) {
+    PerformanceConsultant::Options options;
+    options.threshold = threshold;
+    PerformanceConsultant consultant(store, options);
+    benchmark::DoNotOptimize(consultant.search());
+    tested = consultant.hypotheses_tested();
+  }
+  state.counters["threshold_pct"] = static_cast<double>(state.range(0));
+  state.counters["hypotheses_tested"] = static_cast<double>(tested);
+}
+BENCHMARK(BM_Consultant_SearchVsThreshold)
+    ->Arg(5)->Arg(20)->Arg(50)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

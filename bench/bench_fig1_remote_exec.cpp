@@ -1,0 +1,152 @@
+// bench_fig1_remote_exec (exp F1) - Figure 1's deployment: RM front-end
+// and RT front-end outside a firewall; RM, RT and AP on the remote host.
+// Measures the end-to-end launch of a monitored job under three
+// connectivity regimes: open network (direct), firewalled with the RM
+// proxy, and the message RTT each regime pays.
+//
+// Expected shape: proxied traffic pays one extra hop (~2x the direct
+// message RTT); end-to-end launch is dominated by the TDP handshake so the
+// regime difference is visible but not catastrophic — the paper's point
+// that a standard proxy interface makes firewalled deployments workable.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "net/proxy.hpp"
+#include "paradyn/frontend.hpp"
+#include "paradyn/inproc_tool.hpp"
+
+namespace {
+
+using namespace tdp;
+
+struct RemoteExecWorld {
+  std::shared_ptr<net::InProcTransport> open_network =
+      net::InProcTransport::create();
+  std::unique_ptr<paradyn::Frontend> frontend;
+  std::string frontend_address;
+  std::unique_ptr<net::ProxyServer> proxy;
+  std::string proxy_address;
+  std::shared_ptr<net::Transport> exec_side;  // open or firewalled view
+
+  explicit RemoteExecWorld(bool firewalled) {
+    frontend = std::make_unique<paradyn::Frontend>(open_network);
+    frontend_address = frontend->start("inproc://fig1-fe").value();
+    proxy = std::make_unique<net::ProxyServer>(open_network);
+    proxy->register_service("paradyn-frontend", frontend_address);
+    proxy_address = proxy->start("inproc://fig1-proxy").value();
+    if (firewalled) {
+      const std::string blocked = frontend_address;
+      exec_side = std::make_shared<net::FirewalledTransport>(
+          open_network,
+          [blocked](const std::string& address) { return address != blocked; });
+    } else {
+      exec_side = open_network;
+    }
+  }
+
+  ~RemoteExecWorld() {
+    proxy->stop();
+    frontend->stop();
+  }
+};
+
+void run_monitored_job(RemoteExecWorld& world, bool use_proxy) {
+  paradyn::InProcParadynLauncher::Options launcher_options;
+  launcher_options.transport = world.exec_side;
+  launcher_options.frontend_address = world.frontend_address;
+  paradyn::InProcParadynLauncher launcher(launcher_options);
+
+  std::map<std::string, std::shared_ptr<proc::SimProcessBackend>> backends;
+  condor::PoolConfig config;
+  config.transport = world.exec_side;
+  config.use_real_files = false;
+  config.tool_launcher = &launcher;
+  if (use_proxy) config.proxy_address = world.proxy_address;
+  config.backend_factory = [&backends](const std::string& machine) {
+    auto backend = std::make_shared<proc::SimProcessBackend>();
+    backends[machine] = backend;
+    return backend;
+  };
+  condor::Pool pool(std::move(config));
+  pool.add_machine("remote", condor::Pool::default_machine_ad("remote"));
+
+  condor::JobDescription job;
+  job.executable = "app";
+  job.suspend_job_at_exec = true;
+  job.tool_daemon.present = true;
+  job.tool_daemon.cmd = "paradynd";
+  job.sim_work_units = 10;
+  auto id = pool.submit(job);
+  auto record = pool.run_to_completion(id, 30'000, [&backends] {
+    for (auto& [name, backend] : backends) backend->step(1);
+  });
+  benchmark::DoNotOptimize(record);
+  launcher.join_all();
+}
+
+void BM_Fig1_LaunchDirect(benchmark::State& state) {
+  bench::silence_logs();
+  for (auto _ : state) {
+    state.PauseTiming();
+    RemoteExecWorld world(/*firewalled=*/false);
+    state.ResumeTiming();
+    run_monitored_job(world, /*use_proxy=*/false);
+  }
+}
+BENCHMARK(BM_Fig1_LaunchDirect)->Unit(benchmark::kMillisecond)->Iterations(20);
+
+void BM_Fig1_LaunchThroughFirewallProxy(benchmark::State& state) {
+  bench::silence_logs();
+  for (auto _ : state) {
+    state.PauseTiming();
+    RemoteExecWorld world(/*firewalled=*/true);
+    state.ResumeTiming();
+    run_monitored_job(world, /*use_proxy=*/true);
+  }
+}
+BENCHMARK(BM_Fig1_LaunchThroughFirewallProxy)
+    ->Unit(benchmark::kMillisecond)->Iterations(20);
+
+// Raw message RTT: RT front-end link direct vs via the proxy tunnel.
+void BM_Fig1_MessageRtt(benchmark::State& state) {
+  bench::silence_logs();
+  const bool via_proxy = state.range(0) == 1;
+  auto transport = net::InProcTransport::create();
+
+  auto listener = transport->listen("inproc://fig1-echo").value();
+  std::thread echo([&listener] {
+    auto accepted = listener->accept(5000);
+    if (!accepted.is_ok()) return;
+    auto endpoint = std::move(accepted).value();
+    while (true) {
+      auto msg = endpoint->receive(1000);
+      if (!msg.is_ok()) break;
+      if (!endpoint->send(msg.value()).is_ok()) break;
+    }
+  });
+
+  net::ProxyServer proxy(transport);
+  proxy.register_service("echo", listener->address());
+  auto proxy_address = proxy.start("inproc://fig1-rtt-proxy").value();
+
+  auto endpoint = via_proxy
+                      ? net::proxy_connect(*transport, proxy_address, "echo").value()
+                      : transport->connect(listener->address()).value();
+
+  net::Message ping(net::MsgType::kPing);
+  ping.set("payload", std::string(64, 'x'));
+  for (auto _ : state) {
+    endpoint->send(ping);
+    benchmark::DoNotOptimize(endpoint->receive(5000));
+  }
+  endpoint->close();
+  listener->close();
+  echo.join();
+  proxy.stop();
+  state.SetLabel(via_proxy ? "via_proxy" : "direct");
+}
+BENCHMARK(BM_Fig1_MessageRtt)->Arg(0)->Arg(1)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,111 @@
+// bench_fig2_attr_space (exp F2) - Figure 2 adds the LASS on each remote
+// host and the CASS on the front-end host. This bench measures attribute
+// traffic on the three paths a deployed TDP pays:
+//
+//   LASS  - same-host access (in-process transport stands in for a
+//           unix-domain hop);
+//   CASS  - cross-host access (TCP loopback stands in for the LAN/WAN hop);
+//   CASS through firewall - TCP via the RM proxy.
+//
+// Expected shape: LASS << CASS < proxied CASS; the ordering is the paper's
+// rationale for keeping per-host LASSes and using the central space only
+// for front-end-wide data.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "net/proxy.hpp"
+
+namespace {
+
+using namespace tdp;
+using bench::AttrSpaceFixture;
+
+void BM_Fig2_LassPutGet(benchmark::State& state) {
+  bench::silence_logs();
+  auto fixture = AttrSpaceFixture::inproc("fig2-lass");
+  auto client = fixture.client();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const std::string attr = "k" + std::to_string(i++ % 128);
+    client->put(attr, "value");
+    benchmark::DoNotOptimize(client->try_get(attr));
+  }
+}
+BENCHMARK(BM_Fig2_LassPutGet)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig2_CassPutGet(benchmark::State& state) {
+  bench::silence_logs();
+  auto fixture = AttrSpaceFixture::tcp();
+  auto client = fixture.client();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const std::string attr = "k" + std::to_string(i++ % 128);
+    client->put(attr, "value");
+    benchmark::DoNotOptimize(client->try_get(attr));
+  }
+}
+BENCHMARK(BM_Fig2_CassPutGet)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig2_CassThroughProxy(benchmark::State& state) {
+  bench::silence_logs();
+  auto transport = std::make_shared<net::TcpTransport>();
+  attr::AttrServer cass("CASS", transport);
+  auto cass_address = cass.start("127.0.0.1:0").value();
+
+  net::ProxyServer proxy(transport);
+  proxy.register_service("cass", cass_address);
+  auto proxy_address = proxy.start("127.0.0.1:0").value();
+
+  auto tunnel = net::proxy_connect(*transport, proxy_address, "cass").value();
+  auto client = attr::AttrClient::adopt(std::move(tunnel), "bench").value();
+
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const std::string attr = "k" + std::to_string(i++ % 128);
+    client->put(attr, "value");
+    benchmark::DoNotOptimize(client->try_get(attr));
+  }
+  client->exit();
+  proxy.stop();
+  cass.stop();
+}
+BENCHMARK(BM_Fig2_CassThroughProxy)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig2_SessionWithBothSpaces(benchmark::State& state) {
+  // A session wired like Figure 2: LASS local, CASS central. Alternating
+  // puts show the per-op cost difference inside one TdpSession.
+  bench::silence_logs();
+  auto transport = std::make_shared<net::TcpTransport>();
+  attr::AttrServer lass("LASS", transport);
+  attr::AttrServer cass("CASS", transport);
+  auto lass_address = lass.start("127.0.0.1:0").value();
+  auto cass_address = cass.start("127.0.0.1:0").value();
+
+  InitOptions options;
+  options.role = Role::kTool;
+  options.lass_address = lass_address;
+  options.cass_address = cass_address;
+  options.transport = transport;
+  auto session = TdpSession::init(std::move(options)).value();
+
+  const bool central = state.range(0) == 1;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const std::string attr = "k" + std::to_string(i++ % 64);
+    if (central) {
+      benchmark::DoNotOptimize(session->cass_put(attr, "v"));
+    } else {
+      benchmark::DoNotOptimize(session->put(attr, "v"));
+    }
+  }
+  state.SetLabel(central ? "cass" : "lass");
+  session->exit();
+  lass.stop();
+  cass.stop();
+}
+BENCHMARK(BM_Fig2_SessionWithBothSpaces)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,121 @@
+// bench_fig3_create_attach (exp F3A/F3B ablations) - the process-creation
+// schemes of Section 2.2 / Figure 3 measured against REAL OS processes
+// (fork/exec/ptrace), plus the stop-before-exec vs stop-after-exec
+// ablation from DESIGN.md.
+//
+// Expected shape: create-paused costs one extra waitpid round trip over
+// create-run; stop-before-exec is marginally cheaper than stop-after-exec
+// (no ptrace exec-stop) but leaves the tool unable to see the loaded
+// image — which is why the paper specifies the after-exec stop.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "proc/posix_backend.hpp"
+
+namespace {
+
+using namespace tdp;
+
+proc::CreateOptions true_binary(proc::CreateMode mode) {
+  proc::CreateOptions options;
+  options.argv = {"/bin/true"};
+  options.mode = mode;
+  return options;
+}
+
+void BM_Fig3_CreateRun_Posix(benchmark::State& state) {
+  bench::silence_logs();
+  proc::PosixProcessBackend backend;
+  for (auto _ : state) {
+    auto pid = backend.create_process(true_binary(proc::CreateMode::kRun));
+    benchmark::DoNotOptimize(pid);
+    backend.wait_terminal(pid.value(), 5000);
+  }
+}
+BENCHMARK(BM_Fig3_CreateRun_Posix)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig3_CreatePausedAfterExec_Posix(benchmark::State& state) {
+  // Scheme 2, the paper's semantics: ptrace exec-stop then detach-stopped.
+  bench::silence_logs();
+  proc::PosixProcessBackend backend;
+  for (auto _ : state) {
+    auto pid = backend.create_process(true_binary(proc::CreateMode::kPaused));
+    backend.continue_process(pid.value());
+    backend.wait_terminal(pid.value(), 5000);
+  }
+}
+BENCHMARK(BM_Fig3_CreatePausedAfterExec_Posix)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig3_CreatePausedBeforeExec_Posix(benchmark::State& state) {
+  // Ablation: SIGSTOP raised in the child before exec (the Vampir-style
+  // pre-exec stop).
+  bench::silence_logs();
+  proc::PosixProcessBackend backend;
+  for (auto _ : state) {
+    auto pid =
+        backend.create_process(true_binary(proc::CreateMode::kPausedBeforeExec));
+    backend.continue_process(pid.value());
+    backend.wait_terminal(pid.value(), 5000);
+  }
+}
+BENCHMARK(BM_Fig3_CreatePausedBeforeExec_Posix)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig3_AttachPauseContinue_Posix(benchmark::State& state) {
+  // Scheme 3: attach to an already-running process (pause + resume cycle).
+  bench::silence_logs();
+  proc::PosixProcessBackend backend;
+  proc::CreateOptions options;
+  options.argv = {"/bin/sleep", "60"};
+  auto pid = backend.create_process(options).value();
+  for (auto _ : state) {
+    backend.attach(pid);
+    backend.continue_process(pid);
+  }
+  backend.kill_process(pid);
+  backend.wait_terminal(pid, 5000);
+}
+BENCHMARK(BM_Fig3_AttachPauseContinue_Posix)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig3_CreatePaused_Sim(benchmark::State& state) {
+  // The same scheme on the simulated backend: the protocol-logic cost
+  // without any kernel involvement (virtual-cluster baseline).
+  bench::silence_logs();
+  proc::SimProcessBackend backend;
+  for (auto _ : state) {
+    proc::CreateOptions options;
+    options.argv = {"app"};
+    options.mode = proc::CreateMode::kPaused;
+    options.sim_work_units = 1;
+    auto pid = backend.create_process(options);
+    backend.continue_process(pid.value());
+    backend.step();
+    benchmark::DoNotOptimize(backend.poll_events());
+  }
+}
+BENCHMARK(BM_Fig3_CreatePaused_Sim)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig3_ConcurrentPausedCreates_Posix(benchmark::State& state) {
+  // N applications created paused back to back (the MPI-universe burst),
+  // then released together.
+  bench::silence_logs();
+  const int n = static_cast<int>(state.range(0));
+  proc::PosixProcessBackend backend;
+  for (auto _ : state) {
+    std::vector<proc::Pid> pids;
+    pids.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      pids.push_back(
+          backend.create_process(true_binary(proc::CreateMode::kPaused)).value());
+    }
+    for (proc::Pid pid : pids) backend.continue_process(pid);
+    for (proc::Pid pid : pids) backend.wait_terminal(pid, 5000);
+  }
+  state.counters["procs"] = n;
+}
+BENCHMARK(BM_Fig3_ConcurrentPausedCreates_Posix)
+    ->Arg(1)->Arg(4)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,115 @@
+// bench_fig4_condor_pipeline (exp F4) - the Figure 4 pipeline: submit ->
+// schedd -> matchmaker (claiming protocol) -> startd -> starter -> job,
+// on the virtual cluster.
+//
+// Expected shape: per-job cost grows with pool size (the matchmaker scans
+// machines), throughput grows with pool size until all jobs fit in one
+// negotiation cycle; claiming refusals only cost an extra cycle.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace tdp;
+using bench::SimCluster;
+
+void BM_Fig4_SingleJobPipelineLatency(benchmark::State& state) {
+  bench::silence_logs();
+  const int machines = static_cast<int>(state.range(0));
+  SimCluster cluster(machines);
+  for (auto _ : state) {
+    auto id = cluster.pool->submit(cluster.sim_job(1));
+    // submit -> running: one negotiation (match + claim + activate).
+    cluster.pool->negotiate();
+    // running -> completed: one virtual step + pump.
+    cluster.step_all();
+    cluster.pool->pump();
+    benchmark::DoNotOptimize(cluster.pool->schedd().job(id));
+  }
+  state.counters["machines"] = machines;
+}
+BENCHMARK(BM_Fig4_SingleJobPipelineLatency)
+    ->Arg(1)->Arg(8)->Arg(64)->Arg(256)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Fig4_BatchThroughput(benchmark::State& state) {
+  bench::silence_logs();
+  const int machines = static_cast<int>(state.range(0));
+  constexpr int kJobs = 64;
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimCluster cluster(machines);
+    state.ResumeTiming();
+    for (int j = 0; j < kJobs; ++j) cluster.pool->submit(cluster.sim_job(2));
+    int rounds = cluster.drain();
+    benchmark::DoNotOptimize(rounds);
+    state.counters["rounds"] = rounds;
+  }
+  state.SetItemsProcessed(state.iterations() * kJobs);
+  state.counters["machines"] = machines;
+}
+BENCHMARK(BM_Fig4_BatchThroughput)
+    ->Arg(2)->Arg(8)->Arg(32)->Arg(64)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Fig4_MatchmakerScanCost(benchmark::State& state) {
+  // Pure negotiation cost vs pool size with nothing matching (worst case:
+  // the matchmaker evaluates every machine for every idle job).
+  bench::silence_logs();
+  const int machines = static_cast<int>(state.range(0));
+  SimCluster cluster(machines);
+  condor::JobDescription impossible = cluster.sim_job(1);
+  impossible.requirements = "TARGET.memory >= 999999999";
+  for (int j = 0; j < 8; ++j) cluster.pool->submit(impossible);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.pool->negotiate());
+  }
+  auto stats = cluster.pool->matchmaker().stats();
+  state.counters["evals_per_cycle"] =
+      static_cast<double>(stats.evaluations) / static_cast<double>(stats.cycles);
+}
+BENCHMARK(BM_Fig4_MatchmakerScanCost)
+    ->Arg(8)->Arg(64)->Arg(512)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Fig4_ClaimingRefusalRecovery(benchmark::State& state) {
+  // "Either party may decide not to complete the allocation": one machine
+  // whose startd-side requirements reject everything forces refusals; the
+  // job must still land on the good machine within the same cycle count.
+  bench::silence_logs();
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimCluster cluster(1);
+    // Stale-advertisement scenario: the matchmaker still holds a
+    // permissive, high-memory ad for "picky", but the startd's live
+    // requirements reject every job — so the claim is refused and the
+    // negotiation must recover on a later cycle with the honest machine.
+    auto picky_ad = condor::Pool::default_machine_ad("picky", 999999);
+    picky_ad.insert("requirements", "TARGET.imagesize <= 0");
+    cluster.pool->add_machine("picky", picky_ad);
+    auto stale_ad = condor::Pool::default_machine_ad("picky", 999999);
+    cluster.pool->matchmaker().advertise_machine("picky", std::move(stale_ad));
+    condor::JobDescription job = cluster.sim_job(1);
+    job.rank = "TARGET.memory";  // prefers the (stale) picky machine
+    state.ResumeTiming();
+
+    auto id = cluster.pool->submit(job);
+    int cycles = 0;
+    while (!condor::job_status_terminal(
+               cluster.pool->schedd().job(id)->status) &&
+           cycles < 100) {
+      ++cycles;
+      cluster.pool->negotiate();
+      cluster.step_all();
+      cluster.pool->pump();
+    }
+    state.counters["cycles"] = cycles;
+    benchmark::DoNotOptimize(cycles);
+  }
+}
+BENCHMARK(BM_Fig4_ClaimingRefusalRecovery)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

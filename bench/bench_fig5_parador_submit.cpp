@@ -1,0 +1,126 @@
+// bench_fig5_parador_submit (exp F5) - Figure 5: the extended submit file.
+// Measures (a) parse cost of the ToolDaemon-extended submit language and
+// (b) the end-to-end startup of a monitored job from that file — the
+// "Parador create mode" path — on the virtual cluster with in-process
+// paradynd daemons.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "condor/submit_file.hpp"
+#include "paradyn/frontend.hpp"
+#include "paradyn/inproc_tool.hpp"
+
+namespace {
+
+using namespace tdp;
+using bench::SimCluster;
+
+constexpr const char* kFigure5B = R"(
+universe = Vanilla
+executable = foo
+input = infile
+output = outfile
+arguments = 1 2 3
+transfer_files = always
++SuspendJobAtExec = True
++ToolDaemonCmd = "paradynd"
++ToolDaemonArgs = "-zunix -l3 -mpinguino.cs.wisc.edu -p2090 -P2091 -a%pid"
++ToolDaemonOutput = "daemon.out"
++ToolDaemonError = "daemon.err"
+tranfer_input_files = paradynd
+queue
+)";
+
+void BM_Fig5_SubmitFileParse(benchmark::State& state) {
+  bench::silence_logs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(condor::SubmitFile::parse(kFigure5B));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(std::strlen(kFigure5B)));
+}
+BENCHMARK(BM_Fig5_SubmitFileParse);
+
+void BM_Fig5_SubmitFileParse_QueueN(benchmark::State& state) {
+  bench::silence_logs();
+  std::string text = "executable = foo\nqueue " + std::to_string(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(condor::SubmitFile::parse(text));
+  }
+  state.counters["jobs"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig5_SubmitFileParse_QueueN)->Arg(1)->Arg(100)->Arg(10000);
+
+void BM_Fig5_MonitoredJobStartup(benchmark::State& state) {
+  // End-to-end: parse -> submit -> negotiate -> Figure 6 dance -> first
+  // sample reported. This is the full Parador create-mode start.
+  bench::silence_logs();
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto transport = net::InProcTransport::create();
+    paradyn::Frontend frontend(transport);
+    auto frontend_address = frontend.start("inproc://fe-bench").value();
+    paradyn::InProcParadynLauncher::Options launcher_options;
+    launcher_options.transport = transport;
+    launcher_options.frontend_address = frontend_address;
+    paradyn::InProcParadynLauncher launcher(launcher_options);
+
+    std::map<std::string, std::shared_ptr<proc::SimProcessBackend>> backends;
+    condor::PoolConfig config;
+    config.transport = transport;
+    config.use_real_files = false;
+    config.tool_launcher = &launcher;
+    config.backend_factory = [&backends](const std::string& machine) {
+      auto backend = std::make_shared<proc::SimProcessBackend>();
+      backends[machine] = backend;
+      return backend;
+    };
+    condor::Pool pool(std::move(config));
+    pool.add_machine("node0", condor::Pool::default_machine_ad("node0"));
+    state.ResumeTiming();
+
+    // Submit the monitored job and drive until the app exits and the tool
+    // finished (short job: 20 work units).
+    condor::JobDescription job;
+    job.executable = "foo";
+    job.suspend_job_at_exec = true;
+    job.tool_daemon.present = true;
+    job.tool_daemon.cmd = "paradynd";
+    job.tool_daemon.args = "-a%pid";
+    job.sim_work_units = 20;
+    auto id = pool.submit(job);
+    auto record = pool.run_to_completion(id, 30'000, [&backends] {
+      for (auto& [name, backend] : backends) backend->step(1);
+    });
+    benchmark::DoNotOptimize(record);
+
+    state.PauseTiming();
+    launcher.join_all();
+    frontend.stop();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_Fig5_MonitoredJobStartup)
+    ->Unit(benchmark::kMillisecond)->Iterations(20);
+
+void BM_Fig5_UnmonitoredJobBaseline(benchmark::State& state) {
+  // The same job without the ToolDaemon entries: what monitoring costs.
+  bench::silence_logs();
+  for (auto _ : state) {
+    state.PauseTiming();
+    SimCluster cluster(1);
+    state.ResumeTiming();
+    auto id = cluster.pool->submit(cluster.sim_job(20));
+    auto record = cluster.pool->run_to_completion(
+        id, 30'000, [&cluster] { cluster.step_all(); });
+    benchmark::DoNotOptimize(record);
+  }
+}
+BENCHMARK(BM_Fig5_UnmonitoredJobBaseline)
+    ->Unit(benchmark::kMillisecond)->Iterations(20);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,191 @@
+// bench_fig6_tdp_sequence (exp F6/F3A/F3B) - the Figure 6 launch
+// choreography, measured step by step and end to end:
+//
+//   step1  tdp_init (RM) + create application paused
+//   step2  launch the RT (modeled: second tdp_init as the tool)
+//   step3  tool blocks in tdp_get(pid), RM tdp_put wakes it, tdp_attach
+//   step4  tdp_continue_process
+//
+// Variants: create mode (Fig 3A) vs attach mode (Fig 3B); blocking vs
+// async pid handshake (the DESIGN.md ablation); concurrent jobs sweep.
+//
+// Expected shape: the whole handshake is dominated by attribute-space
+// round trips (4-6 messages); create and attach converge to the same
+// post-attach state with nearly identical cost.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "core/tdp.hpp"
+
+namespace {
+
+using namespace tdp;
+using bench::AttrSpaceFixture;
+
+struct SequenceFixture {
+  AttrSpaceFixture space = AttrSpaceFixture::inproc("fig6");
+  std::shared_ptr<proc::SimProcessBackend> backend =
+      std::make_shared<proc::SimProcessBackend>();
+  std::unique_ptr<TdpSession> rm;
+  std::thread pump;
+  std::atomic<bool> stop{false};
+
+  SequenceFixture() {
+    InitOptions options;
+    options.role = Role::kResourceManager;
+    options.lass_address = space.address;
+    options.transport = space.transport;
+    options.backend = backend;
+    rm = TdpSession::init(std::move(options)).value();
+    pump = std::thread([this] {
+      while (!stop.load(std::memory_order_acquire)) {
+        rm->service_events();
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+      }
+    });
+  }
+
+  ~SequenceFixture() {
+    stop.store(true, std::memory_order_release);
+    pump.join();
+  }
+
+  std::unique_ptr<TdpSession> tool() {
+    InitOptions options;
+    options.role = Role::kTool;
+    options.lass_address = space.address;
+    options.transport = space.transport;
+    return TdpSession::init(std::move(options)).value();
+  }
+
+  proc::CreateOptions app(proc::CreateMode mode) {
+    proc::CreateOptions options;
+    options.argv = {"bench_app"};
+    options.mode = mode;
+    options.sim_work_units = 1'000'000;  // outlives the measurement
+    return options;
+  }
+};
+
+void BM_Fig6_FullCreateModeSequence(benchmark::State& state) {
+  bench::silence_logs();
+  SequenceFixture fixture;
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const std::string pid_attr = "pid." + std::to_string(i++);
+    // RM: create paused + publish (Figure 6 steps 1-2).
+    auto pid = fixture.rm->create_process(fixture.app(proc::CreateMode::kPaused));
+    fixture.rm->put(pid_attr, std::to_string(pid.value()));
+    // RT: init, blocking get, attach, continue (steps 3-4).
+    auto tool = fixture.tool();
+    auto got = tool->get(pid_attr, 5000);
+    tool->attach(std::stoll(got.value()));
+    tool->continue_process(std::stoll(got.value()));
+    benchmark::DoNotOptimize(got);
+    fixture.backend->kill_process(pid.value());
+  }
+  state.counters["msgs_per_seq"] = 6;  // init, get, put, attach rt, reply, cont
+}
+BENCHMARK(BM_Fig6_FullCreateModeSequence)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig3B_AttachModeSequence(benchmark::State& state) {
+  bench::silence_logs();
+  SequenceFixture fixture;
+  for (auto _ : state) {
+    // Application already running (Figure 3B).
+    auto pid = fixture.rm->create_process(fixture.app(proc::CreateMode::kRun));
+    auto tool = fixture.tool();
+    tool->attach(pid.value());           // pause mid-run
+    tool->continue_process(pid.value()); // resume after initialization
+    benchmark::DoNotOptimize(pid);
+    fixture.backend->kill_process(pid.value());
+  }
+}
+BENCHMARK(BM_Fig3B_AttachModeSequence)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig6_Step_CreatePausedOnly(benchmark::State& state) {
+  bench::silence_logs();
+  SequenceFixture fixture;
+  for (auto _ : state) {
+    auto pid = fixture.rm->create_process(fixture.app(proc::CreateMode::kPaused));
+    benchmark::DoNotOptimize(pid);
+    fixture.backend->kill_process(pid.value());
+  }
+}
+BENCHMARK(BM_Fig6_Step_CreatePausedOnly)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig6_Step_PidHandshakeOnly(benchmark::State& state) {
+  bench::silence_logs();
+  SequenceFixture fixture;
+  auto tool = fixture.tool();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const std::string pid_attr = "p" + std::to_string(i++);
+    fixture.rm->put(pid_attr, "1234");
+    benchmark::DoNotOptimize(tool->get(pid_attr, 5000));
+  }
+}
+BENCHMARK(BM_Fig6_Step_PidHandshakeOnly)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig6_Step_AttachContinueOnly(benchmark::State& state) {
+  bench::silence_logs();
+  SequenceFixture fixture;
+  auto pid = fixture.rm->create_process(fixture.app(proc::CreateMode::kRun));
+  auto tool = fixture.tool();
+  for (auto _ : state) {
+    tool->attach(pid.value());
+    tool->continue_process(pid.value());
+  }
+}
+BENCHMARK(BM_Fig6_Step_AttachContinueOnly)->Unit(benchmark::kMicrosecond);
+
+// Ablation: the pid handshake via async_get + service_events instead of
+// the blocking get Parador used.
+void BM_Fig6_AsyncPidHandshake(benchmark::State& state) {
+  bench::silence_logs();
+  SequenceFixture fixture;
+  auto tool = fixture.tool();
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const std::string pid_attr = "ap" + std::to_string(i++);
+    std::string seen;
+    tool->async_get(pid_attr, [&seen](const Status&, const std::string&,
+                                      const std::string& value) { seen = value; });
+    fixture.rm->put(pid_attr, "1234");
+    while (seen.empty()) tool->service_events();
+    benchmark::DoNotOptimize(seen);
+  }
+}
+BENCHMARK(BM_Fig6_AsyncPidHandshake)->Unit(benchmark::kMicrosecond);
+
+// Concurrency sweep: N simultaneous create-mode handshakes (Fig 3A), each
+// in its own context, sharing one LASS.
+void BM_Fig3A_ConcurrentHandshakes(benchmark::State& state) {
+  bench::silence_logs();
+  const int njobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    SequenceFixture fixture;
+    state.ResumeTiming();
+    std::vector<std::thread> tools;
+    for (int j = 0; j < njobs; ++j) {
+      auto pid =
+          fixture.rm->create_process(fixture.app(proc::CreateMode::kPaused));
+      fixture.rm->put("pid.job" + std::to_string(j), std::to_string(pid.value()));
+      tools.emplace_back([&fixture, j] {
+        auto tool = fixture.tool();
+        auto got = tool->get("pid.job" + std::to_string(j), 5000);
+        tool->attach(std::stoll(got.value()));
+        tool->continue_process(std::stoll(got.value()));
+      });
+    }
+    for (auto& thread : tools) thread.join();
+  }
+  state.counters["jobs"] = njobs;
+}
+BENCHMARK(BM_Fig3A_ConcurrentHandshakes)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

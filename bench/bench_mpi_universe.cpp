@@ -1,0 +1,97 @@
+// bench_mpi_universe (exp S4, §4.3) - MPI-universe startup on the virtual
+// cluster: rank 0 first, one paradynd attached per rank, remaining ranks
+// staged after the master runs. Measures startup wall time and handshake
+// message volume vs rank count.
+//
+// Expected shape: startup time is linear in N (one TDP handshake per
+// rank), matching the paper's per-rank paradynd design; the per-rank
+// constant is the Figure-6 sequence cost.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "paradyn/frontend.hpp"
+#include "paradyn/inproc_tool.hpp"
+
+namespace {
+
+using namespace tdp;
+
+void BM_MpiUniverse_StartupVsRanks(benchmark::State& state) {
+  bench::silence_logs();
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto transport = net::InProcTransport::create();
+    paradyn::Frontend frontend(transport);
+    auto frontend_address = frontend.start("inproc://mpi-fe").value();
+    paradyn::InProcParadynLauncher::Options launcher_options;
+    launcher_options.transport = transport;
+    launcher_options.frontend_address = frontend_address;
+    paradyn::InProcParadynLauncher launcher(launcher_options);
+
+    std::map<std::string, std::shared_ptr<proc::SimProcessBackend>> backends;
+    condor::PoolConfig config;
+    config.transport = transport;
+    config.use_real_files = false;
+    config.tool_launcher = &launcher;
+    config.backend_factory = [&backends](const std::string& machine) {
+      auto backend = std::make_shared<proc::SimProcessBackend>();
+      backends[machine] = backend;
+      return backend;
+    };
+    condor::Pool pool(std::move(config));
+    pool.add_machine("cluster", condor::Pool::default_machine_ad("cluster"));
+    state.ResumeTiming();
+
+    condor::JobDescription job;
+    job.universe = condor::Universe::kMpi;
+    job.machine_count = ranks;
+    job.executable = "mpi_app";
+    job.suspend_job_at_exec = true;
+    job.tool_daemon.present = true;
+    job.tool_daemon.cmd = "paradynd";
+    job.sim_work_units = 5;
+    auto id = pool.submit(job);
+    auto record = pool.run_to_completion(id, 60'000, [&backends] {
+      for (auto& [name, backend] : backends) backend->step(1);
+    });
+    benchmark::DoNotOptimize(record);
+
+    state.PauseTiming();
+    launcher.join_all();
+    frontend.stop();
+    state.ResumeTiming();
+  }
+  state.counters["ranks"] = ranks;
+  state.counters["handshakes"] = ranks;  // one Figure-6 sequence per rank
+}
+BENCHMARK(BM_MpiUniverse_StartupVsRanks)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)->Arg(16)
+    ->Unit(benchmark::kMillisecond)->Iterations(5);
+
+void BM_MpiUniverse_StagedCreationOnly(benchmark::State& state) {
+  // The rank-creation machinery without tool daemons: how much of the
+  // startup is scheduling vs TDP handshakes.
+  bench::silence_logs();
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    bench::SimCluster cluster(1);
+    state.ResumeTiming();
+    condor::JobDescription job = cluster.sim_job(5);
+    job.universe = condor::Universe::kMpi;
+    job.machine_count = ranks;
+    auto id = cluster.pool->submit(job);
+    auto record = cluster.pool->run_to_completion(
+        id, 30'000, [&cluster] { cluster.step_all(); });
+    benchmark::DoNotOptimize(record);
+  }
+  state.counters["ranks"] = ranks;
+}
+BENCHMARK(BM_MpiUniverse_StagedCreationOnly)
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMillisecond)->Iterations(10);
+
+}  // namespace
+
+BENCHMARK_MAIN();

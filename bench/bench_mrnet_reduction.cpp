@@ -1,0 +1,108 @@
+// bench_mrnet_reduction (exp S5, §1 Auxiliary Services) - tree aggregation
+// vs flat gather across N tool daemons, swept over N and fanout, with
+// modeled network latency (LatencyModel x critical-path hops).
+//
+// Expected shape: the flat gather's root receives N messages while the
+// tree's root receives `fanout`; computed critical-path latency crosses
+// over in the tree's favour once N exceeds a few multiples of the fanout —
+// the reason the paper lists multicast/reduction networks as essential
+// auxiliary services.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "mrnet/mrnet.hpp"
+#include "sim/engine.hpp"
+
+namespace {
+
+using namespace tdp;
+
+std::vector<double> leaf_values(int n) {
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) values.push_back(static_cast<double>(i % 100));
+  return values;
+}
+
+void BM_Reduce_Tree(benchmark::State& state) {
+  bench::silence_logs();
+  const int leaves = static_cast<int>(state.range(0));
+  const int fanout = static_cast<int>(state.range(1));
+  auto tree = mrnet::Tree::build(leaves, fanout).value();
+  auto values = leaf_values(leaves);
+  mrnet::Tree::ReduceResult result;
+  for (auto _ : state) {
+    result = tree.reduce(mrnet::Filter::kSum, values);
+    benchmark::DoNotOptimize(result);
+  }
+  // Modeled network time: per-hop latency on the critical path plus the
+  // root's serialized receives (the serialization term is what kills the
+  // flat gather).
+  sim::LatencyModel latency(100, 10.0, 1.0, 7);
+  double modeled = 0;
+  for (int h = 0; h < result.hops; ++h) modeled += static_cast<double>(latency.lan_hop());
+  modeled += 5.0 * result.root_receives;  // 5us per message handled at root
+  state.counters["root_msgs"] = result.root_receives;
+  state.counters["total_msgs"] = result.messages;
+  state.counters["modeled_us"] = modeled;
+}
+BENCHMARK(BM_Reduce_Tree)
+    ->Args({16, 4})->Args({64, 4})->Args({256, 4})->Args({1024, 4})
+    ->Args({1024, 2})->Args({1024, 16})
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Reduce_Flat(benchmark::State& state) {
+  bench::silence_logs();
+  const int leaves = static_cast<int>(state.range(0));
+  auto tree = mrnet::Tree::build(leaves, 4).value();
+  auto values = leaf_values(leaves);
+  mrnet::Tree::ReduceResult result;
+  for (auto _ : state) {
+    result = tree.flat_reduce(mrnet::Filter::kSum, values);
+    benchmark::DoNotOptimize(result);
+  }
+  sim::LatencyModel latency(100, 10.0, 1.0, 7);
+  double modeled = static_cast<double>(latency.lan_hop());
+  modeled += 5.0 * result.root_receives;
+  state.counters["root_msgs"] = result.root_receives;
+  state.counters["total_msgs"] = result.messages;
+  state.counters["modeled_us"] = modeled;
+}
+BENCHMARK(BM_Reduce_Flat)
+    ->Arg(16)->Arg(64)->Arg(256)->Arg(1024)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_Broadcast_Tree(benchmark::State& state) {
+  bench::silence_logs();
+  const int leaves = static_cast<int>(state.range(0));
+  auto tree = mrnet::Tree::build(leaves, 4).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.broadcast());
+  }
+  auto result = tree.broadcast();
+  state.counters["root_sends"] = result.root_sends;
+  state.counters["hops"] = result.hops;
+}
+BENCHMARK(BM_Broadcast_Tree)->Arg(64)->Arg(1024)->Unit(benchmark::kMicrosecond);
+
+void BM_Reduce_WithFailures(benchmark::State& state) {
+  // Fault path: a fraction of daemons are dead; the reduction must still
+  // complete with partial data (cost unchanged, missing counted).
+  bench::silence_logs();
+  const int leaves = 256;
+  auto tree = mrnet::Tree::build(leaves, 4).value();
+  const int failed = static_cast<int>(state.range(0));
+  for (int i = 0; i < failed; ++i) tree.fail_leaf(i * (leaves / failed));
+  auto values = leaf_values(leaves);
+  for (auto _ : state) {
+    auto result = tree.reduce(mrnet::Filter::kSum, values);
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["failed"] = failed;
+}
+BENCHMARK(BM_Reduce_WithFailures)->Arg(1)->Arg(16)->Arg(64)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// bench_proxy_overhead (exp S3, §2.4) - what the RM's relay costs: message
+// round trip direct vs through the proxy tunnel, over both transports, and
+// tunnel establishment cost.
+//
+// Expected shape: the proxy roughly doubles the per-message cost (two hops
+// instead of one) and adds one extra connection + handshake at setup; both
+// are the price Section 2.4 accepts for firewall traversal.
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "bench_util.hpp"
+#include "net/proxy.hpp"
+
+namespace {
+
+using namespace tdp;
+
+/// Echo server over an arbitrary transport; lives for the bench duration.
+/// Workers are detached and counted: the tunnel-establishment bench opens
+/// thousands of short-lived connections, and joinable-but-finished threads
+/// would exhaust thread resources long before teardown.
+class EchoServer {
+ public:
+  EchoServer(std::shared_ptr<net::Transport> transport, const std::string& listen) {
+    listener_ = transport->listen(listen).value();
+    thread_ = std::thread([this] {
+      while (running_.load(std::memory_order_acquire)) {
+        auto accepted = listener_->accept(200);
+        if (!accepted.is_ok()) {
+          if (accepted.status().code() == ErrorCode::kTimeout) continue;
+          break;
+        }
+        workers_.fetch_add(1, std::memory_order_acq_rel);
+        std::thread(
+            [endpoint = std::shared_ptr<net::Endpoint>(
+                 std::move(accepted).value().release()), this] {
+              while (running_.load(std::memory_order_acquire)) {
+                auto msg = endpoint->receive(200);
+                if (!msg.is_ok()) {
+                  if (msg.status().code() == ErrorCode::kTimeout) continue;
+                  break;
+                }
+                if (!endpoint->send(msg.value()).is_ok()) break;
+              }
+              endpoint->close();
+              workers_.fetch_sub(1, std::memory_order_acq_rel);
+            })
+            .detach();
+      }
+    });
+  }
+
+  ~EchoServer() {
+    running_.store(false, std::memory_order_release);
+    listener_->close();
+    if (thread_.joinable()) thread_.join();
+    while (workers_.load(std::memory_order_acquire) > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+
+  [[nodiscard]] std::string address() const { return listener_->address(); }
+
+ private:
+  std::unique_ptr<net::Listener> listener_;
+  std::thread thread_;
+  std::atomic<int> workers_{0};
+  std::atomic<bool> running_{true};
+};
+
+void rtt_loop(benchmark::State& state, net::Endpoint& endpoint, int payload) {
+  net::Message ping(net::MsgType::kPing);
+  ping.set("payload", std::string(static_cast<std::size_t>(payload), 'x'));
+  for (auto _ : state) {
+    endpoint.send(ping);
+    benchmark::DoNotOptimize(endpoint.receive(5000));
+  }
+  state.SetBytesProcessed(state.iterations() * payload);
+}
+
+void BM_Rtt_Direct_InProc(benchmark::State& state) {
+  bench::silence_logs();
+  auto transport = net::InProcTransport::create();
+  EchoServer echo(transport, "inproc://echo-direct");
+  auto endpoint = transport->connect(echo.address()).value();
+  rtt_loop(state, *endpoint, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_Rtt_Direct_InProc)->Arg(64)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_Rtt_Proxied_InProc(benchmark::State& state) {
+  bench::silence_logs();
+  auto transport = net::InProcTransport::create();
+  EchoServer echo(transport, "inproc://echo-proxied");
+  net::ProxyServer proxy(transport);
+  proxy.register_service("echo", echo.address());
+  auto proxy_address = proxy.start("inproc://overhead-proxy").value();
+  auto endpoint = net::proxy_connect(*transport, proxy_address, "echo").value();
+  rtt_loop(state, *endpoint, static_cast<int>(state.range(0)));
+  endpoint->close();
+  proxy.stop();
+}
+BENCHMARK(BM_Rtt_Proxied_InProc)->Arg(64)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_Rtt_Direct_Tcp(benchmark::State& state) {
+  bench::silence_logs();
+  auto transport = std::make_shared<net::TcpTransport>();
+  EchoServer echo(transport, "127.0.0.1:0");
+  auto endpoint = transport->connect(echo.address()).value();
+  rtt_loop(state, *endpoint, static_cast<int>(state.range(0)));
+}
+BENCHMARK(BM_Rtt_Direct_Tcp)->Arg(64)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_Rtt_Proxied_Tcp(benchmark::State& state) {
+  bench::silence_logs();
+  auto transport = std::make_shared<net::TcpTransport>();
+  EchoServer echo(transport, "127.0.0.1:0");
+  net::ProxyServer proxy(transport);
+  proxy.register_service("echo", echo.address());
+  auto proxy_address = proxy.start("127.0.0.1:0").value();
+  auto endpoint = net::proxy_connect(*transport, proxy_address, "echo").value();
+  rtt_loop(state, *endpoint, static_cast<int>(state.range(0)));
+  endpoint->close();
+  proxy.stop();
+}
+BENCHMARK(BM_Rtt_Proxied_Tcp)->Arg(64)->Arg(4096)->Unit(benchmark::kMicrosecond);
+
+void BM_TunnelEstablishment(benchmark::State& state) {
+  bench::silence_logs();
+  auto transport = net::InProcTransport::create();
+  EchoServer echo(transport, "inproc://echo-setup");
+  net::ProxyServer proxy(transport);
+  proxy.register_service("echo", echo.address());
+  auto proxy_address = proxy.start("inproc://setup-proxy").value();
+  for (auto _ : state) {
+    auto endpoint = net::proxy_connect(*transport, proxy_address, "echo");
+    benchmark::DoNotOptimize(endpoint);
+    endpoint.value()->close();
+  }
+  proxy.stop();
+}
+BENCHMARK(BM_TunnelEstablishment)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

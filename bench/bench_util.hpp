@@ -1,0 +1,105 @@
+// bench_util.hpp - shared fixtures for the figure-reproduction benches.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "attrspace/attr_client.hpp"
+#include "attrspace/attr_server.hpp"
+#include "condor/pool.hpp"
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+#include "proc/sim_backend.hpp"
+#include "util/log.hpp"
+
+namespace tdp::bench {
+
+/// Quiet logging for clean bench output.
+inline void silence_logs() { log::set_level(log::Level::kError); }
+
+/// A LASS + connected client pair over the chosen transport.
+struct AttrSpaceFixture {
+  std::shared_ptr<net::Transport> transport;
+  std::unique_ptr<attr::AttrServer> server;
+  std::string address;
+
+  static AttrSpaceFixture inproc(const std::string& name) {
+    AttrSpaceFixture fixture;
+    fixture.transport = net::InProcTransport::create();
+    fixture.server = std::make_unique<attr::AttrServer>("LASS", fixture.transport);
+    fixture.address = fixture.server->start("inproc://" + name).value();
+    return fixture;
+  }
+
+  static AttrSpaceFixture tcp() {
+    AttrSpaceFixture fixture;
+    fixture.transport = std::make_shared<net::TcpTransport>();
+    fixture.server = std::make_unique<attr::AttrServer>("LASS", fixture.transport);
+    fixture.address = fixture.server->start("127.0.0.1:0").value();
+    return fixture;
+  }
+
+  std::unique_ptr<attr::AttrClient> client(const std::string& context = "bench") {
+    return attr::AttrClient::connect(*transport, address, context).value();
+  }
+};
+
+/// A virtual MiniCondor cluster (inproc + sim backends) for pipeline and
+/// scaling benches.
+struct SimCluster {
+  std::shared_ptr<net::InProcTransport> transport;
+  std::map<std::string, std::shared_ptr<proc::SimProcessBackend>> backends;
+  std::unique_ptr<condor::Pool> pool;
+
+  explicit SimCluster(int machines,
+                      condor::ToolLauncher* tool_launcher = nullptr,
+                      const std::string& frontend_host = "") {
+    transport = net::InProcTransport::create();
+    condor::PoolConfig config;
+    config.transport = transport;
+    config.use_real_files = false;
+    config.tool_launcher = tool_launcher;
+    config.tool_wait_timeout_ms = 0;
+    config.frontend_host = frontend_host;
+    config.backend_factory = [this](const std::string& machine) {
+      auto backend = std::make_shared<proc::SimProcessBackend>();
+      backends[machine] = backend;
+      return backend;
+    };
+    pool = std::make_unique<condor::Pool>(std::move(config));
+    for (int i = 0; i < machines; ++i) {
+      std::string name = "node" + std::to_string(i);
+      pool->add_machine(name, condor::Pool::default_machine_ad(name));
+    }
+  }
+
+  void step_all(std::int64_t units = 1) {
+    for (auto& [name, backend] : backends) backend->step(units);
+  }
+
+  condor::JobDescription sim_job(std::int64_t work = 3) {
+    condor::JobDescription job;
+    job.executable = "bench_app";
+    job.sim_work_units = work;
+    return job;
+  }
+
+  /// Drives all queued jobs to completion; returns rounds used.
+  int drain(int max_rounds = 100000) {
+    int rounds = 0;
+    while (rounds < max_rounds) {
+      ++rounds;
+      pool->negotiate();
+      step_all();
+      pool->pump();
+      if (pool->schedd().count_with_status(condor::JobStatus::kIdle) == 0 &&
+          pool->busy_count() == 0) {
+        break;
+      }
+    }
+    return rounds;
+  }
+};
+
+}  // namespace tdp::bench

@@ -1,0 +1,99 @@
+// c_api_tool.cpp - using the paper's exact C API (tdp_c.h): the Section 3.3
+// pseudo-code made real — two tdp_async_get calls, a central poll() loop,
+// and tdp_service_event dispatching the callbacks at a safe point.
+//
+// Run:  ./c_api_tool
+#include <poll.h>
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <thread>
+
+#include "attrspace/attr_server.hpp"
+#include "core/tdp_c.h"
+#include "net/tcp.hpp"
+
+namespace {
+
+struct CallbackState {
+  int completed = 0;
+  char pid[32] = {0};
+  char exec_name[256] = {0};
+};
+
+void my_callback1(int rc, const char* attribute, const char* value, void* arg) {
+  auto* state = static_cast<CallbackState*>(arg);
+  std::printf("[callback1] %s: %s = %s\n", tdp_rc_name(rc), attribute, value);
+  std::snprintf(state->pid, sizeof(state->pid), "%s", value);
+  ++state->completed;
+}
+
+void my_callback2(int rc, const char* attribute, const char* value, void* arg) {
+  auto* state = static_cast<CallbackState*>(arg);
+  std::printf("[callback2] %s: %s = %s\n", tdp_rc_name(rc), attribute, value);
+  std::snprintf(state->exec_name, sizeof(state->exec_name), "%s", value);
+  ++state->completed;
+}
+
+}  // namespace
+
+int main() {
+  // Host a LASS for the demo.
+  auto transport = std::make_shared<tdp::net::TcpTransport>();
+  tdp::attr::AttrServer lass("LASS", transport);
+  auto address = lass.start("127.0.0.1:0");
+  if (!address.is_ok()) return 1;
+
+  // The RM side, via the C API.
+  tdp_handle rm = 0;
+  if (tdp_init(address.value().c_str(), "demo", TDP_ROLE_RESOURCE_MANAGER, &rm) !=
+      TDP_OK) {
+    std::fprintf(stderr, "RM tdp_init failed\n");
+    return 1;
+  }
+
+  // The tool side: the Section 3.3 example, verbatim in spirit.
+  tdp_handle tool = 0;
+  if (tdp_init(address.value().c_str(), "demo", TDP_ROLE_TOOL, &tool) != TDP_OK) {
+    std::fprintf(stderr, "tool tdp_init failed\n");
+    return 1;
+  }
+
+  CallbackState state;
+  int tdp_fd = -1;
+  tdp_async_get(tool, "pid", my_callback1, &state, &tdp_fd);
+  tdp_async_get(tool, "executable_name", my_callback2, &state, &tdp_fd);
+  std::printf("[tool] two async gets posted; tdp_fd = %d\n", tdp_fd);
+
+  // Meanwhile the RM publishes the values (often from another process).
+  std::thread publisher([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    tdp_put(rm, "executable_name", "/bin/compute");
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    tdp_put(rm, "pid", "24601");
+  });
+
+  // "main polling loop of the tool" (Section 3.3).
+  while (state.completed < 2) {
+    struct pollfd pfd{tdp_fd, POLLIN, 0};
+    int ready = ::poll(&pfd, 1, 1000);
+    if (ready < 0) break;
+    // ... the tool would process its other descriptors here ...
+    int dispatched = tdp_service_event(tool);
+    if (dispatched > 0) {
+      std::printf("[tool] tdp_service_event dispatched %d callback(s)\n",
+                  dispatched);
+    }
+  }
+  publisher.join();
+
+  std::printf("[tool] ready to attach: pid=%s executable=%s\n", state.pid,
+              state.exec_name);
+
+  tdp_exit(tool);
+  tdp_exit(rm);
+  lass.stop();
+  std::printf("[done] C API demo complete\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// firewall_proxy.cpp - the Section 2.4 tool-communication scenario: the
+// execution host sits on a private network whose firewall blocks direct
+// connections to the tool front-end; the RM's proxy relays the paradynd
+// traffic transparently.
+//
+// Run:  ./firewall_proxy
+#include <cstdio>
+#include <memory>
+#include <thread>
+
+#include "condor/pool.hpp"
+#include "net/inproc.hpp"
+#include "net/proxy.hpp"
+#include "paradyn/frontend.hpp"
+#include "paradyn/inproc_tool.hpp"
+#include "proc/sim_backend.hpp"
+
+using namespace tdp;
+
+int main() {
+  auto open_network = net::InProcTransport::create();
+
+  // The tool front-end lives OUTSIDE the private network.
+  paradyn::Frontend frontend(open_network);
+  auto frontend_address = frontend.start("inproc://paradyn-fe");
+  if (!frontend_address.is_ok()) return 1;
+  std::printf("== front-end (outside firewall): %s\n",
+              frontend_address.value().c_str());
+
+  // The RM's proxy sees both sides, exactly like Condor's connection
+  // brokering: it is the only path from inside to the front-end.
+  net::ProxyServer proxy(open_network);
+  proxy.register_service("paradyn-frontend", frontend_address.value());
+  auto proxy_address = proxy.start("inproc://rm-proxy");
+  if (!proxy_address.is_ok()) return 1;
+  std::printf("== RM proxy: %s\n", proxy_address.value().c_str());
+
+  // The execution host's view of the world: the firewall drops direct
+  // dials to the front-end; only the proxy is reachable.
+  const std::string blocked = frontend_address.value();
+  auto private_network = std::make_shared<net::FirewalledTransport>(
+      open_network,
+      [blocked](const std::string& address) { return address != blocked; });
+  std::printf("== firewall: connections to %s are blocked\n", blocked.c_str());
+
+  paradyn::InProcParadynLauncher::Options launcher_options;
+  launcher_options.transport = private_network;
+  launcher_options.frontend_address = frontend_address.value();
+  paradyn::InProcParadynLauncher launcher(launcher_options);
+
+  std::map<std::string, std::shared_ptr<proc::SimProcessBackend>> backends;
+  condor::PoolConfig config;
+  config.transport = private_network;
+  config.use_real_files = false;
+  config.tool_launcher = &launcher;
+  config.proxy_address = proxy_address.value();  // published into the LASS
+  config.backend_factory = [&backends](const std::string& machine) {
+    auto backend = std::make_shared<proc::SimProcessBackend>();
+    backends[machine] = backend;
+    return backend;
+  };
+  condor::Pool pool(std::move(config));
+  pool.add_machine("private-node", condor::Pool::default_machine_ad("private-node"));
+
+  condor::JobDescription job;
+  job.executable = "fortress_app";
+  job.suspend_job_at_exec = true;
+  job.tool_daemon.present = true;
+  job.tool_daemon.cmd = "paradynd";
+  job.sim_work_units = 200;
+  auto id = pool.submit(job);
+  std::printf("== monitored job %lld submitted on the private network\n",
+              static_cast<long long>(id));
+
+  auto record = pool.run_to_completion(id, 60'000, [&backends] {
+    for (auto& [name, backend] : backends) backend->step(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  launcher.join_all();
+  if (!record.is_ok()) {
+    std::fprintf(stderr, "job did not finish: %s\n",
+                 record.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("== job %s; proxy spliced %zu tunnel(s)\n",
+              condor::job_status_name(record->status), proxy.tunnels_opened());
+  std::printf("== front-end received %zu report batches through the wall\n",
+              frontend.reports_received());
+  std::printf("== profiled cpu time: %.0f us\n",
+              frontend.metrics().value(paradyn::Metric::kCpuTime, "/Code"));
+
+  proxy.stop();
+  frontend.stop();
+  std::printf("== firewall_proxy demo complete\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// minicondor_submit.cpp - a condor_submit-style command-line tool: reads a
+// submit description file, brings up a single-machine MiniCondor pool (and,
+// when the file requests a tool daemon, a Paradyn front-end + CASS with
+// automatic contact dissemination), runs every queued job, and reports.
+//
+// Usage:
+//   ./minicondor_submit <submit-file> [--machines N] [--live-stdio]
+//
+// Example submit file (Figure 5B style — note: no port numbers needed, the
+// front-end publishes its contact through the CASS):
+//
+//   universe = Vanilla
+//   executable = /bin/sh
+//   arguments = "-c 'echo hello; sleep 1'"
+//   output = outfile
+//   +SuspendJobAtExec = True
+//   +ToolDaemonCmd = "/abs/path/to/paradynd"
+//   +ToolDaemonArgs = "-zunix -l1 -a%pid"
+//   +ToolDaemonOutput = "daemon.out"
+//   queue
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "attrspace/attr_server.hpp"
+#include "condor/pool.hpp"
+#include "net/tcp.hpp"
+#include "paradyn/frontend.hpp"
+#include "proc/posix_backend.hpp"
+
+using namespace tdp;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <submit-file> [--machines N] [--live-stdio]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string submit_path;
+  int machines = 1;
+  bool live_stdio = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--machines") == 0 && i + 1 < argc) {
+      machines = std::max(1, std::atoi(argv[++i]));
+    } else if (std::strcmp(argv[i], "--live-stdio") == 0) {
+      live_stdio = true;
+    } else if (argv[i][0] == '-') {
+      return usage(argv[0]);
+    } else {
+      submit_path = argv[i];
+    }
+  }
+  if (submit_path.empty()) return usage(argv[0]);
+
+  std::ifstream in(submit_path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open submit file: %s\n", submit_path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto file = condor::SubmitFile::parse(buffer.str());
+  if (!file.is_ok()) {
+    std::fprintf(stderr, "submit file error: %s\n",
+                 file.status().to_string().c_str());
+    return 1;
+  }
+
+  const std::string submit_dir =
+      std::filesystem::absolute(submit_path).parent_path().string();
+  auto transport = std::make_shared<net::TcpTransport>();
+
+  // Any job wanting a tool daemon? Then bring up CASS + front-end and let
+  // dissemination do the wiring.
+  bool wants_tool = false;
+  for (const auto& job : file->jobs()) {
+    if (job.tool_daemon.present) wants_tool = true;
+  }
+
+  std::unique_ptr<attr::AttrServer> cass;
+  std::unique_ptr<paradyn::Frontend> frontend;
+  std::string cass_address;
+  if (wants_tool) {
+    cass = std::make_unique<attr::AttrServer>("CASS", transport);
+    cass_address = cass->start("127.0.0.1:0").value();
+    frontend = std::make_unique<paradyn::Frontend>(transport);
+    auto frontend_address = frontend->start("127.0.0.1:0");
+    if (!frontend_address.is_ok() ||
+        !frontend->publish_contact(cass_address).is_ok()) {
+      std::fprintf(stderr, "front-end startup failed\n");
+      return 1;
+    }
+    std::printf("front-end on %s (published via CASS %s)\n",
+                frontend_address.value().c_str(), cass_address.c_str());
+  }
+
+  condor::PoolConfig config;
+  config.transport = transport;
+  config.submit_dir = submit_dir;
+  config.scratch_base = "/tmp";
+  config.use_real_files = true;
+  config.live_stdio = live_stdio;
+  config.cass_address = cass_address;
+  config.lass_listen_pattern = "127.0.0.1:0";
+  config.backend_factory = [](const std::string&) {
+    return std::make_shared<proc::PosixProcessBackend>();
+  };
+  condor::Pool pool(std::move(config));
+  for (int i = 0; i < machines; ++i) {
+    std::string name = "exec" + std::to_string(i);
+    pool.add_machine(name, condor::Pool::default_machine_ad(name));
+  }
+
+  auto ids = pool.submit(file.value());
+  std::printf("%zu job(s) submitted to a %d-machine pool\n", ids.size(), machines);
+
+  int failures = 0;
+  for (condor::JobId id : ids) {
+    auto record = pool.run_to_completion(id, 120'000);
+    if (!record.is_ok()) {
+      std::fprintf(stderr, "job %lld: %s\n", static_cast<long long>(id),
+                   record.status().to_string().c_str());
+      ++failures;
+      continue;
+    }
+    std::printf("job %lld: %s on %s", static_cast<long long>(id),
+                condor::job_status_name(record->status),
+                record->matched_machine.c_str());
+    if (record->status == condor::JobStatus::kCompleted) {
+      std::printf(" (exit code %d)\n", record->exit_code);
+    } else {
+      std::printf(" (%s)\n", record->failure_reason.c_str());
+      ++failures;
+    }
+    if (live_stdio) {
+      condor::Shadow* shadow = pool.schedd().shadow(id);
+      if (shadow != nullptr && !shadow->live_output().empty()) {
+        std::printf("--- live output ---\n%s-------------------\n",
+                    shadow->live_output().c_str());
+      }
+    }
+  }
+
+  if (frontend) {
+    std::printf("front-end: %zu report batches, %.0f us profiled cpu time\n",
+                frontend->reports_received(),
+                frontend->metrics().value(paradyn::Metric::kCpuTime, "/Code"));
+    auto findings = frontend->run_consultant();
+    for (const auto& finding : findings) {
+      std::printf("consultant: %-20s %-32s severity %.2f\n",
+                  paradyn::hypothesis_name(finding.hypothesis),
+                  finding.focus.c_str(), finding.severity);
+    }
+    frontend->stop();
+  }
+  if (cass) cass->stop();
+  return failures == 0 ? 0 : 1;
+}

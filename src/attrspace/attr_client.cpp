@@ -1,0 +1,318 @@
+#include "attrspace/attr_client.hpp"
+
+#include <chrono>
+#include <vector>
+
+#include "attrspace/attr_protocol.hpp"
+#include "util/log.hpp"
+
+namespace tdp::attr {
+
+using net::Message;
+using net::MsgType;
+
+namespace {
+const log::Logger kLog("attr_client");
+
+Status status_from_reply(const Message& reply) {
+  if (reply.get(field::kStatus) == "ok") return Status::ok();
+  const std::string error = reply.get(field::kError, "unknown server error");
+  // Preserve NOT_FOUND so callers can distinguish absence from failure.
+  ErrorCode code = error.find("NOT_FOUND") != std::string::npos
+                       ? ErrorCode::kNotFound
+                       : ErrorCode::kInternal;
+  return make_error(code, error);
+}
+}  // namespace
+
+AttrClient::AttrClient(std::unique_ptr<net::Endpoint> endpoint, std::string context)
+    : endpoint_(std::move(endpoint)), context_(std::move(context)) {}
+
+Result<std::unique_ptr<AttrClient>> AttrClient::connect(net::Transport& transport,
+                                                        const std::string& address,
+                                                        const std::string& context) {
+  auto connected = transport.connect(address);
+  if (!connected.is_ok()) return connected.status();
+  return adopt(std::move(connected).value(), context);
+}
+
+Result<std::unique_ptr<AttrClient>> AttrClient::adopt(
+    std::unique_ptr<net::Endpoint> endpoint, const std::string& context) {
+  std::unique_ptr<AttrClient> client(new AttrClient(std::move(endpoint), context));
+  TDP_RETURN_IF_ERROR(client->perform_init());
+  return client;
+}
+
+AttrClient::~AttrClient() {
+  if (!exited_ && endpoint_ && endpoint_->is_open()) {
+    // Best effort; the server also handles abrupt disconnects as implicit
+    // exits.
+    exit();
+  }
+}
+
+Status AttrClient::perform_init() {
+  Message init(MsgType::kAttrInit);
+  init.set(field::kContext, context_);
+  auto reply = call(std::move(init), 5000);
+  if (!reply.is_ok()) return reply.status();
+  if (reply->type() != MsgType::kAttrInitReply) {
+    return make_error(ErrorCode::kInternal, "bad init reply: " + reply->to_string());
+  }
+  return status_from_reply(reply.value());
+}
+
+std::uint64_t AttrClient::next_seq() { return ++seq_; }
+
+Status AttrClient::put(const std::string& attribute, const std::string& value) {
+  Message request(MsgType::kAttrPut);
+  request.set(field::kContext, context_);
+  request.set(field::kAttribute, attribute);
+  request.set(field::kValue, value);
+  auto reply = call(std::move(request), -1);
+  if (!reply.is_ok()) return reply.status();
+  return status_from_reply(reply.value());
+}
+
+Result<std::string> AttrClient::get(const std::string& attribute, int timeout_ms) {
+  Message request(MsgType::kAttrGet);
+  request.set(field::kContext, context_);
+  request.set(field::kAttribute, attribute);
+  request.set(field::kBlock, "1");
+  auto reply = call(std::move(request), timeout_ms);
+  if (!reply.is_ok()) return reply.status();
+  Status status = status_from_reply(reply.value());
+  if (!status.is_ok()) return status;
+  return reply->get(field::kValue);
+}
+
+Result<std::string> AttrClient::try_get(const std::string& attribute) {
+  Message request(MsgType::kAttrGet);
+  request.set(field::kContext, context_);
+  request.set(field::kAttribute, attribute);
+  request.set(field::kBlock, "0");
+  auto reply = call(std::move(request), -1);
+  if (!reply.is_ok()) return reply.status();
+  Status status = status_from_reply(reply.value());
+  if (!status.is_ok()) return status;
+  return reply->get(field::kValue);
+}
+
+Status AttrClient::remove(const std::string& attribute) {
+  Message request(MsgType::kAttrRemove);
+  request.set(field::kContext, context_);
+  request.set(field::kAttribute, attribute);
+  auto reply = call(std::move(request), -1);
+  if (!reply.is_ok()) return reply.status();
+  return status_from_reply(reply.value());
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> AttrClient::list() {
+  Message request(MsgType::kAttrList);
+  request.set(field::kContext, context_);
+  auto reply = call(std::move(request), -1);
+  if (!reply.is_ok()) return reply.status();
+  Status status = status_from_reply(reply.value());
+  if (!status.is_ok()) return status;
+  std::vector<std::pair<std::string, std::string>> out;
+  const std::int64_t count = reply->get_int(field::kCount);
+  out.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    out.emplace_back(reply->get(field::kKeyPrefix + std::to_string(i)),
+                     reply->get(field::kValPrefix + std::to_string(i)));
+  }
+  return out;
+}
+
+Result<int> AttrClient::async_get(const std::string& attribute,
+                                  CompletionCallback callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!endpoint_ || !endpoint_->is_open()) {
+    return make_error(ErrorCode::kConnectionError, "not connected");
+  }
+  Message request(MsgType::kAttrAsyncGet);
+  request.set_seq(next_seq());
+  request.set(field::kContext, context_);
+  request.set(field::kAttribute, attribute);
+  TDP_RETURN_IF_ERROR(endpoint_->send(request));
+  pending_async_[request.seq()] = {attribute, std::move(callback)};
+  return endpoint_->readable_fd();
+}
+
+Result<int> AttrClient::async_put(const std::string& attribute, const std::string& value,
+                                  CompletionCallback callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!endpoint_ || !endpoint_->is_open()) {
+    return make_error(ErrorCode::kConnectionError, "not connected");
+  }
+  Message request(MsgType::kAttrPut);
+  request.set_seq(next_seq());
+  request.set(field::kContext, context_);
+  request.set(field::kAttribute, attribute);
+  request.set(field::kValue, value);
+  TDP_RETURN_IF_ERROR(endpoint_->send(request));
+  pending_async_[request.seq()] = {attribute, std::move(callback)};
+  return endpoint_->readable_fd();
+}
+
+Status AttrClient::subscribe(const std::string& pattern, NotifyCallback callback) {
+  // Register client-side first so a notify racing the subscribe ack is not
+  // lost; seq is fixed up under the same lock as the send.
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!endpoint_ || !endpoint_->is_open()) {
+    return make_error(ErrorCode::kConnectionError, "not connected");
+  }
+  Message request(MsgType::kAttrSubscribe);
+  request.set(field::kContext, context_);
+  request.set(field::kPattern, pattern);
+  const std::uint64_t seq_used = next_seq();
+  request.set_seq(seq_used);
+  subscriptions_.push_back({seq_used, std::move(callback)});
+  TDP_RETURN_IF_ERROR(endpoint_->send(request));
+  // Wait for the acknowledgement so callers know the subscription is live.
+  while (true) {
+    auto received = endpoint_->receive(-1);
+    if (!received.is_ok()) return received.status();
+    Message reply;
+    if (route_message(std::move(received).value(), seq_used, &reply)) {
+      return status_from_reply(reply);
+    }
+  }
+}
+
+Result<Message> AttrClient::call(Message request, int timeout_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!endpoint_ || !endpoint_->is_open()) {
+    return make_error(ErrorCode::kConnectionError, "not connected");
+  }
+  request.set_seq(next_seq());
+  const std::uint64_t awaited = request.seq();
+  TDP_RETURN_IF_ERROR(endpoint_->send(request));
+
+  const bool has_deadline = timeout_ms >= 0;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    int wait = -1;
+    if (has_deadline) {
+      auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) return make_error(ErrorCode::kTimeout, "call timed out");
+      wait = static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                  deadline - now)
+                                  .count() +
+                              1);
+    }
+    auto received = endpoint_->receive(wait);
+    if (!received.is_ok()) return received.status();
+    Message reply;
+    if (route_message(std::move(received).value(), awaited, &reply)) {
+      return reply;
+    }
+  }
+}
+
+bool AttrClient::route_message(Message msg, std::uint64_t awaited_seq,
+                               Message* reply_out) {
+  // Called with mutex_ held.
+  if (msg.type() == MsgType::kAttrNotify) {
+    for (const auto& sub : subscriptions_) {
+      if (sub.seq == msg.seq()) {
+        NotifyCallback callback = sub.callback;
+        std::string attribute = msg.get(field::kAttribute);
+        std::string value = msg.get(field::kValue);
+        ready_callbacks_.push_back([callback = std::move(callback),
+                                    attribute = std::move(attribute),
+                                    value = std::move(value)] {
+          callback(attribute, value);
+        });
+        return false;
+      }
+    }
+    kLog.warn("notify for unknown subscription seq=", msg.seq());
+    return false;
+  }
+
+  auto async_it = pending_async_.find(msg.seq());
+  if (async_it != pending_async_.end() && msg.seq() != awaited_seq) {
+    PendingAsync pending = std::move(async_it->second);
+    pending_async_.erase(async_it);
+    Status status = status_from_reply(msg);
+    std::string value = msg.get(field::kValue);
+    ready_callbacks_.push_back([pending = std::move(pending), status,
+                                value = std::move(value)] {
+      pending.callback(status, pending.attribute, value);
+    });
+    return false;
+  }
+
+  if (msg.seq() == awaited_seq && awaited_seq != 0) {
+    *reply_out = std::move(msg);
+    return true;
+  }
+
+  kLog.warn("dropping unexpected message ", msg.to_string());
+  return false;
+}
+
+int AttrClient::service_events() {
+  std::deque<std::function<void()>> to_run;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (endpoint_ && endpoint_->is_open()) {
+      while (true) {
+        auto received = endpoint_->receive(0);
+        if (!received.is_ok()) break;  // timeout (drained) or disconnect
+        Message unused;
+        route_message(std::move(received).value(), /*awaited_seq=*/0, &unused);
+      }
+    }
+    to_run.swap(ready_callbacks_);
+  }
+  // Callbacks run outside the lock, on the caller's thread — the paper's
+  // "well-known and (presumably) safe point".
+  int dispatched = 0;
+  for (auto& callback : to_run) {
+    callback();
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+int AttrClient::readable_fd() const {
+  return endpoint_ ? endpoint_->readable_fd() : -1;
+}
+
+Status AttrClient::exit() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (exited_) return Status::ok();
+  exited_ = true;
+  if (!endpoint_ || !endpoint_->is_open()) return Status::ok();
+  Message request(MsgType::kAttrExit);
+  request.set_seq(next_seq());
+  request.set(field::kContext, context_);
+  Status sent = endpoint_->send(request);
+  if (sent.is_ok()) {
+    // Await the ack (with a bound) so the server-side refcount is settled
+    // before we tear the connection down.
+    const std::uint64_t awaited = request.seq();
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
+    while (std::chrono::steady_clock::now() < deadline) {
+      auto received = endpoint_->receive(200);
+      if (!received.is_ok()) {
+        if (received.status().code() == ErrorCode::kTimeout) continue;
+        break;
+      }
+      Message reply;
+      if (route_message(std::move(received).value(), awaited, &reply)) break;
+    }
+  }
+  endpoint_->close();
+  return Status::ok();
+}
+
+bool AttrClient::connected() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return endpoint_ && endpoint_->is_open() && !exited_;
+}
+
+}  // namespace tdp::attr

@@ -1,0 +1,156 @@
+// attr_client.hpp - client side of the attribute space.
+//
+// This class implements the communication model of Sections 3.2 and 3.3:
+//
+//   * tdp_put / tdp_get       -> put() / get() (blocking forms);
+//                                try_get() is the documented error-if-absent
+//                                variant ("an error is returned if the
+//                                attribute is not contained in the space").
+//   * tdp_async_get/put       -> async_get() / async_put(); both "return
+//                                immediately ... the callback function will
+//                                be executed when the operation completes".
+//   * tdp_service_event       -> service_events(); callbacks are only ever
+//                                invoked from inside service_events() or a
+//                                blocking call on the caller's own thread —
+//                                never from signals or hidden threads, which
+//                                is exactly the paper's design rationale.
+//   * the "tdp_fd"            -> readable_fd(); activity on it tells a
+//                                poll-based daemon loop to call
+//                                service_events().
+//
+// Thread safety: all public methods are safe to call concurrently; the
+// paper requires the library to be usable from serial and multi-threaded
+// daemons alike.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace tdp::attr {
+
+/// Completion callback: (status, attribute, value). For puts, `value` is
+/// the value that was stored.
+using CompletionCallback =
+    std::function<void(const Status&, const std::string&, const std::string&)>;
+
+/// Notification callback for subscriptions: (attribute, value).
+using NotifyCallback = std::function<void(const std::string&, const std::string&)>;
+
+class AttrClient {
+ public:
+  /// Connects to an attribute server and joins `context` (the tdp_init
+  /// handshake). The context is reference counted server-side.
+  static Result<std::unique_ptr<AttrClient>> connect(net::Transport& transport,
+                                                     const std::string& address,
+                                                     const std::string& context);
+
+  /// Adopts an already-established endpoint (used when the connection was
+  /// set up through the RM's proxy, Section 2.4).
+  static Result<std::unique_ptr<AttrClient>> adopt(
+      std::unique_ptr<net::Endpoint> endpoint, const std::string& context);
+
+  ~AttrClient();
+
+  AttrClient(const AttrClient&) = delete;
+  AttrClient& operator=(const AttrClient&) = delete;
+
+  // --- blocking operations (Section 3.2) ---
+
+  /// Stores (attribute, value); blocks until the server acknowledges.
+  Status put(const std::string& attribute, const std::string& value);
+
+  /// Blocking get: waits until the attribute is present (parked server
+  /// side), subject to `timeout_ms` (<0 = wait forever).
+  Result<std::string> get(const std::string& attribute, int timeout_ms = -1);
+
+  /// Non-waiting get: kNotFound when the attribute is absent.
+  Result<std::string> try_get(const std::string& attribute);
+
+  /// Removes an attribute.
+  Status remove(const std::string& attribute);
+
+  /// Lists all (attribute, value) pairs in this context.
+  Result<std::vector<std::pair<std::string, std::string>>> list();
+
+  // --- asynchronous operations (Sections 3.2-3.3) ---
+
+  /// Requests the attribute; returns immediately. The callback fires from
+  /// a later service_events() call (or is queued by an intervening blocking
+  /// call). Returns the descriptor to poll (the paper's "tdp_fd").
+  Result<int> async_get(const std::string& attribute, CompletionCallback callback);
+
+  /// Stores the attribute asynchronously; callback on acknowledgement.
+  Result<int> async_put(const std::string& attribute, const std::string& value,
+                        CompletionCallback callback);
+
+  /// Registers for notification on every put matching `pattern` (exact
+  /// name or trailing-'*' prefix). Notifications dispatch from
+  /// service_events().
+  Status subscribe(const std::string& pattern, NotifyCallback callback);
+
+  /// Drains pending traffic without blocking and invokes all completed
+  /// callbacks on the calling thread. Returns the number dispatched.
+  int service_events();
+
+  /// Descriptor that polls readable when service_events() has work.
+  [[nodiscard]] int readable_fd() const;
+
+  // --- lifecycle ---
+
+  /// tdp_exit: leaves the context (destroyed server-side when the last
+  /// participant exits) and closes the connection.
+  Status exit();
+
+  [[nodiscard]] const std::string& context() const noexcept { return context_; }
+  [[nodiscard]] bool connected() const;
+
+ private:
+  AttrClient(std::unique_ptr<net::Endpoint> endpoint, std::string context);
+
+  Status perform_init();
+
+  /// Sends a request and waits for the reply whose seq matches, routing
+  /// unrelated inbound messages (async completions, notifications) to the
+  /// pending queue for later dispatch.
+  Result<net::Message> call(net::Message request, int timeout_ms);
+
+  /// Routes one inbound message; returns true if it was the awaited reply.
+  bool route_message(net::Message msg, std::uint64_t awaited_seq,
+                     net::Message* reply_out);
+
+  std::uint64_t next_seq();
+
+  std::unique_ptr<net::Endpoint> endpoint_;
+  std::string context_;
+
+  mutable std::mutex mutex_;  // serializes the request/reply state machine
+  std::uint64_t seq_ = 0;
+
+  struct PendingAsync {
+    std::string attribute;
+    CompletionCallback callback;
+  };
+  std::map<std::uint64_t, PendingAsync> pending_async_;
+
+  struct Subscription {
+    std::uint64_t seq = 0;  ///< seq of the subscribe request, echoed in notifies
+    NotifyCallback callback;
+  };
+  std::vector<Subscription> subscriptions_;
+
+  /// Callbacks ready to run at the next service_events().
+  std::deque<std::function<void()>> ready_callbacks_;
+
+  bool exited_ = false;
+};
+
+}  // namespace tdp::attr

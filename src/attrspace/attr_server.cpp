@@ -1,0 +1,243 @@
+#include "attrspace/attr_server.hpp"
+
+#include <algorithm>
+
+#include "attrspace/attr_protocol.hpp"
+#include "util/log.hpp"
+
+namespace tdp::attr {
+
+using net::Message;
+using net::MsgType;
+
+AttrServer::AttrServer(std::string name, std::shared_ptr<net::Transport> transport)
+    : name_(std::move(name)), transport_(std::move(transport)) {}
+
+AttrServer::~AttrServer() { stop(); }
+
+Result<std::string> AttrServer::start(const std::string& listen_address) {
+  auto listener = transport_->listen(listen_address);
+  if (!listener.is_ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  address_ = listener_->address();
+  running_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    threads_.emplace_back([this] { accept_loop(); });
+  }
+  log::Logger(name_).info("attribute space server on ", address_);
+  return address_;
+}
+
+void AttrServer::stop() {
+  running_.store(false, std::memory_order_release);
+  if (listener_) listener_->close();
+  while (true) {
+    std::vector<std::thread> to_join;
+    std::vector<std::shared_ptr<net::Endpoint>> to_close;
+    {
+      std::lock_guard<std::mutex> lock(threads_mutex_);
+      to_join.swap(threads_);
+      to_close.swap(live_endpoints_);
+    }
+    if (to_join.empty() && to_close.empty()) break;
+    for (auto& endpoint : to_close) endpoint->close();
+    for (auto& thread : to_join) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+}
+
+void AttrServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto accepted = listener_->accept(200);
+    if (!accepted.is_ok()) {
+      if (accepted.status().code() == ErrorCode::kTimeout) continue;
+      break;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    std::shared_ptr<net::Endpoint> endpoint(std::move(accepted).value().release());
+    std::lock_guard<std::mutex> lock(threads_mutex_);
+    if (!running_.load(std::memory_order_acquire)) {
+      endpoint->close();
+      break;
+    }
+    live_endpoints_.push_back(endpoint);
+    threads_.emplace_back([this, endpoint] { serve_connection(endpoint); });
+  }
+}
+
+void AttrServer::serve_connection(std::shared_ptr<net::Endpoint> endpoint) {
+  std::vector<std::uint64_t> watcher_ids;    // waiters/subscriptions owned here
+  std::vector<std::string> opened_contexts;  // for implicit-exit crash cleanup
+  while (running_.load(std::memory_order_acquire)) {
+    auto received = endpoint->receive(200);
+    if (!received.is_ok()) {
+      if (received.status().code() == ErrorCode::kTimeout) continue;
+      break;  // peer gone
+    }
+    handle_message(received.value(), endpoint, watcher_ids, opened_contexts);
+  }
+  // Connection teardown: cancel this client's watchers so their callbacks
+  // never touch a dead endpoint, then treat unclosed inits as implicit
+  // tdp_exit (the daemon crashed or forgot to exit).
+  for (std::uint64_t id : watcher_ids) store_.unsubscribe(id);
+  for (const std::string& context : opened_contexts) {
+    auto closed = store_.close_context(context);
+    if (closed.is_ok()) {
+      log::Logger(name_).debug("implicit exit for context '", context,
+                               "', refcount now ", closed.value());
+    }
+  }
+  endpoint->close();
+}
+
+void AttrServer::handle_message(const Message& msg,
+                                const std::shared_ptr<net::Endpoint>& endpoint,
+                                std::vector<std::uint64_t>& watcher_ids,
+                                std::vector<std::string>& opened_contexts) {
+  const std::string context = msg.get(field::kContext, kDefaultContext);
+  const std::uint64_t seq = msg.seq();
+
+  auto reply_status = [&](MsgType type, const Status& status) {
+    Message reply(type);
+    reply.set_seq(seq);
+    reply.set(field::kStatus, status.is_ok() ? "ok" : "error");
+    if (!status.is_ok()) reply.set(field::kError, status.to_string());
+    endpoint->send(reply);
+  };
+
+  switch (msg.type()) {
+    case MsgType::kAttrInit: {
+      int refcount = store_.open_context(context);
+      opened_contexts.push_back(context);
+      Message reply(MsgType::kAttrInitReply);
+      reply.set_seq(seq);
+      reply.set(field::kStatus, "ok");
+      reply.set_int(field::kCount, refcount);
+      endpoint->send(reply);
+      break;
+    }
+
+    case MsgType::kAttrExit: {
+      auto it = std::find(opened_contexts.begin(), opened_contexts.end(), context);
+      if (it == opened_contexts.end()) {
+        reply_status(MsgType::kAttrPutReply,
+                     make_error(ErrorCode::kInvalidState,
+                                "tdp_exit without matching tdp_init on this connection"));
+        break;
+      }
+      opened_contexts.erase(it);
+      auto closed = store_.close_context(context);
+      reply_status(MsgType::kAttrPutReply,
+                   closed.is_ok() ? Status::ok() : closed.status());
+      break;
+    }
+
+    case MsgType::kAttrPut: {
+      Status status = store_.put(context, msg.get(field::kAttribute),
+                                 msg.get(field::kValue));
+      reply_status(MsgType::kAttrPutReply, status);
+      break;
+    }
+
+    case MsgType::kAttrGet:
+    case MsgType::kAttrAsyncGet: {
+      const std::string attribute = msg.get(field::kAttribute);
+      const bool block = msg.get(field::kBlock) == "1" ||
+                         msg.type() == MsgType::kAttrAsyncGet;
+      if (!block) {
+        auto value = store_.get(context, attribute);
+        Message reply(MsgType::kAttrGetReply);
+        reply.set_seq(seq);
+        reply.set(field::kAttribute, attribute);
+        if (value.is_ok()) {
+          reply.set(field::kStatus, "ok").set(field::kValue, value.value());
+        } else {
+          reply.set(field::kStatus, "error")
+              .set(field::kError, value.status().to_string());
+        }
+        endpoint->send(reply);
+        break;
+      }
+      // Parked get: reply fires from whichever thread performs the put.
+      std::weak_ptr<net::Endpoint> weak = endpoint;
+      std::uint64_t id = store_.get_or_wait(
+          context, attribute,
+          [weak, seq](const std::string&, const std::string& attr,
+                      const std::string& value) {
+            if (auto ep = weak.lock()) {
+              Message reply(MsgType::kAttrGetReply);
+              reply.set_seq(seq);
+              reply.set(field::kStatus, "ok");
+              reply.set(field::kAttribute, attr);
+              reply.set(field::kValue, value);
+              ep->send(reply);
+            }
+          });
+      if (id != 0) watcher_ids.push_back(id);
+      break;
+    }
+
+    case MsgType::kAttrSubscribe: {
+      const std::string pattern = msg.get(field::kPattern);
+      std::weak_ptr<net::Endpoint> weak = endpoint;
+      std::uint64_t id = store_.subscribe(
+          context, pattern,
+          [weak, seq](const std::string&, const std::string& attr,
+                      const std::string& value) {
+            if (auto ep = weak.lock()) {
+              Message notify(MsgType::kAttrNotify);
+              notify.set_seq(seq);  // correlates with the subscribe request
+              notify.set(field::kAttribute, attr);
+              notify.set(field::kValue, value);
+              ep->send(notify);
+            }
+          });
+      watcher_ids.push_back(id);
+      Message reply(MsgType::kAttrPutReply);
+      reply.set_seq(seq);
+      reply.set(field::kStatus, "ok");
+      reply.set_int(field::kSubId, static_cast<std::int64_t>(id));
+      endpoint->send(reply);
+      break;
+    }
+
+    case MsgType::kAttrRemove: {
+      reply_status(MsgType::kAttrPutReply,
+                   store_.remove(context, msg.get(field::kAttribute)));
+      break;
+    }
+
+    case MsgType::kAttrList: {
+      auto pairs = store_.list(context);
+      Message reply(MsgType::kAttrListReply);
+      reply.set_seq(seq);
+      reply.set(field::kStatus, "ok");
+      reply.set_int(field::kCount, static_cast<std::int64_t>(pairs.size()));
+      for (std::size_t i = 0; i < pairs.size(); ++i) {
+        reply.set(field::kKeyPrefix + std::to_string(i), pairs[i].first);
+        reply.set(field::kValPrefix + std::to_string(i), pairs[i].second);
+      }
+      endpoint->send(reply);
+      break;
+    }
+
+    case MsgType::kPing: {
+      Message reply(MsgType::kPong);
+      reply.set_seq(seq);
+      endpoint->send(reply);
+      break;
+    }
+
+    default: {
+      reply_status(MsgType::kAttrPutReply,
+                   make_error(ErrorCode::kInvalidArgument,
+                              std::string("unexpected message: ") +
+                                  net::msg_type_name(msg.type())));
+      break;
+    }
+  }
+}
+
+}  // namespace tdp::attr

@@ -1,0 +1,80 @@
+// attr_server.hpp - the attribute space server process logic.
+//
+// One class serves both deployment roles from Figure 2:
+//   * LASS - "Each host on which an application process (and tool daemon)
+//     runs has a local instance of the attribute space server", started by
+//     the RM on the execution host;
+//   * CASS - "a central attribute space server process on the host running
+//     the tool front-end", started by the RM front-end.
+//
+// The server parks blocking gets until a matching put arrives (this is what
+// lets paradynd block in tdp_get("pid") until the starter's tdp_put, per
+// Figure 6 step 3), maintains persistent subscriptions for asynchronous
+// notification, and reference counts contexts across client connections,
+// treating an unexpected disconnect as an implicit tdp_exit (crash
+// cleanup — part of the paper's fault-detection requirement).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attrspace/attr_store.hpp"
+#include "net/transport.hpp"
+
+namespace tdp::attr {
+
+class AttrServer {
+ public:
+  /// `name` is used for logging only ("LASS@node3", "CASS").
+  AttrServer(std::string name, std::shared_ptr<net::Transport> transport);
+  ~AttrServer();
+
+  AttrServer(const AttrServer&) = delete;
+  AttrServer& operator=(const AttrServer&) = delete;
+
+  /// Binds and starts serving on background threads. Returns the concrete
+  /// bound address clients should use.
+  Result<std::string> start(const std::string& listen_address);
+
+  /// Stops serving, closes all client connections, joins threads.
+  void stop();
+
+  [[nodiscard]] std::string address() const { return address_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Direct access to the store, e.g. for tests and for an RM embedding
+  /// the LASS in-process.
+  AttributeStore& store() noexcept { return store_; }
+
+  /// Number of client connections served so far.
+  [[nodiscard]] std::size_t connections_served() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void serve_connection(std::shared_ptr<net::Endpoint> endpoint);
+  void handle_message(const net::Message& msg,
+                      const std::shared_ptr<net::Endpoint>& endpoint,
+                      std::vector<std::uint64_t>& watcher_ids,
+                      std::vector<std::string>& opened_contexts);
+
+  std::string name_;
+  std::shared_ptr<net::Transport> transport_;
+  std::unique_ptr<net::Listener> listener_;
+  std::string address_;
+  AttributeStore store_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> connections_{0};
+  std::mutex threads_mutex_;
+  std::vector<std::thread> threads_;
+  std::vector<std::shared_ptr<net::Endpoint>> live_endpoints_;
+};
+
+}  // namespace tdp::attr

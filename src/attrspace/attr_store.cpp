@@ -1,0 +1,169 @@
+#include "attrspace/attr_store.hpp"
+
+#include <algorithm>
+
+namespace tdp::attr {
+
+int AttributeStore::open_context(const std::string& context) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  contexts_.try_emplace(context);
+  return ++refcounts_[context];
+}
+
+Result<int> AttributeStore::close_context(const std::string& context) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = refcounts_.find(context);
+  if (it == refcounts_.end() || it->second <= 0) {
+    return make_error(ErrorCode::kNotFound, "context has no participants: " + context);
+  }
+  int remaining = --it->second;
+  if (remaining == 0) {
+    refcounts_.erase(it);
+    contexts_.erase(context);
+    // Waiters on a destroyed context can never fire; drop them.
+    watchers_.erase(std::remove_if(watchers_.begin(), watchers_.end(),
+                                   [&](const Watcher& w) { return w.context == context; }),
+                    watchers_.end());
+  }
+  return remaining;
+}
+
+bool AttributeStore::context_exists(const std::string& context) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return contexts_.find(context) != contexts_.end();
+}
+
+int AttributeStore::context_refcount(const std::string& context) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = refcounts_.find(context);
+  return it == refcounts_.end() ? 0 : it->second;
+}
+
+Status AttributeStore::put(const std::string& context, const std::string& attribute,
+                           std::string value) {
+  std::vector<AttrCallback> to_fire;
+  std::string fired_value;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto& space = contexts_[context];  // implicit context creation on put
+    space[attribute] = std::move(value);
+    fired_value = space[attribute];
+
+    for (auto it = watchers_.begin(); it != watchers_.end();) {
+      if (it->context == context && pattern_matches(it->pattern, attribute)) {
+        to_fire.push_back(it->callback);
+        if (it->one_shot) {
+          it = watchers_.erase(it);
+          continue;
+        }
+      }
+      ++it;
+    }
+  }
+  for (auto& callback : to_fire) callback(context, attribute, fired_value);
+  return Status::ok();
+}
+
+Result<std::string> AttributeStore::get(const std::string& context,
+                                        const std::string& attribute) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto ctx_it = contexts_.find(context);
+  if (ctx_it == contexts_.end()) {
+    return make_error(ErrorCode::kNotFound, "no such context: " + context);
+  }
+  auto attr_it = ctx_it->second.find(attribute);
+  if (attr_it == ctx_it->second.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "attribute not in shared space: " + attribute);
+  }
+  return attr_it->second;
+}
+
+Status AttributeStore::remove(const std::string& context, const std::string& attribute) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto ctx_it = contexts_.find(context);
+  if (ctx_it == contexts_.end() || ctx_it->second.erase(attribute) == 0) {
+    return make_error(ErrorCode::kNotFound, "attribute not in shared space: " + attribute);
+  }
+  return Status::ok();
+}
+
+std::vector<std::pair<std::string, std::string>> AttributeStore::list(
+    const std::string& context) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::string, std::string>> out;
+  auto ctx_it = contexts_.find(context);
+  if (ctx_it != contexts_.end()) {
+    out.assign(ctx_it->second.begin(), ctx_it->second.end());
+  }
+  return out;
+}
+
+std::size_t AttributeStore::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [name, space] : contexts_) total += space.size();
+  return total;
+}
+
+std::uint64_t AttributeStore::get_or_wait(const std::string& context,
+                                          const std::string& attribute,
+                                          AttrCallback callback) {
+  std::string value;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto ctx_it = contexts_.find(context);
+    if (ctx_it != contexts_.end()) {
+      auto attr_it = ctx_it->second.find(attribute);
+      if (attr_it != ctx_it->second.end()) {
+        value = attr_it->second;
+        // Fall through to fire outside the lock.
+      } else {
+        std::uint64_t id = next_id_++;
+        watchers_.push_back({id, context, attribute, /*one_shot=*/true,
+                             std::move(callback)});
+        return id;
+      }
+    } else {
+      std::uint64_t id = next_id_++;
+      watchers_.push_back({id, context, attribute, /*one_shot=*/true,
+                           std::move(callback)});
+      return id;
+    }
+  }
+  callback(context, attribute, value);
+  return 0;
+}
+
+std::uint64_t AttributeStore::subscribe(const std::string& context,
+                                        const std::string& pattern,
+                                        AttrCallback callback) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::uint64_t id = next_id_++;
+  watchers_.push_back({id, context, pattern, /*one_shot=*/false, std::move(callback)});
+  return id;
+}
+
+void AttributeStore::unsubscribe(std::uint64_t id) {
+  if (id == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  watchers_.erase(std::remove_if(watchers_.begin(), watchers_.end(),
+                                 [id](const Watcher& w) { return w.id == id; }),
+                  watchers_.end());
+}
+
+std::size_t AttributeStore::watcher_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return watchers_.size();
+}
+
+bool AttributeStore::pattern_matches(const std::string& pattern,
+                                     std::string_view attribute) {
+  if (!pattern.empty() && pattern.back() == '*') {
+    std::string_view prefix(pattern.data(), pattern.size() - 1);
+    return attribute.substr(0, prefix.size()) == prefix;
+  }
+  return pattern == attribute;
+}
+
+}  // namespace tdp::attr

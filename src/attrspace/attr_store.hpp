@@ -1,0 +1,117 @@
+// attr_store.hpp - the in-memory attribute-value space (Section 2.1, 3.2).
+//
+// "Information in the shared environment space is kept in the form of
+// (attribute, value) pairs, where both the attribute and value are
+// constrained only to be null-terminated strings."
+//
+// The store is context-aware: "A RM that deals simultaneously with several
+// RT may initialize a different space for each RT ... Each RT interacts
+// with the RM through its own local Attribute Space, called a context."
+// Contexts are reference counted and "will be destroyed when the last
+// element using the specific context calls tdp_exit."
+//
+// The store also implements the waiter/subscription machinery the LASS and
+// CASS servers use to park blocking gets and deliver asynchronous
+// notifications.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace tdp::attr {
+
+/// Fired when a matching attribute is stored: (context, attribute, value).
+using AttrCallback =
+    std::function<void(const std::string&, const std::string&, const std::string&)>;
+
+/// Thread-safe attribute store shared by one server (LASS or CASS).
+class AttributeStore {
+ public:
+  AttributeStore() = default;
+
+  AttributeStore(const AttributeStore&) = delete;
+  AttributeStore& operator=(const AttributeStore&) = delete;
+
+  // --- context lifecycle (tdp_init / tdp_exit) ---
+
+  /// Adds one participant to `context`, creating it if needed. Returns the
+  /// new participant count.
+  int open_context(const std::string& context);
+
+  /// Removes one participant; when the count reaches zero the context and
+  /// all its attributes are destroyed (Section 3.2). kNotFound when the
+  /// context has no participants.
+  Result<int> close_context(const std::string& context);
+
+  [[nodiscard]] bool context_exists(const std::string& context) const;
+  [[nodiscard]] int context_refcount(const std::string& context) const;
+
+  // --- attribute operations ---
+
+  /// Stores (attribute, value); overwrites silently, then fires all
+  /// matching waiters (one-shot) and subscriptions, outside the lock.
+  Status put(const std::string& context, const std::string& attribute,
+             std::string value);
+
+  /// Immediate lookup; kNotFound when absent (the paper's documented
+  /// non-blocking failure mode for tdp_get).
+  Result<std::string> get(const std::string& context,
+                          const std::string& attribute) const;
+
+  /// Removes an attribute; kNotFound when absent.
+  Status remove(const std::string& context, const std::string& attribute);
+
+  /// Snapshot of all pairs in a context, sorted by attribute name.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> list(
+      const std::string& context) const;
+
+  /// Total number of attributes across all contexts (diagnostics).
+  [[nodiscard]] std::size_t size() const;
+
+  // --- waiters and subscriptions ---
+
+  /// Atomic get-or-register: when the attribute exists, invokes `callback`
+  /// immediately (on the calling thread) and returns 0; otherwise registers
+  /// a one-shot waiter fired by the next matching put and returns its
+  /// nonzero registration id (usable with unsubscribe).
+  std::uint64_t get_or_wait(const std::string& context, const std::string& attribute,
+                            AttrCallback callback);
+
+  /// Persistent subscription: fires on every put whose attribute matches
+  /// `pattern` (exact string, or prefix match when the pattern ends with
+  /// '*'). Returns a nonzero subscription id.
+  std::uint64_t subscribe(const std::string& context, const std::string& pattern,
+                          AttrCallback callback);
+
+  /// Cancels a waiter or subscription; unknown ids are ignored.
+  void unsubscribe(std::uint64_t id);
+
+  /// Count of outstanding waiters + subscriptions (diagnostics/tests).
+  [[nodiscard]] std::size_t watcher_count() const;
+
+ private:
+  struct Watcher {
+    std::uint64_t id = 0;
+    std::string context;
+    std::string pattern;  ///< exact name, or prefix when trailing '*'
+    bool one_shot = false;
+    AttrCallback callback;
+  };
+
+  static bool pattern_matches(const std::string& pattern, std::string_view attribute);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::map<std::string, std::string>> contexts_;
+  std::map<std::string, int> refcounts_;
+  std::vector<Watcher> watchers_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace tdp::attr

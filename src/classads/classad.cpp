@@ -1,0 +1,170 @@
+#include "classads/classad.hpp"
+
+#include "util/string_util.hpp"
+
+namespace tdp::classads {
+
+std::string ClassAd::canonical(const std::string& name) { return str::to_lower(name); }
+
+Status ClassAd::insert(const std::string& name, const std::string& expression) {
+  auto parsed = parse_expr(expression);
+  if (!parsed.is_ok()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "attribute '" + name + "': " + parsed.status().message());
+  }
+  const std::string key = canonical(name);
+  attributes_[key] = std::move(parsed).value();
+  display_names_[key] = name;
+  return Status::ok();
+}
+
+void ClassAd::insert_int(const std::string& name, std::int64_t value) {
+  insert(name, std::to_string(value));
+}
+
+void ClassAd::insert_real(const std::string& name, double value) {
+  insert(name, std::to_string(value));
+}
+
+void ClassAd::insert_bool(const std::string& name, bool value) {
+  insert(name, value ? "true" : "false");
+}
+
+void ClassAd::insert_string(const std::string& name, const std::string& value) {
+  std::string quoted = "\"";
+  for (char c : value) {
+    if (c == '"' || c == '\\') quoted += '\\';
+    quoted += c;
+  }
+  quoted += '"';
+  insert(name, quoted);
+}
+
+bool ClassAd::has(const std::string& name) const {
+  return attributes_.find(canonical(name)) != attributes_.end();
+}
+
+void ClassAd::erase(const std::string& name) {
+  attributes_.erase(canonical(name));
+  display_names_.erase(canonical(name));
+}
+
+ExprPtr ClassAd::lookup(const std::string& name) const {
+  auto it = attributes_.find(canonical(name));
+  return it == attributes_.end() ? nullptr : it->second;
+}
+
+Value ClassAd::evaluate(const std::string& name, const ClassAd* target) const {
+  ExprPtr expr = lookup(name);
+  if (!expr) return Value::undefined();
+  EvalContext context;
+  context.my = this;
+  context.target = target;
+  return expr->evaluate(context);
+}
+
+Result<Value> ClassAd::evaluate_expression(const std::string& expression,
+                                           const ClassAd* target) const {
+  auto parsed = parse_expr(expression);
+  if (!parsed.is_ok()) return parsed.status();
+  EvalContext context;
+  context.my = this;
+  context.target = target;
+  return parsed.value()->evaluate(context);
+}
+
+std::vector<std::string> ClassAd::names() const {
+  std::vector<std::string> out;
+  out.reserve(attributes_.size());
+  for (const auto& [key, expr] : attributes_) out.push_back(key);
+  return out;
+}
+
+std::string ClassAd::to_string() const {
+  std::string out = "[ ";
+  for (const auto& [key, expr] : attributes_) {
+    auto display = display_names_.find(key);
+    out += (display != display_names_.end() ? display->second : key);
+    out += " = ";
+    out += expr->to_string();
+    out += "; ";
+  }
+  out += "]";
+  return out;
+}
+
+Result<ClassAd> ClassAd::parse(const std::string& text) {
+  std::string body = str::trim(text);
+  if (body.size() < 2 || body.front() != '[' || body.back() != ']') {
+    return make_error(ErrorCode::kInvalidArgument, "classad must be enclosed in [ ]");
+  }
+  body = body.substr(1, body.size() - 2);
+
+  ClassAd ad;
+  // Split on ';' at depth zero (strings may contain ';').
+  std::string current;
+  bool in_string = false;
+  std::vector<std::string> entries;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    char c = body[i];
+    if (c == '"' && (i == 0 || body[i - 1] != '\\')) in_string = !in_string;
+    if (c == ';' && !in_string) {
+      entries.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  entries.push_back(current);
+
+  for (const std::string& raw : entries) {
+    std::string entry = str::trim(raw);
+    if (entry.empty()) continue;
+    std::size_t eq = entry.find('=');
+    // Avoid splitting on ==, =?=, =!=, <=, >=, != by requiring the '=' to
+    // be a plain assignment: not followed by '=', '?', '!' and not preceded
+    // by '<', '>', '!', '='.
+    while (eq != std::string::npos) {
+      bool ok = true;
+      if (eq + 1 < entry.size() &&
+          (entry[eq + 1] == '=' || entry[eq + 1] == '?' || entry[eq + 1] == '!')) {
+        ok = false;
+      }
+      if (eq > 0 && (entry[eq - 1] == '<' || entry[eq - 1] == '>' ||
+                     entry[eq - 1] == '!' || entry[eq - 1] == '=' ||
+                     entry[eq - 1] == '?')) {
+        ok = false;
+      }
+      if (ok) break;
+      eq = entry.find('=', eq + 1);
+    }
+    if (eq == std::string::npos) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "classad entry missing '=': " + entry);
+    }
+    std::string name = str::trim(entry.substr(0, eq));
+    std::string expression = str::trim(entry.substr(eq + 1));
+    if (name.empty()) {
+      return make_error(ErrorCode::kInvalidArgument, "empty attribute name");
+    }
+    TDP_RETURN_IF_ERROR(ad.insert(name, expression));
+  }
+  return ad;
+}
+
+bool symmetric_match(const ClassAd& left, const ClassAd& right) {
+  auto requirement_holds = [](const ClassAd& my, const ClassAd& target) {
+    if (!my.has(ads::kRequirements)) return true;  // absent = unconstrained
+    return my.evaluate(ads::kRequirements, &target).is_true();
+  };
+  return requirement_holds(left, right) && requirement_holds(right, left);
+}
+
+double rank_of(const ClassAd& ranker, const ClassAd& candidate) {
+  Value rank = ranker.evaluate(ads::kRank, &candidate);
+  if (rank.is_number()) return rank.to_double();
+  if (rank.kind() == ValueKind::kBool) return rank.as_bool() ? 1.0 : 0.0;
+  return 0.0;
+}
+
+}  // namespace tdp::classads

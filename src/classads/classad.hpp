@@ -1,0 +1,90 @@
+// classad.hpp - the classified advertisement and the matchmaking kernel.
+//
+// Figure 4: "the match_maker ... is responsible for locating compatible
+// resource requests with offers. When a compatible match is found, the
+// matchmaker notifies the corresponding job and machine." A ClassAd is one
+// side of that negotiation: job ads carry Requirements/Rank over machine
+// attributes, machine ads carry Requirements/Rank over job attributes, and
+// a match requires BOTH Requirements to evaluate true (the symmetric
+// gangmatch Condor performs).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "classads/expr.hpp"
+
+namespace tdp::classads {
+
+/// An attribute table whose values are unevaluated expressions. Attribute
+/// names are case-insensitive, as in Condor.
+class ClassAd {
+ public:
+  ClassAd() = default;
+
+  /// Inserts or replaces an attribute with a parsed expression.
+  Status insert(const std::string& name, const std::string& expression);
+
+  /// Typed conveniences that insert literal values.
+  void insert_int(const std::string& name, std::int64_t value);
+  void insert_real(const std::string& name, double value);
+  void insert_bool(const std::string& name, bool value);
+  void insert_string(const std::string& name, const std::string& value);
+
+  [[nodiscard]] bool has(const std::string& name) const;
+  void erase(const std::string& name);
+  [[nodiscard]] std::size_t size() const noexcept { return attributes_.size(); }
+
+  /// The raw expression bound to `name`, or nullptr.
+  [[nodiscard]] ExprPtr lookup(const std::string& name) const;
+
+  /// Evaluates attribute `name` with this ad as MY and `target` as TARGET.
+  /// Missing attributes evaluate to UNDEFINED.
+  [[nodiscard]] Value evaluate(const std::string& name,
+                               const ClassAd* target = nullptr) const;
+
+  /// Evaluates an arbitrary expression string against this ad.
+  Result<Value> evaluate_expression(const std::string& expression,
+                                    const ClassAd* target = nullptr) const;
+
+  /// Sorted attribute names (canonical lower-case form).
+  [[nodiscard]] std::vector<std::string> names() const;
+
+  /// Renders "[ a = 1; b = \"x\"; ]" in sorted order.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Parses the to_string format back into an ad.
+  static Result<ClassAd> parse(const std::string& text);
+
+ private:
+  static std::string canonical(const std::string& name);
+
+  std::map<std::string, ExprPtr> attributes_;  // keys canonicalized
+  std::map<std::string, std::string> display_names_;
+};
+
+/// Symmetric match: my.Requirements true against target AND vice versa.
+/// A missing Requirements attribute counts as true (Condor's default).
+bool symmetric_match(const ClassAd& left, const ClassAd& right);
+
+/// Rank of `candidate` from `ranker`'s point of view; UNDEFINED/ERROR and
+/// non-numeric ranks count as 0.0 (Condor semantics).
+double rank_of(const ClassAd& ranker, const ClassAd& candidate);
+
+/// Well-known attribute names used by MiniCondor ads.
+namespace ads {
+inline constexpr const char* kRequirements = "requirements";
+inline constexpr const char* kRank = "rank";
+inline constexpr const char* kMyType = "mytype";
+inline constexpr const char* kName = "name";
+inline constexpr const char* kMemory = "memory";
+inline constexpr const char* kCpus = "cpus";
+inline constexpr const char* kArch = "arch";
+inline constexpr const char* kOpSys = "opsys";
+inline constexpr const char* kState = "state";
+inline constexpr const char* kLoadAvg = "loadavg";
+}  // namespace ads
+
+}  // namespace tdp::classads

@@ -1,0 +1,829 @@
+#include "classads/expr.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <functional>
+
+#include "classads/classad.hpp"
+#include "util/string_util.hpp"
+
+namespace tdp::classads {
+
+const char* value_kind_name(ValueKind kind) noexcept {
+  switch (kind) {
+    case ValueKind::kUndefined: return "undefined";
+    case ValueKind::kError: return "error";
+    case ValueKind::kBool: return "bool";
+    case ValueKind::kInt: return "int";
+    case ValueKind::kReal: return "real";
+    case ValueKind::kString: return "string";
+  }
+  return "?";
+}
+
+std::string Value::to_string() const {
+  switch (kind_) {
+    case ValueKind::kUndefined: return "undefined";
+    case ValueKind::kError: return "error";
+    case ValueKind::kBool: return as_bool() ? "true" : "false";
+    case ValueKind::kInt: return std::to_string(as_int());
+    case ValueKind::kReal: {
+      std::string out = std::to_string(as_real());
+      return out;
+    }
+    case ValueKind::kString: {
+      std::string out = "\"";
+      for (char c : as_string()) {
+        if (c == '"' || c == '\\') out += '\\';
+        out += c;
+      }
+      out += '"';
+      return out;
+    }
+  }
+  return "?";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+enum class Tok {
+  kEnd, kNumber, kString, kIdent,
+  kLParen, kRParen, kComma, kDot,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kLt, kLe, kGt, kGe, kEq, kNe, kMetaEq, kMetaNe,
+  kAnd, kOr, kNot,
+  kQuestion, kColon,
+};
+
+struct Token {
+  Tok kind = Tok::kEnd;
+  std::string text;      // ident / string body
+  double number = 0;     // numeric literal
+  bool is_integer = false;
+  std::size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  Result<std::vector<Token>> run() {
+    std::vector<Token> out;
+    while (true) {
+      skip_space();
+      Token token;
+      token.pos = pos_;
+      if (pos_ >= src_.size()) {
+        token.kind = Tok::kEnd;
+        out.push_back(token);
+        return out;
+      }
+      char c = src_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos_ + 1 < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        TDP_RETURN_IF_ERROR(lex_number(&token));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        token.kind = Tok::kIdent;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_')) {
+          token.text += src_[pos_++];
+        }
+      } else if (c == '"') {
+        TDP_RETURN_IF_ERROR(lex_string(&token));
+      } else {
+        TDP_RETURN_IF_ERROR(lex_operator(&token));
+      }
+      out.push_back(std::move(token));
+    }
+  }
+
+ private:
+  void skip_space() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status lex_number(Token* token) {
+    std::size_t start = pos_;
+    bool real = false;
+    while (pos_ < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+            ((src_[pos_] == '+' || src_[pos_] == '-') && pos_ > start &&
+             (src_[pos_ - 1] == 'e' || src_[pos_ - 1] == 'E')))) {
+      if (src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E') real = true;
+      ++pos_;
+    }
+    try {
+      token->number = std::stod(src_.substr(start, pos_ - start));
+    } catch (const std::exception&) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "bad numeric literal at position " + std::to_string(start));
+    }
+    token->kind = Tok::kNumber;
+    token->is_integer = !real;
+    return Status::ok();
+  }
+
+  Status lex_string(Token* token) {
+    ++pos_;  // opening quote
+    token->kind = Tok::kString;
+    while (pos_ < src_.size() && src_[pos_] != '"') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) ++pos_;
+      token->text += src_[pos_++];
+    }
+    if (pos_ >= src_.size()) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "unterminated string at position " + std::to_string(token->pos));
+    }
+    ++pos_;  // closing quote
+    return Status::ok();
+  }
+
+  Status lex_operator(Token* token) {
+    auto two = [&](char a, char b) {
+      return pos_ + 1 < src_.size() && src_[pos_] == a && src_[pos_ + 1] == b;
+    };
+    auto three = [&](const char* s) {
+      return pos_ + 2 < src_.size() && src_[pos_] == s[0] && src_[pos_ + 1] == s[1] &&
+             src_[pos_ + 2] == s[2];
+    };
+    if (three("=?=")) { token->kind = Tok::kMetaEq; pos_ += 3; return Status::ok(); }
+    if (three("=!=")) { token->kind = Tok::kMetaNe; pos_ += 3; return Status::ok(); }
+    if (two('&', '&')) { token->kind = Tok::kAnd; pos_ += 2; return Status::ok(); }
+    if (two('|', '|')) { token->kind = Tok::kOr; pos_ += 2; return Status::ok(); }
+    if (two('=', '=')) { token->kind = Tok::kEq; pos_ += 2; return Status::ok(); }
+    if (two('!', '=')) { token->kind = Tok::kNe; pos_ += 2; return Status::ok(); }
+    if (two('<', '=')) { token->kind = Tok::kLe; pos_ += 2; return Status::ok(); }
+    if (two('>', '=')) { token->kind = Tok::kGe; pos_ += 2; return Status::ok(); }
+    switch (src_[pos_]) {
+      case '(': token->kind = Tok::kLParen; break;
+      case ')': token->kind = Tok::kRParen; break;
+      case ',': token->kind = Tok::kComma; break;
+      case '.': token->kind = Tok::kDot; break;
+      case '+': token->kind = Tok::kPlus; break;
+      case '-': token->kind = Tok::kMinus; break;
+      case '*': token->kind = Tok::kStar; break;
+      case '/': token->kind = Tok::kSlash; break;
+      case '%': token->kind = Tok::kPercent; break;
+      case '<': token->kind = Tok::kLt; break;
+      case '>': token->kind = Tok::kGt; break;
+      case '!': token->kind = Tok::kNot; break;
+      case '?': token->kind = Tok::kQuestion; break;
+      case ':': token->kind = Tok::kColon; break;
+      default:
+        return make_error(ErrorCode::kInvalidArgument,
+                          std::string("unexpected character '") + src_[pos_] +
+                              "' at position " + std::to_string(pos_));
+    }
+    ++pos_;
+    return Status::ok();
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// AST nodes
+// ---------------------------------------------------------------------
+
+class LiteralExpr final : public Expr {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+  Value evaluate(const EvalContext&) const override { return value_; }
+  std::string to_string() const override { return value_.to_string(); }
+
+ private:
+  Value value_;
+};
+
+enum class Scope { kAuto, kMy, kTarget };
+
+class AttrRefExpr final : public Expr {
+ public:
+  AttrRefExpr(Scope scope, std::string name)
+      : scope_(scope), name_(std::move(name)) {}
+
+  Value evaluate(const EvalContext& context) const override;
+
+  std::string to_string() const override {
+    switch (scope_) {
+      case Scope::kMy: return "MY." + name_;
+      case Scope::kTarget: return "TARGET." + name_;
+      case Scope::kAuto: return name_;
+    }
+    return name_;
+  }
+
+ private:
+  Scope scope_;
+  std::string name_;
+};
+
+class UnaryExpr final : public Expr {
+ public:
+  UnaryExpr(Tok op, ExprPtr operand) : op_(op), operand_(std::move(operand)) {}
+
+  Value evaluate(const EvalContext& context) const override {
+    Value value = operand_->evaluate(context);
+    if (value.is_error()) return Value::error();
+    if (op_ == Tok::kNot) {
+      if (value.is_undefined()) return Value::undefined();
+      if (value.kind() == ValueKind::kString) return Value::error();
+      return Value::boolean(!value.is_true());
+    }
+    // Unary minus.
+    if (value.is_undefined()) return Value::undefined();
+    if (value.kind() == ValueKind::kInt) return Value::integer(-value.as_int());
+    if (value.kind() == ValueKind::kReal) return Value::real(-value.as_real());
+    return Value::error();
+  }
+
+  std::string to_string() const override {
+    return std::string(op_ == Tok::kNot ? "!" : "-") + operand_->to_string();
+  }
+
+ private:
+  Tok op_;
+  ExprPtr operand_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(Tok op, ExprPtr lhs, ExprPtr rhs)
+      : op_(op), lhs_(std::move(lhs)), rhs_(std::move(rhs)) {}
+
+  Value evaluate(const EvalContext& context) const override;
+
+  std::string to_string() const override {
+    return "(" + lhs_->to_string() + " " + op_name() + " " + rhs_->to_string() + ")";
+  }
+
+ private:
+  const char* op_name() const {
+    switch (op_) {
+      case Tok::kPlus: return "+";
+      case Tok::kMinus: return "-";
+      case Tok::kStar: return "*";
+      case Tok::kSlash: return "/";
+      case Tok::kPercent: return "%";
+      case Tok::kLt: return "<";
+      case Tok::kLe: return "<=";
+      case Tok::kGt: return ">";
+      case Tok::kGe: return ">=";
+      case Tok::kEq: return "==";
+      case Tok::kNe: return "!=";
+      case Tok::kMetaEq: return "=?=";
+      case Tok::kMetaNe: return "=!=";
+      case Tok::kAnd: return "&&";
+      case Tok::kOr: return "||";
+      default: return "?";
+    }
+  }
+
+  Tok op_;
+  ExprPtr lhs_;
+  ExprPtr rhs_;
+};
+
+class TernaryExpr final : public Expr {
+ public:
+  TernaryExpr(ExprPtr cond, ExprPtr then_branch, ExprPtr else_branch)
+      : cond_(std::move(cond)), then_(std::move(then_branch)),
+        else_(std::move(else_branch)) {}
+
+  Value evaluate(const EvalContext& context) const override {
+    Value cond = cond_->evaluate(context);
+    if (cond.is_error()) return Value::error();
+    if (cond.is_undefined()) return Value::undefined();
+    return cond.is_true() ? then_->evaluate(context) : else_->evaluate(context);
+  }
+
+  std::string to_string() const override {
+    return "(" + cond_->to_string() + " ? " + then_->to_string() + " : " +
+           else_->to_string() + ")";
+  }
+
+ private:
+  ExprPtr cond_;
+  ExprPtr then_;
+  ExprPtr else_;
+};
+
+class CallExpr final : public Expr {
+ public:
+  CallExpr(std::string name, std::vector<ExprPtr> args)
+      : name_(str::to_lower(name)), args_(std::move(args)) {}
+
+  Value evaluate(const EvalContext& context) const override;
+
+  std::string to_string() const override {
+    std::string out = name_ + "(";
+    for (std::size_t i = 0; i < args_.size(); ++i) {
+      if (i != 0) out += ", ";
+      out += args_[i]->to_string();
+    }
+    out += ")";
+    return out;
+  }
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+// ---------------------------------------------------------------------
+// Evaluation semantics
+// ---------------------------------------------------------------------
+
+Value AttrRefExpr::evaluate(const EvalContext& context) const {
+  if (context.depth >= EvalContext::kMaxDepth) return Value::error();
+
+  auto eval_in = [&](const ClassAd* owner, const ClassAd* other) -> Value {
+    if (owner == nullptr) return Value::undefined();
+    ExprPtr expr = owner->lookup(name_);
+    if (!expr) return Value::undefined();
+    // An attribute evaluates in the scope of the ad it was found in: MY
+    // becomes the owner, TARGET the other ad.
+    EvalContext inner;
+    inner.my = owner;
+    inner.target = other;
+    inner.depth = context.depth + 1;
+    return expr->evaluate(inner);
+  };
+
+  switch (scope_) {
+    case Scope::kMy:
+      return eval_in(context.my, context.target);
+    case Scope::kTarget:
+      return eval_in(context.target, context.my);
+    case Scope::kAuto: {
+      if (context.my != nullptr && context.my->lookup(name_)) {
+        return eval_in(context.my, context.target);
+      }
+      if (context.target != nullptr && context.target->lookup(name_)) {
+        return eval_in(context.target, context.my);
+      }
+      return Value::undefined();
+    }
+  }
+  return Value::undefined();
+}
+
+/// Three-valued comparison core: returns BOOL, UNDEFINED or ERROR.
+Value compare(Tok op, const Value& lhs, const Value& rhs) {
+  if (lhs.is_error() || rhs.is_error()) return Value::error();
+  if (lhs.is_undefined() || rhs.is_undefined()) return Value::undefined();
+
+  bool result;
+  if (lhs.is_number() && rhs.is_number()) {
+    double a = lhs.to_double(), b = rhs.to_double();
+    switch (op) {
+      case Tok::kEq: result = a == b; break;
+      case Tok::kNe: result = a != b; break;
+      case Tok::kLt: result = a < b; break;
+      case Tok::kLe: result = a <= b; break;
+      case Tok::kGt: result = a > b; break;
+      case Tok::kGe: result = a >= b; break;
+      default: return Value::error();
+    }
+    return Value::boolean(result);
+  }
+  if (lhs.kind() == ValueKind::kString && rhs.kind() == ValueKind::kString) {
+    // Condor compares strings case-insensitively with ==/!=/<...
+    int cmp = str::to_lower(lhs.as_string()).compare(str::to_lower(rhs.as_string()));
+    switch (op) {
+      case Tok::kEq: result = cmp == 0; break;
+      case Tok::kNe: result = cmp != 0; break;
+      case Tok::kLt: result = cmp < 0; break;
+      case Tok::kLe: result = cmp <= 0; break;
+      case Tok::kGt: result = cmp > 0; break;
+      case Tok::kGe: result = cmp >= 0; break;
+      default: return Value::error();
+    }
+    return Value::boolean(result);
+  }
+  if (lhs.kind() == ValueKind::kBool && rhs.kind() == ValueKind::kBool) {
+    switch (op) {
+      case Tok::kEq: return Value::boolean(lhs.as_bool() == rhs.as_bool());
+      case Tok::kNe: return Value::boolean(lhs.as_bool() != rhs.as_bool());
+      default: return Value::error();
+    }
+  }
+  return Value::error();  // mixed incomparable types
+}
+
+Value BinaryExpr::evaluate(const EvalContext& context) const {
+  // Short-circuit logic with ClassAd three-valued semantics:
+  //   FALSE && X == FALSE   TRUE || X == TRUE   (even for X = error)
+  //   UNDEFINED absorbs unless the other operand decides the result.
+  if (op_ == Tok::kAnd || op_ == Tok::kOr) {
+    Value lhs = lhs_->evaluate(context);
+    if (lhs.kind() == ValueKind::kString) return Value::error();
+    const bool lhs_decided = !lhs.is_error() && !lhs.is_undefined();
+    if (op_ == Tok::kAnd && lhs_decided && !lhs.is_true()) {
+      return Value::boolean(false);
+    }
+    if (op_ == Tok::kOr && lhs_decided && lhs.is_true()) {
+      return Value::boolean(true);
+    }
+    Value rhs = rhs_->evaluate(context);
+    if (rhs.kind() == ValueKind::kString) return Value::error();
+    const bool rhs_decided = !rhs.is_error() && !rhs.is_undefined();
+    if (op_ == Tok::kAnd && rhs_decided && !rhs.is_true()) {
+      return Value::boolean(false);
+    }
+    if (op_ == Tok::kOr && rhs_decided && rhs.is_true()) {
+      return Value::boolean(true);
+    }
+    if (lhs.is_error() || rhs.is_error()) return Value::error();
+    if (lhs.is_undefined() || rhs.is_undefined()) return Value::undefined();
+    return Value::boolean(op_ == Tok::kAnd);
+  }
+
+  Value lhs = lhs_->evaluate(context);
+  Value rhs = rhs_->evaluate(context);
+
+  // Meta-equality never yields UNDEFINED: it tests identity of value kind
+  // and content, making it the tool for "is this attribute defined?" tests.
+  if (op_ == Tok::kMetaEq || op_ == Tok::kMetaNe) {
+    bool same;
+    if (lhs.kind() != rhs.kind()) {
+      // Numeric kinds compare by value across int/real.
+      same = lhs.is_number() && rhs.is_number() && lhs.to_double() == rhs.to_double();
+    } else {
+      same = lhs == rhs;
+    }
+    return Value::boolean(op_ == Tok::kMetaEq ? same : !same);
+  }
+
+  if (op_ == Tok::kEq || op_ == Tok::kNe || op_ == Tok::kLt || op_ == Tok::kLe ||
+      op_ == Tok::kGt || op_ == Tok::kGe) {
+    return compare(op_, lhs, rhs);
+  }
+
+  // Arithmetic.
+  if (lhs.is_error() || rhs.is_error()) return Value::error();
+  if (lhs.is_undefined() || rhs.is_undefined()) return Value::undefined();
+  if (!lhs.is_number() || !rhs.is_number()) return Value::error();
+
+  const bool both_int =
+      lhs.kind() == ValueKind::kInt && rhs.kind() == ValueKind::kInt;
+  switch (op_) {
+    case Tok::kPlus:
+      return both_int ? Value::integer(lhs.as_int() + rhs.as_int())
+                      : Value::real(lhs.to_double() + rhs.to_double());
+    case Tok::kMinus:
+      return both_int ? Value::integer(lhs.as_int() - rhs.as_int())
+                      : Value::real(lhs.to_double() - rhs.to_double());
+    case Tok::kStar:
+      return both_int ? Value::integer(lhs.as_int() * rhs.as_int())
+                      : Value::real(lhs.to_double() * rhs.to_double());
+    case Tok::kSlash:
+      if (both_int) {
+        if (rhs.as_int() == 0) return Value::error();
+        return Value::integer(lhs.as_int() / rhs.as_int());
+      }
+      if (rhs.to_double() == 0.0) return Value::error();
+      return Value::real(lhs.to_double() / rhs.to_double());
+    case Tok::kPercent:
+      if (!both_int || rhs.as_int() == 0) return Value::error();
+      return Value::integer(lhs.as_int() % rhs.as_int());
+    default:
+      return Value::error();
+  }
+}
+
+Value CallExpr::evaluate(const EvalContext& context) const {
+  std::vector<Value> args;
+  args.reserve(args_.size());
+  for (const auto& arg : args_) args.push_back(arg->evaluate(context));
+
+  auto want = [&](std::size_t n) { return args.size() == n; };
+  auto any_error = [&] {
+    for (const auto& value : args) {
+      if (value.is_error()) return true;
+    }
+    return false;
+  };
+
+  if (name_ == "isundefined") {
+    if (!want(1)) return Value::error();
+    return Value::boolean(args[0].is_undefined());
+  }
+  if (name_ == "iserror") {
+    if (!want(1)) return Value::error();
+    return Value::boolean(args[0].is_error());
+  }
+  if (any_error()) return Value::error();
+
+  if (name_ == "floor" || name_ == "ceiling" || name_ == "round") {
+    if (!want(1)) return Value::error();
+    if (args[0].is_undefined()) return Value::undefined();
+    if (!args[0].is_number()) return Value::error();
+    double x = args[0].to_double();
+    double y = name_ == "floor" ? std::floor(x)
+                                : (name_ == "ceiling" ? std::ceil(x) : std::round(x));
+    return Value::integer(static_cast<std::int64_t>(y));
+  }
+  if (name_ == "int" || name_ == "real") {
+    if (!want(1)) return Value::error();
+    if (args[0].is_undefined()) return Value::undefined();
+    if (args[0].kind() == ValueKind::kString) {
+      try {
+        double parsed = std::stod(args[0].as_string());
+        return name_ == "int" ? Value::integer(static_cast<std::int64_t>(parsed))
+                              : Value::real(parsed);
+      } catch (const std::exception&) {
+        return Value::error();
+      }
+    }
+    if (args[0].kind() == ValueKind::kBool) {
+      return name_ == "int" ? Value::integer(args[0].as_bool() ? 1 : 0)
+                            : Value::real(args[0].as_bool() ? 1.0 : 0.0);
+    }
+    if (!args[0].is_number()) return Value::error();
+    return name_ == "int"
+               ? Value::integer(static_cast<std::int64_t>(args[0].to_double()))
+               : Value::real(args[0].to_double());
+  }
+  if (name_ == "string") {
+    if (!want(1)) return Value::error();
+    if (args[0].is_undefined()) return Value::undefined();
+    if (args[0].kind() == ValueKind::kString) return args[0];
+    return Value::string(args[0].to_string());
+  }
+  if (name_ == "strcat") {
+    std::string out;
+    for (const auto& value : args) {
+      if (value.is_undefined()) return Value::undefined();
+      out += value.kind() == ValueKind::kString ? value.as_string() : value.to_string();
+    }
+    return Value::string(out);
+  }
+  if (name_ == "tolower" || name_ == "toupper") {
+    if (!want(1)) return Value::error();
+    if (args[0].is_undefined()) return Value::undefined();
+    if (args[0].kind() != ValueKind::kString) return Value::error();
+    std::string out = args[0].as_string();
+    for (char& c : out) {
+      c = name_ == "tolower" ? static_cast<char>(std::tolower(static_cast<unsigned char>(c)))
+                             : static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    return Value::string(out);
+  }
+  if (name_ == "size") {
+    if (!want(1)) return Value::error();
+    if (args[0].is_undefined()) return Value::undefined();
+    if (args[0].kind() != ValueKind::kString) return Value::error();
+    return Value::integer(static_cast<std::int64_t>(args[0].as_string().size()));
+  }
+  if (name_ == "min" || name_ == "max") {
+    if (args.empty()) return Value::error();
+    bool all_int = true;
+    double best = 0;
+    bool first = true;
+    for (const auto& value : args) {
+      if (value.is_undefined()) return Value::undefined();
+      if (!value.is_number()) return Value::error();
+      if (value.kind() != ValueKind::kInt) all_int = false;
+      double x = value.to_double();
+      if (first || (name_ == "min" ? x < best : x > best)) best = x;
+      first = false;
+    }
+    return all_int ? Value::integer(static_cast<std::int64_t>(best))
+                   : Value::real(best);
+  }
+  return Value::error();  // unknown function
+}
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> run() {
+    auto expr = parse_ternary();
+    if (!expr.is_ok()) return expr;
+    if (peek().kind != Tok::kEnd) {
+      return fail("trailing input");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& peek() const { return tokens_[index_]; }
+  Token take() { return tokens_[index_++]; }
+  bool accept(Tok kind) {
+    if (peek().kind == kind) {
+      ++index_;
+      return true;
+    }
+    return false;
+  }
+
+  Status expect(Tok kind, const char* what) {
+    if (!accept(kind)) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        std::string("expected ") + what + " at position " +
+                            std::to_string(peek().pos));
+    }
+    return Status::ok();
+  }
+
+  Result<ExprPtr> fail(const std::string& what) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      what + " at position " + std::to_string(peek().pos));
+  }
+
+  Result<ExprPtr> parse_ternary() {
+    auto cond = parse_or();
+    if (!cond.is_ok()) return cond;
+    if (!accept(Tok::kQuestion)) return cond;
+    auto then_branch = parse_ternary();
+    if (!then_branch.is_ok()) return then_branch;
+    TDP_RETURN_IF_ERROR(expect(Tok::kColon, "':'"));
+    auto else_branch = parse_ternary();
+    if (!else_branch.is_ok()) return else_branch;
+    return ExprPtr(std::make_shared<TernaryExpr>(std::move(cond).value(),
+                                                 std::move(then_branch).value(),
+                                                 std::move(else_branch).value()));
+  }
+
+  Result<ExprPtr> parse_or() {
+    auto lhs = parse_and();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr expr = std::move(lhs).value();
+    while (accept(Tok::kOr)) {
+      auto rhs = parse_and();
+      if (!rhs.is_ok()) return rhs;
+      expr = std::make_shared<BinaryExpr>(Tok::kOr, expr, std::move(rhs).value());
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> parse_and() {
+    auto lhs = parse_cmp();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr expr = std::move(lhs).value();
+    while (accept(Tok::kAnd)) {
+      auto rhs = parse_cmp();
+      if (!rhs.is_ok()) return rhs;
+      expr = std::make_shared<BinaryExpr>(Tok::kAnd, expr, std::move(rhs).value());
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> parse_cmp() {
+    auto lhs = parse_add();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr expr = std::move(lhs).value();
+    while (true) {
+      Tok op = peek().kind;
+      if (op != Tok::kEq && op != Tok::kNe && op != Tok::kLt && op != Tok::kLe &&
+          op != Tok::kGt && op != Tok::kGe && op != Tok::kMetaEq &&
+          op != Tok::kMetaNe) {
+        return expr;
+      }
+      take();
+      auto rhs = parse_add();
+      if (!rhs.is_ok()) return rhs;
+      expr = std::make_shared<BinaryExpr>(op, expr, std::move(rhs).value());
+    }
+  }
+
+  Result<ExprPtr> parse_add() {
+    auto lhs = parse_mul();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr expr = std::move(lhs).value();
+    while (peek().kind == Tok::kPlus || peek().kind == Tok::kMinus) {
+      Tok op = take().kind;
+      auto rhs = parse_mul();
+      if (!rhs.is_ok()) return rhs;
+      expr = std::make_shared<BinaryExpr>(op, expr, std::move(rhs).value());
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> parse_mul() {
+    auto lhs = parse_unary();
+    if (!lhs.is_ok()) return lhs;
+    ExprPtr expr = std::move(lhs).value();
+    while (peek().kind == Tok::kStar || peek().kind == Tok::kSlash ||
+           peek().kind == Tok::kPercent) {
+      Tok op = take().kind;
+      auto rhs = parse_unary();
+      if (!rhs.is_ok()) return rhs;
+      expr = std::make_shared<BinaryExpr>(op, expr, std::move(rhs).value());
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> parse_unary() {
+    if (peek().kind == Tok::kNot || peek().kind == Tok::kMinus) {
+      Tok op = take().kind;
+      auto operand = parse_unary();
+      if (!operand.is_ok()) return operand;
+      return ExprPtr(std::make_shared<UnaryExpr>(op, std::move(operand).value()));
+    }
+    return parse_primary();
+  }
+
+  Result<ExprPtr> parse_primary() {
+    const Token& token = peek();
+    switch (token.kind) {
+      case Tok::kNumber: {
+        Token t = take();
+        return ExprPtr(std::make_shared<LiteralExpr>(
+            t.is_integer ? Value::integer(static_cast<std::int64_t>(t.number))
+                         : Value::real(t.number)));
+      }
+      case Tok::kString: {
+        Token t = take();
+        return ExprPtr(std::make_shared<LiteralExpr>(Value::string(t.text)));
+      }
+      case Tok::kLParen: {
+        take();
+        auto inner = parse_ternary();
+        if (!inner.is_ok()) return inner;
+        TDP_RETURN_IF_ERROR(expect(Tok::kRParen, "')'"));
+        return inner;
+      }
+      case Tok::kIdent: {
+        Token t = take();
+        std::string lowered = str::to_lower(t.text);
+        if (lowered == "true") {
+          return ExprPtr(std::make_shared<LiteralExpr>(Value::boolean(true)));
+        }
+        if (lowered == "false") {
+          return ExprPtr(std::make_shared<LiteralExpr>(Value::boolean(false)));
+        }
+        if (lowered == "undefined") {
+          return ExprPtr(std::make_shared<LiteralExpr>(Value::undefined()));
+        }
+        if (lowered == "error") {
+          return ExprPtr(std::make_shared<LiteralExpr>(Value::error()));
+        }
+        // Scoped reference?
+        if ((lowered == "my" || lowered == "target") && accept(Tok::kDot)) {
+          if (peek().kind != Tok::kIdent) return fail("expected attribute name");
+          Token attr = take();
+          Scope scope = lowered == "my" ? Scope::kMy : Scope::kTarget;
+          return ExprPtr(
+              std::make_shared<AttrRefExpr>(scope, str::to_lower(attr.text)));
+        }
+        // Function call?
+        if (accept(Tok::kLParen)) {
+          std::vector<ExprPtr> args;
+          if (!accept(Tok::kRParen)) {
+            while (true) {
+              auto arg = parse_ternary();
+              if (!arg.is_ok()) return arg;
+              args.push_back(std::move(arg).value());
+              if (accept(Tok::kRParen)) break;
+              TDP_RETURN_IF_ERROR(expect(Tok::kComma, "','"));
+            }
+          }
+          return ExprPtr(std::make_shared<CallExpr>(t.text, std::move(args)));
+        }
+        return ExprPtr(std::make_shared<AttrRefExpr>(Scope::kAuto, lowered));
+      }
+      default:
+        return fail("expected expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> parse_expr(const std::string& source) {
+  Lexer lexer(source);
+  auto tokens = lexer.run();
+  if (!tokens.is_ok()) return tokens.status();
+  Parser parser(std::move(tokens).value());
+  return parser.run();
+}
+
+Result<Value> evaluate_standalone(const std::string& source) {
+  auto expr = parse_expr(source);
+  if (!expr.is_ok()) return expr.status();
+  EvalContext context;
+  return expr.value()->evaluate(context);
+}
+
+}  // namespace tdp::classads

@@ -1,0 +1,58 @@
+// expr.hpp - AST, lexer and recursive-descent parser for ClassAd-lite.
+//
+// Grammar (precedence climbing, loosest first):
+//   expr     := or ( '?' expr ':' expr )?
+//   or       := and ( '||' and )*
+//   and      := cmp ( '&&' cmp )*
+//   cmp      := add ( ('=='|'!='|'<'|'<='|'>'|'>='|'=?='|'=!=') add )*
+//   add      := mul ( ('+'|'-') mul )*
+//   mul      := unary ( ('*'|'/'|'%') unary )*
+//   unary    := ('!'|'-')* primary
+//   primary  := NUMBER | STRING | 'true' | 'false' | 'undefined' | 'error'
+//             | IDENT ('.' IDENT)? | '(' expr ')' | IDENT '(' args ')'
+//
+// Scoped references MY.x / TARGET.x select which advertisement an
+// attribute resolves against during matchmaking; a bare name tries MY
+// first, then TARGET (Condor's lookup order). '=?=' / '=!=' are the
+// meta-(un)equal operators: they never yield UNDEFINED.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "classads/value.hpp"
+
+namespace tdp::classads {
+
+class ClassAd;
+
+/// Evaluation environment: the ad being evaluated ("MY") and the candidate
+/// it is matched against ("TARGET", may be null outside matchmaking).
+struct EvalContext {
+  const ClassAd* my = nullptr;
+  const ClassAd* target = nullptr;
+  /// Recursion guard against self-referential attribute definitions.
+  mutable int depth = 0;
+  static constexpr int kMaxDepth = 64;
+};
+
+/// Abstract expression node.
+class Expr {
+ public:
+  virtual ~Expr() = default;
+  [[nodiscard]] virtual Value evaluate(const EvalContext& context) const = 0;
+  /// Unparses to (canonical) source form, for diagnostics and round trips.
+  [[nodiscard]] virtual std::string to_string() const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// Parses one expression. kInvalidArgument with a position-annotated
+/// message on syntax errors.
+Result<ExprPtr> parse_expr(const std::string& source);
+
+/// Convenience: parse + evaluate without a target ad.
+Result<Value> evaluate_standalone(const std::string& source);
+
+}  // namespace tdp::classads

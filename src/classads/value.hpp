@@ -1,0 +1,111 @@
+// value.hpp - runtime values of the ClassAd-lite expression language.
+//
+// MiniCondor's matchmaker (Figure 4's match_maker entity) evaluates
+// Requirements/Rank expressions over pairs of classified advertisements,
+// following the semantics of Condor's ClassAd language in miniature:
+// numbers, booleans, strings, plus the UNDEFINED and ERROR values that give
+// ClassAds their three-valued logic (an attribute missing from either ad
+// evaluates to UNDEFINED, not a crash — essential when heterogeneous
+// machines advertise different attribute sets).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "util/status.hpp"
+
+namespace tdp::classads {
+
+enum class ValueKind : std::uint8_t {
+  kUndefined = 0,
+  kError,
+  kBool,
+  kInt,
+  kReal,
+  kString,
+};
+
+/// A ClassAd runtime value. Regular value type.
+class Value {
+ public:
+  Value() : kind_(ValueKind::kUndefined) {}
+
+  static Value undefined() { return Value(); }
+  static Value error() {
+    Value value;
+    value.kind_ = ValueKind::kError;
+    return value;
+  }
+  static Value boolean(bool b) {
+    Value value;
+    value.kind_ = ValueKind::kBool;
+    value.data_ = b;
+    return value;
+  }
+  static Value integer(std::int64_t i) {
+    Value value;
+    value.kind_ = ValueKind::kInt;
+    value.data_ = i;
+    return value;
+  }
+  static Value real(double d) {
+    Value value;
+    value.kind_ = ValueKind::kReal;
+    value.data_ = d;
+    return value;
+  }
+  static Value string(std::string s) {
+    Value value;
+    value.kind_ = ValueKind::kString;
+    value.data_ = std::move(s);
+    return value;
+  }
+
+  [[nodiscard]] ValueKind kind() const noexcept { return kind_; }
+  [[nodiscard]] bool is_undefined() const noexcept {
+    return kind_ == ValueKind::kUndefined;
+  }
+  [[nodiscard]] bool is_error() const noexcept { return kind_ == ValueKind::kError; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return kind_ == ValueKind::kInt || kind_ == ValueKind::kReal;
+  }
+
+  /// Accessors; only valid for the matching kind.
+  [[nodiscard]] bool as_bool() const { return std::get<bool>(data_); }
+  [[nodiscard]] std::int64_t as_int() const { return std::get<std::int64_t>(data_); }
+  [[nodiscard]] double as_real() const { return std::get<double>(data_); }
+  [[nodiscard]] const std::string& as_string() const {
+    return std::get<std::string>(data_);
+  }
+
+  /// Numeric view: ints promote to double; non-numbers are an error the
+  /// caller must have excluded.
+  [[nodiscard]] double to_double() const {
+    return kind_ == ValueKind::kInt ? static_cast<double>(as_int()) : as_real();
+  }
+
+  /// Strict truth for Requirements evaluation: only TRUE matches. Integers
+  /// follow Condor: non-zero is true. UNDEFINED/ERROR/strings are not true.
+  [[nodiscard]] bool is_true() const noexcept {
+    if (kind_ == ValueKind::kBool) return std::get<bool>(data_);
+    if (kind_ == ValueKind::kInt) return std::get<std::int64_t>(data_) != 0;
+    if (kind_ == ValueKind::kReal) return std::get<double>(data_) != 0.0;
+    return false;
+  }
+
+  /// Literal rendering ("true", "42", "1.5", "\"str\"", "undefined", "error").
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.kind_ == b.kind_ && a.data_ == b.data_;
+  }
+
+ private:
+  ValueKind kind_;
+  std::variant<std::monostate, bool, std::int64_t, double, std::string> data_;
+};
+
+const char* value_kind_name(ValueKind kind) noexcept;
+
+}  // namespace tdp::classads

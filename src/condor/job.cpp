@@ -1,0 +1,51 @@
+#include "condor/job.hpp"
+
+namespace tdp::condor {
+
+const char* universe_name(Universe universe) noexcept {
+  switch (universe) {
+    case Universe::kVanilla: return "Vanilla";
+    case Universe::kMpi: return "MPI";
+    case Universe::kStandard: return "Standard";
+  }
+  return "?";
+}
+
+const char* job_status_name(JobStatus status) noexcept {
+  switch (status) {
+    case JobStatus::kIdle: return "idle";
+    case JobStatus::kMatched: return "matched";
+    case JobStatus::kClaimed: return "claimed";
+    case JobStatus::kRunning: return "running";
+    case JobStatus::kCompleted: return "completed";
+    case JobStatus::kFailed: return "failed";
+    case JobStatus::kRemoved: return "removed";
+  }
+  return "?";
+}
+
+classads::ClassAd JobDescription::to_classad() const {
+  classads::ClassAd ad;
+  ad.insert_string(classads::ads::kMyType, "Job");
+  ad.insert_string("cmd", executable);
+  ad.insert_string("universe", universe_name(universe));
+  ad.insert_int("machine_count", machine_count);
+  // The submit-side image size stands in for memory demand; without better
+  // information, assume a small footprint so unconstrained jobs match.
+  ad.insert_int("imagesize", 1);
+  if (!requirements.empty()) {
+    ad.insert(classads::ads::kRequirements, requirements);
+  }
+  if (!rank.empty()) {
+    ad.insert(classads::ads::kRank, rank);
+  }
+  ad.insert_bool("wants_tool_daemon", tool_daemon.present);
+  for (const auto& [name, value] : custom_attributes) {
+    // Custom attributes are inserted as expressions when they parse, and as
+    // quoted strings otherwise (matching Condor's forgiving submit syntax).
+    if (!ad.insert(name, value).is_ok()) ad.insert_string(name, value);
+  }
+  return ad;
+}
+
+}  // namespace tdp::condor

@@ -1,0 +1,109 @@
+// job.hpp - the job model shared by all MiniCondor daemons.
+//
+// A JobDescription is the parsed submit file (Figure 5B), including the
+// Parador extensions: SuspendJobAtExec (create the application paused so
+// the tool daemon can attach before main(), Section 4.3) and the
+// ToolDaemon* family describing the RT the starter must co-launch.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "classads/classad.hpp"
+
+namespace tdp::condor {
+
+using JobId = std::int64_t;
+
+/// Condor universes we implement. The paper demonstrates Vanilla + MPI
+/// (Section 4.3); Standard adds the remote-system-call file I/O of
+/// Section 4.1 ("jobs that are linked for Condor's standard universe ...
+/// perform remote system calls ... via the condor_shadow").
+enum class Universe : std::uint8_t { kVanilla = 0, kMpi, kStandard };
+
+const char* universe_name(Universe universe) noexcept;
+
+/// Job lifecycle as tracked by the schedd/shadow.
+enum class JobStatus : std::uint8_t {
+  kIdle = 0,    ///< queued, awaiting a match
+  kMatched,     ///< matchmaker found a machine; claim in progress
+  kClaimed,     ///< claim accepted; activation pending
+  kRunning,     ///< starter has spawned the job
+  kCompleted,   ///< terminal: exited
+  kFailed,      ///< terminal: could not run / killed / starter error
+  kRemoved,     ///< terminal: removed by the user
+};
+
+const char* job_status_name(JobStatus status) noexcept;
+
+/// True for states a job can never leave.
+inline bool job_status_terminal(JobStatus status) noexcept {
+  return status == JobStatus::kCompleted || status == JobStatus::kFailed ||
+         status == JobStatus::kRemoved;
+}
+
+/// The tool-daemon co-launch request (the +ToolDaemon* submit entries).
+struct ToolDaemonSpec {
+  bool present = false;
+  std::string cmd;            ///< +ToolDaemonCmd
+  std::string args;           ///< +ToolDaemonArgs (may contain %pid)
+  std::string output;         ///< +ToolDaemonOutput
+  std::string error;          ///< +ToolDaemonError
+  std::vector<std::string> input_files;  ///< from transfer_input_files
+};
+
+/// Parsed submit description for one cluster of jobs.
+struct JobDescription {
+  Universe universe = Universe::kVanilla;
+  std::string executable;
+  std::string arguments;
+  std::string input;      ///< stdin file
+  std::string output;     ///< stdout file
+  std::string error;      ///< stderr file
+  std::string initial_dir;
+  std::string requirements;  ///< job-side match constraint (ClassAd expr)
+  std::string rank;          ///< job-side preference
+  int machine_count = 1;     ///< MPI universe rank count
+  bool transfer_files = false;
+  std::vector<std::string> transfer_input_files;
+
+  bool suspend_job_at_exec = false;  ///< +SuspendJobAtExec
+  ToolDaemonSpec tool_daemon;
+
+  /// Auxiliary services the RM must co-launch (Section 1: "software
+  /// multicast/reduction networks ... The RM must be aware of and willing
+  /// to launch this second kind of non-application entity"). Each entry is
+  /// a full command line (+AuxServiceCmd, ';'-separated for several).
+  std::vector<std::string> aux_services;
+
+  /// Any other +Custom attributes, preserved verbatim.
+  std::map<std::string, std::string> custom_attributes;
+
+  /// Simulated-backend knobs (virtual cluster benches): how much virtual
+  /// work the job performs and its exit code.
+  std::int64_t sim_work_units = 1000;
+  int sim_exit_code = 0;
+
+  /// Opaque checkpoint to resume from (set by the pool when a machine
+  /// failure interrupted a checkpointable run). Empty = start fresh.
+  std::string checkpoint;
+
+  /// Builds the job ClassAd the matchmaker negotiates with.
+  [[nodiscard]] classads::ClassAd to_classad() const;
+};
+
+/// A queued job as the schedd tracks it.
+struct JobRecord {
+  JobId id = 0;
+  JobDescription description;
+  JobStatus status = JobStatus::kIdle;
+  std::string matched_machine;  ///< name of the claimed machine
+  int exit_code = -1;
+  std::string failure_reason;
+  /// Times this job was requeued after a machine failure.
+  int restarts = 0;
+};
+
+}  // namespace tdp::condor

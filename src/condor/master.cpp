@@ -1,0 +1,57 @@
+#include "condor/master.hpp"
+
+#include "util/log.hpp"
+
+namespace tdp::condor {
+
+namespace {
+const log::Logger kLog("master");
+}
+
+void Master::supervise(const std::string& name, AliveProbe alive,
+                       RestartAction restart) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  daemons_[name] = {std::move(alive), std::move(restart)};
+}
+
+void Master::forget(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  daemons_.erase(name);
+}
+
+std::vector<std::string> Master::tick() {
+  // Snapshot under the lock, probe/restart outside it: probes may take
+  // arbitrary time and restart actions may re-enter the master.
+  std::map<std::string, Entry> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.ticks;
+    snapshot = daemons_;
+  }
+  std::vector<std::string> restarted;
+  for (const auto& [name, entry] : snapshot) {
+    if (entry.alive && entry.alive()) continue;
+    kLog.warn("daemon '", name, "' dead; restarting");
+    const bool ok = entry.restart && entry.restart();
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ok) {
+      ++stats_.restarts;
+      restarted.push_back(name);
+    } else {
+      ++stats_.failed_restarts;
+    }
+  }
+  return restarted;
+}
+
+std::size_t Master::supervised_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return daemons_.size();
+}
+
+Master::Stats Master::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace tdp::condor

@@ -1,0 +1,53 @@
+// master.hpp - condor_master: "present on both local and remote nodes; its
+// job is to keep track of the other Condor daemons" (Section 4.1). A
+// miniature supervisor: daemons register a liveness probe and a restart
+// action; tick() restarts whatever died. This is the hook the paper's
+// fault-detection requirement ("the RM must be able to detect these
+// failures [and] respond to them") hangs on, and the fault-injection tests
+// drive it directly.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace tdp::condor {
+
+class Master {
+ public:
+  using AliveProbe = std::function<bool()>;
+  using RestartAction = std::function<bool()>;  ///< returns restart success
+
+  /// Registers a daemon under `name`; replaces any existing registration.
+  void supervise(const std::string& name, AliveProbe alive, RestartAction restart);
+
+  void forget(const std::string& name);
+
+  /// Probes every daemon and restarts the dead ones. Returns the names
+  /// restarted this tick (empty = all healthy).
+  std::vector<std::string> tick();
+
+  [[nodiscard]] std::size_t supervised_count() const;
+
+  struct Stats {
+    std::uint64_t ticks = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t failed_restarts = 0;
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    AliveProbe alive;
+    RestartAction restart;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry> daemons_;
+  Stats stats_;
+};
+
+}  // namespace tdp::condor

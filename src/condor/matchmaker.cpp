@@ -1,0 +1,59 @@
+#include "condor/matchmaker.hpp"
+
+namespace tdp::condor {
+
+void Matchmaker::advertise_machine(const std::string& name, classads::ClassAd ad) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  machines_[name] = std::move(ad);
+}
+
+void Matchmaker::withdraw_machine(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  machines_.erase(name);
+}
+
+std::size_t Matchmaker::machine_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return machines_.size();
+}
+
+std::vector<Matchmaker::Match> Matchmaker::negotiate(
+    const std::vector<std::pair<JobId, classads::ClassAd>>& idle_jobs,
+    const std::set<std::string>& busy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.cycles;
+
+  std::set<std::string> taken(busy);
+  std::vector<Match> matches;
+  for (const auto& [job_id, job_ad] : idle_jobs) {
+    const std::string* best_machine = nullptr;
+    double best_job_rank = 0.0, best_machine_rank = 0.0;
+
+    for (const auto& [name, machine_ad] : machines_) {
+      if (taken.count(name) != 0) continue;
+      ++stats_.evaluations;
+      if (!classads::symmetric_match(job_ad, machine_ad)) continue;
+      const double job_rank = classads::rank_of(job_ad, machine_ad);
+      const double machine_rank = classads::rank_of(machine_ad, job_ad);
+      if (best_machine == nullptr || job_rank > best_job_rank ||
+          (job_rank == best_job_rank && machine_rank > best_machine_rank)) {
+        best_machine = &name;
+        best_job_rank = job_rank;
+        best_machine_rank = machine_rank;
+      }
+    }
+    if (best_machine != nullptr) {
+      matches.push_back({job_id, *best_machine, best_job_rank, best_machine_rank});
+      taken.insert(*best_machine);
+      ++stats_.matches;
+    }
+  }
+  return matches;
+}
+
+Matchmaker::Stats Matchmaker::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace tdp::condor

@@ -1,0 +1,65 @@
+// matchmaker.hpp - the match_maker entity of Figure 4.
+//
+// "The matchmaking algorithm is responsible for locating compatible
+// resource requests with offers. When a compatible match is found, the
+// matchmaker notifies the corresponding job and machine about it."
+//
+// Negotiation is cycle-based, as in Condor's negotiator: each cycle walks
+// the idle jobs in submission order, evaluates symmetric Requirements
+// against every unclaimed machine, and picks the candidate maximizing
+// (job rank, machine rank) lexicographically. The subsequent claiming
+// protocol — "either party may decide not to complete the allocation" —
+// is the schedd/startd's business; a refused claim simply returns the job
+// to the idle pool for the next cycle.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "classads/classad.hpp"
+#include "condor/job.hpp"
+
+namespace tdp::condor {
+
+class Matchmaker {
+ public:
+  /// A startd advertisement; replaces any previous ad for `name`.
+  void advertise_machine(const std::string& name, classads::ClassAd ad);
+
+  /// Removes a machine (host gone or shutting down).
+  void withdraw_machine(const std::string& name);
+
+  [[nodiscard]] std::size_t machine_count() const;
+
+  struct Match {
+    JobId job = 0;
+    std::string machine;
+    double job_rank = 0.0;
+    double machine_rank = 0.0;
+  };
+
+  /// One negotiation cycle. `idle_jobs` come from the schedd in queue
+  /// order; machines in `busy` are excluded (already claimed). A machine
+  /// matched earlier in the same cycle is not offered twice.
+  std::vector<Match> negotiate(
+      const std::vector<std::pair<JobId, classads::ClassAd>>& idle_jobs,
+      const std::set<std::string>& busy);
+
+  /// Lifetime statistics for the pipeline benches.
+  struct Stats {
+    std::uint64_t cycles = 0;
+    std::uint64_t matches = 0;
+    std::uint64_t evaluations = 0;  ///< symmetric_match calls performed
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, classads::ClassAd> machines_;
+  Stats stats_;
+};
+
+}  // namespace tdp::condor

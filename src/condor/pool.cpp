@@ -1,0 +1,234 @@
+#include "condor/pool.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "util/log.hpp"
+#include "util/string_util.hpp"
+
+namespace tdp::condor {
+
+namespace {
+const log::Logger kLog("pool");
+
+std::string expand_pattern(const std::string& pattern, const std::string& machine,
+                           JobId job) {
+  std::map<std::string, std::string> vars{{"m", machine},
+                                          {"j", std::to_string(job)}};
+  return str::expand_placeholders(pattern, vars);
+}
+}  // namespace
+
+Pool::Pool(PoolConfig config) : config_(std::move(config)) {}
+
+Pool::~Pool() {
+  for (auto& [name, startd] : startds_) startd->retire();
+}
+
+Startd& Pool::add_machine(const std::string& name, classads::ClassAd ad) {
+  auto startd = std::make_unique<Startd>(name, std::move(ad));
+  Startd* raw = startd.get();
+  startds_[name] = std::move(startd);
+  matchmaker_.advertise_machine(name, raw->ad());
+  if (config_.backend_factory) {
+    backends_[name] = config_.backend_factory(name);
+  }
+  // The master watches the startd role for this machine; "restart" here
+  // re-registers the advertisement (a fresh daemon would re-advertise).
+  master_.supervise(
+      "startd@" + name, [raw] { return raw != nullptr; },
+      [this, name, raw] {
+        matchmaker_.advertise_machine(name, raw->ad());
+        return true;
+      });
+  return *raw;
+}
+
+classads::ClassAd Pool::default_machine_ad(const std::string& name, int memory_mb) {
+  classads::ClassAd ad;
+  ad.insert_string(classads::ads::kMyType, "Machine");
+  ad.insert_string(classads::ads::kName, name);
+  ad.insert_string(classads::ads::kOpSys, "LINUX");
+  ad.insert_string(classads::ads::kArch, "INTEL");
+  ad.insert_int(classads::ads::kMemory, memory_mb);
+  ad.insert_real(classads::ads::kLoadAvg, 0.05);
+  ad.insert_string(classads::ads::kState, "Unclaimed");
+  return ad;
+}
+
+Startd* Pool::startd(const std::string& name) {
+  auto it = startds_.find(name);
+  return it == startds_.end() ? nullptr : it->second.get();
+}
+
+std::shared_ptr<proc::ProcessBackend> Pool::backend(const std::string& machine) {
+  auto it = backends_.find(machine);
+  return it == backends_.end() ? nullptr : it->second;
+}
+
+JobId Pool::submit(const JobDescription& description) {
+  return schedd_.submit(description);
+}
+
+std::vector<JobId> Pool::submit(const SubmitFile& file) { return schedd_.submit(file); }
+
+int Pool::negotiate() {
+  // Busy set: machines currently claimed or running.
+  std::set<std::string> busy;
+  for (const auto& [name, startd] : startds_) {
+    if (startd->state() != Startd::State::kUnclaimed) busy.insert(name);
+  }
+
+  auto matches = matchmaker_.negotiate(schedd_.idle_job_ads(), busy);
+  int activated = 0;
+  for (const Matchmaker::Match& match : matches) {
+    Startd* startd = this->startd(match.machine);
+    if (startd == nullptr) continue;
+    auto record = schedd_.job(match.job);
+    if (!record.is_ok()) continue;
+
+    // Claiming protocol (Figure 4): schedd contacts the startd; either
+    // party may back out.
+    classads::ClassAd job_ad = record->description.to_classad();
+    if (!startd->request_claim(match.job, job_ad)) {
+      // The refusal reveals the matchmaker's ad was stale; refresh it so
+      // the next cycle negotiates against the machine's live state.
+      matchmaker_.advertise_machine(match.machine, startd->ad());
+      continue;  // job stays idle; next cycle retries
+    }
+    if (!schedd_.set_matched(match.job, match.machine).is_ok()) {
+      startd->release_claim();
+      continue;
+    }
+    schedd_.update_job(match.job, JobStatus::kClaimed, -1, "");
+
+    // Activation: the schedd's shadow serves the request; the startd
+    // spawns the starter.
+    Shadow* shadow = schedd_.spawn_shadow(match.job, config_.submit_dir);
+    StarterConfig starter_config;
+    starter_config.submit_dir = config_.submit_dir;
+    starter_config.scratch_base = config_.scratch_base;
+    starter_config.transport = config_.transport;
+    starter_config.backend = backends_[match.machine];
+    starter_config.tool_launcher = config_.tool_launcher;
+    starter_config.use_real_files = config_.use_real_files;
+    starter_config.frontend_host = config_.frontend_host;
+    starter_config.frontend_port = config_.frontend_port;
+    starter_config.frontend_port2 = config_.frontend_port2;
+    starter_config.proxy_address = config_.proxy_address;
+    starter_config.cass_address = config_.cass_address;
+    starter_config.tool_wait_timeout_ms = config_.tool_wait_timeout_ms;
+    starter_config.live_stdio = config_.live_stdio;
+    if (!config_.lass_listen_pattern.empty()) {
+      starter_config.lass_listen_address =
+          expand_pattern(config_.lass_listen_pattern, match.machine, match.job);
+    }
+
+    JobRecord job_record = std::move(record).value();
+    job_record.status = JobStatus::kClaimed;
+    job_record.matched_machine = match.machine;
+    auto starter = startd->activate(std::move(job_record), std::move(starter_config),
+                                    shadow);
+    if (!starter.is_ok()) {
+      kLog.warn("activation of job ", match.job, " on ", match.machine,
+                " failed: ", starter.status().to_string());
+      schedd_.update_job(match.job, JobStatus::kFailed, -1,
+                         starter.status().to_string());
+      startd->release_claim();
+      continue;
+    }
+    ++activated;
+  }
+  return activated;
+}
+
+int Pool::pump() {
+  int completed = 0;
+  for (auto& [name, startd] : startds_) {
+    Starter* starter = startd->starter();
+    if (starter == nullptr) continue;
+    if (starter->pump()) {
+      ++completed;
+      startd->retire();
+      matchmaker_.advertise_machine(name, startd->ad());  // machine free again
+    }
+  }
+  return completed;
+}
+
+Status Pool::fail_machine(const std::string& name) {
+  Startd* startd = this->startd(name);
+  if (startd == nullptr) {
+    return make_error(ErrorCode::kNotFound, "no such machine: " + name);
+  }
+  matchmaker_.withdraw_machine(name);
+
+  Starter* starter = startd->starter();
+  if (starter != nullptr && !starter->done()) {
+    const JobId job = starter->job().id;
+    // Try to save the application's progress before the "crash" takes
+    // everything down. Multi-rank jobs restart from scratch (coordinated
+    // MPI checkpointing is beyond both this system and the paper).
+    std::string checkpoint;
+    auto backend = backends_.find(name);
+    if (backend != backends_.end() &&
+        starter->job().description.machine_count == 1) {
+      auto saved = backend->second->checkpoint(starter->app_pid());
+      if (saved.is_ok()) checkpoint = saved.value();
+    }
+    startd->retire();  // kills the starter's processes, stops its LASS
+    Status requeued = schedd_.requeue_job(job, checkpoint);
+    if (!requeued.is_ok()) {
+      kLog.warn("failed to requeue job ", job, ": ", requeued.to_string());
+    }
+    kLog.info("machine ", name, " failed; job ", job,
+              checkpoint.empty() ? " requeued from scratch"
+                                 : " requeued from checkpoint");
+  } else {
+    startd->retire();
+    kLog.info("machine ", name, " failed (idle)");
+  }
+  return Status::ok();
+}
+
+Status Pool::recover_machine(const std::string& name) {
+  Startd* startd = this->startd(name);
+  if (startd == nullptr) {
+    return make_error(ErrorCode::kNotFound, "no such machine: " + name);
+  }
+  matchmaker_.advertise_machine(name, startd->ad());
+  return Status::ok();
+}
+
+std::size_t Pool::busy_count() const {
+  std::size_t count = 0;
+  for (const auto& [name, startd] : startds_) {
+    if (startd->state() == Startd::State::kBusy) ++count;
+  }
+  return count;
+}
+
+Result<JobRecord> Pool::run_to_completion(JobId id, int timeout_ms,
+                                          const std::function<void()>& idle_hook) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (true) {
+    auto record = schedd_.job(id);
+    if (!record.is_ok()) return record.status();
+    if (job_status_terminal(record->status)) return record;
+
+    negotiate();
+    pump();
+    if (idle_hook) idle_hook();
+
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return make_error(ErrorCode::kTimeout,
+                        "job " + std::to_string(id) + " still " +
+                            job_status_name(record->status) + " after " +
+                            std::to_string(timeout_ms) + "ms");
+    }
+    if (!idle_hook) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+}  // namespace tdp::condor

@@ -1,0 +1,121 @@
+// pool.hpp - the assembled MiniCondor pool: one schedd, one matchmaker,
+// many startds, plus the connection proxy of Section 2.4. Pool drives the
+// Figure-4 pipeline end to end:
+//
+//   submit -> schedd queue -> negotiate() [matchmaker] -> claiming
+//   [schedd <-> startd] -> activate [startd spawns starter] -> Figure 6
+//   TDP dance [starter <-> tool daemon <-> app] -> status via shadow ->
+//   schedd records completion.
+//
+// The pool is transport- and backend-agnostic: with TcpTransport +
+// PosixProcessBackend it runs real processes; with InProcTransport +
+// SimProcessBackend it becomes the virtual cluster the scalability benches
+// sweep.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "condor/master.hpp"
+#include "condor/matchmaker.hpp"
+#include "condor/schedd.hpp"
+#include "condor/startd.hpp"
+#include "net/proxy.hpp"
+
+namespace tdp::condor {
+
+struct PoolConfig {
+  std::shared_ptr<net::Transport> transport;
+  /// Creates the per-machine process backend (each execution host controls
+  /// its own processes — the single-point-of-responsibility of Section 2.3).
+  std::function<std::shared_ptr<proc::ProcessBackend>(const std::string& machine)>
+      backend_factory;
+  std::string submit_dir = "/tmp";
+  std::string scratch_base = "/tmp";
+  bool use_real_files = true;
+  /// Optional shared tool launcher handed to every starter (not owned).
+  ToolLauncher* tool_launcher = nullptr;
+  /// Front-end contact info starters publish (Figure 5's -p/-P ports).
+  std::string frontend_host;
+  int frontend_port = 0;
+  int frontend_port2 = 0;
+  /// Give starters this proxy address to publish (Section 2.4).
+  std::string proxy_address;
+  /// Central attribute space address handed to every starter; used to
+  /// disseminate front-end contact info when frontend_host is not set.
+  std::string cass_address;
+  int tool_wait_timeout_ms = 30'000;
+  /// Stream job stdout to the shadow while jobs run (real-files mode).
+  bool live_stdio = false;
+  /// Explicit LASS listen address pattern; "%m"/"%j" expand to machine/job.
+  std::string lass_listen_pattern;
+};
+
+class Pool {
+ public:
+  explicit Pool(PoolConfig config);
+  ~Pool();
+
+  Pool(const Pool&) = delete;
+  Pool& operator=(const Pool&) = delete;
+
+  /// Adds an execution machine with the given advertisement.
+  Startd& add_machine(const std::string& name, classads::ClassAd ad);
+
+  /// Builds a generic Linux machine ad (helpers for tests/benches).
+  static classads::ClassAd default_machine_ad(const std::string& name,
+                                              int memory_mb = 1024);
+
+  [[nodiscard]] Schedd& schedd() noexcept { return schedd_; }
+  [[nodiscard]] Matchmaker& matchmaker() noexcept { return matchmaker_; }
+  [[nodiscard]] Master& master() noexcept { return master_; }
+  [[nodiscard]] Startd* startd(const std::string& name);
+  [[nodiscard]] std::shared_ptr<proc::ProcessBackend> backend(
+      const std::string& machine);
+
+  /// Submits one job (or a whole submit file) into the schedd.
+  JobId submit(const JobDescription& description);
+  std::vector<JobId> submit(const SubmitFile& file);
+
+  /// One negotiation cycle: match idle jobs, run the claiming protocol,
+  /// spawn shadows and activate starters. Returns the number of jobs
+  /// activated.
+  int negotiate();
+
+  /// One pump turn over every busy starter: services TDP events, collects
+  /// completions, retires finished startds. Returns the number of jobs
+  /// that reached a terminal state during this call.
+  int pump();
+
+  /// Convenience for real-backend runs: negotiate+pump until the job is
+  /// terminal or `timeout_ms` passes. `idle_hook` (if set) runs every
+  /// iteration — the virtual-cluster benches use it to step sim backends.
+  Result<JobRecord> run_to_completion(JobId id, int timeout_ms,
+                                      const std::function<void()>& idle_hook = {});
+
+  [[nodiscard]] std::size_t machine_count() const { return startds_.size(); }
+  [[nodiscard]] std::size_t busy_count() const;
+
+  /// Simulates a machine crash: any job running there is checkpointed (if
+  /// the backend supports it), its processes are killed, and the job is
+  /// returned to the idle queue to be rescheduled elsewhere — Condor's
+  /// checkpoint/migrate behaviour. The machine is withdrawn from
+  /// matchmaking until recover_machine().
+  Status fail_machine(const std::string& name);
+
+  /// Brings a failed machine back: re-advertises it to the matchmaker.
+  Status recover_machine(const std::string& name);
+
+ private:
+  PoolConfig config_;
+  Schedd schedd_;
+  Matchmaker matchmaker_;
+  Master master_;
+  std::map<std::string, std::unique_ptr<Startd>> startds_;
+  std::map<std::string, std::shared_ptr<proc::ProcessBackend>> backends_;
+};
+
+}  // namespace tdp::condor

@@ -1,0 +1,236 @@
+#include "condor/schedd.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/log.hpp"
+
+namespace tdp::condor {
+
+namespace {
+const log::Logger kLog("schedd");
+}
+
+// ---------------------------------------------------------------------
+// Shadow
+// ---------------------------------------------------------------------
+
+Shadow::Shadow(JobId job, std::string submit_dir, UpdateFn on_update)
+    : job_(job), submit_dir_(std::move(submit_dir)), on_update_(std::move(on_update)) {}
+
+void Shadow::on_job_status(JobId id, JobStatus status, int exit_code,
+                           const std::string& detail) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    last_status_ = status;
+    if (job_status_terminal(status)) exit_code_ = exit_code;
+    ++updates_;
+  }
+  if (on_update_) on_update_(id, status, exit_code, detail);
+}
+
+void Shadow::on_job_output(JobId id, const std::string& chunk) {
+  (void)id;
+  std::lock_guard<std::mutex> lock(mutex_);
+  live_output_ += chunk;
+}
+
+std::string Shadow::live_output() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_output_;
+}
+
+JobStatus Shadow::last_status() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_status_;
+}
+
+int Shadow::exit_code() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return exit_code_;
+}
+
+std::size_t Shadow::updates_received() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return updates_;
+}
+
+Result<std::string> Shadow::remote_read(const std::string& path) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++remote_syscalls_;
+  }
+  std::ifstream in(submit_dir_ + "/" + path, std::ios::binary);
+  if (!in) {
+    return make_error(ErrorCode::kNotFound, "remote_read: no such file: " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status Shadow::remote_write(const std::string& path, const std::string& data) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++remote_syscalls_;
+  }
+  std::ofstream out(submit_dir_ + "/" + path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return make_error(ErrorCode::kInternal, "remote_write: cannot open: " + path);
+  }
+  out << data;
+  return out.good() ? Status::ok()
+                    : make_error(ErrorCode::kInternal, "remote_write failed: " + path);
+}
+
+std::size_t Shadow::remote_syscalls() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return remote_syscalls_;
+}
+
+// ---------------------------------------------------------------------
+// Schedd
+// ---------------------------------------------------------------------
+
+Schedd::Schedd(std::string name) : name_(std::move(name)) {}
+
+JobId Schedd::submit(const JobDescription& description) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  JobRecord record;
+  record.id = next_id_++;
+  record.description = description;
+  record.status = JobStatus::kIdle;
+  jobs_[record.id] = std::move(record);
+  kLog.debug(name_, ": queued job ", next_id_ - 1);
+  return next_id_ - 1;
+}
+
+std::vector<JobId> Schedd::submit(const SubmitFile& file) {
+  std::vector<JobId> ids;
+  ids.reserve(file.jobs().size());
+  for (const JobDescription& description : file.jobs()) {
+    ids.push_back(submit(description));
+  }
+  return ids;
+}
+
+std::vector<std::pair<JobId, classads::ClassAd>> Schedd::idle_job_ads() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<JobId, classads::ClassAd>> out;
+  for (const auto& [id, record] : jobs_) {
+    if (record.status == JobStatus::kIdle) {
+      out.emplace_back(id, record.description.to_classad());
+    }
+  }
+  return out;
+}
+
+Result<JobRecord> Schedd::job(JobId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return make_error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
+  }
+  return it->second;
+}
+
+Status Schedd::update_job(JobId id, JobStatus status, int exit_code,
+                          const std::string& detail) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return make_error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
+  }
+  if (job_status_terminal(it->second.status) && status != it->second.status) {
+    return make_error(ErrorCode::kInvalidState,
+                      "job " + std::to_string(id) + " already terminal");
+  }
+  it->second.status = status;
+  if (job_status_terminal(status)) it->second.exit_code = exit_code;
+  if (!detail.empty() && status == JobStatus::kFailed) {
+    it->second.failure_reason = detail;
+  }
+  return Status::ok();
+}
+
+Status Schedd::set_matched(JobId id, const std::string& machine) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return make_error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
+  }
+  if (it->second.status != JobStatus::kIdle) {
+    return make_error(ErrorCode::kInvalidState,
+                      "job " + std::to_string(id) + " is not idle");
+  }
+  it->second.status = JobStatus::kMatched;
+  it->second.matched_machine = machine;
+  return Status::ok();
+}
+
+Status Schedd::remove_job(JobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return make_error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
+  }
+  if (job_status_terminal(it->second.status)) {
+    return make_error(ErrorCode::kInvalidState, "job already terminal");
+  }
+  it->second.status = JobStatus::kRemoved;
+  return Status::ok();
+}
+
+Status Schedd::requeue_job(JobId id, const std::string& checkpoint) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return make_error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
+  }
+  if (job_status_terminal(it->second.status)) {
+    return make_error(ErrorCode::kInvalidState, "job already terminal");
+  }
+  it->second.status = JobStatus::kIdle;
+  it->second.matched_machine.clear();
+  it->second.description.checkpoint = checkpoint;
+  ++it->second.restarts;
+  shadows_.erase(id);  // a fresh shadow is spawned on the next activation
+  kLog.info(name_, ": job ", id, " requeued (restart #", it->second.restarts,
+            checkpoint.empty() ? ", from scratch)" : ", from checkpoint)");
+  return Status::ok();
+}
+
+Shadow* Schedd::spawn_shadow(JobId id, const std::string& submit_dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto shadow = std::make_unique<Shadow>(
+      id, submit_dir,
+      [this](JobId job_id, JobStatus status, int exit_code, const std::string& detail) {
+        // Shadow -> schedd status propagation (Figure 4's update path).
+        update_job(job_id, status, exit_code, detail);
+      });
+  Shadow* raw = shadow.get();
+  shadows_[id] = std::move(shadow);
+  return raw;
+}
+
+Shadow* Schedd::shadow(JobId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = shadows_.find(id);
+  return it == shadows_.end() ? nullptr : it->second.get();
+}
+
+std::size_t Schedd::queue_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return jobs_.size();
+}
+
+std::size_t Schedd::count_with_status(JobStatus status) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [id, record] : jobs_) {
+    if (record.status == status) ++count;
+  }
+  return count;
+}
+
+}  // namespace tdp::condor

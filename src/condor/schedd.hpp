@@ -1,0 +1,124 @@
+// schedd.hpp - condor_schedd and condor_shadow (the submit-side daemons).
+//
+// "condor_schedd ... takes care of the job until a suitable and available
+// resource is found for the job. The condor_schedd spawns a condor_shadow
+// daemon to serve that particular request." The shadow "acts as the
+// resource manager for the request" on the submit side: it receives the
+// starter's status stream and serves remote system calls (file I/O
+// performed on the submit machine on behalf of the remote job).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "condor/job.hpp"
+#include "condor/starter.hpp"
+#include "condor/submit_file.hpp"
+
+namespace tdp::condor {
+
+/// The per-job submit-side agent. Implements StatusSink so a starter can
+/// report straight into it; forwards every update to the schedd.
+class Shadow final : public StatusSink {
+ public:
+  using UpdateFn =
+      std::function<void(JobId, JobStatus, int exit_code, const std::string&)>;
+
+  Shadow(JobId job, std::string submit_dir, UpdateFn on_update);
+
+  void on_job_status(JobId id, JobStatus status, int exit_code,
+                     const std::string& detail) override;
+
+  /// Live stdout stream from the starter (live_stdio mode).
+  void on_job_output(JobId id, const std::string& chunk) override;
+
+  /// Everything received through on_job_output so far.
+  [[nodiscard]] std::string live_output() const;
+
+  [[nodiscard]] JobId job() const noexcept { return job_; }
+  [[nodiscard]] JobStatus last_status() const;
+  [[nodiscard]] int exit_code() const;
+  [[nodiscard]] std::size_t updates_received() const;
+
+  // --- remote system calls (the standard-universe mechanism: "any system
+  // call performed on the remote execute machine is sent over the network
+  // to the condor_shadow which actually performs the system call (such as
+  // file I/O) on the submit machine") ---
+
+  /// Reads a file relative to the submit directory. Also serves as the
+  /// StatusSink remote-syscall channel the standard universe uses.
+  Result<std::string> remote_read(const std::string& path) override;
+
+  /// Writes/overwrites a file relative to the submit directory.
+  Status remote_write(const std::string& path, const std::string& data) override;
+
+  /// Remote syscalls served so far (standard-universe accounting).
+  [[nodiscard]] std::size_t remote_syscalls() const;
+
+ private:
+  JobId job_;
+  std::string submit_dir_;
+  UpdateFn on_update_;
+
+  mutable std::mutex mutex_;
+  JobStatus last_status_ = JobStatus::kIdle;
+  int exit_code_ = -1;
+  std::size_t updates_ = 0;
+  std::string live_output_;
+  std::size_t remote_syscalls_ = 0;
+};
+
+/// The submit-side queue manager.
+class Schedd {
+ public:
+  explicit Schedd(std::string name = "schedd");
+
+  /// Queues one job; returns its id.
+  JobId submit(const JobDescription& description);
+
+  /// Queues every job a submit file describes.
+  std::vector<JobId> submit(const SubmitFile& file);
+
+  /// Ads of all idle jobs, in queue order (input to the matchmaker).
+  [[nodiscard]] std::vector<std::pair<JobId, classads::ClassAd>> idle_job_ads() const;
+
+  /// Snapshot of a job. kNotFound for unknown ids.
+  Result<JobRecord> job(JobId id) const;
+
+  /// Status transition, recorded with detail; illegal regressions from a
+  /// terminal state are rejected.
+  Status update_job(JobId id, JobStatus status, int exit_code,
+                    const std::string& detail);
+
+  /// Marks the match target (set when the matchmaker notifies us).
+  Status set_matched(JobId id, const std::string& machine);
+
+  /// User-initiated removal; running jobs are the pool's business to kill.
+  Status remove_job(JobId id);
+
+  /// Returns an interrupted (non-terminal) job to the idle queue after a
+  /// machine failure. When `checkpoint` is non-empty the job resumes from
+  /// it on its next activation. Increments the restart counter.
+  Status requeue_job(JobId id, const std::string& checkpoint);
+
+  /// Spawns the shadow for a matched job. The schedd owns it.
+  Shadow* spawn_shadow(JobId id, const std::string& submit_dir);
+  [[nodiscard]] Shadow* shadow(JobId id);
+
+  [[nodiscard]] std::size_t queue_size() const;
+  [[nodiscard]] std::size_t count_with_status(JobStatus status) const;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  mutable std::mutex mutex_;
+  std::map<JobId, JobRecord> jobs_;
+  std::map<JobId, std::unique_ptr<Shadow>> shadows_;
+  JobId next_id_ = 1;
+};
+
+}  // namespace tdp::condor

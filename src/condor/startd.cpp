@@ -1,0 +1,96 @@
+#include "condor/startd.hpp"
+
+#include "util/log.hpp"
+
+namespace tdp::condor {
+
+namespace {
+const log::Logger kLog("startd");
+}
+
+const char* startd_state_name(Startd::State state) noexcept {
+  switch (state) {
+    case Startd::State::kUnclaimed: return "unclaimed";
+    case Startd::State::kClaimed: return "claimed";
+    case Startd::State::kBusy: return "busy";
+  }
+  return "?";
+}
+
+Startd::Startd(std::string name, classads::ClassAd ad)
+    : name_(std::move(name)), ad_(std::move(ad)) {}
+
+Startd::State Startd::state() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return state_;
+}
+
+void Startd::update_ad(classads::ClassAd ad) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ad_ = std::move(ad);
+}
+
+bool Startd::request_claim(JobId job, const classads::ClassAd& job_ad) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ != State::kUnclaimed) {
+    kLog.debug(name_, ": claim for job ", job, " refused (",
+               startd_state_name(state_), ")");
+    return false;
+  }
+  // Machine-side re-verification: conditions may have changed since the
+  // matchmaker's cycle (stale ad); the startd gets the final word.
+  if (ad_.has(classads::ads::kRequirements) &&
+      !ad_.evaluate(classads::ads::kRequirements, &job_ad).is_true()) {
+    kLog.debug(name_, ": claim for job ", job, " refused (requirements)");
+    return false;
+  }
+  state_ = State::kClaimed;
+  claimed_job_ = job;
+  return true;
+}
+
+void Startd::release_claim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (state_ == State::kClaimed) {
+    state_ = State::kUnclaimed;
+    claimed_job_ = 0;
+  }
+}
+
+Result<Starter*> Startd::activate(JobRecord job, StarterConfig config,
+                                  StatusSink* sink) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (state_ != State::kClaimed || claimed_job_ != job.id) {
+    return make_error(ErrorCode::kInvalidState,
+                      name_ + ": activation without a matching claim");
+  }
+  config.machine_name = name_;
+  auto starter = std::make_unique<Starter>(std::move(job), std::move(config), sink);
+  lock.unlock();
+  Status launched = starter->launch();  // may spawn processes: no lock held
+  lock.lock();
+  if (!launched.is_ok()) {
+    state_ = State::kUnclaimed;
+    claimed_job_ = 0;
+    return launched;
+  }
+  starter_ = std::move(starter);
+  state_ = State::kBusy;
+  return starter_.get();
+}
+
+void Startd::retire() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  std::unique_ptr<Starter> starter = std::move(starter_);
+  state_ = State::kUnclaimed;
+  claimed_job_ = 0;
+  lock.unlock();
+  starter.reset();  // shutdown outside the lock
+}
+
+JobId Startd::claimed_job() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return claimed_job_;
+}
+
+}  // namespace tdp::condor

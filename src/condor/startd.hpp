@@ -1,0 +1,60 @@
+// startd.hpp - condor_startd: "represents a given resource in the Condor
+// pool ... When the condor_startd is ready to execute a Condor job, it
+// spawns the condor_starter." It owns the machine's side of the claiming
+// protocol: a claim may be refused ("either party may decide not to
+// complete the allocation").
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "classads/classad.hpp"
+#include "condor/starter.hpp"
+
+namespace tdp::condor {
+
+class Startd {
+ public:
+  enum class State : std::uint8_t { kUnclaimed = 0, kClaimed, kBusy };
+
+  Startd(std::string name, classads::ClassAd ad);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const classads::ClassAd& ad() const noexcept { return ad_; }
+  [[nodiscard]] State state() const;
+
+  /// Updates the advertisement (e.g. load changes).
+  void update_ad(classads::ClassAd ad);
+
+  /// The claiming protocol, machine side: verifies the machine is still
+  /// unclaimed and that its Requirements still hold against the job ad.
+  /// Returns false to refuse the claim.
+  bool request_claim(JobId job, const classads::ClassAd& job_ad);
+
+  /// Releases an existing claim without running (schedd backed out).
+  void release_claim();
+
+  /// Activation: spawns the starter for the claimed job. The startd owns
+  /// the starter until the job finishes and retire() is called.
+  Result<Starter*> activate(JobRecord job, StarterConfig config, StatusSink* sink);
+
+  [[nodiscard]] Starter* starter() { return starter_.get(); }
+
+  /// Tears down the finished starter and returns to kUnclaimed.
+  void retire();
+
+  [[nodiscard]] JobId claimed_job() const;
+
+ private:
+  std::string name_;
+  classads::ClassAd ad_;
+  mutable std::mutex mutex_;
+  State state_ = State::kUnclaimed;
+  JobId claimed_job_ = 0;
+  std::unique_ptr<Starter> starter_;
+};
+
+const char* startd_state_name(Startd::State state) noexcept;
+
+}  // namespace tdp::condor

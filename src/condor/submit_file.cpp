@@ -1,0 +1,169 @@
+#include "condor/submit_file.hpp"
+
+#include "util/string_util.hpp"
+
+namespace tdp::condor {
+
+namespace {
+
+/// Strips one layer of surrounding quotes, as submit files quote values
+/// containing spaces ("+ToolDaemonCmd = \"paradynd\"").
+std::string unquote(const std::string& value) {
+  if (value.size() >= 2 &&
+      ((value.front() == '"' && value.back() == '"') ||
+       (value.front() == '\'' && value.back() == '\''))) {
+    return value.substr(1, value.size() - 2);
+  }
+  return value;
+}
+
+bool parse_bool(const std::string& value) {
+  std::string lowered = str::to_lower(value);
+  return lowered == "true" || lowered == "yes" || lowered == "1";
+}
+
+}  // namespace
+
+Result<SubmitFile> SubmitFile::parse(const std::string& text) {
+  SubmitFile out;
+  JobDescription current;
+  bool saw_any_command = false;
+
+  std::size_t line_number = 0;
+  for (const std::string& raw_line : str::split(text, '\n')) {
+    ++line_number;
+    std::string line = str::trim(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+
+    auto fail = [&](const std::string& what) -> Result<SubmitFile> {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "submit file line " + std::to_string(line_number) + ": " +
+                            what);
+    };
+
+    // The queue command ends a proc description.
+    std::string lowered = str::to_lower(line);
+    if (lowered == "queue" || str::starts_with(lowered, "queue ")) {
+      int count = 1;
+      if (lowered != "queue") {
+        std::string count_text = str::trim(line.substr(6));
+        if (!str::is_integer(count_text)) {
+          return fail("queue count must be an integer: " + count_text);
+        }
+        count = std::stoi(count_text);
+        if (count < 1) return fail("queue count must be >= 1");
+      }
+      if (current.executable.empty()) {
+        return fail("queue without an executable");
+      }
+      for (int i = 0; i < count; ++i) out.jobs_.push_back(current);
+      saw_any_command = true;
+      continue;
+    }
+
+    std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return fail("expected 'name = value': " + line);
+    }
+    std::string name = str::to_lower(str::trim(line.substr(0, eq)));
+    std::string value = str::trim(line.substr(eq + 1));
+    saw_any_command = true;
+
+    if (name.empty()) return fail("empty attribute name");
+
+    if (name[0] == '+') {
+      // Extension attributes. The ToolDaemon family is interpreted; other
+      // +attributes are preserved into the job ad.
+      std::string ext = name.substr(1);
+      std::string unquoted = unquote(value);
+      if (ext == "suspendjobatexec") {
+        current.suspend_job_at_exec = parse_bool(unquoted);
+      } else if (ext == "tooldaemoncmd") {
+        current.tool_daemon.present = true;
+        current.tool_daemon.cmd = unquoted;
+      } else if (ext == "tooldaemonargs" || ext == "tooldaemonarguments") {
+        current.tool_daemon.args = unquoted;
+      } else if (ext == "tooldaemonoutput") {
+        current.tool_daemon.output = unquoted;
+      } else if (ext == "tooldaemonerror") {
+        current.tool_daemon.error = unquoted;
+      } else if (ext == "auxservicecmd") {
+        for (const std::string& service : str::split(unquoted, ';')) {
+          std::string trimmed = str::trim(service);
+          if (!trimmed.empty()) current.aux_services.push_back(trimmed);
+        }
+      } else {
+        current.custom_attributes[ext] = value;
+      }
+      continue;
+    }
+
+    if (name == "universe") {
+      std::string lowered_value = str::to_lower(value);
+      if (lowered_value == "vanilla") {
+        current.universe = Universe::kVanilla;
+      } else if (lowered_value == "mpi") {
+        current.universe = Universe::kMpi;
+      } else if (lowered_value == "standard") {
+        current.universe = Universe::kStandard;
+      } else {
+        return fail("unsupported universe: " + value +
+                    " (supported: Vanilla, Standard, MPI)");
+      }
+    } else if (name == "executable") {
+      current.executable = unquote(value);
+    } else if (name == "arguments") {
+      current.arguments = unquote(value);
+    } else if (name == "input") {
+      current.input = unquote(value);
+    } else if (name == "output") {
+      current.output = unquote(value);
+    } else if (name == "error") {
+      current.error = unquote(value);
+    } else if (name == "initialdir" || name == "initial_dir") {
+      current.initial_dir = unquote(value);
+    } else if (name == "requirements") {
+      current.requirements = value;
+    } else if (name == "rank") {
+      current.rank = value;
+    } else if (name == "machine_count") {
+      if (!str::is_integer(value)) return fail("machine_count must be an integer");
+      current.machine_count = std::stoi(value);
+      if (current.machine_count < 1) return fail("machine_count must be >= 1");
+    } else if (name == "transfer_files") {
+      current.transfer_files = str::to_lower(value) == "always" || parse_bool(value);
+    } else if (name == "transfer_input_files" || name == "tranfer_input_files") {
+      // (The paper's Figure 5B itself contains the 'tranfer' typo; accept it.)
+      for (const std::string& file : str::split(unquote(value), ',')) {
+        std::string trimmed = str::trim(file);
+        if (!trimmed.empty()) current.transfer_input_files.push_back(trimmed);
+      }
+    } else if (name == "sim_work_units") {
+      if (!str::is_integer(value)) return fail("sim_work_units must be an integer");
+      current.sim_work_units = std::stoll(value);
+    } else if (name == "sim_exit_code") {
+      if (!str::is_integer(value)) return fail("sim_exit_code must be an integer");
+      current.sim_exit_code = std::stoi(value);
+    } else {
+      return fail("unknown submit command: " + name);
+    }
+  }
+
+  if (!saw_any_command) {
+    return make_error(ErrorCode::kInvalidArgument, "empty submit file");
+  }
+  if (out.jobs_.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "submit file has no queue statement");
+  }
+  // The tool daemon's own input files come from transfer_input_files when
+  // they name the daemon binary (Figure 5B transfers 'paradynd').
+  for (JobDescription& job : out.jobs_) {
+    if (job.tool_daemon.present) {
+      job.tool_daemon.input_files = job.transfer_input_files;
+    }
+  }
+  return out;
+}
+
+}  // namespace tdp::condor

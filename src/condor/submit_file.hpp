@@ -1,0 +1,47 @@
+// submit_file.hpp - parser for the Condor submit description language,
+// extended exactly as Figure 5B shows:
+//
+//     universe = Vanilla
+//     executable = foo
+//     input = infile
+//     output = outfile
+//     arguments = 1 2 3
+//     transfer_files = always
+//     +SuspendJobAtExec = True
+//     +ToolDaemonCmd = "paradynd"
+//     +ToolDaemonArgs = "-zunix -l3 -mpinguino.cs.wisc.edu
+//                        -p2090 -P2091 -a%pid"
+//     +ToolDaemonOutput = "daemon.out"
+//     +ToolDaemonError = "daemon.err"
+//     transfer_input_files = paradynd
+//     queue
+//
+// "instead of Arguments, one will use ToolDaemonArguments, instead of
+// output, one will use ToolDaemonOutput, and so on" (Section 4.3). Both
+// the short (+ToolDaemonArgs) and long (+ToolDaemonArguments) spellings
+// are accepted. Comments start with '#'. `queue N` emits N identical jobs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "condor/job.hpp"
+
+namespace tdp::condor {
+
+class SubmitFile {
+ public:
+  /// Parses the submit text. kInvalidArgument on malformed lines, unknown
+  /// universes, or a missing executable at queue time.
+  static Result<SubmitFile> parse(const std::string& text);
+
+  /// The jobs this file queues (one JobDescription per queued proc).
+  [[nodiscard]] const std::vector<JobDescription>& jobs() const noexcept {
+    return jobs_;
+  }
+
+ private:
+  std::vector<JobDescription> jobs_;
+};
+
+}  // namespace tdp::condor

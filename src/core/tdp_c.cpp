@@ -1,0 +1,248 @@
+#include "core/tdp_c.h"
+
+#include <cstring>
+#include <map>
+#include <memory>
+#include <mutex>
+
+#include "core/tdp.hpp"
+#include "net/tcp.hpp"
+#include "proc/posix_backend.hpp"
+
+namespace {
+
+using tdp::ErrorCode;
+using tdp::TdpSession;
+
+int rc_from_code(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kOk: return TDP_OK;
+    case ErrorCode::kNotFound: return TDP_ERR_NOT_FOUND;
+    case ErrorCode::kAlreadyExists: return TDP_ERR_ALREADY_EXISTS;
+    case ErrorCode::kInvalidArgument: return TDP_ERR_INVALID_ARGUMENT;
+    case ErrorCode::kTimeout: return TDP_ERR_TIMEOUT;
+    case ErrorCode::kConnectionError: return TDP_ERR_CONNECTION;
+    case ErrorCode::kPermissionDenied: return TDP_ERR_PERMISSION;
+    case ErrorCode::kInvalidState: return TDP_ERR_INVALID_STATE;
+    case ErrorCode::kResourceExhausted: return TDP_ERR_RESOURCE;
+    case ErrorCode::kInternal: return TDP_ERR_INTERNAL;
+    case ErrorCode::kUnsupported: return TDP_ERR_UNSUPPORTED;
+    case ErrorCode::kCancelled: return TDP_ERR_CANCELLED;
+  }
+  return TDP_ERR_INTERNAL;
+}
+
+int rc_from_status(const tdp::Status& status) { return rc_from_code(status.code()); }
+
+/// Registry of live sessions; handles are never reused within a process.
+/// Sessions are shared-owned so a tdp_exit racing a call on another thread
+/// destroys the session only after the in-flight call returns (the paper
+/// requires the library to be thread safe).
+struct Registry {
+  std::mutex mutex;
+  std::map<tdp_handle, std::shared_ptr<TdpSession>> sessions;
+  tdp_handle next_handle = 1;
+};
+
+Registry& registry() {
+  static Registry instance;
+  return instance;
+}
+
+std::shared_ptr<TdpSession> lookup(tdp_handle handle) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  auto it = reg.sessions.find(handle);
+  return it == reg.sessions.end() ? nullptr : it->second;
+}
+
+}  // namespace
+
+extern "C" {
+
+int tdp_init(const char* lass_address, const char* context, int role,
+             tdp_handle* out) {
+  if (lass_address == nullptr || out == nullptr) return TDP_ERR_INVALID_ARGUMENT;
+  tdp::InitOptions options;
+  options.lass_address = lass_address;
+  options.context = context != nullptr ? context : tdp::attr::kDefaultContext;
+  options.role = role == TDP_ROLE_RESOURCE_MANAGER ? tdp::Role::kResourceManager
+                                                   : tdp::Role::kTool;
+  options.transport = std::make_shared<tdp::net::TcpTransport>();
+  if (options.role == tdp::Role::kResourceManager) {
+    options.backend = std::make_shared<tdp::proc::PosixProcessBackend>();
+  }
+  auto session = TdpSession::init(std::move(options));
+  if (!session.is_ok()) return rc_from_status(session.status());
+
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  tdp_handle handle = reg.next_handle++;
+  reg.sessions[handle] = std::move(session).value();
+  *out = handle;
+  return TDP_OK;
+}
+
+int tdp_exit(tdp_handle handle) {
+  std::shared_ptr<TdpSession> session;
+  {
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    auto it = reg.sessions.find(handle);
+    if (it == reg.sessions.end()) return TDP_ERR_BAD_HANDLE;
+    session = std::move(it->second);
+    reg.sessions.erase(it);
+  }
+  return rc_from_status(session->exit());
+}
+
+int tdp_create_process(tdp_handle handle, const char* const* argv, int mode,
+                       long long* pid_out) {
+  std::shared_ptr<TdpSession> session = lookup(handle);
+  if (session == nullptr) return TDP_ERR_BAD_HANDLE;
+  if (argv == nullptr || argv[0] == nullptr || pid_out == nullptr) {
+    return TDP_ERR_INVALID_ARGUMENT;
+  }
+  tdp::proc::CreateOptions options;
+  for (int i = 0; argv[i] != nullptr; ++i) options.argv.emplace_back(argv[i]);
+  options.mode = mode == TDP_CREATE_PAUSED ? tdp::proc::CreateMode::kPaused
+                                           : tdp::proc::CreateMode::kRun;
+  auto pid = session->create_process(options);
+  if (!pid.is_ok()) return rc_from_status(pid.status());
+  *pid_out = pid.value();
+  return TDP_OK;
+}
+
+int tdp_attach(tdp_handle handle, long long pid) {
+  std::shared_ptr<TdpSession> session = lookup(handle);
+  if (session == nullptr) return TDP_ERR_BAD_HANDLE;
+  return rc_from_status(session->attach(pid));
+}
+
+int tdp_continue_process(tdp_handle handle, long long pid) {
+  std::shared_ptr<TdpSession> session = lookup(handle);
+  if (session == nullptr) return TDP_ERR_BAD_HANDLE;
+  return rc_from_status(session->continue_process(pid));
+}
+
+int tdp_pause_process(tdp_handle handle, long long pid) {
+  std::shared_ptr<TdpSession> session = lookup(handle);
+  if (session == nullptr) return TDP_ERR_BAD_HANDLE;
+  return rc_from_status(session->pause_process(pid));
+}
+
+int tdp_kill_process(tdp_handle handle, long long pid) {
+  std::shared_ptr<TdpSession> session = lookup(handle);
+  if (session == nullptr) return TDP_ERR_BAD_HANDLE;
+  return rc_from_status(session->kill_process(pid));
+}
+
+int tdp_put(tdp_handle handle, const char* attribute, const char* value) {
+  std::shared_ptr<TdpSession> session = lookup(handle);
+  if (session == nullptr) return TDP_ERR_BAD_HANDLE;
+  if (attribute == nullptr || value == nullptr) return TDP_ERR_INVALID_ARGUMENT;
+  return rc_from_status(session->put(attribute, value));
+}
+
+int tdp_get(tdp_handle handle, const char* attribute, char* value_buf,
+            size_t buf_len, int timeout_ms) {
+  std::shared_ptr<TdpSession> session = lookup(handle);
+  if (session == nullptr) return TDP_ERR_BAD_HANDLE;
+  if (attribute == nullptr || value_buf == nullptr || buf_len == 0) {
+    return TDP_ERR_INVALID_ARGUMENT;
+  }
+  auto value = session->get(attribute, timeout_ms);
+  if (!value.is_ok()) return rc_from_status(value.status());
+  if (value.value().size() + 1 > buf_len) return TDP_ERR_BUFFER_TOO_SMALL;
+  std::memcpy(value_buf, value.value().c_str(), value.value().size() + 1);
+  return TDP_OK;
+}
+
+int tdp_try_get(tdp_handle handle, const char* attribute, char* value_buf,
+                size_t buf_len) {
+  std::shared_ptr<TdpSession> session = lookup(handle);
+  if (session == nullptr) return TDP_ERR_BAD_HANDLE;
+  if (attribute == nullptr || value_buf == nullptr || buf_len == 0) {
+    return TDP_ERR_INVALID_ARGUMENT;
+  }
+  auto value = session->try_get(attribute);
+  if (!value.is_ok()) return rc_from_status(value.status());
+  if (value.value().size() + 1 > buf_len) return TDP_ERR_BUFFER_TOO_SMALL;
+  std::memcpy(value_buf, value.value().c_str(), value.value().size() + 1);
+  return TDP_OK;
+}
+
+int tdp_remove(tdp_handle handle, const char* attribute) {
+  std::shared_ptr<TdpSession> session = lookup(handle);
+  if (session == nullptr) return TDP_ERR_BAD_HANDLE;
+  if (attribute == nullptr) return TDP_ERR_INVALID_ARGUMENT;
+  return rc_from_status(session->lass_client().remove(attribute));
+}
+
+int tdp_async_get(tdp_handle handle, const char* attribute, tdp_callback callback,
+                  void* callback_arg, int* fd_out) {
+  std::shared_ptr<TdpSession> session = lookup(handle);
+  if (session == nullptr) return TDP_ERR_BAD_HANDLE;
+  if (attribute == nullptr || callback == nullptr) return TDP_ERR_INVALID_ARGUMENT;
+  auto fd = session->async_get(
+      attribute, [callback, callback_arg](const tdp::Status& status,
+                                          const std::string& attr,
+                                          const std::string& value) {
+        callback(rc_from_status(status), attr.c_str(), value.c_str(), callback_arg);
+      });
+  if (!fd.is_ok()) return rc_from_status(fd.status());
+  if (fd_out != nullptr) *fd_out = fd.value();
+  return TDP_OK;
+}
+
+int tdp_async_put(tdp_handle handle, const char* attribute, const char* value,
+                  tdp_callback callback, void* callback_arg, int* fd_out) {
+  std::shared_ptr<TdpSession> session = lookup(handle);
+  if (session == nullptr) return TDP_ERR_BAD_HANDLE;
+  if (attribute == nullptr || value == nullptr || callback == nullptr) {
+    return TDP_ERR_INVALID_ARGUMENT;
+  }
+  auto fd = session->async_put(
+      attribute, value,
+      [callback, callback_arg](const tdp::Status& status, const std::string& attr,
+                               const std::string& stored) {
+        callback(rc_from_status(status), attr.c_str(), stored.c_str(), callback_arg);
+      });
+  if (!fd.is_ok()) return rc_from_status(fd.status());
+  if (fd_out != nullptr) *fd_out = fd.value();
+  return TDP_OK;
+}
+
+int tdp_service_event(tdp_handle handle) {
+  std::shared_ptr<TdpSession> session = lookup(handle);
+  if (session == nullptr) return TDP_ERR_BAD_HANDLE;
+  return session->service_events();
+}
+
+int tdp_event_fd(tdp_handle handle) {
+  std::shared_ptr<TdpSession> session = lookup(handle);
+  if (session == nullptr) return TDP_ERR_BAD_HANDLE;
+  return session->event_fd();
+}
+
+const char* tdp_rc_name(int rc) {
+  switch (rc) {
+    case TDP_OK: return "TDP_OK";
+    case TDP_ERR_NOT_FOUND: return "TDP_ERR_NOT_FOUND";
+    case TDP_ERR_ALREADY_EXISTS: return "TDP_ERR_ALREADY_EXISTS";
+    case TDP_ERR_INVALID_ARGUMENT: return "TDP_ERR_INVALID_ARGUMENT";
+    case TDP_ERR_TIMEOUT: return "TDP_ERR_TIMEOUT";
+    case TDP_ERR_CONNECTION: return "TDP_ERR_CONNECTION";
+    case TDP_ERR_PERMISSION: return "TDP_ERR_PERMISSION";
+    case TDP_ERR_INVALID_STATE: return "TDP_ERR_INVALID_STATE";
+    case TDP_ERR_RESOURCE: return "TDP_ERR_RESOURCE";
+    case TDP_ERR_INTERNAL: return "TDP_ERR_INTERNAL";
+    case TDP_ERR_UNSUPPORTED: return "TDP_ERR_UNSUPPORTED";
+    case TDP_ERR_CANCELLED: return "TDP_ERR_CANCELLED";
+    case TDP_ERR_BAD_HANDLE: return "TDP_ERR_BAD_HANDLE";
+    case TDP_ERR_BUFFER_TOO_SMALL: return "TDP_ERR_BUFFER_TOO_SMALL";
+    default: return "TDP_ERR_UNKNOWN";
+  }
+}
+
+}  // extern "C"

@@ -1,0 +1,129 @@
+/* tdp_c.h - C binding of the Tool Daemon Protocol library.
+ *
+ * Section 3 of the SC'03 paper: "The API should be consistent with standard
+ * C library interfaces. A first implementation will be provided in C
+ * language. The library should be thread safe."
+ *
+ * This header is that C API, with the exact entry points the paper names:
+ * tdp_init, tdp_exit, tdp_create_process, tdp_attach,
+ * tdp_continue_process, tdp_get, tdp_put, tdp_async_get, tdp_async_put and
+ * tdp_service_event. It is a thin veneer over the C++ TdpSession; each
+ * handle owns a real TCP transport and (for resource managers) a POSIX
+ * process backend.
+ */
+#ifndef TDP_CORE_TDP_C_H_
+#define TDP_CORE_TDP_C_H_
+
+#include <stddef.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+/* Return codes. 0 is success; negatives mirror tdp::ErrorCode. */
+enum tdp_rc {
+  TDP_OK = 0,
+  TDP_ERR_NOT_FOUND = -1,
+  TDP_ERR_ALREADY_EXISTS = -2,
+  TDP_ERR_INVALID_ARGUMENT = -3,
+  TDP_ERR_TIMEOUT = -4,
+  TDP_ERR_CONNECTION = -5,
+  TDP_ERR_PERMISSION = -6,
+  TDP_ERR_INVALID_STATE = -7,
+  TDP_ERR_RESOURCE = -8,
+  TDP_ERR_INTERNAL = -9,
+  TDP_ERR_UNSUPPORTED = -10,
+  TDP_ERR_CANCELLED = -11,
+  TDP_ERR_BAD_HANDLE = -12,
+  TDP_ERR_BUFFER_TOO_SMALL = -13
+};
+
+/* Opaque session handle returned by tdp_init. */
+typedef int tdp_handle;
+
+/* Role of the calling daemon. */
+#define TDP_ROLE_TOOL 0
+#define TDP_ROLE_RESOURCE_MANAGER 1
+
+/* Process creation modes (Section 3.1). */
+#define TDP_CREATE_RUN 0
+#define TDP_CREATE_PAUSED 1
+
+/* tdp_init: connect to the LASS at lass_address ("host:port") and join
+ * `context` (NULL selects the default context). Role is TDP_ROLE_*.
+ * On success writes the handle to *out and returns TDP_OK. */
+int tdp_init(const char* lass_address, const char* context, int role,
+             tdp_handle* out);
+
+/* tdp_exit: leave the context and release the handle. The attribute space
+ * context is destroyed when its last participant exits. */
+int tdp_exit(tdp_handle handle);
+
+/* tdp_create_process: RM only. argv is NULL-terminated; mode is
+ * TDP_CREATE_RUN or TDP_CREATE_PAUSED ("stopped just after the exec").
+ * Writes the new pid to *pid_out. */
+int tdp_create_process(tdp_handle handle, const char* const* argv, int mode,
+                       long long* pid_out);
+
+/* tdp_attach: obtain control of the process and ensure it is paused.
+ * From a tool, the request is routed through the RM. */
+int tdp_attach(tdp_handle handle, long long pid);
+
+/* tdp_continue_process: resume a paused/stopped process. */
+int tdp_continue_process(tdp_handle handle, long long pid);
+
+/* Extensions used by ParadoR: pause and kill, same routing rules. */
+int tdp_pause_process(tdp_handle handle, long long pid);
+int tdp_kill_process(tdp_handle handle, long long pid);
+
+/* tdp_put: blocking store of (attribute, value); both NUL-terminated. */
+int tdp_put(tdp_handle handle, const char* attribute, const char* value);
+
+/* tdp_get: blocking fetch; waits until the attribute is present (bounded
+ * by timeout_ms, <0 = forever). Copies the NUL-terminated value into
+ * value_buf (capacity buf_len); returns TDP_ERR_BUFFER_TOO_SMALL if it
+ * does not fit. */
+int tdp_get(tdp_handle handle, const char* attribute, char* value_buf,
+            size_t buf_len, int timeout_ms);
+
+/* tdp_try_get: the paper's documented non-waiting form — "an error is
+ * returned if the attribute is not contained in the shared space"
+ * (TDP_ERR_NOT_FOUND). Same buffer contract as tdp_get. */
+int tdp_try_get(tdp_handle handle, const char* attribute, char* value_buf,
+                size_t buf_len);
+
+/* tdp_remove: deletes an attribute from the shared space. */
+int tdp_remove(tdp_handle handle, const char* attribute);
+
+/* Completion callback for the asynchronous operations: rc is a tdp_rc,
+ * value is valid only for the duration of the call. */
+typedef void (*tdp_callback)(int rc, const char* attribute, const char* value,
+                             void* callback_arg);
+
+/* tdp_async_get / tdp_async_put: "Both functions will return immediately
+ * ... the callback function provided will be executed when the
+ * corresponding operation completes" — from a later tdp_service_event.
+ * Writes the descriptor to poll (the paper's tdp_fd) to *fd_out when
+ * non-NULL. */
+int tdp_async_get(tdp_handle handle, const char* attribute, tdp_callback callback,
+                  void* callback_arg, int* fd_out);
+int tdp_async_put(tdp_handle handle, const char* attribute, const char* value,
+                  tdp_callback callback, void* callback_arg, int* fd_out);
+
+/* tdp_service_event: "will call any pending callback that has been
+ * registered previously in an asynchronous put or get", at this
+ * well-known, safe point, on the calling thread. Returns the number of
+ * callbacks dispatched, or a negative tdp_rc. */
+int tdp_service_event(tdp_handle handle);
+
+/* The descriptor to include in the daemon's central poll loop. */
+int tdp_event_fd(tdp_handle handle);
+
+/* Human-readable name of a tdp_rc. */
+const char* tdp_rc_name(int rc);
+
+#ifdef __cplusplus
+} /* extern "C" */
+#endif
+
+#endif /* TDP_CORE_TDP_C_H_ */

@@ -1,0 +1,164 @@
+#include "mrnet/mrnet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tdp::mrnet {
+
+const char* filter_name(Filter filter) noexcept {
+  switch (filter) {
+    case Filter::kSum: return "sum";
+    case Filter::kMin: return "min";
+    case Filter::kMax: return "max";
+    case Filter::kCount: return "count";
+    case Filter::kConcat: return "concat";
+  }
+  return "?";
+}
+
+Tree::Tree(int leaves, int fanout) : leaves_(leaves), fanout_(fanout) {
+  leaf_failed_.assign(static_cast<std::size_t>(leaves), false);
+  // Count internal nodes of a complete fanout-ary tree over `leaves`
+  // positions: successive layers of ceil(n/fanout) until one group is left.
+  int level_width = leaves_;
+  while (level_width > fanout_) {
+    level_width = (level_width + fanout_ - 1) / fanout_;
+    internal_ += level_width;
+    ++depth_;
+  }
+  ++depth_;  // the final hop into the root
+}
+
+Result<Tree> Tree::build(int leaves, int fanout) {
+  if (leaves < 1) {
+    return make_error(ErrorCode::kInvalidArgument, "leaves must be >= 1");
+  }
+  if (fanout < 2) {
+    return make_error(ErrorCode::kInvalidArgument, "fanout must be >= 2");
+  }
+  return Tree(leaves, fanout);
+}
+
+int Tree::live_leaves() const {
+  return static_cast<int>(std::count(leaf_failed_.begin(), leaf_failed_.end(), false));
+}
+
+Status Tree::fail_leaf(int leaf) {
+  if (leaf < 0 || leaf >= leaves_) {
+    return make_error(ErrorCode::kInvalidArgument, "no such leaf");
+  }
+  leaf_failed_[static_cast<std::size_t>(leaf)] = true;
+  return Status::ok();
+}
+
+Status Tree::recover_leaf(int leaf) {
+  if (leaf < 0 || leaf >= leaves_) {
+    return make_error(ErrorCode::kInvalidArgument, "no such leaf");
+  }
+  leaf_failed_[static_cast<std::size_t>(leaf)] = false;
+  return Status::ok();
+}
+
+Tree::BroadcastResult Tree::broadcast() const {
+  BroadcastResult result;
+  result.hops = depth_;
+  result.delivered = live_leaves();
+  // Every edge of the tree carries exactly one copy: root -> level1 nodes,
+  // ... -> leaves. Total edges = internal nodes + leaves (each node has
+  // one inbound edge). The root sends only to its direct children.
+  result.messages = internal_ + leaves_;
+  int level_width = leaves_;
+  while (level_width > fanout_) {
+    level_width = (level_width + fanout_ - 1) / fanout_;
+  }
+  result.root_sends = level_width;
+  return result;
+}
+
+namespace {
+
+double fold(Filter filter, double acc, double value, bool first) {
+  switch (filter) {
+    case Filter::kSum: return acc + value;
+    case Filter::kMin: return first ? value : std::min(acc, value);
+    case Filter::kMax: return first ? value : std::max(acc, value);
+    case Filter::kCount: return acc + 1;
+    case Filter::kConcat: return acc;  // handled separately
+  }
+  return acc;
+}
+
+}  // namespace
+
+Tree::ReduceResult Tree::reduce(Filter filter,
+                                const std::vector<double>& leaf_values) const {
+  ReduceResult result;
+  result.hops = depth_;
+  bool first = true;
+  for (int leaf = 0; leaf < leaves_; ++leaf) {
+    if (leaf_failed_[static_cast<std::size_t>(leaf)]) {
+      ++result.missing;
+      continue;
+    }
+    const double value =
+        leaf < static_cast<int>(leaf_values.size())
+            ? leaf_values[static_cast<std::size_t>(leaf)]
+            : 0.0;
+    result.value = fold(filter, result.value, value, first);
+    first = false;
+    ++result.contributed;
+  }
+  // Message count: one message per live edge. Leaves send one each; each
+  // internal level folds its children into one upward message per node.
+  result.messages = result.contributed;
+  int level_width = leaves_;
+  while (level_width > fanout_) {
+    level_width = (level_width + fanout_ - 1) / fanout_;
+    result.messages += level_width;
+  }
+  result.root_receives = level_width;
+  return result;
+}
+
+Tree::ReduceResult Tree::reduce_concat(
+    const std::vector<std::string>& leaf_values) const {
+  ReduceResult result = reduce(Filter::kCount, std::vector<double>(
+                                                   static_cast<std::size_t>(leaves_),
+                                                   1.0));
+  result.value = 0.0;
+  std::string concat;
+  for (int leaf = 0; leaf < leaves_; ++leaf) {
+    if (leaf_failed_[static_cast<std::size_t>(leaf)]) continue;
+    if (leaf < static_cast<int>(leaf_values.size())) {
+      if (!concat.empty()) concat += ',';
+      concat += leaf_values[static_cast<std::size_t>(leaf)];
+    }
+  }
+  result.concat = std::move(concat);
+  return result;
+}
+
+Tree::ReduceResult Tree::flat_reduce(Filter filter,
+                                     const std::vector<double>& leaf_values) const {
+  ReduceResult result;
+  result.hops = 1;
+  bool first = true;
+  for (int leaf = 0; leaf < leaves_; ++leaf) {
+    if (leaf_failed_[static_cast<std::size_t>(leaf)]) {
+      ++result.missing;
+      continue;
+    }
+    const double value =
+        leaf < static_cast<int>(leaf_values.size())
+            ? leaf_values[static_cast<std::size_t>(leaf)]
+            : 0.0;
+    result.value = fold(filter, result.value, value, first);
+    first = false;
+    ++result.contributed;
+  }
+  result.messages = result.contributed;
+  result.root_receives = result.contributed;  // the scalability problem
+  return result;
+}
+
+}  // namespace tdp::mrnet

@@ -1,0 +1,102 @@
+// mrnet.hpp - MRNet-lite: a software multicast/reduction network overlay.
+//
+// Section 1's Auxiliary Services requirement: "software multicast/
+// reduction networks are crucial to scalable tool use [the paper cites
+// MRNet, SC'03]. The RM must be aware of and willing to launch this second
+// kind of non-application entity." MiniCondor launches the comm nodes via
+// the +AuxServiceCmd submit extension; this module implements what those
+// nodes do: a balanced k-ary tree over the tool daemons that carries
+// broadcasts down (front-end -> daemons) and reductions up (daemon values
+// folded by a filter at each internal node).
+//
+// Every operation reports message and hop counts, which the S5 bench uses
+// to reproduce the paper's cited motivation: tree aggregation beats a flat
+// gather once the daemon count is large, because the root handles fanout
+// messages instead of N.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace tdp::mrnet {
+
+/// Reduction filters applied at each internal node.
+enum class Filter : std::uint8_t { kSum = 0, kMin, kMax, kCount, kConcat };
+
+const char* filter_name(Filter filter) noexcept;
+
+/// A balanced k-ary overlay with `leaves` backend positions.
+class Tree {
+ public:
+  /// fanout >= 2; leaves >= 1.
+  static Result<Tree> build(int leaves, int fanout);
+
+  [[nodiscard]] int leaves() const noexcept { return leaves_; }
+  [[nodiscard]] int fanout() const noexcept { return fanout_; }
+  /// Internal (non-leaf, non-root counted separately) node count.
+  [[nodiscard]] int internal_nodes() const noexcept { return internal_; }
+  /// Tree height in hops from root to leaf.
+  [[nodiscard]] int depth() const noexcept { return depth_; }
+  /// Total processes the RM must launch for this overlay (internal comm
+  /// nodes; leaves live inside the tool daemons, the root in the
+  /// front-end).
+  [[nodiscard]] int comm_processes() const noexcept { return internal_; }
+
+  struct BroadcastResult {
+    int messages = 0;       ///< total point-to-point sends
+    int hops = 0;           ///< root-to-leaf path length
+    int root_sends = 0;     ///< messages the root itself had to send
+    int delivered = 0;      ///< leaves reached
+  };
+
+  /// Simulates a broadcast to all live leaves.
+  [[nodiscard]] BroadcastResult broadcast() const;
+
+  struct ReduceResult {
+    double value = 0.0;        ///< folded result (numeric filters)
+    std::string concat;        ///< folded result (kConcat)
+    int messages = 0;          ///< total point-to-point sends
+    int hops = 0;              ///< leaf-to-root path length (critical path)
+    int root_receives = 0;     ///< messages arriving at the root
+    int contributed = 0;       ///< live leaves that contributed
+    int missing = 0;           ///< failed leaves skipped
+  };
+
+  /// Folds `leaf_values[i]` (i < leaves) up the tree with `filter`.
+  /// Failed leaves/subtrees are skipped and counted in `missing` — the
+  /// paper's fault-model requirement that the RM/tool sees partial
+  /// aggregates rather than hangs.
+  [[nodiscard]] ReduceResult reduce(Filter filter,
+                                    const std::vector<double>& leaf_values) const;
+
+  /// String reduction (kConcat): values joined in leaf order with ','.
+  [[nodiscard]] ReduceResult reduce_concat(
+      const std::vector<std::string>& leaf_values) const;
+
+  /// Marks a leaf as failed; subsequent operations skip it.
+  Status fail_leaf(int leaf);
+  Status recover_leaf(int leaf);
+  [[nodiscard]] int live_leaves() const;
+
+  /// A flat (no-tree) gather for the tree-vs-flat comparison: the root
+  /// receives one message per live leaf directly.
+  [[nodiscard]] ReduceResult flat_reduce(Filter filter,
+                                         const std::vector<double>& leaf_values) const;
+
+ private:
+  Tree(int leaves, int fanout);
+
+  /// Number of children groups at each level; we only need counts, not an
+  /// explicit node graph, because the tree is balanced and complete.
+  int leaves_;
+  int fanout_;
+  int internal_ = 0;
+  int depth_ = 0;
+  std::vector<bool> leaf_failed_;
+};
+
+}  // namespace tdp::mrnet

@@ -1,0 +1,364 @@
+#include "net/inproc.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+
+#include "util/string_util.hpp"
+
+namespace tdp::net {
+
+namespace detail {
+
+/// A bounded-unbounded MPSC message queue with a self-pipe mirroring its
+/// fill level, so poll() on the read end is level-triggered w.r.t. queue
+/// non-emptiness.
+class InProcQueue {
+ public:
+  InProcQueue() {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) == 0) {
+      pipe_r_ = fds[0];
+      pipe_w_ = fds[1];
+      ::fcntl(pipe_r_, F_SETFL, O_NONBLOCK);
+      ::fcntl(pipe_w_, F_SETFL, O_NONBLOCK);
+      ::fcntl(pipe_r_, F_SETFD, FD_CLOEXEC);
+      ::fcntl(pipe_w_, F_SETFD, FD_CLOEXEC);
+    }
+  }
+
+  ~InProcQueue() {
+    if (pipe_r_ >= 0) ::close(pipe_r_);
+    if (pipe_w_ >= 0) ::close(pipe_w_);
+  }
+
+  InProcQueue(const InProcQueue&) = delete;
+  InProcQueue& operator=(const InProcQueue&) = delete;
+
+  void push(Message msg) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(msg));
+    }
+    signal_pipe();
+    cv_.notify_one();
+  }
+
+  /// Pops the next message. timeout_ms: <0 block, 0 poll, >0 bounded.
+  Result<Message> pop(int timeout_ms) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto ready = [this] { return !queue_.empty() || closed_; };
+    if (timeout_ms < 0) {
+      cv_.wait(lock, ready);
+    } else if (timeout_ms > 0) {
+      if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready)) {
+        return make_error(ErrorCode::kTimeout, "inproc receive timed out");
+      }
+    }
+    if (!queue_.empty()) {
+      Message msg = std::move(queue_.front());
+      queue_.pop_front();
+      drain_pipe_one();
+      return msg;
+    }
+    if (closed_) {
+      return make_error(ErrorCode::kConnectionError, "inproc peer closed");
+    }
+    return make_error(ErrorCode::kTimeout, "inproc queue empty");
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_) return;
+      closed_ = true;
+    }
+    signal_pipe();  // wake fd-based pollers; byte intentionally not drained
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  [[nodiscard]] int read_fd() const noexcept { return pipe_r_; }
+
+ private:
+  void signal_pipe() {
+    if (pipe_w_ >= 0) {
+      const char byte = 'x';
+      [[maybe_unused]] ssize_t n = ::write(pipe_w_, &byte, 1);
+      // A full pipe is fine: poll already reports readable.
+    }
+  }
+
+  void drain_pipe_one() {
+    if (pipe_r_ >= 0) {
+      char byte;
+      [[maybe_unused]] ssize_t n = ::read(pipe_r_, &byte, 1);
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool closed_ = false;
+  int pipe_r_ = -1;
+  int pipe_w_ = -1;
+};
+
+/// Shared state of one connection: two directed queues.
+struct InProcChannel {
+  InProcQueue client_to_server;
+  InProcQueue server_to_client;
+};
+
+/// One endpoint view over a channel: sends into one queue, receives from
+/// the other.
+class InProcEndpoint final : public Endpoint {
+ public:
+  InProcEndpoint(std::shared_ptr<InProcChannel> channel, bool is_server,
+                 std::string peer)
+      : channel_(std::move(channel)), is_server_(is_server), peer_(std::move(peer)) {}
+
+  ~InProcEndpoint() override { InProcEndpoint::close(); }
+
+  Status send(const Message& msg) override {
+    if (closed_.load(std::memory_order_acquire)) {
+      return make_error(ErrorCode::kConnectionError, "endpoint closed");
+    }
+    if (recv_queue().closed()) {
+      return make_error(ErrorCode::kConnectionError, "peer closed");
+    }
+    send_queue().push(msg);
+    return Status::ok();
+  }
+
+  Result<Message> receive(int timeout_ms) override {
+    if (closed_.load(std::memory_order_acquire)) {
+      return make_error(ErrorCode::kConnectionError, "endpoint closed");
+    }
+    return recv_queue().pop(timeout_ms);
+  }
+
+  [[nodiscard]] int readable_fd() const override { return recv_queue().read_fd(); }
+
+  [[nodiscard]] bool is_open() const override {
+    return !closed_.load(std::memory_order_acquire) && !recv_queue().closed();
+  }
+
+  void close() override {
+    bool expected = false;
+    if (!closed_.compare_exchange_strong(expected, true)) return;
+    // Closing both directions lets the peer observe disconnect after it
+    // drains queued messages.
+    channel_->client_to_server.close();
+    channel_->server_to_client.close();
+  }
+
+  [[nodiscard]] std::string peer_address() const override { return peer_; }
+
+ private:
+  InProcQueue& send_queue() const {
+    return is_server_ ? channel_->server_to_client : channel_->client_to_server;
+  }
+  InProcQueue& recv_queue() const {
+    return is_server_ ? channel_->client_to_server : channel_->server_to_client;
+  }
+
+  std::shared_ptr<InProcChannel> channel_;
+  bool is_server_;
+  std::string peer_;
+  std::atomic<bool> closed_{false};
+};
+
+/// Accept queue shared between the registry and the listener object.
+class InProcListenerState {
+ public:
+  void enqueue(std::unique_ptr<Endpoint> endpoint) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      pending_.push_back(std::move(endpoint));
+    }
+    signal_pipe();
+    cv_.notify_one();
+  }
+
+  Result<std::unique_ptr<Endpoint>> dequeue(int timeout_ms) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto ready = [this] { return !pending_.empty() || closed_; };
+    if (timeout_ms < 0) {
+      cv_.wait(lock, ready);
+    } else if (timeout_ms > 0) {
+      if (!cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready)) {
+        return make_error(ErrorCode::kTimeout, "accept timed out");
+      }
+    }
+    if (!pending_.empty()) {
+      auto endpoint = std::move(pending_.front());
+      pending_.pop_front();
+      drain_pipe_one();
+      return endpoint;
+    }
+    if (closed_) return make_error(ErrorCode::kCancelled, "listener closed");
+    return make_error(ErrorCode::kTimeout, "no pending connection");
+  }
+
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    signal_pipe();
+    cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  InProcListenerState() {
+    int fds[2] = {-1, -1};
+    if (::pipe(fds) == 0) {
+      pipe_r_ = fds[0];
+      pipe_w_ = fds[1];
+      ::fcntl(pipe_r_, F_SETFL, O_NONBLOCK);
+      ::fcntl(pipe_w_, F_SETFL, O_NONBLOCK);
+    }
+  }
+
+  ~InProcListenerState() {
+    if (pipe_r_ >= 0) ::close(pipe_r_);
+    if (pipe_w_ >= 0) ::close(pipe_w_);
+  }
+
+  [[nodiscard]] int read_fd() const noexcept { return pipe_r_; }
+
+ private:
+  void signal_pipe() {
+    if (pipe_w_ >= 0) {
+      const char byte = 'x';
+      [[maybe_unused]] ssize_t n = ::write(pipe_w_, &byte, 1);
+    }
+  }
+  void drain_pipe_one() {
+    if (pipe_r_ >= 0) {
+      char byte;
+      [[maybe_unused]] ssize_t n = ::read(pipe_r_, &byte, 1);
+    }
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<Endpoint>> pending_;
+  bool closed_ = false;
+  int pipe_r_ = -1;
+  int pipe_w_ = -1;
+};
+
+}  // namespace detail
+
+namespace {
+
+class InProcListener final : public Listener {
+ public:
+  InProcListener(std::shared_ptr<InProcTransport> transport,
+                 std::shared_ptr<detail::InProcListenerState> state, std::string name)
+      : transport_(std::move(transport)), state_(std::move(state)),
+        name_(std::move(name)) {}
+
+  ~InProcListener() override { InProcListener::close(); }
+
+  Result<std::unique_ptr<Endpoint>> accept(int timeout_ms) override {
+    return state_->dequeue(timeout_ms);
+  }
+
+  [[nodiscard]] std::string address() const override { return "inproc://" + name_; }
+
+  [[nodiscard]] int readable_fd() const override { return state_->read_fd(); }
+
+  void close() override {
+    if (closed_) return;
+    closed_ = true;
+    state_->close();
+    if (auto transport = transport_.lock()) transport->unregister(name_);
+  }
+
+ private:
+  std::weak_ptr<InProcTransport> transport_;
+  std::shared_ptr<detail::InProcListenerState> state_;
+  std::string name_;
+  bool closed_ = false;
+};
+
+}  // namespace
+
+bool is_inproc_address(const std::string& address) {
+  return str::starts_with(address, "inproc://");
+}
+
+std::shared_ptr<InProcTransport> InProcTransport::create() {
+  return std::shared_ptr<InProcTransport>(new InProcTransport());
+}
+
+Result<std::unique_ptr<Listener>> InProcTransport::listen(const std::string& address) {
+  if (!is_inproc_address(address)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "inproc listen address must start with inproc://: " + address);
+  }
+  std::string name = address.substr(9);
+  if (name.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "empty inproc listener name");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (listeners_.count(name) != 0) {
+    return make_error(ErrorCode::kAlreadyExists, "inproc name already bound: " + name);
+  }
+  auto state = std::make_shared<detail::InProcListenerState>();
+  listeners_[name] = state;
+  return std::unique_ptr<Listener>(
+      new InProcListener(shared_from_this(), std::move(state), std::move(name)));
+}
+
+Result<std::unique_ptr<Endpoint>> InProcTransport::connect(const std::string& address) {
+  if (!is_inproc_address(address)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "inproc connect address must start with inproc://: " + address);
+  }
+  const std::string name = address.substr(9);
+  std::shared_ptr<detail::InProcListenerState> state;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = listeners_.find(name);
+    if (it == listeners_.end()) {
+      return make_error(ErrorCode::kConnectionError, "no inproc listener: " + name);
+    }
+    state = it->second;
+  }
+  if (state->closed()) {
+    return make_error(ErrorCode::kConnectionError, "inproc listener closed: " + name);
+  }
+  auto channel = std::make_shared<detail::InProcChannel>();
+  auto server_side = std::make_unique<detail::InProcEndpoint>(channel, /*is_server=*/true,
+                                                              "inproc://client");
+  auto client_side = std::make_unique<detail::InProcEndpoint>(channel, /*is_server=*/false,
+                                                              address);
+  state->enqueue(std::move(server_side));
+  return std::unique_ptr<Endpoint>(std::move(client_side));
+}
+
+std::size_t InProcTransport::listener_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return listeners_.size();
+}
+
+void InProcTransport::unregister(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  listeners_.erase(name);
+}
+
+}  // namespace tdp::net

@@ -1,0 +1,56 @@
+// inproc.hpp - in-process transport: message queues between "daemons"
+// living in one OS process. This is the deterministic substrate that lets
+// a whole Condor pool plus Paradyn front-end and daemons run inside one
+// test binary. Addresses use the scheme "inproc://<name>".
+//
+// Endpoints still expose a real pipe descriptor via readable_fd() so the
+// paper's poll-loop event model (Section 3.3) works identically over both
+// transports.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/transport.hpp"
+
+namespace tdp::net {
+
+namespace detail {
+class InProcQueue;
+struct InProcChannel;
+class InProcListenerState;
+}  // namespace detail
+
+/// Transport whose listeners live in an instance-scoped registry; creating
+/// separate InProcTransport objects yields fully isolated "networks".
+class InProcTransport final : public Transport,
+                              public std::enable_shared_from_this<InProcTransport> {
+ public:
+  /// Use create(); the registry hands out shared_from_this to listeners.
+  static std::shared_ptr<InProcTransport> create();
+
+  Result<std::unique_ptr<Listener>> listen(const std::string& address) override;
+  Result<std::unique_ptr<Endpoint>> connect(const std::string& address) override;
+
+  /// Number of currently bound listeners (diagnostics/tests).
+  [[nodiscard]] std::size_t listener_count() const;
+
+  /// Removes a closed listener from the registry (called by the listener's
+  /// own close(); harmless if already removed).
+  void unregister(const std::string& name);
+
+ private:
+  InProcTransport() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::shared_ptr<detail::InProcListenerState>> listeners_;
+};
+
+/// True when `address` uses the inproc:// scheme.
+bool is_inproc_address(const std::string& address);
+
+}  // namespace tdp::net

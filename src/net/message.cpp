@@ -1,0 +1,221 @@
+#include "net/message.hpp"
+
+#include <charconv>
+#include <cstring>
+
+namespace tdp::net {
+
+namespace {
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xff));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+}
+
+/// Bounds-checked little-endian reader over a byte span.
+class ByteReader {
+ public:
+  ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
+
+  bool read_u16(std::uint16_t* v) {
+    if (pos_ + 2 > size_) return false;
+    *v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
+    pos_ += 2;
+    return true;
+  }
+
+  bool read_u32(std::uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 4; ++i) *v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    return true;
+  }
+
+  bool read_u64(std::uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    *v = 0;
+    for (int i = 0; i < 8; ++i) *v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    return true;
+  }
+
+  bool read_bytes(std::size_t n, std::string* out) {
+    if (pos_ + n > size_) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+    pos_ += n;
+    return true;
+  }
+
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == size_; }
+
+ private:
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Message& Message::set(std::string key, std::string value) {
+  fields_[std::move(key)] = std::move(value);
+  return *this;
+}
+
+Message& Message::set_int(std::string key, std::int64_t value) {
+  return set(std::move(key), std::to_string(value));
+}
+
+bool Message::has(std::string_view key) const {
+  return fields_.find(std::string(key)) != fields_.end();
+}
+
+std::string Message::get(std::string_view key, std::string_view fallback) const {
+  auto it = fields_.find(std::string(key));
+  return it == fields_.end() ? std::string(fallback) : it->second;
+}
+
+std::int64_t Message::get_int(std::string_view key, std::int64_t fallback) const {
+  auto it = fields_.find(std::string(key));
+  if (it == fields_.end()) return fallback;
+  std::int64_t value = 0;
+  const char* begin = it->second.data();
+  const char* end = begin + it->second.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return fallback;
+  return value;
+}
+
+std::vector<std::uint8_t> Message::encode() const {
+  std::vector<std::uint8_t> out;
+  out.reserve(64);
+  put_u32(out, 0);  // length placeholder
+  put_u16(out, static_cast<std::uint16_t>(type_));
+  put_u64(out, seq_);
+  put_u16(out, static_cast<std::uint16_t>(fields_.size()));
+  for (const auto& [key, value] : fields_) {
+    put_u16(out, static_cast<std::uint16_t>(key.size()));
+    out.insert(out.end(), key.begin(), key.end());
+    put_u32(out, static_cast<std::uint32_t>(value.size()));
+    out.insert(out.end(), value.begin(), value.end());
+  }
+  const std::uint32_t payload = static_cast<std::uint32_t>(out.size() - kLenPrefixSize);
+  std::memcpy(out.data(), &payload, sizeof(payload));  // little-endian host assumed (x86)
+  out[0] = static_cast<std::uint8_t>(payload & 0xff);
+  out[1] = static_cast<std::uint8_t>((payload >> 8) & 0xff);
+  out[2] = static_cast<std::uint8_t>((payload >> 16) & 0xff);
+  out[3] = static_cast<std::uint8_t>((payload >> 24) & 0xff);
+  return out;
+}
+
+std::uint32_t Message::peek_length(const std::uint8_t* prefix) noexcept {
+  return static_cast<std::uint32_t>(prefix[0]) |
+         (static_cast<std::uint32_t>(prefix[1]) << 8) |
+         (static_cast<std::uint32_t>(prefix[2]) << 16) |
+         (static_cast<std::uint32_t>(prefix[3]) << 24);
+}
+
+Result<Message> Message::decode(const std::uint8_t* data, std::size_t size) {
+  if (size < kLenPrefixSize) {
+    return make_error(ErrorCode::kInvalidArgument, "frame shorter than length prefix");
+  }
+  const std::uint32_t payload = peek_length(data);
+  if (payload > kMaxPayload) {
+    return make_error(ErrorCode::kInvalidArgument, "payload length exceeds kMaxPayload");
+  }
+  if (size != kLenPrefixSize + payload) {
+    return make_error(ErrorCode::kInvalidArgument, "frame size does not match prefix");
+  }
+  ByteReader reader(data + kLenPrefixSize, payload);
+  std::uint16_t type_raw = 0;
+  std::uint64_t seq = 0;
+  std::uint16_t nfields = 0;
+  if (!reader.read_u16(&type_raw) || !reader.read_u64(&seq) || !reader.read_u16(&nfields)) {
+    return make_error(ErrorCode::kInvalidArgument, "truncated message header");
+  }
+  Message msg(static_cast<MsgType>(type_raw));
+  msg.set_seq(seq);
+  for (std::uint16_t i = 0; i < nfields; ++i) {
+    std::uint16_t klen = 0;
+    std::uint32_t vlen = 0;
+    std::string key, value;
+    if (!reader.read_u16(&klen) || !reader.read_bytes(klen, &key) ||
+        !reader.read_u32(&vlen) || !reader.read_bytes(vlen, &value)) {
+      return make_error(ErrorCode::kInvalidArgument, "truncated message field");
+    }
+    msg.set(std::move(key), std::move(value));
+  }
+  if (!reader.exhausted()) {
+    return make_error(ErrorCode::kInvalidArgument, "trailing bytes after last field");
+  }
+  return msg;
+}
+
+std::string Message::to_string() const {
+  std::string out = msg_type_name(type_);
+  out += "{seq=";
+  out += std::to_string(seq_);
+  for (const auto& [key, value] : fields_) {
+    out += ", ";
+    out += key;
+    out += '=';
+    out += value.size() > 64 ? value.substr(0, 61) + "..." : value;
+  }
+  out += '}';
+  return out;
+}
+
+const char* msg_type_name(MsgType type) noexcept {
+  switch (type) {
+    case MsgType::kInvalid: return "Invalid";
+    case MsgType::kAttrPut: return "AttrPut";
+    case MsgType::kAttrPutReply: return "AttrPutReply";
+    case MsgType::kAttrGet: return "AttrGet";
+    case MsgType::kAttrGetReply: return "AttrGetReply";
+    case MsgType::kAttrAsyncGet: return "AttrAsyncGet";
+    case MsgType::kAttrSubscribe: return "AttrSubscribe";
+    case MsgType::kAttrNotify: return "AttrNotify";
+    case MsgType::kAttrExit: return "AttrExit";
+    case MsgType::kAttrRemove: return "AttrRemove";
+    case MsgType::kAttrList: return "AttrList";
+    case MsgType::kAttrListReply: return "AttrListReply";
+    case MsgType::kAttrInit: return "AttrInit";
+    case MsgType::kAttrInitReply: return "AttrInitReply";
+    case MsgType::kProcRequest: return "ProcRequest";
+    case MsgType::kProcReply: return "ProcReply";
+    case MsgType::kProcStatusEvent: return "ProcStatusEvent";
+    case MsgType::kProxyConnect: return "ProxyConnect";
+    case MsgType::kProxyConnectReply: return "ProxyConnectReply";
+    case MsgType::kProxyData: return "ProxyData";
+    case MsgType::kCondorSubmit: return "CondorSubmit";
+    case MsgType::kCondorSubmitReply: return "CondorSubmitReply";
+    case MsgType::kCondorMatch: return "CondorMatch";
+    case MsgType::kCondorClaim: return "CondorClaim";
+    case MsgType::kCondorClaimReply: return "CondorClaimReply";
+    case MsgType::kCondorActivate: return "CondorActivate";
+    case MsgType::kCondorJobStatus: return "CondorJobStatus";
+    case MsgType::kCondorRemoteSyscall: return "CondorRemoteSyscall";
+    case MsgType::kCondorRemoteSyscallReply: return "CondorRemoteSyscallReply";
+    case MsgType::kParadynReport: return "ParadynReport";
+    case MsgType::kParadynCommand: return "ParadynCommand";
+    case MsgType::kParadynCommandReply: return "ParadynCommandReply";
+    case MsgType::kParadynHello: return "ParadynHello";
+    case MsgType::kMrnetBroadcast: return "MrnetBroadcast";
+    case MsgType::kMrnetReduce: return "MrnetReduce";
+    case MsgType::kMrnetReduceReply: return "MrnetReduceReply";
+    case MsgType::kPing: return "Ping";
+    case MsgType::kPong: return "Pong";
+    case MsgType::kShutdown: return "Shutdown";
+  }
+  return "Unknown";
+}
+
+}  // namespace tdp::net

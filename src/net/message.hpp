@@ -1,0 +1,143 @@
+// message.hpp - the framed message that every TDP daemon pair exchanges.
+//
+// One message format serves all protocols in the system (attribute space,
+// Condor claiming protocol, Paradyn front-end <-> paradynd, MRNet-lite):
+// a 16-bit type, a 64-bit sequence number for request/reply correlation,
+// and a string->string field map, reflecting the paper's decision to keep
+// all exchanged data as null-terminated strings (Section 3.2).
+//
+// Wire format (little-endian):
+//   u32 payload_len | u16 type | u64 seq | u16 nfields |
+//   repeat nfields: u16 key_len, key bytes, u32 val_len, val bytes
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace tdp::net {
+
+/// Message type codes. One flat space keeps the framing layer protocol-
+/// agnostic; each subsystem uses its own contiguous range.
+enum class MsgType : std::uint16_t {
+  kInvalid = 0,
+
+  // --- attribute space protocol (Section 3.2) ---
+  kAttrPut = 100,
+  kAttrPutReply = 101,
+  kAttrGet = 102,
+  kAttrGetReply = 103,
+  kAttrAsyncGet = 104,   ///< get that may be parked until the attribute appears
+  kAttrSubscribe = 105,  ///< asynchronous notification registration (Section 2.1)
+  kAttrNotify = 106,
+  kAttrExit = 107,       ///< tdp_exit: detach from a context
+  kAttrRemove = 108,
+  kAttrList = 109,
+  kAttrListReply = 110,
+  kAttrInit = 111,       ///< tdp_init: join a context (refcounted)
+  kAttrInitReply = 112,
+
+  // --- process management relay (Section 2.3: RT asks RM to act) ---
+  kProcRequest = 200,    ///< pause/continue/kill request routed to the RM
+  kProcReply = 201,
+  kProcStatusEvent = 202,///< RM -> RT process state change notification
+
+  // --- proxy / tunnel (Section 2.4) ---
+  kProxyConnect = 300,   ///< open a relay to a registered logical service
+  kProxyConnectReply = 301,
+  kProxyData = 302,      ///< encapsulated payload relayed through the tunnel
+
+  // --- Condor protocols (Figure 4) ---
+  kCondorSubmit = 400,
+  kCondorSubmitReply = 401,
+  kCondorMatch = 402,        ///< matchmaker -> schedd: machine found
+  kCondorClaim = 403,        ///< schedd -> startd claiming protocol
+  kCondorClaimReply = 404,
+  kCondorActivate = 405,     ///< shadow -> startd: start the job
+  kCondorJobStatus = 406,    ///< starter -> shadow status updates
+  kCondorRemoteSyscall = 407,///< starter/job -> shadow remote file I/O
+  kCondorRemoteSyscallReply = 408,
+
+  // --- Paradyn protocols (Section 4.2) ---
+  kParadynReport = 500,    ///< paradynd -> front-end: metric samples
+  kParadynCommand = 501,   ///< front-end -> paradynd: run/pause/instrument
+  kParadynCommandReply = 502,
+  kParadynHello = 503,     ///< paradynd announces itself to the front-end
+
+  // --- MRNet-lite (auxiliary service) ---
+  kMrnetBroadcast = 600,
+  kMrnetReduce = 601,
+  kMrnetReduceReply = 602,
+
+  // --- generic control ---
+  kPing = 900,
+  kPong = 901,
+  kShutdown = 902,
+};
+
+/// A typed, string-keyed message. Regular value type (Core Guidelines C.11).
+class Message {
+ public:
+  Message() = default;
+  explicit Message(MsgType type) : type_(type) {}
+
+  [[nodiscard]] MsgType type() const noexcept { return type_; }
+  void set_type(MsgType type) noexcept { type_ = type; }
+
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+  void set_seq(std::uint64_t seq) noexcept { seq_ = seq; }
+
+  /// Sets a field, overwriting any previous value. Returns *this to allow
+  /// fluent construction of protocol messages.
+  Message& set(std::string key, std::string value);
+  Message& set_int(std::string key, std::int64_t value);
+
+  [[nodiscard]] bool has(std::string_view key) const;
+  /// Returns the field value, or `fallback` when absent.
+  [[nodiscard]] std::string get(std::string_view key,
+                                std::string_view fallback = "") const;
+  /// Integer view of a field; returns fallback when absent or non-numeric.
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback = 0) const;
+
+  [[nodiscard]] const std::map<std::string, std::string>& fields() const noexcept {
+    return fields_;
+  }
+
+  /// Serializes to the wire format described in the header comment.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Decodes a full frame (including the u32 length prefix). Returns
+  /// kInvalidArgument on truncated or malformed input.
+  static Result<Message> decode(const std::uint8_t* data, std::size_t size);
+
+  /// Reads the payload length from a 4-byte prefix.
+  static std::uint32_t peek_length(const std::uint8_t* prefix) noexcept;
+
+  /// Bytes of the length prefix.
+  static constexpr std::size_t kLenPrefixSize = 4;
+  /// Upper bound accepted for one payload; protects servers against
+  /// corrupted prefixes.
+  static constexpr std::uint32_t kMaxPayload = 64u * 1024u * 1024u;
+
+  friend bool operator==(const Message& a, const Message& b) {
+    return a.type_ == b.type_ && a.seq_ == b.seq_ && a.fields_ == b.fields_;
+  }
+
+  /// Debug rendering: "AttrPut{seq=3, attr=pid, value=1234}".
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  MsgType type_ = MsgType::kInvalid;
+  std::uint64_t seq_ = 0;
+  std::map<std::string, std::string> fields_;
+};
+
+/// Short human-readable name of a message type.
+const char* msg_type_name(MsgType type) noexcept;
+
+}  // namespace tdp::net

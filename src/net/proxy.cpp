@@ -1,0 +1,204 @@
+#include "net/proxy.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/log.hpp"
+
+namespace tdp::net {
+
+namespace {
+const log::Logger kLog("proxy");
+}  // namespace
+
+ProxyServer::ProxyServer(std::shared_ptr<Transport> transport)
+    : transport_(std::move(transport)) {}
+
+ProxyServer::~ProxyServer() { stop(); }
+
+void ProxyServer::register_service(const std::string& name,
+                                   const std::string& target_address) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  services_[name] = target_address;
+}
+
+void ProxyServer::unregister_service(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  services_.erase(name);
+}
+
+Result<std::string> ProxyServer::start(const std::string& listen_address) {
+  auto listener = transport_->listen(listen_address);
+  if (!listener.is_ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  address_ = listener_->address();
+  running_.store(true, std::memory_order_release);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  kLog.info("proxy listening on ", address_);
+  return address_;
+}
+
+void ProxyServer::stop() {
+  running_.store(false, std::memory_order_release);
+  if (listener_) listener_->close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Sever every live tunnel so detached pump threads wind down, then wait
+  // for the count to drain.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& weak : live_endpoints_) {
+      if (auto endpoint = weak.lock()) endpoint->close();
+    }
+    live_endpoints_.clear();
+  }
+  while (active_threads_.load(std::memory_order_acquire) > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+std::string ProxyServer::address() const {
+  return address_;
+}
+
+std::size_t ProxyServer::tunnels_opened() const {
+  return tunnels_.load(std::memory_order_relaxed);
+}
+
+void ProxyServer::accept_loop() {
+  while (running_.load(std::memory_order_acquire)) {
+    auto accepted = listener_->accept(200);
+    if (!accepted.is_ok()) {
+      if (accepted.status().code() == ErrorCode::kTimeout) continue;
+      break;  // listener closed or failed
+    }
+    std::shared_ptr<Endpoint> shared(std::move(accepted).value().release());
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!running_.load(std::memory_order_acquire)) {
+        shared->close();
+        break;
+      }
+      // Prune dead entries so the registry stays proportional to LIVE
+      // tunnels, not historical ones.
+      live_endpoints_.erase(
+          std::remove_if(live_endpoints_.begin(), live_endpoints_.end(),
+                         [](const std::weak_ptr<Endpoint>& weak) {
+                           return weak.expired();
+                         }),
+          live_endpoints_.end());
+      live_endpoints_.push_back(shared);
+    }
+    active_threads_.fetch_add(1, std::memory_order_acq_rel);
+    std::thread([this, shared]() mutable {
+      handle_connection_shared(std::move(shared));
+      active_threads_.fetch_sub(1, std::memory_order_acq_rel);
+    }).detach();
+  }
+}
+
+void ProxyServer::handle_connection_shared(std::shared_ptr<Endpoint> client) {
+  auto hello = client->receive(5000);
+  if (!hello.is_ok() || hello->type() != MsgType::kProxyConnect) {
+    client->close();
+    return;
+  }
+  const std::string service = hello->get("service");
+  std::string target;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = services_.find(service);
+    if (it != services_.end()) target = it->second;
+  }
+  Message reply(MsgType::kProxyConnectReply);
+  if (target.empty()) {
+    reply.set("status", "error").set("error", "unknown service: " + service);
+    client->send(reply);
+    client->close();
+    return;
+  }
+  auto dialed = transport_->connect(target);
+  if (!dialed.is_ok()) {
+    reply.set("status", "error").set("error", dialed.status().to_string());
+    client->send(reply);
+    client->close();
+    return;
+  }
+  std::shared_ptr<Endpoint> upstream(std::move(dialed).value().release());
+  reply.set("status", "ok");
+  if (!client->send(reply).is_ok()) {
+    client->close();
+    upstream->close();
+    return;
+  }
+  tunnels_.fetch_add(1, std::memory_order_relaxed);
+  kLog.debug("tunnel opened: service=", service, " target=", target);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_.load(std::memory_order_acquire)) {
+      // stop() already swept the registry; do not start a tunnel it can
+      // no longer sever.
+      client->close();
+      upstream->close();
+      return;
+    }
+    live_endpoints_.push_back(upstream);
+  }
+  // Reverse direction pumped on its own (detached, counted) thread;
+  // forward direction pumped on this connection's thread. Both endpoints
+  // stay alive through the captured shared_ptrs.
+  active_threads_.fetch_add(1, std::memory_order_acq_rel);
+  std::thread([this, client, upstream] {
+    pump(*upstream, *client);
+    active_threads_.fetch_sub(1, std::memory_order_acq_rel);
+  }).detach();
+  pump(*client, *upstream);
+}
+
+void ProxyServer::pump(Endpoint& from, Endpoint& to) {
+  while (true) {
+    auto msg = from.receive(-1);
+    if (!msg.is_ok()) break;
+    if (!to.send(msg.value()).is_ok()) break;
+  }
+  from.close();
+  to.close();
+}
+
+Result<std::unique_ptr<Endpoint>> proxy_connect(Transport& transport,
+                                                const std::string& proxy_address,
+                                                const std::string& service) {
+  auto connected = transport.connect(proxy_address);
+  if (!connected.is_ok()) return connected.status();
+  std::unique_ptr<Endpoint> endpoint = std::move(connected).value();
+
+  Message hello(MsgType::kProxyConnect);
+  hello.set("service", service);
+  TDP_RETURN_IF_ERROR(endpoint->send(hello));
+
+  auto reply = endpoint->receive(5000);
+  if (!reply.is_ok()) return reply.status();
+  if (reply->type() != MsgType::kProxyConnectReply) {
+    return make_error(ErrorCode::kInternal,
+                      "unexpected proxy reply: " + reply->to_string());
+  }
+  if (reply->get("status") != "ok") {
+    return make_error(ErrorCode::kNotFound,
+                      "proxy refused service '" + service + "': " + reply->get("error"));
+  }
+  return endpoint;
+}
+
+Result<std::unique_ptr<Endpoint>> connect_direct_or_proxied(
+    Transport& transport, const std::string& target_address,
+    const std::string& proxy_address, const std::string& service) {
+  auto direct = transport.connect(target_address);
+  if (direct.is_ok()) return direct;
+  if (direct.status().code() != ErrorCode::kPermissionDenied || proxy_address.empty()) {
+    return direct.status();
+  }
+  kLog.debug("direct connect to ", target_address, " blocked; using proxy ",
+             proxy_address);
+  return proxy_connect(transport, proxy_address, service);
+}
+
+}  // namespace tdp::net

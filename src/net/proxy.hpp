@@ -1,0 +1,132 @@
+// proxy.hpp - RM-provided connection proxy for private networks.
+//
+// Section 2.4: when the execution hosts sit behind a firewall/NAT, the RT
+// daemon cannot connect straight to its front-end; "the host/port number
+// will be that of the RM's proxy, which will be responsible for
+// establishing the connection and forwarding inbound and outbound
+// messages." TDP "does not require a new proxy facility ... it merely
+// leverages existing ones and provides a standard interface to such a
+// facility."
+//
+// We model both halves of that sentence:
+//   * FirewalledTransport - wraps any Transport with an allow/deny policy,
+//     simulating the private network: blocked direct dials fail with
+//     kPermissionDenied so the proxy path is genuinely exercised.
+//   * ProxyServer - the RM-owned relay: clients connect to the proxy's
+//     address, name a registered logical service ("paradyn-frontend",
+//     "cass", "app-stdio"), and the proxy splices the two endpoints,
+//     relaying messages verbatim in both directions.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/transport.hpp"
+
+namespace tdp::net {
+
+/// Policy wrapper: connect() consults `allow` before dialing.
+class FirewalledTransport final : public Transport {
+ public:
+  using Policy = std::function<bool(const std::string& address)>;
+
+  /// `allow` returns true when a direct connection to `address` is
+  /// permitted. Listening is always local and therefore unrestricted.
+  FirewalledTransport(std::shared_ptr<Transport> inner, Policy allow)
+      : inner_(std::move(inner)), allow_(std::move(allow)) {}
+
+  Result<std::unique_ptr<Listener>> listen(const std::string& address) override {
+    return inner_->listen(address);
+  }
+
+  Result<std::unique_ptr<Endpoint>> connect(const std::string& address) override {
+    if (allow_ && !allow_(address)) {
+      return make_error(ErrorCode::kPermissionDenied,
+                        "firewall blocks direct connection to " + address);
+    }
+    return inner_->connect(address);
+  }
+
+ private:
+  std::shared_ptr<Transport> inner_;
+  Policy allow_;
+};
+
+/// The RM's message relay. One ProxyServer serves many logical services.
+///
+/// Lifecycle: construct, register_service() for each reachable target,
+/// start(), ... , stop(). Each tunnel uses two pump threads; fine for the
+/// handful of long-lived control connections TDP needs (RT front-end link,
+/// stdio forwarding, CASS access).
+class ProxyServer {
+ public:
+  /// `transport` must be able to reach the registered targets (it is the
+  /// RM's own unrestricted transport).
+  explicit ProxyServer(std::shared_ptr<Transport> transport);
+  ~ProxyServer();
+
+  ProxyServer(const ProxyServer&) = delete;
+  ProxyServer& operator=(const ProxyServer&) = delete;
+
+  /// Maps a logical service name to a concrete address.
+  void register_service(const std::string& name, const std::string& target_address);
+  void unregister_service(const std::string& name);
+
+  /// Binds `listen_address` and starts the accept loop on a background
+  /// thread. Returns the concrete bound address (useful with TCP port 0).
+  Result<std::string> start(const std::string& listen_address);
+
+  /// Stops accepting and tears down all active tunnels. Idempotent.
+  void stop();
+
+  /// Address clients should dial; empty before start().
+  [[nodiscard]] std::string address() const;
+
+  /// Number of tunnels spliced since start (diagnostics).
+  [[nodiscard]] std::size_t tunnels_opened() const;
+
+ private:
+  void accept_loop();
+  void handle_connection_shared(std::shared_ptr<Endpoint> client);
+  static void pump(Endpoint& from, Endpoint& to);
+
+  std::shared_ptr<Transport> transport_;
+  std::unique_ptr<Listener> listener_;
+  std::string address_;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::string> services_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<std::size_t> tunnels_{0};
+  /// Live pump/handler threads. They are detached (a proxy serves an
+  /// unbounded stream of tunnels; joinable threads would accumulate until
+  /// stop()) and counted so stop() can wait for them to drain.
+  std::atomic<int> active_threads_{0};
+  /// Weak handles to endpoints so stop() can sever live tunnels; pruned
+  /// opportunistically.
+  std::vector<std::weak_ptr<Endpoint>> live_endpoints_;
+};
+
+/// Client-side helper implementing the Section 2.4 contract: TDP hands the
+/// RT a host/port that is either the real peer or the RM's proxy. This
+/// function performs the proxy handshake (kProxyConnect / reply) and
+/// returns an endpoint on which the caller immediately speaks its own
+/// protocol.
+Result<std::unique_ptr<Endpoint>> proxy_connect(Transport& transport,
+                                                const std::string& proxy_address,
+                                                const std::string& service);
+
+/// Convenience used by TDP core: try direct connect first; on
+/// kPermissionDenied (firewall) fall back to the proxy when one is known.
+Result<std::unique_ptr<Endpoint>> connect_direct_or_proxied(
+    Transport& transport, const std::string& target_address,
+    const std::string& proxy_address, const std::string& service);
+
+}  // namespace tdp::net

@@ -1,0 +1,102 @@
+#include "net/reactor.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <vector>
+
+namespace tdp::net {
+
+Reactor::Reactor() {
+  int fds[2] = {-1, -1};
+  if (::pipe(fds) == 0) {
+    wake_r_ = fds[0];
+    wake_w_ = fds[1];
+    ::fcntl(wake_r_, F_SETFL, O_NONBLOCK);
+    ::fcntl(wake_w_, F_SETFL, O_NONBLOCK);
+    ::fcntl(wake_r_, F_SETFD, FD_CLOEXEC);
+    ::fcntl(wake_w_, F_SETFD, FD_CLOEXEC);
+  }
+}
+
+Reactor::~Reactor() {
+  if (wake_r_ >= 0) ::close(wake_r_);
+  if (wake_w_ >= 0) ::close(wake_w_);
+}
+
+void Reactor::add_readable(int fd, Handler handler) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_[fd] = std::move(handler);
+}
+
+void Reactor::remove(int fd) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  handlers_.erase(fd);
+}
+
+int Reactor::run_once(int timeout_ms) {
+  std::vector<struct pollfd> pfds;
+  std::vector<int> fds;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    pfds.reserve(handlers_.size() + 1);
+    fds.reserve(handlers_.size());
+    for (const auto& [fd, handler] : handlers_) {
+      pfds.push_back({fd, POLLIN, 0});
+      fds.push_back(fd);
+    }
+  }
+  pfds.push_back({wake_r_, POLLIN, 0});
+
+  int rc;
+  do {
+    rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  } while (rc < 0 && errno == EINTR);
+  if (rc <= 0) return 0;
+
+  // Drain wakeup bytes first so stop() is observed promptly.
+  if (pfds.back().revents & (POLLIN | POLLHUP | POLLERR)) {
+    char buf[64];
+    while (::read(wake_r_, buf, sizeof(buf)) > 0) {
+    }
+  }
+
+  int dispatched = 0;
+  for (std::size_t i = 0; i + 1 < pfds.size(); ++i) {
+    if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    Handler handler;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = handlers_.find(fds[i]);
+      if (it == handlers_.end()) continue;  // removed by an earlier handler
+      handler = it->second;                 // copy so handlers may remove(fd)
+    }
+    handler();
+    ++dispatched;
+  }
+  return dispatched;
+}
+
+void Reactor::run() {
+  stop_requested_.store(false, std::memory_order_release);
+  while (!stop_requested_.load(std::memory_order_acquire)) {
+    run_once(-1);
+  }
+}
+
+void Reactor::stop() {
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_w_ >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] ssize_t n = ::write(wake_w_, &byte, 1);
+  }
+}
+
+std::size_t Reactor::watch_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return handlers_.size();
+}
+
+}  // namespace tdp::net

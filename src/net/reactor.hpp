@@ -1,0 +1,64 @@
+// reactor.hpp - the central poll loop every TDP daemon runs.
+//
+// Section 3.3 of the paper: "Most RTs and RMs have a central polling loop
+// where they use an operation such as the Unix poll or select to wait for
+// the next event to process." The Reactor is that loop, factored out so the
+// starter, paradynd, LASS/CASS servers, proxy and examples all share one
+// implementation. Handlers are invoked on the thread that calls run_once /
+// run, which is the paper's "callback at a well-known and safe point"
+// design.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <mutex>
+
+#include "util/status.hpp"
+
+namespace tdp::net {
+
+class Reactor {
+ public:
+  using Handler = std::function<void()>;
+
+  Reactor();
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  /// Registers `handler` to run whenever `fd` polls readable. Replaces any
+  /// existing handler for the same descriptor.
+  void add_readable(int fd, Handler handler);
+
+  /// Stops watching `fd`; safe to call from inside a handler.
+  void remove(int fd);
+
+  /// Polls all registered descriptors once and dispatches ready handlers.
+  /// Returns the number of handlers invoked; 0 on timeout.
+  /// timeout_ms: <0 block until an event or stop(), 0 poll, >0 bounded.
+  int run_once(int timeout_ms);
+
+  /// Loops run_once until stop() is called.
+  void run();
+
+  /// Wakes any blocked run_once and makes run() return. Thread-safe.
+  void stop();
+
+  /// True after stop() until the next run().
+  [[nodiscard]] bool stopped() const noexcept {
+    return stop_requested_.load(std::memory_order_acquire);
+  }
+
+  [[nodiscard]] std::size_t watch_count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<int, Handler> handlers_;
+  std::atomic<bool> stop_requested_{false};
+  int wake_r_ = -1;
+  int wake_w_ = -1;
+};
+
+}  // namespace tdp::net

@@ -1,0 +1,265 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <mutex>
+#include <vector>
+
+#include "util/string_util.hpp"
+
+namespace tdp::net {
+
+void UniqueFd::reset(int fd) noexcept {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+Status errno_status(ErrorCode code, const char* what) {
+  return make_error(code, std::string(what) + ": " + std::strerror(errno));
+}
+
+/// Remaining milliseconds until `deadline`; -1 means "no deadline".
+int remaining_ms(SteadyClock::time_point deadline, bool has_deadline) {
+  if (!has_deadline) return -1;
+  auto now = SteadyClock::now();
+  if (now >= deadline) return 0;
+  return static_cast<int>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count() + 1);
+}
+
+/// Waits for events on fd. Returns kOk when ready, kTimeout otherwise.
+Status poll_fd(int fd, short events, int timeout_ms) {
+  struct pollfd pfd{};
+  pfd.fd = fd;
+  pfd.events = events;
+  while (true) {
+    int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc > 0) return Status::ok();
+    if (rc == 0) return make_error(ErrorCode::kTimeout, "poll timed out");
+    if (errno == EINTR) continue;
+    return errno_status(ErrorCode::kConnectionError, "poll");
+  }
+}
+
+bool parse_address(const std::string& address, sockaddr_in* out) {
+  std::string host;
+  int port = 0;
+  if (!str::parse_host_port(address, &host, &port)) {
+    // Accept ":port" form.
+    if (!address.empty() && address[0] == ':' && str::is_integer(address.substr(1))) {
+      host = "127.0.0.1";
+      port = std::stoi(address.substr(1));
+    } else {
+      return false;
+    }
+  }
+  if (host.empty() || host == "localhost") host = "127.0.0.1";
+  std::memset(out, 0, sizeof(*out));
+  out->sin_family = AF_INET;
+  out->sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &out->sin_addr) != 1) return false;
+  return true;
+}
+
+std::string address_of(const sockaddr_in& sa) {
+  char buf[INET_ADDRSTRLEN] = {0};
+  ::inet_ntop(AF_INET, &sa.sin_addr, buf, sizeof(buf));
+  return str::format_host_port(buf, ntohs(sa.sin_port));
+}
+
+/// A connected stream socket speaking the Message framing.
+class TcpEndpoint final : public Endpoint {
+ public:
+  explicit TcpEndpoint(UniqueFd fd) : fd_(std::move(fd)) {
+    int one = 1;
+    ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in peer{};
+    socklen_t len = sizeof(peer);
+    if (::getpeername(fd_.get(), reinterpret_cast<sockaddr*>(&peer), &len) == 0) {
+      peer_ = address_of(peer);
+    }
+  }
+
+  ~TcpEndpoint() override { TcpEndpoint::close(); }
+
+  Status send(const Message& msg) override {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (!fd_.valid()) return make_error(ErrorCode::kConnectionError, "endpoint closed");
+    const std::vector<std::uint8_t> frame = msg.encode();
+    std::size_t sent = 0;
+    while (sent < frame.size()) {
+      ssize_t n = ::send(fd_.get(), frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        TDP_RETURN_IF_ERROR(poll_fd(fd_.get(), POLLOUT, -1));
+        continue;
+      }
+      return errno_status(ErrorCode::kConnectionError, "send");
+    }
+    return Status::ok();
+  }
+
+  Result<Message> receive(int timeout_ms) override {
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    if (!fd_.valid()) return make_error(ErrorCode::kConnectionError, "endpoint closed");
+
+    const bool has_deadline = timeout_ms >= 0;
+    const auto deadline = SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
+
+    while (true) {
+      // Try to parse one complete frame from the buffer.
+      if (buffer_.size() >= Message::kLenPrefixSize) {
+        const std::uint32_t payload = Message::peek_length(buffer_.data());
+        if (payload > Message::kMaxPayload) {
+          close_locked();
+          return make_error(ErrorCode::kInvalidArgument, "oversized frame from peer");
+        }
+        const std::size_t frame_size = Message::kLenPrefixSize + payload;
+        if (buffer_.size() >= frame_size) {
+          auto decoded = Message::decode(buffer_.data(), frame_size);
+          buffer_.erase(buffer_.begin(),
+                        buffer_.begin() + static_cast<std::ptrdiff_t>(frame_size));
+          return decoded;
+        }
+      }
+
+      int wait = remaining_ms(deadline, has_deadline);
+      if (has_deadline && wait == 0 && timeout_ms != 0) {
+        return make_error(ErrorCode::kTimeout, "receive timed out");
+      }
+      if (timeout_ms == 0) wait = 0;
+      Status ready = poll_fd(fd_.get(), POLLIN, wait);
+      if (!ready.is_ok()) return ready;
+
+      std::uint8_t chunk[16 * 1024];
+      ssize_t n = ::recv(fd_.get(), chunk, sizeof(chunk), 0);
+      if (n > 0) {
+        buffer_.insert(buffer_.end(), chunk, chunk + n);
+        continue;
+      }
+      if (n == 0) {
+        return make_error(ErrorCode::kConnectionError, "peer closed connection");
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (timeout_ms == 0) return make_error(ErrorCode::kTimeout, "no data available");
+        continue;
+      }
+      return errno_status(ErrorCode::kConnectionError, "recv");
+    }
+  }
+
+  [[nodiscard]] int readable_fd() const override { return fd_.get(); }
+
+  [[nodiscard]] bool is_open() const override { return fd_.valid(); }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    close_locked();
+  }
+
+  [[nodiscard]] std::string peer_address() const override { return peer_; }
+
+ private:
+  void close_locked() {
+    if (fd_.valid()) {
+      ::shutdown(fd_.get(), SHUT_RDWR);
+      fd_.reset();
+    }
+  }
+
+  UniqueFd fd_;
+  std::string peer_;
+  std::vector<std::uint8_t> buffer_;
+  std::mutex send_mutex_;
+  std::mutex recv_mutex_;
+};
+
+class TcpListener final : public Listener {
+ public:
+  TcpListener(UniqueFd fd, std::string address)
+      : fd_(std::move(fd)), address_(std::move(address)) {}
+
+  ~TcpListener() override { TcpListener::close(); }
+
+  Result<std::unique_ptr<Endpoint>> accept(int timeout_ms) override {
+    if (!fd_.valid()) return make_error(ErrorCode::kCancelled, "listener closed");
+    Status ready = poll_fd(fd_.get(), POLLIN, timeout_ms);
+    if (!ready.is_ok()) return ready;
+    while (true) {
+      int client = ::accept(fd_.get(), nullptr, nullptr);
+      if (client >= 0) {
+        return std::unique_ptr<Endpoint>(new TcpEndpoint(UniqueFd(client)));
+      }
+      if (errno == EINTR) continue;
+      return errno_status(ErrorCode::kConnectionError, "accept");
+    }
+  }
+
+  [[nodiscard]] std::string address() const override { return address_; }
+
+  [[nodiscard]] int readable_fd() const override { return fd_.get(); }
+
+  void close() override { fd_.reset(); }
+
+ private:
+  UniqueFd fd_;
+  std::string address_;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<Listener>> TcpTransport::listen(const std::string& address) {
+  sockaddr_in sa{};
+  if (!parse_address(address, &sa)) {
+    return make_error(ErrorCode::kInvalidArgument, "bad TCP listen address: " + address);
+  }
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return errno_status(ErrorCode::kInternal, "socket");
+  int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    return errno_status(ErrorCode::kConnectionError, "bind");
+  }
+  if (::listen(fd.get(), 128) != 0) {
+    return errno_status(ErrorCode::kConnectionError, "listen");
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return errno_status(ErrorCode::kInternal, "getsockname");
+  }
+  return std::unique_ptr<Listener>(new TcpListener(std::move(fd), address_of(bound)));
+}
+
+Result<std::unique_ptr<Endpoint>> TcpTransport::connect(const std::string& address) {
+  sockaddr_in sa{};
+  if (!parse_address(address, &sa)) {
+    return make_error(ErrorCode::kInvalidArgument, "bad TCP connect address: " + address);
+  }
+  UniqueFd fd(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+  if (!fd.valid()) return errno_status(ErrorCode::kInternal, "socket");
+  while (::connect(fd.get(), reinterpret_cast<sockaddr*>(&sa), sizeof(sa)) != 0) {
+    if (errno == EINTR) continue;
+    return errno_status(ErrorCode::kConnectionError, "connect");
+  }
+  return std::unique_ptr<Endpoint>(new TcpEndpoint(std::move(fd)));
+}
+
+}  // namespace tdp::net

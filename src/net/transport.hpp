@@ -1,0 +1,86 @@
+// transport.hpp - duplex message endpoints over pluggable transports.
+//
+// TDP daemons never touch sockets directly; they speak Message over an
+// Endpoint. Two transports implement the interface:
+//   * InProcTransport  - lock-protected queues inside one process; used by
+//     unit tests and by the virtual-cluster benches (address scheme
+//     "inproc://name").
+//   * TcpTransport     - real localhost TCP with length-prefixed framing;
+//     used by the examples and the integration tests (address scheme
+//     "host:port").
+//
+// Every Endpoint exposes readable_fd(): a descriptor that becomes readable
+// when a message may be pending. This is the mechanism Section 3.3 of the
+// paper builds tdp_service_event on: "asynchronous events simply cause
+// activity on a descriptor, so the daemon would return from the poll".
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "net/message.hpp"
+#include "util/status.hpp"
+
+namespace tdp::net {
+
+/// One side of an established, bidirectional message channel.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  Endpoint() = default;
+  Endpoint(const Endpoint&) = delete;
+  Endpoint& operator=(const Endpoint&) = delete;
+
+  /// Sends a message; blocks only for transient flow control.
+  virtual Status send(const Message& msg) = 0;
+
+  /// Receives the next message. timeout_ms semantics:
+  ///   <0 block until a message or disconnect, 0 poll, >0 bounded wait.
+  /// Returns kTimeout when the deadline passes, kConnectionError when the
+  /// peer is gone and no queued message remains.
+  virtual Result<Message> receive(int timeout_ms) = 0;
+
+  /// Descriptor that poll()s readable when receive() would not block
+  /// (level-triggered), or -1 if the transport cannot provide one.
+  [[nodiscard]] virtual int readable_fd() const = 0;
+
+  [[nodiscard]] virtual bool is_open() const = 0;
+  virtual void close() = 0;
+
+  /// Address of the remote side, for diagnostics.
+  [[nodiscard]] virtual std::string peer_address() const = 0;
+};
+
+/// A bound, accepting server socket.
+class Listener {
+ public:
+  virtual ~Listener() = default;
+
+  Listener() = default;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Accepts one inbound connection (same timeout semantics as receive).
+  virtual Result<std::unique_ptr<Endpoint>> accept(int timeout_ms) = 0;
+
+  /// The concrete address clients should connect to. For TCP listeners
+  /// bound to port 0 this reports the kernel-assigned port.
+  [[nodiscard]] virtual std::string address() const = 0;
+
+  /// Descriptor readable when accept() would not block, or -1.
+  [[nodiscard]] virtual int readable_fd() const = 0;
+
+  virtual void close() = 0;
+};
+
+/// Factory for listeners and client connections.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual Result<std::unique_ptr<Listener>> listen(const std::string& address) = 0;
+  virtual Result<std::unique_ptr<Endpoint>> connect(const std::string& address) = 0;
+};
+
+}  // namespace tdp::net

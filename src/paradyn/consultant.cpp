@@ -1,0 +1,78 @@
+#include "paradyn/consultant.hpp"
+
+#include <algorithm>
+
+namespace tdp::paradyn {
+
+const char* hypothesis_name(Hypothesis hypothesis) noexcept {
+  switch (hypothesis) {
+    case Hypothesis::kCpuBound: return "ExcessiveCpuTime";
+    case Hypothesis::kSyncBound: return "ExcessiveSyncWait";
+    case Hypothesis::kIoBound: return "ExcessiveIoWait";
+  }
+  return "?";
+}
+
+Metric hypothesis_metric(Hypothesis hypothesis) noexcept {
+  switch (hypothesis) {
+    case Hypothesis::kCpuBound: return Metric::kCpuTime;
+    case Hypothesis::kSyncBound: return Metric::kSyncWait;
+    case Hypothesis::kIoBound: return Metric::kIoWait;
+  }
+  return Metric::kCpuTime;
+}
+
+std::vector<PerformanceConsultant::Finding> PerformanceConsultant::search() {
+  std::vector<Finding> findings;
+  tested_ = 0;
+
+  // All severities are normalized by whole-program CPU time: "where does
+  // the time go" is always relative to total activity.
+  const double total_cpu = store_.value(Metric::kCpuTime, code_focus());
+  if (total_cpu <= 0.0) return findings;
+
+  for (Hypothesis hypothesis :
+       {Hypothesis::kCpuBound, Hypothesis::kSyncBound, Hypothesis::kIoBound}) {
+    ++tested_;
+    const double root_value =
+        store_.value(hypothesis_metric(hypothesis), code_focus());
+    if (root_value / total_cpu < options_.threshold) continue;
+    refine(hypothesis, code_focus(), 0, total_cpu, &findings);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.severity != b.severity) return a.severity > b.severity;
+              return a.focus < b.focus;
+            });
+  return findings;
+}
+
+void PerformanceConsultant::refine(Hypothesis hypothesis, const std::string& focus,
+                                   int depth, double total_cpu,
+                                   std::vector<Finding>* findings) {
+  const Metric metric = hypothesis_metric(hypothesis);
+  bool any_child_held = false;
+  if (depth < options_.max_depth) {
+    for (const std::string& child : store_.children(metric, focus)) {
+      ++tested_;
+      const double child_value = store_.value(metric, child);
+      if (child_value / total_cpu >= options_.threshold) {
+        any_child_held = true;
+        refine(hypothesis, child, depth + 1, total_cpu, findings);
+      }
+    }
+  }
+  // Report the narrowest focus at which the hypothesis still holds: a
+  // parent is only interesting when no child localizes the problem.
+  if (!any_child_held && depth > 0) {
+    Finding finding;
+    finding.hypothesis = hypothesis;
+    finding.focus = focus;
+    finding.severity = store_.value(metric, focus) / total_cpu;
+    finding.depth = depth;
+    findings->push_back(std::move(finding));
+  }
+}
+
+}  // namespace tdp::paradyn

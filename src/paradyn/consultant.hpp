@@ -1,0 +1,69 @@
+// consultant.hpp - the Performance Consultant: Paradyn's automated
+// bottleneck search ("the ability to automatically search for performance
+// bottlenecks", Section 4.2), in the W3-search style: a set of hypotheses
+// (CPU bound / synchronization bound / I/O bound) is tested at the root
+// focus and, wherever a hypothesis holds, refined down the resource
+// hierarchy until the blame lands on the narrowest focus that still
+// explains at least `threshold` of the program's activity.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "paradyn/metrics.hpp"
+
+namespace tdp::paradyn {
+
+enum class Hypothesis : std::uint8_t {
+  kCpuBound = 0,
+  kSyncBound,
+  kIoBound,
+};
+
+const char* hypothesis_name(Hypothesis hypothesis) noexcept;
+
+/// Metric a hypothesis is judged on.
+Metric hypothesis_metric(Hypothesis hypothesis) noexcept;
+
+class PerformanceConsultant {
+ public:
+  struct Finding {
+    Hypothesis hypothesis = Hypothesis::kCpuBound;
+    std::string focus;
+    /// Fraction of total cpu_time this focus's metric represents.
+    double severity = 0.0;
+    /// Depth in the refinement (1 = module, 2 = function).
+    int depth = 0;
+  };
+
+  struct Options {
+    /// A hypothesis holds at a focus when metric(focus) / cpu_time(/Code)
+    /// exceeds this fraction.
+    double threshold = 0.2;
+    /// Stop refining below this depth (2 = down to functions).
+    int max_depth = 2;
+  };
+
+  explicit PerformanceConsultant(const MetricStore& store)
+      : PerformanceConsultant(store, Options{}) {}
+  PerformanceConsultant(const MetricStore& store, Options options)
+      : store_(store), options_(options) {}
+
+  /// Runs the search; findings are the deepest foci where a hypothesis
+  /// still holds, most severe first. Also records the tested-hypothesis
+  /// count for the search-cost benches.
+  std::vector<Finding> search();
+
+  [[nodiscard]] std::size_t hypotheses_tested() const noexcept { return tested_; }
+
+ private:
+  /// Tests `hypothesis` at `focus`; recurses into children while true.
+  void refine(Hypothesis hypothesis, const std::string& focus, int depth,
+              double total_cpu, std::vector<Finding>* findings);
+
+  const MetricStore& store_;
+  Options options_;
+  std::size_t tested_ = 0;
+};
+
+}  // namespace tdp::paradyn

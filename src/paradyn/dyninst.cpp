@@ -1,0 +1,167 @@
+#include "paradyn/dyninst.hpp"
+
+#include <algorithm>
+
+namespace tdp::paradyn {
+
+const char* metric_name(Metric metric) noexcept {
+  switch (metric) {
+    case Metric::kCpuTime: return "cpu_time";
+    case Metric::kCallCount: return "call_count";
+    case Metric::kSyncWait: return "sync_wait";
+    case Metric::kIoWait: return "io_wait";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------
+// SymbolTable
+// ---------------------------------------------------------------------
+
+void SymbolTable::add(FunctionSymbol symbol) {
+  total_weight_ += symbol.weight;
+  functions_.push_back(std::move(symbol));
+}
+
+SymbolTable SymbolTable::synthesize(const std::string& executable, int nfuncs,
+                                    std::uint64_t seed) {
+  // Seed from the executable name so the same workload always has the same
+  // profile (stable bench baselines).
+  std::uint64_t hash = 1469598103934665603ULL ^ seed;
+  for (char c : executable) {
+    hash ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
+    hash *= 1099511628211ULL;
+  }
+  Rng rng(hash);
+
+  SymbolTable table;
+  if (nfuncs < 1) nfuncs = 1;
+  const char* modules[] = {"main.o", "compute.o", "io.o", "net.o"};
+
+  // Regular functions with modest random weights.
+  for (int i = 0; i < nfuncs - 1; ++i) {
+    FunctionSymbol symbol;
+    symbol.module = modules[rng.next_below(4)];
+    symbol.name = "func_" + std::to_string(i);
+    symbol.weight = 1 + rng.next_below(10);
+    if (symbol.module == std::string("io.o")) {
+      symbol.io_fraction = 0.3 + rng.next_double() * 0.4;
+    }
+    if (symbol.module == std::string("net.o")) {
+      symbol.sync_fraction = 0.3 + rng.next_double() * 0.4;
+    }
+    table.add(std::move(symbol));
+  }
+
+  // The hot spot: roughly as heavy as everything else combined, so a
+  // correct bottleneck search must converge on it.
+  FunctionSymbol hot;
+  hot.module = "compute.o";
+  hot.name = "hot_spot";
+  hot.weight = std::max<std::uint64_t>(1, table.total_weight());
+  table.add(std::move(hot));
+  return table;
+}
+
+const FunctionSymbol* SymbolTable::find(const std::string& module,
+                                        const std::string& name) const {
+  for (const FunctionSymbol& symbol : functions_) {
+    if (symbol.module == module && symbol.name == name) return &symbol;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SymbolTable::modules() const {
+  std::vector<std::string> out;
+  for (const FunctionSymbol& symbol : functions_) {
+    if (std::find(out.begin(), out.end(), symbol.module) == out.end()) {
+      out.push_back(symbol.module);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// Inferior
+// ---------------------------------------------------------------------
+
+Inferior::Inferior(proc::Pid pid, SymbolTable symbols)
+    : pid_(pid), symbols_(std::move(symbols)) {}
+
+Status Inferior::insert_instrumentation(const std::string& module,
+                                        const std::string& function, Metric metric) {
+  if (symbols_.find(module, function) == nullptr) {
+    return make_error(ErrorCode::kNotFound,
+                      "no such instrumentation point: " + module + "/" + function);
+  }
+  auto [it, inserted] = points_.insert({module, function, metric});
+  if (!inserted) {
+    return make_error(ErrorCode::kAlreadyExists,
+                      "already instrumented: " + module + "/" + function);
+  }
+  return Status::ok();
+}
+
+int Inferior::insert_matching(const std::string& module_pattern,
+                              const std::string& function_pattern, Metric metric) {
+  int inserted = 0;
+  for (const FunctionSymbol& symbol : symbols_.functions()) {
+    if (module_pattern != "*" && module_pattern != symbol.module) continue;
+    if (function_pattern != "*" && function_pattern != symbol.name) continue;
+    if (points_.insert({symbol.module, symbol.name, metric}).second) ++inserted;
+  }
+  return inserted;
+}
+
+Status Inferior::remove_instrumentation(const std::string& module,
+                                        const std::string& function, Metric metric) {
+  if (points_.erase({module, function, metric}) == 0) {
+    return make_error(ErrorCode::kNotFound,
+                      "not instrumented: " + module + "/" + function);
+  }
+  return Status::ok();
+}
+
+bool Inferior::is_instrumented(const std::string& module, const std::string& function,
+                               Metric metric) const {
+  return points_.count({module, function, metric}) != 0;
+}
+
+std::vector<Sample> Inferior::sample(std::int64_t cpu_micros) {
+  total_sampled_ += cpu_micros;
+  std::vector<Sample> samples;
+  const double total_weight = static_cast<double>(symbols_.total_weight());
+  if (total_weight <= 0) return samples;
+
+  for (const InstrumentationPoint& point : points_) {
+    const FunctionSymbol* symbol = symbols_.find(point.module, point.function);
+    if (symbol == nullptr) continue;
+    const double share =
+        static_cast<double>(cpu_micros) * static_cast<double>(symbol->weight) /
+        total_weight;
+    Sample sample;
+    sample.module = point.module;
+    sample.function = point.function;
+    sample.metric = point.metric;
+    switch (point.metric) {
+      case Metric::kCpuTime:
+        sample.value = share * (1.0 - symbol->sync_fraction - symbol->io_fraction);
+        break;
+      case Metric::kCallCount:
+        // ~1 call per 100us of attributed time, floor 1 if any time.
+        sample.value = share > 0 ? std::max(1.0, share / 100.0) : 0.0;
+        break;
+      case Metric::kSyncWait:
+        sample.value = share * symbol->sync_fraction;
+        break;
+      case Metric::kIoWait:
+        sample.value = share * symbol->io_fraction;
+        break;
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace tdp::paradyn

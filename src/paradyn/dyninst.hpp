@@ -1,0 +1,156 @@
+// dyninst.hpp - DynInst-lite: the dynamic-instrumentation model MiniParadyn
+// operates with.
+//
+// Paradyn's two major technologies are "the ability to automatically search
+// for performance bottlenecks (Performance Consultant) and dynamically
+// inserting and removing instrumentation in the application program at run
+// time (Dyninst)" (Section 4.2). Real DynInst rewrites machine code; our
+// inferior model keeps the same *interface* — parse the executable's
+// symbols, choose instrumentation points, patch/unpatch them at run time,
+// pay overhead proportional to active instrumentation — over a synthetic
+// execution model: each function has a deterministic weight (seeded by its
+// name), and sampling distributes elapsed virtual CPU time across
+// functions by weight. One function per workload is "hot", which gives the
+// Performance Consultant something real to find.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "proc/process.hpp"
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace tdp::paradyn {
+
+/// Metrics DynInst-lite instrumentation can collect.
+enum class Metric : std::uint8_t {
+  kCpuTime = 0,   ///< virtual CPU seconds attributed to the function
+  kCallCount,     ///< number of invocations
+  kSyncWait,      ///< time blocked on synchronization
+  kIoWait,        ///< time blocked on I/O
+};
+
+const char* metric_name(Metric metric) noexcept;
+
+/// One function in the inferior's symbol table.
+struct FunctionSymbol {
+  std::string module;
+  std::string name;
+  /// Relative execution weight (synthetic workload model).
+  std::uint64_t weight = 1;
+  /// Fraction of this function's time that is sync / io blocking.
+  double sync_fraction = 0.0;
+  double io_fraction = 0.0;
+};
+
+/// The parsed executable image ("paradynd parses the executable to
+/// discover symbols and find potential instrumentation points").
+class SymbolTable {
+ public:
+  /// Synthesizes a deterministic symbol table for `executable`: `nfuncs`
+  /// functions across a few modules, weights seeded by executable name so
+  /// every run of the same workload sees the same profile. One function
+  /// ("hot_spot") receives ~half the total weight, and designated
+  /// functions have sync/io-bound character.
+  static SymbolTable synthesize(const std::string& executable, int nfuncs,
+                                std::uint64_t seed = 0);
+
+  [[nodiscard]] const std::vector<FunctionSymbol>& functions() const noexcept {
+    return functions_;
+  }
+  [[nodiscard]] const FunctionSymbol* find(const std::string& module,
+                                           const std::string& name) const;
+  [[nodiscard]] std::vector<std::string> modules() const;
+  [[nodiscard]] std::uint64_t total_weight() const noexcept { return total_weight_; }
+
+  void add(FunctionSymbol symbol);
+
+ private:
+  std::vector<FunctionSymbol> functions_;
+  std::uint64_t total_weight_ = 0;
+};
+
+/// One collected sample.
+struct Sample {
+  Metric metric = Metric::kCpuTime;
+  std::string module;
+  std::string function;
+  double value = 0.0;
+};
+
+/// A point that has been patched into the inferior.
+struct InstrumentationPoint {
+  std::string module;
+  std::string function;
+  Metric metric = Metric::kCpuTime;
+
+  bool operator<(const InstrumentationPoint& other) const {
+    return std::tie(module, function, metric) <
+           std::tie(other.module, other.function, other.metric);
+  }
+};
+
+/// The attached, instrumentable process image.
+class Inferior {
+ public:
+  /// `pid` is the application process (control stays with the RM per
+  /// Section 2.3; the inferior only reads/instrumentes the image).
+  Inferior(proc::Pid pid, SymbolTable symbols);
+
+  [[nodiscard]] proc::Pid pid() const noexcept { return pid_; }
+  [[nodiscard]] const SymbolTable& symbols() const noexcept { return symbols_; }
+
+  /// Patches an instrumentation point. kNotFound for unknown functions,
+  /// kAlreadyExists when the point is already active.
+  Status insert_instrumentation(const std::string& module,
+                                const std::string& function, Metric metric);
+
+  /// "*" as module/function instruments every matching symbol (whole-
+  /// program instrumentation, Paradyn's initial configuration).
+  int insert_matching(const std::string& module_pattern,
+                      const std::string& function_pattern, Metric metric);
+
+  /// Unpatches a point (Paradyn removes instrumentation it no longer
+  /// needs to keep overhead down).
+  Status remove_instrumentation(const std::string& module,
+                                const std::string& function, Metric metric);
+
+  [[nodiscard]] bool is_instrumented(const std::string& module,
+                                     const std::string& function,
+                                     Metric metric) const;
+  [[nodiscard]] std::size_t active_points() const noexcept {
+    return points_.size();
+  }
+
+  /// Advances the synthetic execution model by `cpu_micros` of virtual CPU
+  /// time and returns samples for the ACTIVE instrumentation points only
+  /// (uninstrumented functions cost nothing and report nothing).
+  std::vector<Sample> sample(std::int64_t cpu_micros);
+
+  /// Fractional slowdown imposed by active instrumentation: each active
+  /// point costs kOverheadPerPoint. This is what the instrumentation-
+  /// overhead ablation bench measures.
+  [[nodiscard]] double overhead_fraction() const noexcept {
+    return static_cast<double>(points_.size()) * kOverheadPerPoint;
+  }
+
+  static constexpr double kOverheadPerPoint = 0.001;  // 0.1% per point
+
+  /// Total virtual CPU time sampled so far (micros).
+  [[nodiscard]] std::int64_t total_sampled_micros() const noexcept {
+    return total_sampled_;
+  }
+
+ private:
+  proc::Pid pid_;
+  SymbolTable symbols_;
+  std::set<InstrumentationPoint> points_;
+  std::int64_t total_sampled_ = 0;
+};
+
+}  // namespace tdp::paradyn

@@ -1,0 +1,78 @@
+#include "paradyn/metrics.hpp"
+
+#include "util/string_util.hpp"
+
+namespace tdp::paradyn {
+
+std::string code_focus() { return "/Code"; }
+
+std::string module_focus(const std::string& module) { return "/Code/" + module; }
+
+std::string function_focus(const std::string& module, const std::string& function) {
+  return "/Code/" + module + "/" + function;
+}
+
+std::string process_focus(proc::Pid pid) {
+  return "/Process/" + std::to_string(pid);
+}
+
+void MetricStore::record(const Sample& sample, proc::Pid pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& per_focus = data_[sample.metric];
+  per_focus[code_focus()] += sample.value;
+  per_focus[module_focus(sample.module)] += sample.value;
+  per_focus[function_focus(sample.module, sample.function)] += sample.value;
+  if (pid != 0) per_focus[process_focus(pid)] += sample.value;
+  ++samples_;
+}
+
+void MetricStore::record_all(const std::vector<Sample>& samples, proc::Pid pid) {
+  for (const Sample& sample : samples) record(sample, pid);
+}
+
+double MetricStore::value(Metric metric, const std::string& focus) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto metric_it = data_.find(metric);
+  if (metric_it == data_.end()) return 0.0;
+  auto focus_it = metric_it->second.find(focus);
+  return focus_it == metric_it->second.end() ? 0.0 : focus_it->second;
+}
+
+std::vector<std::string> MetricStore::children(Metric metric,
+                                               const std::string& focus) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  auto metric_it = data_.find(metric);
+  if (metric_it == data_.end()) return out;
+  const std::string prefix = focus + "/";
+  for (const auto& [path, value] : metric_it->second) {
+    if (!str::starts_with(path, prefix)) continue;
+    // Direct children only: no further '/' past the prefix.
+    if (path.find('/', prefix.size()) != std::string::npos) continue;
+    out.push_back(path);
+  }
+  return out;  // map iteration order is already sorted
+}
+
+std::vector<std::string> MetricStore::foci(Metric metric) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  auto metric_it = data_.find(metric);
+  if (metric_it == data_.end()) return out;
+  out.reserve(metric_it->second.size());
+  for (const auto& [path, value] : metric_it->second) out.push_back(path);
+  return out;
+}
+
+std::size_t MetricStore::sample_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_;
+}
+
+void MetricStore::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  data_.clear();
+  samples_ = 0;
+}
+
+}  // namespace tdp::paradyn

@@ -1,0 +1,57 @@
+// metrics.hpp - metric aggregation over the resource hierarchy.
+//
+// Paradyn organizes performance data by (metric, focus) where a focus is a
+// path in the resource hierarchy: /Code, /Code/<module>,
+// /Code/<module>/<function>, and (for multi-process jobs) /Process/<pid>.
+// The MetricStore aggregates daemon samples into that hierarchy; the
+// Performance Consultant searches it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "paradyn/dyninst.hpp"
+
+namespace tdp::paradyn {
+
+/// A focus path, e.g. "/Code/compute.o/hot_spot". The whole program is
+/// "/Code".
+std::string code_focus();
+std::string module_focus(const std::string& module);
+std::string function_focus(const std::string& module, const std::string& function);
+std::string process_focus(proc::Pid pid);
+
+class MetricStore {
+ public:
+  /// Folds one sample in: the value accrues at the function focus and
+  /// rolls up to its module and /Code. `pid` additionally accrues at the
+  /// process focus (0 = skip).
+  void record(const Sample& sample, proc::Pid pid = 0);
+
+  void record_all(const std::vector<Sample>& samples, proc::Pid pid = 0);
+
+  /// Total accumulated value of `metric` at `focus` (0.0 when absent).
+  [[nodiscard]] double value(Metric metric, const std::string& focus) const;
+
+  /// Child foci of `focus` that carry any data for `metric`, sorted.
+  [[nodiscard]] std::vector<std::string> children(Metric metric,
+                                                  const std::string& focus) const;
+
+  /// All foci with data for `metric`.
+  [[nodiscard]] std::vector<std::string> foci(Metric metric) const;
+
+  [[nodiscard]] std::size_t sample_count() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  /// metric -> focus -> accumulated value.
+  std::map<Metric, std::map<std::string, double>> data_;
+  std::size_t samples_ = 0;
+};
+
+}  // namespace tdp::paradyn

@@ -1,0 +1,243 @@
+#include "paradyn/paradynd.hpp"
+
+#include <chrono>
+#include <thread>
+
+#include "net/proxy.hpp"
+#include "util/log.hpp"
+#include "util/string_util.hpp"
+
+namespace tdp::paradyn {
+
+namespace {
+const log::Logger kLog("paradynd");
+}
+
+Paradynd::Paradynd(ParadyndConfig config) : config_(std::move(config)) {}
+
+Paradynd::~Paradynd() { stop(); }
+
+Status Paradynd::start() {
+  if (started_) return make_error(ErrorCode::kInvalidState, "already started");
+
+  // Figure 6 step 3: tdp_init to contact the LASS.
+  InitOptions options;
+  options.role = Role::kTool;
+  options.lass_address = config_.lass_address;
+  options.context = config_.context;
+  options.transport = config_.transport;
+  auto session = TdpSession::init(std::move(options));
+  if (!session.is_ok()) return session.status();
+  session_ = std::move(session).value();
+
+  TDP_RETURN_IF_ERROR(discover_application());
+
+  // tdp_attach: control is routed to the RM; the application ends up (or
+  // stays) paused so instrumentation precedes the first user instruction.
+  TDP_RETURN_IF_ERROR(session_->attach(app_pid_));
+
+  TDP_RETURN_IF_ERROR(initialize_inferior());
+
+  // Front-end link, possibly proxied (Section 2.4). A missing front-end
+  // is not fatal: the daemon still profiles locally.
+  Status frontend_status = connect_frontend();
+  if (!frontend_status.is_ok()) {
+    kLog.warn("no front-end connection: ", frontend_status.to_string());
+  }
+
+  // Figure 6 step 4 end: run the application from the very beginning.
+  TDP_RETURN_IF_ERROR(session_->continue_process(app_pid_));
+  started_ = true;
+  return Status::ok();
+}
+
+Status Paradynd::discover_application() {
+  if (config_.attach_pid != 0) {
+    // Attach mode (Figure 3B): pid was supplied by the user/front-end.
+    app_pid_ = config_.attach_pid;
+  } else {
+    // Create mode: "paradynd is blocked until the starter stores in the
+    // LASS the corresponding application pid using tdp_put."
+    auto pid_value =
+        session_->get(config_.pid_attribute, config_.pid_wait_timeout_ms);
+    if (!pid_value.is_ok()) return pid_value.status();
+    if (!str::is_integer(pid_value.value())) {
+      return make_error(ErrorCode::kInternal,
+                        "malformed pid attribute: " + pid_value.value());
+    }
+    app_pid_ = std::stoll(pid_value.value());
+  }
+  auto exe = session_->try_get(attr::attrs::kExecutableName);
+  executable_ = exe.is_ok() ? exe.value() : "unknown-app";
+  return Status::ok();
+}
+
+Status Paradynd::initialize_inferior() {
+  // "the paradyn run-time library is loaded into the application process,
+  // paradynd parses the executable to discover symbols and find potential
+  // instrumentation points" (Section 4.2).
+  inferior_ = std::make_unique<Inferior>(
+      app_pid_, SymbolTable::synthesize(executable_, config_.nfuncs));
+  // Default configuration: whole-program timing plus blocking metrics, the
+  // data the Performance Consultant's root hypotheses need.
+  inferior_->insert_matching("*", "*", Metric::kCpuTime);
+  inferior_->insert_matching("*", "*", Metric::kSyncWait);
+  inferior_->insert_matching("*", "*", Metric::kIoWait);
+  return Status::ok();
+}
+
+Status Paradynd::connect_frontend() {
+  std::string address = config_.frontend_address;
+  if (address.empty()) {
+    auto host = session_->try_get(attr::attrs::kFrontendHost);
+    auto port = session_->try_get(attr::attrs::kFrontendPort);
+    if (!host.is_ok() || !port.is_ok()) {
+      return make_error(ErrorCode::kNotFound,
+                        "front-end address not published in the LASS");
+    }
+    // An inproc-style published "host" is already a full address.
+    if (str::starts_with(host.value(), "inproc://")) {
+      address = host.value();
+    } else {
+      address = str::format_host_port(host.value(), std::stoi(port.value()));
+    }
+  }
+  // Section 2.4: when the direct route is blocked, "the host/port number
+  // will be that of the RM's proxy". The starter publishes that proxy
+  // address into the LASS; pick it up and fall back through it.
+  std::string proxy_address;
+  auto proxy = session_->try_get(attr::attrs::kProxyAddress);
+  if (proxy.is_ok()) proxy_address = proxy.value();
+  auto endpoint = net::connect_direct_or_proxied(*config_.transport, address,
+                                                 proxy_address, "paradyn-frontend");
+  if (!endpoint.is_ok()) return endpoint.status();
+  frontend_ = std::move(endpoint).value();
+
+  net::Message hello(net::MsgType::kParadynHello);
+  hello.set("daemon", config_.daemon_name);
+  hello.set_int("pid", app_pid_);
+  hello.set("executable", executable_);
+  auto job = session_->try_get(attr::attrs::kJobId);
+  if (job.is_ok()) hello.set("job_id", job.value());
+  return frontend_->send(hello);
+}
+
+bool Paradynd::poll_once() {
+  if (!started_) return false;
+  session_->service_events();
+
+  // Drain front-end commands (non-blocking).
+  if (frontend_) {
+    while (true) {
+      auto msg = frontend_->receive(0);
+      if (!msg.is_ok()) {
+        if (msg.status().code() == ErrorCode::kConnectionError) frontend_.reset();
+        break;
+      }
+      handle_frontend_command(msg.value());
+    }
+  }
+
+  // Observe the application's state as published by the RM. Losing the
+  // LASS connection means the RM itself is gone — under the paper's fault
+  // model the job is over from this daemon's point of view, so treat it
+  // as termination rather than spinning forever.
+  auto info = session_->process_info(app_pid_);
+  const bool rm_gone =
+      !info.is_ok() && info.status().code() == ErrorCode::kConnectionError;
+  const bool running =
+      info.is_ok() && info->state == proc::ProcessState::kRunning;
+  const bool terminal =
+      (info.is_ok() && proc::is_terminal(info->state)) || rm_gone;
+
+  if (running) {
+    auto samples = inferior_->sample(config_.sample_quantum_micros);
+    metrics_.record_all(samples, app_pid_);
+    unreported_.insert(unreported_.end(), samples.begin(), samples.end());
+  }
+  ++polls_;
+
+  if (terminal && !app_exited_) {
+    app_exited_ = true;
+    send_report(/*final_report=*/true);
+    kLog.info("application ", app_pid_, " exited; final report sent");
+    return false;
+  }
+  if (polls_ % config_.report_every == 0 && !unreported_.empty()) {
+    send_report(/*final_report=*/false);
+  }
+  return !app_exited_;
+}
+
+Status Paradynd::send_report(bool final_report) {
+  if (!frontend_) {
+    unreported_.clear();
+    return Status::ok();
+  }
+  net::Message report(net::MsgType::kParadynReport);
+  report.set_int("pid", app_pid_);
+  report.set_int("count", static_cast<std::int64_t>(unreported_.size()));
+  report.set("final", final_report ? "1" : "0");
+  for (std::size_t i = 0; i < unreported_.size(); ++i) {
+    const Sample& sample = unreported_[i];
+    const std::string n = std::to_string(i);
+    report.set("m" + n, metric_name(sample.metric));
+    report.set("mod" + n, sample.module);
+    report.set("fn" + n, sample.function);
+    report.set("v" + n, std::to_string(sample.value));
+  }
+  unreported_.clear();
+  Status sent = frontend_->send(report);
+  if (sent.is_ok()) ++reports_sent_;
+  return sent;
+}
+
+void Paradynd::handle_frontend_command(const net::Message& command) {
+  if (command.type() != net::MsgType::kParadynCommand) return;
+  const std::string kind = command.get("cmd");
+  Status status;
+  if (kind == "pause") {
+    status = session_->pause_process(app_pid_);
+  } else if (kind == "continue") {
+    status = session_->continue_process(app_pid_);
+  } else if (kind == "kill") {
+    status = session_->kill_process(app_pid_);
+  } else if (kind == "instrument") {
+    status = inferior_->insert_instrumentation(
+        command.get("module"), command.get("function"), Metric::kCpuTime);
+  } else if (kind == "uninstrument") {
+    status = inferior_->remove_instrumentation(
+        command.get("module"), command.get("function"), Metric::kCpuTime);
+  } else {
+    status = make_error(ErrorCode::kInvalidArgument, "unknown command: " + kind);
+  }
+  if (frontend_) {
+    net::Message reply(net::MsgType::kParadynCommandReply);
+    reply.set_seq(command.seq());
+    reply.set("status", status.is_ok() ? "ok" : status.to_string());
+    frontend_->send(reply);
+  }
+}
+
+Status Paradynd::run(int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (poll_once()) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return make_error(ErrorCode::kTimeout, "application still running");
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return Status::ok();
+}
+
+Status Paradynd::stop() {
+  if (frontend_) {
+    frontend_->close();
+    frontend_.reset();
+  }
+  if (session_) return session_->exit();
+  return Status::ok();
+}
+
+}  // namespace tdp::paradyn

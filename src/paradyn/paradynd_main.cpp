@@ -1,0 +1,107 @@
+// paradynd_main.cpp - the paradynd executable: the RT launched by the
+// starter via the +ToolDaemonCmd submit entry (Figure 5B).
+//
+// Argument conventions follow the paper's example:
+//   -z<platform>   platform tag (accepted, informational)
+//   -l<level>      log verbosity (0..4)
+//   -m<host>       front-end host
+//   -p<port>       front-end data port
+//   -P<port>       front-end control port
+//   -a<pid>        application pid for attach mode; the literal "-a%pid"
+//                  (unexpanded placeholder) marks TDP create mode, exactly
+//                  the paper's bootstrap hack ("This attribute is used by
+//                  paradynd to know it is running under the TDP framework")
+//
+// The TDP environment itself arrives via TDP_LASS_ADDRESS, TDP_CONTEXT and
+// TDP_PID_ATTRIBUTE, which the starter's ExecToolLauncher exports.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "net/tcp.hpp"
+#include "paradyn/paradynd.hpp"
+#include "util/log.hpp"
+#include "util/string_util.hpp"
+
+namespace {
+
+const char* env_or(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? value : fallback;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tdp;
+
+  paradyn::ParadyndConfig config;
+  config.lass_address = env_or("TDP_LASS_ADDRESS", "");
+  config.context = env_or("TDP_CONTEXT", attr::kDefaultContext);
+  config.pid_attribute = env_or("TDP_PID_ATTRIBUTE", "pid");
+  config.transport = std::make_shared<net::TcpTransport>();
+
+  std::string frontend_host;
+  int frontend_port = 0;
+  int log_level = 2;
+
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "-z", 2) == 0) {
+      // platform tag, informational
+    } else if (std::strncmp(arg, "-l", 2) == 0) {
+      log_level = std::atoi(arg + 2);
+    } else if (std::strncmp(arg, "-m", 2) == 0) {
+      frontend_host = arg + 2;
+    } else if (std::strncmp(arg, "-p", 2) == 0) {
+      frontend_port = std::atoi(arg + 2);
+    } else if (std::strncmp(arg, "-P", 2) == 0) {
+      // control port: same listener in this implementation
+    } else if (std::strncmp(arg, "-a", 2) == 0) {
+      std::string value = arg + 2;
+      if (tdp::str::is_integer(value)) {
+        config.attach_pid = std::stoll(value);  // attach mode
+      }
+      // "-a%pid" (unexpanded) or empty: TDP create mode — pid via LASS.
+    } else {
+      std::fprintf(stderr, "paradynd: unknown argument '%s'\n", arg);
+      return 2;
+    }
+  }
+
+  log::set_level(log_level >= 3 ? log::Level::kDebug
+                                : (log_level >= 2 ? log::Level::kInfo
+                                                  : log::Level::kWarn));
+
+  if (config.lass_address.empty()) {
+    std::fprintf(stderr,
+                 "paradynd: TDP_LASS_ADDRESS not set; not running under a "
+                 "TDP framework\n");
+    return 2;
+  }
+  if (!frontend_host.empty() && frontend_port > 0) {
+    config.frontend_address = str::format_host_port(frontend_host, frontend_port);
+  }
+
+  paradyn::Paradynd daemon(std::move(config));
+  Status status = daemon.start();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "paradynd: startup failed: %s\n",
+                 status.to_string().c_str());
+    return 1;
+  }
+  std::printf("paradynd: monitoring pid %lld\n",
+              static_cast<long long>(daemon.app_pid()));
+
+  status = daemon.run(/*timeout_ms=*/10 * 60 * 1000);
+  daemon.stop();
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "paradynd: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  std::printf("paradynd: application exited; %d reports sent\n",
+              daemon.reports_sent());
+  return 0;
+}

@@ -1,0 +1,44 @@
+#include "proc/process.hpp"
+
+namespace tdp::proc {
+
+const char* process_state_name(ProcessState state) noexcept {
+  switch (state) {
+    case ProcessState::kCreated: return "created";
+    case ProcessState::kPausedAtExec: return "paused_at_exec";
+    case ProcessState::kRunning: return "running";
+    case ProcessState::kStopped: return "stopped";
+    case ProcessState::kExited: return "exited";
+    case ProcessState::kSignalled: return "signalled";
+    case ProcessState::kFailed: return "failed";
+  }
+  return "?";
+}
+
+bool valid_transition(ProcessState from, ProcessState to) noexcept {
+  if (from == to) return false;
+  switch (from) {
+    case ProcessState::kCreated:
+      // Launch outcome: paused (either flavor), straight to running, or a
+      // failed exec.
+      return to == ProcessState::kPausedAtExec || to == ProcessState::kRunning ||
+             to == ProcessState::kFailed;
+    case ProcessState::kPausedAtExec:
+      // tdp_continue_process, a kill while paused, or removal.
+      return to == ProcessState::kRunning || to == ProcessState::kSignalled ||
+             to == ProcessState::kExited;
+    case ProcessState::kRunning:
+      return to == ProcessState::kStopped || to == ProcessState::kExited ||
+             to == ProcessState::kSignalled;
+    case ProcessState::kStopped:
+      return to == ProcessState::kRunning || to == ProcessState::kExited ||
+             to == ProcessState::kSignalled;
+    case ProcessState::kExited:
+    case ProcessState::kSignalled:
+    case ProcessState::kFailed:
+      return false;  // terminal
+  }
+  return false;
+}
+
+}  // namespace tdp::proc

@@ -1,0 +1,88 @@
+// process.hpp - process model shared by all backends.
+//
+// Sections 2.2/3.1 of the paper enumerate the creation schemes a run-time
+// tool needs: (1) create-and-run, (2) create-paused-then-initialize-then
+// -run, (3) attach to a running process. The state machine below encodes
+// those plus the control operations of Section 2.3 (pause/continue under
+// the RM's single-point responsibility) and the terminal states the RM
+// must observe and report.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace tdp::proc {
+
+/// Backend-independent process identifier. For the POSIX backend this is
+/// the OS pid; for the simulated backend it is a synthetic id.
+using Pid = std::int64_t;
+
+enum class ProcessState : std::uint8_t {
+  kCreated = 0,   ///< object exists, not yet launched (sim backend only)
+  kPausedAtExec,  ///< stopped "just after the execution of the exec call"
+  kRunning,
+  kStopped,       ///< paused mid-execution by the tool/RM (SIGSTOP)
+  kExited,        ///< terminated normally; exit_code valid
+  kSignalled,     ///< terminated by a signal; term_signal valid
+  kFailed,        ///< could not be launched (exec failure)
+};
+
+const char* process_state_name(ProcessState state) noexcept;
+
+/// True when `from` -> `to` is a legal transition of the TDP process model.
+/// Used by the simulated backend to enforce the model and by property tests
+/// to check the POSIX backend never reports an illegal move.
+bool valid_transition(ProcessState from, ProcessState to) noexcept;
+
+/// True for states from which the process can never change again.
+inline bool is_terminal(ProcessState state) noexcept {
+  return state == ProcessState::kExited || state == ProcessState::kSignalled ||
+         state == ProcessState::kFailed;
+}
+
+/// How tdp_create_process should leave the new process (Section 3.1).
+enum class CreateMode : std::uint8_t {
+  kRun = 0,          ///< scheme 1: create and start running
+  kPaused,           ///< scheme 2: stopped just after exec (ptrace-assisted)
+  kPausedBeforeExec, ///< ablation variant: SIGSTOP raised before exec
+};
+
+/// Launch request for ProcessBackend::create_process.
+struct CreateOptions {
+  std::vector<std::string> argv;  ///< argv[0] is the executable path
+  std::vector<std::string> env;   ///< extra KEY=VALUE entries; inherits rest
+  std::string working_dir;        ///< empty = inherit
+  std::string stdin_path;         ///< empty = inherit (RM-managed stdio)
+  std::string stdout_path;
+  std::string stderr_path;
+  CreateMode mode = CreateMode::kRun;
+  /// Simulated backend only: virtual-time units of work until natural exit.
+  std::int64_t sim_work_units = 1;
+  /// Simulated backend only: exit code to report at natural exit.
+  int sim_exit_code = 0;
+};
+
+/// A state-change observation, delivered by ProcessBackend::poll_events.
+/// This is the raw material for Section 2.3's status monitoring: the RM
+/// consumes these and republishes them through the attribute space.
+struct ProcessEvent {
+  Pid pid = 0;
+  ProcessState state = ProcessState::kRunning;
+  int exit_code = 0;    ///< valid when state == kExited
+  int term_signal = 0;  ///< valid when state == kSignalled
+};
+
+/// Snapshot of one managed process.
+struct ProcessInfo {
+  Pid pid = 0;
+  ProcessState state = ProcessState::kCreated;
+  int exit_code = 0;
+  int term_signal = 0;
+  std::string executable;
+};
+
+}  // namespace tdp::proc

@@ -1,0 +1,217 @@
+#include "proc/sim_backend.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace tdp::proc {
+
+Result<Pid> SimProcessBackend::create_process(const CreateOptions& options) {
+  if (options.argv.empty()) {
+    return make_error(ErrorCode::kInvalidArgument, "argv must not be empty");
+  }
+  if (options.sim_work_units < 0) {
+    return make_error(ErrorCode::kInvalidArgument, "sim_work_units must be >= 0");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  SimProcess process;
+  process.info.pid = next_pid_++;
+  process.info.executable = options.argv[0];
+  process.remaining_work = options.sim_work_units;
+  process.info.exit_code = options.sim_exit_code;
+  process.info.state = ProcessState::kCreated;
+
+  // Launch outcome mirrors the POSIX backend: paused modes stop at "exec",
+  // run mode goes straight to running.
+  ProcessState launched = options.mode == CreateMode::kRun
+                              ? ProcessState::kRunning
+                              : ProcessState::kPausedAtExec;
+  Status status = transition_locked(process, launched);
+  if (!status.is_ok()) return status;
+  Pid pid = process.info.pid;
+  managed_[pid] = std::move(process);
+  return pid;
+}
+
+Status SimProcessBackend::transition_locked(SimProcess& process, ProcessState to) {
+  if (!valid_transition(process.info.state, to)) {
+    return make_error(ErrorCode::kInvalidState,
+                      std::string("illegal transition ") +
+                          process_state_name(process.info.state) + " -> " +
+                          process_state_name(to));
+  }
+  process.info.state = to;
+  ProcessEvent event{process.info.pid, to, 0, 0};
+  if (to == ProcessState::kExited) event.exit_code = process.info.exit_code;
+  if (to == ProcessState::kSignalled) event.term_signal = process.info.term_signal;
+  pending_events_.push_back(event);
+  return Status::ok();
+}
+
+Result<SimProcessBackend::SimProcess*> SimProcessBackend::find_locked(Pid pid) {
+  auto it = managed_.find(pid);
+  if (it == managed_.end()) {
+    return make_error(ErrorCode::kNotFound, "pid not managed: " + std::to_string(pid));
+  }
+  return &it->second;
+}
+
+Status SimProcessBackend::attach(Pid pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = find_locked(pid);
+  if (!found.is_ok()) return found.status();
+  SimProcess* process = found.value();
+  if (process->info.state == ProcessState::kPausedAtExec ||
+      process->info.state == ProcessState::kStopped) {
+    return Status::ok();
+  }
+  if (process->info.state != ProcessState::kRunning) {
+    return make_error(ErrorCode::kInvalidState, "cannot attach: process not running");
+  }
+  return transition_locked(*process, ProcessState::kStopped);
+}
+
+Status SimProcessBackend::continue_process(Pid pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = find_locked(pid);
+  if (!found.is_ok()) return found.status();
+  SimProcess* process = found.value();
+  if (process->info.state == ProcessState::kRunning) return Status::ok();
+  return transition_locked(*process, ProcessState::kRunning);
+}
+
+Status SimProcessBackend::pause_process(Pid pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = find_locked(pid);
+  if (!found.is_ok()) return found.status();
+  SimProcess* process = found.value();
+  if (process->info.state == ProcessState::kStopped) return Status::ok();
+  return transition_locked(*process, ProcessState::kStopped);
+}
+
+Status SimProcessBackend::kill_process(Pid pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = find_locked(pid);
+  if (!found.is_ok()) return found.status();
+  SimProcess* process = found.value();
+  if (is_terminal(process->info.state)) return Status::ok();
+  process->info.term_signal = 9;  // SIGKILL analogue
+  return transition_locked(*process, ProcessState::kSignalled);
+}
+
+Result<ProcessInfo> SimProcessBackend::info(Pid pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = find_locked(pid);
+  if (!found.is_ok()) return found.status();
+  return found.value()->info;
+}
+
+std::vector<ProcessEvent> SimProcessBackend::poll_events() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<ProcessEvent> out;
+  out.swap(pending_events_);
+  return out;
+}
+
+Result<ProcessInfo> SimProcessBackend::wait_terminal(Pid pid, int timeout_ms) {
+  // The simulated world only advances via step(); waiting wall-clock time
+  // cannot change anything, so return immediately unless already terminal.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto found = find_locked(pid);
+  if (!found.is_ok()) return found.status();
+  if (is_terminal(found.value()->info.state)) return found.value()->info;
+  (void)timeout_ms;
+  return make_error(ErrorCode::kTimeout,
+                    "simulated process still live; drive step() to advance time");
+}
+
+std::size_t SimProcessBackend::managed_count() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t count = 0;
+  for (const auto& [pid, process] : managed_) {
+    if (!is_terminal(process.info.state)) ++count;
+  }
+  return count;
+}
+
+int SimProcessBackend::step(std::int64_t units) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int terminated = 0;
+  for (auto& [pid, process] : managed_) {
+    if (process.info.state != ProcessState::kRunning) continue;
+    const std::int64_t consumed = std::min(units, process.remaining_work);
+    process.remaining_work -= consumed;
+    work_done_ += consumed;
+    if (process.remaining_work <= 0) {
+      transition_locked(process, ProcessState::kExited);
+      ++terminated;
+    }
+  }
+  return terminated;
+}
+
+Result<std::string> SimProcessBackend::checkpoint(Pid pid) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = managed_.find(pid);
+  if (it == managed_.end()) {
+    return make_error(ErrorCode::kNotFound, "pid not managed: " + std::to_string(pid));
+  }
+  const SimProcess& process = it->second;
+  if (is_terminal(process.info.state)) {
+    return make_error(ErrorCode::kInvalidState, "cannot checkpoint a dead process");
+  }
+  return "exe=" + process.info.executable +
+         " remaining=" + std::to_string(process.remaining_work) +
+         " exit=" + std::to_string(process.info.exit_code);
+}
+
+Result<Pid> SimProcessBackend::restore(const std::string& checkpoint,
+                                       const CreateOptions& options) {
+  std::int64_t remaining = -1;
+  int exit_code = 0;
+  std::string executable = options.argv.empty() ? "restored" : options.argv[0];
+  for (const std::string& part : checkpoint.empty()
+                                     ? std::vector<std::string>{}
+                                     : [&] {
+                                         std::vector<std::string> parts;
+                                         std::string current;
+                                         for (char c : checkpoint) {
+                                           if (c == ' ') {
+                                             parts.push_back(current);
+                                             current.clear();
+                                           } else {
+                                             current += c;
+                                           }
+                                         }
+                                         parts.push_back(current);
+                                         return parts;
+                                       }()) {
+    if (part.rfind("remaining=", 0) == 0) remaining = std::stoll(part.substr(10));
+    if (part.rfind("exit=", 0) == 0) exit_code = std::stoi(part.substr(5));
+    if (part.rfind("exe=", 0) == 0) executable = part.substr(4);
+  }
+  if (remaining < 0) {
+    return make_error(ErrorCode::kInvalidArgument, "malformed checkpoint");
+  }
+  CreateOptions restored = options;
+  if (restored.argv.empty()) restored.argv = {executable};
+  restored.mode = CreateMode::kPaused;  // tools re-attach before it resumes
+  restored.sim_work_units = remaining;
+  restored.sim_exit_code = exit_code;
+  return create_process(restored);
+}
+
+Result<std::int64_t> SimProcessBackend::remaining_work(Pid pid) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = managed_.find(pid);
+  if (it == managed_.end()) {
+    return make_error(ErrorCode::kNotFound, "pid not managed: " + std::to_string(pid));
+  }
+  return it->second.remaining_work;
+}
+
+std::int64_t SimProcessBackend::total_work_done() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return work_done_;
+}
+
+}  // namespace tdp::proc

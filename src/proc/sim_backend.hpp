@@ -1,0 +1,70 @@
+// sim_backend.hpp - deterministic simulated process control.
+//
+// The virtual-cluster benches (Figure 4 pipeline, MPI-universe scaling)
+// need thousands of "processes" whose lifecycle is driven by virtual time
+// on a single core. SimProcessBackend implements the same ProcessBackend
+// contract as the POSIX backend but advances processes only when step() is
+// called: each running process consumes one work unit per step and exits
+// naturally when its budget (CreateOptions::sim_work_units) is spent.
+//
+// Unlike the POSIX backend, every transition is checked against
+// valid_transition, so the simulator doubles as an executable model of the
+// TDP process state machine — property tests drive random operation
+// sequences against it and assert the model is never violated.
+#pragma once
+
+#include <map>
+#include <mutex>
+
+#include "proc/backend.hpp"
+
+namespace tdp::proc {
+
+class SimProcessBackend final : public ProcessBackend {
+ public:
+  SimProcessBackend() = default;
+
+  Result<Pid> create_process(const CreateOptions& options) override;
+  Status attach(Pid pid) override;
+  Status continue_process(Pid pid) override;
+  Status pause_process(Pid pid) override;
+  Status kill_process(Pid pid) override;
+  Result<ProcessInfo> info(Pid pid) override;
+  std::vector<ProcessEvent> poll_events() override;
+  Result<ProcessInfo> wait_terminal(Pid pid, int timeout_ms) override;
+  std::size_t managed_count() override;
+
+  /// Advances virtual time: every kRunning process consumes `units` work
+  /// units; those reaching zero exit with their configured code. Returns
+  /// the number of processes that terminated during this step.
+  int step(std::int64_t units = 1);
+
+  /// Total work units executed across all processes (a virtual "CPU time"
+  /// counter used by benches).
+  [[nodiscard]] std::int64_t total_work_done() const;
+
+  /// Checkpoint format: "exe=<name> remaining=<units> exit=<code>".
+  Result<std::string> checkpoint(Pid pid) override;
+  Result<Pid> restore(const std::string& checkpoint,
+                      const CreateOptions& options) override;
+
+  /// Remaining work units of a live process (diagnostics/tests).
+  [[nodiscard]] Result<std::int64_t> remaining_work(Pid pid) const;
+
+ private:
+  struct SimProcess {
+    ProcessInfo info;
+    std::int64_t remaining_work = 0;
+  };
+
+  Status transition_locked(SimProcess& process, ProcessState to);
+  Result<SimProcess*> find_locked(Pid pid);
+
+  mutable std::mutex mutex_;
+  std::map<Pid, SimProcess> managed_;
+  std::vector<ProcessEvent> pending_events_;
+  Pid next_pid_ = 1000;
+  std::int64_t work_done_ = 0;
+};
+
+}  // namespace tdp::proc

@@ -1,0 +1,46 @@
+#include "sim/engine.hpp"
+
+#include <utility>
+
+namespace tdp::sim {
+
+void Engine::schedule(Micros delay_micros, Action action) {
+  if (delay_micros < 0) delay_micros = 0;
+  schedule_at(now_ + delay_micros, std::move(action));
+}
+
+void Engine::schedule_at(Micros time_micros, Action action) {
+  if (time_micros < now_) time_micros = now_;
+  queue_.push(Event{time_micros, next_seq_++, std::move(action)});
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the action must be moved out via a
+  // copy of the event before pop.
+  Event event = queue_.top();
+  queue_.pop();
+  now_ = event.time;
+  event.action();
+  return true;
+}
+
+std::size_t Engine::run() {
+  std::size_t executed = 0;
+  while (step()) ++executed;
+  return executed;
+}
+
+std::size_t Engine::run_until(Micros until_micros) {
+  std::size_t executed = 0;
+  while (!queue_.empty() && queue_.top().time <= until_micros) {
+    step();
+    ++executed;
+  }
+  if (now_ < until_micros && queue_.empty()) {
+    // Nothing left before the horizon; the caller decides whether to jump.
+  }
+  return executed;
+}
+
+}  // namespace tdp::sim

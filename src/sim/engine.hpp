@@ -1,0 +1,112 @@
+// engine.hpp - discrete-event simulation core.
+//
+// The scalability experiments (Figure 4 pipeline throughput vs pool size,
+// MPI-universe startup vs rank count, MRNet reduction vs fan-out) cannot
+// run thousands of real daemons on one core, so they run on a virtual
+// cluster: daemons execute real protocol logic, but time advances through
+// this engine instead of the wall clock. Determinism (stable event order
+// for equal timestamps, seeded RNG) makes every bench reproducible.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace tdp::sim {
+
+/// The event-driven virtual clock and scheduler.
+class Engine {
+ public:
+  using Action = std::function<void()>;
+
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current virtual time in microseconds.
+  [[nodiscard]] Micros now() const noexcept { return now_; }
+
+  /// Schedules `action` to run `delay_micros` from now (>= 0). Events with
+  /// equal timestamps run in scheduling order (FIFO tie-break).
+  void schedule(Micros delay_micros, Action action);
+
+  /// Schedules at an absolute virtual time (clamped to now).
+  void schedule_at(Micros time_micros, Action action);
+
+  /// Runs events until the queue is empty. Returns the number executed.
+  std::size_t run();
+
+  /// Runs events with time <= `until_micros`; the clock ends at
+  /// min(until_micros, time of last executed event). Returns count.
+  std::size_t run_until(Micros until_micros);
+
+  /// Executes exactly one event if available. Returns false when idle.
+  bool step();
+
+  [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    Micros time;
+    std::uint64_t seq;  // FIFO tie-break
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  Micros now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+/// Clock adapter: lets daemon code written against tdp::Clock run on
+/// virtual time.
+class VirtualClock final : public Clock {
+ public:
+  explicit VirtualClock(const Engine& engine) : engine_(engine) {}
+  [[nodiscard]] Micros now_micros() const override { return engine_.now(); }
+
+ private:
+  const Engine& engine_;
+};
+
+/// Network latency model for the virtual cluster: a fixed one-way base
+/// latency per hop plus exponentially distributed jitter. Cross-site hops
+/// (e.g. execution host -> front-end across the WAN, the CASS path of
+/// Figure 2) take `wan_factor` times longer than LAN hops.
+class LatencyModel {
+ public:
+  LatencyModel(Micros lan_base, double jitter_mean, double wan_factor,
+               std::uint64_t seed)
+      : lan_base_(lan_base), jitter_mean_(jitter_mean), wan_factor_(wan_factor),
+        rng_(seed) {}
+
+  /// One-way latency of a LAN hop (same pool).
+  Micros lan_hop() { return lan_base_ + jitter(); }
+
+  /// One-way latency of a WAN hop (submit site <-> execution site).
+  Micros wan_hop() {
+    return static_cast<Micros>(static_cast<double>(lan_base_) * wan_factor_) + jitter();
+  }
+
+ private:
+  Micros jitter() {
+    return static_cast<Micros>(rng_.next_exponential(jitter_mean_));
+  }
+
+  Micros lan_base_;
+  double jitter_mean_;
+  double wan_factor_;
+  Rng rng_;
+};
+
+}  // namespace tdp::sim

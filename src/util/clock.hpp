@@ -1,0 +1,48 @@
+// clock.hpp - time abstraction so the same daemon code runs against real
+// wall-clock time (POSIX deployments) or the discrete-event virtual clock
+// (src/sim), which is how benches scale to thousands of hosts on one core.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace tdp {
+
+/// Monotonic time in microseconds since an arbitrary epoch.
+using Micros = std::int64_t;
+
+/// Interface over "now"; implementations: RealClock and sim::VirtualClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual Micros now_micros() const = 0;
+};
+
+/// std::chrono::steady_clock-backed clock.
+class RealClock final : public Clock {
+ public:
+  [[nodiscard]] Micros now_micros() const override {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Process-wide shared instance.
+  static RealClock& instance() {
+    static RealClock clock;
+    return clock;
+  }
+};
+
+/// A manually advanced clock for unit tests of timeout logic.
+class ManualClock final : public Clock {
+ public:
+  [[nodiscard]] Micros now_micros() const override { return now_; }
+  void advance_micros(Micros delta) { now_ += delta; }
+  void set_micros(Micros value) { now_ = value; }
+
+ private:
+  Micros now_ = 0;
+};
+
+}  // namespace tdp

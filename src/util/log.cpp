@@ -1,0 +1,62 @@
+#include "util/log.hpp"
+
+#include <cstdio>
+
+namespace tdp::log {
+
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+Sink& sink_ref() {
+  static Sink s;  // empty -> stderr
+  return s;
+}
+
+}  // namespace
+
+const char* level_name(Level level) noexcept {
+  switch (level) {
+    case Level::kTrace: return "TRACE";
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+
+void set_level(Level level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+Level get_level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  sink_ref() = std::move(sink);
+}
+
+void write(Level level, std::string_view component, std::string_view message) {
+  std::string line;
+  line.reserve(component.size() + message.size() + 16);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  line += component;
+  line += ": ";
+  line += message;
+
+  std::lock_guard<std::mutex> lock(sink_mutex());
+  if (sink_ref()) {
+    sink_ref()(line);
+  } else {
+    std::fprintf(stderr, "%s\n", line.c_str());
+  }
+}
+
+}  // namespace tdp::log

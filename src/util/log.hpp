@@ -1,0 +1,64 @@
+// log.hpp - thread-safe leveled logging with per-component tags.
+//
+// Every TDP daemon role (schedd, shadow, startd, starter, paradynd, LASS,
+// CASS, ...) logs through a named Logger so interleaved multi-daemon traces
+// stay readable -- mirroring how Condor's dæmons each keep their own log.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace tdp::log {
+
+enum class Level : int { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+const char* level_name(Level level) noexcept;
+
+/// Global minimum level; messages below it are dropped before formatting.
+void set_level(Level level) noexcept;
+Level get_level() noexcept;
+
+/// Redirect log output (default: stderr). The sink receives fully
+/// formatted lines without trailing newline. Passing nullptr restores the
+/// default sink. Used by tests to capture daemon traces.
+using Sink = std::function<void(std::string_view line)>;
+void set_sink(Sink sink);
+
+/// Emit one formatted line: "[LEVEL] component: message".
+void write(Level level, std::string_view component, std::string_view message);
+
+/// A named logging handle, cheap to copy.
+class Logger {
+ public:
+  explicit Logger(std::string component) : component_(std::move(component)) {}
+
+  template <typename... Args>
+  void trace(Args&&... args) const { emit(Level::kTrace, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void debug(Args&&... args) const { emit(Level::kDebug, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void info(Args&&... args) const { emit(Level::kInfo, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void warn(Args&&... args) const { emit(Level::kWarn, std::forward<Args>(args)...); }
+  template <typename... Args>
+  void error(Args&&... args) const { emit(Level::kError, std::forward<Args>(args)...); }
+
+  [[nodiscard]] const std::string& component() const noexcept { return component_; }
+
+ private:
+  template <typename... Args>
+  void emit(Level level, Args&&... args) const {
+    if (level < get_level()) return;
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    write(level, component_, oss.str());
+  }
+
+  std::string component_;
+};
+
+}  // namespace tdp::log

@@ -1,0 +1,14 @@
+#include "util/rng.hpp"
+
+#include <cmath>
+
+namespace tdp {
+
+double Rng::next_exponential(double mean) {
+  // Inverse-CDF sampling; clamp u away from 0 to avoid log(0).
+  double u = next_double();
+  if (u < 1e-12) u = 1e-12;
+  return -mean * std::log(u);
+}
+
+}  // namespace tdp

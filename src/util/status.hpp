@@ -1,0 +1,143 @@
+// status.hpp - error handling primitives for the TDP library.
+//
+// The SC'03 TDP paper specifies a C API whose calls return success or a
+// small set of failure conditions (e.g. "an error is returned if the
+// attribute is not contained in the shared space", Section 3.2).  The C++
+// core uses Status / Result<T>; the C facade in core/tdp_c.h maps these to
+// integer tdp_rc codes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace tdp {
+
+/// Canonical error codes used across all TDP subsystems.
+enum class ErrorCode : std::uint8_t {
+  kOk = 0,
+  kNotFound,         ///< attribute / job / process does not exist
+  kAlreadyExists,    ///< duplicate id, double-attach, double-init
+  kInvalidArgument,  ///< malformed input (submit file, expression, address)
+  kTimeout,          ///< blocking op exceeded its deadline
+  kConnectionError,  ///< transport-level failure (peer gone, refused)
+  kPermissionDenied, ///< e.g. cross-host LASS access (Section 2.1)
+  kInvalidState,     ///< operation illegal in current process/job state
+  kResourceExhausted,///< no machines match, fd limits, queue full
+  kInternal,         ///< bug or unexpected OS error
+  kUnsupported,      ///< feature not available on this backend
+  kCancelled,        ///< operation aborted by shutdown
+};
+
+/// Human-readable name for an ErrorCode ("OK", "NOT_FOUND", ...).
+const char* error_code_name(ErrorCode code) noexcept;
+
+/// A cheap, copyable success-or-error value.
+///
+/// Invariant: ok() implies message().empty() is allowed but code is kOk.
+class Status {
+ public:
+  /// Constructs a success status.
+  Status() noexcept = default;
+
+  Status(ErrorCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() noexcept { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == ErrorCode::kOk; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "OK" or "NOT_FOUND: attribute 'pid' missing".
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const Status& a, const Status& b) noexcept {
+    return a.code_ == b.code_;
+  }
+
+ private:
+  ErrorCode code_ = ErrorCode::kOk;
+  std::string message_;
+};
+
+inline Status make_error(ErrorCode code, std::string message) {
+  return Status{code, std::move(message)};
+}
+
+/// Exception thrown by Result<T>::value() on error access; also used by
+/// constructors that cannot produce a valid object (Core Guidelines C.42).
+class TdpError : public std::runtime_error {
+ public:
+  explicit TdpError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+ private:
+  Status status_;
+};
+
+/// A value-or-Status result, in the spirit of std::expected (not available
+/// in the toolchain's libstdc++ 12).
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: allows `return value;` and `return status;`.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.is_ok()) {
+      status_ = make_error(ErrorCode::kInternal,
+                           "Result constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool is_ok() const noexcept { return value_.has_value(); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] const Status& status() const noexcept { return status_; }
+
+  /// Returns the contained value; throws TdpError when is_ok() is false.
+  T& value() & {
+    require_ok();
+    return *value_;
+  }
+  const T& value() const& {
+    require_ok();
+    return *value_;
+  }
+  T&& value() && {
+    require_ok();
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const& {
+    return value_.has_value() ? *value_ : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  void require_ok() const {
+    if (!value_.has_value()) throw TdpError(status_);
+  }
+
+  std::optional<T> value_;
+  Status status_;  // kOk iff value_ engaged
+};
+
+/// Propagate-on-error helper: `TDP_RETURN_IF_ERROR(expr);`
+#define TDP_RETURN_IF_ERROR(expr)                  \
+  do {                                             \
+    ::tdp::Status tdp_status_tmp_ = (expr);        \
+    if (!tdp_status_tmp_.is_ok()) return tdp_status_tmp_; \
+  } while (false)
+
+}  // namespace tdp

@@ -1,0 +1,150 @@
+#include "util/string_util.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cstdint>
+
+namespace tdp::str {
+
+std::vector<std::string> split(std::string_view input, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = input.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(input.substr(start));
+      return out;
+    }
+    out.emplace_back(input.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> split_args(std::string_view input) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_token = false;
+  char quote = '\0';
+  for (char c : input) {
+    if (quote != '\0') {
+      if (c == quote) {
+        quote = '\0';
+      } else {
+        current += c;
+      }
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      in_token = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (in_token) {
+        out.push_back(std::move(current));
+        current.clear();
+        in_token = false;
+      }
+      continue;
+    }
+    current += c;
+    in_token = true;
+  }
+  if (in_token) out.push_back(std::move(current));
+  return out;
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string trim(std::string_view input) {
+  std::size_t begin = 0;
+  std::size_t end = input.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(input[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(input[end - 1]))) --end;
+  return std::string(input.substr(begin, end - begin));
+}
+
+std::string to_lower(std::string_view input) {
+  std::string out(input);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) noexcept {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool is_integer(std::string_view text) noexcept {
+  if (text.empty()) return false;
+  std::int64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  return ec == std::errc() && ptr == end;
+}
+
+std::string expand_placeholders(std::string_view input,
+                                const std::map<std::string, std::string>& vars) {
+  std::string out;
+  out.reserve(input.size());
+  std::size_t i = 0;
+  while (i < input.size()) {
+    if (input[i] != '%') {
+      out += input[i++];
+      continue;
+    }
+    if (i + 1 < input.size() && input[i + 1] == '%') {
+      out += '%';
+      i += 2;
+      continue;
+    }
+    std::size_t j = i + 1;
+    while (j < input.size() &&
+           (std::isalnum(static_cast<unsigned char>(input[j])) || input[j] == '_')) {
+      ++j;
+    }
+    std::string name(input.substr(i + 1, j - i - 1));
+    auto it = vars.find(name);
+    if (name.empty() || it == vars.end()) {
+      out += input.substr(i, j - i);  // leave unknown placeholder untouched
+    } else {
+      out += it->second;
+    }
+    i = j;
+  }
+  return out;
+}
+
+std::string format_host_port(std::string_view host, int port) {
+  std::string out(host);
+  out += ':';
+  out += std::to_string(port);
+  return out;
+}
+
+bool parse_host_port(std::string_view text, std::string* host, int* port) {
+  std::size_t pos = text.rfind(':');
+  if (pos == std::string_view::npos || pos == 0 || pos + 1 >= text.size()) return false;
+  std::string_view port_part = text.substr(pos + 1);
+  if (!is_integer(port_part)) return false;
+  int value = 0;
+  std::from_chars(port_part.data(), port_part.data() + port_part.size(), value);
+  if (value < 0 || value > 65535) return false;
+  if (host != nullptr) *host = std::string(text.substr(0, pos));
+  if (port != nullptr) *port = value;
+  return true;
+}
+
+}  // namespace tdp::str

@@ -1,0 +1,53 @@
+// string_util.hpp - string helpers shared by all TDP subsystems.
+//
+// Includes the argument-string machinery the paper relies on: attribute
+// values are null-terminated strings that may encode multiple values
+// ("-p1500 -P2000", Section 3.2) and submit-file ToolDaemonArgs may embed
+// placeholders such as "%pid" that the starter substitutes before putting
+// them in the LASS (Section 4.3 / Figure 5B).
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace tdp::str {
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string> split(std::string_view input, char sep);
+
+/// Splits on any run of unquoted whitespace, honoring single and double
+/// quotes ("a 'b c' d" -> {a, "b c", d}). This is the tokenizer used to
+/// turn a ToolDaemonArgs attribute value into an argv vector.
+std::vector<std::string> split_args(std::string_view input);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips leading and trailing whitespace.
+std::string trim(std::string_view input);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view input);
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+bool ends_with(std::string_view text, std::string_view suffix) noexcept;
+
+/// True when `text` parses fully as a (signed) decimal integer.
+bool is_integer(std::string_view text) noexcept;
+
+/// Expands %-placeholders: every "%name" occurrence whose `name` (a maximal
+/// run of [A-Za-z_0-9]) is present in `vars` is replaced by its value;
+/// "%%" produces a literal '%'; unknown placeholders are left untouched so
+/// that tool-specific syntax passes through. This implements the paper's
+/// "-a%pid" notation.
+std::string expand_placeholders(std::string_view input,
+                                const std::map<std::string, std::string>& vars);
+
+/// Formats "host:port" and parses it back. parse_host_port returns false on
+/// malformed input (missing ':', non-numeric port, port out of range).
+std::string format_host_port(std::string_view host, int port);
+bool parse_host_port(std::string_view text, std::string* host, int* port);
+
+}  // namespace tdp::str

@@ -1,0 +1,168 @@
+// Thread-safety stress tests: the paper requires the TDP library to be
+// usable "from serial and multi-threaded codes". These tests hammer the
+// store and the server/client stack from many threads and assert
+// consistency invariants, not timing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "attrspace/attr_client.hpp"
+#include "attrspace/attr_server.hpp"
+#include "attrspace/attr_store.hpp"
+#include "net/inproc.hpp"
+
+namespace tdp::attr {
+namespace {
+
+TEST(StoreConcurrency, ParallelPutsAllLand) {
+  AttributeStore store;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        store.put("ctx", "t" + std::to_string(t) + "." + std::to_string(i),
+                  std::to_string(i));
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(store.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  // Spot-check values.
+  EXPECT_EQ(store.get("ctx", "t3.77").value(), "77");
+}
+
+TEST(StoreConcurrency, PutsRacingWaitersNeverLoseWakeups) {
+  AttributeStore store;
+  constexpr int kRounds = 300;
+  std::atomic<int> fired{0};
+  std::vector<std::uint64_t> ids(kRounds);
+
+  std::thread registrar([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      ids[static_cast<std::size_t>(i)] = store.get_or_wait(
+          "ctx", "k" + std::to_string(i),
+          [&fired](const std::string&, const std::string&, const std::string&) {
+            fired.fetch_add(1);
+          });
+      if (ids[static_cast<std::size_t>(i)] == 0) fired.fetch_add(0);  // fired inline
+    }
+  });
+  std::thread putter([&] {
+    for (int i = 0; i < kRounds; ++i) {
+      store.put("ctx", "k" + std::to_string(i), "v");
+    }
+  });
+  registrar.join();
+  putter.join();
+  // Every waiter either fired inline (id == 0 means the callback already
+  // ran) or was parked and must have been woken by the racing put.
+  int inline_fires = 0;
+  for (std::uint64_t id : ids) {
+    if (id == 0) ++inline_fires;
+  }
+  EXPECT_EQ(fired.load(), kRounds) << "(" << inline_fires << " fired inline)";
+  EXPECT_EQ(store.watcher_count(), 0u);
+}
+
+TEST(StoreConcurrency, RefcountBalancedUnderContention) {
+  AttributeStore store;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&store] {
+      for (int i = 0; i < 100; ++i) {
+        store.open_context("shared");
+        store.put("shared", "x", "1");
+        store.close_context("shared");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(store.context_refcount("shared"), 0);
+}
+
+TEST(ClientConcurrency, ManyThreadsOneClient) {
+  auto transport = net::InProcTransport::create();
+  AttrServer server("LASS", transport);
+  auto address = server.start("inproc://stress").value();
+  auto client = AttrClient::connect(*transport, address, "ctx").value();
+
+  constexpr int kThreads = 6;
+  constexpr int kOps = 100;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&client, &failures, t] {
+      for (int i = 0; i < kOps; ++i) {
+        const std::string key = "t" + std::to_string(t) + "." + std::to_string(i);
+        if (!client->put(key, std::to_string(i)).is_ok()) failures.fetch_add(1);
+        auto value = client->try_get(key);
+        if (!value.is_ok() || value.value() != std::to_string(i)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  client->exit();
+  server.stop();
+}
+
+TEST(ClientConcurrency, ManyClientsManyThreads) {
+  auto transport = net::InProcTransport::create();
+  AttrServer server("LASS", transport);
+  auto address = server.start("inproc://stress2").value();
+
+  constexpr int kClients = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = AttrClient::connect(*transport, address, "shared").value();
+      for (int i = 0; i < 100; ++i) {
+        if (!client->put("c" + std::to_string(c), std::to_string(i)).is_ok()) {
+          failures.fetch_add(1);
+        }
+      }
+      client->exit();
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // All clients exited: context destroyed.
+  EXPECT_EQ(server.store().context_refcount("shared"), 0);
+  server.stop();
+}
+
+TEST(ClientConcurrency, BlockingGetsFromManyThreadsAllWake) {
+  auto transport = net::InProcTransport::create();
+  AttrServer server("LASS", transport);
+  auto address = server.start("inproc://wake-all").value();
+
+  constexpr int kWaiters = 6;
+  std::atomic<int> woken{0};
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWaiters; ++w) {
+    threads.emplace_back([&] {
+      auto client = AttrClient::connect(*transport, address, "ctx").value();
+      auto value = client->get("go", 10'000);
+      if (value.is_ok() && value.value() == "now") woken.fetch_add(1);
+      client->exit();
+    });
+  }
+  // Give the waiters time to park, then release them all with one put.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto publisher = AttrClient::connect(*transport, address, "ctx").value();
+  ASSERT_TRUE(publisher->put("go", "now").is_ok());
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(woken.load(), kWaiters);
+  publisher->exit();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace tdp::attr

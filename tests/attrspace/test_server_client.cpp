@@ -1,0 +1,263 @@
+// End-to-end attribute space tests: AttrServer (LASS/CASS) + AttrClient
+// over the in-process transport, including the cross-daemon blocking-get
+// handshake at the heart of Figure 6.
+#include <gtest/gtest.h>
+
+#include <poll.h>
+
+#include <atomic>
+#include <thread>
+
+#include "attrspace/attr_client.hpp"
+#include "attrspace/attr_protocol.hpp"
+#include "attrspace/attr_server.hpp"
+#include "net/inproc.hpp"
+
+namespace tdp::attr {
+namespace {
+
+class AttrEndToEnd : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    transport_ = net::InProcTransport::create();
+    server_ = std::make_unique<AttrServer>("LASS", transport_);
+    auto started = server_->start("inproc://lass");
+    ASSERT_TRUE(started.is_ok()) << started.status().to_string();
+    address_ = started.value();
+  }
+
+  void TearDown() override { server_->stop(); }
+
+  std::unique_ptr<AttrClient> make_client(const std::string& context = "tdp") {
+    auto client = AttrClient::connect(*transport_, address_, context);
+    EXPECT_TRUE(client.is_ok()) << client.status().to_string();
+    return std::move(client).value();
+  }
+
+  std::shared_ptr<net::InProcTransport> transport_;
+  std::unique_ptr<AttrServer> server_;
+  std::string address_;
+};
+
+TEST_F(AttrEndToEnd, PutGetAcrossClients) {
+  auto rm = make_client();
+  auto rt = make_client();
+  ASSERT_TRUE(rm->put("pid", "31337").is_ok());
+  auto value = rt->get("pid", 2000);
+  ASSERT_TRUE(value.is_ok()) << value.status().to_string();
+  EXPECT_EQ(value.value(), "31337");
+}
+
+TEST_F(AttrEndToEnd, BlockingGetParksUntilPut) {
+  auto rm = make_client();
+  auto rt = make_client();
+
+  // RT side: block on the pid exactly as paradynd does in Figure 6 step 3.
+  std::atomic<bool> got{false};
+  std::string value;
+  std::thread tool([&] {
+    auto result = rt->get(attrs::kPid, 5000);
+    if (result.is_ok()) {
+      value = result.value();
+      got.store(true);
+    }
+  });
+
+  // Ensure the get really parks (no put yet).
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_FALSE(got.load());
+
+  ASSERT_TRUE(rm->put(attrs::kPid, "271828").is_ok());
+  tool.join();
+  EXPECT_TRUE(got.load());
+  EXPECT_EQ(value, "271828");
+}
+
+TEST_F(AttrEndToEnd, BlockingGetTimesOut) {
+  auto rt = make_client();
+  auto result = rt->get("never_put", 80);
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+}
+
+TEST_F(AttrEndToEnd, TryGetReturnsNotFound) {
+  auto client = make_client();
+  auto result = client->try_get("absent");
+  ASSERT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kNotFound);
+  ASSERT_TRUE(client->put("absent", "now present").is_ok());
+  EXPECT_EQ(client->try_get("absent").value(), "now present");
+}
+
+TEST_F(AttrEndToEnd, RemoveAndList) {
+  auto client = make_client();
+  client->put("a", "1");
+  client->put("b", "2");
+  auto pairs = client->list();
+  ASSERT_TRUE(pairs.is_ok());
+  ASSERT_EQ(pairs->size(), 2u);
+  ASSERT_TRUE(client->remove("a").is_ok());
+  EXPECT_EQ(client->list()->size(), 1u);
+  EXPECT_EQ(client->remove("a").code(), ErrorCode::kNotFound);  // already gone
+}
+
+TEST_F(AttrEndToEnd, ContextsIsolatedBetweenClients) {
+  auto tool1 = make_client("rt-1");
+  auto tool2 = make_client("rt-2");
+  tool1->put("pid", "1");
+  tool2->put("pid", "2");
+  EXPECT_EQ(tool1->try_get("pid").value(), "1");
+  EXPECT_EQ(tool2->try_get("pid").value(), "2");
+}
+
+TEST_F(AttrEndToEnd, ContextDestroyedWhenLastParticipantExits) {
+  auto rm = make_client("shared");
+  {
+    auto rt = make_client("shared");
+    rt->put("pid", "5");
+    ASSERT_TRUE(rt->exit().is_ok());
+  }
+  // rm still holds the context: the attribute survives.
+  EXPECT_TRUE(rm->try_get("pid").is_ok());
+  ASSERT_TRUE(rm->exit().is_ok());
+  // Context gone: a fresh participant sees an empty space.
+  auto fresh = make_client("shared");
+  EXPECT_EQ(fresh->try_get("pid").status().code(), ErrorCode::kNotFound);
+  EXPECT_FALSE(server_->store().context_exists("shared") &&
+               server_->store().get("shared", "pid").is_ok());
+}
+
+TEST_F(AttrEndToEnd, AbruptDisconnectIsImplicitExit) {
+  auto rm = make_client("crashy");
+  rm->put("pid", "1");
+  // Simulate a daemon crash: drop the client without tdp_exit.
+  rm.reset();
+  // The server reaps the connection within its poll tick; wait for it.
+  for (int i = 0; i < 100 && server_->store().context_refcount("crashy") > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server_->store().context_refcount("crashy"), 0);
+  EXPECT_FALSE(server_->store().context_exists("crashy"));
+}
+
+TEST_F(AttrEndToEnd, AsyncGetCompletesViaServiceEvents) {
+  auto rm = make_client();
+  auto rt = make_client();
+
+  std::string seen_attr, seen_value;
+  Status seen_status = make_error(ErrorCode::kInternal, "callback never ran");
+  auto fd = rt->async_get(attrs::kExecutableName,
+                          [&](const Status& status, const std::string& attr,
+                              const std::string& value) {
+                            seen_status = status;
+                            seen_attr = attr;
+                            seen_value = value;
+                          });
+  ASSERT_TRUE(fd.is_ok());
+  ASSERT_GE(fd.value(), 0);
+
+  // Nothing yet: service_events is a no-op.
+  EXPECT_EQ(rt->service_events(), 0);
+
+  ASSERT_TRUE(rm->put(attrs::kExecutableName, "/bin/foo").is_ok());
+
+  // The tdp_fd becomes readable; then service_events dispatches.
+  struct pollfd pfd{fd.value(), POLLIN, 0};
+  ASSERT_EQ(::poll(&pfd, 1, 3000), 1);
+  EXPECT_GE(rt->service_events(), 1);
+  EXPECT_TRUE(seen_status.is_ok());
+  EXPECT_EQ(seen_attr, attrs::kExecutableName);
+  EXPECT_EQ(seen_value, "/bin/foo");
+}
+
+TEST_F(AttrEndToEnd, TwoAsyncGetsDispatchIndependently) {
+  auto rm = make_client();
+  auto rt = make_client();
+
+  // The exact pseudo-code scenario from Section 3.3: two async gets, one
+  // poll loop, tdp_service_event dispatches whichever completed.
+  int pid_fired = 0, exe_fired = 0;
+  rt->async_get("pid", [&](const Status&, const std::string&, const std::string&) {
+    ++pid_fired;
+  });
+  rt->async_get("executable_name",
+                [&](const Status&, const std::string&, const std::string&) {
+                  ++exe_fired;
+                });
+
+  rm->put("executable_name", "/bin/app");
+  for (int i = 0; i < 100 && exe_fired == 0; ++i) {
+    rt->service_events();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(exe_fired, 1);
+  EXPECT_EQ(pid_fired, 0);
+
+  rm->put("pid", "1");
+  for (int i = 0; i < 100 && pid_fired == 0; ++i) {
+    rt->service_events();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(pid_fired, 1);
+  EXPECT_EQ(exe_fired, 1);
+}
+
+TEST_F(AttrEndToEnd, AsyncPutAcknowledged) {
+  auto client = make_client();
+  Status seen = make_error(ErrorCode::kInternal, "not yet");
+  client->async_put("key", "value",
+                    [&](const Status& status, const std::string&, const std::string&) {
+                      seen = status;
+                    });
+  for (int i = 0; i < 100 && !seen.is_ok(); ++i) {
+    client->service_events();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(seen.is_ok());
+  EXPECT_EQ(client->try_get("key").value(), "value");
+}
+
+TEST_F(AttrEndToEnd, SubscriptionDeliversNotifications) {
+  auto rm = make_client();
+  auto rt = make_client();
+
+  std::vector<std::pair<std::string, std::string>> notifications;
+  ASSERT_TRUE(rt->subscribe("proc_state.*",
+                            [&](const std::string& attr, const std::string& value) {
+                              notifications.emplace_back(attr, value);
+                            })
+                  .is_ok());
+
+  rm->put("proc_state.41", "running");
+  rm->put("unrelated", "x");
+  rm->put("proc_state.41", "exited:0");
+
+  for (int i = 0; i < 200 && notifications.size() < 2; ++i) {
+    rt->service_events();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(notifications.size(), 2u);
+  EXPECT_EQ(notifications[0], (std::pair<std::string, std::string>{"proc_state.41",
+                                                                   "running"}));
+  EXPECT_EQ(notifications[1], (std::pair<std::string, std::string>{"proc_state.41",
+                                                                   "exited:0"}));
+}
+
+TEST_F(AttrEndToEnd, ManyClientsSameContext) {
+  constexpr int kClients = 8;
+  std::vector<std::unique_ptr<AttrClient>> clients;
+  clients.reserve(kClients);
+  for (int i = 0; i < kClients; ++i) clients.push_back(make_client("busy"));
+  for (int i = 0; i < kClients; ++i) {
+    ASSERT_TRUE(clients[static_cast<std::size_t>(i)]
+                    ->put("key" + std::to_string(i), std::to_string(i))
+                    .is_ok());
+  }
+  auto pairs = clients[0]->list();
+  ASSERT_TRUE(pairs.is_ok());
+  EXPECT_EQ(pairs->size(), static_cast<std::size_t>(kClients));
+  EXPECT_EQ(server_->store().context_refcount("busy"), kClients);
+}
+
+}  // namespace
+}  // namespace tdp::attr

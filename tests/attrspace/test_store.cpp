@@ -1,0 +1,256 @@
+// Tests for AttributeStore: contexts, refcounting, waiters, subscriptions —
+// the Section 3.2 semantics in isolation.
+#include "attrspace/attr_store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdp::attr {
+namespace {
+
+TEST(Store, PutThenGet) {
+  AttributeStore store;
+  EXPECT_TRUE(store.put("ctx", "pid", "1234").is_ok());
+  auto value = store.get("ctx", "pid");
+  ASSERT_TRUE(value.is_ok());
+  EXPECT_EQ(value.value(), "1234");
+}
+
+TEST(Store, GetMissingAttributeIsNotFound) {
+  AttributeStore store;
+  store.put("ctx", "other", "x");
+  auto value = store.get("ctx", "pid");
+  ASSERT_FALSE(value.is_ok());
+  EXPECT_EQ(value.status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Store, GetMissingContextIsNotFound) {
+  AttributeStore store;
+  EXPECT_EQ(store.get("nope", "pid").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Store, PutOverwrites) {
+  AttributeStore store;
+  store.put("ctx", "state", "running");
+  store.put("ctx", "state", "stopped");
+  EXPECT_EQ(store.get("ctx", "state").value(), "stopped");
+}
+
+TEST(Store, ValuesMayContainAnything) {
+  AttributeStore store;
+  // Multi-valued attributes are plain strings per the paper ("-p1500 -P2000").
+  store.put("ctx", "app_args", "-p1500 -P2000");
+  EXPECT_EQ(store.get("ctx", "app_args").value(), "-p1500 -P2000");
+  std::string binary(256, '\0');
+  store.put("ctx", "blob", binary);
+  EXPECT_EQ(store.get("ctx", "blob").value().size(), 256u);
+}
+
+TEST(Store, ContextsAreIsolated) {
+  AttributeStore store;
+  store.put("tool1", "pid", "1");
+  store.put("tool2", "pid", "2");
+  EXPECT_EQ(store.get("tool1", "pid").value(), "1");
+  EXPECT_EQ(store.get("tool2", "pid").value(), "2");
+  store.remove("tool1", "pid");
+  EXPECT_FALSE(store.get("tool1", "pid").is_ok());
+  EXPECT_TRUE(store.get("tool2", "pid").is_ok());
+}
+
+TEST(Store, RemoveMissingIsNotFound) {
+  AttributeStore store;
+  EXPECT_EQ(store.remove("ctx", "pid").code(), ErrorCode::kNotFound);
+}
+
+TEST(Store, ListIsSortedSnapshot) {
+  AttributeStore store;
+  store.put("ctx", "b", "2");
+  store.put("ctx", "a", "1");
+  store.put("ctx", "c", "3");
+  auto pairs = store.list("ctx");
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0].first, "a");
+  EXPECT_EQ(pairs[1].first, "b");
+  EXPECT_EQ(pairs[2].first, "c");
+  EXPECT_TRUE(store.list("unknown").empty());
+}
+
+// --- context refcounting (tdp_init / tdp_exit semantics) ---
+
+TEST(Store, RefcountLifecycle) {
+  AttributeStore store;
+  EXPECT_EQ(store.open_context("tdp"), 1);
+  EXPECT_EQ(store.open_context("tdp"), 2);
+  store.put("tdp", "pid", "9");
+
+  auto first = store.close_context("tdp");
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(first.value(), 1);
+  EXPECT_TRUE(store.context_exists("tdp"));
+  EXPECT_TRUE(store.get("tdp", "pid").is_ok());
+
+  auto last = store.close_context("tdp");
+  ASSERT_TRUE(last.is_ok());
+  EXPECT_EQ(last.value(), 0);
+  // "destroyed when the last element using the specific context calls
+  // tdp_exit" — attributes are gone.
+  EXPECT_FALSE(store.context_exists("tdp"));
+  EXPECT_FALSE(store.get("tdp", "pid").is_ok());
+}
+
+TEST(Store, CloseWithoutOpenFails) {
+  AttributeStore store;
+  EXPECT_EQ(store.close_context("ctx").status().code(), ErrorCode::kNotFound);
+  store.open_context("ctx");
+  ASSERT_TRUE(store.close_context("ctx").is_ok());
+  EXPECT_EQ(store.close_context("ctx").status().code(), ErrorCode::kNotFound);
+}
+
+TEST(Store, ContextDestructionDropsWaiters) {
+  AttributeStore store;
+  store.open_context("ctx");
+  int fired = 0;
+  store.get_or_wait("ctx", "never",
+                    [&](const std::string&, const std::string&, const std::string&) {
+                      ++fired;
+                    });
+  EXPECT_EQ(store.watcher_count(), 1u);
+  ASSERT_TRUE(store.close_context("ctx").is_ok());
+  EXPECT_EQ(store.watcher_count(), 0u);
+  store.put("ctx", "never", "late");  // re-creates context; waiter is gone
+  EXPECT_EQ(fired, 0);
+}
+
+// --- waiters (the parked blocking get) ---
+
+TEST(Store, GetOrWaitFiresImmediatelyWhenPresent) {
+  AttributeStore store;
+  store.put("ctx", "pid", "77");
+  std::string seen;
+  std::uint64_t id = store.get_or_wait(
+      "ctx", "pid",
+      [&](const std::string&, const std::string&, const std::string& value) {
+        seen = value;
+      });
+  EXPECT_EQ(id, 0u);  // fired inline, nothing registered
+  EXPECT_EQ(seen, "77");
+  EXPECT_EQ(store.watcher_count(), 0u);
+}
+
+TEST(Store, GetOrWaitParksUntilPut) {
+  AttributeStore store;
+  std::string seen;
+  std::uint64_t id = store.get_or_wait(
+      "ctx", "pid",
+      [&](const std::string&, const std::string&, const std::string& value) {
+        seen = value;
+      });
+  EXPECT_NE(id, 0u);
+  EXPECT_TRUE(seen.empty());
+  store.put("ctx", "pid", "4242");
+  EXPECT_EQ(seen, "4242");
+  // One-shot: a second put must not re-fire.
+  store.put("ctx", "pid", "9999");
+  EXPECT_EQ(seen, "4242");
+}
+
+TEST(Store, WaiterIsContextScoped) {
+  AttributeStore store;
+  int fired = 0;
+  store.get_or_wait("tool1", "pid",
+                    [&](const std::string&, const std::string&, const std::string&) {
+                      ++fired;
+                    });
+  store.put("tool2", "pid", "1");  // different context: no fire
+  EXPECT_EQ(fired, 0);
+  store.put("tool1", "pid", "2");
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Store, MultipleWaitersAllFire) {
+  AttributeStore store;
+  int fired = 0;
+  for (int i = 0; i < 5; ++i) {
+    store.get_or_wait("ctx", "go",
+                      [&](const std::string&, const std::string&, const std::string&) {
+                        ++fired;
+                      });
+  }
+  store.put("ctx", "go", "now");
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(store.watcher_count(), 0u);
+}
+
+TEST(Store, UnsubscribeCancelsWaiter) {
+  AttributeStore store;
+  int fired = 0;
+  std::uint64_t id = store.get_or_wait(
+      "ctx", "pid",
+      [&](const std::string&, const std::string&, const std::string&) { ++fired; });
+  store.unsubscribe(id);
+  store.put("ctx", "pid", "1");
+  EXPECT_EQ(fired, 0);
+}
+
+// --- subscriptions (asynchronous notification) ---
+
+TEST(Store, SubscriptionFiresOnEveryMatchingPut) {
+  AttributeStore store;
+  std::vector<std::string> values;
+  store.subscribe("ctx", "state",
+                  [&](const std::string&, const std::string&, const std::string& v) {
+                    values.push_back(v);
+                  });
+  store.put("ctx", "state", "running");
+  store.put("ctx", "state", "stopped");
+  store.put("ctx", "other", "x");
+  EXPECT_EQ(values, (std::vector<std::string>{"running", "stopped"}));
+}
+
+TEST(Store, PrefixPatternMatches) {
+  AttributeStore store;
+  std::vector<std::string> attrs;
+  store.subscribe("ctx", "tdpreq.*",
+                  [&](const std::string&, const std::string& attr, const std::string&) {
+                    attrs.push_back(attr);
+                  });
+  store.put("ctx", "tdpreq.7.0", "op:continue pid:1");
+  store.put("ctx", "tdprep.7.0", "ok");  // reply prefix: no match
+  store.put("ctx", "tdpreq.7.1", "op:pause pid:1");
+  EXPECT_EQ(attrs, (std::vector<std::string>{"tdpreq.7.0", "tdpreq.7.1"}));
+}
+
+TEST(Store, StarAloneMatchesEverything) {
+  AttributeStore store;
+  int fired = 0;
+  store.subscribe("ctx", "*",
+                  [&](const std::string&, const std::string&, const std::string&) {
+                    ++fired;
+                  });
+  store.put("ctx", "a", "1");
+  store.put("ctx", "completely.different", "2");
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Store, UnsubscribeStopsNotifications) {
+  AttributeStore store;
+  int fired = 0;
+  std::uint64_t id = store.subscribe(
+      "ctx", "x",
+      [&](const std::string&, const std::string&, const std::string&) { ++fired; });
+  store.put("ctx", "x", "1");
+  store.unsubscribe(id);
+  store.put("ctx", "x", "2");
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Store, SizeCountsAcrossContexts) {
+  AttributeStore store;
+  EXPECT_EQ(store.size(), 0u);
+  store.put("a", "x", "1");
+  store.put("a", "y", "2");
+  store.put("b", "x", "3");
+  EXPECT_EQ(store.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tdp::attr

@@ -1,0 +1,189 @@
+// Tests for ClassAd container behaviour and the symmetric matchmaking
+// kernel the Figure-4 matchmaker runs on.
+#include "classads/classad.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdp::classads {
+namespace {
+
+ClassAd linux_machine(int memory, double load = 0.1) {
+  ClassAd ad;
+  ad.insert_string(ads::kMyType, "Machine");
+  ad.insert_string(ads::kName, "node");
+  ad.insert_string(ads::kOpSys, "LINUX");
+  ad.insert_string(ads::kArch, "INTEL");
+  ad.insert_int(ads::kMemory, memory);
+  ad.insert_real(ads::kLoadAvg, load);
+  return ad;
+}
+
+ClassAd basic_job(int imagesize) {
+  ClassAd ad;
+  ad.insert_string(ads::kMyType, "Job");
+  ad.insert_int("imagesize", imagesize);
+  return ad;
+}
+
+TEST(ClassAd, InsertLookupErase) {
+  ClassAd ad;
+  EXPECT_FALSE(ad.has("memory"));
+  ad.insert_int("memory", 256);
+  EXPECT_TRUE(ad.has("Memory"));  // case-insensitive
+  EXPECT_TRUE(ad.has("MEMORY"));
+  EXPECT_EQ(ad.evaluate("memory"), Value::integer(256));
+  ad.erase("MeMoRy");
+  EXPECT_FALSE(ad.has("memory"));
+  EXPECT_TRUE(ad.evaluate("memory").is_undefined());
+}
+
+TEST(ClassAd, InsertRejectsBadExpression) {
+  ClassAd ad;
+  EXPECT_FALSE(ad.insert("bad", "1 +").is_ok());
+  EXPECT_FALSE(ad.has("bad"));
+}
+
+TEST(ClassAd, InsertReplaces) {
+  ClassAd ad;
+  ad.insert_int("x", 1);
+  ad.insert_int("x", 2);
+  EXPECT_EQ(ad.size(), 1u);
+  EXPECT_EQ(ad.evaluate("x"), Value::integer(2));
+}
+
+TEST(ClassAd, StringValuesEscape) {
+  ClassAd ad;
+  ad.insert_string("path", "with \"quotes\" and \\backslash");
+  EXPECT_EQ(ad.evaluate("path"), Value::string("with \"quotes\" and \\backslash"));
+}
+
+TEST(ClassAd, ToStringParsesBack) {
+  ClassAd ad = linux_machine(512);
+  ad.insert("requirements", "TARGET.imagesize <= MY.memory");
+  auto reparsed = ClassAd::parse(ad.to_string());
+  ASSERT_TRUE(reparsed.is_ok()) << reparsed.status().to_string();
+  EXPECT_EQ(reparsed->size(), ad.size());
+  EXPECT_EQ(reparsed->evaluate(ads::kMemory), Value::integer(512));
+  EXPECT_EQ(reparsed->evaluate(ads::kOpSys), Value::string("LINUX"));
+}
+
+TEST(ClassAd, ParseHandlesComparisonOperatorsInExpressions) {
+  auto ad = ClassAd::parse("[ requirements = memory >= 64 && opsys == \"LINUX\"; "
+                           "rank = memory != 0 ? memory : 0; ]");
+  ASSERT_TRUE(ad.is_ok()) << ad.status().to_string();
+  EXPECT_TRUE(ad->has("requirements"));
+  EXPECT_TRUE(ad->has("rank"));
+}
+
+TEST(ClassAd, ParseRejectsMalformed) {
+  EXPECT_FALSE(ClassAd::parse("no brackets").is_ok());
+  EXPECT_FALSE(ClassAd::parse("[ nameonly; ]").is_ok());
+  EXPECT_FALSE(ClassAd::parse("[ = 5; ]").is_ok());
+  EXPECT_FALSE(ClassAd::parse("[ x = 1 +; ]").is_ok());
+}
+
+TEST(ClassAd, ParseEmptyAd) {
+  auto ad = ClassAd::parse("[ ]");
+  ASSERT_TRUE(ad.is_ok());
+  EXPECT_EQ(ad->size(), 0u);
+}
+
+// --- matchmaking ---
+
+TEST(Match, SymmetricRequirementsBothHold) {
+  ClassAd machine = linux_machine(512);
+  machine.insert("requirements", "TARGET.imagesize <= MY.memory");
+  ClassAd job = basic_job(128);
+  job.insert("requirements", "TARGET.opsys == \"LINUX\" && TARGET.memory >= 256");
+  EXPECT_TRUE(symmetric_match(job, machine));
+  EXPECT_TRUE(symmetric_match(machine, job));  // symmetric by construction
+}
+
+TEST(Match, FailsWhenJobSideRejects) {
+  ClassAd machine = linux_machine(128);
+  machine.insert("requirements", "true");
+  ClassAd job = basic_job(64);
+  job.insert("requirements", "TARGET.memory >= 256");
+  EXPECT_FALSE(symmetric_match(job, machine));
+}
+
+TEST(Match, FailsWhenMachineSideRejects) {
+  ClassAd machine = linux_machine(1024);
+  machine.insert("requirements", "TARGET.imagesize <= 32");
+  ClassAd job = basic_job(64);
+  job.insert("requirements", "true");
+  EXPECT_FALSE(symmetric_match(job, machine));
+}
+
+TEST(Match, MissingRequirementsIsUnconstrained) {
+  ClassAd machine = linux_machine(512);
+  ClassAd job = basic_job(64);
+  EXPECT_TRUE(symmetric_match(job, machine));
+}
+
+TEST(Match, UndefinedRequirementDoesNotMatch) {
+  // Referencing an attribute the other ad lacks -> UNDEFINED -> no match.
+  ClassAd machine = linux_machine(512);
+  ClassAd job = basic_job(64);
+  job.insert("requirements", "TARGET.has_gpu == true");
+  EXPECT_FALSE(symmetric_match(job, machine));
+}
+
+TEST(Match, MetaEqualRescuesUndefined) {
+  ClassAd machine = linux_machine(512);
+  ClassAd job = basic_job(64);
+  job.insert("requirements", "TARGET.has_gpu =?= undefined");  // "no gpu attr"
+  EXPECT_TRUE(symmetric_match(job, machine));
+}
+
+TEST(Rank, NumericRankOrdersCandidates) {
+  ClassAd job = basic_job(64);
+  job.insert("rank", "TARGET.memory");
+  ClassAd small_machine = linux_machine(128);
+  ClassAd big_machine = linux_machine(2048);
+  EXPECT_LT(rank_of(job, small_machine), rank_of(job, big_machine));
+  EXPECT_DOUBLE_EQ(rank_of(job, big_machine), 2048.0);
+}
+
+TEST(Rank, NonNumericRankIsZero) {
+  ClassAd job = basic_job(64);
+  ClassAd machine = linux_machine(128);
+  EXPECT_DOUBLE_EQ(rank_of(job, machine), 0.0);  // no rank attribute
+  job.insert("rank", "TARGET.no_such_attr");
+  EXPECT_DOUBLE_EQ(rank_of(job, machine), 0.0);  // undefined rank
+  job.insert_string("rank", "high");
+  EXPECT_DOUBLE_EQ(rank_of(job, machine), 0.0);  // string rank
+}
+
+TEST(Rank, BooleanRankCountsAsZeroOrOne) {
+  ClassAd job = basic_job(64);
+  job.insert("rank", "TARGET.memory > 1000");
+  EXPECT_DOUBLE_EQ(rank_of(job, linux_machine(2048)), 1.0);
+  EXPECT_DOUBLE_EQ(rank_of(job, linux_machine(128)), 0.0);
+}
+
+TEST(Match, RealisticCondorScenario) {
+  // A pool of heterogeneous machines; a picky job matches only some.
+  ClassAd job = basic_job(200);
+  job.insert("requirements",
+             "TARGET.opsys == \"LINUX\" && TARGET.arch == \"INTEL\" && "
+             "TARGET.memory >= MY.imagesize && TARGET.loadavg < 0.5");
+  job.insert("rank", "TARGET.memory - TARGET.loadavg * 100");
+
+  ClassAd busy = linux_machine(1024, /*load=*/0.9);
+  ClassAd small = linux_machine(128, 0.1);
+  ClassAd good = linux_machine(512, 0.2);
+  ClassAd better = linux_machine(4096, 0.1);
+  ClassAd solaris = linux_machine(4096, 0.0);
+  solaris.insert_string(ads::kOpSys, "SOLARIS");
+
+  EXPECT_FALSE(symmetric_match(job, busy));
+  EXPECT_FALSE(symmetric_match(job, small));
+  EXPECT_TRUE(symmetric_match(job, good));
+  EXPECT_TRUE(symmetric_match(job, better));
+  EXPECT_FALSE(symmetric_match(job, solaris));
+  EXPECT_GT(rank_of(job, better), rank_of(job, good));
+}
+
+}  // namespace
+}  // namespace tdp::classads

@@ -1,0 +1,91 @@
+// Property-style sweeps over the ClassAd machinery: randomized ads
+// round-trip through to_string/parse, and matchmaking invariants hold
+// across generated pools.
+#include <gtest/gtest.h>
+
+#include "classads/classad.hpp"
+#include "util/rng.hpp"
+
+namespace tdp::classads {
+namespace {
+
+/// Builds a random but well-formed machine ad.
+ClassAd random_machine(Rng& rng, const std::string& name) {
+  ClassAd ad;
+  ad.insert_string(ads::kName, name);
+  ad.insert_string(ads::kOpSys, rng.next_below(2) == 0 ? "LINUX" : "SOLARIS");
+  ad.insert_string(ads::kArch, rng.next_below(2) == 0 ? "INTEL" : "SPARC");
+  ad.insert_int(ads::kMemory, static_cast<std::int64_t>(64 << rng.next_below(7)));
+  ad.insert_real(ads::kLoadAvg, rng.next_double());
+  if (rng.next_below(3) == 0) {
+    ad.insert(ads::kRequirements, "TARGET.imagesize <= MY.memory");
+  }
+  return ad;
+}
+
+class ClassAdProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ClassAdProperty, ToStringParseRoundTrip) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 50; ++round) {
+    ClassAd ad = random_machine(rng, "m" + std::to_string(round));
+    auto reparsed = ClassAd::parse(ad.to_string());
+    ASSERT_TRUE(reparsed.is_ok())
+        << ad.to_string() << ": " << reparsed.status().to_string();
+    ASSERT_EQ(reparsed->size(), ad.size());
+    // Every attribute evaluates to the same value in both ads.
+    for (const std::string& attr : ad.names()) {
+      EXPECT_EQ(reparsed->evaluate(attr).to_string(),
+                ad.evaluate(attr).to_string())
+          << "attribute " << attr << " in " << ad.to_string();
+    }
+  }
+}
+
+TEST_P(ClassAdProperty, SymmetricMatchIsSymmetric) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    ClassAd a = random_machine(rng, "a");
+    ClassAd b = random_machine(rng, "b");
+    // insert a job-side flavor into one of them sometimes
+    if (rng.next_below(2) == 0) {
+      a.insert_int("imagesize", static_cast<std::int64_t>(rng.next_below(2048)));
+    }
+    EXPECT_EQ(symmetric_match(a, b), symmetric_match(b, a));
+  }
+}
+
+TEST_P(ClassAdProperty, MatchImpliesBothRequirementsTrue) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 100; ++round) {
+    ClassAd machine = random_machine(rng, "m");
+    ClassAd job;
+    job.insert_int("imagesize", static_cast<std::int64_t>(rng.next_below(4096)));
+    job.insert(ads::kRequirements,
+               "TARGET.memory >= MY.imagesize && TARGET.opsys == \"LINUX\"");
+    if (symmetric_match(job, machine)) {
+      EXPECT_TRUE(job.evaluate(ads::kRequirements, &machine).is_true());
+      if (machine.has(ads::kRequirements)) {
+        EXPECT_TRUE(machine.evaluate(ads::kRequirements, &job).is_true());
+      }
+    }
+  }
+}
+
+TEST_P(ClassAdProperty, RankIsDeterministic) {
+  Rng rng(GetParam());
+  ClassAd job;
+  job.insert("rank", "TARGET.memory - TARGET.loadavg * 10");
+  for (int round = 0; round < 50; ++round) {
+    ClassAd machine = random_machine(rng, "m");
+    double first = rank_of(job, machine);
+    double second = rank_of(job, machine);
+    EXPECT_DOUBLE_EQ(first, second);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ClassAdProperty,
+                         ::testing::Values(101u, 202u, 303u, 404u));
+
+}  // namespace
+}  // namespace tdp::classads

@@ -1,0 +1,208 @@
+// Tests for the ClassAd-lite expression language: literals, operators,
+// three-valued logic, scoped references, and built-in functions.
+#include "classads/expr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "classads/classad.hpp"
+
+namespace tdp::classads {
+namespace {
+
+Value eval(const std::string& source) {
+  auto result = evaluate_standalone(source);
+  EXPECT_TRUE(result.is_ok()) << source << ": " << result.status().to_string();
+  return result.is_ok() ? result.value() : Value::error();
+}
+
+TEST(Expr, Literals) {
+  EXPECT_EQ(eval("42"), Value::integer(42));
+  EXPECT_EQ(eval("3.5"), Value::real(3.5));
+  EXPECT_EQ(eval("true"), Value::boolean(true));
+  EXPECT_EQ(eval("FALSE"), Value::boolean(false));
+  EXPECT_EQ(eval("\"hello\""), Value::string("hello"));
+  EXPECT_TRUE(eval("undefined").is_undefined());
+  EXPECT_TRUE(eval("error").is_error());
+  EXPECT_EQ(eval("1e3"), Value::real(1000.0));
+  EXPECT_EQ(eval("\"quo\\\"te\""), Value::string("quo\"te"));
+}
+
+TEST(Expr, Arithmetic) {
+  EXPECT_EQ(eval("1 + 2 * 3"), Value::integer(7));
+  EXPECT_EQ(eval("(1 + 2) * 3"), Value::integer(9));
+  EXPECT_EQ(eval("7 / 2"), Value::integer(3));       // int division
+  EXPECT_EQ(eval("7.0 / 2"), Value::real(3.5));      // promotes
+  EXPECT_EQ(eval("7 % 3"), Value::integer(1));
+  EXPECT_EQ(eval("-5 + 2"), Value::integer(-3));
+  EXPECT_EQ(eval("--5"), Value::integer(5));
+}
+
+TEST(Expr, DivisionByZeroIsError) {
+  EXPECT_TRUE(eval("1 / 0").is_error());
+  EXPECT_TRUE(eval("1 % 0").is_error());
+  EXPECT_TRUE(eval("1.0 / 0.0").is_error());
+}
+
+TEST(Expr, Comparisons) {
+  EXPECT_EQ(eval("1 < 2"), Value::boolean(true));
+  EXPECT_EQ(eval("2 <= 2"), Value::boolean(true));
+  EXPECT_EQ(eval("3 > 4"), Value::boolean(false));
+  EXPECT_EQ(eval("1 == 1.0"), Value::boolean(true));  // cross-numeric
+  EXPECT_EQ(eval("1 != 2"), Value::boolean(true));
+}
+
+TEST(Expr, StringComparisonCaseInsensitive) {
+  EXPECT_EQ(eval("\"LINUX\" == \"linux\""), Value::boolean(true));
+  EXPECT_EQ(eval("\"a\" < \"B\""), Value::boolean(true));
+  EXPECT_EQ(eval("\"x\" != \"y\""), Value::boolean(true));
+}
+
+TEST(Expr, MixedTypeComparisonIsError) {
+  EXPECT_TRUE(eval("1 == \"1\"").is_error());
+  EXPECT_TRUE(eval("true < 2").is_error());
+}
+
+TEST(Expr, ThreeValuedLogic) {
+  // UNDEFINED propagates unless the other side decides.
+  EXPECT_TRUE(eval("undefined && true").is_undefined());
+  EXPECT_EQ(eval("undefined && false"), Value::boolean(false));
+  EXPECT_EQ(eval("undefined || true"), Value::boolean(true));
+  EXPECT_TRUE(eval("undefined || false").is_undefined());
+  // ERROR propagates unless short-circuited away.
+  EXPECT_EQ(eval("false && error"), Value::boolean(false));
+  EXPECT_EQ(eval("true || error"), Value::boolean(true));
+  EXPECT_TRUE(eval("true && error").is_error());
+  EXPECT_TRUE(eval("error || false").is_error());
+  // Comparisons with undefined are undefined; with error are error.
+  EXPECT_TRUE(eval("undefined == 1").is_undefined());
+  EXPECT_TRUE(eval("error == 1").is_error());
+  // Arithmetic with undefined is undefined.
+  EXPECT_TRUE(eval("undefined + 1").is_undefined());
+}
+
+TEST(Expr, NotOperator) {
+  EXPECT_EQ(eval("!true"), Value::boolean(false));
+  EXPECT_EQ(eval("!0"), Value::boolean(true));
+  EXPECT_TRUE(eval("!undefined").is_undefined());
+  EXPECT_TRUE(eval("!\"str\"").is_error());
+}
+
+TEST(Expr, MetaEquality) {
+  // =?= never yields undefined: it is the is-identical test.
+  EXPECT_EQ(eval("undefined =?= undefined"), Value::boolean(true));
+  EXPECT_EQ(eval("undefined =?= 1"), Value::boolean(false));
+  EXPECT_EQ(eval("1 =?= 1"), Value::boolean(true));
+  EXPECT_EQ(eval("1 =?= 1.0"), Value::boolean(true));  // numeric identity
+  EXPECT_EQ(eval("\"a\" =?= \"a\""), Value::boolean(true));
+  EXPECT_EQ(eval("\"a\" =?= \"A\""), Value::boolean(false));  // case SENSITIVE
+  EXPECT_EQ(eval("undefined =!= undefined"), Value::boolean(false));
+  EXPECT_EQ(eval("undefined =!= 5"), Value::boolean(true));
+}
+
+TEST(Expr, Ternary) {
+  EXPECT_EQ(eval("true ? 1 : 2"), Value::integer(1));
+  EXPECT_EQ(eval("false ? 1 : 2"), Value::integer(2));
+  EXPECT_TRUE(eval("undefined ? 1 : 2").is_undefined());
+  EXPECT_EQ(eval("1 < 2 ? \"yes\" : \"no\""), Value::string("yes"));
+}
+
+TEST(Expr, Functions) {
+  EXPECT_EQ(eval("floor(2.9)"), Value::integer(2));
+  EXPECT_EQ(eval("ceiling(2.1)"), Value::integer(3));
+  EXPECT_EQ(eval("round(2.5)"), Value::integer(3));
+  EXPECT_EQ(eval("int(\"42\")"), Value::integer(42));
+  EXPECT_EQ(eval("real(3)"), Value::real(3.0));
+  EXPECT_EQ(eval("string(42)"), Value::string("42"));
+  EXPECT_EQ(eval("strcat(\"a\", \"b\", 3)"), Value::string("ab3"));
+  EXPECT_EQ(eval("toLower(\"LiNuX\")"), Value::string("linux"));
+  EXPECT_EQ(eval("toUpper(\"x86\")"), Value::string("X86"));
+  EXPECT_EQ(eval("size(\"hello\")"), Value::integer(5));
+  EXPECT_EQ(eval("min(3, 1, 2)"), Value::integer(1));
+  EXPECT_EQ(eval("max(3, 1.5)"), Value::real(3.0));
+  EXPECT_EQ(eval("isUndefined(undefined)"), Value::boolean(true));
+  EXPECT_EQ(eval("isUndefined(1)"), Value::boolean(false));
+  EXPECT_EQ(eval("isError(1/0)"), Value::boolean(true));
+  EXPECT_TRUE(eval("int(\"notanumber\")").is_error());
+  EXPECT_TRUE(eval("nosuchfunction(1)").is_error());
+}
+
+TEST(Expr, SyntaxErrors) {
+  EXPECT_FALSE(parse_expr("1 +").is_ok());
+  EXPECT_FALSE(parse_expr("(1").is_ok());
+  EXPECT_FALSE(parse_expr("\"unterminated").is_ok());
+  EXPECT_FALSE(parse_expr("1 2").is_ok());
+  EXPECT_FALSE(parse_expr("@").is_ok());
+  EXPECT_FALSE(parse_expr("a ? b").is_ok());
+  EXPECT_FALSE(parse_expr("f(1,").is_ok());
+}
+
+TEST(Expr, UnresolvedAttributeIsUndefined) {
+  EXPECT_TRUE(eval("SomeAttr").is_undefined());
+  EXPECT_TRUE(eval("MY.SomeAttr").is_undefined());
+  EXPECT_TRUE(eval("TARGET.SomeAttr").is_undefined());
+}
+
+TEST(Expr, ToStringRoundTrips) {
+  const char* sources[] = {
+      "(1 + 2)", "MY.memory >= 64", "TARGET.opsys == \"LINUX\"",
+      "(a && b)", "min(1, 2)", "(true ? 1 : 2)",
+  };
+  for (const char* source : sources) {
+    auto expr = parse_expr(source);
+    ASSERT_TRUE(expr.is_ok()) << source;
+    auto reparsed = parse_expr(expr.value()->to_string());
+    ASSERT_TRUE(reparsed.is_ok()) << expr.value()->to_string();
+    EXPECT_EQ(reparsed.value()->to_string(), expr.value()->to_string());
+  }
+}
+
+TEST(Expr, AttributeResolutionAgainstAds) {
+  ClassAd machine;
+  machine.insert_int("memory", 512);
+  machine.insert_string("opsys", "LINUX");
+
+  ClassAd job;
+  job.insert_int("imagesize", 128);
+  ASSERT_TRUE(job.insert("requirements",
+                         "TARGET.memory >= MY.imagesize && TARGET.opsys == \"linux\"")
+                  .is_ok());
+
+  EXPECT_TRUE(job.evaluate("requirements", &machine).is_true());
+
+  ClassAd small_machine;
+  small_machine.insert_int("memory", 64);
+  small_machine.insert_string("opsys", "LINUX");
+  EXPECT_FALSE(job.evaluate("requirements", &small_machine).is_true());
+}
+
+TEST(Expr, BareNameLooksInMyThenTarget) {
+  ClassAd my;
+  my.insert_int("x", 1);
+  ClassAd target;
+  target.insert_int("x", 2);
+  target.insert_int("y", 3);
+
+  EXPECT_EQ(my.evaluate_expression("x", &target).value(), Value::integer(1));
+  EXPECT_EQ(my.evaluate_expression("y", &target).value(), Value::integer(3));
+  EXPECT_TRUE(my.evaluate_expression("z", &target).value().is_undefined());
+}
+
+TEST(Expr, AttributeChainsEvaluateInOwnerScope) {
+  // TARGET.a refers to an attribute that itself refers to TARGET.b: inside
+  // the target's ad, TARGET flips back to the original MY.
+  ClassAd my;
+  my.insert_int("b", 7);
+  ClassAd other;
+  ASSERT_TRUE(other.insert("a", "TARGET.b + 1").is_ok());
+  EXPECT_EQ(my.evaluate_expression("TARGET.a", &other).value(), Value::integer(8));
+}
+
+TEST(Expr, SelfReferenceGuarded) {
+  ClassAd ad;
+  ASSERT_TRUE(ad.insert("loop", "loop + 1").is_ok());
+  // Infinite recursion must terminate as ERROR, not crash.
+  EXPECT_TRUE(ad.evaluate("loop").is_error());
+}
+
+}  // namespace
+}  // namespace tdp::classads

@@ -1,0 +1,184 @@
+// Tests for the submit-file parser, including the exact Figure 5B file.
+#include "condor/submit_file.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdp::condor {
+namespace {
+
+// The submit file from Figure 5B, verbatim (including the paper's own
+// "tranfer_input_files" typo).
+constexpr const char* kFigure5B = R"(
+universe = Vanilla
+executable = foo
+input = infile
+output = outfile
+arguments = 1 2 3
+transfer_files = always
++SuspendJobAtExec = True
++ToolDaemonCmd = "paradynd"
++ToolDaemonArgs = "-zunix -l3 -mpinguino.cs.wisc.edu -p2090 -P2091 -a%pid"
++ToolDaemonOutput = "daemon.out"
++ToolDaemonError = "daemon.err"
+tranfer_input_files = paradynd
+queue
+)";
+
+TEST(SubmitFile, ParsesFigure5B) {
+  auto parsed = SubmitFile::parse(kFigure5B);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  ASSERT_EQ(parsed->jobs().size(), 1u);
+  const JobDescription& job = parsed->jobs()[0];
+
+  EXPECT_EQ(job.universe, Universe::kVanilla);
+  EXPECT_EQ(job.executable, "foo");
+  EXPECT_EQ(job.input, "infile");
+  EXPECT_EQ(job.output, "outfile");
+  EXPECT_EQ(job.arguments, "1 2 3");
+  EXPECT_TRUE(job.transfer_files);
+  EXPECT_TRUE(job.suspend_job_at_exec);
+
+  ASSERT_TRUE(job.tool_daemon.present);
+  EXPECT_EQ(job.tool_daemon.cmd, "paradynd");
+  EXPECT_EQ(job.tool_daemon.args,
+            "-zunix -l3 -mpinguino.cs.wisc.edu -p2090 -P2091 -a%pid");
+  EXPECT_EQ(job.tool_daemon.output, "daemon.out");
+  EXPECT_EQ(job.tool_daemon.error, "daemon.err");
+  ASSERT_EQ(job.transfer_input_files.size(), 1u);
+  EXPECT_EQ(job.transfer_input_files[0], "paradynd");
+  EXPECT_EQ(job.tool_daemon.input_files, job.transfer_input_files);
+}
+
+TEST(SubmitFile, MinimalVanillaJob) {
+  auto parsed = SubmitFile::parse("executable = /bin/true\nqueue\n");
+  ASSERT_TRUE(parsed.is_ok());
+  const JobDescription& job = parsed->jobs()[0];
+  EXPECT_EQ(job.universe, Universe::kVanilla);
+  EXPECT_FALSE(job.suspend_job_at_exec);
+  EXPECT_FALSE(job.tool_daemon.present);
+  EXPECT_EQ(job.machine_count, 1);
+}
+
+TEST(SubmitFile, MpiUniverse) {
+  auto parsed = SubmitFile::parse(
+      "universe = MPI\nexecutable = mpi_app\nmachine_count = 4\nqueue\n");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->jobs()[0].universe, Universe::kMpi);
+  EXPECT_EQ(parsed->jobs()[0].machine_count, 4);
+}
+
+TEST(SubmitFile, QueueNClonesJobs) {
+  auto parsed = SubmitFile::parse("executable = /bin/true\nqueue 5\n");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->jobs().size(), 5u);
+}
+
+TEST(SubmitFile, MultipleClusters) {
+  auto parsed = SubmitFile::parse(
+      "executable = a\nqueue\nexecutable = b\nqueue 2\n");
+  ASSERT_TRUE(parsed.is_ok());
+  ASSERT_EQ(parsed->jobs().size(), 3u);
+  EXPECT_EQ(parsed->jobs()[0].executable, "a");
+  EXPECT_EQ(parsed->jobs()[1].executable, "b");
+  EXPECT_EQ(parsed->jobs()[2].executable, "b");
+}
+
+TEST(SubmitFile, CommentsAndBlankLinesIgnored) {
+  auto parsed = SubmitFile::parse(
+      "# a comment\n\nexecutable = /bin/true\n   \n# another\nqueue\n");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->jobs().size(), 1u);
+}
+
+TEST(SubmitFile, RequirementsAndRankPreserved) {
+  auto parsed = SubmitFile::parse(
+      "executable = foo\n"
+      "requirements = TARGET.memory >= 512 && TARGET.opsys == \"LINUX\"\n"
+      "rank = TARGET.memory\n"
+      "queue\n");
+  ASSERT_TRUE(parsed.is_ok());
+  const JobDescription& job = parsed->jobs()[0];
+  EXPECT_FALSE(job.requirements.empty());
+  auto ad = job.to_classad();
+  EXPECT_TRUE(ad.has("requirements"));
+  EXPECT_TRUE(ad.has("rank"));
+}
+
+TEST(SubmitFile, CustomPlusAttributesLandInClassAd) {
+  auto parsed = SubmitFile::parse(
+      "executable = foo\n+ProjectName = \"tdp\"\n+NiceUser = True\nqueue\n");
+  ASSERT_TRUE(parsed.is_ok());
+  auto ad = parsed->jobs()[0].to_classad();
+  EXPECT_TRUE(ad.has("projectname"));
+  EXPECT_TRUE(ad.has("niceuser"));
+  EXPECT_TRUE(ad.evaluate("niceuser").is_true());
+}
+
+TEST(SubmitFile, AuxServices) {
+  auto parsed = SubmitFile::parse(
+      "executable = foo\n"
+      "+AuxServiceCmd = \"mrnet_commnode -f4; trace_collector\"\n"
+      "queue\n");
+  ASSERT_TRUE(parsed.is_ok());
+  const JobDescription& job = parsed->jobs()[0];
+  ASSERT_EQ(job.aux_services.size(), 2u);
+  EXPECT_EQ(job.aux_services[0], "mrnet_commnode -f4");
+  EXPECT_EQ(job.aux_services[1], "trace_collector");
+}
+
+TEST(SubmitFile, ToolDaemonArgumentsLongSpelling) {
+  auto parsed = SubmitFile::parse(
+      "executable = foo\n+ToolDaemonCmd = \"t\"\n"
+      "+ToolDaemonArguments = \"-x -y\"\nqueue\n");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->jobs()[0].tool_daemon.args, "-x -y");
+}
+
+TEST(SubmitFile, Rejections) {
+  EXPECT_FALSE(SubmitFile::parse("").is_ok());
+  EXPECT_FALSE(SubmitFile::parse("executable = foo\n").is_ok());  // no queue
+  EXPECT_FALSE(SubmitFile::parse("queue\n").is_ok());             // no executable
+  EXPECT_FALSE(SubmitFile::parse("universe = Globus\nexecutable = f\nqueue\n")
+                   .is_ok());  // unsupported universe
+  EXPECT_FALSE(SubmitFile::parse("executable = f\nqueue 0\n").is_ok());
+  EXPECT_FALSE(SubmitFile::parse("executable = f\nqueue -2\n").is_ok());
+  EXPECT_FALSE(SubmitFile::parse("justaword\n").is_ok());
+  EXPECT_FALSE(SubmitFile::parse("bogus_cmd = 1\nexecutable = f\nqueue\n").is_ok());
+  EXPECT_FALSE(
+      SubmitFile::parse("executable = f\nmachine_count = x\nqueue\n").is_ok());
+}
+
+TEST(SubmitFile, CaseInsensitiveCommandNames) {
+  auto parsed = SubmitFile::parse("EXECUTABLE = foo\nQueue\n");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->jobs()[0].executable, "foo");
+}
+
+TEST(SubmitFile, SimKnobs) {
+  auto parsed = SubmitFile::parse(
+      "executable = sim_app\nsim_work_units = 50\nsim_exit_code = 3\nqueue\n");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->jobs()[0].sim_work_units, 50);
+  EXPECT_EQ(parsed->jobs()[0].sim_exit_code, 3);
+}
+
+TEST(JobDescription, ClassAdCarriesUniverseAndToolFlag) {
+  auto parsed = SubmitFile::parse(kFigure5B);
+  ASSERT_TRUE(parsed.is_ok());
+  auto ad = parsed->jobs()[0].to_classad();
+  EXPECT_EQ(ad.evaluate("universe"), classads::Value::string("Vanilla"));
+  EXPECT_TRUE(ad.evaluate("wants_tool_daemon").is_true());
+}
+
+TEST(JobStatus, TerminalClassification) {
+  EXPECT_FALSE(job_status_terminal(JobStatus::kIdle));
+  EXPECT_FALSE(job_status_terminal(JobStatus::kRunning));
+  EXPECT_TRUE(job_status_terminal(JobStatus::kCompleted));
+  EXPECT_TRUE(job_status_terminal(JobStatus::kFailed));
+  EXPECT_TRUE(job_status_terminal(JobStatus::kRemoved));
+  EXPECT_STREQ(job_status_name(JobStatus::kClaimed), "claimed");
+  EXPECT_STREQ(universe_name(Universe::kMpi), "MPI");
+}
+
+}  // namespace
+}  // namespace tdp::condor

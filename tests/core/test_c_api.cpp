@@ -1,0 +1,206 @@
+// Tests for the C binding (tdp_c.h) — the paper's exact API surface —
+// exercised over real TCP and real OS processes.
+#include "core/tdp_c.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+
+#include "attrspace/attr_server.hpp"
+#include "net/tcp.hpp"
+
+namespace {
+
+class CApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    transport_ = std::make_shared<tdp::net::TcpTransport>();
+    lass_ = std::make_unique<tdp::attr::AttrServer>("LASS", transport_);
+    auto started = lass_->start("127.0.0.1:0");
+    ASSERT_TRUE(started.is_ok());
+    address_ = started.value();
+  }
+
+  void TearDown() override {
+    pump_stop_.store(true);
+    if (pump_.joinable()) pump_.join();
+    lass_->stop();
+  }
+
+  void pump(tdp_handle rm) {
+    pump_ = std::thread([this, rm] {
+      while (!pump_stop_.load()) {
+        tdp_service_event(rm);
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    });
+  }
+
+  std::shared_ptr<tdp::net::TcpTransport> transport_;
+  std::unique_ptr<tdp::attr::AttrServer> lass_;
+  std::string address_;
+  std::thread pump_;
+  std::atomic<bool> pump_stop_{false};
+};
+
+TEST_F(CApiTest, InitAndExit) {
+  tdp_handle handle = 0;
+  ASSERT_EQ(tdp_init(address_.c_str(), nullptr, TDP_ROLE_TOOL, &handle), TDP_OK);
+  EXPECT_GT(handle, 0);
+  EXPECT_EQ(tdp_exit(handle), TDP_OK);
+  EXPECT_EQ(tdp_exit(handle), TDP_ERR_BAD_HANDLE);
+}
+
+TEST_F(CApiTest, InitValidatesArguments) {
+  tdp_handle handle = 0;
+  EXPECT_EQ(tdp_init(nullptr, nullptr, TDP_ROLE_TOOL, &handle),
+            TDP_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(tdp_init(address_.c_str(), nullptr, TDP_ROLE_TOOL, nullptr),
+            TDP_ERR_INVALID_ARGUMENT);
+  EXPECT_EQ(tdp_init("127.0.0.1:1", nullptr, TDP_ROLE_TOOL, &handle),
+            TDP_ERR_CONNECTION);
+}
+
+TEST_F(CApiTest, PutAndGet) {
+  tdp_handle rm = 0, rt = 0;
+  ASSERT_EQ(tdp_init(address_.c_str(), "ctx", TDP_ROLE_RESOURCE_MANAGER, &rm), TDP_OK);
+  ASSERT_EQ(tdp_init(address_.c_str(), "ctx", TDP_ROLE_TOOL, &rt), TDP_OK);
+
+  ASSERT_EQ(tdp_put(rm, "executable_name", "/bin/foo"), TDP_OK);
+  char buffer[64];
+  ASSERT_EQ(tdp_get(rt, "executable_name", buffer, sizeof(buffer), 2000), TDP_OK);
+  EXPECT_STREQ(buffer, "/bin/foo");
+
+  char tiny[3];
+  EXPECT_EQ(tdp_get(rt, "executable_name", tiny, sizeof(tiny), 2000),
+            TDP_ERR_BUFFER_TOO_SMALL);
+  EXPECT_EQ(tdp_get(rt, "never", buffer, sizeof(buffer), 50), TDP_ERR_TIMEOUT);
+
+  tdp_exit(rt);
+  tdp_exit(rm);
+}
+
+TEST_F(CApiTest, Figure6SequenceOverCApi) {
+  // The starter side (Figure 6, steps 1-2).
+  tdp_handle starter = 0;
+  ASSERT_EQ(tdp_init(address_.c_str(), "parador", TDP_ROLE_RESOURCE_MANAGER, &starter),
+            TDP_OK);
+
+  const char* app_argv[] = {"/bin/sleep", "10", nullptr};
+  long long app_pid = 0;
+  ASSERT_EQ(tdp_create_process(starter, app_argv, TDP_CREATE_PAUSED, &app_pid), TDP_OK);
+  ASSERT_GT(app_pid, 0);
+  ASSERT_EQ(tdp_put(starter, "pid", std::to_string(app_pid).c_str()), TDP_OK);
+  pump(starter);
+
+  // The paradynd side (Figure 6, steps 3-4).
+  tdp_handle paradynd = 0;
+  ASSERT_EQ(tdp_init(address_.c_str(), "parador", TDP_ROLE_TOOL, &paradynd), TDP_OK);
+  char pid_buffer[32];
+  ASSERT_EQ(tdp_get(paradynd, "pid", pid_buffer, sizeof(pid_buffer), 5000), TDP_OK);
+  EXPECT_EQ(std::stoll(pid_buffer), app_pid);
+
+  ASSERT_EQ(tdp_attach(paradynd, app_pid), TDP_OK);
+  ASSERT_EQ(tdp_continue_process(paradynd, app_pid), TDP_OK);
+
+  // The app (a real /bin/sleep) is now running; clean up through the RM.
+  ASSERT_EQ(tdp_kill_process(paradynd, app_pid), TDP_OK);
+
+  // Stop the RM pump before tearing the handles down so no service call
+  // races the exits.
+  pump_stop_.store(true);
+  if (pump_.joinable()) pump_.join();
+  tdp_exit(paradynd);
+  tdp_exit(starter);
+}
+
+TEST_F(CApiTest, AsyncGetAndServiceEvent) {
+  tdp_handle rm = 0, rt = 0;
+  ASSERT_EQ(tdp_init(address_.c_str(), "async", TDP_ROLE_RESOURCE_MANAGER, &rm), TDP_OK);
+  ASSERT_EQ(tdp_init(address_.c_str(), "async", TDP_ROLE_TOOL, &rt), TDP_OK);
+
+  struct CallbackRecord {
+    std::atomic<int> fired{0};
+    std::string attribute, value;
+    int rc = TDP_ERR_INTERNAL;
+  } record;
+
+  auto callback = [](int rc, const char* attribute, const char* value, void* arg) {
+    auto* rec = static_cast<CallbackRecord*>(arg);
+    rec->rc = rc;
+    rec->attribute = attribute;
+    rec->value = value;
+    rec->fired.fetch_add(1);
+  };
+
+  int fd = -1;
+  ASSERT_EQ(tdp_async_get(rt, "pid", callback, &record, &fd), TDP_OK);
+  ASSERT_GE(fd, 0);
+  EXPECT_EQ(tdp_service_event(rt), 0);  // nothing completed yet
+
+  ASSERT_EQ(tdp_put(rm, "pid", "7777"), TDP_OK);
+  for (int i = 0; i < 500 && record.fired.load() == 0; ++i) {
+    tdp_service_event(rt);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(record.fired.load(), 1);
+  EXPECT_EQ(record.rc, TDP_OK);
+  EXPECT_EQ(record.attribute, "pid");
+  EXPECT_EQ(record.value, "7777");
+
+  tdp_exit(rt);
+  tdp_exit(rm);
+}
+
+TEST_F(CApiTest, TryGetAndRemove) {
+  tdp_handle rm = 0, rt = 0;
+  ASSERT_EQ(tdp_init(address_.c_str(), "tg", TDP_ROLE_RESOURCE_MANAGER, &rm), TDP_OK);
+  ASSERT_EQ(tdp_init(address_.c_str(), "tg", TDP_ROLE_TOOL, &rt), TDP_OK);
+
+  char buffer[32];
+  // The paper's documented failure mode: error when absent, no blocking.
+  EXPECT_EQ(tdp_try_get(rt, "pid", buffer, sizeof(buffer)), TDP_ERR_NOT_FOUND);
+  ASSERT_EQ(tdp_put(rm, "pid", "55"), TDP_OK);
+  ASSERT_EQ(tdp_try_get(rt, "pid", buffer, sizeof(buffer)), TDP_OK);
+  EXPECT_STREQ(buffer, "55");
+
+  ASSERT_EQ(tdp_remove(rm, "pid"), TDP_OK);
+  EXPECT_EQ(tdp_try_get(rt, "pid", buffer, sizeof(buffer)), TDP_ERR_NOT_FOUND);
+  EXPECT_EQ(tdp_remove(rm, "pid"), TDP_ERR_NOT_FOUND);
+
+  EXPECT_EQ(tdp_try_get(-1, "pid", buffer, sizeof(buffer)), TDP_ERR_BAD_HANDLE);
+  EXPECT_EQ(tdp_try_get(rt, nullptr, buffer, sizeof(buffer)),
+            TDP_ERR_INVALID_ARGUMENT);
+  tdp_exit(rt);
+  tdp_exit(rm);
+}
+
+TEST_F(CApiTest, ToolCannotCreate) {
+  tdp_handle rt = 0;
+  ASSERT_EQ(tdp_init(address_.c_str(), nullptr, TDP_ROLE_TOOL, &rt), TDP_OK);
+  const char* argv[] = {"/bin/true", nullptr};
+  long long pid = 0;
+  EXPECT_EQ(tdp_create_process(rt, argv, TDP_CREATE_RUN, &pid),
+            TDP_ERR_INVALID_STATE);
+  tdp_exit(rt);
+}
+
+TEST_F(CApiTest, BadHandleEverywhere) {
+  char buffer[8];
+  EXPECT_EQ(tdp_put(-1, "a", "b"), TDP_ERR_BAD_HANDLE);
+  EXPECT_EQ(tdp_get(-1, "a", buffer, sizeof(buffer), 0), TDP_ERR_BAD_HANDLE);
+  EXPECT_EQ(tdp_attach(-1, 1), TDP_ERR_BAD_HANDLE);
+  EXPECT_EQ(tdp_continue_process(-1, 1), TDP_ERR_BAD_HANDLE);
+  EXPECT_EQ(tdp_service_event(-1), TDP_ERR_BAD_HANDLE);
+  EXPECT_EQ(tdp_event_fd(-1), TDP_ERR_BAD_HANDLE);
+}
+
+TEST_F(CApiTest, RcNames) {
+  EXPECT_STREQ(tdp_rc_name(TDP_OK), "TDP_OK");
+  EXPECT_STREQ(tdp_rc_name(TDP_ERR_TIMEOUT), "TDP_ERR_TIMEOUT");
+  EXPECT_STREQ(tdp_rc_name(12345), "TDP_ERR_UNKNOWN");
+}
+
+}  // namespace

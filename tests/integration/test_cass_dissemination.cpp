@@ -1,0 +1,166 @@
+// Integration test for the "complete TDP framework" flow the paper's pilot
+// left as future work (Section 4.3): the Paradyn front-end publishes its
+// ports into the central attribute space (CASS); every starter reads them
+// from there and disseminates them into its job's LASS; paradynds discover
+// the front-end with plain local gets. No port numbers appear in any
+// submit file or pool configuration.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "attrspace/attr_server.hpp"
+#include "condor/pool.hpp"
+#include "net/inproc.hpp"
+#include "paradyn/frontend.hpp"
+#include "paradyn/inproc_tool.hpp"
+#include "proc/sim_backend.hpp"
+
+namespace tdp {
+namespace {
+
+using condor::JobStatus;
+using condor::Pool;
+using condor::PoolConfig;
+
+TEST(CassDissemination, FrontendPortsFlowThroughCassToDaemons) {
+  auto transport = net::InProcTransport::create();
+
+  // The CASS runs on the submit/front-end host (started by the RM
+  // front-end per Section 2.1).
+  attr::AttrServer cass("CASS", transport);
+  auto cass_address = cass.start("inproc://cass").value();
+
+  // The front-end starts and self-publishes its contact info — the
+  // "complete framework" replacement for -p2090/-P2091 in the submit file.
+  paradyn::Frontend frontend(transport);
+  auto frontend_address = frontend.start("inproc://fe-cass").value();
+  ASSERT_TRUE(frontend.publish_contact(cass_address).is_ok());
+
+  // The pool knows only the CASS; NOT the front-end address.
+  paradyn::InProcParadynLauncher::Options launcher_options;
+  launcher_options.transport = transport;
+  // No frontend_address: the daemon must discover it via the LASS.
+  paradyn::InProcParadynLauncher launcher(launcher_options);
+
+  std::map<std::string, std::shared_ptr<proc::SimProcessBackend>> backends;
+  PoolConfig config;
+  config.transport = transport;
+  config.use_real_files = false;
+  config.tool_launcher = &launcher;
+  config.cass_address = cass_address;  // the only wiring
+  config.backend_factory = [&backends](const std::string& machine) {
+    auto backend = std::make_shared<proc::SimProcessBackend>();
+    backends[machine] = backend;
+    return backend;
+  };
+  Pool pool(std::move(config));
+  pool.add_machine("far-node", Pool::default_machine_ad("far-node"));
+
+  condor::JobDescription job;
+  job.executable = "app";
+  job.suspend_job_at_exec = true;
+  job.tool_daemon.present = true;
+  job.tool_daemon.cmd = "paradynd";
+  job.sim_work_units = 150;
+  auto id = pool.submit(job);
+
+  auto record = pool.run_to_completion(id, 30'000, [&backends] {
+    for (auto& [name, backend] : backends) backend->step(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  launcher.join_all();
+  ASSERT_TRUE(record.is_ok()) << record.status().to_string();
+  EXPECT_EQ(record->status, JobStatus::kCompleted) << record->failure_reason;
+  EXPECT_TRUE(launcher.last_daemon_status().is_ok())
+      << launcher.last_daemon_status().to_string();
+
+  // The daemon really reached the front-end it discovered through
+  // CASS -> starter -> LASS.
+  EXPECT_GT(frontend.reports_received(), 0u);
+  EXPECT_GT(frontend.metrics().value(paradyn::Metric::kCpuTime, "/Code"), 0.0);
+
+  frontend.stop();
+  cass.stop();
+}
+
+TEST(CassDissemination, NoFrontendInCassMeansDetachedDaemon) {
+  // CASS configured but nothing published: the starter degrades
+  // gracefully (no front-end attributes in the LASS), the tool profiles
+  // locally, the job still completes.
+  auto transport = net::InProcTransport::create();
+  attr::AttrServer cass("CASS", transport);
+  auto cass_address = cass.start("inproc://cass-empty").value();
+
+  paradyn::InProcParadynLauncher::Options launcher_options;
+  launcher_options.transport = transport;
+  paradyn::InProcParadynLauncher launcher(launcher_options);
+
+  std::map<std::string, std::shared_ptr<proc::SimProcessBackend>> backends;
+  PoolConfig config;
+  config.transport = transport;
+  config.use_real_files = false;
+  config.tool_launcher = &launcher;
+  config.cass_address = cass_address;
+  config.backend_factory = [&backends](const std::string& machine) {
+    auto backend = std::make_shared<proc::SimProcessBackend>();
+    backends[machine] = backend;
+    return backend;
+  };
+  Pool pool(std::move(config));
+  pool.add_machine("n", Pool::default_machine_ad("n"));
+
+  condor::JobDescription job;
+  job.executable = "app";
+  job.suspend_job_at_exec = true;
+  job.tool_daemon.present = true;
+  job.tool_daemon.cmd = "paradynd";
+  job.sim_work_units = 50;
+  auto id = pool.submit(job);
+  auto record = pool.run_to_completion(id, 30'000, [&backends] {
+    for (auto& [name, backend] : backends) backend->step(1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  launcher.join_all();
+  ASSERT_TRUE(record.is_ok()) << record.status().to_string();
+  EXPECT_EQ(record->status, JobStatus::kCompleted);
+  EXPECT_TRUE(launcher.last_daemon_status().is_ok());
+  cass.stop();
+}
+
+TEST(CassDissemination, SessionUsesSharedCassContext) {
+  // Two sessions with different per-job LASS contexts still meet in the
+  // shared default CASS context.
+  auto transport = net::InProcTransport::create();
+  attr::AttrServer lass("LASS", transport);
+  attr::AttrServer cass("CASS", transport);
+  auto lass_address = lass.start("inproc://lass-ctx").value();
+  auto cass_address = cass.start("inproc://cass-ctx").value();
+
+  InitOptions a_options;
+  a_options.lass_address = lass_address;
+  a_options.cass_address = cass_address;
+  a_options.context = "job-1";
+  a_options.transport = transport;
+  auto a = TdpSession::init(std::move(a_options)).value();
+
+  InitOptions b_options;
+  b_options.lass_address = lass_address;
+  b_options.cass_address = cass_address;
+  b_options.context = "job-2";
+  b_options.transport = transport;
+  auto b = TdpSession::init(std::move(b_options)).value();
+
+  ASSERT_TRUE(a->cass_put("frontend_host", "fe.example.org").is_ok());
+  EXPECT_EQ(b->cass_get("frontend_host", 2000).value(), "fe.example.org");
+  // LASS contexts remain isolated.
+  ASSERT_TRUE(a->put("k", "v1").is_ok());
+  EXPECT_EQ(b->try_get("k").status().code(), ErrorCode::kNotFound);
+
+  a->exit();
+  b->exit();
+  lass.stop();
+  cass.stop();
+}
+
+}  // namespace
+}  // namespace tdp

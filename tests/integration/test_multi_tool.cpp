@@ -1,0 +1,145 @@
+// Multi-tool tests: "While TDP is designed to allow multiple tools to be
+// launched for a given application, the interactions between those tools
+// must be coordinated by the tools themselves" (Section 1), and "Multiple
+// tools can share the same space with the RM by using the same context"
+// (Section 3.2). Here a profiler (Paradynd) and a tracer (TraceTool)
+// operate on the SAME application through one shared context — both get
+// the pid from the same put, both route control through the one RM.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "attrspace/attr_server.hpp"
+#include "net/inproc.hpp"
+#include "paradyn/paradynd.hpp"
+#include "paradyn/tracetool.hpp"
+#include "proc/sim_backend.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(MultiTool, ProfilerAndTracerShareOneApplication) {
+  auto transport = net::InProcTransport::create();
+  attr::AttrServer lass("LASS", transport);
+  auto lass_address = lass.start("inproc://multi-lass").value();
+  auto backend = std::make_shared<proc::SimProcessBackend>();
+
+  InitOptions rm_options;
+  rm_options.role = Role::kResourceManager;
+  rm_options.lass_address = lass_address;
+  rm_options.transport = transport;
+  rm_options.backend = backend;
+  auto rm = TdpSession::init(std::move(rm_options)).value();
+
+  // The RM creates the application paused and publishes the pid ONCE;
+  // both tools consume the same attribute.
+  proc::CreateOptions app;
+  app.argv = {"shared_app"};
+  app.mode = proc::CreateMode::kPaused;
+  app.sim_work_units = 400;
+  proc::Pid pid = rm->create_process(app).value();
+  rm->put(attr::attrs::kPid, std::to_string(pid));
+  rm->put(attr::attrs::kExecutableName, "shared_app");
+
+  std::atomic<bool> stop{false};
+  std::thread pump([&] {
+    while (!stop.load()) {
+      rm->service_events();
+      backend->step(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // The tracer must start FIRST (it refuses an app that has run); it
+  // continues the application, and the profiler then attaches mid-run —
+  // the coordination the paper says is the tools' own responsibility.
+  paradyn::TraceToolConfig tracer_config;
+  tracer_config.lass_address = lass_address;
+  tracer_config.transport = transport;
+  tracer_config.quantum_micros = 1000;
+  paradyn::TraceTool tracer(std::move(tracer_config));
+  ASSERT_TRUE(tracer.start().is_ok());
+
+  paradyn::ParadyndConfig profiler_config;
+  profiler_config.lass_address = lass_address;
+  profiler_config.transport = transport;
+  profiler_config.sample_quantum_micros = 1000;
+  paradyn::Paradynd profiler(std::move(profiler_config));
+  // The profiler's attach pauses the app briefly; its continue resumes it.
+  // Both operations serialize through the one RM (Section 2.3).
+  ASSERT_TRUE(profiler.start().is_ok());
+  EXPECT_EQ(profiler.app_pid(), pid);
+  EXPECT_EQ(tracer.app_pid(), pid);
+
+  // Drive both tools until the application exits.
+  std::thread tracer_thread([&tracer] { tracer.run(30'000); });
+  ASSERT_TRUE(profiler.run(30'000).is_ok());
+  tracer_thread.join();
+
+  EXPECT_TRUE(profiler.app_exited());
+  EXPECT_TRUE(tracer.app_exited());
+  EXPECT_GT(profiler.local_metrics().value(paradyn::Metric::kCpuTime, "/Code"),
+            0.0);
+  EXPECT_FALSE(tracer.records().empty());
+
+  // The event stream stayed a legal walk despite two tools issuing
+  // control operations (single-point-of-responsibility at work).
+  proc::ProcessState last = proc::ProcessState::kCreated;
+  for (const auto& event : backend->poll_events()) {
+    if (event.pid != pid) continue;
+    if (last != proc::ProcessState::kCreated) {
+      EXPECT_TRUE(proc::valid_transition(last, event.state))
+          << proc::process_state_name(last) << " -> "
+          << proc::process_state_name(event.state);
+    }
+    last = event.state;
+  }
+
+  profiler.stop();
+  tracer.stop();
+  stop.store(true);
+  pump.join();
+  rm->exit();
+  lass.stop();
+}
+
+TEST(MultiTool, ContextSurvivesUntilLastToolExits) {
+  // Refcount semantics with three participants (RM + two tools): the
+  // shared space lives until the LAST tdp_exit.
+  auto transport = net::InProcTransport::create();
+  attr::AttrServer lass("LASS", transport);
+  auto lass_address = lass.start("inproc://multi-rc").value();
+
+  auto make_session = [&](Role role) {
+    InitOptions options;
+    options.role = role;
+    options.lass_address = lass_address;
+    options.context = "shared-tools";
+    options.transport = transport;
+    if (role == Role::kResourceManager) {
+      options.backend = std::make_shared<proc::SimProcessBackend>();
+    }
+    return TdpSession::init(std::move(options)).value();
+  };
+
+  auto rm = make_session(Role::kResourceManager);
+  auto tool1 = make_session(Role::kTool);
+  auto tool2 = make_session(Role::kTool);
+  ASSERT_TRUE(rm->put("pid", "7").is_ok());
+  EXPECT_EQ(lass.store().context_refcount("shared-tools"), 3);
+
+  tool1->exit();
+  EXPECT_EQ(lass.store().context_refcount("shared-tools"), 2);
+  EXPECT_TRUE(tool2->try_get("pid").is_ok());  // space still alive
+
+  rm->exit();
+  EXPECT_TRUE(tool2->try_get("pid").is_ok());  // the last tool keeps it
+
+  tool2->exit();
+  EXPECT_FALSE(lass.store().context_exists("shared-tools"));
+  lass.stop();
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,153 @@
+// Tests for MRNet-lite: tree shape, broadcast/reduction semantics, fault
+// handling, and the tree-vs-flat scalability property the paper cites
+// multicast/reduction networks for.
+#include "mrnet/mrnet.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tdp::mrnet {
+namespace {
+
+TEST(Tree, BuildValidation) {
+  EXPECT_FALSE(Tree::build(0, 4).is_ok());
+  EXPECT_FALSE(Tree::build(8, 1).is_ok());
+  EXPECT_TRUE(Tree::build(1, 2).is_ok());
+  EXPECT_TRUE(Tree::build(1000, 16).is_ok());
+}
+
+TEST(Tree, ShapeOfSmallTrees) {
+  // 16 leaves, fanout 4: one internal level of 4 nodes, depth 2.
+  auto tree = Tree::build(16, 4).value();
+  EXPECT_EQ(tree.leaves(), 16);
+  EXPECT_EQ(tree.internal_nodes(), 4);
+  EXPECT_EQ(tree.depth(), 2);
+
+  // Fanout >= leaves: root talks to leaves directly.
+  auto flat = Tree::build(3, 4).value();
+  EXPECT_EQ(flat.internal_nodes(), 0);
+  EXPECT_EQ(flat.depth(), 1);
+}
+
+TEST(Tree, DepthIsLogarithmic) {
+  auto tree = Tree::build(4096, 4).value();
+  EXPECT_EQ(tree.depth(), 6);  // 4^6 = 4096
+  auto binary = Tree::build(1024, 2).value();
+  EXPECT_EQ(binary.depth(), 10);
+}
+
+TEST(Broadcast, ReachesEveryLeafOncePerEdge) {
+  auto tree = Tree::build(64, 4).value();
+  auto result = tree.broadcast();
+  EXPECT_EQ(result.delivered, 64);
+  // Edges: 64 leaves + internal nodes (16 + 4).
+  EXPECT_EQ(result.messages, 64 + 16 + 4);
+  EXPECT_EQ(result.root_sends, 4);  // fanout, not N
+  EXPECT_EQ(result.hops, 3);
+}
+
+TEST(Reduce, SumMinMaxCount) {
+  auto tree = Tree::build(8, 2).value();
+  std::vector<double> values{3, 1, 4, 1, 5, 9, 2, 6};
+
+  EXPECT_DOUBLE_EQ(tree.reduce(Filter::kSum, values).value, 31.0);
+  EXPECT_DOUBLE_EQ(tree.reduce(Filter::kMin, values).value, 1.0);
+  EXPECT_DOUBLE_EQ(tree.reduce(Filter::kMax, values).value, 9.0);
+  EXPECT_DOUBLE_EQ(tree.reduce(Filter::kCount, values).value, 8.0);
+}
+
+TEST(Reduce, ConcatInLeafOrder) {
+  auto tree = Tree::build(3, 2).value();
+  auto result = tree.reduce_concat({"a", "b", "c"});
+  EXPECT_EQ(result.concat, "a,b,c");
+}
+
+TEST(Reduce, RootReceivesOnlyFanoutMessages) {
+  auto tree = Tree::build(256, 4).value();
+  std::vector<double> values(256, 1.0);
+  auto tree_result = tree.reduce(Filter::kSum, values);
+  auto flat_result = tree.flat_reduce(Filter::kSum, values);
+
+  EXPECT_DOUBLE_EQ(tree_result.value, flat_result.value);  // same answer
+  EXPECT_EQ(tree_result.root_receives, 4);
+  EXPECT_EQ(flat_result.root_receives, 256);  // the scalability problem
+  EXPECT_GT(tree_result.messages, flat_result.messages);  // trees trade
+  EXPECT_LT(tree_result.root_receives, flat_result.root_receives);  // total msgs for root load
+}
+
+TEST(Reduce, FailedLeavesAreSkippedNotFatal) {
+  auto tree = Tree::build(4, 2).value();
+  ASSERT_TRUE(tree.fail_leaf(1).is_ok());
+  auto result = tree.reduce(Filter::kSum, {10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(result.value, 80.0);  // 10+30+40
+  EXPECT_EQ(result.contributed, 3);
+  EXPECT_EQ(result.missing, 1);
+  EXPECT_EQ(tree.live_leaves(), 3);
+
+  ASSERT_TRUE(tree.recover_leaf(1).is_ok());
+  EXPECT_DOUBLE_EQ(tree.reduce(Filter::kSum, {10, 20, 30, 40}).value, 100.0);
+}
+
+TEST(Reduce, FailInvalidLeafRejected) {
+  auto tree = Tree::build(4, 2).value();
+  EXPECT_FALSE(tree.fail_leaf(-1).is_ok());
+  EXPECT_FALSE(tree.fail_leaf(4).is_ok());
+}
+
+TEST(Broadcast, FailedLeavesReduceDelivery) {
+  auto tree = Tree::build(8, 2).value();
+  tree.fail_leaf(0);
+  tree.fail_leaf(7);
+  EXPECT_EQ(tree.broadcast().delivered, 6);
+}
+
+TEST(Reduce, MissingValuesDefaultToZero) {
+  auto tree = Tree::build(4, 2).value();
+  auto result = tree.reduce(Filter::kSum, {5.0});  // only leaf 0 supplied
+  EXPECT_DOUBLE_EQ(result.value, 5.0);
+  EXPECT_EQ(result.contributed, 4);
+}
+
+// Property sweep: for any (leaves, fanout), the tree answer equals the
+// flat answer and the root load is bounded by the fanout.
+class TreeProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TreeProperty, TreeEquivalentToFlatWithBoundedRootLoad) {
+  const int leaves = std::get<0>(GetParam());
+  const int fanout = std::get<1>(GetParam());
+  auto tree = Tree::build(leaves, fanout).value();
+
+  std::vector<double> values;
+  values.reserve(static_cast<std::size_t>(leaves));
+  for (int i = 0; i < leaves; ++i) values.push_back(static_cast<double>(i % 17));
+
+  for (Filter filter : {Filter::kSum, Filter::kMin, Filter::kMax, Filter::kCount}) {
+    auto via_tree = tree.reduce(filter, values);
+    auto via_flat = tree.flat_reduce(filter, values);
+    EXPECT_DOUBLE_EQ(via_tree.value, via_flat.value)
+        << "leaves=" << leaves << " fanout=" << fanout
+        << " filter=" << filter_name(filter);
+    EXPECT_LE(via_tree.root_receives, fanout);
+  }
+  // Depth matches ceil(log_fanout(leaves)) with a floor of one hop
+  // (computed with integer arithmetic to avoid FP edge cases).
+  int expected_depth = 0;
+  long long reach = 1;
+  while (reach < leaves) {
+    reach *= fanout;
+    ++expected_depth;
+  }
+  if (expected_depth == 0) expected_depth = 1;
+  EXPECT_EQ(tree.depth(), expected_depth)
+      << "leaves=" << leaves << " fanout=" << fanout;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TreeProperty,
+    ::testing::Combine(::testing::Values(1, 2, 7, 16, 100, 1024),
+                       ::testing::Values(2, 4, 8, 16)));
+
+}  // namespace
+}  // namespace tdp::mrnet

@@ -1,0 +1,129 @@
+// Tests for message framing: round trips, malformed-input rejection, and a
+// parameterized sweep across payload shapes (property-style).
+#include "net/message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace tdp::net {
+namespace {
+
+TEST(Message, FieldAccessors) {
+  Message msg(MsgType::kAttrPut);
+  msg.set("attr", "pid").set("value", "1234").set_int("n", -7);
+  EXPECT_TRUE(msg.has("attr"));
+  EXPECT_FALSE(msg.has("absent"));
+  EXPECT_EQ(msg.get("attr"), "pid");
+  EXPECT_EQ(msg.get("absent", "fallback"), "fallback");
+  EXPECT_EQ(msg.get_int("n"), -7);
+  EXPECT_EQ(msg.get_int("value"), 1234);
+  EXPECT_EQ(msg.get_int("attr", 99), 99);  // non-numeric -> fallback
+}
+
+TEST(Message, EncodeDecodeRoundTrip) {
+  Message msg(MsgType::kCondorSubmit);
+  msg.set_seq(0xDEADBEEFCAFEULL);
+  msg.set("executable", "foo");
+  msg.set("arguments", "1 2 3");
+  msg.set("empty", "");
+  auto bytes = msg.encode();
+  auto decoded = Message::decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), msg);
+}
+
+TEST(Message, EmptyMessageRoundTrip) {
+  Message msg(MsgType::kPing);
+  auto bytes = msg.encode();
+  auto decoded = Message::decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->type(), MsgType::kPing);
+  EXPECT_TRUE(decoded->fields().empty());
+}
+
+TEST(Message, BinaryValueSurvives) {
+  std::string binary;
+  for (int i = 0; i < 256; ++i) binary.push_back(static_cast<char>(i));
+  Message msg(MsgType::kProxyData);
+  msg.set("payload", binary);
+  auto bytes = msg.encode();
+  auto decoded = Message::decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->get("payload"), binary);
+}
+
+TEST(Message, DecodeRejectsTruncation) {
+  Message msg(MsgType::kAttrGet);
+  msg.set("attr", "executable_name");
+  auto bytes = msg.encode();
+  // Every strict prefix must be rejected, not crash.
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto decoded = Message::decode(bytes.data(), cut);
+    EXPECT_FALSE(decoded.is_ok()) << "prefix length " << cut << " accepted";
+  }
+}
+
+TEST(Message, DecodeRejectsTrailingGarbage) {
+  Message msg(MsgType::kPong);
+  auto bytes = msg.encode();
+  bytes.push_back(0x42);
+  EXPECT_FALSE(Message::decode(bytes.data(), bytes.size()).is_ok());
+}
+
+TEST(Message, DecodeRejectsOversizedLengthPrefix) {
+  std::uint8_t bogus[8] = {0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0};
+  EXPECT_FALSE(Message::decode(bogus, sizeof(bogus)).is_ok());
+}
+
+TEST(Message, PeekLengthMatchesEncodedSize) {
+  Message msg(MsgType::kAttrNotify);
+  msg.set("attr", "app_state");
+  auto bytes = msg.encode();
+  EXPECT_EQ(Message::peek_length(bytes.data()),
+            bytes.size() - Message::kLenPrefixSize);
+}
+
+TEST(Message, ToStringTruncatesLongValues) {
+  Message msg(MsgType::kAttrPut);
+  msg.set("v", std::string(200, 'x'));
+  std::string rendered = msg.to_string();
+  EXPECT_NE(rendered.find("..."), std::string::npos);
+  EXPECT_LT(rendered.size(), 200u);
+}
+
+// Property sweep: random field tables of varying sizes round-trip exactly.
+class MessageRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(MessageRoundTrip, RandomizedFields) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Message msg(static_cast<MsgType>(100 + rng.next_below(12)));
+  msg.set_seq(rng.next_u64());
+  const int nfields = GetParam();
+  for (int i = 0; i < nfields; ++i) {
+    std::string key = "k" + std::to_string(i);
+    std::string value;
+    std::size_t len = rng.next_below(300);
+    for (std::size_t j = 0; j < len; ++j) {
+      value.push_back(static_cast<char>(rng.next_below(256)));
+    }
+    msg.set(std::move(key), std::move(value));
+  }
+  auto bytes = msg.encode();
+  auto decoded = Message::decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), msg);
+}
+
+INSTANTIATE_TEST_SUITE_P(FieldCounts, MessageRoundTrip,
+                         ::testing::Values(0, 1, 2, 5, 16, 64, 200));
+
+TEST(MsgTypeNames, AllNamed) {
+  EXPECT_STREQ(msg_type_name(MsgType::kAttrPut), "AttrPut");
+  EXPECT_STREQ(msg_type_name(MsgType::kCondorClaim), "CondorClaim");
+  EXPECT_STREQ(msg_type_name(MsgType::kParadynReport), "ParadynReport");
+  EXPECT_STREQ(msg_type_name(static_cast<MsgType>(9999)), "Unknown");
+}
+
+}  // namespace
+}  // namespace tdp::net

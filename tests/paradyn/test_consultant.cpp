@@ -1,0 +1,173 @@
+// Tests for the metric store hierarchy and the Performance Consultant's
+// bottleneck search.
+#include "paradyn/consultant.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdp::paradyn {
+namespace {
+
+Sample make_sample(Metric metric, const std::string& module,
+                   const std::string& function, double value) {
+  Sample sample;
+  sample.metric = metric;
+  sample.module = module;
+  sample.function = function;
+  sample.value = value;
+  return sample;
+}
+
+TEST(MetricStore, RollsUpHierarchy) {
+  MetricStore store;
+  store.record(make_sample(Metric::kCpuTime, "a.o", "f", 10.0));
+  store.record(make_sample(Metric::kCpuTime, "a.o", "g", 5.0));
+  store.record(make_sample(Metric::kCpuTime, "b.o", "h", 1.0));
+
+  EXPECT_DOUBLE_EQ(store.value(Metric::kCpuTime, "/Code"), 16.0);
+  EXPECT_DOUBLE_EQ(store.value(Metric::kCpuTime, "/Code/a.o"), 15.0);
+  EXPECT_DOUBLE_EQ(store.value(Metric::kCpuTime, "/Code/a.o/f"), 10.0);
+  EXPECT_DOUBLE_EQ(store.value(Metric::kCpuTime, "/Code/b.o/h"), 1.0);
+  EXPECT_DOUBLE_EQ(store.value(Metric::kCpuTime, "/Code/missing"), 0.0);
+  EXPECT_DOUBLE_EQ(store.value(Metric::kIoWait, "/Code"), 0.0);
+  EXPECT_EQ(store.sample_count(), 3u);
+}
+
+TEST(MetricStore, ProcessFocus) {
+  MetricStore store;
+  store.record(make_sample(Metric::kCpuTime, "a.o", "f", 4.0), /*pid=*/31);
+  store.record(make_sample(Metric::kCpuTime, "a.o", "f", 6.0), /*pid=*/32);
+  EXPECT_DOUBLE_EQ(store.value(Metric::kCpuTime, "/Process/31"), 4.0);
+  EXPECT_DOUBLE_EQ(store.value(Metric::kCpuTime, "/Process/32"), 6.0);
+  EXPECT_DOUBLE_EQ(store.value(Metric::kCpuTime, "/Code"), 10.0);
+}
+
+TEST(MetricStore, ChildrenAreDirectOnly) {
+  MetricStore store;
+  store.record(make_sample(Metric::kCpuTime, "a.o", "f", 1.0));
+  store.record(make_sample(Metric::kCpuTime, "b.o", "g", 1.0));
+  auto children = store.children(Metric::kCpuTime, "/Code");
+  ASSERT_EQ(children.size(), 2u);
+  EXPECT_EQ(children[0], "/Code/a.o");
+  EXPECT_EQ(children[1], "/Code/b.o");
+  auto leaf_children = store.children(Metric::kCpuTime, "/Code/a.o");
+  ASSERT_EQ(leaf_children.size(), 1u);
+  EXPECT_EQ(leaf_children[0], "/Code/a.o/f");
+}
+
+TEST(MetricStore, ClearResets) {
+  MetricStore store;
+  store.record(make_sample(Metric::kCpuTime, "a.o", "f", 1.0));
+  store.clear();
+  EXPECT_EQ(store.sample_count(), 0u);
+  EXPECT_DOUBLE_EQ(store.value(Metric::kCpuTime, "/Code"), 0.0);
+}
+
+TEST(Consultant, FindsTheHotFunction) {
+  MetricStore store;
+  // 60% of time in one function, rest spread thin.
+  store.record(make_sample(Metric::kCpuTime, "compute.o", "hot_spot", 60.0));
+  store.record(make_sample(Metric::kCpuTime, "compute.o", "warm", 15.0));
+  store.record(make_sample(Metric::kCpuTime, "main.o", "init", 10.0));
+  store.record(make_sample(Metric::kCpuTime, "io.o", "read", 15.0));
+
+  PerformanceConsultant consultant(store);
+  auto findings = consultant.search();
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].hypothesis, Hypothesis::kCpuBound);
+  EXPECT_EQ(findings[0].focus, "/Code/compute.o/hot_spot");
+  EXPECT_NEAR(findings[0].severity, 0.6, 0.01);
+  EXPECT_EQ(findings[0].depth, 2);
+  EXPECT_GT(consultant.hypotheses_tested(), 0u);
+}
+
+TEST(Consultant, ReportsModuleWhenNoFunctionDominates) {
+  MetricStore store;
+  // compute.o holds 60% but spread over many functions, each below the
+  // threshold: blame stays at module granularity.
+  for (int i = 0; i < 6; ++i) {
+    store.record(make_sample(Metric::kCpuTime, "compute.o",
+                             "f" + std::to_string(i), 10.0));
+  }
+  store.record(make_sample(Metric::kCpuTime, "main.o", "misc", 40.0));
+
+  PerformanceConsultant::Options options;
+  options.threshold = 0.25;
+  PerformanceConsultant consultant(store, options);
+  auto findings = consultant.search();
+  ASSERT_FALSE(findings.empty());
+  bool module_level = false;
+  for (const auto& finding : findings) {
+    if (finding.focus == "/Code/compute.o" && finding.depth == 1) module_level = true;
+    EXPECT_NE(finding.focus, "/Code");  // root is never a finding
+  }
+  EXPECT_TRUE(module_level);
+}
+
+TEST(Consultant, DetectsSyncBottleneck) {
+  MetricStore store;
+  store.record(make_sample(Metric::kCpuTime, "main.o", "work", 100.0));
+  store.record(make_sample(Metric::kSyncWait, "net.o", "barrier", 50.0));
+
+  PerformanceConsultant consultant(store);
+  auto findings = consultant.search();
+  bool sync_found = false;
+  for (const auto& finding : findings) {
+    if (finding.hypothesis == Hypothesis::kSyncBound &&
+        finding.focus == "/Code/net.o/barrier") {
+      sync_found = true;
+      EXPECT_NEAR(finding.severity, 0.5, 0.01);
+    }
+  }
+  EXPECT_TRUE(sync_found);
+}
+
+TEST(Consultant, NothingAboveThresholdMeansNoFindings) {
+  MetricStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.record(make_sample(Metric::kCpuTime, "m.o", "f" + std::to_string(i), 1.0));
+  }
+  PerformanceConsultant::Options options;
+  options.threshold = 0.5;  // no module reaches half... except m.o has all!
+  options.max_depth = 2;
+  PerformanceConsultant consultant(store, options);
+  auto findings = consultant.search();
+  // The single module holds 100%: it must be reported at module level, but
+  // no single function (10% each) can be.
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].focus, "/Code/m.o");
+}
+
+TEST(Consultant, EmptyStoreFindsNothing) {
+  MetricStore store;
+  PerformanceConsultant consultant(store);
+  EXPECT_TRUE(consultant.search().empty());
+}
+
+TEST(Consultant, MaxDepthOneStopsAtModules) {
+  MetricStore store;
+  store.record(make_sample(Metric::kCpuTime, "compute.o", "hot_spot", 100.0));
+  PerformanceConsultant::Options options;
+  options.max_depth = 1;
+  PerformanceConsultant consultant(store, options);
+  auto findings = consultant.search();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].focus, "/Code/compute.o");
+}
+
+TEST(Consultant, FindingsSortedBySeverity) {
+  MetricStore store;
+  store.record(make_sample(Metric::kCpuTime, "a.o", "big", 50.0));
+  store.record(make_sample(Metric::kCpuTime, "b.o", "small", 30.0));
+  store.record(make_sample(Metric::kCpuTime, "c.o", "tiny", 20.0));
+  PerformanceConsultant::Options options;
+  options.threshold = 0.15;
+  PerformanceConsultant consultant(store, options);
+  auto findings = consultant.search();
+  ASSERT_GE(findings.size(), 2u);
+  for (std::size_t i = 1; i < findings.size(); ++i) {
+    EXPECT_GE(findings[i - 1].severity, findings[i].severity);
+  }
+}
+
+}  // namespace
+}  // namespace tdp::paradyn

@@ -1,0 +1,150 @@
+// Tests for DynInst-lite: symbol synthesis, instrumentation point
+// patching, the sampling model, and overhead accounting.
+#include "paradyn/dyninst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace tdp::paradyn {
+namespace {
+
+TEST(SymbolTable, SynthesisIsDeterministic) {
+  SymbolTable a = SymbolTable::synthesize("app", 20);
+  SymbolTable b = SymbolTable::synthesize("app", 20);
+  ASSERT_EQ(a.functions().size(), b.functions().size());
+  for (std::size_t i = 0; i < a.functions().size(); ++i) {
+    EXPECT_EQ(a.functions()[i].name, b.functions()[i].name);
+    EXPECT_EQ(a.functions()[i].weight, b.functions()[i].weight);
+  }
+}
+
+TEST(SymbolTable, DifferentExecutablesDiffer) {
+  SymbolTable a = SymbolTable::synthesize("app1", 20);
+  SymbolTable b = SymbolTable::synthesize("app2", 20);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.functions().size(); ++i) {
+    if (a.functions()[i].weight != b.functions()[i].weight ||
+        a.functions()[i].module != b.functions()[i].module) {
+      any_difference = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(SymbolTable, HotSpotDominates) {
+  SymbolTable table = SymbolTable::synthesize("app", 30);
+  const FunctionSymbol* hot = table.find("compute.o", "hot_spot");
+  ASSERT_NE(hot, nullptr);
+  EXPECT_GE(hot->weight * 2, table.total_weight());  // >= half of everything
+}
+
+TEST(SymbolTable, RequestedCount) {
+  SymbolTable table = SymbolTable::synthesize("app", 16);
+  EXPECT_EQ(table.functions().size(), 16u);
+  EXPECT_FALSE(table.modules().empty());
+}
+
+TEST(Inferior, InsertRemoveInstrumentation) {
+  Inferior inferior(42, SymbolTable::synthesize("app", 10));
+  ASSERT_TRUE(inferior
+                  .insert_instrumentation("compute.o", "hot_spot", Metric::kCpuTime)
+                  .is_ok());
+  EXPECT_TRUE(inferior.is_instrumented("compute.o", "hot_spot", Metric::kCpuTime));
+  EXPECT_EQ(inferior.active_points(), 1u);
+
+  // Double insert rejected.
+  EXPECT_EQ(inferior.insert_instrumentation("compute.o", "hot_spot", Metric::kCpuTime)
+                .code(),
+            ErrorCode::kAlreadyExists);
+  // Unknown function rejected.
+  EXPECT_EQ(inferior.insert_instrumentation("x.o", "nope", Metric::kCpuTime).code(),
+            ErrorCode::kNotFound);
+
+  ASSERT_TRUE(inferior
+                  .remove_instrumentation("compute.o", "hot_spot", Metric::kCpuTime)
+                  .is_ok());
+  EXPECT_EQ(inferior.active_points(), 0u);
+  EXPECT_EQ(inferior.remove_instrumentation("compute.o", "hot_spot", Metric::kCpuTime)
+                .code(),
+            ErrorCode::kNotFound);
+}
+
+TEST(Inferior, WildcardInstrumentsWholeProgram) {
+  Inferior inferior(1, SymbolTable::synthesize("app", 12));
+  int inserted = inferior.insert_matching("*", "*", Metric::kCpuTime);
+  EXPECT_EQ(inserted, 12);
+  EXPECT_EQ(inferior.active_points(), 12u);
+  // Idempotent: nothing new on a repeat.
+  EXPECT_EQ(inferior.insert_matching("*", "*", Metric::kCpuTime), 0);
+}
+
+TEST(Inferior, UninstrumentedFunctionsReportNothing) {
+  Inferior inferior(1, SymbolTable::synthesize("app", 10));
+  inferior.insert_instrumentation("compute.o", "hot_spot", Metric::kCpuTime);
+  auto samples = inferior.sample(1'000'000);
+  ASSERT_EQ(samples.size(), 1u);
+  EXPECT_EQ(samples[0].function, "hot_spot");
+}
+
+TEST(Inferior, SamplesProportionalToWeight) {
+  SymbolTable table;
+  table.add({"m.o", "light", 1, 0, 0});
+  table.add({"m.o", "heavy", 9, 0, 0});
+  Inferior inferior(1, std::move(table));
+  inferior.insert_matching("*", "*", Metric::kCpuTime);
+  auto samples = inferior.sample(1'000'000);
+  ASSERT_EQ(samples.size(), 2u);
+  double light = 0, heavy = 0;
+  for (const Sample& sample : samples) {
+    if (sample.function == "light") light = sample.value;
+    if (sample.function == "heavy") heavy = sample.value;
+  }
+  EXPECT_NEAR(heavy / light, 9.0, 0.01);
+  EXPECT_NEAR(light + heavy, 1'000'000.0, 1.0);
+}
+
+TEST(Inferior, SyncAndIoFractionsSplitTime) {
+  SymbolTable table;
+  table.add({"io.o", "reader", 10, /*sync=*/0.0, /*io=*/0.5});
+  Inferior inferior(1, std::move(table));
+  inferior.insert_instrumentation("io.o", "reader", Metric::kCpuTime);
+  inferior.insert_instrumentation("io.o", "reader", Metric::kIoWait);
+
+  auto samples = inferior.sample(1000);
+  double cpu = 0, io = 0;
+  for (const Sample& sample : samples) {
+    if (sample.metric == Metric::kCpuTime) cpu = sample.value;
+    if (sample.metric == Metric::kIoWait) io = sample.value;
+  }
+  EXPECT_NEAR(cpu, 500.0, 1.0);
+  EXPECT_NEAR(io, 500.0, 1.0);
+}
+
+TEST(Inferior, CallCountScalesWithTime) {
+  Inferior inferior(1, SymbolTable::synthesize("app", 4));
+  inferior.insert_matching("compute.o", "hot_spot", Metric::kCallCount);
+  auto little = inferior.sample(10'000);
+  auto lots = inferior.sample(1'000'000);
+  ASSERT_FALSE(little.empty());
+  ASSERT_FALSE(lots.empty());
+  EXPECT_GT(lots[0].value, little[0].value);
+}
+
+TEST(Inferior, OverheadGrowsWithActivePoints) {
+  Inferior inferior(1, SymbolTable::synthesize("app", 50));
+  EXPECT_DOUBLE_EQ(inferior.overhead_fraction(), 0.0);
+  inferior.insert_matching("*", "*", Metric::kCpuTime);
+  EXPECT_NEAR(inferior.overhead_fraction(), 50 * Inferior::kOverheadPerPoint, 1e-12);
+}
+
+TEST(Inferior, TotalSampledAccumulates) {
+  Inferior inferior(1, SymbolTable::synthesize("app", 4));
+  inferior.sample(100);
+  inferior.sample(200);
+  EXPECT_EQ(inferior.total_sampled_micros(), 300);
+}
+
+}  // namespace
+}  // namespace tdp::paradyn

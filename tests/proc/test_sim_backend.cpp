@@ -1,0 +1,202 @@
+// Tests for the simulated backend, including a randomized property sweep
+// asserting the backend never emits an illegal state transition.
+#include "proc/sim_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "util/rng.hpp"
+
+namespace tdp::proc {
+namespace {
+
+CreateOptions sim_options(CreateMode mode, std::int64_t work = 3, int code = 0) {
+  CreateOptions options;
+  options.argv = {"sim_app"};
+  options.mode = mode;
+  options.sim_work_units = work;
+  options.sim_exit_code = code;
+  return options;
+}
+
+TEST(SimBackend, RunToNaturalExit) {
+  SimProcessBackend backend;
+  auto pid = backend.create_process(sim_options(CreateMode::kRun, 3, 7));
+  ASSERT_TRUE(pid.is_ok());
+  EXPECT_EQ(backend.info(pid.value())->state, ProcessState::kRunning);
+  EXPECT_EQ(backend.step(), 0);
+  EXPECT_EQ(backend.step(), 0);
+  EXPECT_EQ(backend.step(), 1);  // third unit exhausts the budget
+  auto info = backend.info(pid.value());
+  EXPECT_EQ(info->state, ProcessState::kExited);
+  EXPECT_EQ(info->exit_code, 7);
+}
+
+TEST(SimBackend, PausedProcessDoesNotAdvance) {
+  SimProcessBackend backend;
+  auto pid = backend.create_process(sim_options(CreateMode::kPaused, 1));
+  ASSERT_TRUE(pid.is_ok());
+  EXPECT_EQ(backend.info(pid.value())->state, ProcessState::kPausedAtExec);
+  backend.step(100);
+  EXPECT_EQ(backend.info(pid.value())->state, ProcessState::kPausedAtExec);
+  ASSERT_TRUE(backend.continue_process(pid.value()).is_ok());
+  backend.step(1);
+  EXPECT_EQ(backend.info(pid.value())->state, ProcessState::kExited);
+}
+
+TEST(SimBackend, StepConsumesBulkUnits) {
+  SimProcessBackend backend;
+  auto pid = backend.create_process(sim_options(CreateMode::kRun, 1000));
+  ASSERT_TRUE(pid.is_ok());
+  EXPECT_EQ(backend.step(999), 0);
+  EXPECT_EQ(backend.step(999), 1);  // only 1 unit left; bulk step caps at it
+  EXPECT_EQ(backend.total_work_done(), 1000);
+}
+
+TEST(SimBackend, PauseFreezesWork) {
+  SimProcessBackend backend;
+  auto pid = backend.create_process(sim_options(CreateMode::kRun, 10));
+  ASSERT_TRUE(pid.is_ok());
+  backend.step(4);
+  ASSERT_TRUE(backend.pause_process(pid.value()).is_ok());
+  backend.step(100);
+  EXPECT_EQ(backend.info(pid.value())->state, ProcessState::kStopped);
+  ASSERT_TRUE(backend.continue_process(pid.value()).is_ok());
+  backend.step(6);
+  EXPECT_EQ(backend.info(pid.value())->state, ProcessState::kExited);
+  EXPECT_EQ(backend.total_work_done(), 10);
+}
+
+TEST(SimBackend, KillFromAnyLiveState) {
+  SimProcessBackend backend;
+  auto running = backend.create_process(sim_options(CreateMode::kRun, 100)).value();
+  auto paused = backend.create_process(sim_options(CreateMode::kPaused, 100)).value();
+  ASSERT_TRUE(backend.kill_process(running).is_ok());
+  ASSERT_TRUE(backend.kill_process(paused).is_ok());
+  EXPECT_EQ(backend.info(running)->state, ProcessState::kSignalled);
+  EXPECT_EQ(backend.info(paused)->state, ProcessState::kSignalled);
+  EXPECT_EQ(backend.info(running)->term_signal, 9);
+  // Idempotent on terminal.
+  EXPECT_TRUE(backend.kill_process(running).is_ok());
+}
+
+TEST(SimBackend, AttachPausesRunning) {
+  SimProcessBackend backend;
+  auto pid = backend.create_process(sim_options(CreateMode::kRun, 10)).value();
+  ASSERT_TRUE(backend.attach(pid).is_ok());
+  EXPECT_EQ(backend.info(pid)->state, ProcessState::kStopped);
+  ASSERT_TRUE(backend.attach(pid).is_ok());  // idempotent
+}
+
+TEST(SimBackend, AttachTerminalFails) {
+  SimProcessBackend backend;
+  auto pid = backend.create_process(sim_options(CreateMode::kRun, 1)).value();
+  backend.step();
+  EXPECT_EQ(backend.attach(pid).code(), ErrorCode::kInvalidState);
+}
+
+TEST(SimBackend, ContinueTerminalFails) {
+  SimProcessBackend backend;
+  auto pid = backend.create_process(sim_options(CreateMode::kRun, 1)).value();
+  backend.step();
+  EXPECT_EQ(backend.continue_process(pid).code(), ErrorCode::kInvalidState);
+}
+
+TEST(SimBackend, EventsReportLifecycle) {
+  SimProcessBackend backend;
+  auto pid = backend.create_process(sim_options(CreateMode::kPaused, 1, 3)).value();
+  backend.continue_process(pid);
+  backend.step();
+  auto events = backend.poll_events();
+  ASSERT_EQ(events.size(), 3u);  // paused_at_exec, running, exited
+  EXPECT_EQ(events[0].state, ProcessState::kPausedAtExec);
+  EXPECT_EQ(events[1].state, ProcessState::kRunning);
+  EXPECT_EQ(events[2].state, ProcessState::kExited);
+  EXPECT_EQ(events[2].exit_code, 3);
+  EXPECT_TRUE(backend.poll_events().empty());  // drained
+}
+
+TEST(SimBackend, WaitTerminalNeverBlocksVirtualWorld) {
+  SimProcessBackend backend;
+  auto pid = backend.create_process(sim_options(CreateMode::kRun, 5)).value();
+  EXPECT_EQ(backend.wait_terminal(pid, 1000).status().code(), ErrorCode::kTimeout);
+  backend.step(5);
+  EXPECT_TRUE(backend.wait_terminal(pid, 0).is_ok());
+}
+
+TEST(SimBackend, ManagedCountTracksLiveProcesses) {
+  SimProcessBackend backend;
+  for (int i = 0; i < 10; ++i) {
+    backend.create_process(sim_options(CreateMode::kRun, i + 1));
+  }
+  EXPECT_EQ(backend.managed_count(), 10u);
+  backend.step(5);  // kills work<=5 processes: 5 of them
+  EXPECT_EQ(backend.managed_count(), 5u);
+  backend.step(100);
+  EXPECT_EQ(backend.managed_count(), 0u);
+}
+
+TEST(SimBackend, UniquePids) {
+  SimProcessBackend backend;
+  std::set<Pid> pids;
+  for (int i = 0; i < 100; ++i) {
+    pids.insert(backend.create_process(sim_options(CreateMode::kRun)).value());
+  }
+  EXPECT_EQ(pids.size(), 100u);
+}
+
+TEST(SimBackend, NegativeWorkRejected) {
+  SimProcessBackend backend;
+  auto options = sim_options(CreateMode::kRun, -1);
+  EXPECT_EQ(backend.create_process(options).status().code(),
+            ErrorCode::kInvalidArgument);
+}
+
+// Property test: drive random op sequences; every event stream observed
+// must be a legal walk of the state machine, per pid.
+class SimBackendProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimBackendProperty, EventStreamsAreLegalWalks) {
+  Rng rng(GetParam());
+  SimProcessBackend backend;
+  std::vector<Pid> pids;
+  std::map<Pid, ProcessState> last_state;
+
+  for (int round = 0; round < 400; ++round) {
+    const std::uint64_t dice = rng.next_below(100);
+    if (dice < 15 || pids.empty()) {
+      auto mode = rng.next_below(2) == 0 ? CreateMode::kRun : CreateMode::kPaused;
+      auto pid = backend.create_process(
+          sim_options(mode, static_cast<std::int64_t>(rng.next_below(6))));
+      if (pid.is_ok()) pids.push_back(pid.value());
+    } else {
+      Pid pid = pids[rng.next_below(pids.size())];
+      switch (rng.next_below(5)) {
+        case 0: (void)backend.continue_process(pid); break;
+        case 1: (void)backend.pause_process(pid); break;
+        case 2: (void)backend.attach(pid); break;
+        case 3: (void)backend.kill_process(pid); break;
+        case 4: backend.step(rng.next_below(3)); break;
+      }
+    }
+
+    for (const ProcessEvent& event : backend.poll_events()) {
+      auto it = last_state.find(event.pid);
+      if (it != last_state.end()) {
+        EXPECT_TRUE(valid_transition(it->second, event.state))
+            << "pid " << event.pid << ": " << process_state_name(it->second)
+            << " -> " << process_state_name(event.state) << " (seed "
+            << GetParam() << ", round " << round << ")";
+      }
+      last_state[event.pid] = event.state;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimBackendProperty,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u));
+
+}  // namespace
+}  // namespace tdp::proc

@@ -1,0 +1,99 @@
+// Tests for the TDP process state machine model.
+#include "proc/process.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdp::proc {
+namespace {
+
+constexpr ProcessState kAll[] = {
+    ProcessState::kCreated,  ProcessState::kPausedAtExec, ProcessState::kRunning,
+    ProcessState::kStopped,  ProcessState::kExited,       ProcessState::kSignalled,
+    ProcessState::kFailed,
+};
+
+TEST(State, NamesAreUnique) {
+  for (ProcessState a : kAll) {
+    for (ProcessState b : kAll) {
+      if (a != b) {
+        EXPECT_STRNE(process_state_name(a), process_state_name(b));
+      }
+    }
+  }
+}
+
+TEST(State, TerminalStatesHaveNoExits) {
+  for (ProcessState from : kAll) {
+    if (!is_terminal(from)) continue;
+    for (ProcessState to : kAll) {
+      EXPECT_FALSE(valid_transition(from, to))
+          << process_state_name(from) << " -> " << process_state_name(to);
+    }
+  }
+}
+
+TEST(State, SelfTransitionsInvalid) {
+  for (ProcessState state : kAll) EXPECT_FALSE(valid_transition(state, state));
+}
+
+TEST(State, PaperLifecycles) {
+  // Scheme 1 (create and run): created -> running -> exited.
+  EXPECT_TRUE(valid_transition(ProcessState::kCreated, ProcessState::kRunning));
+  EXPECT_TRUE(valid_transition(ProcessState::kRunning, ProcessState::kExited));
+
+  // Scheme 2 (create paused, tool initializes, continue):
+  // created -> paused_at_exec -> running.
+  EXPECT_TRUE(valid_transition(ProcessState::kCreated, ProcessState::kPausedAtExec));
+  EXPECT_TRUE(valid_transition(ProcessState::kPausedAtExec, ProcessState::kRunning));
+
+  // Scheme 3 (attach to running): running -> stopped -> running.
+  EXPECT_TRUE(valid_transition(ProcessState::kRunning, ProcessState::kStopped));
+  EXPECT_TRUE(valid_transition(ProcessState::kStopped, ProcessState::kRunning));
+
+  // Exec failure.
+  EXPECT_TRUE(valid_transition(ProcessState::kCreated, ProcessState::kFailed));
+}
+
+TEST(State, ImpossibleMoves) {
+  // Cannot return to the at-exec stop once running.
+  EXPECT_FALSE(valid_transition(ProcessState::kRunning, ProcessState::kPausedAtExec));
+  EXPECT_FALSE(valid_transition(ProcessState::kStopped, ProcessState::kPausedAtExec));
+  // Cannot resurrect.
+  EXPECT_FALSE(valid_transition(ProcessState::kExited, ProcessState::kRunning));
+  // Cannot skip launch.
+  EXPECT_FALSE(valid_transition(ProcessState::kCreated, ProcessState::kStopped));
+}
+
+TEST(State, NoStateReachesCreated) {
+  for (ProcessState from : kAll) {
+    EXPECT_FALSE(valid_transition(from, ProcessState::kCreated));
+  }
+}
+
+TEST(State, EveryNonTerminalCanEventuallyTerminate) {
+  // Simple reachability check: from every non-terminal state some path
+  // leads to a terminal state.
+  for (ProcessState start : kAll) {
+    if (is_terminal(start)) continue;
+    bool reached_terminal = false;
+    std::vector<ProcessState> frontier{start};
+    std::vector<bool> seen(8, false);
+    while (!frontier.empty()) {
+      ProcessState state = frontier.back();
+      frontier.pop_back();
+      if (seen[static_cast<std::size_t>(state)]) continue;
+      seen[static_cast<std::size_t>(state)] = true;
+      if (is_terminal(state)) {
+        reached_terminal = true;
+        break;
+      }
+      for (ProcessState next : kAll) {
+        if (valid_transition(state, next)) frontier.push_back(next);
+      }
+    }
+    EXPECT_TRUE(reached_terminal) << "stuck from " << process_state_name(start);
+  }
+}
+
+}  // namespace
+}  // namespace tdp::proc

@@ -1,0 +1,107 @@
+// Tests for the discrete-event engine and latency model.
+#include "sim/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdp::sim {
+namespace {
+
+TEST(Engine, EventsRunInTimeOrder) {
+  Engine engine;
+  std::vector<int> order;
+  engine.schedule(30, [&] { order.push_back(3); });
+  engine.schedule(10, [&] { order.push_back(1); });
+  engine.schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(engine.run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(engine.now(), 30);
+}
+
+TEST(Engine, EqualTimesFifo) {
+  Engine engine;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    engine.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  engine.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, EventsMayScheduleMoreEvents) {
+  Engine engine;
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) engine.schedule(10, chain);
+  };
+  engine.schedule(0, chain);
+  engine.run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.now(), 40);
+}
+
+TEST(Engine, RunUntilStopsAtHorizon) {
+  Engine engine;
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    engine.schedule(i * 10, [&] { ++fired; });
+  }
+  EXPECT_EQ(engine.run_until(50), 5u);
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(engine.pending(), 5u);
+  engine.run();
+  EXPECT_EQ(fired, 10);
+}
+
+TEST(Engine, NegativeDelayClamped) {
+  Engine engine;
+  engine.schedule(10, [] {});
+  engine.run();
+  bool fired = false;
+  engine.schedule(-100, [&] { fired = true; });
+  engine.run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(engine.now(), 10);  // clock never goes backwards
+}
+
+TEST(Engine, StepExecutesOne) {
+  Engine engine;
+  int fired = 0;
+  engine.schedule(1, [&] { ++fired; });
+  engine.schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(engine.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(engine.step());
+  EXPECT_FALSE(engine.step());
+  EXPECT_TRUE(engine.idle());
+}
+
+TEST(VirtualClock, TracksEngine) {
+  Engine engine;
+  VirtualClock clock(engine);
+  EXPECT_EQ(clock.now_micros(), 0);
+  engine.schedule(123, [] {});
+  engine.run();
+  EXPECT_EQ(clock.now_micros(), 123);
+}
+
+TEST(LatencyModel, WanCostsMoreThanLan) {
+  LatencyModel model(/*lan_base=*/100, /*jitter_mean=*/10.0, /*wan_factor=*/20.0,
+                     /*seed=*/42);
+  double lan_sum = 0, wan_sum = 0;
+  for (int i = 0; i < 200; ++i) {
+    lan_sum += static_cast<double>(model.lan_hop());
+    wan_sum += static_cast<double>(model.wan_hop());
+  }
+  EXPECT_GT(wan_sum / 200.0, lan_sum / 200.0 * 5);
+  EXPECT_GE(lan_sum / 200.0, 100.0);  // at least the base
+}
+
+TEST(LatencyModel, DeterministicForSeed) {
+  LatencyModel a(100, 10.0, 20.0, 7);
+  LatencyModel b(100, 10.0, 20.0, 7);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(a.lan_hop(), b.lan_hop());
+}
+
+}  // namespace
+}  // namespace tdp::sim

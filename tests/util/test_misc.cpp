@@ -1,0 +1,107 @@
+// Tests for the deterministic RNG, clocks, and the logger.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace tdp {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double value = rng.next_double();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanRoughlyCorrect) {
+  Rng rng(42);
+  double sum = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.next_exponential(5.0);
+  double mean = sum / kSamples;
+  EXPECT_NEAR(mean, 5.0, 0.3);
+}
+
+TEST(Rng, ReseedRestartsSequence) {
+  Rng rng(5);
+  std::uint64_t first = rng.next_u64();
+  rng.next_u64();
+  rng.reseed(5);
+  EXPECT_EQ(rng.next_u64(), first);
+}
+
+TEST(Clock, RealClockAdvances) {
+  RealClock clock;
+  Micros t0 = clock.now_micros();
+  Micros t1 = clock.now_micros();
+  EXPECT_GE(t1, t0);
+}
+
+TEST(Clock, ManualClockOnlyMovesWhenTold) {
+  ManualClock clock;
+  EXPECT_EQ(clock.now_micros(), 0);
+  clock.advance_micros(250);
+  EXPECT_EQ(clock.now_micros(), 250);
+  clock.set_micros(10);
+  EXPECT_EQ(clock.now_micros(), 10);
+}
+
+TEST(Log, SinkCapturesFormattedLines) {
+  std::vector<std::string> lines;
+  log::set_sink([&lines](std::string_view line) { lines.emplace_back(line); });
+  log::set_level(log::Level::kDebug);
+  log::Logger logger("starter");
+  logger.info("job ", 42, " activated");
+  logger.debug("detail");
+  log::set_level(log::Level::kWarn);
+  logger.info("suppressed");
+  log::set_sink(nullptr);
+
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_EQ(lines[0], "[INFO] starter: job 42 activated");
+  EXPECT_EQ(lines[1], "[DEBUG] starter: detail");
+}
+
+TEST(Log, LevelsBelowThresholdAreNotFormatted) {
+  int calls = 0;
+  log::set_sink([&calls](std::string_view) { ++calls; });
+  log::set_level(log::Level::kError);
+  log::Logger logger("x");
+  logger.trace("a");
+  logger.debug("b");
+  logger.info("c");
+  logger.warn("d");
+  logger.error("e");
+  log::set_sink(nullptr);
+  log::set_level(log::Level::kWarn);
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace tdp

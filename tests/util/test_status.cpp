@@ -1,0 +1,93 @@
+// Tests for Status / Result<T>, the error-handling spine of the library.
+#include "util/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdp {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kOk);
+  EXPECT_EQ(status.to_string(), "OK");
+  EXPECT_TRUE(static_cast<bool>(status));
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status status = make_error(ErrorCode::kNotFound, "attribute 'pid' missing");
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), ErrorCode::kNotFound);
+  EXPECT_EQ(status.to_string(), "NOT_FOUND: attribute 'pid' missing");
+}
+
+TEST(Status, EqualityComparesCodeOnly) {
+  EXPECT_EQ(make_error(ErrorCode::kTimeout, "a"), make_error(ErrorCode::kTimeout, "b"));
+  EXPECT_FALSE(make_error(ErrorCode::kTimeout, "a") ==
+               make_error(ErrorCode::kInternal, "a"));
+}
+
+TEST(Status, EveryCodeHasAName) {
+  for (int c = 0; c <= static_cast<int>(ErrorCode::kCancelled); ++c) {
+    EXPECT_STRNE(error_code_name(static_cast<ErrorCode>(c)), "UNKNOWN");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.is_ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> result(make_error(ErrorCode::kTimeout, "too slow"));
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kTimeout);
+}
+
+TEST(Result, ValueOnErrorThrowsTdpError) {
+  Result<std::string> result(make_error(ErrorCode::kInternal, "boom"));
+  EXPECT_THROW((void)result.value(), TdpError);
+  try {
+    (void)result.value();
+    FAIL() << "expected throw";
+  } catch (const TdpError& error) {
+    EXPECT_EQ(error.status().code(), ErrorCode::kInternal);
+  }
+}
+
+TEST(Result, ValueOrFallsBack) {
+  Result<int> bad(make_error(ErrorCode::kNotFound, ""));
+  EXPECT_EQ(bad.value_or(7), 7);
+  Result<int> good(3);
+  EXPECT_EQ(good.value_or(7), 3);
+}
+
+TEST(Result, OkStatusWithoutValueIsRejected) {
+  // Constructing a Result from an OK status is a bug; it must not appear ok.
+  Result<int> result{Status::ok()};
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), ErrorCode::kInternal);
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string moved = std::move(result).value();
+  EXPECT_EQ(moved, "payload");
+}
+
+Status helper_propagates(bool fail) {
+  TDP_RETURN_IF_ERROR(fail ? make_error(ErrorCode::kInvalidArgument, "inner")
+                           : Status::ok());
+  return make_error(ErrorCode::kInternal, "reached end");
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  EXPECT_EQ(helper_propagates(true).code(), ErrorCode::kInvalidArgument);
+  EXPECT_EQ(helper_propagates(false).code(), ErrorCode::kInternal);
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,114 @@
+// Tests for string utilities, including the %pid placeholder expansion the
+// Parador submit file relies on (Figure 5B's "-a%pid").
+#include "util/string_util.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tdp::str {
+namespace {
+
+TEST(Split, BasicAndEmptyFields) {
+  EXPECT_EQ(split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitArgs, WhitespaceTokenization) {
+  EXPECT_EQ(split_args("-p1500 -P2000"),
+            (std::vector<std::string>{"-p1500", "-P2000"}));
+  EXPECT_EQ(split_args("  a   b  "), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(split_args("").empty());
+  EXPECT_TRUE(split_args("   \t  ").empty());
+}
+
+TEST(SplitArgs, QuotedTokens) {
+  EXPECT_EQ(split_args("a 'b c' d"), (std::vector<std::string>{"a", "b c", "d"}));
+  EXPECT_EQ(split_args("\"x y\" z"), (std::vector<std::string>{"x y", "z"}));
+  // The paradynd arguments from Figure 5B survive as one tokenized argv.
+  EXPECT_EQ(split_args("-zunix -l3 -mpinguino.cs.wisc.edu -p2090 -P2091 -a%pid"),
+            (std::vector<std::string>{"-zunix", "-l3", "-mpinguino.cs.wisc.edu",
+                                      "-p2090", "-P2091", "-a%pid"}));
+}
+
+TEST(SplitArgs, EmptyQuotesMakeEmptyToken) {
+  EXPECT_EQ(split_args("a '' b"), (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(Join, RoundTripsSplit) {
+  std::vector<std::string> parts{"x", "y", "z"};
+  EXPECT_EQ(join(parts, ","), "x,y,z");
+  EXPECT_EQ(split(join(parts, ","), ','), parts);
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Trim, StripsBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("inner space kept"), "inner space kept");
+}
+
+TEST(Case, ToLower) {
+  EXPECT_EQ(to_lower("SuspendJobAtExec"), "suspendjobatexec");
+  EXPECT_EQ(to_lower("already"), "already");
+}
+
+TEST(Predicates, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("tdpreq.42.7", "tdpreq."));
+  EXPECT_FALSE(starts_with("tdp", "tdpreq."));
+  EXPECT_TRUE(ends_with("daemon.out", ".out"));
+  EXPECT_FALSE(ends_with(".out", "daemon.out"));
+}
+
+TEST(Predicates, IsInteger) {
+  EXPECT_TRUE(is_integer("12345"));
+  EXPECT_TRUE(is_integer("-7"));
+  EXPECT_FALSE(is_integer(""));
+  EXPECT_FALSE(is_integer("12x"));
+  EXPECT_FALSE(is_integer("1.5"));
+}
+
+TEST(Placeholders, ExpandsKnownNames) {
+  std::map<std::string, std::string> vars{{"pid", "31337"}};
+  // The exact notation used by the Parador submit file.
+  EXPECT_EQ(expand_placeholders("-a%pid", vars), "-a31337");
+  EXPECT_EQ(expand_placeholders("%pid%pid", vars), "3133731337");
+}
+
+TEST(Placeholders, UnknownNamesPassThrough) {
+  std::map<std::string, std::string> vars{{"pid", "1"}};
+  EXPECT_EQ(expand_placeholders("-x%hostname", vars), "-x%hostname");
+  EXPECT_EQ(expand_placeholders("100%", vars), "100%");
+}
+
+TEST(Placeholders, EscapedPercent) {
+  std::map<std::string, std::string> vars{{"pid", "1"}};
+  EXPECT_EQ(expand_placeholders("50%% done, pid=%pid", vars), "50% done, pid=1");
+}
+
+TEST(HostPort, FormatAndParse) {
+  EXPECT_EQ(format_host_port("pinguino.cs.wisc.edu", 2090),
+            "pinguino.cs.wisc.edu:2090");
+  std::string host;
+  int port = 0;
+  ASSERT_TRUE(parse_host_port("127.0.0.1:45123", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 45123);
+}
+
+TEST(HostPort, RejectsMalformed) {
+  std::string host;
+  int port = 0;
+  EXPECT_FALSE(parse_host_port("nohost", &host, &port));
+  EXPECT_FALSE(parse_host_port(":2090", &host, &port));      // empty host
+  EXPECT_FALSE(parse_host_port("h:", &host, &port));         // empty port
+  EXPECT_FALSE(parse_host_port("h:abc", &host, &port));      // non-numeric
+  EXPECT_FALSE(parse_host_port("h:70000", &host, &port));    // out of range
+  EXPECT_FALSE(parse_host_port("h:-1", &host, &port));       // negative
+}
+
+}  // namespace
+}  // namespace tdp::str
