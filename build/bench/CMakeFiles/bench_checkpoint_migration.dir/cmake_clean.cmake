@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_checkpoint_migration.dir/bench_checkpoint_migration.cpp.o"
+  "CMakeFiles/bench_checkpoint_migration.dir/bench_checkpoint_migration.cpp.o.d"
+  "bench_checkpoint_migration"
+  "bench_checkpoint_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_checkpoint_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

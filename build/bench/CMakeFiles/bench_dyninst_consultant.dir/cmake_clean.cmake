@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dyninst_consultant.dir/bench_dyninst_consultant.cpp.o"
+  "CMakeFiles/bench_dyninst_consultant.dir/bench_dyninst_consultant.cpp.o.d"
+  "bench_dyninst_consultant"
+  "bench_dyninst_consultant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dyninst_consultant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_dyninst_consultant.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_event_notification.dir/bench_event_notification.cpp.o"
+  "CMakeFiles/bench_event_notification.dir/bench_event_notification.cpp.o.d"
+  "bench_event_notification"
+  "bench_event_notification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_event_notification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

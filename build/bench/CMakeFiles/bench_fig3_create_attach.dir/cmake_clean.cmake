@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_create_attach.dir/bench_fig3_create_attach.cpp.o"
+  "CMakeFiles/bench_fig3_create_attach.dir/bench_fig3_create_attach.cpp.o.d"
+  "bench_fig3_create_attach"
+  "bench_fig3_create_attach.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_create_attach.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_parador_submit.dir/bench_fig5_parador_submit.cpp.o"
+  "CMakeFiles/bench_fig5_parador_submit.dir/bench_fig5_parador_submit.cpp.o.d"
+  "bench_fig5_parador_submit"
+  "bench_fig5_parador_submit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_parador_submit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_tdp_sequence.dir/bench_fig6_tdp_sequence.cpp.o"
+  "CMakeFiles/bench_fig6_tdp_sequence.dir/bench_fig6_tdp_sequence.cpp.o.d"
+  "bench_fig6_tdp_sequence"
+  "bench_fig6_tdp_sequence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_tdp_sequence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mpi_universe.dir/bench_mpi_universe.cpp.o"
+  "CMakeFiles/bench_mpi_universe.dir/bench_mpi_universe.cpp.o.d"
+  "bench_mpi_universe"
+  "bench_mpi_universe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mpi_universe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

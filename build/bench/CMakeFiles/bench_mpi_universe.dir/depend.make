@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_mpi_universe.
+# This may be replaced when dependencies are built.

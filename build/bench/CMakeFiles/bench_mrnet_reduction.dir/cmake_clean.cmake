@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mrnet_reduction.dir/bench_mrnet_reduction.cpp.o"
+  "CMakeFiles/bench_mrnet_reduction.dir/bench_mrnet_reduction.cpp.o.d"
+  "bench_mrnet_reduction"
+  "bench_mrnet_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mrnet_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

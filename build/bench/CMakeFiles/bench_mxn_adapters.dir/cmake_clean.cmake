@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mxn_adapters.dir/bench_mxn_adapters.cpp.o"
+  "CMakeFiles/bench_mxn_adapters.dir/bench_mxn_adapters.cpp.o.d"
+  "bench_mxn_adapters"
+  "bench_mxn_adapters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mxn_adapters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_process_control.cpp" "bench/CMakeFiles/bench_process_control.dir/bench_process_control.cpp.o" "gcc" "bench/CMakeFiles/bench_process_control.dir/bench_process_control.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/paradyn/CMakeFiles/tdp_paradyn.dir/DependInfo.cmake"
+  "/root/repo/build/src/condor/CMakeFiles/tdp_condor.dir/DependInfo.cmake"
+  "/root/repo/build/src/mrnet/CMakeFiles/tdp_mrnet.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/tdp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/classads/CMakeFiles/tdp_classads.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attrspace/CMakeFiles/tdp_attrspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/tdp_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_process_control.dir/bench_process_control.cpp.o"
+  "CMakeFiles/bench_process_control.dir/bench_process_control.cpp.o.d"
+  "bench_process_control"
+  "bench_process_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_process_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

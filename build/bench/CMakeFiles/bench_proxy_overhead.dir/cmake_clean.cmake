@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_proxy_overhead.dir/bench_proxy_overhead.cpp.o"
+  "CMakeFiles/bench_proxy_overhead.dir/bench_proxy_overhead.cpp.o.d"
+  "bench_proxy_overhead"
+  "bench_proxy_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_proxy_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attach_mode.dir/attach_mode.cpp.o"
+  "CMakeFiles/attach_mode.dir/attach_mode.cpp.o.d"
+  "attach_mode"
+  "attach_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attach_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

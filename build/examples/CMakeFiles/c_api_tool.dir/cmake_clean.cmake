@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/c_api_tool.dir/c_api_tool.cpp.o"
+  "CMakeFiles/c_api_tool.dir/c_api_tool.cpp.o.d"
+  "c_api_tool"
+  "c_api_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/c_api_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

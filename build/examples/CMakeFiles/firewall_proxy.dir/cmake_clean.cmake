@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firewall_proxy.dir/firewall_proxy.cpp.o"
+  "CMakeFiles/firewall_proxy.dir/firewall_proxy.cpp.o.d"
+  "firewall_proxy"
+  "firewall_proxy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firewall_proxy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/minicondor_submit.dir/minicondor_submit.cpp.o"
+  "CMakeFiles/minicondor_submit.dir/minicondor_submit.cpp.o.d"
+  "minicondor_submit"
+  "minicondor_submit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/minicondor_submit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

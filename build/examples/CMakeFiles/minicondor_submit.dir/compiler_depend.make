@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for minicondor_submit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for minicondor_submit.
+# This may be replaced when dependencies are built.

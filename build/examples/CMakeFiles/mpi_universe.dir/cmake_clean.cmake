@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpi_universe.dir/mpi_universe.cpp.o"
+  "CMakeFiles/mpi_universe.dir/mpi_universe.cpp.o.d"
+  "mpi_universe"
+  "mpi_universe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpi_universe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

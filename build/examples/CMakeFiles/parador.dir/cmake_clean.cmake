@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parador.dir/parador.cpp.o"
+  "CMakeFiles/parador.dir/parador.cpp.o.d"
+  "parador"
+  "parador.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parador.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attrspace/attr_client.cpp" "src/attrspace/CMakeFiles/tdp_attrspace.dir/attr_client.cpp.o" "gcc" "src/attrspace/CMakeFiles/tdp_attrspace.dir/attr_client.cpp.o.d"
+  "/root/repo/src/attrspace/attr_server.cpp" "src/attrspace/CMakeFiles/tdp_attrspace.dir/attr_server.cpp.o" "gcc" "src/attrspace/CMakeFiles/tdp_attrspace.dir/attr_server.cpp.o.d"
+  "/root/repo/src/attrspace/attr_store.cpp" "src/attrspace/CMakeFiles/tdp_attrspace.dir/attr_store.cpp.o" "gcc" "src/attrspace/CMakeFiles/tdp_attrspace.dir/attr_store.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

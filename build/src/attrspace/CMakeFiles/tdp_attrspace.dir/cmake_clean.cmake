@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_attrspace.dir/attr_client.cpp.o"
+  "CMakeFiles/tdp_attrspace.dir/attr_client.cpp.o.d"
+  "CMakeFiles/tdp_attrspace.dir/attr_server.cpp.o"
+  "CMakeFiles/tdp_attrspace.dir/attr_server.cpp.o.d"
+  "CMakeFiles/tdp_attrspace.dir/attr_store.cpp.o"
+  "CMakeFiles/tdp_attrspace.dir/attr_store.cpp.o.d"
+  "libtdp_attrspace.a"
+  "libtdp_attrspace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_attrspace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_classads.dir/classad.cpp.o"
+  "CMakeFiles/tdp_classads.dir/classad.cpp.o.d"
+  "CMakeFiles/tdp_classads.dir/expr.cpp.o"
+  "CMakeFiles/tdp_classads.dir/expr.cpp.o.d"
+  "libtdp_classads.a"
+  "libtdp_classads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_classads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

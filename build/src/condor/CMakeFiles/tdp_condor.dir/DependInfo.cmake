@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/condor/file_transfer.cpp" "src/condor/CMakeFiles/tdp_condor.dir/file_transfer.cpp.o" "gcc" "src/condor/CMakeFiles/tdp_condor.dir/file_transfer.cpp.o.d"
+  "/root/repo/src/condor/job.cpp" "src/condor/CMakeFiles/tdp_condor.dir/job.cpp.o" "gcc" "src/condor/CMakeFiles/tdp_condor.dir/job.cpp.o.d"
+  "/root/repo/src/condor/master.cpp" "src/condor/CMakeFiles/tdp_condor.dir/master.cpp.o" "gcc" "src/condor/CMakeFiles/tdp_condor.dir/master.cpp.o.d"
+  "/root/repo/src/condor/matchmaker.cpp" "src/condor/CMakeFiles/tdp_condor.dir/matchmaker.cpp.o" "gcc" "src/condor/CMakeFiles/tdp_condor.dir/matchmaker.cpp.o.d"
+  "/root/repo/src/condor/pool.cpp" "src/condor/CMakeFiles/tdp_condor.dir/pool.cpp.o" "gcc" "src/condor/CMakeFiles/tdp_condor.dir/pool.cpp.o.d"
+  "/root/repo/src/condor/schedd.cpp" "src/condor/CMakeFiles/tdp_condor.dir/schedd.cpp.o" "gcc" "src/condor/CMakeFiles/tdp_condor.dir/schedd.cpp.o.d"
+  "/root/repo/src/condor/startd.cpp" "src/condor/CMakeFiles/tdp_condor.dir/startd.cpp.o" "gcc" "src/condor/CMakeFiles/tdp_condor.dir/startd.cpp.o.d"
+  "/root/repo/src/condor/starter.cpp" "src/condor/CMakeFiles/tdp_condor.dir/starter.cpp.o" "gcc" "src/condor/CMakeFiles/tdp_condor.dir/starter.cpp.o.d"
+  "/root/repo/src/condor/submit_file.cpp" "src/condor/CMakeFiles/tdp_condor.dir/submit_file.cpp.o" "gcc" "src/condor/CMakeFiles/tdp_condor.dir/submit_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/classads/CMakeFiles/tdp_classads.dir/DependInfo.cmake"
+  "/root/repo/build/src/attrspace/CMakeFiles/tdp_attrspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/tdp_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

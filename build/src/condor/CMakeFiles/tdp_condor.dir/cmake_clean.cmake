@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_condor.dir/file_transfer.cpp.o"
+  "CMakeFiles/tdp_condor.dir/file_transfer.cpp.o.d"
+  "CMakeFiles/tdp_condor.dir/job.cpp.o"
+  "CMakeFiles/tdp_condor.dir/job.cpp.o.d"
+  "CMakeFiles/tdp_condor.dir/master.cpp.o"
+  "CMakeFiles/tdp_condor.dir/master.cpp.o.d"
+  "CMakeFiles/tdp_condor.dir/matchmaker.cpp.o"
+  "CMakeFiles/tdp_condor.dir/matchmaker.cpp.o.d"
+  "CMakeFiles/tdp_condor.dir/pool.cpp.o"
+  "CMakeFiles/tdp_condor.dir/pool.cpp.o.d"
+  "CMakeFiles/tdp_condor.dir/schedd.cpp.o"
+  "CMakeFiles/tdp_condor.dir/schedd.cpp.o.d"
+  "CMakeFiles/tdp_condor.dir/startd.cpp.o"
+  "CMakeFiles/tdp_condor.dir/startd.cpp.o.d"
+  "CMakeFiles/tdp_condor.dir/starter.cpp.o"
+  "CMakeFiles/tdp_condor.dir/starter.cpp.o.d"
+  "CMakeFiles/tdp_condor.dir/submit_file.cpp.o"
+  "CMakeFiles/tdp_condor.dir/submit_file.cpp.o.d"
+  "libtdp_condor.a"
+  "libtdp_condor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_condor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_core.dir/tdp.cpp.o"
+  "CMakeFiles/tdp_core.dir/tdp.cpp.o.d"
+  "CMakeFiles/tdp_core.dir/tdp_c.cpp.o"
+  "CMakeFiles/tdp_core.dir/tdp_c.cpp.o.d"
+  "libtdp_core.a"
+  "libtdp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_mrnet.dir/mrnet.cpp.o"
+  "CMakeFiles/tdp_mrnet.dir/mrnet.cpp.o.d"
+  "libtdp_mrnet.a"
+  "libtdp_mrnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_mrnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_net.dir/inproc.cpp.o"
+  "CMakeFiles/tdp_net.dir/inproc.cpp.o.d"
+  "CMakeFiles/tdp_net.dir/message.cpp.o"
+  "CMakeFiles/tdp_net.dir/message.cpp.o.d"
+  "CMakeFiles/tdp_net.dir/proxy.cpp.o"
+  "CMakeFiles/tdp_net.dir/proxy.cpp.o.d"
+  "CMakeFiles/tdp_net.dir/reactor.cpp.o"
+  "CMakeFiles/tdp_net.dir/reactor.cpp.o.d"
+  "CMakeFiles/tdp_net.dir/tcp.cpp.o"
+  "CMakeFiles/tdp_net.dir/tcp.cpp.o.d"
+  "libtdp_net.a"
+  "libtdp_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paradynd.dir/paradynd_main.cpp.o"
+  "CMakeFiles/paradynd.dir/paradynd_main.cpp.o.d"
+  "paradynd"
+  "paradynd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paradynd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

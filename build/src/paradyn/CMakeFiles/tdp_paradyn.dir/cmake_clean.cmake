@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_paradyn.dir/consultant.cpp.o"
+  "CMakeFiles/tdp_paradyn.dir/consultant.cpp.o.d"
+  "CMakeFiles/tdp_paradyn.dir/dyninst.cpp.o"
+  "CMakeFiles/tdp_paradyn.dir/dyninst.cpp.o.d"
+  "CMakeFiles/tdp_paradyn.dir/frontend.cpp.o"
+  "CMakeFiles/tdp_paradyn.dir/frontend.cpp.o.d"
+  "CMakeFiles/tdp_paradyn.dir/inproc_tool.cpp.o"
+  "CMakeFiles/tdp_paradyn.dir/inproc_tool.cpp.o.d"
+  "CMakeFiles/tdp_paradyn.dir/metrics.cpp.o"
+  "CMakeFiles/tdp_paradyn.dir/metrics.cpp.o.d"
+  "CMakeFiles/tdp_paradyn.dir/paradynd.cpp.o"
+  "CMakeFiles/tdp_paradyn.dir/paradynd.cpp.o.d"
+  "CMakeFiles/tdp_paradyn.dir/tracetool.cpp.o"
+  "CMakeFiles/tdp_paradyn.dir/tracetool.cpp.o.d"
+  "libtdp_paradyn.a"
+  "libtdp_paradyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_paradyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

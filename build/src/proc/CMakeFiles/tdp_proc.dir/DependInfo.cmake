@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/proc/posix_backend.cpp" "src/proc/CMakeFiles/tdp_proc.dir/posix_backend.cpp.o" "gcc" "src/proc/CMakeFiles/tdp_proc.dir/posix_backend.cpp.o.d"
+  "/root/repo/src/proc/process.cpp" "src/proc/CMakeFiles/tdp_proc.dir/process.cpp.o" "gcc" "src/proc/CMakeFiles/tdp_proc.dir/process.cpp.o.d"
+  "/root/repo/src/proc/sim_backend.cpp" "src/proc/CMakeFiles/tdp_proc.dir/sim_backend.cpp.o" "gcc" "src/proc/CMakeFiles/tdp_proc.dir/sim_backend.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/tdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

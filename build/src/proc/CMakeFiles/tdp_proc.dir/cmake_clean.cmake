@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_proc.dir/posix_backend.cpp.o"
+  "CMakeFiles/tdp_proc.dir/posix_backend.cpp.o.d"
+  "CMakeFiles/tdp_proc.dir/process.cpp.o"
+  "CMakeFiles/tdp_proc.dir/process.cpp.o.d"
+  "CMakeFiles/tdp_proc.dir/sim_backend.cpp.o"
+  "CMakeFiles/tdp_proc.dir/sim_backend.cpp.o.d"
+  "libtdp_proc.a"
+  "libtdp_proc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_proc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

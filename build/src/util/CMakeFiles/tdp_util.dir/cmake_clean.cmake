@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_util.dir/log.cpp.o"
+  "CMakeFiles/tdp_util.dir/log.cpp.o.d"
+  "CMakeFiles/tdp_util.dir/rng.cpp.o"
+  "CMakeFiles/tdp_util.dir/rng.cpp.o.d"
+  "CMakeFiles/tdp_util.dir/status.cpp.o"
+  "CMakeFiles/tdp_util.dir/status.cpp.o.d"
+  "CMakeFiles/tdp_util.dir/string_util.cpp.o"
+  "CMakeFiles/tdp_util.dir/string_util.cpp.o.d"
+  "libtdp_util.a"
+  "libtdp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_attr_tests.dir/attrspace/test_concurrency.cpp.o"
+  "CMakeFiles/tdp_attr_tests.dir/attrspace/test_concurrency.cpp.o.d"
+  "CMakeFiles/tdp_attr_tests.dir/attrspace/test_server_client.cpp.o"
+  "CMakeFiles/tdp_attr_tests.dir/attrspace/test_server_client.cpp.o.d"
+  "CMakeFiles/tdp_attr_tests.dir/attrspace/test_store.cpp.o"
+  "CMakeFiles/tdp_attr_tests.dir/attrspace/test_store.cpp.o.d"
+  "tdp_attr_tests"
+  "tdp_attr_tests.pdb"
+  "tdp_attr_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_attr_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

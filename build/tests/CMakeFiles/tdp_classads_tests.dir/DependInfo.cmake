@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/classads/test_classad.cpp" "tests/CMakeFiles/tdp_classads_tests.dir/classads/test_classad.cpp.o" "gcc" "tests/CMakeFiles/tdp_classads_tests.dir/classads/test_classad.cpp.o.d"
+  "/root/repo/tests/classads/test_classad_property.cpp" "tests/CMakeFiles/tdp_classads_tests.dir/classads/test_classad_property.cpp.o" "gcc" "tests/CMakeFiles/tdp_classads_tests.dir/classads/test_classad_property.cpp.o.d"
+  "/root/repo/tests/classads/test_expr.cpp" "tests/CMakeFiles/tdp_classads_tests.dir/classads/test_expr.cpp.o" "gcc" "tests/CMakeFiles/tdp_classads_tests.dir/classads/test_expr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attrspace/CMakeFiles/tdp_attrspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/tdp_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/classads/CMakeFiles/tdp_classads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

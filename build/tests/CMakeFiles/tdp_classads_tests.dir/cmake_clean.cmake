@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_classads_tests.dir/classads/test_classad.cpp.o"
+  "CMakeFiles/tdp_classads_tests.dir/classads/test_classad.cpp.o.d"
+  "CMakeFiles/tdp_classads_tests.dir/classads/test_classad_property.cpp.o"
+  "CMakeFiles/tdp_classads_tests.dir/classads/test_classad_property.cpp.o.d"
+  "CMakeFiles/tdp_classads_tests.dir/classads/test_expr.cpp.o"
+  "CMakeFiles/tdp_classads_tests.dir/classads/test_expr.cpp.o.d"
+  "tdp_classads_tests"
+  "tdp_classads_tests.pdb"
+  "tdp_classads_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_classads_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

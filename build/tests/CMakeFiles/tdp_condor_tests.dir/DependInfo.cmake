@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/condor/test_checkpoint.cpp" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_checkpoint.cpp.o" "gcc" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_checkpoint.cpp.o.d"
+  "/root/repo/tests/condor/test_daemons.cpp" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_daemons.cpp.o" "gcc" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_daemons.cpp.o.d"
+  "/root/repo/tests/condor/test_failover_extra.cpp" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_failover_extra.cpp.o" "gcc" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_failover_extra.cpp.o.d"
+  "/root/repo/tests/condor/test_pool.cpp" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_pool.cpp.o" "gcc" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_pool.cpp.o.d"
+  "/root/repo/tests/condor/test_standard_universe.cpp" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_standard_universe.cpp.o" "gcc" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_standard_universe.cpp.o.d"
+  "/root/repo/tests/condor/test_stdio_faults.cpp" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_stdio_faults.cpp.o" "gcc" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_stdio_faults.cpp.o.d"
+  "/root/repo/tests/condor/test_submit_file.cpp" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_submit_file.cpp.o" "gcc" "tests/CMakeFiles/tdp_condor_tests.dir/condor/test_submit_file.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attrspace/CMakeFiles/tdp_attrspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/tdp_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdp_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/condor/CMakeFiles/tdp_condor.dir/DependInfo.cmake"
+  "/root/repo/build/src/classads/CMakeFiles/tdp_classads.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_checkpoint.cpp.o"
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_checkpoint.cpp.o.d"
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_daemons.cpp.o"
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_daemons.cpp.o.d"
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_failover_extra.cpp.o"
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_failover_extra.cpp.o.d"
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_pool.cpp.o"
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_pool.cpp.o.d"
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_standard_universe.cpp.o"
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_standard_universe.cpp.o.d"
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_stdio_faults.cpp.o"
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_stdio_faults.cpp.o.d"
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_submit_file.cpp.o"
+  "CMakeFiles/tdp_condor_tests.dir/condor/test_submit_file.cpp.o.d"
+  "tdp_condor_tests"
+  "tdp_condor_tests.pdb"
+  "tdp_condor_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_condor_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_core_tests.dir/core/test_c_api.cpp.o"
+  "CMakeFiles/tdp_core_tests.dir/core/test_c_api.cpp.o.d"
+  "CMakeFiles/tdp_core_tests.dir/core/test_session.cpp.o"
+  "CMakeFiles/tdp_core_tests.dir/core/test_session.cpp.o.d"
+  "CMakeFiles/tdp_core_tests.dir/core/test_session_eventloop.cpp.o"
+  "CMakeFiles/tdp_core_tests.dir/core/test_session_eventloop.cpp.o.d"
+  "tdp_core_tests"
+  "tdp_core_tests.pdb"
+  "tdp_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

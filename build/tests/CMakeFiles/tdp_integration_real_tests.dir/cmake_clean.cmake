@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_integration_real_tests.dir/integration/test_parador_real.cpp.o"
+  "CMakeFiles/tdp_integration_real_tests.dir/integration/test_parador_real.cpp.o.d"
+  "tdp_integration_real_tests"
+  "tdp_integration_real_tests.pdb"
+  "tdp_integration_real_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_integration_real_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

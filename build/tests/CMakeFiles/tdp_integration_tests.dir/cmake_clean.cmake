@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_integration_tests.dir/integration/test_cass_dissemination.cpp.o"
+  "CMakeFiles/tdp_integration_tests.dir/integration/test_cass_dissemination.cpp.o.d"
+  "CMakeFiles/tdp_integration_tests.dir/integration/test_multi_tool.cpp.o"
+  "CMakeFiles/tdp_integration_tests.dir/integration/test_multi_tool.cpp.o.d"
+  "CMakeFiles/tdp_integration_tests.dir/integration/test_parador.cpp.o"
+  "CMakeFiles/tdp_integration_tests.dir/integration/test_parador.cpp.o.d"
+  "tdp_integration_tests"
+  "tdp_integration_tests.pdb"
+  "tdp_integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

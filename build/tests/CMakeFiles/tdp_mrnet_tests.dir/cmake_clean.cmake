@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_mrnet_tests.dir/mrnet/test_mrnet.cpp.o"
+  "CMakeFiles/tdp_mrnet_tests.dir/mrnet/test_mrnet.cpp.o.d"
+  "tdp_mrnet_tests"
+  "tdp_mrnet_tests.pdb"
+  "tdp_mrnet_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_mrnet_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

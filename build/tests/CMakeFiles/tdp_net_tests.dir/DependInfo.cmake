@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/test_fuzz_decode.cpp" "tests/CMakeFiles/tdp_net_tests.dir/net/test_fuzz_decode.cpp.o" "gcc" "tests/CMakeFiles/tdp_net_tests.dir/net/test_fuzz_decode.cpp.o.d"
+  "/root/repo/tests/net/test_message.cpp" "tests/CMakeFiles/tdp_net_tests.dir/net/test_message.cpp.o" "gcc" "tests/CMakeFiles/tdp_net_tests.dir/net/test_message.cpp.o.d"
+  "/root/repo/tests/net/test_proxy.cpp" "tests/CMakeFiles/tdp_net_tests.dir/net/test_proxy.cpp.o" "gcc" "tests/CMakeFiles/tdp_net_tests.dir/net/test_proxy.cpp.o.d"
+  "/root/repo/tests/net/test_reactor.cpp" "tests/CMakeFiles/tdp_net_tests.dir/net/test_reactor.cpp.o" "gcc" "tests/CMakeFiles/tdp_net_tests.dir/net/test_reactor.cpp.o.d"
+  "/root/repo/tests/net/test_transport.cpp" "tests/CMakeFiles/tdp_net_tests.dir/net/test_transport.cpp.o" "gcc" "tests/CMakeFiles/tdp_net_tests.dir/net/test_transport.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tdp_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/attrspace/CMakeFiles/tdp_attrspace.dir/DependInfo.cmake"
+  "/root/repo/build/src/proc/CMakeFiles/tdp_proc.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tdp_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tdp_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_net_tests.dir/net/test_fuzz_decode.cpp.o"
+  "CMakeFiles/tdp_net_tests.dir/net/test_fuzz_decode.cpp.o.d"
+  "CMakeFiles/tdp_net_tests.dir/net/test_message.cpp.o"
+  "CMakeFiles/tdp_net_tests.dir/net/test_message.cpp.o.d"
+  "CMakeFiles/tdp_net_tests.dir/net/test_proxy.cpp.o"
+  "CMakeFiles/tdp_net_tests.dir/net/test_proxy.cpp.o.d"
+  "CMakeFiles/tdp_net_tests.dir/net/test_reactor.cpp.o"
+  "CMakeFiles/tdp_net_tests.dir/net/test_reactor.cpp.o.d"
+  "CMakeFiles/tdp_net_tests.dir/net/test_transport.cpp.o"
+  "CMakeFiles/tdp_net_tests.dir/net/test_transport.cpp.o.d"
+  "tdp_net_tests"
+  "tdp_net_tests.pdb"
+  "tdp_net_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_net_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_paradyn_tests.dir/paradyn/test_consultant.cpp.o"
+  "CMakeFiles/tdp_paradyn_tests.dir/paradyn/test_consultant.cpp.o.d"
+  "CMakeFiles/tdp_paradyn_tests.dir/paradyn/test_dyninst.cpp.o"
+  "CMakeFiles/tdp_paradyn_tests.dir/paradyn/test_dyninst.cpp.o.d"
+  "CMakeFiles/tdp_paradyn_tests.dir/paradyn/test_paradynd_frontend.cpp.o"
+  "CMakeFiles/tdp_paradyn_tests.dir/paradyn/test_paradynd_frontend.cpp.o.d"
+  "CMakeFiles/tdp_paradyn_tests.dir/paradyn/test_tracetool.cpp.o"
+  "CMakeFiles/tdp_paradyn_tests.dir/paradyn/test_tracetool.cpp.o.d"
+  "tdp_paradyn_tests"
+  "tdp_paradyn_tests.pdb"
+  "tdp_paradyn_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_paradyn_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

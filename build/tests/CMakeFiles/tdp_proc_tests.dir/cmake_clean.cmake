@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_proc_tests.dir/proc/test_posix_backend.cpp.o"
+  "CMakeFiles/tdp_proc_tests.dir/proc/test_posix_backend.cpp.o.d"
+  "CMakeFiles/tdp_proc_tests.dir/proc/test_sim_backend.cpp.o"
+  "CMakeFiles/tdp_proc_tests.dir/proc/test_sim_backend.cpp.o.d"
+  "CMakeFiles/tdp_proc_tests.dir/proc/test_state.cpp.o"
+  "CMakeFiles/tdp_proc_tests.dir/proc/test_state.cpp.o.d"
+  "tdp_proc_tests"
+  "tdp_proc_tests.pdb"
+  "tdp_proc_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_proc_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

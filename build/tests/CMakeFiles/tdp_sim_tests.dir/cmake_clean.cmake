@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_sim_tests.dir/sim/test_engine.cpp.o"
+  "CMakeFiles/tdp_sim_tests.dir/sim/test_engine.cpp.o.d"
+  "tdp_sim_tests"
+  "tdp_sim_tests.pdb"
+  "tdp_sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tdp_util_tests.dir/util/test_misc.cpp.o"
+  "CMakeFiles/tdp_util_tests.dir/util/test_misc.cpp.o.d"
+  "CMakeFiles/tdp_util_tests.dir/util/test_status.cpp.o"
+  "CMakeFiles/tdp_util_tests.dir/util/test_status.cpp.o.d"
+  "CMakeFiles/tdp_util_tests.dir/util/test_string_util.cpp.o"
+  "CMakeFiles/tdp_util_tests.dir/util/test_string_util.cpp.o.d"
+  "tdp_util_tests"
+  "tdp_util_tests.pdb"
+  "tdp_util_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tdp_util_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

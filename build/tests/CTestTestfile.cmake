@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/tdp_util_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_net_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_attr_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_proc_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_classads_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_condor_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_paradyn_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_mrnet_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_integration_tests[1]_include.cmake")
+include("/root/repo/build/tests/tdp_integration_real_tests[1]_include.cmake")
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;98;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(example_c_api_tool "/root/repo/build/examples/c_api_tool")
+set_tests_properties(example_c_api_tool PROPERTIES  TIMEOUT "60" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;99;add_test;/root/repo/tests/CMakeLists.txt;0;")
