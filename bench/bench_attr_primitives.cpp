@@ -134,6 +134,97 @@ void BM_Subscribe_NotifyDelivery_InProc(benchmark::State& state) {
 }
 BENCHMARK(BM_Subscribe_NotifyDelivery_InProc);
 
+std::vector<std::pair<std::string, std::string>> batch_pairs(int n, std::int64_t round) {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  pairs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    pairs.emplace_back("m" + std::to_string(i),
+                       std::to_string(round * 1000 + i));
+  }
+  return pairs;
+}
+
+void BM_PutBatch_InProc(benchmark::State& state) {
+  tdp::bench::silence_logs();
+  auto fixture = AttrSpaceFixture::inproc("batch");
+  auto client = fixture.client();
+  const int batch = static_cast<int>(state.range(0));
+  std::int64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client->put_batch(batch_pairs(batch, round++)));
+  }
+  // Items = attributes stored, so throughput is comparable with BM_Put.
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_PutBatch_InProc)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_PutBatch_Tcp(benchmark::State& state) {
+  tdp::bench::silence_logs();
+  auto fixture = AttrSpaceFixture::tcp();
+  auto client = fixture.client();
+  const int batch = static_cast<int>(state.range(0));
+  std::int64_t round = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client->put_batch(batch_pairs(batch, round++)));
+  }
+  state.SetItemsProcessed(state.iterations() * batch);
+}
+BENCHMARK(BM_PutBatch_Tcp)->Arg(8)->Arg(64)->Arg(256);
+
+/// The machine-readable pass: re-measures the core primitives per
+/// transport with per-op latency recording and merges the rows into
+/// BENCH_attrspace.json next to the binary's working directory.
+void emit_attrspace_json() {
+  using tdp::bench::BenchResult;
+  using tdp::bench::LatencyRecorder;
+  tdp::bench::silence_logs();
+  std::vector<BenchResult> results;
+
+  for (const bool tcp : {false, true}) {
+    const std::string transport = tcp ? "tcp" : "inproc";
+    auto fixture =
+        tcp ? AttrSpaceFixture::tcp() : AttrSpaceFixture::inproc("json");
+    auto client = fixture.client();
+    const int iters = tcp ? 2000 : 3000;
+
+    LatencyRecorder put16;
+    const std::string small(16, 'v');
+    put16.measure(iters, [&](int i) {
+      client->put("attr" + std::to_string(i % 64), small);
+    });
+    results.push_back(BenchResult::from("put_16B", transport, put16));
+
+    LatencyRecorder put4k;
+    const std::string big(4096, 'v');
+    put4k.measure(iters, [&](int i) {
+      client->put("attr" + std::to_string(i % 64), big);
+    });
+    results.push_back(BenchResult::from("put_4096B", transport, put4k));
+
+    LatencyRecorder get;
+    get.measure(iters, [&](int i) {
+      benchmark::DoNotOptimize(client->try_get("attr" + std::to_string(i % 64)));
+    });
+    results.push_back(BenchResult::from("try_get", transport, get));
+
+    LatencyRecorder batch;
+    batch.measure(iters / 4, [&](int i) {
+      client->put_batch(batch_pairs(64, i));
+    });
+    // One op = one 64-attribute batch round trip.
+    results.push_back(BenchResult::from("put_batch_64", transport, batch));
+  }
+
+  tdp::bench::write_bench_json("BENCH_attrspace.json", results);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_attrspace_json();
+  return 0;
+}

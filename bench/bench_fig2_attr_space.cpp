@@ -106,6 +106,68 @@ void BM_Fig2_SessionWithBothSpaces(benchmark::State& state) {
 BENCHMARK(BM_Fig2_SessionWithBothSpaces)->Arg(0)->Arg(1)
     ->Unit(benchmark::kMicrosecond);
 
+/// Machine-readable pass: the Figure-2 deployment paths (LASS, CASS,
+/// proxied CASS) as put+get round-trip pairs, merged into
+/// BENCH_attrspace.json alongside the primitive rows.
+void emit_fig2_json() {
+  using tdp::bench::BenchResult;
+  using tdp::bench::LatencyRecorder;
+  bench::silence_logs();
+  std::vector<BenchResult> results;
+
+  {
+    auto fixture = AttrSpaceFixture::inproc("fig2-json");
+    auto client = fixture.client();
+    LatencyRecorder lass;
+    lass.measure(2000, [&](int i) {
+      const std::string attr = "k" + std::to_string(i % 128);
+      client->put(attr, "value");
+      benchmark::DoNotOptimize(client->try_get(attr));
+    });
+    results.push_back(BenchResult::from("fig2_put_get", "inproc", lass));
+  }
+  {
+    auto fixture = AttrSpaceFixture::tcp();
+    auto client = fixture.client();
+    LatencyRecorder cass;
+    cass.measure(1500, [&](int i) {
+      const std::string attr = "k" + std::to_string(i % 128);
+      client->put(attr, "value");
+      benchmark::DoNotOptimize(client->try_get(attr));
+    });
+    results.push_back(BenchResult::from("fig2_put_get", "tcp", cass));
+  }
+  {
+    auto transport = std::make_shared<net::TcpTransport>();
+    attr::AttrServer cass("CASS", transport);
+    auto cass_address = cass.start("127.0.0.1:0").value();
+    net::ProxyServer proxy(transport);
+    proxy.register_service("cass", cass_address);
+    auto proxy_address = proxy.start("127.0.0.1:0").value();
+    auto tunnel = net::proxy_connect(*transport, proxy_address, "cass").value();
+    auto client = attr::AttrClient::adopt(std::move(tunnel), "bench").value();
+    LatencyRecorder proxied;
+    proxied.measure(1000, [&](int i) {
+      const std::string attr = "k" + std::to_string(i % 128);
+      client->put(attr, "value");
+      benchmark::DoNotOptimize(client->try_get(attr));
+    });
+    results.push_back(BenchResult::from("fig2_put_get", "tcp_proxy", proxied));
+    client->exit();
+    proxy.stop();
+    cass.stop();
+  }
+
+  tdp::bench::write_bench_json("BENCH_attrspace.json", results);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_fig2_json();
+  return 0;
+}

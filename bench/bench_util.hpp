@@ -1,9 +1,16 @@
-// bench_util.hpp - shared fixtures for the figure-reproduction benches.
+// bench_util.hpp - shared fixtures for the figure-reproduction benches,
+// plus the machine-readable results writer (BENCH_attrspace.json).
 #pragma once
 
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "attrspace/attr_client.hpp"
 #include "attrspace/attr_server.hpp"
@@ -101,5 +108,136 @@ struct SimCluster {
     return rounds;
   }
 };
+
+// ---------------------------------------------------------------------------
+// Machine-readable results: BENCH_attrspace.json
+// ---------------------------------------------------------------------------
+
+/// Times individual operations and reduces them to throughput and latency
+/// percentiles. Used by the JSON emission pass that runs after the
+/// google-benchmark console pass.
+class LatencyRecorder {
+ public:
+  /// Runs `op` `iterations` times, timing each call.
+  template <typename Fn>
+  void measure(int iterations, Fn&& op) {
+    samples_us_.reserve(samples_us_.size() + static_cast<std::size_t>(iterations));
+    for (int i = 0; i < iterations; ++i) {
+      const auto begin = std::chrono::steady_clock::now();
+      op(i);
+      const auto end = std::chrono::steady_clock::now();
+      samples_us_.push_back(
+          std::chrono::duration<double, std::micro>(end - begin).count());
+    }
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_us_.size(); }
+
+  [[nodiscard]] double total_us() const {
+    double total = 0;
+    for (double sample : samples_us_) total += sample;
+    return total;
+  }
+
+  [[nodiscard]] double ops_per_sec() const {
+    const double total = total_us();
+    return total > 0 ? static_cast<double>(count()) * 1e6 / total : 0;
+  }
+
+  /// `q` in [0,1]: 0.5 = p50, 0.99 = p99.
+  [[nodiscard]] double percentile_us(double q) const {
+    if (samples_us_.empty()) return 0;
+    std::vector<double> sorted = samples_us_;
+    std::sort(sorted.begin(), sorted.end());
+    const auto rank = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1) + 0.5);
+    return sorted[std::min(rank, sorted.size() - 1)];
+  }
+
+ private:
+  std::vector<double> samples_us_;
+};
+
+/// One row of BENCH_attrspace.json.
+struct BenchResult {
+  std::string name;       ///< e.g. "put_16B"
+  std::string transport;  ///< "inproc" | "tcp" | "tcp_proxy"
+  double ops_per_sec = 0;
+  double p50_us = 0;
+  double p99_us = 0;
+  std::size_t iterations = 0;
+
+  static BenchResult from(std::string name, std::string transport,
+                          const LatencyRecorder& recorder) {
+    BenchResult result;
+    result.name = std::move(name);
+    result.transport = std::move(transport);
+    result.ops_per_sec = recorder.ops_per_sec();
+    result.p50_us = recorder.percentile_us(0.5);
+    result.p99_us = recorder.percentile_us(0.99);
+    result.iterations = recorder.count();
+    return result;
+  }
+};
+
+inline std::string bench_result_to_json(const BenchResult& result) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\": \"%s\", \"transport\": \"%s\", "
+                "\"ops_per_sec\": %.1f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
+                "\"iterations\": %zu}",
+                result.name.c_str(), result.transport.c_str(),
+                result.ops_per_sec, result.p50_us, result.p99_us,
+                result.iterations);
+  return buf;
+}
+
+/// Merges `results` into the JSON results file at `path`. Each result line
+/// is keyed by (name, transport); both attr benches write the same file, so
+/// re-running either refreshes only its own rows. The format is one result
+/// object per line inside a "results" array — machine-readable and
+/// diff-friendly.
+inline void write_bench_json(const std::string& path,
+                             const std::vector<BenchResult>& results) {
+  // Load existing rows (if any), keyed for replacement. Rows are exactly
+  // one line each, so a line scan is a complete parse of our own format.
+  std::vector<std::pair<std::string, std::string>> rows;  // key -> json line
+  auto key_of = [](const std::string& line) {
+    // Key = the "name"/"transport" prefix of the row.
+    auto pos = line.find("\"ops_per_sec\"");
+    return pos == std::string::npos ? line : line.substr(0, pos);
+  };
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (std::getline(in, line)) {
+      const auto start = line.find('{');
+      if (start == std::string::npos || line.find("\"name\"") == std::string::npos) {
+        continue;
+      }
+      std::string row = line.substr(start);
+      if (!row.empty() && row.back() == ',') row.pop_back();
+      while (!row.empty() && (row.back() == ' ' || row.back() == ']')) row.pop_back();
+      rows.emplace_back(key_of(row), row);
+    }
+  }
+  for (const BenchResult& result : results) {
+    std::string row = bench_result_to_json(result);
+    std::string key = key_of(row);
+    auto it = std::find_if(rows.begin(), rows.end(),
+                           [&](const auto& pair) { return pair.first == key; });
+    if (it != rows.end()) {
+      it->second = std::move(row);
+    } else {
+      rows.emplace_back(std::move(key), std::move(row));
+    }
+  }
+  std::ofstream out(path, std::ios::trunc);
+  out << "{\n  \"benchmark\": \"attrspace\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "    " << rows[i].second << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
 
 }  // namespace tdp::bench

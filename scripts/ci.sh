@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# ci.sh - the tier-1 verification the repo must always pass, plus the
+# ThreadSanitizer job that guards the sharded attribute store.
+#
+# Usage:
+#   scripts/ci.sh            # Release build + full ctest suite
+#   scripts/ci.sh tsan       # TSan build of the attrspace tests, runs the
+#                            # sharded-store / reactor-server stress tests
+#   scripts/ci.sh all        # both
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_release() {
+  cmake -B build-ci -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DTDP_WERROR=ON
+  cmake --build build-ci -j"$(nproc)"
+  ctest --test-dir build-ci --output-on-failure -j"$(nproc)"
+}
+
+run_tsan() {
+  # Benchmarks and examples are irrelevant under TSan; skip them to keep
+  # the instrumented build small.
+  cmake -B build-tsan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTDP_BUILD_BENCH=OFF \
+    -DTDP_BUILD_EXAMPLES=OFF \
+    -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
+  cmake --build build-tsan -j"$(nproc)" --target tdp_attr_tests
+  # The stress tests exercise the sharded store (concurrent writers,
+  # readers, racing waiters) and the reactor-driven server under client
+  # churn - exactly the paths a data race would hide in.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/tdp_attr_tests \
+    --gtest_filter='ShardedStoreStress.*:ReactorServer.*'
+}
+
+case "${1:-release}" in
+  release) run_release ;;
+  tsan)    run_tsan ;;
+  all)     run_release; run_tsan ;;
+  *) echo "usage: $0 [release|tsan|all]" >&2; exit 2 ;;
+esac

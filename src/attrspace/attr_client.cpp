@@ -74,6 +74,25 @@ Status AttrClient::put(const std::string& attribute, const std::string& value) {
   return status_from_reply(reply.value());
 }
 
+Status AttrClient::put_batch(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  if (pairs.empty()) return Status::ok();
+  Message request(MsgType::kAttrPutBatch);
+  request.reserve_fields(2 + 2 * pairs.size());
+  request.set(field::kContext, context_);
+  request.set_int(field::kCount, static_cast<std::int64_t>(pairs.size()));
+  for (std::size_t i = 0; i < pairs.size(); ++i) {
+    // add() skips the duplicate-key scan; the k<i>/v<i> scheme guarantees
+    // uniqueness, keeping batch construction O(N).
+    const std::string index = std::to_string(i);
+    request.add(field::kKeyPrefix + index, pairs[i].first);
+    request.add(field::kValPrefix + index, pairs[i].second);
+  }
+  auto reply = call(std::move(request), -1);
+  if (!reply.is_ok()) return reply.status();
+  return status_from_reply(reply.value());
+}
+
 Result<std::string> AttrClient::get(const std::string& attribute, int timeout_ms) {
   Message request(MsgType::kAttrGet);
   request.set(field::kContext, context_);
@@ -131,11 +150,12 @@ Result<int> AttrClient::async_get(const std::string& attribute,
     return make_error(ErrorCode::kConnectionError, "not connected");
   }
   Message request(MsgType::kAttrAsyncGet);
-  request.set_seq(next_seq());
+  const std::uint64_t seq_used = next_seq();
+  request.set_seq(seq_used);
   request.set(field::kContext, context_);
   request.set(field::kAttribute, attribute);
-  TDP_RETURN_IF_ERROR(endpoint_->send(request));
-  pending_async_[request.seq()] = {attribute, std::move(callback)};
+  TDP_RETURN_IF_ERROR(endpoint_->send(std::move(request)));
+  pending_async_[seq_used] = {attribute, std::move(callback)};
   return endpoint_->readable_fd();
 }
 
@@ -146,12 +166,13 @@ Result<int> AttrClient::async_put(const std::string& attribute, const std::strin
     return make_error(ErrorCode::kConnectionError, "not connected");
   }
   Message request(MsgType::kAttrPut);
-  request.set_seq(next_seq());
+  const std::uint64_t seq_used = next_seq();
+  request.set_seq(seq_used);
   request.set(field::kContext, context_);
   request.set(field::kAttribute, attribute);
   request.set(field::kValue, value);
-  TDP_RETURN_IF_ERROR(endpoint_->send(request));
-  pending_async_[request.seq()] = {attribute, std::move(callback)};
+  TDP_RETURN_IF_ERROR(endpoint_->send(std::move(request)));
+  pending_async_[seq_used] = {attribute, std::move(callback)};
   return endpoint_->readable_fd();
 }
 
@@ -168,7 +189,7 @@ Status AttrClient::subscribe(const std::string& pattern, NotifyCallback callback
   const std::uint64_t seq_used = next_seq();
   request.set_seq(seq_used);
   subscriptions_.push_back({seq_used, std::move(callback)});
-  TDP_RETURN_IF_ERROR(endpoint_->send(request));
+  TDP_RETURN_IF_ERROR(endpoint_->send(std::move(request)));
   // Wait for the acknowledgement so callers know the subscription is live.
   while (true) {
     auto received = endpoint_->receive(-1);
@@ -187,7 +208,7 @@ Result<Message> AttrClient::call(Message request, int timeout_ms) {
   }
   request.set_seq(next_seq());
   const std::uint64_t awaited = request.seq();
-  TDP_RETURN_IF_ERROR(endpoint_->send(request));
+  TDP_RETURN_IF_ERROR(endpoint_->send(std::move(request)));
 
   const bool has_deadline = timeout_ms >= 0;
   const auto deadline =
@@ -288,13 +309,13 @@ Status AttrClient::exit() {
   exited_ = true;
   if (!endpoint_ || !endpoint_->is_open()) return Status::ok();
   Message request(MsgType::kAttrExit);
-  request.set_seq(next_seq());
+  const std::uint64_t awaited = next_seq();
+  request.set_seq(awaited);
   request.set(field::kContext, context_);
-  Status sent = endpoint_->send(request);
+  Status sent = endpoint_->send(std::move(request));
   if (sent.is_ok()) {
     // Await the ack (with a bound) so the server-side refcount is settled
     // before we tear the connection down.
-    const std::uint64_t awaited = request.seq();
     auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
     while (std::chrono::steady_clock::now() < deadline) {
       auto received = endpoint_->receive(200);

@@ -68,6 +68,12 @@ class AttrClient {
   /// Stores (attribute, value); blocks until the server acknowledges.
   Status put(const std::string& attribute, const std::string& value);
 
+  /// Stores all (attribute, value) pairs in one round trip (one request,
+  /// one ack), the batched form daemons use to publish N related
+  /// attributes — e.g. paradynd reporting a whole metric sample batch —
+  /// without paying N network round trips.
+  Status put_batch(const std::vector<std::pair<std::string, std::string>>& pairs);
+
   /// Blocking get: waits until the attribute is present (parked server
   /// side), subject to `timeout_ms` (<0 = wait forever).
   Result<std::string> get(const std::string& attribute, int timeout_ms = -1);

@@ -1,6 +1,7 @@
 #include "attrspace/attr_server.hpp"
 
 #include <algorithm>
+#include <cctype>
 
 #include "attrspace/attr_protocol.hpp"
 #include "util/log.hpp"
@@ -8,7 +9,27 @@
 namespace tdp::attr {
 
 using net::Message;
+using net::MessageView;
 using net::MsgType;
+
+namespace {
+
+/// True when `key` is `prefix` followed by one or more decimal digits
+/// ("k12" for prefix "k"), the batch-put field naming scheme.
+bool is_indexed_key(std::string_view key, std::string_view prefix,
+                    std::string_view* index_out) {
+  if (key.size() <= prefix.size() || key.substr(0, prefix.size()) != prefix) {
+    return false;
+  }
+  std::string_view index = key.substr(prefix.size());
+  for (char c : index) {
+    if (!std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  *index_out = index;
+  return true;
+}
+
+}  // namespace
 
 AttrServer::AttrServer(std::string name, std::shared_ptr<net::Transport> transport)
     : name_(std::move(name)), transport_(std::move(transport)) {}
@@ -21,113 +42,136 @@ Result<std::string> AttrServer::start(const std::string& listen_address) {
   listener_ = std::move(listener).value();
   address_ = listener_->address();
   running_.store(true, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    threads_.emplace_back([this] { accept_loop(); });
-  }
+  reactor_.add_readable(listener_->readable_fd(), [this] { on_acceptable(); });
+  io_thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_acquire)) {
+      reactor_.run_once(-1);
+    }
+  });
   log::Logger(name_).info("attribute space server on ", address_);
   return address_;
 }
 
 void AttrServer::stop() {
   running_.store(false, std::memory_order_release);
-  if (listener_) listener_->close();
-  while (true) {
-    std::vector<std::thread> to_join;
-    std::vector<std::shared_ptr<net::Endpoint>> to_close;
-    {
-      std::lock_guard<std::mutex> lock(threads_mutex_);
-      to_join.swap(threads_);
-      to_close.swap(live_endpoints_);
-    }
-    if (to_join.empty() && to_close.empty()) break;
-    for (auto& endpoint : to_close) endpoint->close();
-    for (auto& thread : to_join) {
-      if (thread.joinable()) thread.join();
-    }
+  reactor_.stop();  // wakes the blocked poll so the I/O thread observes running_
+  if (io_thread_.joinable()) io_thread_.join();
+
+  std::map<int, std::shared_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    conns.swap(conns_);
+  }
+  for (auto& [fd, conn] : conns) {
+    reactor_.remove(fd);
+    teardown(*conn);
+  }
+  if (listener_) {
+    reactor_.remove(listener_->readable_fd());
+    listener_->close();
   }
 }
 
-void AttrServer::accept_loop() {
+void AttrServer::on_acceptable() {
+  // Drain every pending connection: the reactor is level-triggered per
+  // poll cycle, but accepting in a loop avoids one loop iteration per
+  // queued connect under a connect burst.
   while (running_.load(std::memory_order_acquire)) {
-    auto accepted = listener_->accept(200);
-    if (!accepted.is_ok()) {
-      if (accepted.status().code() == ErrorCode::kTimeout) continue;
-      break;
-    }
+    auto accepted = listener_->accept(0);
+    if (!accepted.is_ok()) break;  // kTimeout: queue drained
     connections_.fetch_add(1, std::memory_order_relaxed);
-    std::shared_ptr<net::Endpoint> endpoint(std::move(accepted).value().release());
-    std::lock_guard<std::mutex> lock(threads_mutex_);
-    if (!running_.load(std::memory_order_acquire)) {
-      endpoint->close();
-      break;
+    auto conn = std::make_shared<Connection>();
+    conn->endpoint = std::shared_ptr<net::Endpoint>(std::move(accepted).value());
+    const int fd = conn->endpoint->readable_fd();
+    if (fd < 0) {
+      conn->endpoint->close();
+      continue;
     }
-    live_endpoints_.push_back(endpoint);
-    threads_.emplace_back([this, endpoint] { serve_connection(endpoint); });
+    {
+      std::lock_guard<std::mutex> lock(conns_mutex_);
+      conns_.emplace(fd, conn);
+    }
+    reactor_.add_readable(fd, [this, fd] { on_readable(fd); });
   }
 }
 
-void AttrServer::serve_connection(std::shared_ptr<net::Endpoint> endpoint) {
-  std::vector<std::uint64_t> watcher_ids;    // waiters/subscriptions owned here
-  std::vector<std::string> opened_contexts;  // for implicit-exit crash cleanup
-  while (running_.load(std::memory_order_acquire)) {
-    auto received = endpoint->receive(200);
-    if (!received.is_ok()) {
-      if (received.status().code() == ErrorCode::kTimeout) continue;
-      break;  // peer gone
-    }
-    handle_message(received.value(), endpoint, watcher_ids, opened_contexts);
+void AttrServer::on_readable(int fd) {
+  std::shared_ptr<Connection> conn;
+  {
+    std::lock_guard<std::mutex> lock(conns_mutex_);
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;  // raced with stop()
+    conn = it->second;
   }
-  // Connection teardown: cancel this client's watchers so their callbacks
-  // never touch a dead endpoint, then treat unclosed inits as implicit
-  // tdp_exit (the daemon crashed or forgot to exit).
-  for (std::uint64_t id : watcher_ids) store_.unsubscribe(id);
-  for (const std::string& context : opened_contexts) {
+  // Drain all complete frames; receive_view parses in place into the
+  // connection's reused view, so the request path allocates nothing.
+  while (running_.load(std::memory_order_acquire)) {
+    Status received = conn->endpoint->receive_view(0, &conn->view);
+    if (!received.is_ok()) {
+      if (received.code() == ErrorCode::kTimeout) return;  // no full frame yet
+      // Peer gone: crash cleanup (implicit tdp_exit) and unregister.
+      reactor_.remove(fd);
+      {
+        std::lock_guard<std::mutex> lock(conns_mutex_);
+        conns_.erase(fd);
+      }
+      teardown(*conn);
+      return;
+    }
+    handle_message(conn->view, *conn);
+  }
+}
+
+void AttrServer::teardown(Connection& conn) {
+  // Cancel this client's watchers so their callbacks never touch a dead
+  // endpoint, then treat unclosed inits as implicit tdp_exit (the daemon
+  // crashed or forgot to exit).
+  for (std::uint64_t id : conn.watcher_ids) store_.unsubscribe(id);
+  for (const std::string& context : conn.opened_contexts) {
     auto closed = store_.close_context(context);
     if (closed.is_ok()) {
       log::Logger(name_).debug("implicit exit for context '", context,
                                "', refcount now ", closed.value());
     }
   }
-  endpoint->close();
+  conn.endpoint->close();
 }
 
-void AttrServer::handle_message(const Message& msg,
-                                const std::shared_ptr<net::Endpoint>& endpoint,
-                                std::vector<std::uint64_t>& watcher_ids,
-                                std::vector<std::string>& opened_contexts) {
-  const std::string context = msg.get(field::kContext, kDefaultContext);
+void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
+  const std::string_view context = msg.get(field::kContext, kDefaultContext);
   const std::uint64_t seq = msg.seq();
+  const std::shared_ptr<net::Endpoint>& endpoint = conn.endpoint;
 
   auto reply_status = [&](MsgType type, const Status& status) {
     Message reply(type);
     reply.set_seq(seq);
     reply.set(field::kStatus, status.is_ok() ? "ok" : "error");
     if (!status.is_ok()) reply.set(field::kError, status.to_string());
-    endpoint->send(reply);
+    endpoint->send(std::move(reply));
   };
 
   switch (msg.type()) {
     case MsgType::kAttrInit: {
       int refcount = store_.open_context(context);
-      opened_contexts.push_back(context);
+      conn.opened_contexts.emplace_back(context);
       Message reply(MsgType::kAttrInitReply);
       reply.set_seq(seq);
       reply.set(field::kStatus, "ok");
       reply.set_int(field::kCount, refcount);
-      endpoint->send(reply);
+      endpoint->send(std::move(reply));
       break;
     }
 
     case MsgType::kAttrExit: {
-      auto it = std::find(opened_contexts.begin(), opened_contexts.end(), context);
-      if (it == opened_contexts.end()) {
+      auto it = std::find(conn.opened_contexts.begin(), conn.opened_contexts.end(),
+                          context);
+      if (it == conn.opened_contexts.end()) {
         reply_status(MsgType::kAttrPutReply,
                      make_error(ErrorCode::kInvalidState,
                                 "tdp_exit without matching tdp_init on this connection"));
         break;
       }
-      opened_contexts.erase(it);
+      conn.opened_contexts.erase(it);
       auto closed = store_.close_context(context);
       reply_status(MsgType::kAttrPutReply,
                    closed.is_ok() ? Status::ok() : closed.status());
@@ -136,28 +180,66 @@ void AttrServer::handle_message(const Message& msg,
 
     case MsgType::kAttrPut: {
       Status status = store_.put(context, msg.get(field::kAttribute),
-                                 msg.get(field::kValue));
+                                 std::string(msg.get(field::kValue)));
       reply_status(MsgType::kAttrPutReply, status);
+      break;
+    }
+
+    case MsgType::kAttrPutBatch: {
+      // Fields arrive as k0,v0,k1,v1,...; pair them positionally in one
+      // pass (no per-key lookup, so a batch of N costs O(N)).
+      Status status = Status::ok();
+      std::int64_t applied = 0;
+      std::string_view pending_attr;
+      std::string_view pending_index;
+      bool have_attr = false;
+      for (const auto& f : msg.fields()) {
+        std::string_view index;
+        if (is_indexed_key(f.key, field::kKeyPrefix, &index)) {
+          pending_attr = f.value;
+          pending_index = index;
+          have_attr = true;
+        } else if (have_attr && is_indexed_key(f.key, field::kValPrefix, &index) &&
+                   index == pending_index) {
+          status = store_.put(context, pending_attr, std::string(f.value));
+          have_attr = false;
+          if (!status.is_ok()) break;
+          ++applied;
+        }
+      }
+      const std::int64_t expected = msg.get_int(field::kCount, applied);
+      if (status.is_ok() && applied != expected) {
+        status = make_error(ErrorCode::kInvalidArgument,
+                            "batch put count mismatch: expected " +
+                                std::to_string(expected) + ", applied " +
+                                std::to_string(applied));
+      }
+      Message reply(MsgType::kAttrPutReply);
+      reply.set_seq(seq);
+      reply.set(field::kStatus, status.is_ok() ? "ok" : "error");
+      if (!status.is_ok()) reply.set(field::kError, status.to_string());
+      reply.set_int(field::kCount, applied);
+      endpoint->send(std::move(reply));
       break;
     }
 
     case MsgType::kAttrGet:
     case MsgType::kAttrAsyncGet: {
-      const std::string attribute = msg.get(field::kAttribute);
+      const std::string_view attribute = msg.get(field::kAttribute);
       const bool block = msg.get(field::kBlock) == "1" ||
                          msg.type() == MsgType::kAttrAsyncGet;
       if (!block) {
         auto value = store_.get(context, attribute);
         Message reply(MsgType::kAttrGetReply);
         reply.set_seq(seq);
-        reply.set(field::kAttribute, attribute);
+        reply.set(field::kAttribute, std::string(attribute));
         if (value.is_ok()) {
-          reply.set(field::kStatus, "ok").set(field::kValue, value.value());
+          reply.set(field::kStatus, "ok").set(field::kValue, std::move(value).value());
         } else {
           reply.set(field::kStatus, "error")
               .set(field::kError, value.status().to_string());
         }
-        endpoint->send(reply);
+        endpoint->send(std::move(reply));
         break;
       }
       // Parked get: reply fires from whichever thread performs the put.
@@ -172,15 +254,15 @@ void AttrServer::handle_message(const Message& msg,
               reply.set(field::kStatus, "ok");
               reply.set(field::kAttribute, attr);
               reply.set(field::kValue, value);
-              ep->send(reply);
+              ep->send(std::move(reply));
             }
           });
-      if (id != 0) watcher_ids.push_back(id);
+      if (id != 0) conn.watcher_ids.push_back(id);
       break;
     }
 
     case MsgType::kAttrSubscribe: {
-      const std::string pattern = msg.get(field::kPattern);
+      const std::string_view pattern = msg.get(field::kPattern);
       std::weak_ptr<net::Endpoint> weak = endpoint;
       std::uint64_t id = store_.subscribe(
           context, pattern,
@@ -191,15 +273,15 @@ void AttrServer::handle_message(const Message& msg,
               notify.set_seq(seq);  // correlates with the subscribe request
               notify.set(field::kAttribute, attr);
               notify.set(field::kValue, value);
-              ep->send(notify);
+              ep->send(std::move(notify));
             }
           });
-      watcher_ids.push_back(id);
+      conn.watcher_ids.push_back(id);
       Message reply(MsgType::kAttrPutReply);
       reply.set_seq(seq);
       reply.set(field::kStatus, "ok");
       reply.set_int(field::kSubId, static_cast<std::int64_t>(id));
-      endpoint->send(reply);
+      endpoint->send(std::move(reply));
       break;
     }
 
@@ -213,20 +295,21 @@ void AttrServer::handle_message(const Message& msg,
       auto pairs = store_.list(context);
       Message reply(MsgType::kAttrListReply);
       reply.set_seq(seq);
+      reply.reserve_fields(2 + 2 * pairs.size());
       reply.set(field::kStatus, "ok");
       reply.set_int(field::kCount, static_cast<std::int64_t>(pairs.size()));
       for (std::size_t i = 0; i < pairs.size(); ++i) {
-        reply.set(field::kKeyPrefix + std::to_string(i), pairs[i].first);
-        reply.set(field::kValPrefix + std::to_string(i), pairs[i].second);
+        reply.set(field::kKeyPrefix + std::to_string(i), std::move(pairs[i].first));
+        reply.set(field::kValPrefix + std::to_string(i), std::move(pairs[i].second));
       }
-      endpoint->send(reply);
+      endpoint->send(std::move(reply));
       break;
     }
 
     case MsgType::kPing: {
       Message reply(MsgType::kPong);
       reply.set_seq(seq);
-      endpoint->send(reply);
+      endpoint->send(std::move(reply));
       break;
     }
 

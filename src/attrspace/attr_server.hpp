@@ -13,10 +13,19 @@
 // notification, and reference counts contexts across client connections,
 // treating an unexpected disconnect as an implicit tdp_exit (crash
 // cleanup — part of the paper's fault-detection requirement).
+//
+// Threading model: one I/O thread drives a Reactor that multiplexes the
+// listener plus every client endpoint (Section 3.3's "central polling
+// loop"), so the server's thread count is constant no matter how many
+// daemons connect. Requests are parsed zero-copy into a per-connection
+// MessageView and handled inline on the I/O thread; parked-get and
+// subscription callbacks fire from whichever thread performs the matching
+// put (normally also the I/O thread).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -24,6 +33,7 @@
 #include <vector>
 
 #include "attrspace/attr_store.hpp"
+#include "net/reactor.hpp"
 #include "net/transport.hpp"
 
 namespace tdp::attr {
@@ -37,11 +47,11 @@ class AttrServer {
   AttrServer(const AttrServer&) = delete;
   AttrServer& operator=(const AttrServer&) = delete;
 
-  /// Binds and starts serving on background threads. Returns the concrete
-  /// bound address clients should use.
+  /// Binds and starts the I/O thread. Returns the concrete bound address
+  /// clients should use.
   Result<std::string> start(const std::string& listen_address);
 
-  /// Stops serving, closes all client connections, joins threads.
+  /// Stops serving, closes all client connections, joins the I/O thread.
   void stop();
 
   [[nodiscard]] std::string address() const { return address_; }
@@ -57,12 +67,20 @@ class AttrServer {
   }
 
  private:
-  void accept_loop();
-  void serve_connection(std::shared_ptr<net::Endpoint> endpoint);
-  void handle_message(const net::Message& msg,
-                      const std::shared_ptr<net::Endpoint>& endpoint,
-                      std::vector<std::uint64_t>& watcher_ids,
-                      std::vector<std::string>& opened_contexts);
+  /// Per-connection state, owned by the I/O thread (created on accept,
+  /// destroyed on disconnect or stop()).
+  struct Connection {
+    std::shared_ptr<net::Endpoint> endpoint;
+    std::vector<std::uint64_t> watcher_ids;    ///< waiters/subscriptions owned here
+    std::vector<std::string> opened_contexts;  ///< for implicit-exit crash cleanup
+    net::MessageView view;                     ///< reused across receives
+  };
+
+  void on_acceptable();
+  void on_readable(int fd);
+  void handle_message(const net::MessageView& msg, Connection& conn);
+  /// Cancels watchers, applies implicit exits, closes the endpoint.
+  void teardown(Connection& conn);
 
   std::string name_;
   std::shared_ptr<net::Transport> transport_;
@@ -70,11 +88,15 @@ class AttrServer {
   std::string address_;
   AttributeStore store_;
 
+  net::Reactor reactor_;
+  std::thread io_thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::size_t> connections_{0};
-  std::mutex threads_mutex_;
-  std::vector<std::thread> threads_;
-  std::vector<std::shared_ptr<net::Endpoint>> live_endpoints_;
+
+  /// Guarded by conns_mutex_: the I/O thread mutates it, stop() (any
+  /// thread) drains it.
+  std::mutex conns_mutex_;
+  std::map<int, std::shared_ptr<Connection>> conns_;
 };
 
 }  // namespace tdp::attr

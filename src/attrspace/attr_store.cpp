@@ -1,160 +1,218 @@
 #include "attrspace/attr_store.hpp"
 
 #include <algorithm>
+#include <mutex>
 
 namespace tdp::attr {
 
-int AttributeStore::open_context(const std::string& context) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  contexts_.try_emplace(context);
-  return ++refcounts_[context];
+int AttributeStore::open_context(std::string_view context) {
+  Shard& shard = shard_for(context);
+  std::unique_lock lock(shard.mutex);
+  auto ctx_it = shard.contexts.find(context);
+  if (ctx_it == shard.contexts.end()) {
+    shard.contexts.emplace(std::string(context),
+                           std::map<std::string, std::string, std::less<>>{});
+  }
+  auto rc_it = shard.refcounts.find(context);
+  if (rc_it == shard.refcounts.end()) {
+    rc_it = shard.refcounts.emplace(std::string(context), 0).first;
+  }
+  return ++rc_it->second;
 }
 
-Result<int> AttributeStore::close_context(const std::string& context) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = refcounts_.find(context);
-  if (it == refcounts_.end() || it->second <= 0) {
-    return make_error(ErrorCode::kNotFound, "context has no participants: " + context);
+Result<int> AttributeStore::close_context(std::string_view context) {
+  Shard& shard = shard_for(context);
+  std::unique_lock lock(shard.mutex);
+  auto it = shard.refcounts.find(context);
+  if (it == shard.refcounts.end() || it->second <= 0) {
+    return make_error(ErrorCode::kNotFound,
+                      "context has no participants: " + std::string(context));
   }
   int remaining = --it->second;
   if (remaining == 0) {
-    refcounts_.erase(it);
-    contexts_.erase(context);
+    shard.refcounts.erase(it);
+    auto ctx_it = shard.contexts.find(context);
+    if (ctx_it != shard.contexts.end()) shard.contexts.erase(ctx_it);
     // Waiters on a destroyed context can never fire; drop them.
-    watchers_.erase(std::remove_if(watchers_.begin(), watchers_.end(),
-                                   [&](const Watcher& w) { return w.context == context; }),
-                    watchers_.end());
+    shard.watchers.erase(
+        std::remove_if(shard.watchers.begin(), shard.watchers.end(),
+                       [&](const Watcher& w) { return w.context == context; }),
+        shard.watchers.end());
   }
   return remaining;
 }
 
-bool AttributeStore::context_exists(const std::string& context) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return contexts_.find(context) != contexts_.end();
+bool AttributeStore::context_exists(std::string_view context) const {
+  const Shard& shard = shard_for(context);
+  std::shared_lock lock(shard.mutex);
+  return shard.contexts.find(context) != shard.contexts.end();
 }
 
-int AttributeStore::context_refcount(const std::string& context) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = refcounts_.find(context);
-  return it == refcounts_.end() ? 0 : it->second;
+int AttributeStore::context_refcount(std::string_view context) const {
+  const Shard& shard = shard_for(context);
+  std::shared_lock lock(shard.mutex);
+  auto it = shard.refcounts.find(context);
+  return it == shard.refcounts.end() ? 0 : it->second;
 }
 
-Status AttributeStore::put(const std::string& context, const std::string& attribute,
+Status AttributeStore::put(std::string_view context, std::string_view attribute,
                            std::string value) {
+  Shard& shard = shard_for(context);
   std::vector<AttrCallback> to_fire;
   std::string fired_value;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto& space = contexts_[context];  // implicit context creation on put
-    space[attribute] = std::move(value);
-    fired_value = space[attribute];
+    std::unique_lock lock(shard.mutex);
+    auto ctx_it = shard.contexts.find(context);
+    if (ctx_it == shard.contexts.end()) {
+      // Implicit context creation on put.
+      ctx_it = shard.contexts
+                   .emplace(std::string(context),
+                            std::map<std::string, std::string, std::less<>>{})
+                   .first;
+    }
+    auto attr_it = ctx_it->second.find(attribute);
+    if (attr_it == ctx_it->second.end()) {
+      attr_it = ctx_it->second.emplace(std::string(attribute), std::move(value)).first;
+    } else {
+      attr_it->second = std::move(value);
+    }
+    fired_value = attr_it->second;
 
-    for (auto it = watchers_.begin(); it != watchers_.end();) {
+    for (auto it = shard.watchers.begin(); it != shard.watchers.end();) {
       if (it->context == context && pattern_matches(it->pattern, attribute)) {
         to_fire.push_back(it->callback);
         if (it->one_shot) {
-          it = watchers_.erase(it);
+          it = shard.watchers.erase(it);
           continue;
         }
       }
       ++it;
     }
   }
-  for (auto& callback : to_fire) callback(context, attribute, fired_value);
+  if (!to_fire.empty()) {
+    const std::string ctx_name(context);
+    const std::string attr_name(attribute);
+    for (auto& callback : to_fire) callback(ctx_name, attr_name, fired_value);
+  }
   return Status::ok();
 }
 
-Result<std::string> AttributeStore::get(const std::string& context,
-                                        const std::string& attribute) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto ctx_it = contexts_.find(context);
-  if (ctx_it == contexts_.end()) {
-    return make_error(ErrorCode::kNotFound, "no such context: " + context);
+Result<std::string> AttributeStore::get(std::string_view context,
+                                        std::string_view attribute) const {
+  const Shard& shard = shard_for(context);
+  std::shared_lock lock(shard.mutex);
+  auto ctx_it = shard.contexts.find(context);
+  if (ctx_it == shard.contexts.end()) {
+    return make_error(ErrorCode::kNotFound, "no such context: " + std::string(context));
   }
   auto attr_it = ctx_it->second.find(attribute);
   if (attr_it == ctx_it->second.end()) {
     return make_error(ErrorCode::kNotFound,
-                      "attribute not in shared space: " + attribute);
+                      "attribute not in shared space: " + std::string(attribute));
   }
   return attr_it->second;
 }
 
-Status AttributeStore::remove(const std::string& context, const std::string& attribute) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto ctx_it = contexts_.find(context);
-  if (ctx_it == contexts_.end() || ctx_it->second.erase(attribute) == 0) {
-    return make_error(ErrorCode::kNotFound, "attribute not in shared space: " + attribute);
+Status AttributeStore::remove(std::string_view context, std::string_view attribute) {
+  Shard& shard = shard_for(context);
+  std::unique_lock lock(shard.mutex);
+  auto ctx_it = shard.contexts.find(context);
+  if (ctx_it == shard.contexts.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "attribute not in shared space: " + std::string(attribute));
   }
+  auto attr_it = ctx_it->second.find(attribute);
+  if (attr_it == ctx_it->second.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "attribute not in shared space: " + std::string(attribute));
+  }
+  ctx_it->second.erase(attr_it);
   return Status::ok();
 }
 
 std::vector<std::pair<std::string, std::string>> AttributeStore::list(
-    const std::string& context) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+    std::string_view context) const {
+  const Shard& shard = shard_for(context);
+  std::shared_lock lock(shard.mutex);
   std::vector<std::pair<std::string, std::string>> out;
-  auto ctx_it = contexts_.find(context);
-  if (ctx_it != contexts_.end()) {
+  auto ctx_it = shard.contexts.find(context);
+  if (ctx_it != shard.contexts.end()) {
     out.assign(ctx_it->second.begin(), ctx_it->second.end());
   }
   return out;
 }
 
 std::size_t AttributeStore::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
   std::size_t total = 0;
-  for (const auto& [name, space] : contexts_) total += space.size();
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mutex);
+    for (const auto& [name, space] : shard.contexts) total += space.size();
+  }
   return total;
 }
 
-std::uint64_t AttributeStore::get_or_wait(const std::string& context,
-                                          const std::string& attribute,
+std::uint64_t AttributeStore::get_or_wait(std::string_view context,
+                                          std::string_view attribute,
                                           AttrCallback callback) {
+  Shard& shard = shard_for(context);
   std::string value;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
-    auto ctx_it = contexts_.find(context);
-    if (ctx_it != contexts_.end()) {
+    std::unique_lock lock(shard.mutex);
+    auto ctx_it = shard.contexts.find(context);
+    if (ctx_it != shard.contexts.end()) {
       auto attr_it = ctx_it->second.find(attribute);
       if (attr_it != ctx_it->second.end()) {
         value = attr_it->second;
         // Fall through to fire outside the lock.
       } else {
-        std::uint64_t id = next_id_++;
-        watchers_.push_back({id, context, attribute, /*one_shot=*/true,
-                             std::move(callback)});
+        std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+        shard.watchers.push_back({id, std::string(context), std::string(attribute),
+                                  /*one_shot=*/true, std::move(callback)});
         return id;
       }
     } else {
-      std::uint64_t id = next_id_++;
-      watchers_.push_back({id, context, attribute, /*one_shot=*/true,
-                           std::move(callback)});
+      std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+      shard.watchers.push_back({id, std::string(context), std::string(attribute),
+                                /*one_shot=*/true, std::move(callback)});
       return id;
     }
   }
-  callback(context, attribute, value);
+  callback(std::string(context), std::string(attribute), value);
   return 0;
 }
 
-std::uint64_t AttributeStore::subscribe(const std::string& context,
-                                        const std::string& pattern,
+std::uint64_t AttributeStore::subscribe(std::string_view context,
+                                        std::string_view pattern,
                                         AttrCallback callback) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  std::uint64_t id = next_id_++;
-  watchers_.push_back({id, context, pattern, /*one_shot=*/false, std::move(callback)});
+  Shard& shard = shard_for(context);
+  std::unique_lock lock(shard.mutex);
+  std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  shard.watchers.push_back({id, std::string(context), std::string(pattern),
+                            /*one_shot=*/false, std::move(callback)});
   return id;
 }
 
 void AttributeStore::unsubscribe(std::uint64_t id) {
   if (id == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  watchers_.erase(std::remove_if(watchers_.begin(), watchers_.end(),
-                                 [id](const Watcher& w) { return w.id == id; }),
-                  watchers_.end());
+  // Ids do not encode their shard; scan all of them (rare operation).
+  for (Shard& shard : shards_) {
+    std::unique_lock lock(shard.mutex);
+    auto it = std::remove_if(shard.watchers.begin(), shard.watchers.end(),
+                             [id](const Watcher& w) { return w.id == id; });
+    if (it != shard.watchers.end()) {
+      shard.watchers.erase(it, shard.watchers.end());
+      return;
+    }
+  }
 }
 
 std::size_t AttributeStore::watcher_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return watchers_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::shared_lock lock(shard.mutex);
+    total += shard.watchers.size();
+  }
+  return total;
 }
 
 bool AttributeStore::pattern_matches(const std::string& pattern,

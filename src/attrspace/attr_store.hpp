@@ -13,12 +13,22 @@
 // The store also implements the waiter/subscription machinery the LASS and
 // CASS servers use to park blocking gets and deliver asynchronous
 // notifications.
+//
+// Concurrency: the store is sharded by context hash (kShardCount shards,
+// each under its own std::shared_mutex). Everything belonging to a context
+// — its attribute table, refcount, and watchers — lives in one shard, so
+// clients working in different contexts never contend, and read-side
+// operations (get/list/context_exists) take shared locks. Watcher and
+// subscription callbacks always fire outside the shard lock, preserving
+// the original contract.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,6 +44,10 @@ using AttrCallback =
 /// Thread-safe attribute store shared by one server (LASS or CASS).
 class AttributeStore {
  public:
+  /// Shards in the context-hash partition. 16 is comfortably above the
+  /// number of I/O threads that ever touch one store.
+  static constexpr std::size_t kShardCount = 16;
+
   AttributeStore() = default;
 
   AttributeStore(const AttributeStore&) = delete;
@@ -43,34 +57,34 @@ class AttributeStore {
 
   /// Adds one participant to `context`, creating it if needed. Returns the
   /// new participant count.
-  int open_context(const std::string& context);
+  int open_context(std::string_view context);
 
   /// Removes one participant; when the count reaches zero the context and
   /// all its attributes are destroyed (Section 3.2). kNotFound when the
   /// context has no participants.
-  Result<int> close_context(const std::string& context);
+  Result<int> close_context(std::string_view context);
 
-  [[nodiscard]] bool context_exists(const std::string& context) const;
-  [[nodiscard]] int context_refcount(const std::string& context) const;
+  [[nodiscard]] bool context_exists(std::string_view context) const;
+  [[nodiscard]] int context_refcount(std::string_view context) const;
 
   // --- attribute operations ---
 
   /// Stores (attribute, value); overwrites silently, then fires all
   /// matching waiters (one-shot) and subscriptions, outside the lock.
-  Status put(const std::string& context, const std::string& attribute,
+  Status put(std::string_view context, std::string_view attribute,
              std::string value);
 
   /// Immediate lookup; kNotFound when absent (the paper's documented
   /// non-blocking failure mode for tdp_get).
-  Result<std::string> get(const std::string& context,
-                          const std::string& attribute) const;
+  Result<std::string> get(std::string_view context,
+                          std::string_view attribute) const;
 
   /// Removes an attribute; kNotFound when absent.
-  Status remove(const std::string& context, const std::string& attribute);
+  Status remove(std::string_view context, std::string_view attribute);
 
   /// Snapshot of all pairs in a context, sorted by attribute name.
   [[nodiscard]] std::vector<std::pair<std::string, std::string>> list(
-      const std::string& context) const;
+      std::string_view context) const;
 
   /// Total number of attributes across all contexts (diagnostics).
   [[nodiscard]] std::size_t size() const;
@@ -81,13 +95,13 @@ class AttributeStore {
   /// immediately (on the calling thread) and returns 0; otherwise registers
   /// a one-shot waiter fired by the next matching put and returns its
   /// nonzero registration id (usable with unsubscribe).
-  std::uint64_t get_or_wait(const std::string& context, const std::string& attribute,
+  std::uint64_t get_or_wait(std::string_view context, std::string_view attribute,
                             AttrCallback callback);
 
   /// Persistent subscription: fires on every put whose attribute matches
   /// `pattern` (exact string, or prefix match when the pattern ends with
   /// '*'). Returns a nonzero subscription id.
-  std::uint64_t subscribe(const std::string& context, const std::string& pattern,
+  std::uint64_t subscribe(std::string_view context, std::string_view pattern,
                           AttrCallback callback);
 
   /// Cancels a waiter or subscription; unknown ids are ignored.
@@ -105,13 +119,28 @@ class AttributeStore {
     AttrCallback callback;
   };
 
+  /// One partition: contexts whose hash lands here, plus their refcounts
+  /// and watchers. std::less<> enables allocation-free string_view lookups.
+  struct Shard {
+    mutable std::shared_mutex mutex;
+    std::map<std::string, std::map<std::string, std::string, std::less<>>,
+             std::less<>>
+        contexts;
+    std::map<std::string, int, std::less<>> refcounts;
+    std::vector<Watcher> watchers;
+  };
+
+  Shard& shard_for(std::string_view context) {
+    return shards_[std::hash<std::string_view>{}(context) % kShardCount];
+  }
+  const Shard& shard_for(std::string_view context) const {
+    return shards_[std::hash<std::string_view>{}(context) % kShardCount];
+  }
+
   static bool pattern_matches(const std::string& pattern, std::string_view attribute);
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::map<std::string, std::string>> contexts_;
-  std::map<std::string, int> refcounts_;
-  std::vector<Watcher> watchers_;
-  std::uint64_t next_id_ = 1;
+  std::array<Shard, kShardCount> shards_;
+  std::atomic<std::uint64_t> next_id_{1};
 };
 
 }  // namespace tdp::attr

@@ -224,6 +224,11 @@ Status TdpSession::put(const std::string& attribute, const std::string& value) {
   return lass_->put(attribute, value);
 }
 
+Status TdpSession::put_batch(
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  return lass_->put_batch(pairs);
+}
+
 Result<std::string> TdpSession::get(const std::string& attribute, int timeout_ms) {
   return lass_->get(attribute, timeout_ms);
 }

@@ -134,6 +134,11 @@ class TdpSession {
   /// tdp_put: blocking store into the LASS.
   Status put(const std::string& attribute, const std::string& value);
 
+  /// Batched tdp_put: stores all pairs in one round trip to the LASS.
+  /// Daemons publishing N related attributes at once (metric samples,
+  /// handshake bundles) pay one network round trip instead of N.
+  Status put_batch(const std::vector<std::pair<std::string, std::string>>& pairs);
+
   /// tdp_get, blocking form: waits until the attribute is present.
   Result<std::string> get(const std::string& attribute, int timeout_ms = -1);
 

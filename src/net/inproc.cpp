@@ -38,11 +38,13 @@ class InProcQueue {
   InProcQueue& operator=(const InProcQueue&) = delete;
 
   void push(Message msg) {
+    bool signal;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       queue_.push_back(std::move(msg));
+      signal = fd_exported_;
     }
-    signal_pipe();
+    if (signal) signal_pipe();
     cv_.notify_one();
   }
 
@@ -60,7 +62,7 @@ class InProcQueue {
     if (!queue_.empty()) {
       Message msg = std::move(queue_.front());
       queue_.pop_front();
-      drain_pipe_one();
+      if (fd_exported_) drain_pipe_one();
       return msg;
     }
     if (closed_) {
@@ -70,12 +72,14 @@ class InProcQueue {
   }
 
   void close() {
+    bool signal;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_) return;
       closed_ = true;
+      signal = fd_exported_;
     }
-    signal_pipe();  // wake fd-based pollers; byte intentionally not drained
+    if (signal) signal_pipe();  // wake fd-based pollers; not drained
     cv_.notify_all();
   }
 
@@ -84,10 +88,24 @@ class InProcQueue {
     return closed_;
   }
 
-  [[nodiscard]] int read_fd() const noexcept { return pipe_r_; }
+  /// Exporting the descriptor switches the queue into fd-mirrored mode:
+  /// from then on every push/close writes a pipe byte. Queues nobody polls
+  /// (a blocking client's reply queue) never pay the two syscalls per
+  /// message that keep the mirror level-triggered.
+  [[nodiscard]] int read_fd() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!fd_exported_) {
+      fd_exported_ = true;
+      // Mirror the current fill level (plus the close marker) so the fd is
+      // immediately level-consistent with the queue.
+      std::size_t level = queue_.size() + (closed_ ? 1 : 0);
+      for (std::size_t i = 0; i < level; ++i) signal_pipe();
+    }
+    return pipe_r_;
+  }
 
  private:
-  void signal_pipe() {
+  void signal_pipe() const {
     if (pipe_w_ >= 0) {
       const char byte = 'x';
       [[maybe_unused]] ssize_t n = ::write(pipe_w_, &byte, 1);
@@ -95,7 +113,7 @@ class InProcQueue {
     }
   }
 
-  void drain_pipe_one() {
+  void drain_pipe_one() const {
     if (pipe_r_ >= 0) {
       char byte;
       [[maybe_unused]] ssize_t n = ::read(pipe_r_, &byte, 1);
@@ -106,6 +124,7 @@ class InProcQueue {
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool closed_ = false;
+  mutable bool fd_exported_ = false;
   int pipe_r_ = -1;
   int pipe_w_ = -1;
 };
@@ -126,14 +145,20 @@ class InProcEndpoint final : public Endpoint {
 
   ~InProcEndpoint() override { InProcEndpoint::close(); }
 
-  Status send(const Message& msg) override {
+  using Endpoint::send;
+
+  Status send(const Message& msg) override { return send(Message(msg)); }
+
+  /// Move send: the queued message is handed to the peer without copying
+  /// its field table — the inproc fast path.
+  Status send(Message&& msg) override {
     if (closed_.load(std::memory_order_acquire)) {
       return make_error(ErrorCode::kConnectionError, "endpoint closed");
     }
     if (recv_queue().closed()) {
       return make_error(ErrorCode::kConnectionError, "peer closed");
     }
-    send_queue().push(msg);
+    send_queue().push(std::move(msg));
     return Status::ok();
   }
 

@@ -7,17 +7,27 @@ namespace tdp::net {
 
 namespace {
 
-void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
-  out.push_back(static_cast<std::uint8_t>(v & 0xff));
-  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xff));
+/// Little-endian writers over a raw output cursor. The frame size is known
+/// before writing, so encoding is a single resize + sequential stores.
+inline std::uint8_t* put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v & 0xff);
+  p[1] = static_cast<std::uint8_t>((v >> 8) & 0xff);
+  return p + 2;
 }
 
-void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
-  for (int i = 0; i < 4; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+inline std::uint8_t* put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+  return p + 4;
 }
 
-void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
-  for (int i = 0; i < 8; ++i) out.push_back(static_cast<std::uint8_t>((v >> (8 * i)) & 0xff));
+inline std::uint8_t* put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>((v >> (8 * i)) & 0xff);
+  return p + 8;
+}
+
+inline std::uint8_t* put_bytes(std::uint8_t* p, const void* data, std::size_t n) {
+  if (n != 0) std::memcpy(p, data, n);
+  return p + n;
 }
 
 /// Bounds-checked little-endian reader over a byte span.
@@ -26,14 +36,14 @@ class ByteReader {
   ByteReader(const std::uint8_t* data, std::size_t size) : data_(data), size_(size) {}
 
   bool read_u16(std::uint16_t* v) {
-    if (pos_ + 2 > size_) return false;
+    if (size_ - pos_ < 2) return false;
     *v = static_cast<std::uint16_t>(data_[pos_] | (data_[pos_ + 1] << 8));
     pos_ += 2;
     return true;
   }
 
   bool read_u32(std::uint32_t* v) {
-    if (pos_ + 4 > size_) return false;
+    if (size_ - pos_ < 4) return false;
     *v = 0;
     for (int i = 0; i < 4; ++i) *v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
     pos_ += 4;
@@ -41,16 +51,16 @@ class ByteReader {
   }
 
   bool read_u64(std::uint64_t* v) {
-    if (pos_ + 8 > size_) return false;
+    if (size_ - pos_ < 8) return false;
     *v = 0;
     for (int i = 0; i < 8; ++i) *v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
     pos_ += 8;
     return true;
   }
 
-  bool read_bytes(std::size_t n, std::string* out) {
-    if (pos_ + n > size_) return false;
-    out->assign(reinterpret_cast<const char*>(data_ + pos_), n);
+  bool read_view(std::size_t n, std::string_view* out) {
+    if (size_ - pos_ < n) return false;
+    *out = std::string_view(reinterpret_cast<const char*>(data_ + pos_), n);
     pos_ += n;
     return true;
   }
@@ -63,10 +73,49 @@ class ByteReader {
   std::size_t pos_ = 0;
 };
 
+std::int64_t parse_int(std::string_view text, std::int64_t fallback) {
+  std::int64_t value = 0;
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return fallback;
+  return value;
+}
+
+/// Shared frame-header validation; on success positions a ByteReader over
+/// the payload and returns the field count.
+Status parse_header(const std::uint8_t* data, std::size_t size, ByteReader* reader_out,
+                    std::uint16_t* type_out, std::uint64_t* seq_out,
+                    std::uint16_t* nfields_out) {
+  if (size < Message::kLenPrefixSize) {
+    return make_error(ErrorCode::kInvalidArgument, "frame shorter than length prefix");
+  }
+  const std::uint32_t payload = Message::peek_length(data);
+  if (payload > Message::kMaxPayload) {
+    return make_error(ErrorCode::kInvalidArgument, "payload length exceeds kMaxPayload");
+  }
+  if (size != Message::kLenPrefixSize + payload) {
+    return make_error(ErrorCode::kInvalidArgument, "frame size does not match prefix");
+  }
+  ByteReader reader(data + Message::kLenPrefixSize, payload);
+  if (!reader.read_u16(type_out) || !reader.read_u64(seq_out) ||
+      !reader.read_u16(nfields_out)) {
+    return make_error(ErrorCode::kInvalidArgument, "truncated message header");
+  }
+  *reader_out = reader;
+  return Status::ok();
+}
+
 }  // namespace
 
 Message& Message::set(std::string key, std::string value) {
-  fields_[std::move(key)] = std::move(value);
+  for (Field& field : fields_) {
+    if (field.key == key) {
+      field.value = std::move(value);
+      return *this;
+    }
+  }
+  fields_.push_back({std::move(key), std::move(value)});
   return *this;
 }
 
@@ -74,45 +123,64 @@ Message& Message::set_int(std::string key, std::int64_t value) {
   return set(std::move(key), std::to_string(value));
 }
 
+Message& Message::add(std::string key, std::string value) {
+  fields_.push_back({std::move(key), std::move(value)});
+  return *this;
+}
+
 bool Message::has(std::string_view key) const {
-  return fields_.find(std::string(key)) != fields_.end();
+  for (const Field& field : fields_) {
+    if (field.key == key) return true;
+  }
+  return false;
 }
 
 std::string Message::get(std::string_view key, std::string_view fallback) const {
-  auto it = fields_.find(std::string(key));
-  return it == fields_.end() ? std::string(fallback) : it->second;
+  return std::string(get_view(key, fallback));
+}
+
+std::string_view Message::get_view(std::string_view key,
+                                   std::string_view fallback) const {
+  for (const Field& field : fields_) {
+    if (field.key == key) return field.value;
+  }
+  return fallback;
 }
 
 std::int64_t Message::get_int(std::string_view key, std::int64_t fallback) const {
-  auto it = fields_.find(std::string(key));
-  if (it == fields_.end()) return fallback;
-  std::int64_t value = 0;
-  const char* begin = it->second.data();
-  const char* end = begin + it->second.size();
-  auto [ptr, ec] = std::from_chars(begin, end, value);
-  if (ec != std::errc() || ptr != end) return fallback;
-  return value;
+  for (const Field& field : fields_) {
+    if (field.key == key) return parse_int(field.value, fallback);
+  }
+  return fallback;
+}
+
+std::size_t Message::encoded_size() const noexcept {
+  std::size_t size = kLenPrefixSize + 2 + 8 + 2;
+  for (const Field& field : fields_) {
+    size += 2 + field.key.size() + 4 + field.value.size();
+  }
+  return size;
+}
+
+void Message::encode_into(std::vector<std::uint8_t>& out) const {
+  const std::size_t total = encoded_size();
+  out.resize(total);
+  std::uint8_t* p = out.data();
+  p = put_u32(p, static_cast<std::uint32_t>(total - kLenPrefixSize));
+  p = put_u16(p, static_cast<std::uint16_t>(type_));
+  p = put_u64(p, seq_);
+  p = put_u16(p, static_cast<std::uint16_t>(fields_.size()));
+  for (const Field& field : fields_) {
+    p = put_u16(p, static_cast<std::uint16_t>(field.key.size()));
+    p = put_bytes(p, field.key.data(), field.key.size());
+    p = put_u32(p, static_cast<std::uint32_t>(field.value.size()));
+    p = put_bytes(p, field.value.data(), field.value.size());
+  }
 }
 
 std::vector<std::uint8_t> Message::encode() const {
   std::vector<std::uint8_t> out;
-  out.reserve(64);
-  put_u32(out, 0);  // length placeholder
-  put_u16(out, static_cast<std::uint16_t>(type_));
-  put_u64(out, seq_);
-  put_u16(out, static_cast<std::uint16_t>(fields_.size()));
-  for (const auto& [key, value] : fields_) {
-    put_u16(out, static_cast<std::uint16_t>(key.size()));
-    out.insert(out.end(), key.begin(), key.end());
-    put_u32(out, static_cast<std::uint32_t>(value.size()));
-    out.insert(out.end(), value.begin(), value.end());
-  }
-  const std::uint32_t payload = static_cast<std::uint32_t>(out.size() - kLenPrefixSize);
-  std::memcpy(out.data(), &payload, sizeof(payload));  // little-endian host assumed (x86)
-  out[0] = static_cast<std::uint8_t>(payload & 0xff);
-  out[1] = static_cast<std::uint8_t>((payload >> 8) & 0xff);
-  out[2] = static_cast<std::uint8_t>((payload >> 16) & 0xff);
-  out[3] = static_cast<std::uint8_t>((payload >> 24) & 0xff);
+  encode_into(out);
   return out;
 }
 
@@ -124,37 +192,118 @@ std::uint32_t Message::peek_length(const std::uint8_t* prefix) noexcept {
 }
 
 Result<Message> Message::decode(const std::uint8_t* data, std::size_t size) {
-  if (size < kLenPrefixSize) {
-    return make_error(ErrorCode::kInvalidArgument, "frame shorter than length prefix");
-  }
-  const std::uint32_t payload = peek_length(data);
-  if (payload > kMaxPayload) {
-    return make_error(ErrorCode::kInvalidArgument, "payload length exceeds kMaxPayload");
-  }
-  if (size != kLenPrefixSize + payload) {
-    return make_error(ErrorCode::kInvalidArgument, "frame size does not match prefix");
-  }
-  ByteReader reader(data + kLenPrefixSize, payload);
+  ByteReader reader(nullptr, 0);
   std::uint16_t type_raw = 0;
-  std::uint64_t seq = 0;
   std::uint16_t nfields = 0;
-  if (!reader.read_u16(&type_raw) || !reader.read_u64(&seq) || !reader.read_u16(&nfields)) {
-    return make_error(ErrorCode::kInvalidArgument, "truncated message header");
-  }
+  std::uint64_t seq = 0;
+  TDP_RETURN_IF_ERROR(parse_header(data, size, &reader, &type_raw, &seq, &nfields));
   Message msg(static_cast<MsgType>(type_raw));
   msg.set_seq(seq);
+  msg.fields_.reserve(nfields);
   for (std::uint16_t i = 0; i < nfields; ++i) {
     std::uint16_t klen = 0;
     std::uint32_t vlen = 0;
-    std::string key, value;
-    if (!reader.read_u16(&klen) || !reader.read_bytes(klen, &key) ||
-        !reader.read_u32(&vlen) || !reader.read_bytes(vlen, &value)) {
+    std::string_view key, value;
+    if (!reader.read_u16(&klen) || !reader.read_view(klen, &key) ||
+        !reader.read_u32(&vlen) || !reader.read_view(vlen, &value)) {
       return make_error(ErrorCode::kInvalidArgument, "truncated message field");
     }
-    msg.set(std::move(key), std::move(value));
+    // set() keeps keys unique: duplicate wire keys merge, last wins.
+    msg.set(std::string(key), std::string(value));
   }
   if (!reader.exhausted()) {
     return make_error(ErrorCode::kInvalidArgument, "trailing bytes after last field");
+  }
+  return msg;
+}
+
+bool operator==(const Message& a, const Message& b) {
+  if (a.type_ != b.type_ || a.seq_ != b.seq_ ||
+      a.fields_.size() != b.fields_.size()) {
+    return false;
+  }
+  // Keys are unique per message, so order-insensitive containment one way
+  // plus equal sizes is full equality.
+  for (const Message::Field& field : a.fields_) {
+    bool matched = false;
+    for (const Message::Field& other : b.fields_) {
+      if (other.key == field.key) {
+        matched = other.value == field.value;
+        break;
+      }
+    }
+    if (!matched) return false;
+  }
+  return true;
+}
+
+Status MessageView::parse(const std::uint8_t* data, std::size_t size) {
+  ByteReader reader(nullptr, 0);
+  std::uint16_t type_raw = 0;
+  std::uint16_t nfields = 0;
+  std::uint64_t seq = 0;
+  TDP_RETURN_IF_ERROR(parse_header(data, size, &reader, &type_raw, &seq, &nfields));
+  fields_.clear();
+  owned_ = Message();
+  fields_.reserve(nfields);
+  for (std::uint16_t i = 0; i < nfields; ++i) {
+    std::uint16_t klen = 0;
+    std::uint32_t vlen = 0;
+    FieldView field;
+    if (!reader.read_u16(&klen) || !reader.read_view(klen, &field.key) ||
+        !reader.read_u32(&vlen) || !reader.read_view(vlen, &field.value)) {
+      return make_error(ErrorCode::kInvalidArgument, "truncated message field");
+    }
+    fields_.push_back(field);
+  }
+  if (!reader.exhausted()) {
+    return make_error(ErrorCode::kInvalidArgument, "trailing bytes after last field");
+  }
+  type_ = static_cast<MsgType>(type_raw);
+  seq_ = seq;
+  return Status::ok();
+}
+
+void MessageView::adopt(Message msg) {
+  owned_ = std::move(msg);
+  type_ = owned_.type();
+  seq_ = owned_.seq();
+  fields_.clear();
+  fields_.reserve(owned_.fields().size());
+  for (const Message::Field& field : owned_.fields()) {
+    fields_.push_back({field.key, field.value});
+  }
+}
+
+bool MessageView::has(std::string_view key) const {
+  for (const FieldView& field : fields_) {
+    if (field.key == key) return true;
+  }
+  return false;
+}
+
+std::string_view MessageView::get(std::string_view key,
+                                  std::string_view fallback) const {
+  // Reverse scan: wire duplicates resolve last-wins, matching decode().
+  for (auto it = fields_.rbegin(); it != fields_.rend(); ++it) {
+    if (it->key == key) return it->value;
+  }
+  return fallback;
+}
+
+std::int64_t MessageView::get_int(std::string_view key, std::int64_t fallback) const {
+  for (auto it = fields_.rbegin(); it != fields_.rend(); ++it) {
+    if (it->key == key) return parse_int(it->value, fallback);
+  }
+  return fallback;
+}
+
+Message MessageView::to_message() const {
+  Message msg(type_);
+  msg.set_seq(seq_);
+  msg.reserve_fields(fields_.size());
+  for (const FieldView& field : fields_) {
+    msg.set(std::string(field.key), std::string(field.value));
   }
   return msg;
 }
@@ -163,11 +312,11 @@ std::string Message::to_string() const {
   std::string out = msg_type_name(type_);
   out += "{seq=";
   out += std::to_string(seq_);
-  for (const auto& [key, value] : fields_) {
+  for (const Field& field : fields_) {
     out += ", ";
-    out += key;
+    out += field.key;
     out += '=';
-    out += value.size() > 64 ? value.substr(0, 61) + "..." : value;
+    out += field.value.size() > 64 ? field.value.substr(0, 61) + "..." : field.value;
   }
   out += '}';
   return out;
@@ -189,6 +338,7 @@ const char* msg_type_name(MsgType type) noexcept {
     case MsgType::kAttrListReply: return "AttrListReply";
     case MsgType::kAttrInit: return "AttrInit";
     case MsgType::kAttrInitReply: return "AttrInitReply";
+    case MsgType::kAttrPutBatch: return "AttrPutBatch";
     case MsgType::kProcRequest: return "ProcRequest";
     case MsgType::kProcReply: return "ProcReply";
     case MsgType::kProcStatusEvent: return "ProcStatusEvent";

@@ -3,16 +3,26 @@
 // One message format serves all protocols in the system (attribute space,
 // Condor claiming protocol, Paradyn front-end <-> paradynd, MRNet-lite):
 // a 16-bit type, a 64-bit sequence number for request/reply correlation,
-// and a string->string field map, reflecting the paper's decision to keep
+// and a string->string field table, reflecting the paper's decision to keep
 // all exchanged data as null-terminated strings (Section 3.2).
 //
 // Wire format (little-endian):
 //   u32 payload_len | u16 type | u64 seq | u16 nfields |
 //   repeat nfields: u16 key_len, key bytes, u32 val_len, val bytes
+//
+// Fast-path notes:
+//   * Fields live in a small flat vector in insertion order. Messages carry
+//     fewer than ~16 fields, so linear scans beat a node-based map and every
+//     lookup is allocation-free (string_view compare).
+//   * encode() precomputes the frame size and fills one contiguous buffer;
+//     encode_into() reuses a caller-owned buffer so steady-state senders do
+//     no allocation at all.
+//   * MessageView parses a frame in place and yields string_view fields over
+//     the receive buffer, so a server's request path does no per-field
+//     allocation (see Endpoint::receive_view).
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,6 +50,7 @@ enum class MsgType : std::uint16_t {
   kAttrListReply = 110,
   kAttrInit = 111,       ///< tdp_init: join a context (refcounted)
   kAttrInitReply = 112,
+  kAttrPutBatch = 113,   ///< N coalesced puts, one round trip, one ack
 
   // --- process management relay (Section 2.3: RT asks RM to act) ---
   kProcRequest = 200,    ///< pause/continue/kill request routed to the RM
@@ -80,8 +91,18 @@ enum class MsgType : std::uint16_t {
 };
 
 /// A typed, string-keyed message. Regular value type (Core Guidelines C.11).
+/// Keys are unique (set() overwrites); fields keep insertion order.
 class Message {
  public:
+  struct Field {
+    std::string key;
+    std::string value;
+
+    friend bool operator==(const Field& a, const Field& b) {
+      return a.key == b.key && a.value == b.value;
+    }
+  };
+
   Message() = default;
   explicit Message(MsgType type) : type_(type) {}
 
@@ -96,23 +117,42 @@ class Message {
   Message& set(std::string key, std::string value);
   Message& set_int(std::string key, std::int64_t value);
 
+  /// Appends a field without scanning for an existing key — O(1) instead of
+  /// O(fields). For batch builders that guarantee key uniqueness themselves
+  /// (k0/v0/k1/v1...); violating that breaks the unique-keys invariant.
+  Message& add(std::string key, std::string value);
+
   [[nodiscard]] bool has(std::string_view key) const;
   /// Returns the field value, or `fallback` when absent.
   [[nodiscard]] std::string get(std::string_view key,
                                 std::string_view fallback = "") const;
+  /// Borrowed view of the field value (no copy); valid while the message
+  /// is alive and unmodified.
+  [[nodiscard]] std::string_view get_view(std::string_view key,
+                                          std::string_view fallback = "") const;
   /// Integer view of a field; returns fallback when absent or non-numeric.
   [[nodiscard]] std::int64_t get_int(std::string_view key,
                                      std::int64_t fallback = 0) const;
 
-  [[nodiscard]] const std::map<std::string, std::string>& fields() const noexcept {
+  [[nodiscard]] const std::vector<Field>& fields() const noexcept {
     return fields_;
   }
+
+  /// Pre-sizes the field table (batch builders).
+  void reserve_fields(std::size_t n) { fields_.reserve(n); }
 
   /// Serializes to the wire format described in the header comment.
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
 
+  /// Serializes into `out`, reusing its capacity (out is overwritten).
+  void encode_into(std::vector<std::uint8_t>& out) const;
+
+  /// Exact frame size encode() would produce (prefix included).
+  [[nodiscard]] std::size_t encoded_size() const noexcept;
+
   /// Decodes a full frame (including the u32 length prefix). Returns
-  /// kInvalidArgument on truncated or malformed input.
+  /// kInvalidArgument on truncated or malformed input. Duplicate keys on
+  /// the wire merge (last occurrence wins), matching set() semantics.
   static Result<Message> decode(const std::uint8_t* data, std::size_t size);
 
   /// Reads the payload length from a 4-byte prefix.
@@ -124,9 +164,8 @@ class Message {
   /// corrupted prefixes.
   static constexpr std::uint32_t kMaxPayload = 64u * 1024u * 1024u;
 
-  friend bool operator==(const Message& a, const Message& b) {
-    return a.type_ == b.type_ && a.seq_ == b.seq_ && a.fields_ == b.fields_;
-  }
+  /// Field-order-insensitive equality (keys are unique per message).
+  friend bool operator==(const Message& a, const Message& b);
 
   /// Debug rendering: "AttrPut{seq=3, attr=pid, value=1234}".
   [[nodiscard]] std::string to_string() const;
@@ -134,7 +173,57 @@ class Message {
  private:
   MsgType type_ = MsgType::kInvalid;
   std::uint64_t seq_ = 0;
-  std::map<std::string, std::string> fields_;
+  std::vector<Field> fields_;
+};
+
+/// Zero-copy decoded frame: header plus string_view fields borrowing the
+/// buffer given to parse() (or an adopted Message). Reusing one MessageView
+/// across receives amortizes its field-table allocation away, so a server
+/// request path touches no allocator per message.
+///
+/// Lifetime: after parse(), views are valid while the source buffer is;
+/// after adopt(), the view owns the message and views point into it. Any
+/// parse()/adopt() invalidates previous views.
+class MessageView {
+ public:
+  struct FieldView {
+    std::string_view key;
+    std::string_view value;
+  };
+
+  MessageView() = default;
+
+  /// Parses a full frame (length prefix included) in place. The buffer must
+  /// outlive the view. Same validation as Message::decode; duplicate wire
+  /// keys are kept (lookups return the last occurrence, matching decode()).
+  Status parse(const std::uint8_t* data, std::size_t size);
+
+  /// Takes ownership of a decoded message (transports that queue Message
+  /// objects instead of bytes) and exposes it through the same interface.
+  void adopt(Message msg);
+
+  [[nodiscard]] MsgType type() const noexcept { return type_; }
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+
+  [[nodiscard]] bool has(std::string_view key) const;
+  [[nodiscard]] std::string_view get(std::string_view key,
+                                     std::string_view fallback = "") const;
+  [[nodiscard]] std::int64_t get_int(std::string_view key,
+                                     std::int64_t fallback = 0) const;
+
+  [[nodiscard]] const std::vector<FieldView>& fields() const noexcept {
+    return fields_;
+  }
+  [[nodiscard]] std::size_t field_count() const noexcept { return fields_.size(); }
+
+  /// Materializes an owned Message (copying the viewed bytes).
+  [[nodiscard]] Message to_message() const;
+
+ private:
+  MsgType type_ = MsgType::kInvalid;
+  std::uint64_t seq_ = 0;
+  std::vector<FieldView> fields_;
+  Message owned_;  ///< backing storage for adopt(); empty after parse()
 };
 
 /// Short human-readable name of a message type.

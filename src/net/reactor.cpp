@@ -1,11 +1,9 @@
 #include "net/reactor.hpp"
 
 #include <fcntl.h>
-#include <poll.h>
 #include <unistd.h>
 
 #include <cerrno>
-#include <vector>
 
 namespace tdp::net {
 
@@ -27,49 +25,69 @@ Reactor::~Reactor() {
 }
 
 void Reactor::add_readable(int fd, Handler handler) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  handlers_[fd] = std::move(handler);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    handlers_[fd] = std::move(handler);
+    ++generation_;
+  }
+  // Wake a poll blocked on the stale set so the new fd is watched promptly.
+  if (wake_w_ >= 0) {
+    const char byte = 'w';
+    [[maybe_unused]] ssize_t n = ::write(wake_w_, &byte, 1);
+  }
 }
 
 void Reactor::remove(int fd) {
   std::lock_guard<std::mutex> lock(mutex_);
-  handlers_.erase(fd);
+  if (handlers_.erase(fd) != 0) ++generation_;
+  // No wake needed: a removed fd at worst causes one spurious-but-ignored
+  // dispatch attempt (the handler lookup below misses).
+}
+
+void Reactor::refresh_cache_locked() {
+  if (cache_generation_ == generation_) {
+    // Watch set unchanged: just clear stale revents.
+    for (auto& pfd : pfds_) pfd.revents = 0;
+    return;
+  }
+  pfds_.clear();
+  pfd_fds_.clear();
+  pfds_.reserve(handlers_.size() + 1);
+  pfd_fds_.reserve(handlers_.size());
+  for (const auto& [fd, handler] : handlers_) {
+    pfds_.push_back({fd, POLLIN, 0});
+    pfd_fds_.push_back(fd);
+  }
+  pfds_.push_back({wake_r_, POLLIN, 0});
+  cache_generation_ = generation_;
 }
 
 int Reactor::run_once(int timeout_ms) {
-  std::vector<struct pollfd> pfds;
-  std::vector<int> fds;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    pfds.reserve(handlers_.size() + 1);
-    fds.reserve(handlers_.size());
-    for (const auto& [fd, handler] : handlers_) {
-      pfds.push_back({fd, POLLIN, 0});
-      fds.push_back(fd);
-    }
+    refresh_cache_locked();
   }
-  pfds.push_back({wake_r_, POLLIN, 0});
 
   int rc;
   do {
-    rc = ::poll(pfds.data(), pfds.size(), timeout_ms);
+    rc = ::poll(pfds_.data(), pfds_.size(), timeout_ms);
   } while (rc < 0 && errno == EINTR);
   if (rc <= 0) return 0;
 
   // Drain wakeup bytes first so stop() is observed promptly.
-  if (pfds.back().revents & (POLLIN | POLLHUP | POLLERR)) {
+  if (pfds_.back().revents & (POLLIN | POLLHUP | POLLERR)) {
     char buf[64];
     while (::read(wake_r_, buf, sizeof(buf)) > 0) {
     }
   }
 
   int dispatched = 0;
-  for (std::size_t i = 0; i + 1 < pfds.size(); ++i) {
-    if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+  for (std::size_t i = 0; i + 1 < pfds_.size(); ++i) {
+    if ((pfds_[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
     Handler handler;
     {
       std::lock_guard<std::mutex> lock(mutex_);
-      auto it = handlers_.find(fds[i]);
+      auto it = handlers_.find(pfd_fds_[i]);
       if (it == handlers_.end()) continue;  // removed by an earlier handler
       handler = it->second;                 // copy so handlers may remove(fd)
     }

@@ -7,12 +7,23 @@
 // implementation. Handlers are invoked on the thread that calls run_once /
 // run, which is the paper's "callback at a well-known and safe point"
 // design.
+//
+// run_once caches the pollfd array and rebuilds it only when the watch set
+// changes (add_readable/remove bump a generation counter), so a server
+// multiplexing hundreds of idle connections does not re-copy the handler
+// map on every loop iteration. One thread drives run()/run_once at a time;
+// add_readable/remove/stop may be called from any thread and wake a
+// blocked poll.
 #pragma once
 
+#include <poll.h>
+
 #include <atomic>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
+#include <vector>
 
 #include "util/status.hpp"
 
@@ -29,7 +40,8 @@ class Reactor {
   Reactor& operator=(const Reactor&) = delete;
 
   /// Registers `handler` to run whenever `fd` polls readable. Replaces any
-  /// existing handler for the same descriptor.
+  /// existing handler for the same descriptor. Wakes a blocked run_once so
+  /// the new descriptor is watched promptly.
   void add_readable(int fd, Handler handler);
 
   /// Stops watching `fd`; safe to call from inside a handler.
@@ -54,8 +66,19 @@ class Reactor {
   [[nodiscard]] std::size_t watch_count() const;
 
  private:
+  /// Rebuilds pfds_/pfd_fds_ from handlers_ when generation_ moved.
+  void refresh_cache_locked();
+
   mutable std::mutex mutex_;
   std::map<int, Handler> handlers_;
+  std::uint64_t generation_ = 1;        ///< bumped by add_readable/remove
+  std::uint64_t cache_generation_ = 0;  ///< generation pfds_ was built from
+
+  /// Cached poll set (wake pipe appended last). Owned by the loop thread
+  /// between run_once calls; rebuilt under mutex_ when stale.
+  std::vector<struct pollfd> pfds_;
+  std::vector<int> pfd_fds_;
+
   std::atomic<bool> stop_requested_{false};
   int wake_r_ = -1;
   int wake_w_ = -1;

@@ -94,13 +94,18 @@ class TcpEndpoint final : public Endpoint {
 
   ~TcpEndpoint() override { TcpEndpoint::close(); }
 
+  using Endpoint::send;
+
   Status send(const Message& msg) override {
     std::lock_guard<std::mutex> lock(send_mutex_);
     if (!fd_.valid()) return make_error(ErrorCode::kConnectionError, "endpoint closed");
-    const std::vector<std::uint8_t> frame = msg.encode();
+    // Encode into the reused per-endpoint buffer: steady-state senders pay
+    // one resize into warm capacity instead of an allocation per message.
+    msg.encode_into(send_buf_);
     std::size_t sent = 0;
-    while (sent < frame.size()) {
-      ssize_t n = ::send(fd_.get(), frame.data() + sent, frame.size() - sent, MSG_NOSIGNAL);
+    while (sent < send_buf_.size()) {
+      ssize_t n =
+          ::send(fd_.get(), send_buf_.data() + sent, send_buf_.size() - sent, MSG_NOSIGNAL);
       if (n > 0) {
         sent += static_cast<std::size_t>(n);
         continue;
@@ -117,13 +122,49 @@ class TcpEndpoint final : public Endpoint {
 
   Result<Message> receive(int timeout_ms) override {
     std::lock_guard<std::mutex> lock(recv_mutex_);
+    auto frame_size = await_frame(timeout_ms);
+    if (!frame_size.is_ok()) return frame_size.status();
+    auto decoded = Message::decode(buffer_.data(), frame_size.value());
+    consume_ = frame_size.value();
+    return decoded;
+  }
+
+  Status receive_view(int timeout_ms, MessageView* view) override {
+    std::lock_guard<std::mutex> lock(recv_mutex_);
+    auto frame_size = await_frame(timeout_ms);
+    if (!frame_size.is_ok()) return frame_size.status();
+    // The view borrows buffer_; the frame is consumed lazily at the next
+    // receive call, which is what keeps this zero-copy.
+    Status parsed = view->parse(buffer_.data(), frame_size.value());
+    consume_ = frame_size.value();
+    return parsed;
+  }
+
+  [[nodiscard]] int readable_fd() const override { return fd_.get(); }
+
+  [[nodiscard]] bool is_open() const override { return fd_.valid(); }
+
+  void close() override {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    close_locked();
+  }
+
+  [[nodiscard]] std::string peer_address() const override { return peer_; }
+
+ private:
+  /// Waits until buffer_ holds one complete frame and returns its size.
+  /// Consumes the previously returned frame first. recv_mutex_ held.
+  Result<std::size_t> await_frame(int timeout_ms) {
     if (!fd_.valid()) return make_error(ErrorCode::kConnectionError, "endpoint closed");
+    if (consume_ > 0) {
+      buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consume_));
+      consume_ = 0;
+    }
 
     const bool has_deadline = timeout_ms >= 0;
     const auto deadline = SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
 
     while (true) {
-      // Try to parse one complete frame from the buffer.
       if (buffer_.size() >= Message::kLenPrefixSize) {
         const std::uint32_t payload = Message::peek_length(buffer_.data());
         if (payload > Message::kMaxPayload) {
@@ -131,12 +172,7 @@ class TcpEndpoint final : public Endpoint {
           return make_error(ErrorCode::kInvalidArgument, "oversized frame from peer");
         }
         const std::size_t frame_size = Message::kLenPrefixSize + payload;
-        if (buffer_.size() >= frame_size) {
-          auto decoded = Message::decode(buffer_.data(), frame_size);
-          buffer_.erase(buffer_.begin(),
-                        buffer_.begin() + static_cast<std::ptrdiff_t>(frame_size));
-          return decoded;
-        }
+        if (buffer_.size() >= frame_size) return frame_size;
       }
 
       int wait = remaining_ms(deadline, has_deadline);
@@ -165,18 +201,6 @@ class TcpEndpoint final : public Endpoint {
     }
   }
 
-  [[nodiscard]] int readable_fd() const override { return fd_.get(); }
-
-  [[nodiscard]] bool is_open() const override { return fd_.valid(); }
-
-  void close() override {
-    std::lock_guard<std::mutex> lock(send_mutex_);
-    close_locked();
-  }
-
-  [[nodiscard]] std::string peer_address() const override { return peer_; }
-
- private:
   void close_locked() {
     if (fd_.valid()) {
       ::shutdown(fd_.get(), SHUT_RDWR);
@@ -187,6 +211,8 @@ class TcpEndpoint final : public Endpoint {
   UniqueFd fd_;
   std::string peer_;
   std::vector<std::uint8_t> buffer_;
+  std::vector<std::uint8_t> send_buf_;
+  std::size_t consume_ = 0;  ///< bytes of buffer_ handed out as the last frame
   std::mutex send_mutex_;
   std::mutex recv_mutex_;
 };

@@ -35,11 +35,28 @@ class Endpoint {
   /// Sends a message; blocks only for transient flow control.
   virtual Status send(const Message& msg) = 0;
 
+  /// Move-aware send: transports that queue Message objects (inproc) take
+  /// ownership without copying. Default forwards to the copying overload.
+  virtual Status send(Message&& msg) { return send(msg); }
+
   /// Receives the next message. timeout_ms semantics:
   ///   <0 block until a message or disconnect, 0 poll, >0 bounded wait.
   /// Returns kTimeout when the deadline passes, kConnectionError when the
   /// peer is gone and no queued message remains.
   virtual Result<Message> receive(int timeout_ms) = 0;
+
+  /// Zero-copy receive: parses the next frame in place when the transport
+  /// buffers encoded bytes (TCP), falling back to receive()+adopt for
+  /// transports that queue Message objects. `view` is valid until the next
+  /// receive()/receive_view()/close() on this endpoint; reusing one view
+  /// across calls amortizes its field-table allocation to zero. Single
+  /// reader per endpoint assumed (same as receive()).
+  virtual Status receive_view(int timeout_ms, MessageView* view) {
+    auto msg = receive(timeout_ms);
+    if (!msg.is_ok()) return msg.status();
+    view->adopt(std::move(msg).value());
+    return Status::ok();
+  }
 
   /// Descriptor that poll()s readable when receive() would not block
   /// (level-triggered), or -1 if the transport cannot provide one.

@@ -1,7 +1,9 @@
 #include "paradyn/paradynd.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
+#include <utility>
 
 #include "net/proxy.hpp"
 #include "util/log.hpp"
@@ -170,24 +172,46 @@ bool Paradynd::poll_once() {
 }
 
 Status Paradynd::send_report(bool final_report) {
+  // Publish the whole-program rollup of every metric seen in this batch to
+  // the attribute space in one batched round trip, so other daemons (and
+  // the RM) can observe progress without talking to the front-end.
+  if (session_ && !unreported_.empty()) {
+    std::vector<std::pair<std::string, std::string>> rollup;
+    for (const Sample& sample : unreported_) {
+      const std::string attribute = "perf." + std::string(metric_name(sample.metric));
+      if (std::none_of(rollup.begin(), rollup.end(),
+                       [&](const auto& pair) { return pair.first == attribute; })) {
+        rollup.emplace_back(attribute,
+                            std::to_string(metrics_.value(sample.metric, code_focus())));
+      }
+    }
+    Status published = session_->put_batch(rollup);
+    if (!published.is_ok()) {
+      kLog.warn("metric rollup publish failed: ", published.to_string());
+    }
+  }
+
   if (!frontend_) {
     unreported_.clear();
     return Status::ok();
   }
   net::Message report(net::MsgType::kParadynReport);
+  report.reserve_fields(3 + 4 * unreported_.size());
   report.set_int("pid", app_pid_);
   report.set_int("count", static_cast<std::int64_t>(unreported_.size()));
   report.set("final", final_report ? "1" : "0");
   for (std::size_t i = 0; i < unreported_.size(); ++i) {
     const Sample& sample = unreported_[i];
     const std::string n = std::to_string(i);
-    report.set("m" + n, metric_name(sample.metric));
-    report.set("mod" + n, sample.module);
-    report.set("fn" + n, sample.function);
-    report.set("v" + n, std::to_string(sample.value));
+    // add() appends without the duplicate-key scan; the indexed naming
+    // scheme keeps keys unique, so a large report builds in O(N).
+    report.add("m" + n, metric_name(sample.metric));
+    report.add("mod" + n, sample.module);
+    report.add("fn" + n, sample.function);
+    report.add("v" + n, std::to_string(sample.value));
   }
   unreported_.clear();
-  Status sent = frontend_->send(report);
+  Status sent = frontend_->send(std::move(report));
   if (sent.is_ok()) ++reports_sent_;
   return sent;
 }

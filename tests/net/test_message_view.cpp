@@ -1,0 +1,153 @@
+// Tests for the zero-copy wire fast path: the flat-field encoder
+// (encode_into / encoded_size / add) and the MessageView in-place decoder,
+// including round-trip agreement with Message::decode and fuzzed
+// truncation robustness.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "util/rng.hpp"
+
+namespace tdp::net {
+namespace {
+
+Message sample_message() {
+  Message msg(MsgType::kAttrPut);
+  msg.set_seq(42);
+  msg.set("ctx", "job-1");
+  msg.set("attr", "pid");
+  msg.set("value", "31337");
+  return msg;
+}
+
+TEST(MessageEncode, EncodeIntoMatchesEncodeAndPrecomputedSize) {
+  const Message msg = sample_message();
+  std::vector<std::uint8_t> reused;
+  msg.encode_into(reused);
+  EXPECT_EQ(reused, msg.encode());
+  EXPECT_EQ(reused.size(), msg.encoded_size());
+
+  // Reusing the buffer for a different message overwrites it completely.
+  Message other(MsgType::kPing);
+  other.set_seq(7);
+  other.encode_into(reused);
+  EXPECT_EQ(reused, other.encode());
+  EXPECT_EQ(reused.size(), other.encoded_size());
+}
+
+TEST(MessageEncode, AddAppendsWithoutDeduplication) {
+  Message msg(MsgType::kAttrPutBatch);
+  msg.add("k0", "a");
+  msg.add("k1", "b");
+  ASSERT_EQ(msg.fields().size(), 2u);
+  EXPECT_EQ(msg.fields()[0].key, "k0");
+  EXPECT_EQ(msg.fields()[1].key, "k1");
+  // set() still overwrites what add() appended.
+  msg.set("k0", "c");
+  EXPECT_EQ(msg.fields().size(), 2u);
+  EXPECT_EQ(msg.get("k0"), "c");
+}
+
+TEST(MessageView, ParseAgreesWithDecode) {
+  const Message msg = sample_message();
+  const auto bytes = msg.encode();
+
+  MessageView view;
+  ASSERT_TRUE(view.parse(bytes.data(), bytes.size()).is_ok());
+  EXPECT_EQ(view.type(), msg.type());
+  EXPECT_EQ(view.seq(), msg.seq());
+  EXPECT_EQ(view.field_count(), msg.fields().size());
+  EXPECT_TRUE(view.has("attr"));
+  EXPECT_FALSE(view.has("missing"));
+  EXPECT_EQ(view.get("attr"), "pid");
+  EXPECT_EQ(view.get("missing", "fallback"), "fallback");
+  EXPECT_EQ(view.to_message(), msg);
+
+  // The views borrow the encode buffer, not copies of it.
+  const char* base = reinterpret_cast<const char*>(bytes.data());
+  const std::string_view value = view.get("value");
+  EXPECT_GE(value.data(), base);
+  EXPECT_LT(value.data(), base + bytes.size());
+}
+
+TEST(MessageView, ReuseAcrossParsesDropsOldFields) {
+  MessageView view;
+  const auto first = sample_message().encode();
+  ASSERT_TRUE(view.parse(first.data(), first.size()).is_ok());
+
+  Message small(MsgType::kPong);
+  small.set_seq(9);
+  const auto second = small.encode();
+  ASSERT_TRUE(view.parse(second.data(), second.size()).is_ok());
+  EXPECT_EQ(view.type(), MsgType::kPong);
+  EXPECT_EQ(view.seq(), 9u);
+  EXPECT_EQ(view.field_count(), 0u);
+  EXPECT_EQ(view.get("attr", "gone"), "gone");
+}
+
+TEST(MessageView, GetIntAndDuplicateKeysResolveLastWins) {
+  // Build a frame with duplicate keys by hand (add() skips dedup).
+  Message msg(MsgType::kAttrPut);
+  msg.add("n", "1");
+  msg.add("n", "2");
+  const auto bytes = msg.encode();
+
+  MessageView view;
+  ASSERT_TRUE(view.parse(bytes.data(), bytes.size()).is_ok());
+  EXPECT_EQ(view.field_count(), 2u);  // view keeps wire order verbatim
+  EXPECT_EQ(view.get("n"), "2");      // lookups: last occurrence wins
+  EXPECT_EQ(view.get_int("n", -1), 2);
+  // ...which matches what the owning decoder produces.
+  auto decoded = Message::decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->get("n"), "2");
+}
+
+TEST(MessageView, AdoptExposesOwnedMessage) {
+  MessageView view;
+  view.adopt(sample_message());
+  EXPECT_EQ(view.type(), MsgType::kAttrPut);
+  EXPECT_EQ(view.seq(), 42u);
+  EXPECT_EQ(view.get("value"), "31337");
+  EXPECT_EQ(view.to_message(), sample_message());
+}
+
+TEST(MessageView, EveryTruncationIsRejected) {
+  Message msg(MsgType::kParadynReport);
+  msg.set_seq(3);
+  for (int i = 0; i < 10; ++i) {
+    msg.set("k" + std::to_string(i), std::string(static_cast<std::size_t>(i) * 7, 'x'));
+  }
+  const auto bytes = msg.encode();
+  MessageView view;
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(view.parse(bytes.data(), cut).is_ok()) << "cut=" << cut;
+  }
+  // The full frame still parses after all those rejections.
+  EXPECT_TRUE(view.parse(bytes.data(), bytes.size()).is_ok());
+  EXPECT_EQ(view.field_count(), 10u);
+}
+
+TEST(MessageView, FuzzedFramesAgreeWithDecode) {
+  Rng rng(77u);
+  MessageView view;
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t size = rng.next_below(512);
+    std::vector<std::uint8_t> bytes(size);
+    for (auto& byte : bytes) byte = static_cast<std::uint8_t>(rng.next_below(256));
+    auto decoded = Message::decode(bytes.data(), bytes.size());
+    Status viewed = view.parse(bytes.data(), bytes.size());
+    // The two decoders accept exactly the same frames...
+    ASSERT_EQ(decoded.is_ok(), viewed.is_ok());
+    if (decoded.is_ok()) {
+      // ...and agree on the contents (modulo duplicate-key merging, which
+      // to_message() applies the same way decode() does).
+      EXPECT_EQ(view.to_message(), decoded.value());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdp::net
