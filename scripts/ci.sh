@@ -1,12 +1,14 @@
 #!/usr/bin/env bash
 # ci.sh - the tier-1 verification the repo must always pass, plus the
-# ThreadSanitizer job that guards the sharded attribute store.
+# sanitizer and chaos jobs that guard the concurrent and failure paths.
 #
 # Usage:
 #   scripts/ci.sh            # Release build + full ctest suite
-#   scripts/ci.sh tsan       # TSan build of the attrspace tests, runs the
-#                            # sharded-store / reactor-server stress tests
-#   scripts/ci.sh all        # both
+#   scripts/ci.sh tsan       # TSan build: attrspace stress + chaos/fuzz tier
+#   scripts/ci.sh asan       # ASan+UBSan build of the chaos/fuzz tier
+#   scripts/ci.sh chaos      # chaos tier: fixed seeds + one time-derived
+#                            # seed (printed, so any failure is replayable)
+#   scripts/ci.sh all        # everything
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,18 +30,56 @@ run_tsan() {
     -DTDP_BUILD_EXAMPLES=OFF \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build build-tsan -j"$(nproc)" --target tdp_attr_tests
+  cmake --build build-tsan -j"$(nproc)" --target tdp_attr_tests tdp_chaos_tests
   # The stress tests exercise the sharded store (concurrent writers,
   # readers, racing waiters) and the reactor-driven server under client
   # churn - exactly the paths a data race would hide in.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/tdp_attr_tests \
     --gtest_filter='ShardedStoreStress.*:ReactorServer.*'
+  # Fault injection under TSan: reconnect/replay races between the client's
+  # caller thread, service_events and the server I/O thread.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/tdp_chaos_tests
+}
+
+run_asan() {
+  # The fuzz/chaos tier feeds corrupted frames through every decode path;
+  # ASan+UBSan turn a silent overread or leak on those paths into a failure.
+  cmake -B build-asan -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DTDP_BUILD_BENCH=OFF \
+    -DTDP_BUILD_EXAMPLES=OFF \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-omit-frame-pointer" \
+    -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined"
+  cmake --build build-asan -j"$(nproc)" --target tdp_chaos_tests tdp_net_tests
+  ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/tdp_chaos_tests
+  ASAN_OPTIONS="detect_leaks=1" UBSAN_OPTIONS="halt_on_error=1" \
+    ./build-asan/tests/tdp_net_tests
+}
+
+run_chaos() {
+  # Fixed seeds are baked into the tests; add one time-derived seed per run
+  # for coverage beyond the fixed set. The seed is printed first: to replay
+  # a CI failure locally, export the same TDP_CHAOS_SEED and re-run.
+  local extra_seed="${TDP_CHAOS_SEED:-$(date +%s)$$}"
+  echo "chaos tier: fixed seeds + TDP_CHAOS_SEED=${extra_seed}"
+  echo "reproduce with: TDP_CHAOS_SEED=${extra_seed} scripts/ci.sh chaos"
+  cmake -B build-ci -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DTDP_WERROR=ON
+  cmake --build build-ci -j"$(nproc)" \
+    --target tdp_chaos_tests tdp_chaos_integration_tests
+  TDP_CHAOS_SEED="${extra_seed}" ./build-ci/tests/tdp_chaos_tests
+  TDP_CHAOS_SEED="${extra_seed}" ./build-ci/tests/tdp_chaos_integration_tests
 }
 
 case "${1:-release}" in
   release) run_release ;;
   tsan)    run_tsan ;;
-  all)     run_release; run_tsan ;;
-  *) echo "usage: $0 [release|tsan|all]" >&2; exit 2 ;;
+  asan)    run_asan ;;
+  chaos)   run_chaos ;;
+  all)     run_release; run_tsan; run_asan; run_chaos ;;
+  *) echo "usage: $0 [release|tsan|asan|chaos|all]" >&2; exit 2 ;;
 esac

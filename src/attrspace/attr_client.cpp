@@ -1,6 +1,7 @@
 #include "attrspace/attr_client.hpp"
 
 #include <chrono>
+#include <thread>
 #include <vector>
 
 #include "attrspace/attr_protocol.hpp"
@@ -23,17 +24,58 @@ Status status_from_reply(const Message& reply) {
                        : ErrorCode::kInternal;
   return make_error(code, error);
 }
+
+/// Distinct per client instance in this process; combined with a counter
+/// it makes batch ids unique across reconnects and client generations.
+std::uint64_t make_batch_nonce(const void* self) {
+  static std::atomic<std::uint64_t> counter{1};
+  return (counter.fetch_add(1, std::memory_order_relaxed) << 20) ^
+         (reinterpret_cast<std::uintptr_t>(self) >> 4);
+}
 }  // namespace
 
 AttrClient::AttrClient(std::unique_ptr<net::Endpoint> endpoint, std::string context)
-    : endpoint_(std::move(endpoint)), context_(std::move(context)) {}
+    : endpoint_(std::move(endpoint)), context_(std::move(context)),
+      batch_nonce_(make_batch_nonce(this)) {
+  backoff_rng_.reseed(batch_nonce_);
+}
 
 Result<std::unique_ptr<AttrClient>> AttrClient::connect(net::Transport& transport,
                                                         const std::string& address,
-                                                        const std::string& context) {
-  auto connected = transport.connect(address);
-  if (!connected.is_ok()) return connected.status();
-  return adopt(std::move(connected).value(), context);
+                                                        const std::string& context,
+                                                        RetryPolicy retry) {
+  const int attempts = retry.enabled ? retry.max_reconnects + 1 : 1;
+  Rng jitter(0xc0ffee ^ std::hash<std::string>{}(address));
+  Status last = make_error(ErrorCode::kConnectionError, "not attempted");
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      int backoff = std::min(retry.max_backoff_ms,
+                             retry.base_backoff_ms << (attempt - 1));
+      if (backoff > 0) {
+        backoff = backoff / 2 +
+                  static_cast<int>(jitter.next_below(
+                      static_cast<std::uint64_t>(backoff / 2 + 1)));
+        std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      }
+    }
+    auto connected = transport.connect(address);
+    if (!connected.is_ok()) {
+      last = connected.status();
+      continue;
+    }
+    std::unique_ptr<AttrClient> client(
+        new AttrClient(std::move(connected).value(), context));
+    client->retry_ = retry;  // before init so a dropped init frame resends
+    Status init = client->perform_init();
+    if (!init.is_ok()) {
+      last = init;
+      continue;
+    }
+    client->transport_ = &transport;
+    client->address_ = address;
+    return client;
+  }
+  return last;
 }
 
 Result<std::unique_ptr<AttrClient>> AttrClient::adopt(
@@ -51,15 +93,108 @@ AttrClient::~AttrClient() {
   }
 }
 
+void AttrClient::set_retry_policy(RetryPolicy retry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retry_ = retry;
+}
+
 Status AttrClient::perform_init() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return init_on_endpoint_locked();
+}
+
+Status AttrClient::init_on_endpoint_locked() {
   Message init(MsgType::kAttrInit);
+  const std::uint64_t awaited = next_seq();
+  init.set_seq(awaited);
   init.set(field::kContext, context_);
-  auto reply = call(std::move(init), 5000);
-  if (!reply.is_ok()) return reply.status();
-  if (reply->type() != MsgType::kAttrInitReply) {
-    return make_error(ErrorCode::kInternal, "bad init reply: " + reply->to_string());
+  TDP_RETURN_IF_ERROR(endpoint_->send(init));
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(5000);
+  auto last_send = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto received = endpoint_->receive(200);
+    if (!received.is_ok()) {
+      if (received.status().code() == ErrorCode::kTimeout) {
+        // A lossy link may have eaten the init; resend (a duplicate init
+        // is balanced by the matching implicit exit at teardown).
+        if (retry_.enabled &&
+            std::chrono::steady_clock::now() - last_send >
+                std::chrono::milliseconds(retry_.attempt_timeout_ms)) {
+          replays_.fetch_add(1, std::memory_order_relaxed);
+          endpoint_->send(init);
+          last_send = std::chrono::steady_clock::now();
+        }
+        continue;
+      }
+      return received.status();
+    }
+    Message reply;
+    if (!route_message(std::move(received).value(), awaited, &reply)) continue;
+    if (reply.type() != MsgType::kAttrInitReply) {
+      return make_error(ErrorCode::kInternal, "bad init reply: " + reply.to_string());
+    }
+    return status_from_reply(reply);
   }
-  return status_from_reply(reply.value());
+  return make_error(ErrorCode::kTimeout, "tdp_init timed out");
+}
+
+bool AttrClient::can_reconnect_locked() const {
+  return retry_.enabled && transport_ != nullptr && !exited_;
+}
+
+Status AttrClient::reconnect_locked() {
+  Status last = make_error(ErrorCode::kConnectionError, "reconnect not attempted");
+  for (int attempt = 1; attempt <= retry_.max_reconnects; ++attempt) {
+    int backoff =
+        std::min(retry_.max_backoff_ms, retry_.base_backoff_ms << (attempt - 1));
+    if (backoff > 0) {
+      // Half deterministic, half jitter, so a herd of daemons redialing a
+      // restarted server spreads out instead of stampeding.
+      backoff = backoff / 2 +
+                static_cast<int>(backoff_rng_.next_below(
+                    static_cast<std::uint64_t>(backoff / 2 + 1)));
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    auto connected = transport_->connect(address_);
+    if (!connected.is_ok()) {
+      last = connected.status();
+      continue;
+    }
+    endpoint_ = std::move(connected).value();
+    Status init = init_on_endpoint_locked();
+    if (!init.is_ok()) {
+      last = init;
+      continue;
+    }
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    // Re-register every subscription under its original seq so notify
+    // correlation keeps working; the acks are routed and dropped as
+    // already-answered replies.
+    for (const Subscription& sub : subscriptions_) {
+      Message request(MsgType::kAttrSubscribe);
+      request.set_seq(sub.seq);
+      request.set(field::kContext, context_);
+      request.set(field::kPattern, sub.pattern);
+      endpoint_->send(std::move(request));
+    }
+    // Replay in-flight async operations (idempotent: puts overwrite).
+    for (const auto& [seq, pending] : pending_async_) {
+      Message request(pending.type);
+      request.set_seq(seq);
+      request.set(field::kContext, context_);
+      request.set(field::kAttribute, pending.attribute);
+      if (pending.type == MsgType::kAttrPut) {
+        request.set(field::kValue, pending.value);
+      }
+      endpoint_->send(std::move(request));
+    }
+    kLog.info("reconnected to ", address_, " (attempt ", attempt, "), ",
+              subscriptions_.size(), " subscriptions re-registered, ",
+              pending_async_.size(), " async ops replayed");
+    return Status::ok();
+  }
+  return last;
 }
 
 std::uint64_t AttrClient::next_seq() { return ++seq_; }
@@ -78,9 +213,16 @@ Status AttrClient::put_batch(
     const std::vector<std::pair<std::string, std::string>>& pairs) {
   if (pairs.empty()) return Status::ok();
   Message request(MsgType::kAttrPutBatch);
-  request.reserve_fields(2 + 2 * pairs.size());
+  request.reserve_fields(3 + 2 * pairs.size());
   request.set(field::kContext, context_);
   request.set_int(field::kCount, static_cast<std::int64_t>(pairs.size()));
+  {
+    // Batch id: lets the server recognize a replayed batch (ack lost to a
+    // disconnect) and acknowledge without applying twice.
+    std::lock_guard<std::mutex> lock(mutex_);
+    request.set(field::kBatchId, std::to_string(batch_nonce_) + "-" +
+                                     std::to_string(++batch_counter_));
+  }
   for (std::size_t i = 0; i < pairs.size(); ++i) {
     // add() skips the duplicate-key scan; the k<i>/v<i> scheme guarantees
     // uniqueness, keeping batch construction O(N).
@@ -147,7 +289,10 @@ Result<int> AttrClient::async_get(const std::string& attribute,
                                   CompletionCallback callback) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!endpoint_ || !endpoint_->is_open()) {
-    return make_error(ErrorCode::kConnectionError, "not connected");
+    if (!can_reconnect_locked()) {
+      return make_error(ErrorCode::kConnectionError, "not connected");
+    }
+    TDP_RETURN_IF_ERROR(reconnect_locked());
   }
   Message request(MsgType::kAttrAsyncGet);
   const std::uint64_t seq_used = next_seq();
@@ -155,7 +300,8 @@ Result<int> AttrClient::async_get(const std::string& attribute,
   request.set(field::kContext, context_);
   request.set(field::kAttribute, attribute);
   TDP_RETURN_IF_ERROR(endpoint_->send(std::move(request)));
-  pending_async_[seq_used] = {attribute, std::move(callback)};
+  pending_async_[seq_used] = {MsgType::kAttrAsyncGet, attribute, "",
+                              std::move(callback)};
   return endpoint_->readable_fd();
 }
 
@@ -163,7 +309,10 @@ Result<int> AttrClient::async_put(const std::string& attribute, const std::strin
                                   CompletionCallback callback) {
   std::lock_guard<std::mutex> lock(mutex_);
   if (!endpoint_ || !endpoint_->is_open()) {
-    return make_error(ErrorCode::kConnectionError, "not connected");
+    if (!can_reconnect_locked()) {
+      return make_error(ErrorCode::kConnectionError, "not connected");
+    }
+    TDP_RETURN_IF_ERROR(reconnect_locked());
   }
   Message request(MsgType::kAttrPut);
   const std::uint64_t seq_used = next_seq();
@@ -172,7 +321,8 @@ Result<int> AttrClient::async_put(const std::string& attribute, const std::strin
   request.set(field::kAttribute, attribute);
   request.set(field::kValue, value);
   TDP_RETURN_IF_ERROR(endpoint_->send(std::move(request)));
-  pending_async_[seq_used] = {attribute, std::move(callback)};
+  pending_async_[seq_used] = {MsgType::kAttrPut, attribute, value,
+                              std::move(callback)};
   return endpoint_->readable_fd();
 }
 
@@ -181,53 +331,138 @@ Status AttrClient::subscribe(const std::string& pattern, NotifyCallback callback
   // lost; seq is fixed up under the same lock as the send.
   std::lock_guard<std::mutex> lock(mutex_);
   if (!endpoint_ || !endpoint_->is_open()) {
-    return make_error(ErrorCode::kConnectionError, "not connected");
+    if (!can_reconnect_locked()) {
+      return make_error(ErrorCode::kConnectionError, "not connected");
+    }
+    TDP_RETURN_IF_ERROR(reconnect_locked());
   }
+  const std::uint64_t seq_used = next_seq();
+  subscriptions_.push_back({seq_used, pattern, std::move(callback)});
   Message request(MsgType::kAttrSubscribe);
+  request.set_seq(seq_used);
   request.set(field::kContext, context_);
   request.set(field::kPattern, pattern);
-  const std::uint64_t seq_used = next_seq();
-  request.set_seq(seq_used);
-  subscriptions_.push_back({seq_used, std::move(callback)});
-  TDP_RETURN_IF_ERROR(endpoint_->send(std::move(request)));
-  // Wait for the acknowledgement so callers know the subscription is live.
-  while (true) {
-    auto received = endpoint_->receive(-1);
-    if (!received.is_ok()) return received.status();
+  Status sent = endpoint_->send(std::move(request));
+  if (!sent.is_ok()) {
+    if (!can_reconnect_locked()) {
+      subscriptions_.pop_back();
+      return sent;
+    }
+    // reconnect_locked re-sends every registered subscription, including
+    // the one just added.
+    Status reconnected = reconnect_locked();
+    if (!reconnected.is_ok()) {
+      subscriptions_.pop_back();
+      return reconnected;
+    }
+  }
+  // Wait (bounded) for the acknowledgement so callers know the
+  // subscription is live; re-send on a lost frame when retry is enabled.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  auto last_resend = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() < deadline) {
+    auto received = endpoint_->receive(200);
+    if (!received.is_ok()) {
+      if (received.status().code() == ErrorCode::kTimeout) {
+        if (retry_.enabled &&
+            std::chrono::steady_clock::now() - last_resend >
+                std::chrono::milliseconds(retry_.attempt_timeout_ms)) {
+          Message resend(MsgType::kAttrSubscribe);
+          resend.set_seq(seq_used);
+          resend.set(field::kContext, context_);
+          resend.set(field::kPattern, pattern);
+          replays_.fetch_add(1, std::memory_order_relaxed);
+          endpoint_->send(std::move(resend));
+          last_resend = std::chrono::steady_clock::now();
+        }
+        continue;
+      }
+      if (!can_reconnect_locked()) return received.status();
+      Status reconnected = reconnect_locked();  // re-sends the subscription
+      if (!reconnected.is_ok()) return reconnected;
+      continue;
+    }
     Message reply;
     if (route_message(std::move(received).value(), seq_used, &reply)) {
       return status_from_reply(reply);
     }
   }
+  return make_error(ErrorCode::kTimeout, "subscribe not acknowledged");
 }
 
 Result<Message> AttrClient::call(Message request, int timeout_ms) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!endpoint_ || !endpoint_->is_open()) {
-    return make_error(ErrorCode::kConnectionError, "not connected");
-  }
-  request.set_seq(next_seq());
-  const std::uint64_t awaited = request.seq();
-  TDP_RETURN_IF_ERROR(endpoint_->send(std::move(request)));
+  return call_locked(std::move(request), timeout_ms);
+}
 
+Result<Message> AttrClient::call_locked(Message request, int timeout_ms) {
+  if (!endpoint_ || !endpoint_->is_open()) {
+    if (!can_reconnect_locked()) {
+      return make_error(ErrorCode::kConnectionError, "not connected");
+    }
+    TDP_RETURN_IF_ERROR(reconnect_locked());
+  }
   const bool has_deadline = timeout_ms >= 0;
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  int consecutive_conn_failures = 0;
   while (true) {
-    int wait = -1;
-    if (has_deadline) {
-      auto now = std::chrono::steady_clock::now();
-      if (now >= deadline) return make_error(ErrorCode::kTimeout, "call timed out");
-      wait = static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
-                                  deadline - now)
-                                  .count() +
-                              1);
+    // (Re)send under a fresh seq; a straggler reply to a superseded seq is
+    // warn-dropped by route_message.
+    request.set_seq(next_seq());
+    const std::uint64_t awaited = request.seq();
+    Status sent = endpoint_->send(request);
+    if (!sent.is_ok()) {
+      if (!can_reconnect_locked() ||
+          ++consecutive_conn_failures > retry_.max_reconnects) {
+        return sent;
+      }
+      TDP_RETURN_IF_ERROR(reconnect_locked());
+      continue;
     }
-    auto received = endpoint_->receive(wait);
-    if (!received.is_ok()) return received.status();
-    Message reply;
-    if (route_message(std::move(received).value(), awaited, &reply)) {
-      return reply;
+    while (true) {
+      int wait = -1;
+      if (has_deadline) {
+        auto now = std::chrono::steady_clock::now();
+        if (now >= deadline) return make_error(ErrorCode::kTimeout, "call timed out");
+        wait = static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                    deadline - now)
+                                    .count() +
+                                1);
+      }
+      if (retry_.enabled && retry_.attempt_timeout_ms > 0) {
+        wait = wait < 0 ? retry_.attempt_timeout_ms
+                        : std::min(wait, retry_.attempt_timeout_ms);
+      }
+      auto received = endpoint_->receive(wait);
+      if (!received.is_ok()) {
+        if (received.status().code() == ErrorCode::kTimeout) {
+          if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+            return make_error(ErrorCode::kTimeout, "call timed out");
+          }
+          if (retry_.enabled) {
+            // The frame (or its reply) was probably lost; replay. All
+            // requests are idempotent (puts overwrite, batches are
+            // server-deduplicated by batch id).
+            replays_.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          continue;
+        }
+        if (!can_reconnect_locked() ||
+            ++consecutive_conn_failures > retry_.max_reconnects) {
+          return received.status();
+        }
+        Status reconnected = reconnect_locked();
+        if (!reconnected.is_ok()) return reconnected;
+        break;  // resend on the fresh connection
+      }
+      consecutive_conn_failures = 0;
+      Message reply;
+      if (route_message(std::move(received).value(), awaited, &reply)) {
+        return reply;
+      }
     }
   }
 }
@@ -282,7 +517,16 @@ int AttrClient::service_events() {
     if (endpoint_ && endpoint_->is_open()) {
       while (true) {
         auto received = endpoint_->receive(0);
-        if (!received.is_ok()) break;  // timeout (drained) or disconnect
+        if (!received.is_ok()) {
+          // Drained (timeout) or disconnected. A poll-loop daemon calls
+          // this every turn, so this is the natural place to heal a lost
+          // connection: redial, rejoin, re-register subscriptions.
+          if (received.status().code() != ErrorCode::kTimeout &&
+              can_reconnect_locked()) {
+            reconnect_locked();  // best effort; next turn retries again
+          }
+          break;
+        }
         Message unused;
         route_message(std::move(received).value(), /*awaited_seq=*/0, &unused);
       }

@@ -23,6 +23,7 @@
 // daemons alike.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -34,6 +35,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "util/rng.hpp"
 
 namespace tdp::attr {
 
@@ -45,13 +47,38 @@ using CompletionCallback =
 /// Notification callback for subscriptions: (attribute, value).
 using NotifyCallback = std::function<void(const std::string&, const std::string&)>;
 
+/// Failure-recovery policy (disabled by default: a clean transport never
+/// needs it, and tests of failure semantics want the raw behaviour).
+///
+/// With `enabled`:
+///   * kConnectionError on any round trip redials the server (exponential
+///     backoff with jitter, at most `max_reconnects` consecutive tries),
+///     re-runs the tdp_init handshake, re-registers every subscription and
+///     replays in-flight async operations;
+///   * a reply not arriving within `attempt_timeout_ms` replays the
+///     request with a fresh seq (recovers from a dropped frame). Replay is
+///     safe: puts overwrite idempotently and batches carry a batch id the
+///     server deduplicates on.
+/// Caller-supplied deadlines (e.g. get(timeout_ms)) still bound the whole
+/// operation; retry never extends them.
+struct RetryPolicy {
+  bool enabled = false;
+  int max_reconnects = 5;         ///< consecutive redials before giving up
+  int attempt_timeout_ms = 1000;  ///< reply wait before an idempotent replay
+  int base_backoff_ms = 5;        ///< first backoff; doubles per attempt
+  int max_backoff_ms = 200;       ///< backoff ceiling
+};
+
 class AttrClient {
  public:
   /// Connects to an attribute server and joins `context` (the tdp_init
-  /// handshake). The context is reference counted server-side.
+  /// handshake). The context is reference counted server-side. With an
+  /// enabled `retry` policy the initial dial also retries, and `transport`
+  /// must outlive the client (it is kept for reconnects).
   static Result<std::unique_ptr<AttrClient>> connect(net::Transport& transport,
                                                      const std::string& address,
-                                                     const std::string& context);
+                                                     const std::string& context,
+                                                     RetryPolicy retry = {});
 
   /// Adopts an already-established endpoint (used when the connection was
   /// set up through the RM's proxy, Section 2.4).
@@ -110,6 +137,22 @@ class AttrClient {
   /// Descriptor that polls readable when service_events() has work.
   [[nodiscard]] int readable_fd() const;
 
+  // --- failure recovery ---
+
+  /// Installs (or replaces) the retry policy. Reconnection additionally
+  /// requires the client to have been built with connect() — an adopted
+  /// endpoint has no dial string, so only timeout replay applies there.
+  void set_retry_policy(RetryPolicy retry);
+
+  /// Successful redial+rejoin cycles performed so far.
+  [[nodiscard]] int reconnects() const noexcept {
+    return reconnects_.load(std::memory_order_relaxed);
+  }
+  /// Requests re-sent after a lost frame (timeout replay).
+  [[nodiscard]] int replays() const noexcept {
+    return replays_.load(std::memory_order_relaxed);
+  }
+
   // --- lifecycle ---
 
   /// tdp_exit: leaves the context (destroyed server-side when the last
@@ -126,8 +169,19 @@ class AttrClient {
 
   /// Sends a request and waits for the reply whose seq matches, routing
   /// unrelated inbound messages (async completions, notifications) to the
-  /// pending queue for later dispatch.
+  /// pending queue for later dispatch. Applies the retry policy.
   Result<net::Message> call(net::Message request, int timeout_ms);
+  Result<net::Message> call_locked(net::Message request, int timeout_ms);
+
+  /// True when the policy allows redialing the server.
+  [[nodiscard]] bool can_reconnect_locked() const;
+
+  /// Redials, re-runs tdp_init, re-registers subscriptions and replays
+  /// in-flight async requests. Backoff between attempts. mutex_ held.
+  Status reconnect_locked();
+
+  /// The kAttrInit round trip on the current endpoint. mutex_ held.
+  Status init_on_endpoint_locked();
 
   /// Routes one inbound message; returns true if it was the awaited reply.
   bool route_message(net::Message msg, std::uint64_t awaited_seq,
@@ -138,17 +192,30 @@ class AttrClient {
   std::unique_ptr<net::Endpoint> endpoint_;
   std::string context_;
 
+  /// Dial info for reconnects; null/empty when built via adopt().
+  net::Transport* transport_ = nullptr;
+  std::string address_;
+  RetryPolicy retry_;
+  Rng backoff_rng_{0x7d9fau};  ///< jitter source; reseeded per client
+  std::atomic<int> reconnects_{0};
+  std::atomic<int> replays_{0};
+  std::uint64_t batch_nonce_ = 0;   ///< distinguishes this client's batch ids
+  std::uint64_t batch_counter_ = 0; ///< per-client batch id sequence
+
   mutable std::mutex mutex_;  // serializes the request/reply state machine
   std::uint64_t seq_ = 0;
 
   struct PendingAsync {
+    net::MsgType type = net::MsgType::kInvalid;  ///< for replay after reconnect
     std::string attribute;
+    std::string value;  ///< puts only
     CompletionCallback callback;
   };
   std::map<std::uint64_t, PendingAsync> pending_async_;
 
   struct Subscription {
     std::uint64_t seq = 0;  ///< seq of the subscribe request, echoed in notifies
+    std::string pattern;    ///< kept so reconnect can re-register
     NotifyCallback callback;
   };
   std::vector<Subscription> subscriptions_;

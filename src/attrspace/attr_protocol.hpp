@@ -28,6 +28,9 @@ inline constexpr const char* kSubId = "sub_id";
 inline constexpr const char* kCount = "count";
 inline constexpr const char* kKeyPrefix = "k";      ///< list reply: k0,v0,k1,v1...
 inline constexpr const char* kValPrefix = "v";
+/// Client-unique id on a kAttrPutBatch; the server remembers recent ids and
+/// acks a replayed batch without applying it twice (retry idempotency).
+inline constexpr const char* kBatchId = "bid";
 }  // namespace field
 
 /// The standard attribute names every RM and RT must understand.

@@ -122,6 +122,16 @@ void AttrServer::on_readable(int fd) {
   }
 }
 
+bool AttrServer::remember_batch(const std::string& batch_id) {
+  if (!recent_batch_ids_.insert(batch_id).second) return false;
+  recent_batch_order_.push_back(batch_id);
+  if (recent_batch_order_.size() > kBatchWindow) {
+    recent_batch_ids_.erase(recent_batch_order_.front());
+    recent_batch_order_.pop_front();
+  }
+  return true;
+}
+
 void AttrServer::teardown(Connection& conn) {
   // Cancel this client's watchers so their callbacks never touch a dead
   // endpoint, then treat unclosed inits as implicit tdp_exit (the daemon
@@ -186,6 +196,18 @@ void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
     }
 
     case MsgType::kAttrPutBatch: {
+      // A batch id already in the recent window means the ack was lost and
+      // the client replayed: acknowledge without applying again.
+      const std::string batch_id(msg.get(field::kBatchId));
+      if (!batch_id.empty() && !remember_batch(batch_id)) {
+        batches_deduped_.fetch_add(1, std::memory_order_relaxed);
+        Message reply(MsgType::kAttrPutReply);
+        reply.set_seq(seq);
+        reply.set(field::kStatus, "ok");
+        reply.set_int(field::kCount, msg.get_int(field::kCount));
+        endpoint->send(std::move(reply));
+        break;
+      }
       // Fields arrive as k0,v0,k1,v1,...; pair them positionally in one
       // pass (no per-key lookup, so a batch of N costs O(N)).
       Status status = Status::ok();
@@ -213,6 +235,9 @@ void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
                             "batch put count mismatch: expected " +
                                 std::to_string(expected) + ", applied " +
                                 std::to_string(applied));
+      }
+      if (status.is_ok()) {
+        batches_applied_.fetch_add(1, std::memory_order_relaxed);
       }
       Message reply(MsgType::kAttrPutReply);
       reply.set_seq(seq);
@@ -262,6 +287,17 @@ void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
     }
 
     case MsgType::kAttrSubscribe: {
+      // A replayed subscribe (ack lost in flight) must not register twice,
+      // or the client would get every notify duplicated.
+      if (auto existing = conn.subs_by_seq.find(seq);
+          existing != conn.subs_by_seq.end()) {
+        Message reply(MsgType::kAttrPutReply);
+        reply.set_seq(seq);
+        reply.set(field::kStatus, "ok");
+        reply.set_int(field::kSubId, static_cast<std::int64_t>(existing->second));
+        endpoint->send(std::move(reply));
+        break;
+      }
       const std::string_view pattern = msg.get(field::kPattern);
       std::weak_ptr<net::Endpoint> weak = endpoint;
       std::uint64_t id = store_.subscribe(
@@ -277,6 +313,7 @@ void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
             }
           });
       conn.watcher_ids.push_back(id);
+      conn.subs_by_seq.emplace(seq, id);
       Message reply(MsgType::kAttrPutReply);
       reply.set_seq(seq);
       reply.set(field::kStatus, "ok");

@@ -25,11 +25,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "attrspace/attr_store.hpp"
@@ -66,6 +68,16 @@ class AttrServer {
     return connections_.load(std::memory_order_relaxed);
   }
 
+  /// Batches applied / acknowledged-without-applying because their batch id
+  /// was already seen (a client replayed after losing the ack). Tests use
+  /// these to assert exactly-once batch application under retry.
+  [[nodiscard]] std::size_t batches_applied() const {
+    return batches_applied_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t batches_deduped() const {
+    return batches_deduped_.load(std::memory_order_relaxed);
+  }
+
  private:
   /// Per-connection state, owned by the I/O thread (created on accept,
   /// destroyed on disconnect or stop()).
@@ -74,7 +86,14 @@ class AttrServer {
     std::vector<std::uint64_t> watcher_ids;    ///< waiters/subscriptions owned here
     std::vector<std::string> opened_contexts;  ///< for implicit-exit crash cleanup
     net::MessageView view;                     ///< reused across receives
+    /// Subscribe-request seq -> watcher id, so a replayed subscribe (the
+    /// client lost the ack) re-acks instead of double-registering.
+    std::map<std::uint64_t, std::uint64_t> subs_by_seq;
   };
+
+  /// Remembers `batch_id` in the bounded recent-batch window; returns false
+  /// when it was already present (replay). I/O thread only.
+  bool remember_batch(const std::string& batch_id);
 
   void on_acceptable();
   void on_readable(int fd);
@@ -92,6 +111,16 @@ class AttrServer {
   std::thread io_thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::size_t> connections_{0};
+  std::atomic<std::size_t> batches_applied_{0};
+  std::atomic<std::size_t> batches_deduped_{0};
+
+  /// Recently applied batch ids (bounded FIFO window); touched only on the
+  /// I/O thread, so no lock. The window must exceed any plausible number of
+  /// batches in flight between a client's send and its retry, not the
+  /// lifetime batch count — 1024 is orders of magnitude beyond that.
+  std::unordered_set<std::string> recent_batch_ids_;
+  std::deque<std::string> recent_batch_order_;
+  static constexpr std::size_t kBatchWindow = 1024;
 
   /// Guarded by conns_mutex_: the I/O thread mutates it, stop() (any
   /// thread) drains it.

@@ -119,6 +119,7 @@ int Pool::negotiate() {
     starter_config.cass_address = config_.cass_address;
     starter_config.tool_wait_timeout_ms = config_.tool_wait_timeout_ms;
     starter_config.live_stdio = config_.live_stdio;
+    starter_config.retry = config_.retry;
     if (!config_.lass_listen_pattern.empty()) {
       starter_config.lass_listen_address =
           expand_pattern(config_.lass_listen_pattern, match.machine, match.job);

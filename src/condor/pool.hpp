@@ -52,6 +52,9 @@ struct PoolConfig {
   bool live_stdio = false;
   /// Explicit LASS listen address pattern; "%m"/"%j" expand to machine/job.
   std::string lass_listen_pattern;
+  /// Failure-recovery policy handed to every starter's TDP session; enable
+  /// when the pool's transport is lossy (chaos tests, flaky networks).
+  attr::RetryPolicy retry;
 };
 
 class Pool {

@@ -177,6 +177,7 @@ Status Starter::init_tdp() {
   options.backend = config_.backend;
   options.proxy_address = config_.proxy_address;
   options.cass_address = config_.cass_address;
+  options.retry = config_.retry;
   auto session = TdpSession::init(std::move(options));
   if (!session.is_ok()) return session.status();
   session_ = std::move(session).value();

@@ -134,6 +134,8 @@ struct StarterConfig {
   /// Stream the job's stdout to the StatusSink while it runs (real-files
   /// mode only).
   bool live_stdio = false;
+  /// Failure-recovery policy for this starter's TDP session (LASS link).
+  attr::RetryPolicy retry;
 };
 
 class Starter {

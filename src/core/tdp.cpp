@@ -2,7 +2,9 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <charconv>
+#include <chrono>
 
 #include "net/proxy.hpp"
 #include "util/log.hpp"
@@ -82,7 +84,7 @@ Result<std::unique_ptr<TdpSession>> TdpSession::init(InitOptions options) {
 
 Status TdpSession::connect_spaces() {
   auto lass = attr::AttrClient::connect(*options_.transport, options_.lass_address,
-                                        context_);
+                                        context_, options_.retry);
   if (!lass.is_ok()) return lass.status();
   lass_ = std::move(lass).value();
 
@@ -96,6 +98,9 @@ Status TdpSession::connect_spaces() {
                                         options_.cass_context);
     if (!cass.is_ok()) return cass.status();
     cass_ = std::move(cass).value();
+    // Timeout replay applies; redial does not (adopted endpoints keep no
+    // dial string — the proxied route may not even be redialable).
+    cass_->set_retry_policy(options_.retry);
   }
 
   if (role_ == Role::kResourceManager) {
@@ -172,9 +177,25 @@ Status TdpSession::request_control(const std::string& op, proc::Pid pid) {
   const std::uint64_t n = request_counter_.fetch_add(1, std::memory_order_relaxed);
   const std::string request = control::request_attr(request_token_, n);
   const std::string reply = control::reply_attr(request_token_, n);
-  TDP_RETURN_IF_ERROR(
-      lass_->put(request, "op:" + op + " pid:" + std::to_string(pid)));
-  auto result = lass_->get(reply, options_.control_timeout_ms);
+  const std::string request_value = "op:" + op + " pid:" + std::to_string(pid);
+  TDP_RETURN_IF_ERROR(lass_->put(request, request_value));
+  // The RM learns of the request through a subscription notify, which is
+  // fire-and-forget: on a lossy link it can vanish even though the put was
+  // acknowledged. With retry enabled, wait in slices and re-put the request
+  // (an overwrite re-triggers the notify); the ops are idempotent at the
+  // backend, so the RM serving a request twice is harmless.
+  const bool nudge = options_.retry.enabled;
+  const int total = options_.control_timeout_ms;
+  const int slice = nudge ? std::max(1, std::min(total, 1000)) : total;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(total);
+  Result<std::string> result = make_error(ErrorCode::kTimeout, "not attempted");
+  while (true) {
+    result = lass_->get(reply, slice);
+    if (result.is_ok() || result.status().code() != ErrorCode::kTimeout) break;
+    if (!nudge || std::chrono::steady_clock::now() >= deadline) break;
+    lass_->put(request, request_value);
+  }
   if (!result.is_ok()) {
     if (result.status().code() == ErrorCode::kTimeout) {
       return make_error(ErrorCode::kTimeout,

@@ -82,6 +82,13 @@ struct InitOptions {
 
   /// Timeout for RT->RM control round trips, milliseconds.
   int control_timeout_ms = 10'000;
+
+  /// Failure-recovery policy for the LASS connection: with `enabled`, lost
+  /// frames are replayed and a dead connection is redialed transparently
+  /// (subscriptions re-registered, in-flight async ops replayed). The CASS
+  /// link adopts the same policy for replay, but having been set up through
+  /// connect_to() (possibly proxied) it cannot be redialed.
+  attr::RetryPolicy retry;
 };
 
 /// The tdp handle. Thread-safe; one per daemon process.

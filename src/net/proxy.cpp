@@ -64,6 +64,11 @@ std::size_t ProxyServer::tunnels_opened() const {
   return tunnels_.load(std::memory_order_relaxed);
 }
 
+void ProxyServer::set_relink_policy(RelinkPolicy policy) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  relink_ = policy;
+}
+
 void ProxyServer::accept_loop() {
   while (running_.load(std::memory_order_acquire)) {
     auto accepted = listener_->accept(200);
@@ -132,6 +137,10 @@ void ProxyServer::handle_connection_shared(std::shared_ptr<Endpoint> client) {
   }
   tunnels_.fetch_add(1, std::memory_order_relaxed);
   kLog.debug("tunnel opened: service=", service, " target=", target);
+  auto tunnel = std::make_shared<Tunnel>();
+  tunnel->client = client;
+  tunnel->target = target;
+  tunnel->upstream = upstream;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (!running_.load(std::memory_order_acquire)) {
@@ -141,27 +150,117 @@ void ProxyServer::handle_connection_shared(std::shared_ptr<Endpoint> client) {
       upstream->close();
       return;
     }
+    tunnel->relinks_left = relink_.enabled ? relink_.max_relinks : 0;
     live_endpoints_.push_back(upstream);
   }
   // Reverse direction pumped on its own (detached, counted) thread;
   // forward direction pumped on this connection's thread. Both endpoints
   // stay alive through the captured shared_ptrs.
   active_threads_.fetch_add(1, std::memory_order_acq_rel);
-  std::thread([this, client, upstream] {
-    pump(*upstream, *client);
+  std::thread([this, tunnel] {
+    pump_upstream_to_client(tunnel);
     active_threads_.fetch_sub(1, std::memory_order_acq_rel);
   }).detach();
-  pump(*client, *upstream);
+  pump_client_to_upstream(tunnel);
 }
 
-void ProxyServer::pump(Endpoint& from, Endpoint& to) {
-  while (true) {
-    auto msg = from.receive(-1);
-    if (!msg.is_ok()) break;
-    if (!to.send(msg.value()).is_ok()) break;
+bool ProxyServer::relink(Tunnel& tunnel, std::uint64_t seen_generation) {
+  // Held across the redial (backoff included): with the upstream dead no
+  // traffic can flow anyway, and the lock makes the two pumps agree on a
+  // single replacement instead of racing to dial twice.
+  std::lock_guard<std::mutex> lock(tunnel.mu);
+  if (tunnel.generation != seen_generation) return tunnel.upstream != nullptr;
+  if (tunnel.upstream) tunnel.upstream->close();
+  if (!tunnel.client->is_open()) {  // nobody left to relay for
+    tunnel.upstream.reset();
+    return false;
   }
-  from.close();
-  to.close();
+  int backoff;
+  {
+    std::lock_guard<std::mutex> plock(mutex_);
+    backoff = relink_.backoff_ms;
+  }
+  while (tunnel.relinks_left > 0 && running_.load(std::memory_order_acquire)) {
+    --tunnel.relinks_left;
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff *= 2;
+    }
+    auto dialed = transport_->connect(tunnel.target);
+    if (!dialed.is_ok()) continue;
+    std::shared_ptr<Endpoint> fresh(std::move(dialed).value().release());
+    {
+      std::lock_guard<std::mutex> plock(mutex_);
+      if (!running_.load(std::memory_order_acquire)) {
+        fresh->close();
+        break;
+      }
+      live_endpoints_.push_back(fresh);
+    }
+    tunnel.upstream = std::move(fresh);
+    ++tunnel.generation;
+    relinks_.fetch_add(1, std::memory_order_relaxed);
+    kLog.info("tunnel upstream relinked: target=", tunnel.target,
+              " generation=", tunnel.generation);
+    return true;
+  }
+  tunnel.upstream.reset();
+  return false;
+}
+
+void ProxyServer::pump_client_to_upstream(const std::shared_ptr<Tunnel>& tunnel) {
+  while (running_.load(std::memory_order_acquire)) {
+    // Bounded receive so stop() is honored; receive(-1) here would wedge
+    // the thread forever on an idle-but-open client.
+    auto msg = tunnel->client->receive(200);
+    if (!msg.is_ok()) {
+      if (msg.status().code() == ErrorCode::kTimeout) continue;
+      break;  // client gone: the tunnel is over
+    }
+    bool forwarded = false;
+    while (running_.load(std::memory_order_acquire)) {
+      std::shared_ptr<Endpoint> up;
+      std::uint64_t generation;
+      {
+        std::lock_guard<std::mutex> lock(tunnel->mu);
+        up = tunnel->upstream;
+        generation = tunnel->generation;
+      }
+      if (!up) break;
+      if (up->send(msg.value()).is_ok()) {
+        forwarded = true;
+        break;
+      }
+      if (!relink(*tunnel, generation)) break;  // retry send on the new link
+    }
+    if (!forwarded) break;
+  }
+  tunnel->client->close();
+  std::lock_guard<std::mutex> lock(tunnel->mu);
+  if (tunnel->upstream) tunnel->upstream->close();
+}
+
+void ProxyServer::pump_upstream_to_client(const std::shared_ptr<Tunnel>& tunnel) {
+  while (running_.load(std::memory_order_acquire)) {
+    std::shared_ptr<Endpoint> up;
+    std::uint64_t generation;
+    {
+      std::lock_guard<std::mutex> lock(tunnel->mu);
+      up = tunnel->upstream;
+      generation = tunnel->generation;
+    }
+    if (!up) break;
+    auto msg = up->receive(200);
+    if (!msg.is_ok()) {
+      if (msg.status().code() == ErrorCode::kTimeout) continue;
+      if (relink(*tunnel, generation)) continue;
+      break;
+    }
+    if (!tunnel->client->send(std::move(msg).value()).is_ok()) break;
+  }
+  tunnel->client->close();
+  std::lock_guard<std::mutex> lock(tunnel->mu);
+  if (tunnel->upstream) tunnel->upstream->close();
 }
 
 Result<std::unique_ptr<Endpoint>> proxy_connect(Transport& transport,

@@ -58,6 +58,18 @@ class FirewalledTransport final : public Transport {
   Policy allow_;
 };
 
+/// Recovery policy for a tunnel whose upstream (broker) link fails while
+/// the client side is still healthy: the proxy redials the registered
+/// target and splices the surviving client onto the fresh connection.
+/// Messages in flight on the dead link are lost; end-to-end retry (e.g.
+/// AttrClient's RetryPolicy) recovers them — the proxy only guarantees the
+/// path comes back.
+struct RelinkPolicy {
+  bool enabled = false;
+  int max_relinks = 3;  ///< redials per tunnel before giving up
+  int backoff_ms = 20;  ///< pause before each redial (doubles per attempt)
+};
+
 /// The RM's message relay. One ProxyServer serves many logical services.
 ///
 /// Lifecycle: construct, register_service() for each reachable target,
@@ -91,10 +103,36 @@ class ProxyServer {
   /// Number of tunnels spliced since start (diagnostics).
   [[nodiscard]] std::size_t tunnels_opened() const;
 
+  /// Installs the upstream-recovery policy (applies to tunnels opened
+  /// afterwards).
+  void set_relink_policy(RelinkPolicy policy);
+
+  /// Upstream links re-established since start (diagnostics/tests).
+  [[nodiscard]] std::size_t relinks() const {
+    return relinks_.load(std::memory_order_relaxed);
+  }
+
  private:
+  /// Shared state of one spliced connection; `upstream` is replaced (and
+  /// `generation` bumped) when the relink policy restores a dead link.
+  struct Tunnel {
+    std::shared_ptr<Endpoint> client;
+    std::string target;  ///< dial string for relinks
+
+    std::mutex mu;  // guards upstream/generation/relinks_left
+    std::shared_ptr<Endpoint> upstream;
+    std::uint64_t generation = 0;
+    int relinks_left = 0;
+  };
+
   void accept_loop();
   void handle_connection_shared(std::shared_ptr<Endpoint> client);
-  static void pump(Endpoint& from, Endpoint& to);
+  void pump_client_to_upstream(const std::shared_ptr<Tunnel>& tunnel);
+  void pump_upstream_to_client(const std::shared_ptr<Tunnel>& tunnel);
+  /// Redials the tunnel's target after the upstream at `seen_generation`
+  /// died. Returns true when a live upstream exists afterwards (this call
+  /// relinked, or another pump already had).
+  bool relink(Tunnel& tunnel, std::uint64_t seen_generation);
 
   std::shared_ptr<Transport> transport_;
   std::unique_ptr<Listener> listener_;
@@ -102,9 +140,11 @@ class ProxyServer {
 
   mutable std::mutex mutex_;
   std::map<std::string, std::string> services_;
+  RelinkPolicy relink_;  ///< guarded by mutex_
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::size_t> tunnels_{0};
+  std::atomic<std::size_t> relinks_{0};
   /// Live pump/handler threads. They are detached (a proxy serves an
   /// unbounded stream of tunnels; joinable threads would accumulate until
   /// stop()) and counted so stop() can wait for them to drain.

@@ -7,6 +7,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
@@ -98,7 +99,9 @@ class TcpEndpoint final : public Endpoint {
 
   Status send(const Message& msg) override {
     std::lock_guard<std::mutex> lock(send_mutex_);
-    if (!fd_.valid()) return make_error(ErrorCode::kConnectionError, "endpoint closed");
+    if (closed_.load(std::memory_order_acquire)) {
+      return make_error(ErrorCode::kConnectionError, "endpoint closed");
+    }
     // Encode into the reused per-endpoint buffer: steady-state senders pay
     // one resize into warm capacity instead of an allocation per message.
     msg.encode_into(send_buf_);
@@ -142,11 +145,18 @@ class TcpEndpoint final : public Endpoint {
 
   [[nodiscard]] int readable_fd() const override { return fd_.get(); }
 
-  [[nodiscard]] bool is_open() const override { return fd_.valid(); }
+  [[nodiscard]] bool is_open() const override {
+    return !closed_.load(std::memory_order_acquire);
+  }
 
+  /// Thread-safe against concurrent send/receive: the fd is only marked
+  /// closed and shut down (which wakes blocked peers); the descriptor
+  /// itself stays allocated until destruction, so no thread ever polls a
+  /// reused fd number.
   void close() override {
-    std::lock_guard<std::mutex> lock(send_mutex_);
-    close_locked();
+    if (!closed_.exchange(true, std::memory_order_acq_rel)) {
+      ::shutdown(fd_.get(), SHUT_RDWR);
+    }
   }
 
   [[nodiscard]] std::string peer_address() const override { return peer_; }
@@ -155,7 +165,9 @@ class TcpEndpoint final : public Endpoint {
   /// Waits until buffer_ holds one complete frame and returns its size.
   /// Consumes the previously returned frame first. recv_mutex_ held.
   Result<std::size_t> await_frame(int timeout_ms) {
-    if (!fd_.valid()) return make_error(ErrorCode::kConnectionError, "endpoint closed");
+    if (closed_.load(std::memory_order_acquire)) {
+      return make_error(ErrorCode::kConnectionError, "endpoint closed");
+    }
     if (consume_ > 0) {
       buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consume_));
       consume_ = 0;
@@ -168,7 +180,7 @@ class TcpEndpoint final : public Endpoint {
       if (buffer_.size() >= Message::kLenPrefixSize) {
         const std::uint32_t payload = Message::peek_length(buffer_.data());
         if (payload > Message::kMaxPayload) {
-          close_locked();
+          close();
           return make_error(ErrorCode::kInvalidArgument, "oversized frame from peer");
         }
         const std::size_t frame_size = Message::kLenPrefixSize + payload;
@@ -201,18 +213,12 @@ class TcpEndpoint final : public Endpoint {
     }
   }
 
-  void close_locked() {
-    if (fd_.valid()) {
-      ::shutdown(fd_.get(), SHUT_RDWR);
-      fd_.reset();
-    }
-  }
-
   UniqueFd fd_;
   std::string peer_;
   std::vector<std::uint8_t> buffer_;
   std::vector<std::uint8_t> send_buf_;
   std::size_t consume_ = 0;  ///< bytes of buffer_ handed out as the last frame
+  std::atomic<bool> closed_{false};
   std::mutex send_mutex_;
   std::mutex recv_mutex_;
 };
@@ -225,10 +231,15 @@ class TcpListener final : public Listener {
   ~TcpListener() override { TcpListener::close(); }
 
   Result<std::unique_ptr<Endpoint>> accept(int timeout_ms) override {
-    if (!fd_.valid()) return make_error(ErrorCode::kCancelled, "listener closed");
+    if (closed_.load(std::memory_order_acquire)) {
+      return make_error(ErrorCode::kCancelled, "listener closed");
+    }
     Status ready = poll_fd(fd_.get(), POLLIN, timeout_ms);
     if (!ready.is_ok()) return ready;
     while (true) {
+      if (closed_.load(std::memory_order_acquire)) {
+        return make_error(ErrorCode::kCancelled, "listener closed");
+      }
       int client = ::accept(fd_.get(), nullptr, nullptr);
       if (client >= 0) {
         return std::unique_ptr<Endpoint>(new TcpEndpoint(UniqueFd(client)));
@@ -242,11 +253,16 @@ class TcpListener final : public Listener {
 
   [[nodiscard]] int readable_fd() const override { return fd_.get(); }
 
-  void close() override { fd_.reset(); }
+  /// Marks closed without releasing the descriptor: an accept loop blocked
+  /// in poll (always with a bounded timeout) re-checks the flag on its next
+  /// pass, and no thread can ever race a reused fd number. The socket is
+  /// actually closed at destruction.
+  void close() override { closed_.store(true, std::memory_order_release); }
 
  private:
   UniqueFd fd_;
   std::string address_;
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace

@@ -23,6 +23,7 @@ Result<proc::Pid> InProcParadynLauncher::launch(
   config.sample_quantum_micros = options_.sample_quantum_micros;
   config.nfuncs = options_.nfuncs;
   config.daemon_name = spec.cmd.empty() ? "paradynd" : spec.cmd;
+  config.retry = options_.retry;
 
   const int timeout_ms = options_.run_timeout_ms;
   std::lock_guard<std::mutex> lock(mutex_);

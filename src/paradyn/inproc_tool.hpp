@@ -26,6 +26,8 @@ class InProcParadynLauncher final : public condor::ToolLauncher {
     int nfuncs = 24;
     /// Max wall-clock ms each daemon thread runs before giving up.
     int run_timeout_ms = 30'000;
+    /// Failure-recovery policy for each daemon's LASS session.
+    attr::RetryPolicy retry;
   };
 
   explicit InProcParadynLauncher(Options options) : options_(std::move(options)) {}

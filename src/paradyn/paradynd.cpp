@@ -28,6 +28,7 @@ Status Paradynd::start() {
   options.lass_address = config_.lass_address;
   options.context = config_.context;
   options.transport = config_.transport;
+  options.retry = config_.retry;
   auto session = TdpSession::init(std::move(options));
   if (!session.is_ok()) return session.status();
   session_ = std::move(session).value();
@@ -128,12 +129,19 @@ bool Paradynd::poll_once() {
   if (!started_) return false;
   session_->service_events();
 
-  // Drain front-end commands (non-blocking).
+  // Drain front-end commands (non-blocking). Any non-timeout failure means
+  // the link is unusable (peer gone, stream desynced): drop it cleanly and
+  // keep profiling locally — a lost front-end must not take the daemon
+  // down (the paper's independent-failure requirement).
   if (frontend_) {
-    while (true) {
+    while (frontend_) {
       auto msg = frontend_->receive(0);
       if (!msg.is_ok()) {
-        if (msg.status().code() == ErrorCode::kConnectionError) frontend_.reset();
+        if (msg.status().code() != ErrorCode::kTimeout) {
+          kLog.info("front-end link lost (", msg.status().to_string(),
+                    "); continuing without a front-end");
+          frontend_.reset();
+        }
         break;
       }
       handle_frontend_command(msg.value());
@@ -212,7 +220,15 @@ Status Paradynd::send_report(bool final_report) {
   }
   unreported_.clear();
   Status sent = frontend_->send(std::move(report));
-  if (sent.is_ok()) ++reports_sent_;
+  if (sent.is_ok()) {
+    ++reports_sent_;
+  } else {
+    // A dead link would otherwise fail every future report; treat it as
+    // the front-end having exited.
+    kLog.info("front-end link lost on report (", sent.to_string(),
+              "); continuing without a front-end");
+    frontend_.reset();
+  }
   return sent;
 }
 

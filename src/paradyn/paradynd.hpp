@@ -59,6 +59,9 @@ struct ParadyndConfig {
   int pid_wait_timeout_ms = 10'000;
 
   std::string daemon_name = "paradynd";
+
+  /// Failure-recovery policy for the daemon's LASS session.
+  attr::RetryPolicy retry;
 };
 
 class Paradynd {

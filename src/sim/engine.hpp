@@ -79,6 +79,20 @@ class VirtualClock final : public Clock {
   const Engine& engine_;
 };
 
+/// Sleep hook for fault-injection schedules (net::FaultPlan::sleep_fn):
+/// injected delays and hangs advance virtual time instead of blocking the
+/// wall clock, so a chaos schedule with seconds of injected latency still
+/// runs in microseconds of real time. Only valid when the faulted
+/// endpoints are driven from the engine's own (single) thread — the engine
+/// is not thread-safe.
+inline std::function<void(int)> virtual_sleep(Engine& engine) {
+  return [&engine](int ms) {
+    const Micros deadline = engine.now() + static_cast<Micros>(ms) * 1000;
+    engine.schedule_at(deadline, [] {});  // pin the clock to the full delay
+    engine.run_until(deadline);
+  };
+}
+
 /// Network latency model for the virtual cluster: a fixed one-way base
 /// latency per hop plus exponentially distributed jitter. Cross-site hops
 /// (e.g. execution host -> front-end across the WAN, the CASS path of

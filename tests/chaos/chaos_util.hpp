@@ -1,0 +1,96 @@
+// chaos_util.hpp - shared scaffolding for the chaos (fault-injection) tier.
+//
+// Every chaos test runs under a Watchdog: the single most important
+// property of the failure-handling code is that it terminates — success,
+// or a clean Status — but never a hang. The watchdog turns a hang into a
+// loud, attributable abort instead of a silent ctest timeout.
+//
+// Seeds: each test runs a fixed set of seeds (reproducible forever) plus
+// an optional extra from TDP_CHAOS_SEED, which scripts/ci.sh sets to a
+// time-derived value (and prints, so any CI failure is replayable).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/faulty.hpp"
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+
+namespace tdp::chaos {
+
+/// Aborts the whole process (with a message naming the test) if not
+/// disarmed within `deadline_ms`. Scope-based: construct at the top of the
+/// test body.
+class Watchdog {
+ public:
+  explicit Watchdog(std::string what, int deadline_ms = 60'000)
+      : what_(std::move(what)) {
+    thread_ = std::thread([this, deadline_ms] {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (!cv_.wait_for(lock, std::chrono::milliseconds(deadline_ms),
+                        [this] { return disarmed_; })) {
+        std::fprintf(stderr, "\n[chaos watchdog] '%s' exceeded %d ms: HANG\n",
+                     what_.c_str(), deadline_ms);
+        std::abort();
+      }
+    });
+  }
+
+  ~Watchdog() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      disarmed_ = true;
+    }
+    cv_.notify_all();
+    thread_.join();
+  }
+
+ private:
+  std::string what_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
+
+/// The fixed reproduction seeds, plus TDP_CHAOS_SEED when set (scripts/
+/// ci.sh passes a printed time-derived seed for coverage beyond the fixed
+/// set).
+inline std::vector<std::uint64_t> seeds() {
+  std::vector<std::uint64_t> out = {1, 42, 20030211};  // 2003-02-11: SC'03 deadline-era
+  if (const char* env = std::getenv("TDP_CHAOS_SEED")) {
+    char* end = nullptr;
+    const unsigned long long parsed = std::strtoull(env, &end, 10);
+    if (end != env) out.push_back(static_cast<std::uint64_t>(parsed));
+  }
+  return out;
+}
+
+/// Transport matrix: the same chaos schedule must hold over the in-process
+/// queues and real localhost TCP framing.
+enum class Wire { kInProc, kTcp };
+
+inline const char* wire_name(Wire wire) {
+  return wire == Wire::kInProc ? "inproc" : "tcp";
+}
+
+inline std::shared_ptr<net::Transport> make_base(Wire wire) {
+  if (wire == Wire::kInProc) return net::InProcTransport::create();
+  return std::make_shared<net::TcpTransport>();
+}
+
+/// Listen address usable with either transport; TCP picks an ephemeral
+/// port, reported by the listener/server address().
+inline std::string listen_address(Wire wire, const std::string& name) {
+  return wire == Wire::kInProc ? "inproc://" + name : "127.0.0.1:0";
+}
+
+}  // namespace tdp::chaos

@@ -1,0 +1,313 @@
+// test_chaos_attr.cpp - attribute-space operations under injected faults.
+//
+// The acceptance schedule (FaultPlan::chaos: 10% drop, delays up to 50 ms,
+// one forced disconnect per transport) must never defeat a retry-enabled
+// client: every put/get/subscribe completes, and a control run with retry
+// disabled demonstrably fails the same schedule. Each test runs the fixed
+// seed set (plus TDP_CHAOS_SEED when the CI driver passes one) under a
+// watchdog — a hang is an abort, never a silent ctest timeout.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attrspace/attr_client.hpp"
+#include "attrspace/attr_server.hpp"
+#include "chaos_util.hpp"
+#include "net/faulty.hpp"
+#include "sim/engine.hpp"
+#include "util/status.hpp"
+
+namespace tdp {
+namespace {
+
+using chaos::Watchdog;
+using chaos::Wire;
+
+/// Fast-cadence retry policy: chaos schedules drop ~10% of frames, so a
+/// 1 s production replay timer would stretch tests pointlessly.
+attr::RetryPolicy test_retry() {
+  attr::RetryPolicy retry;
+  retry.enabled = true;
+  retry.max_reconnects = 8;
+  retry.attempt_timeout_ms = 200;
+  retry.base_backoff_ms = 2;
+  retry.max_backoff_ms = 40;
+  return retry;
+}
+
+class ChaosAttrTest : public ::testing::TestWithParam<Wire> {};
+
+// Every blocking operation on a retry-enabled client must survive the full
+// acceptance schedule. A second "anchor" client holds the context open so
+// the forced disconnect's implicit exit cannot wipe previously stored
+// attributes before the active client reconnects (exactly how a real pool
+// looks: the starter's RM session and the tool daemon share the context).
+TEST_P(ChaosAttrTest, PutGetSubscribeSurviveChaosSchedule) {
+  const Wire wire = GetParam();
+  Watchdog dog(std::string("PutGetSubscribeSurviveChaosSchedule/") +
+               chaos::wire_name(wire), 100'000);
+
+  for (const std::uint64_t seed : chaos::seeds()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    auto faulty = std::make_shared<net::FaultyTransport>(
+        chaos::make_base(wire), net::FaultPlan::chaos(seed));
+
+    attr::AttrServer server("chaos-lass", faulty);
+    auto address = server.start(chaos::listen_address(wire, "chaos-attr"));
+    ASSERT_TRUE(address.is_ok()) << address.status().to_string();
+
+    auto anchor = attr::AttrClient::connect(*faulty, address.value(),
+                                            "chaos-ctx", test_retry());
+    ASSERT_TRUE(anchor.is_ok()) << anchor.status().to_string();
+    auto client = attr::AttrClient::connect(*faulty, address.value(),
+                                            "chaos-ctx", test_retry());
+    ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+
+    constexpr int kPuts = 12;
+    for (int i = 0; i < kPuts; ++i) {
+      const Status put = client.value()->put(
+          "k" + std::to_string(i),
+          "v" + std::to_string(i) + "-" + std::to_string(seed));
+      EXPECT_TRUE(put.is_ok()) << "put " << i << ": " << put.to_string();
+    }
+
+    // Subscription notifies are fire-and-forget, so a single notify can be
+    // legitimately lost; re-putting re-triggers it. The retry machinery
+    // must keep the subscription itself alive across the forced disconnect.
+    std::atomic<int> notifies{0};
+    const Status sub = client.value()->subscribe(
+        "watch.*", [&notifies](const std::string&, const std::string&) {
+          notifies.fetch_add(1, std::memory_order_relaxed);
+        });
+    EXPECT_TRUE(sub.is_ok()) << sub.to_string();
+    for (int n = 0; n < 60 && notifies.load() == 0; ++n) {
+      client.value()->put("watch.ping", std::to_string(n));
+      client.value()->service_events();
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_GT(notifies.load(), 0) << "no notify ever arrived despite re-puts";
+
+    for (int i = 0; i < kPuts; ++i) {
+      auto got = client.value()->get("k" + std::to_string(i), 20'000);
+      ASSERT_TRUE(got.is_ok()) << "get " << i << ": " << got.status().to_string();
+      EXPECT_EQ(got.value(),
+                "v" + std::to_string(i) + "-" + std::to_string(seed));
+    }
+
+    EXPECT_GT(faulty->stats().faults_injected(), 0u)
+        << "schedule injected nothing; this run proved nothing";
+
+    client.value()->exit();
+    anchor.value()->exit();
+    server.stop();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Wires, ChaosAttrTest,
+                         ::testing::Values(Wire::kInProc, Wire::kTcp),
+                         [](const ::testing::TestParamInfo<Wire>& info) {
+                           return chaos::wire_name(info.param);
+                         });
+
+// The control run: the exact forced-disconnect schedule that the retry
+// client absorbs must visibly break a client with retry disabled —
+// otherwise the chaos tier is testing a schedule too weak to matter.
+TEST(ChaosAttrControlTest, DisabledRetryFailsScheduleThatRetrySurvives) {
+  Watchdog dog("DisabledRetryFailsScheduleThatRetrySurvives", 60'000);
+
+  for (const std::uint64_t seed : chaos::seeds()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    // Drop/delay/dup off: a no-retry client blocks forever on a dropped
+    // ack (that is the point of retry), which here would just trip the
+    // watchdog. The forced disconnect alone is a clean, deterministic kill.
+    net::FaultPlan plan = net::FaultPlan::chaos(seed);
+    plan.drop_prob = 0.0;
+    plan.delay_prob = 0.0;
+    plan.dup_prob = 0.0;
+
+    constexpr int kPuts = 20;
+
+    {  // retry disabled: some put must fail with a connection error
+      auto faulty = std::make_shared<net::FaultyTransport>(
+          chaos::make_base(Wire::kInProc), plan);
+      attr::AttrServer server("control-lass", faulty);
+      auto address = server.start(chaos::listen_address(Wire::kInProc, "ctl"));
+      ASSERT_TRUE(address.is_ok()) << address.status().to_string();
+      auto client = attr::AttrClient::connect(*faulty, address.value(), "ctl");
+      ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+
+      Status first_failure = Status::ok();
+      for (int i = 0; i < kPuts && first_failure.is_ok(); ++i) {
+        first_failure = client.value()->put("c" + std::to_string(i), "v");
+      }
+      ASSERT_FALSE(first_failure.is_ok())
+          << "forced disconnect never surfaced without retry";
+      EXPECT_EQ(first_failure.code(), ErrorCode::kConnectionError)
+          << first_failure.to_string();
+      server.stop();
+    }
+
+    {  // identical schedule, retry enabled: every put succeeds
+      auto faulty = std::make_shared<net::FaultyTransport>(
+          chaos::make_base(Wire::kInProc), plan);
+      attr::AttrServer server("control-lass", faulty);
+      auto address = server.start(chaos::listen_address(Wire::kInProc, "ctl"));
+      ASSERT_TRUE(address.is_ok()) << address.status().to_string();
+      auto client = attr::AttrClient::connect(*faulty, address.value(), "ctl",
+                                              test_retry());
+      ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+
+      for (int i = 0; i < kPuts; ++i) {
+        const Status put = client.value()->put("c" + std::to_string(i), "v");
+        EXPECT_TRUE(put.is_ok()) << "put " << i << ": " << put.to_string();
+      }
+      EXPECT_GE(client.value()->reconnects(), 1)
+          << "retry run never reconnected; schedules differ?";
+      client.value()->exit();
+      server.stop();
+    }
+  }
+}
+
+// Batch replay must be exactly-once: whether a batch frame is dropped
+// (client replays, server applies the replay) or only its ack is lost
+// (server already applied, dedups the replay by batch id), the server's
+// applied count equals the number of distinct batches sent.
+TEST(ChaosAttrBatchTest, BatchReplayAppliesExactlyOnce) {
+  Watchdog dog("BatchReplayAppliesExactlyOnce", 90'000);
+
+  for (const std::uint64_t seed : chaos::seeds()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    auto faulty = std::make_shared<net::FaultyTransport>(
+        chaos::make_base(Wire::kInProc), net::FaultPlan::chaos(seed));
+
+    attr::AttrServer server("batch-lass", faulty);
+    auto address = server.start(chaos::listen_address(Wire::kInProc, "batch"));
+    ASSERT_TRUE(address.is_ok()) << address.status().to_string();
+
+    auto anchor = attr::AttrClient::connect(*faulty, address.value(),
+                                            "batch-ctx", test_retry());
+    ASSERT_TRUE(anchor.is_ok()) << anchor.status().to_string();
+    auto client = attr::AttrClient::connect(*faulty, address.value(),
+                                            "batch-ctx", test_retry());
+    ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+
+    constexpr int kBatches = 8;
+    constexpr int kPairs = 5;
+    for (int b = 0; b < kBatches; ++b) {
+      std::vector<std::pair<std::string, std::string>> pairs;
+      pairs.reserve(kPairs);
+      for (int j = 0; j < kPairs; ++j) {
+        pairs.emplace_back("b" + std::to_string(b) + "." + std::to_string(j),
+                           std::to_string(seed) + "-" + std::to_string(b) +
+                               "-" + std::to_string(j));
+      }
+      const Status put = client.value()->put_batch(pairs);
+      EXPECT_TRUE(put.is_ok()) << "batch " << b << ": " << put.to_string();
+    }
+
+    // Exactly-once: duplicated frames and timeout replays both resolve to
+    // dedup hits, never to a second application.
+    EXPECT_EQ(server.batches_applied(), static_cast<std::size_t>(kBatches));
+
+    for (int b = 0; b < kBatches; ++b) {
+      for (int j = 0; j < kPairs; ++j) {
+        auto got = client.value()->get(
+            "b" + std::to_string(b) + "." + std::to_string(j), 20'000);
+        ASSERT_TRUE(got.is_ok()) << got.status().to_string();
+        EXPECT_EQ(got.value(), std::to_string(seed) + "-" + std::to_string(b) +
+                                   "-" + std::to_string(j));
+      }
+    }
+
+    client.value()->exit();
+    anchor.value()->exit();
+    server.stop();
+  }
+}
+
+class ChaosTeardownTest : public ::testing::TestWithParam<Wire> {};
+
+// Regression for the receive(-1) daemon-loop bug: a client parked in a
+// blocking get must come back with kConnectionError when the server is
+// torn down mid-receive — previously this depended on callers never
+// blocking unboundedly, and the subscribe/pump paths did.
+TEST_P(ChaosTeardownTest, ServerTeardownMidReceiveReturns) {
+  const Wire wire = GetParam();
+  Watchdog dog(std::string("ServerTeardownMidReceiveReturns/") +
+               chaos::wire_name(wire), 30'000);
+
+  auto base = chaos::make_base(wire);
+  attr::AttrServer server("teardown-lass", base);
+  auto address = server.start(chaos::listen_address(wire, "teardown"));
+  ASSERT_TRUE(address.is_ok()) << address.status().to_string();
+
+  auto client = attr::AttrClient::connect(*base, address.value(), "td-ctx");
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+
+  Result<std::string> parked = make_error(ErrorCode::kInternal, "not run");
+  std::thread getter([&] {
+    // Parks server-side: the attribute never appears, timeout is infinite.
+    parked = client.value()->get("never.appears", -1);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  server.stop();
+  getter.join();
+
+  ASSERT_FALSE(parked.is_ok());
+  EXPECT_EQ(parked.status().code(), ErrorCode::kConnectionError)
+      << parked.status().to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Wires, ChaosTeardownTest,
+                         ::testing::Values(Wire::kInProc, Wire::kTcp),
+                         [](const ::testing::TestParamInfo<Wire>& info) {
+                           return chaos::wire_name(info.param);
+                         });
+
+// Injected delays routed through FaultPlan::sleep_fn advance the sim
+// engine's virtual clock instead of stalling the wall clock, so a schedule
+// with seconds of latency stays a microsecond-scale test. Single-threaded
+// by design: raw endpoints driven inline, no server thread.
+TEST(ChaosSimTest, InjectedDelaysRunOnVirtualTime) {
+  Watchdog dog("InjectedDelaysRunOnVirtualTime", 30'000);
+
+  sim::Engine engine;
+  net::FaultPlan plan;
+  plan.seed = 7;
+  plan.delay_prob = 1.0;
+  plan.max_delay_ms = 50;
+  plan.sleep_fn = sim::virtual_sleep(engine);
+
+  auto faulty = std::make_shared<net::FaultyTransport>(
+      chaos::make_base(Wire::kInProc), plan);
+  auto listener = faulty->listen("inproc://sim-delay");
+  ASSERT_TRUE(listener.is_ok()) << listener.status().to_string();
+  auto dialed = faulty->connect("inproc://sim-delay");
+  ASSERT_TRUE(dialed.is_ok()) << dialed.status().to_string();
+  auto accepted = listener.value()->accept(1000);
+  ASSERT_TRUE(accepted.is_ok()) << accepted.status().to_string();
+
+  constexpr int kMsgs = 20;
+  for (int i = 0; i < kMsgs; ++i) {
+    net::Message ping(net::MsgType::kPing);
+    ping.set_seq(static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(dialed.value()->send(ping).is_ok());
+    auto received = accepted.value()->receive(1000);
+    ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+    EXPECT_EQ(received->seq(), static_cast<std::uint64_t>(i));
+  }
+
+  EXPECT_EQ(faulty->stats().delayed.load(), static_cast<std::uint64_t>(kMsgs));
+  // Every message was delayed by at least 1 ms of virtual time.
+  EXPECT_GE(engine.now(), static_cast<Micros>(kMsgs) * 1000);
+}
+
+}  // namespace
+}  // namespace tdp

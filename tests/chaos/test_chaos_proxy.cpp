@@ -1,0 +1,190 @@
+// test_chaos_proxy.cpp - the Section 2.4 relay under upstream link faults.
+//
+// The proxy's client (the firewalled tool daemon) must keep its tunnel
+// usable while the proxy's upstream (broker) link drops frames and dies:
+// the relink policy redials the registered target and splices the
+// surviving client onto the fresh connection. End-to-end loss is the
+// client's problem (it retries its own protocol); the proxy only promises
+// the path comes back — which is exactly what this test asserts.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos_util.hpp"
+#include "net/faulty.hpp"
+#include "net/proxy.hpp"
+
+namespace tdp::net {
+namespace {
+
+using chaos::Watchdog;
+using chaos::Wire;
+
+/// Echo service that serves an unbounded stream of connections — each
+/// proxy relink dials it again, unlike the single-shot echo in the clean
+/// proxy tests.
+class MultiEchoService {
+ public:
+  MultiEchoService(std::shared_ptr<Transport> transport, const std::string& address) {
+    listener_ = transport->listen(address).value();
+    accept_thread_ = std::thread([this] {
+      while (running_.load(std::memory_order_acquire)) {
+        auto accepted = listener_->accept(200);
+        if (!accepted.is_ok()) continue;
+        handlers_.emplace_back(
+            [endpoint = std::shared_ptr<Endpoint>(std::move(accepted).value())] {
+              while (true) {
+                auto msg = endpoint->receive(2000);
+                if (!msg.is_ok()) break;
+                Message reply(MsgType::kPong);
+                reply.set_seq(msg->seq());
+                reply.set("echo", msg->get("payload"));
+                if (!endpoint->send(reply).is_ok()) break;
+              }
+            });
+      }
+    });
+  }
+
+  ~MultiEchoService() {
+    running_.store(false, std::memory_order_release);
+    listener_->close();
+    accept_thread_.join();
+    for (std::thread& handler : handlers_) handler.join();
+  }
+
+  [[nodiscard]] std::string address() const { return listener_->address(); }
+
+ private:
+  std::unique_ptr<Listener> listener_;
+  std::atomic<bool> running_{true};
+  std::thread accept_thread_;
+  std::vector<std::thread> handlers_;
+};
+
+class ChaosProxyTest : public ::testing::TestWithParam<Wire> {};
+
+TEST_P(ChaosProxyTest, TunnelSurvivesUpstreamFaultsViaRelink) {
+  const Wire wire = GetParam();
+  Watchdog dog(std::string("TunnelSurvivesUpstreamFaultsViaRelink/") +
+               chaos::wire_name(wire), 100'000);
+
+  for (const std::uint64_t seed : chaos::seeds()) {
+    SCOPED_TRACE("seed=" + std::to_string(seed));
+    auto base = chaos::make_base(wire);
+    MultiEchoService echo(base, chaos::listen_address(wire, "chaos-echo"));
+
+    // Faults on dialed endpoints only: the proxy's upstream link is
+    // chaotic, while its listener hands the client a clean leg — so a
+    // missing pong is attributable to the upstream link, and every
+    // recovery is attributable to relink.
+    FaultPlan plan;
+    plan.seed = seed;
+    plan.drop_prob = 0.10;
+    plan.delay_prob = 0.15;
+    plan.max_delay_ms = 20;
+    plan.dup_prob = 0.05;
+    plan.disconnect_after_msgs = 6;
+    plan.max_disconnects = 2;
+    plan.fault_accepted = false;
+    auto faulty = std::make_shared<FaultyTransport>(base, plan);
+
+    ProxyServer proxy(faulty);
+    proxy.register_service("frontend", echo.address());
+    RelinkPolicy relink;
+    relink.enabled = true;
+    relink.max_relinks = 5;
+    relink.backoff_ms = 5;
+    proxy.set_relink_policy(relink);
+    auto proxy_addr = proxy.start(chaos::listen_address(wire, "chaos-proxy"));
+    ASSERT_TRUE(proxy_addr.is_ok()) << proxy_addr.status().to_string();
+
+    // The client leg dials through the clean base transport.
+    auto tunnel = proxy_connect(*base, proxy_addr.value(), "frontend");
+    ASSERT_TRUE(tunnel.is_ok()) << tunnel.status().to_string();
+
+    // Dropped pings/pongs are simply resent; a dead upstream stalls until
+    // the relink lands. 5 echoed round trips through 2 forced upstream
+    // disconnects prove the path keeps coming back.
+    int pongs = 0;
+    for (int attempt = 0; attempt < 120 && pongs < 5; ++attempt) {
+      Message ping(MsgType::kPing);
+      ping.set_seq(static_cast<std::uint64_t>(attempt));
+      ping.set("payload", "p" + std::to_string(attempt));
+      if (!tunnel.value()->send(ping).is_ok()) break;  // client leg is clean
+      auto reply = tunnel.value()->receive(400);
+      if (reply.is_ok() && reply->type() == MsgType::kPong) ++pongs;
+    }
+    EXPECT_GE(pongs, 5);
+    EXPECT_GE(proxy.relinks(), 1u)
+        << "upstream never died, schedule proved nothing";
+    EXPECT_GT(faulty->stats().faults_injected(), 0u);
+    EXPECT_EQ(proxy.tunnels_opened(), 1u) << "client leg should have survived";
+
+    proxy.stop();  // must return promptly with pumps live (watchdog)
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Wires, ChaosProxyTest,
+                         ::testing::Values(Wire::kInProc, Wire::kTcp),
+                         [](const ::testing::TestParamInfo<Wire>& info) {
+                           return chaos::wire_name(info.param);
+                         });
+
+// Relink budget exhaustion is a clean end: once max_relinks upstream
+// deaths have been consumed, the next death tears the tunnel down and the
+// client sees a connection error, not a hang.
+TEST(ChaosProxyBudgetTest, ExhaustedRelinkBudgetFailsCleanly) {
+  Watchdog dog("ExhaustedRelinkBudgetFailsCleanly", 60'000);
+
+  auto base = chaos::make_base(Wire::kInProc);
+  MultiEchoService echo(base, "inproc://budget-echo");
+
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.disconnect_after_msgs = 4;
+  plan.max_disconnects = -1;  // every upstream incarnation dies
+  plan.fault_accepted = false;
+  auto faulty = std::make_shared<FaultyTransport>(base, plan);
+
+  ProxyServer proxy(faulty);
+  proxy.register_service("frontend", echo.address());
+  RelinkPolicy relink;
+  relink.enabled = true;
+  relink.max_relinks = 2;
+  relink.backoff_ms = 1;
+  proxy.set_relink_policy(relink);
+  auto proxy_addr = proxy.start("inproc://budget-proxy");
+  ASSERT_TRUE(proxy_addr.is_ok()) << proxy_addr.status().to_string();
+
+  auto tunnel = proxy_connect(*base, proxy_addr.value(), "frontend");
+  ASSERT_TRUE(tunnel.is_ok()) << tunnel.status().to_string();
+
+  // Drive until the budget is gone and the tunnel collapses.
+  bool closed = false;
+  for (int attempt = 0; attempt < 200 && !closed; ++attempt) {
+    Message ping(MsgType::kPing);
+    ping.set_seq(static_cast<std::uint64_t>(attempt));
+    ping.set("payload", "x");
+    if (!tunnel.value()->send(ping).is_ok()) {
+      closed = true;
+      break;
+    }
+    auto reply = tunnel.value()->receive(200);
+    if (!reply.is_ok() &&
+        reply.status().code() == ErrorCode::kConnectionError) {
+      closed = true;
+    }
+  }
+  EXPECT_TRUE(closed) << "tunnel outlived an unlimited-death schedule";
+  EXPECT_GE(proxy.relinks(), 1u);
+  proxy.stop();
+}
+
+}  // namespace
+}  // namespace tdp::net
