@@ -8,6 +8,9 @@
 #   scripts/ci.sh asan       # ASan+UBSan build of the chaos/fuzz tier
 #   scripts/ci.sh chaos      # chaos tier: fixed seeds + one time-derived
 #                            # seed (printed, so any failure is replayable)
+#   scripts/ci.sh analyze    # lock-discipline gate: lint.py always; clang
+#                            # -Wthread-safety -Werror + clang-tidy where a
+#                            # clang toolchain exists (skipped otherwise)
 #   scripts/ci.sh all        # everything
 set -euo pipefail
 
@@ -75,11 +78,79 @@ run_chaos() {
   TDP_CHAOS_SEED="${extra_seed}" ./build-ci/tests/tdp_chaos_integration_tests
 }
 
+find_tool() {
+  # Prefer an unversioned binary, then recent versioned ones.
+  local base="$1" candidate
+  for candidate in "$base" "$base"-19 "$base"-18 "$base"-17 "$base"-16 \
+                   "$base"-15 "$base"-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+      echo "$candidate"
+      return 0
+    fi
+  done
+  return 1
+}
+
+run_analyze() {
+  # The repo-specific lock-discipline lint runs unconditionally (pure
+  # python): first its self-test — proving it really does fail on a raw
+  # std::mutex — then the tree itself.
+  python3 scripts/lint.py --self-test
+  python3 scripts/lint.py
+
+  local clangxx
+  if ! clangxx="$(find_tool clang++)"; then
+    echo "analyze: no clang++ on PATH; skipping -Wthread-safety build" \
+         "(the TDP_* annotations compile to nothing under gcc)"
+    return 0
+  fi
+
+  # Full-tree clang build with the thread-safety analysis promoted to an
+  # error: every TDP_GUARDED_BY / TDP_REQUIRES violation fails the gate.
+  cmake -B build-analyze -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DCMAKE_CXX_COMPILER="$clangxx" \
+    -DCMAKE_CXX_FLAGS="-Werror=thread-safety" \
+    -DTDP_WERROR=ON
+  cmake --build build-analyze -j"$(nproc)"
+
+  local tidy runner
+  if ! tidy="$(find_tool clang-tidy)"; then
+    echo "analyze: no clang-tidy on PATH; skipping the .clang-tidy checks"
+    return 0
+  fi
+
+  # clang-tidy is the slow half; cache a clean verdict keyed on the hash of
+  # compile_commands.json (which itself hashes the flag set and file list).
+  # Touching any flag or adding a TU invalidates the cache; editing a file
+  # without reconfiguring keeps the key stable, so CI wires the source tree
+  # hash into TDP_TIDY_SALT to force re-runs on content changes.
+  local cc_json="build-analyze/compile_commands.json"
+  local key
+  key="$( (sha256sum "$cc_json"; echo "${TDP_TIDY_SALT:-}") | sha256sum | cut -d' ' -f1)"
+  local stamp="build-analyze/.clang-tidy-clean-${key}"
+  if [[ -f "$stamp" ]]; then
+    echo "analyze: clang-tidy cache hit (${key:0:12}); skipping"
+    return 0
+  fi
+  rm -f build-analyze/.clang-tidy-clean-*
+  if runner="$(find_tool run-clang-tidy)"; then
+    "$runner" -clang-tidy-binary "$tidy" -p build-analyze -quiet \
+      "src/.*\\.cpp$"
+  else
+    # No parallel runner packaged; drive clang-tidy directly.
+    find src -name '*.cpp' -print0 \
+      | xargs -0 -P "$(nproc)" -n 1 "$tidy" -p build-analyze --quiet
+  fi
+  touch "$stamp"
+}
+
 case "${1:-release}" in
   release) run_release ;;
   tsan)    run_tsan ;;
   asan)    run_asan ;;
   chaos)   run_chaos ;;
-  all)     run_release; run_tsan; run_asan; run_chaos ;;
-  *) echo "usage: $0 [release|tsan|asan|chaos|all]" >&2; exit 2 ;;
+  analyze) run_analyze ;;
+  all)     run_release; run_tsan; run_asan; run_chaos; run_analyze ;;
+  *) echo "usage: $0 [release|tsan|asan|chaos|analyze|all]" >&2; exit 2 ;;
 esac

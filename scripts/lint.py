@@ -1,0 +1,264 @@
+#!/usr/bin/env python3
+"""Repo-specific lock-discipline lint (PR 3, runs from scripts/ci.sh analyze).
+
+Three rules, all cheap text scans that hold regardless of which compiler
+built the tree (the clang -Wthread-safety gate only runs where clang
+exists; these rules always run):
+
+  1. raw-sync: no raw std::mutex / std::shared_mutex / std::lock_guard /
+     std::unique_lock / std::shared_lock / std::scoped_lock /
+     std::condition_variable (or their headers) anywhere in src/ outside
+     util/sync.hpp. Everything goes through the annotated tdp wrappers so
+     the thread-safety analysis and the lock-order detector see every
+     acquisition.
+
+  2. blocking-under-lock: in the reactor and server dispatch files, no
+     sleep or blocking receive while a tdp guard is live in an enclosing
+     scope. The "callbacks run outside locks" invariant is asserted at
+     runtime (Mutex::assert_not_held); this catches the obvious static
+     cases before they ever run.
+
+  3. unguarded-adjacent-field: a member field declared in the contiguous
+     declaration block immediately following a tdp::Mutex / tdp::SharedMutex
+     member must carry TDP_GUARDED_BY. The convention (DESIGN.md §10) is
+     that guarded fields sit directly under their mutex; a blank line ends
+     the guarded block, so deliberately unguarded members (atomics,
+     thread-owned state) live after a separator with a comment.
+
+A line ending in a `// NOLINT` comment is exempt from rules 1 and 2; every
+NOLINT must carry a justification after a colon (`// NOLINT: why`). The
+repo-wide suppression budget is capped (kMaxSuppressions) so the escape
+hatch cannot quietly become the norm.
+
+Exit status: 0 clean, 1 findings, 2 usage/self-test failure.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import tempfile
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Rule 1 -------------------------------------------------------------------
+
+RAW_SYNC_PATTERNS = [
+    (re.compile(r"\bstd::(recursive_|timed_|recursive_timed_)?mutex\b"), "std::mutex"),
+    (re.compile(r"\bstd::shared_(timed_)?mutex\b"), "std::shared_mutex"),
+    (re.compile(r"\bstd::lock_guard\b"), "std::lock_guard"),
+    (re.compile(r"\bstd::unique_lock\b"), "std::unique_lock"),
+    (re.compile(r"\bstd::shared_lock\b"), "std::shared_lock"),
+    (re.compile(r"\bstd::scoped_lock\b"), "std::scoped_lock"),
+    (re.compile(r"\bstd::condition_variable(_any)?\b"), "std::condition_variable"),
+    (re.compile(r"#\s*include\s*<(mutex|shared_mutex|condition_variable)>"),
+     "raw sync header include"),
+]
+
+RAW_SYNC_EXEMPT = {Path("src/util/sync.hpp")}
+
+# Rule 2 -------------------------------------------------------------------
+
+# Files whose dispatch loops promise "no callback under a lock".
+BLOCKING_SCOPE_FILES = [
+    Path("src/net/reactor.cpp"),
+    Path("src/attrspace/attr_server.cpp"),
+]
+
+GUARD_DECL = re.compile(
+    r"\b(?:tdp::)?(LockGuard|UniqueLock|WriteLock|SharedLock)\s+\w+\s*[({]")
+BLOCKING_CALL = re.compile(
+    r"\b(sleep_for|sleep_until|usleep|nanosleep)\s*\(|(->|\.)\s*receive\s*\(|\bsleep\s*\(")
+
+# Rule 3 -------------------------------------------------------------------
+
+MUTEX_MEMBER = re.compile(
+    r"^\s*(?:mutable\s+)?(?:tdp::)?(Mutex|SharedMutex)\s+\w+\s*(\{|;)")
+FIELD_DECL = re.compile(r"^\s*(?:mutable\s+)?[\w:<>,\s*&]+\s[\w]+_?\s*(\{.*\}\s*)?(=[^;]*)?;")
+BLOCK_END = re.compile(r"^\s*($|\}|public:|protected:|private:|//)")
+
+NOLINT = re.compile(r"//\s*NOLINT(?!\w)")
+NOLINT_JUSTIFIED = re.compile(r"//\s*NOLINT(\(.*\))?:\s*\S")
+
+kMaxSuppressions = 5
+
+
+def iter_source(root: Path):
+    for sub in ("src",):
+        for path in sorted((root / sub).rglob("*")):
+            if path.suffix in (".hpp", ".cpp", ".h", ".cc"):
+                yield path
+
+
+def check_raw_sync(root: Path, findings, suppressions):
+    for path in iter_source(root):
+        rel = path.relative_to(root)
+        if rel in RAW_SYNC_EXEMPT:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            hit = next((name for rx, name in RAW_SYNC_PATTERNS if rx.search(line)), None)
+            if hit is None:
+                continue
+            if NOLINT.search(line):
+                suppressions.append((rel, lineno, line.strip()))
+                if not NOLINT_JUSTIFIED.search(line):
+                    findings.append(
+                        f"{rel}:{lineno}: NOLINT without a justification "
+                        f"(write `// NOLINT: reason`): {line.strip()}")
+                continue
+            findings.append(
+                f"{rel}:{lineno}: raw sync primitive ({hit}) outside "
+                f"util/sync.hpp — use the tdp wrappers: {line.strip()}")
+
+
+def check_blocking_under_lock(root: Path, findings, suppressions):
+    for rel in BLOCKING_SCOPE_FILES:
+        path = root / rel
+        if not path.exists():
+            continue
+        guard_depths: list[int] = []  # brace depth at which each live guard was declared
+        depth = 0
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//", 1)[0]
+            if GUARD_DECL.search(code):
+                guard_depths.append(depth)
+            if guard_depths and BLOCKING_CALL.search(code):
+                if NOLINT.search(line):
+                    suppressions.append((rel, lineno, line.strip()))
+                    if not NOLINT_JUSTIFIED.search(line):
+                        findings.append(
+                            f"{rel}:{lineno}: NOLINT without a justification: "
+                            f"{line.strip()}")
+                else:
+                    findings.append(
+                        f"{rel}:{lineno}: blocking call while a lock guard is "
+                        f"live in this scope: {line.strip()}")
+            depth += code.count("{") - code.count("}")
+            # A guard declared at depth d lives while depth >= d; the scope
+            # that contains it closes when depth drops below d.
+            while guard_depths and depth < guard_depths[-1]:
+                guard_depths.pop()
+
+
+def check_unguarded_adjacent_fields(root: Path, findings):
+    for path in iter_source(root):
+        rel = path.relative_to(root)
+        if rel in RAW_SYNC_EXEMPT:
+            continue
+        lines = path.read_text().splitlines()
+        i = 0
+        while i < len(lines):
+            if MUTEX_MEMBER.match(lines[i]):
+                j = i + 1
+                while j < len(lines) and not BLOCK_END.match(lines[j]):
+                    line = lines[j]
+                    # Another mutex member restarts the guarded block.
+                    if MUTEX_MEMBER.match(line):
+                        break
+                    if FIELD_DECL.match(line) and "TDP_GUARDED_BY" not in line:
+                        findings.append(
+                            f"{rel}:{j + 1}: field adjacent to a tdp mutex "
+                            f"member lacks TDP_GUARDED_BY (move it below a "
+                            f"blank-line separator if it is deliberately "
+                            f"unguarded): {line.strip()}")
+                    j += 1
+                i = j
+            else:
+                i += 1
+
+
+def run(root: Path) -> int:
+    findings: list[str] = []
+    suppressions: list = []
+    check_raw_sync(root, findings, suppressions)
+    check_blocking_under_lock(root, findings, suppressions)
+    check_unguarded_adjacent_fields(root, findings)
+    if len(suppressions) > kMaxSuppressions:
+        findings.append(
+            f"{len(suppressions)} NOLINT suppressions exceed the budget of "
+            f"{kMaxSuppressions}; fix findings instead of suppressing them")
+        for rel, lineno, text in suppressions:
+            findings.append(f"  suppression at {rel}:{lineno}: {text}")
+    for finding in findings:
+        print(f"lint: {finding}")
+    print(f"lint: {len(findings)} finding(s), "
+          f"{len(suppressions)} suppression(s) in {root}")
+    return 1 if findings else 0
+
+
+# Self-test ----------------------------------------------------------------
+
+BAD_RAW_MUTEX = """\
+#include <mutex>
+struct S {
+  std::mutex mu;
+  void f() { std::lock_guard<std::mutex> g(mu); }
+};
+"""
+
+BAD_SLEEP_UNDER_LOCK = """\
+void Reactor::run_once() {
+  {
+    LockGuard lock(mutex_);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+"""
+
+BAD_UNGUARDED_FIELD = """\
+struct S {
+  mutable Mutex mutex_{"S::mutex_"};
+  int guarded_ TDP_GUARDED_BY(mutex_) = 0;
+  int oops_ = 0;
+};
+"""
+
+GOOD_FILE = """\
+#include "util/sync.hpp"
+struct S {
+  mutable Mutex mutex_{"S::mutex_"};
+  int guarded_ TDP_GUARDED_BY(mutex_) = 0;
+
+  int deliberately_unguarded_ = 0;  ///< owner-thread only
+};
+"""
+
+
+def self_test() -> int:
+    cases = [
+        ("raw std::mutex", {"src/bad.cpp": BAD_RAW_MUTEX}, True),
+        ("sleep under lock", {"src/net/reactor.cpp": BAD_SLEEP_UNDER_LOCK}, True),
+        ("unguarded adjacent field", {"src/bad.hpp": BAD_UNGUARDED_FIELD}, True),
+        ("clean file", {"src/good.hpp": GOOD_FILE}, False),
+    ]
+    failures = 0
+    for name, files, expect_findings in cases:
+        with tempfile.TemporaryDirectory() as tmp:
+            root = Path(tmp)
+            for rel, content in files.items():
+                target = root / rel
+                target.parent.mkdir(parents=True, exist_ok=True)
+                target.write_text(content)
+            rc = run(root)
+            ok = (rc != 0) == expect_findings
+            print(f"self-test [{name}]: {'ok' if ok else 'FAILED'}")
+            failures += 0 if ok else 1
+    if failures:
+        print(f"self-test: {failures} case(s) FAILED")
+        return 2
+    print("self-test: all cases ok")
+    return 0
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) > 1:
+        print(__doc__)
+        return 2
+    return run(REPO)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -35,8 +35,8 @@ std::uint64_t make_batch_nonce(const void* self) {
 }  // namespace
 
 AttrClient::AttrClient(std::unique_ptr<net::Endpoint> endpoint, std::string context)
-    : endpoint_(std::move(endpoint)), context_(std::move(context)),
-      batch_nonce_(make_batch_nonce(this)) {
+    : context_(std::move(context)), batch_nonce_(make_batch_nonce(this)),
+      endpoint_(std::move(endpoint)) {
   backoff_rng_.reseed(batch_nonce_);
 }
 
@@ -65,14 +65,20 @@ Result<std::unique_ptr<AttrClient>> AttrClient::connect(net::Transport& transpor
     }
     std::unique_ptr<AttrClient> client(
         new AttrClient(std::move(connected).value(), context));
-    client->retry_ = retry;  // before init so a dropped init frame resends
+    {
+      LockGuard lock(client->mutex_);
+      client->retry_ = retry;  // before init so a dropped init frame resends
+    }
     Status init = client->perform_init();
     if (!init.is_ok()) {
       last = init;
       continue;
     }
-    client->transport_ = &transport;
-    client->address_ = address;
+    {
+      LockGuard lock(client->mutex_);
+      client->transport_ = &transport;
+      client->address_ = address;
+    }
     return client;
   }
   return last;
@@ -86,20 +92,18 @@ Result<std::unique_ptr<AttrClient>> AttrClient::adopt(
 }
 
 AttrClient::~AttrClient() {
-  if (!exited_ && endpoint_ && endpoint_->is_open()) {
-    // Best effort; the server also handles abrupt disconnects as implicit
-    // exits.
-    exit();
-  }
+  // Best effort; exit() is a no-op when already exited or disconnected, and
+  // the server also handles abrupt disconnects as implicit exits.
+  exit();
 }
 
 void AttrClient::set_retry_policy(RetryPolicy retry) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   retry_ = retry;
 }
 
 Status AttrClient::perform_init() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return init_on_endpoint_locked();
 }
 
@@ -219,7 +223,7 @@ Status AttrClient::put_batch(
   {
     // Batch id: lets the server recognize a replayed batch (ack lost to a
     // disconnect) and acknowledge without applying twice.
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     request.set(field::kBatchId, std::to_string(batch_nonce_) + "-" +
                                      std::to_string(++batch_counter_));
   }
@@ -287,7 +291,7 @@ Result<std::vector<std::pair<std::string, std::string>>> AttrClient::list() {
 
 Result<int> AttrClient::async_get(const std::string& attribute,
                                   CompletionCallback callback) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (!endpoint_ || !endpoint_->is_open()) {
     if (!can_reconnect_locked()) {
       return make_error(ErrorCode::kConnectionError, "not connected");
@@ -307,7 +311,7 @@ Result<int> AttrClient::async_get(const std::string& attribute,
 
 Result<int> AttrClient::async_put(const std::string& attribute, const std::string& value,
                                   CompletionCallback callback) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (!endpoint_ || !endpoint_->is_open()) {
     if (!can_reconnect_locked()) {
       return make_error(ErrorCode::kConnectionError, "not connected");
@@ -329,7 +333,7 @@ Result<int> AttrClient::async_put(const std::string& attribute, const std::strin
 Status AttrClient::subscribe(const std::string& pattern, NotifyCallback callback) {
   // Register client-side first so a notify racing the subscribe ack is not
   // lost; seq is fixed up under the same lock as the send.
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (!endpoint_ || !endpoint_->is_open()) {
     if (!can_reconnect_locked()) {
       return make_error(ErrorCode::kConnectionError, "not connected");
@@ -392,7 +396,7 @@ Status AttrClient::subscribe(const std::string& pattern, NotifyCallback callback
 }
 
 Result<Message> AttrClient::call(Message request, int timeout_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return call_locked(std::move(request), timeout_ms);
 }
 
@@ -469,7 +473,6 @@ Result<Message> AttrClient::call_locked(Message request, int timeout_ms) {
 
 bool AttrClient::route_message(Message msg, std::uint64_t awaited_seq,
                                Message* reply_out) {
-  // Called with mutex_ held.
   if (msg.type() == MsgType::kAttrNotify) {
     for (const auto& sub : subscriptions_) {
       if (sub.seq == msg.seq()) {
@@ -513,7 +516,7 @@ bool AttrClient::route_message(Message msg, std::uint64_t awaited_seq,
 int AttrClient::service_events() {
   std::deque<std::function<void()>> to_run;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (endpoint_ && endpoint_->is_open()) {
       while (true) {
         auto received = endpoint_->receive(0);
@@ -535,6 +538,7 @@ int AttrClient::service_events() {
   }
   // Callbacks run outside the lock, on the caller's thread — the paper's
   // "well-known and (presumably) safe point".
+  mutex_.assert_not_held();
   int dispatched = 0;
   for (auto& callback : to_run) {
     callback();
@@ -544,11 +548,12 @@ int AttrClient::service_events() {
 }
 
 int AttrClient::readable_fd() const {
+  LockGuard lock(mutex_);
   return endpoint_ ? endpoint_->readable_fd() : -1;
 }
 
 Status AttrClient::exit() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (exited_) return Status::ok();
   exited_ = true;
   if (!endpoint_ || !endpoint_->is_open()) return Status::ok();
@@ -576,7 +581,7 @@ Status AttrClient::exit() {
 }
 
 bool AttrClient::connected() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return endpoint_ && endpoint_->is_open() && !exited_;
 }
 

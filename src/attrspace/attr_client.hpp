@@ -29,13 +29,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "net/transport.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::attr {
 
@@ -170,40 +170,44 @@ class AttrClient {
   /// Sends a request and waits for the reply whose seq matches, routing
   /// unrelated inbound messages (async completions, notifications) to the
   /// pending queue for later dispatch. Applies the retry policy.
-  Result<net::Message> call(net::Message request, int timeout_ms);
-  Result<net::Message> call_locked(net::Message request, int timeout_ms);
+  Result<net::Message> call(net::Message request, int timeout_ms)
+      TDP_EXCLUDES(mutex_);
+  Result<net::Message> call_locked(net::Message request, int timeout_ms)
+      TDP_REQUIRES(mutex_);
 
   /// True when the policy allows redialing the server.
-  [[nodiscard]] bool can_reconnect_locked() const;
+  [[nodiscard]] bool can_reconnect_locked() const TDP_REQUIRES(mutex_);
 
   /// Redials, re-runs tdp_init, re-registers subscriptions and replays
-  /// in-flight async requests. Backoff between attempts. mutex_ held.
-  Status reconnect_locked();
+  /// in-flight async requests. Backoff between attempts.
+  Status reconnect_locked() TDP_REQUIRES(mutex_);
 
-  /// The kAttrInit round trip on the current endpoint. mutex_ held.
-  Status init_on_endpoint_locked();
+  /// The kAttrInit round trip on the current endpoint.
+  Status init_on_endpoint_locked() TDP_REQUIRES(mutex_);
 
   /// Routes one inbound message; returns true if it was the awaited reply.
   bool route_message(net::Message msg, std::uint64_t awaited_seq,
-                     net::Message* reply_out);
+                     net::Message* reply_out) TDP_REQUIRES(mutex_);
 
-  std::uint64_t next_seq();
+  std::uint64_t next_seq() TDP_REQUIRES(mutex_);
 
-  std::unique_ptr<net::Endpoint> endpoint_;
   std::string context_;
 
-  /// Dial info for reconnects; null/empty when built via adopt().
-  net::Transport* transport_ = nullptr;
-  std::string address_;
-  RetryPolicy retry_;
-  Rng backoff_rng_{0x7d9fau};  ///< jitter source; reseeded per client
   std::atomic<int> reconnects_{0};
   std::atomic<int> replays_{0};
-  std::uint64_t batch_nonce_ = 0;   ///< distinguishes this client's batch ids
-  std::uint64_t batch_counter_ = 0; ///< per-client batch id sequence
+  std::uint64_t batch_nonce_ = 0;  ///< set once in the ctor, immutable after
 
-  mutable std::mutex mutex_;  // serializes the request/reply state machine
-  std::uint64_t seq_ = 0;
+  mutable Mutex mutex_{"AttrClient::mutex_"};
+  // The request/reply state machine mutex_ serializes.
+  std::unique_ptr<net::Endpoint> endpoint_ TDP_GUARDED_BY(mutex_);
+  /// Dial info for reconnects; null/empty when built via adopt().
+  net::Transport* transport_ TDP_GUARDED_BY(mutex_) = nullptr;
+  std::string address_ TDP_GUARDED_BY(mutex_);
+  RetryPolicy retry_ TDP_GUARDED_BY(mutex_);
+  /// Jitter source for reconnect backoff; reseeded per client.
+  Rng backoff_rng_ TDP_GUARDED_BY(mutex_){0x7d9fau};
+  std::uint64_t batch_counter_ TDP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t seq_ TDP_GUARDED_BY(mutex_) = 0;
 
   struct PendingAsync {
     net::MsgType type = net::MsgType::kInvalid;  ///< for replay after reconnect
@@ -211,19 +215,19 @@ class AttrClient {
     std::string value;  ///< puts only
     CompletionCallback callback;
   };
-  std::map<std::uint64_t, PendingAsync> pending_async_;
+  std::map<std::uint64_t, PendingAsync> pending_async_ TDP_GUARDED_BY(mutex_);
 
   struct Subscription {
     std::uint64_t seq = 0;  ///< seq of the subscribe request, echoed in notifies
     std::string pattern;    ///< kept so reconnect can re-register
     NotifyCallback callback;
   };
-  std::vector<Subscription> subscriptions_;
+  std::vector<Subscription> subscriptions_ TDP_GUARDED_BY(mutex_);
 
   /// Callbacks ready to run at the next service_events().
-  std::deque<std::function<void()>> ready_callbacks_;
+  std::deque<std::function<void()>> ready_callbacks_ TDP_GUARDED_BY(mutex_);
 
-  bool exited_ = false;
+  bool exited_ TDP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace tdp::attr

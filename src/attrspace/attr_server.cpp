@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 
 #include "attrspace/attr_protocol.hpp"
 #include "util/log.hpp"
@@ -44,6 +45,7 @@ Result<std::string> AttrServer::start(const std::string& listen_address) {
   running_.store(true, std::memory_order_release);
   reactor_.add_readable(listener_->readable_fd(), [this] { on_acceptable(); });
   io_thread_ = std::thread([this] {
+    io_thread_id_.store(std::this_thread::get_id(), std::memory_order_release);
     while (running_.load(std::memory_order_acquire)) {
       reactor_.run_once(-1);
     }
@@ -59,7 +61,7 @@ void AttrServer::stop() {
 
   std::map<int, std::shared_ptr<Connection>> conns;
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    LockGuard lock(conns_mutex_);
     conns.swap(conns_);
   }
   for (auto& [fd, conn] : conns) {
@@ -88,7 +90,7 @@ void AttrServer::on_acceptable() {
       continue;
     }
     {
-      std::lock_guard<std::mutex> lock(conns_mutex_);
+      LockGuard lock(conns_mutex_);
       conns_.emplace(fd, conn);
     }
     reactor_.add_readable(fd, [this, fd] { on_readable(fd); });
@@ -98,7 +100,7 @@ void AttrServer::on_acceptable() {
 void AttrServer::on_readable(int fd) {
   std::shared_ptr<Connection> conn;
   {
-    std::lock_guard<std::mutex> lock(conns_mutex_);
+    LockGuard lock(conns_mutex_);
     auto it = conns_.find(fd);
     if (it == conns_.end()) return;  // raced with stop()
     conn = it->second;
@@ -112,7 +114,7 @@ void AttrServer::on_readable(int fd) {
       // Peer gone: crash cleanup (implicit tdp_exit) and unregister.
       reactor_.remove(fd);
       {
-        std::lock_guard<std::mutex> lock(conns_mutex_);
+        LockGuard lock(conns_mutex_);
         conns_.erase(fd);
       }
       teardown(*conn);
@@ -122,7 +124,22 @@ void AttrServer::on_readable(int fd) {
   }
 }
 
+void AttrServer::assert_io_thread() const {
+#if TDP_LOCK_ORDER_CHECKS
+  const std::thread::id io_id = io_thread_id_.load(std::memory_order_acquire);
+  if (io_id != std::thread::id{} && io_id != std::this_thread::get_id()) {
+    log::Logger(name_).error("dedup window touched off the I/O thread");
+    std::abort();
+  }
+#endif
+}
+
 bool AttrServer::remember_batch(const std::string& batch_id) {
+  // The recent-batch window is intentionally lock-free: only the reactor's
+  // I/O thread may reach it, and it must not be reached with the connection
+  // table locked (send() inside could then deadlock against stop()).
+  assert_io_thread();
+  conns_mutex_.assert_not_held();
   if (!recent_batch_ids_.insert(batch_id).second) return false;
   recent_batch_order_.push_back(batch_id);
   if (recent_batch_order_.size() > kBatchWindow) {

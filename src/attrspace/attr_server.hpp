@@ -28,7 +28,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -37,6 +36,7 @@
 #include "attrspace/attr_store.hpp"
 #include "net/reactor.hpp"
 #include "net/transport.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::attr {
 
@@ -92,8 +92,13 @@ class AttrServer {
   };
 
   /// Remembers `batch_id` in the bounded recent-batch window; returns false
-  /// when it was already present (replay). I/O thread only.
-  bool remember_batch(const std::string& batch_id);
+  /// when it was already present (replay). I/O thread only (asserted in
+  /// Debug), which is why the window needs no lock.
+  bool remember_batch(const std::string& batch_id) TDP_EXCLUDES(conns_mutex_);
+
+  /// Debug check that the caller is the reactor I/O thread — the lock-free
+  /// dedup window and per-connection state rely on it.
+  void assert_io_thread() const;
 
   void on_acceptable();
   void on_readable(int fd);
@@ -109,6 +114,9 @@ class AttrServer {
 
   net::Reactor reactor_;
   std::thread io_thread_;
+  /// Published by the I/O thread before its first reactor turn; callbacks
+  /// assert against it in Debug.
+  std::atomic<std::thread::id> io_thread_id_{};
   std::atomic<bool> running_{false};
   std::atomic<std::size_t> connections_{0};
   std::atomic<std::size_t> batches_applied_{0};
@@ -122,10 +130,10 @@ class AttrServer {
   std::deque<std::string> recent_batch_order_;
   static constexpr std::size_t kBatchWindow = 1024;
 
-  /// Guarded by conns_mutex_: the I/O thread mutates it, stop() (any
-  /// thread) drains it.
-  std::mutex conns_mutex_;
-  std::map<int, std::shared_ptr<Connection>> conns_;
+  /// The I/O thread mutates the connection table, stop() (any thread)
+  /// drains it.
+  Mutex conns_mutex_{"AttrServer::conns_mutex_"};
+  std::map<int, std::shared_ptr<Connection>> conns_ TDP_GUARDED_BY(conns_mutex_);
 };
 
 }  // namespace tdp::attr

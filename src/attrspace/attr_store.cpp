@@ -1,13 +1,12 @@
 #include "attrspace/attr_store.hpp"
 
 #include <algorithm>
-#include <mutex>
 
 namespace tdp::attr {
 
 int AttributeStore::open_context(std::string_view context) {
   Shard& shard = shard_for(context);
-  std::unique_lock lock(shard.mutex);
+  WriteLock lock(shard.mutex);
   auto ctx_it = shard.contexts.find(context);
   if (ctx_it == shard.contexts.end()) {
     shard.contexts.emplace(std::string(context),
@@ -22,7 +21,7 @@ int AttributeStore::open_context(std::string_view context) {
 
 Result<int> AttributeStore::close_context(std::string_view context) {
   Shard& shard = shard_for(context);
-  std::unique_lock lock(shard.mutex);
+  WriteLock lock(shard.mutex);
   auto it = shard.refcounts.find(context);
   if (it == shard.refcounts.end() || it->second <= 0) {
     return make_error(ErrorCode::kNotFound,
@@ -44,15 +43,43 @@ Result<int> AttributeStore::close_context(std::string_view context) {
 
 bool AttributeStore::context_exists(std::string_view context) const {
   const Shard& shard = shard_for(context);
-  std::shared_lock lock(shard.mutex);
+  SharedLock lock(shard.mutex);
   return shard.contexts.find(context) != shard.contexts.end();
 }
 
 int AttributeStore::context_refcount(std::string_view context) const {
   const Shard& shard = shard_for(context);
-  std::shared_lock lock(shard.mutex);
+  SharedLock lock(shard.mutex);
   auto it = shard.refcounts.find(context);
   return it == shard.refcounts.end() ? 0 : it->second;
+}
+
+void AttributeStore::match_watchers_locked(Shard& shard, std::string_view context,
+                                           std::string_view attribute,
+                                           std::vector<AttrCallback>& to_fire) {
+  shard.mutex.assert_held();
+  for (auto it = shard.watchers.begin(); it != shard.watchers.end();) {
+    if (it->context == context && pattern_matches(it->pattern, attribute)) {
+      to_fire.push_back(it->callback);
+      if (it->one_shot) {
+        it = shard.watchers.erase(it);
+        continue;
+      }
+    }
+    ++it;
+  }
+}
+
+std::uint64_t AttributeStore::add_watcher_locked(Shard& shard,
+                                                 std::string_view context,
+                                                 std::string_view pattern,
+                                                 bool one_shot,
+                                                 AttrCallback callback) {
+  shard.mutex.assert_held();
+  std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  shard.watchers.push_back(
+      {id, std::string(context), std::string(pattern), one_shot, std::move(callback)});
+  return id;
 }
 
 Status AttributeStore::put(std::string_view context, std::string_view attribute,
@@ -61,7 +88,7 @@ Status AttributeStore::put(std::string_view context, std::string_view attribute,
   std::vector<AttrCallback> to_fire;
   std::string fired_value;
   {
-    std::unique_lock lock(shard.mutex);
+    WriteLock lock(shard.mutex);
     auto ctx_it = shard.contexts.find(context);
     if (ctx_it == shard.contexts.end()) {
       // Implicit context creation on put.
@@ -78,18 +105,12 @@ Status AttributeStore::put(std::string_view context, std::string_view attribute,
     }
     fired_value = attr_it->second;
 
-    for (auto it = shard.watchers.begin(); it != shard.watchers.end();) {
-      if (it->context == context && pattern_matches(it->pattern, attribute)) {
-        to_fire.push_back(it->callback);
-        if (it->one_shot) {
-          it = shard.watchers.erase(it);
-          continue;
-        }
-      }
-      ++it;
-    }
+    match_watchers_locked(shard, context, attribute, to_fire);
   }
   if (!to_fire.empty()) {
+    // PR 1 invariant, asserted: watcher callbacks fire outside the shard
+    // lock, so a callback that re-enters the store cannot self-deadlock.
+    shard.mutex.assert_not_held();
     const std::string ctx_name(context);
     const std::string attr_name(attribute);
     for (auto& callback : to_fire) callback(ctx_name, attr_name, fired_value);
@@ -100,7 +121,7 @@ Status AttributeStore::put(std::string_view context, std::string_view attribute,
 Result<std::string> AttributeStore::get(std::string_view context,
                                         std::string_view attribute) const {
   const Shard& shard = shard_for(context);
-  std::shared_lock lock(shard.mutex);
+  SharedLock lock(shard.mutex);
   auto ctx_it = shard.contexts.find(context);
   if (ctx_it == shard.contexts.end()) {
     return make_error(ErrorCode::kNotFound, "no such context: " + std::string(context));
@@ -115,7 +136,7 @@ Result<std::string> AttributeStore::get(std::string_view context,
 
 Status AttributeStore::remove(std::string_view context, std::string_view attribute) {
   Shard& shard = shard_for(context);
-  std::unique_lock lock(shard.mutex);
+  WriteLock lock(shard.mutex);
   auto ctx_it = shard.contexts.find(context);
   if (ctx_it == shard.contexts.end()) {
     return make_error(ErrorCode::kNotFound,
@@ -133,7 +154,7 @@ Status AttributeStore::remove(std::string_view context, std::string_view attribu
 std::vector<std::pair<std::string, std::string>> AttributeStore::list(
     std::string_view context) const {
   const Shard& shard = shard_for(context);
-  std::shared_lock lock(shard.mutex);
+  SharedLock lock(shard.mutex);
   std::vector<std::pair<std::string, std::string>> out;
   auto ctx_it = shard.contexts.find(context);
   if (ctx_it != shard.contexts.end()) {
@@ -145,7 +166,7 @@ std::vector<std::pair<std::string, std::string>> AttributeStore::list(
 std::size_t AttributeStore::size() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::shared_lock lock(shard.mutex);
+    SharedLock lock(shard.mutex);
     for (const auto& [name, space] : shard.contexts) total += space.size();
   }
   return total;
@@ -157,7 +178,7 @@ std::uint64_t AttributeStore::get_or_wait(std::string_view context,
   Shard& shard = shard_for(context);
   std::string value;
   {
-    std::unique_lock lock(shard.mutex);
+    WriteLock lock(shard.mutex);
     auto ctx_it = shard.contexts.find(context);
     if (ctx_it != shard.contexts.end()) {
       auto attr_it = ctx_it->second.find(attribute);
@@ -165,18 +186,16 @@ std::uint64_t AttributeStore::get_or_wait(std::string_view context,
         value = attr_it->second;
         // Fall through to fire outside the lock.
       } else {
-        std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
-        shard.watchers.push_back({id, std::string(context), std::string(attribute),
-                                  /*one_shot=*/true, std::move(callback)});
-        return id;
+        return add_watcher_locked(shard, context, attribute, /*one_shot=*/true,
+                                  std::move(callback));
       }
     } else {
-      std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
-      shard.watchers.push_back({id, std::string(context), std::string(attribute),
-                                /*one_shot=*/true, std::move(callback)});
-      return id;
+      return add_watcher_locked(shard, context, attribute, /*one_shot=*/true,
+                                std::move(callback));
     }
   }
+  // Same invariant as put(): immediate-hit callbacks run outside the lock.
+  shard.mutex.assert_not_held();
   callback(std::string(context), std::string(attribute), value);
   return 0;
 }
@@ -185,18 +204,16 @@ std::uint64_t AttributeStore::subscribe(std::string_view context,
                                         std::string_view pattern,
                                         AttrCallback callback) {
   Shard& shard = shard_for(context);
-  std::unique_lock lock(shard.mutex);
-  std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  shard.watchers.push_back({id, std::string(context), std::string(pattern),
-                            /*one_shot=*/false, std::move(callback)});
-  return id;
+  WriteLock lock(shard.mutex);
+  return add_watcher_locked(shard, context, pattern, /*one_shot=*/false,
+                            std::move(callback));
 }
 
 void AttributeStore::unsubscribe(std::uint64_t id) {
   if (id == 0) return;
   // Ids do not encode their shard; scan all of them (rare operation).
   for (Shard& shard : shards_) {
-    std::unique_lock lock(shard.mutex);
+    WriteLock lock(shard.mutex);
     auto it = std::remove_if(shard.watchers.begin(), shard.watchers.end(),
                              [id](const Watcher& w) { return w.id == id; });
     if (it != shard.watchers.end()) {
@@ -209,7 +226,7 @@ void AttributeStore::unsubscribe(std::uint64_t id) {
 std::size_t AttributeStore::watcher_count() const {
   std::size_t total = 0;
   for (const Shard& shard : shards_) {
-    std::shared_lock lock(shard.mutex);
+    SharedLock lock(shard.mutex);
     total += shard.watchers.size();
   }
   return total;

@@ -15,7 +15,7 @@
 // notifications.
 //
 // Concurrency: the store is sharded by context hash (kShardCount shards,
-// each under its own std::shared_mutex). Everything belonging to a context
+// each under its own tdp::SharedMutex). Everything belonging to a context
 // — its attribute table, refcount, and watchers — lives in one shard, so
 // clients working in different contexts never contend, and read-side
 // operations (get/list/context_exists) take shared locks. Watcher and
@@ -28,12 +28,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::attr {
 
@@ -122,12 +122,12 @@ class AttributeStore {
   /// One partition: contexts whose hash lands here, plus their refcounts
   /// and watchers. std::less<> enables allocation-free string_view lookups.
   struct Shard {
-    mutable std::shared_mutex mutex;
+    mutable SharedMutex mutex{"AttributeStore::Shard::mutex"};
     std::map<std::string, std::map<std::string, std::string, std::less<>>,
              std::less<>>
-        contexts;
-    std::map<std::string, int, std::less<>> refcounts;
-    std::vector<Watcher> watchers;
+        contexts TDP_GUARDED_BY(mutex);
+    std::map<std::string, int, std::less<>> refcounts TDP_GUARDED_BY(mutex);
+    std::vector<Watcher> watchers TDP_GUARDED_BY(mutex);
   };
 
   Shard& shard_for(std::string_view context) {
@@ -136,6 +136,19 @@ class AttributeStore {
   const Shard& shard_for(std::string_view context) const {
     return shards_[std::hash<std::string_view>{}(context) % kShardCount];
   }
+
+  /// Collects the callbacks of every watcher matching (context, attribute),
+  /// erasing one-shot waiters as it goes.
+  static void match_watchers_locked(Shard& shard, std::string_view context,
+                                    std::string_view attribute,
+                                    std::vector<AttrCallback>& to_fire)
+      TDP_REQUIRES(shard.mutex);
+
+  /// Registers a watcher in the shard and returns its id.
+  std::uint64_t add_watcher_locked(Shard& shard, std::string_view context,
+                                   std::string_view pattern, bool one_shot,
+                                   AttrCallback callback)
+      TDP_REQUIRES(shard.mutex);
 
   static bool pattern_matches(const std::string& pattern, std::string_view attribute);
 

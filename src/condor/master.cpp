@@ -10,12 +10,12 @@ const log::Logger kLog("master");
 
 void Master::supervise(const std::string& name, AliveProbe alive,
                        RestartAction restart) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   daemons_[name] = {std::move(alive), std::move(restart)};
 }
 
 void Master::forget(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   daemons_.erase(name);
 }
 
@@ -24,7 +24,7 @@ std::vector<std::string> Master::tick() {
   // arbitrary time and restart actions may re-enter the master.
   std::map<std::string, Entry> snapshot;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     ++stats_.ticks;
     snapshot = daemons_;
   }
@@ -33,7 +33,7 @@ std::vector<std::string> Master::tick() {
     if (entry.alive && entry.alive()) continue;
     kLog.warn("daemon '", name, "' dead; restarting");
     const bool ok = entry.restart && entry.restart();
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (ok) {
       ++stats_.restarts;
       restarted.push_back(name);
@@ -45,12 +45,12 @@ std::vector<std::string> Master::tick() {
 }
 
 std::size_t Master::supervised_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return daemons_.size();
 }
 
 Master::Stats Master::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return stats_;
 }
 

@@ -10,9 +10,9 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
+#include "util/sync.hpp"
 
 namespace tdp::condor {
 
@@ -45,9 +45,9 @@ class Master {
     RestartAction restart;
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Entry> daemons_;
-  Stats stats_;
+  mutable Mutex mutex_{"Master::mutex_"};
+  std::map<std::string, Entry> daemons_ TDP_GUARDED_BY(mutex_);
+  Stats stats_ TDP_GUARDED_BY(mutex_);
 };
 
 }  // namespace tdp::condor

@@ -3,24 +3,24 @@
 namespace tdp::condor {
 
 void Matchmaker::advertise_machine(const std::string& name, classads::ClassAd ad) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   machines_[name] = std::move(ad);
 }
 
 void Matchmaker::withdraw_machine(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   machines_.erase(name);
 }
 
 std::size_t Matchmaker::machine_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return machines_.size();
 }
 
 std::vector<Matchmaker::Match> Matchmaker::negotiate(
     const std::vector<std::pair<JobId, classads::ClassAd>>& idle_jobs,
     const std::set<std::string>& busy) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   ++stats_.cycles;
 
   std::set<std::string> taken(busy);
@@ -52,7 +52,7 @@ std::vector<Matchmaker::Match> Matchmaker::negotiate(
 }
 
 Matchmaker::Stats Matchmaker::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return stats_;
 }
 

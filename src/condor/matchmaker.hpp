@@ -14,13 +14,13 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "classads/classad.hpp"
 #include "condor/job.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::condor {
 
@@ -57,9 +57,9 @@ class Matchmaker {
   [[nodiscard]] Stats stats() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, classads::ClassAd> machines_;
-  Stats stats_;
+  mutable Mutex mutex_{"Matchmaker::mutex_"};
+  std::map<std::string, classads::ClassAd> machines_ TDP_GUARDED_BY(mutex_);
+  Stats stats_ TDP_GUARDED_BY(mutex_);
 };
 
 }  // namespace tdp::condor

@@ -21,7 +21,7 @@ Shadow::Shadow(JobId job, std::string submit_dir, UpdateFn on_update)
 void Shadow::on_job_status(JobId id, JobStatus status, int exit_code,
                            const std::string& detail) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     last_status_ = status;
     if (job_status_terminal(status)) exit_code_ = exit_code;
     ++updates_;
@@ -31,33 +31,33 @@ void Shadow::on_job_status(JobId id, JobStatus status, int exit_code,
 
 void Shadow::on_job_output(JobId id, const std::string& chunk) {
   (void)id;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   live_output_ += chunk;
 }
 
 std::string Shadow::live_output() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return live_output_;
 }
 
 JobStatus Shadow::last_status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return last_status_;
 }
 
 int Shadow::exit_code() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return exit_code_;
 }
 
 std::size_t Shadow::updates_received() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return updates_;
 }
 
 Result<std::string> Shadow::remote_read(const std::string& path) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     ++remote_syscalls_;
   }
   std::ifstream in(submit_dir_ + "/" + path, std::ios::binary);
@@ -71,7 +71,7 @@ Result<std::string> Shadow::remote_read(const std::string& path) {
 
 Status Shadow::remote_write(const std::string& path, const std::string& data) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     ++remote_syscalls_;
   }
   std::ofstream out(submit_dir_ + "/" + path, std::ios::binary | std::ios::trunc);
@@ -84,7 +84,7 @@ Status Shadow::remote_write(const std::string& path, const std::string& data) {
 }
 
 std::size_t Shadow::remote_syscalls() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return remote_syscalls_;
 }
 
@@ -95,7 +95,7 @@ std::size_t Shadow::remote_syscalls() const {
 Schedd::Schedd(std::string name) : name_(std::move(name)) {}
 
 JobId Schedd::submit(const JobDescription& description) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   JobRecord record;
   record.id = next_id_++;
   record.description = description;
@@ -115,7 +115,7 @@ std::vector<JobId> Schedd::submit(const SubmitFile& file) {
 }
 
 std::vector<std::pair<JobId, classads::ClassAd>> Schedd::idle_job_ads() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<std::pair<JobId, classads::ClassAd>> out;
   for (const auto& [id, record] : jobs_) {
     if (record.status == JobStatus::kIdle) {
@@ -126,7 +126,7 @@ std::vector<std::pair<JobId, classads::ClassAd>> Schedd::idle_job_ads() const {
 }
 
 Result<JobRecord> Schedd::job(JobId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return make_error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
@@ -136,7 +136,7 @@ Result<JobRecord> Schedd::job(JobId id) const {
 
 Status Schedd::update_job(JobId id, JobStatus status, int exit_code,
                           const std::string& detail) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return make_error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
@@ -154,7 +154,7 @@ Status Schedd::update_job(JobId id, JobStatus status, int exit_code,
 }
 
 Status Schedd::set_matched(JobId id, const std::string& machine) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return make_error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
@@ -169,7 +169,7 @@ Status Schedd::set_matched(JobId id, const std::string& machine) {
 }
 
 Status Schedd::remove_job(JobId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return make_error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
@@ -182,7 +182,7 @@ Status Schedd::remove_job(JobId id) {
 }
 
 Status Schedd::requeue_job(JobId id, const std::string& checkpoint) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = jobs_.find(id);
   if (it == jobs_.end()) {
     return make_error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
@@ -201,7 +201,7 @@ Status Schedd::requeue_job(JobId id, const std::string& checkpoint) {
 }
 
 Shadow* Schedd::spawn_shadow(JobId id, const std::string& submit_dir) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto shadow = std::make_unique<Shadow>(
       id, submit_dir,
       [this](JobId job_id, JobStatus status, int exit_code, const std::string& detail) {
@@ -214,18 +214,18 @@ Shadow* Schedd::spawn_shadow(JobId id, const std::string& submit_dir) {
 }
 
 Shadow* Schedd::shadow(JobId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = shadows_.find(id);
   return it == shadows_.end() ? nullptr : it->second.get();
 }
 
 std::size_t Schedd::queue_size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return jobs_.size();
 }
 
 std::size_t Schedd::count_with_status(JobStatus status) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::size_t count = 0;
   for (const auto& [id, record] : jobs_) {
     if (record.status == status) ++count;

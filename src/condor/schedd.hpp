@@ -11,13 +11,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "condor/job.hpp"
 #include "condor/starter.hpp"
 #include "condor/submit_file.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::condor {
 
@@ -64,12 +64,12 @@ class Shadow final : public StatusSink {
   std::string submit_dir_;
   UpdateFn on_update_;
 
-  mutable std::mutex mutex_;
-  JobStatus last_status_ = JobStatus::kIdle;
-  int exit_code_ = -1;
-  std::size_t updates_ = 0;
-  std::string live_output_;
-  std::size_t remote_syscalls_ = 0;
+  mutable Mutex mutex_{"Shadow::mutex_"};
+  JobStatus last_status_ TDP_GUARDED_BY(mutex_) = JobStatus::kIdle;
+  int exit_code_ TDP_GUARDED_BY(mutex_) = -1;
+  std::size_t updates_ TDP_GUARDED_BY(mutex_) = 0;
+  std::string live_output_ TDP_GUARDED_BY(mutex_);
+  std::size_t remote_syscalls_ TDP_GUARDED_BY(mutex_) = 0;
 };
 
 /// The submit-side queue manager.
@@ -115,10 +115,10 @@ class Schedd {
 
  private:
   std::string name_;
-  mutable std::mutex mutex_;
-  std::map<JobId, JobRecord> jobs_;
-  std::map<JobId, std::unique_ptr<Shadow>> shadows_;
-  JobId next_id_ = 1;
+  mutable Mutex mutex_{"Schedd::mutex_"};
+  std::map<JobId, JobRecord> jobs_ TDP_GUARDED_BY(mutex_);
+  std::map<JobId, std::unique_ptr<Shadow>> shadows_ TDP_GUARDED_BY(mutex_);
+  JobId next_id_ TDP_GUARDED_BY(mutex_) = 1;
 };
 
 }  // namespace tdp::condor

@@ -21,17 +21,27 @@ Startd::Startd(std::string name, classads::ClassAd ad)
     : name_(std::move(name)), ad_(std::move(ad)) {}
 
 Startd::State Startd::state() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return state_;
 }
 
+classads::ClassAd Startd::ad() const {
+  LockGuard lock(mutex_);
+  return ad_;
+}
+
+Starter* Startd::starter() const {
+  LockGuard lock(mutex_);
+  return starter_.get();
+}
+
 void Startd::update_ad(classads::ClassAd ad) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   ad_ = std::move(ad);
 }
 
 bool Startd::request_claim(JobId job, const classads::ClassAd& job_ad) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (state_ != State::kUnclaimed) {
     kLog.debug(name_, ": claim for job ", job, " refused (",
                startd_state_name(state_), ")");
@@ -50,7 +60,7 @@ bool Startd::request_claim(JobId job, const classads::ClassAd& job_ad) {
 }
 
 void Startd::release_claim() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (state_ == State::kClaimed) {
     state_ = State::kUnclaimed;
     claimed_job_ = 0;
@@ -59,7 +69,7 @@ void Startd::release_claim() {
 
 Result<Starter*> Startd::activate(JobRecord job, StarterConfig config,
                                   StatusSink* sink) {
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   if (state_ != State::kClaimed || claimed_job_ != job.id) {
     return make_error(ErrorCode::kInvalidState,
                       name_ + ": activation without a matching claim");
@@ -80,7 +90,7 @@ Result<Starter*> Startd::activate(JobRecord job, StarterConfig config,
 }
 
 void Startd::retire() {
-  std::unique_lock<std::mutex> lock(mutex_);
+  UniqueLock lock(mutex_);
   std::unique_ptr<Starter> starter = std::move(starter_);
   state_ = State::kUnclaimed;
   claimed_job_ = 0;
@@ -89,7 +99,7 @@ void Startd::retire() {
 }
 
 JobId Startd::claimed_job() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return claimed_job_;
 }
 

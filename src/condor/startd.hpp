@@ -6,11 +6,11 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "classads/classad.hpp"
 #include "condor/starter.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::condor {
 
@@ -21,7 +21,9 @@ class Startd {
   Startd(std::string name, classads::ClassAd ad);
 
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
-  [[nodiscard]] const classads::ClassAd& ad() const noexcept { return ad_; }
+  /// Snapshot of the current advertisement (updated concurrently by
+  /// update_ad(), hence by value).
+  [[nodiscard]] classads::ClassAd ad() const;
   [[nodiscard]] State state() const;
 
   /// Updates the advertisement (e.g. load changes).
@@ -39,7 +41,7 @@ class Startd {
   /// the starter until the job finishes and retire() is called.
   Result<Starter*> activate(JobRecord job, StarterConfig config, StatusSink* sink);
 
-  [[nodiscard]] Starter* starter() { return starter_.get(); }
+  [[nodiscard]] Starter* starter() const;
 
   /// Tears down the finished starter and returns to kUnclaimed.
   void retire();
@@ -48,11 +50,11 @@ class Startd {
 
  private:
   std::string name_;
-  classads::ClassAd ad_;
-  mutable std::mutex mutex_;
-  State state_ = State::kUnclaimed;
-  JobId claimed_job_ = 0;
-  std::unique_ptr<Starter> starter_;
+  mutable Mutex mutex_{"Startd::mutex_"};
+  classads::ClassAd ad_ TDP_GUARDED_BY(mutex_);
+  State state_ TDP_GUARDED_BY(mutex_) = State::kUnclaimed;
+  JobId claimed_job_ TDP_GUARDED_BY(mutex_) = 0;
+  std::unique_ptr<Starter> starter_ TDP_GUARDED_BY(mutex_);
 };
 
 const char* startd_state_name(Startd::State state) noexcept;

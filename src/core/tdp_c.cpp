@@ -3,11 +3,11 @@
 #include <cstring>
 #include <map>
 #include <memory>
-#include <mutex>
 
 #include "core/tdp.hpp"
 #include "net/tcp.hpp"
 #include "proc/posix_backend.hpp"
+#include "util/sync.hpp"
 
 namespace {
 
@@ -39,9 +39,9 @@ int rc_from_status(const tdp::Status& status) { return rc_from_code(status.code(
 /// destroys the session only after the in-flight call returns (the paper
 /// requires the library to be thread safe).
 struct Registry {
-  std::mutex mutex;
-  std::map<tdp_handle, std::shared_ptr<TdpSession>> sessions;
-  tdp_handle next_handle = 1;
+  tdp::Mutex mutex{"tdp_c::Registry::mutex"};
+  std::map<tdp_handle, std::shared_ptr<TdpSession>> sessions TDP_GUARDED_BY(mutex);
+  tdp_handle next_handle TDP_GUARDED_BY(mutex) = 1;
 };
 
 Registry& registry() {
@@ -51,7 +51,7 @@ Registry& registry() {
 
 std::shared_ptr<TdpSession> lookup(tdp_handle handle) {
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  tdp::LockGuard lock(reg.mutex);
   auto it = reg.sessions.find(handle);
   return it == reg.sessions.end() ? nullptr : it->second;
 }
@@ -76,7 +76,7 @@ int tdp_init(const char* lass_address, const char* context, int role,
   if (!session.is_ok()) return rc_from_status(session.status());
 
   Registry& reg = registry();
-  std::lock_guard<std::mutex> lock(reg.mutex);
+  tdp::LockGuard lock(reg.mutex);
   tdp_handle handle = reg.next_handle++;
   reg.sessions[handle] = std::move(session).value();
   *out = handle;
@@ -87,7 +87,7 @@ int tdp_exit(tdp_handle handle) {
   std::shared_ptr<TdpSession> session;
   {
     Registry& reg = registry();
-    std::lock_guard<std::mutex> lock(reg.mutex);
+    tdp::LockGuard lock(reg.mutex);
     auto it = reg.sessions.find(handle);
     if (it == reg.sessions.end()) return TDP_ERR_BAD_HANDLE;
     session = std::move(it->second);

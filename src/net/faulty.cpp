@@ -76,8 +76,8 @@ void FaultyEndpoint::sleep_ms(int ms) const {
 }
 
 bool FaultyEndpoint::account_message() {
-  // Called with mutex_ held. One forced disconnect consumes a transport-
-  // wide token so "one disconnect per client" schedules stay bounded.
+  // One forced disconnect consumes a transport-wide token so "one
+  // disconnect per client" schedules stay bounded.
   ++msgs_;
   if (plan_.disconnect_after_msgs <= 0 || msgs_ < plan_.disconnect_after_msgs) {
     return true;
@@ -102,7 +102,7 @@ Status FaultyEndpoint::send(const Message& msg) {
   int delay = 0;
   bool die = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (killed_.load(std::memory_order_acquire)) {
       return make_error(ErrorCode::kConnectionError, "fault injection: endpoint dead");
     }
@@ -152,7 +152,7 @@ Result<Message> FaultyEndpoint::receive(int timeout_ms) {
   bool corrupt = false;
   bool die = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (!account_message()) {
       die = true;
     } else {
@@ -175,7 +175,7 @@ Result<Message> FaultyEndpoint::receive(int timeout_ms) {
   stats_->corrupted.fetch_add(1, std::memory_order_relaxed);
   std::vector<std::uint8_t> frame = received->encode();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     corrupt_frame(frame, rng_);
   }
   auto decoded = Message::decode(frame.data(), frame.size());

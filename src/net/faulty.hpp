@@ -34,6 +34,7 @@
 
 #include "net/transport.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::net {
 
@@ -120,8 +121,8 @@ class FaultyEndpoint final : public Endpoint {
  private:
   /// Rolls the schedule forward one message; returns false when this
   /// message triggers the forced disconnect.
-  bool account_message();
-  bool roll(double prob);
+  bool account_message() TDP_REQUIRES(mutex_);
+  bool roll(double prob) TDP_REQUIRES(mutex_);
   void sleep_ms(int ms) const;
 
   std::unique_ptr<Endpoint> inner_;
@@ -129,9 +130,10 @@ class FaultyEndpoint final : public Endpoint {
   std::shared_ptr<FaultStats> stats_;
   std::shared_ptr<std::atomic<int>> disconnect_tokens_;
 
-  mutable std::mutex mutex_;  // guards rng_ and msgs_
-  Rng rng_;
-  int msgs_ = 0;
+  mutable Mutex mutex_{"FaultyEndpoint::mutex_"};
+  Rng rng_ TDP_GUARDED_BY(mutex_);
+  int msgs_ TDP_GUARDED_BY(mutex_) = 0;
+
   std::atomic<bool> killed_{false};
 };
 

@@ -40,7 +40,7 @@ class InProcQueue {
   void push(Message msg) {
     bool signal;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       queue_.push_back(std::move(msg));
       signal = fd_exported_;
     }
@@ -50,8 +50,8 @@ class InProcQueue {
 
   /// Pops the next message. timeout_ms: <0 block, 0 poll, >0 bounded.
   Result<Message> pop(int timeout_ms) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    auto ready = [this] { return !queue_.empty() || closed_; };
+    LockGuard lock(mutex_);
+    auto ready = [this]() TDP_REQUIRES(mutex_) { return !queue_.empty() || closed_; };
     if (timeout_ms < 0) {
       cv_.wait(lock, ready);
     } else if (timeout_ms > 0) {
@@ -74,7 +74,7 @@ class InProcQueue {
   void close() {
     bool signal;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       if (closed_) return;
       closed_ = true;
       signal = fd_exported_;
@@ -84,7 +84,7 @@ class InProcQueue {
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return closed_;
   }
 
@@ -93,7 +93,7 @@ class InProcQueue {
   /// (a blocking client's reply queue) never pay the two syscalls per
   /// message that keep the mirror level-triggered.
   [[nodiscard]] int read_fd() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (!fd_exported_) {
       fd_exported_ = true;
       // Mirror the current fill level (plus the close marker) so the fd is
@@ -120,13 +120,14 @@ class InProcQueue {
     }
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<Message> queue_;
-  bool closed_ = false;
-  mutable bool fd_exported_ = false;
-  int pipe_r_ = -1;
-  int pipe_w_ = -1;
+  CondVar cv_;
+  mutable Mutex mutex_{"InProcQueue::mutex_"};
+  std::deque<Message> queue_ TDP_GUARDED_BY(mutex_);
+  bool closed_ TDP_GUARDED_BY(mutex_) = false;
+  mutable bool fd_exported_ TDP_GUARDED_BY(mutex_) = false;
+
+  int pipe_r_ = -1;  ///< immutable after the ctor
+  int pipe_w_ = -1;  ///< immutable after the ctor
 };
 
 /// Shared state of one connection: two directed queues.
@@ -205,7 +206,7 @@ class InProcListenerState {
  public:
   void enqueue(std::unique_ptr<Endpoint> endpoint) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       pending_.push_back(std::move(endpoint));
     }
     signal_pipe();
@@ -213,8 +214,8 @@ class InProcListenerState {
   }
 
   Result<std::unique_ptr<Endpoint>> dequeue(int timeout_ms) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    auto ready = [this] { return !pending_.empty() || closed_; };
+    LockGuard lock(mutex_);
+    auto ready = [this]() TDP_REQUIRES(mutex_) { return !pending_.empty() || closed_; };
     if (timeout_ms < 0) {
       cv_.wait(lock, ready);
     } else if (timeout_ms > 0) {
@@ -234,7 +235,7 @@ class InProcListenerState {
 
   void close() {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       closed_ = true;
     }
     signal_pipe();
@@ -242,7 +243,7 @@ class InProcListenerState {
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     return closed_;
   }
 
@@ -277,12 +278,13 @@ class InProcListenerState {
     }
   }
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
-  std::deque<std::unique_ptr<Endpoint>> pending_;
-  bool closed_ = false;
-  int pipe_r_ = -1;
-  int pipe_w_ = -1;
+  CondVar cv_;
+  mutable Mutex mutex_{"InProcListenerState::mutex_"};
+  std::deque<std::unique_ptr<Endpoint>> pending_ TDP_GUARDED_BY(mutex_);
+  bool closed_ TDP_GUARDED_BY(mutex_) = false;
+
+  int pipe_r_ = -1;  ///< immutable after the ctor
+  int pipe_w_ = -1;  ///< immutable after the ctor
 };
 
 }  // namespace detail
@@ -339,7 +341,7 @@ Result<std::unique_ptr<Listener>> InProcTransport::listen(const std::string& add
   if (name.empty()) {
     return make_error(ErrorCode::kInvalidArgument, "empty inproc listener name");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (listeners_.count(name) != 0) {
     return make_error(ErrorCode::kAlreadyExists, "inproc name already bound: " + name);
   }
@@ -357,7 +359,7 @@ Result<std::unique_ptr<Endpoint>> InProcTransport::connect(const std::string& ad
   const std::string name = address.substr(9);
   std::shared_ptr<detail::InProcListenerState> state;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     auto it = listeners_.find(name);
     if (it == listeners_.end()) {
       return make_error(ErrorCode::kConnectionError, "no inproc listener: " + name);
@@ -377,12 +379,12 @@ Result<std::unique_ptr<Endpoint>> InProcTransport::connect(const std::string& ad
 }
 
 std::size_t InProcTransport::listener_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return listeners_.size();
 }
 
 void InProcTransport::unregister(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   listeners_.erase(name);
 }
 

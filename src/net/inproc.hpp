@@ -8,14 +8,13 @@
 // transports.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "net/transport.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::net {
 
@@ -46,8 +45,9 @@ class InProcTransport final : public Transport,
  private:
   InProcTransport() = default;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::shared_ptr<detail::InProcListenerState>> listeners_;
+  mutable Mutex mutex_{"InProcTransport::mutex_"};
+  std::map<std::string, std::shared_ptr<detail::InProcListenerState>> listeners_
+      TDP_GUARDED_BY(mutex_);
 };
 
 /// True when `address` uses the inproc:// scheme.

@@ -18,12 +18,12 @@ ProxyServer::~ProxyServer() { stop(); }
 
 void ProxyServer::register_service(const std::string& name,
                                    const std::string& target_address) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   services_[name] = target_address;
 }
 
 void ProxyServer::unregister_service(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   services_.erase(name);
 }
 
@@ -45,7 +45,7 @@ void ProxyServer::stop() {
   // Sever every live tunnel so detached pump threads wind down, then wait
   // for the count to drain.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     for (auto& weak : live_endpoints_) {
       if (auto endpoint = weak.lock()) endpoint->close();
     }
@@ -65,7 +65,7 @@ std::size_t ProxyServer::tunnels_opened() const {
 }
 
 void ProxyServer::set_relink_policy(RelinkPolicy policy) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   relink_ = policy;
 }
 
@@ -78,7 +78,7 @@ void ProxyServer::accept_loop() {
     }
     std::shared_ptr<Endpoint> shared(std::move(accepted).value().release());
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       if (!running_.load(std::memory_order_acquire)) {
         shared->close();
         break;
@@ -110,7 +110,7 @@ void ProxyServer::handle_connection_shared(std::shared_ptr<Endpoint> client) {
   const std::string service = hello->get("service");
   std::string target;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     auto it = services_.find(service);
     if (it != services_.end()) target = it->second;
   }
@@ -140,9 +140,9 @@ void ProxyServer::handle_connection_shared(std::shared_ptr<Endpoint> client) {
   auto tunnel = std::make_shared<Tunnel>();
   tunnel->client = client;
   tunnel->target = target;
-  tunnel->upstream = upstream;
+  int relink_budget = 0;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (!running_.load(std::memory_order_acquire)) {
       // stop() already swept the registry; do not start a tunnel it can
       // no longer sever.
@@ -150,8 +150,15 @@ void ProxyServer::handle_connection_shared(std::shared_ptr<Endpoint> client) {
       upstream->close();
       return;
     }
-    tunnel->relinks_left = relink_.enabled ? relink_.max_relinks : 0;
+    relink_budget = relink_.enabled ? relink_.max_relinks : 0;
     live_endpoints_.push_back(upstream);
+  }
+  {
+    // Deliberately outside mutex_: the tunnel lock orders before the
+    // registry lock (see the Tunnel comment in the header).
+    LockGuard tlock(tunnel->mu);
+    tunnel->upstream = upstream;
+    tunnel->relinks_left = relink_budget;
   }
   // Reverse direction pumped on its own (detached, counted) thread;
   // forward direction pumped on this connection's thread. Both endpoints
@@ -168,7 +175,7 @@ bool ProxyServer::relink(Tunnel& tunnel, std::uint64_t seen_generation) {
   // Held across the redial (backoff included): with the upstream dead no
   // traffic can flow anyway, and the lock makes the two pumps agree on a
   // single replacement instead of racing to dial twice.
-  std::lock_guard<std::mutex> lock(tunnel.mu);
+  LockGuard lock(tunnel.mu);
   if (tunnel.generation != seen_generation) return tunnel.upstream != nullptr;
   if (tunnel.upstream) tunnel.upstream->close();
   if (!tunnel.client->is_open()) {  // nobody left to relay for
@@ -177,7 +184,7 @@ bool ProxyServer::relink(Tunnel& tunnel, std::uint64_t seen_generation) {
   }
   int backoff;
   {
-    std::lock_guard<std::mutex> plock(mutex_);
+    LockGuard plock(mutex_);
     backoff = relink_.backoff_ms;
   }
   while (tunnel.relinks_left > 0 && running_.load(std::memory_order_acquire)) {
@@ -190,7 +197,7 @@ bool ProxyServer::relink(Tunnel& tunnel, std::uint64_t seen_generation) {
     if (!dialed.is_ok()) continue;
     std::shared_ptr<Endpoint> fresh(std::move(dialed).value().release());
     {
-      std::lock_guard<std::mutex> plock(mutex_);
+      LockGuard plock(mutex_);
       if (!running_.load(std::memory_order_acquire)) {
         fresh->close();
         break;
@@ -222,7 +229,7 @@ void ProxyServer::pump_client_to_upstream(const std::shared_ptr<Tunnel>& tunnel)
       std::shared_ptr<Endpoint> up;
       std::uint64_t generation;
       {
-        std::lock_guard<std::mutex> lock(tunnel->mu);
+        LockGuard lock(tunnel->mu);
         up = tunnel->upstream;
         generation = tunnel->generation;
       }
@@ -236,7 +243,7 @@ void ProxyServer::pump_client_to_upstream(const std::shared_ptr<Tunnel>& tunnel)
     if (!forwarded) break;
   }
   tunnel->client->close();
-  std::lock_guard<std::mutex> lock(tunnel->mu);
+  LockGuard lock(tunnel->mu);
   if (tunnel->upstream) tunnel->upstream->close();
 }
 
@@ -245,7 +252,7 @@ void ProxyServer::pump_upstream_to_client(const std::shared_ptr<Tunnel>& tunnel)
     std::shared_ptr<Endpoint> up;
     std::uint64_t generation;
     {
-      std::lock_guard<std::mutex> lock(tunnel->mu);
+      LockGuard lock(tunnel->mu);
       up = tunnel->upstream;
       generation = tunnel->generation;
     }
@@ -259,7 +266,7 @@ void ProxyServer::pump_upstream_to_client(const std::shared_ptr<Tunnel>& tunnel)
     if (!tunnel->client->send(std::move(msg).value()).is_ok()) break;
   }
   tunnel->client->close();
-  std::lock_guard<std::mutex> lock(tunnel->mu);
+  LockGuard lock(tunnel->mu);
   if (tunnel->upstream) tunnel->upstream->close();
 }
 

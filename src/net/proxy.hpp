@@ -22,12 +22,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "net/transport.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::net {
 
@@ -115,14 +115,17 @@ class ProxyServer {
  private:
   /// Shared state of one spliced connection; `upstream` is replaced (and
   /// `generation` bumped) when the relink policy restores a dead link.
+  /// Lock order: Tunnel::mu is always acquired before ProxyServer::mutex_
+  /// (relink() dials under mu and registers the fresh endpoint under
+  /// mutex_); nothing may take mu while holding mutex_.
   struct Tunnel {
     std::shared_ptr<Endpoint> client;
     std::string target;  ///< dial string for relinks
 
-    std::mutex mu;  // guards upstream/generation/relinks_left
-    std::shared_ptr<Endpoint> upstream;
-    std::uint64_t generation = 0;
-    int relinks_left = 0;
+    Mutex mu{"ProxyServer::Tunnel::mu"};
+    std::shared_ptr<Endpoint> upstream TDP_GUARDED_BY(mu);
+    std::uint64_t generation TDP_GUARDED_BY(mu) = 0;
+    int relinks_left TDP_GUARDED_BY(mu) = 0;
   };
 
   void accept_loop();
@@ -132,15 +135,17 @@ class ProxyServer {
   /// Redials the tunnel's target after the upstream at `seen_generation`
   /// died. Returns true when a live upstream exists afterwards (this call
   /// relinked, or another pump already had).
-  bool relink(Tunnel& tunnel, std::uint64_t seen_generation);
+  bool relink(Tunnel& tunnel, std::uint64_t seen_generation)
+      TDP_EXCLUDES(tunnel.mu, mutex_);
 
   std::shared_ptr<Transport> transport_;
   std::unique_ptr<Listener> listener_;
   std::string address_;
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::string> services_;
-  RelinkPolicy relink_;  ///< guarded by mutex_
+  mutable Mutex mutex_{"ProxyServer::mutex_"};
+  std::map<std::string, std::string> services_ TDP_GUARDED_BY(mutex_);
+  RelinkPolicy relink_ TDP_GUARDED_BY(mutex_);
+
   std::thread accept_thread_;
   std::atomic<bool> running_{false};
   std::atomic<std::size_t> tunnels_{0};
@@ -151,7 +156,7 @@ class ProxyServer {
   std::atomic<int> active_threads_{0};
   /// Weak handles to endpoints so stop() can sever live tunnels; pruned
   /// opportunistically.
-  std::vector<std::weak_ptr<Endpoint>> live_endpoints_;
+  std::vector<std::weak_ptr<Endpoint>> live_endpoints_ TDP_GUARDED_BY(mutex_);
 };
 
 /// Client-side helper implementing the Section 2.4 contract: TDP hands the

@@ -26,7 +26,7 @@ Reactor::~Reactor() {
 
 void Reactor::add_readable(int fd, Handler handler) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     handlers_[fd] = std::move(handler);
     ++generation_;
   }
@@ -38,7 +38,7 @@ void Reactor::add_readable(int fd, Handler handler) {
 }
 
 void Reactor::remove(int fd) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   if (handlers_.erase(fd) != 0) ++generation_;
   // No wake needed: a removed fd at worst causes one spurious-but-ignored
   // dispatch attempt (the handler lookup below misses).
@@ -64,7 +64,7 @@ void Reactor::refresh_cache_locked() {
 
 int Reactor::run_once(int timeout_ms) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     refresh_cache_locked();
   }
 
@@ -86,11 +86,14 @@ int Reactor::run_once(int timeout_ms) {
     if ((pfds_[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
     Handler handler;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       auto it = handlers_.find(pfd_fds_[i]);
       if (it == handlers_.end()) continue;  // removed by an earlier handler
       handler = it->second;                 // copy so handlers may remove(fd)
     }
+    // Handlers run with the reactor unlocked so they may re-enter
+    // add_readable/remove without deadlocking.
+    mutex_.assert_not_held();
     handler();
     ++dispatched;
   }
@@ -113,7 +116,7 @@ void Reactor::stop() {
 }
 
 std::size_t Reactor::watch_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return handlers_.size();
 }
 

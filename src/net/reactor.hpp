@@ -22,10 +22,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "util/status.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::net {
 
@@ -67,12 +67,14 @@ class Reactor {
 
  private:
   /// Rebuilds pfds_/pfd_fds_ from handlers_ when generation_ moved.
-  void refresh_cache_locked();
+  void refresh_cache_locked() TDP_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<int, Handler> handlers_;
-  std::uint64_t generation_ = 1;        ///< bumped by add_readable/remove
-  std::uint64_t cache_generation_ = 0;  ///< generation pfds_ was built from
+  mutable Mutex mutex_{"Reactor::mutex_"};
+  std::map<int, Handler> handlers_ TDP_GUARDED_BY(mutex_);
+  /// Bumped by add_readable/remove.
+  std::uint64_t generation_ TDP_GUARDED_BY(mutex_) = 1;
+  /// Generation pfds_ was built from.
+  std::uint64_t cache_generation_ TDP_GUARDED_BY(mutex_) = 0;
 
   /// Cached poll set (wake pipe appended last). Owned by the loop thread
   /// between run_once calls; rebuilt under mutex_ when stale.

@@ -11,10 +11,10 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <mutex>
 #include <vector>
 
 #include "util/string_util.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::net {
 
@@ -98,7 +98,7 @@ class TcpEndpoint final : public Endpoint {
   using Endpoint::send;
 
   Status send(const Message& msg) override {
-    std::lock_guard<std::mutex> lock(send_mutex_);
+    LockGuard lock(send_mutex_);
     if (closed_.load(std::memory_order_acquire)) {
       return make_error(ErrorCode::kConnectionError, "endpoint closed");
     }
@@ -124,7 +124,7 @@ class TcpEndpoint final : public Endpoint {
   }
 
   Result<Message> receive(int timeout_ms) override {
-    std::lock_guard<std::mutex> lock(recv_mutex_);
+    LockGuard lock(recv_mutex_);
     auto frame_size = await_frame(timeout_ms);
     if (!frame_size.is_ok()) return frame_size.status();
     auto decoded = Message::decode(buffer_.data(), frame_size.value());
@@ -133,7 +133,7 @@ class TcpEndpoint final : public Endpoint {
   }
 
   Status receive_view(int timeout_ms, MessageView* view) override {
-    std::lock_guard<std::mutex> lock(recv_mutex_);
+    LockGuard lock(recv_mutex_);
     auto frame_size = await_frame(timeout_ms);
     if (!frame_size.is_ok()) return frame_size.status();
     // The view borrows buffer_; the frame is consumed lazily at the next
@@ -163,8 +163,8 @@ class TcpEndpoint final : public Endpoint {
 
  private:
   /// Waits until buffer_ holds one complete frame and returns its size.
-  /// Consumes the previously returned frame first. recv_mutex_ held.
-  Result<std::size_t> await_frame(int timeout_ms) {
+  /// Consumes the previously returned frame first.
+  Result<std::size_t> await_frame(int timeout_ms) TDP_REQUIRES(recv_mutex_) {
     if (closed_.load(std::memory_order_acquire)) {
       return make_error(ErrorCode::kConnectionError, "endpoint closed");
     }
@@ -215,12 +215,13 @@ class TcpEndpoint final : public Endpoint {
 
   UniqueFd fd_;
   std::string peer_;
-  std::vector<std::uint8_t> buffer_;
-  std::vector<std::uint8_t> send_buf_;
-  std::size_t consume_ = 0;  ///< bytes of buffer_ handed out as the last frame
   std::atomic<bool> closed_{false};
-  std::mutex send_mutex_;
-  std::mutex recv_mutex_;
+  Mutex send_mutex_{"TcpEndpoint::send_mutex_"};
+  std::vector<std::uint8_t> send_buf_ TDP_GUARDED_BY(send_mutex_);
+  Mutex recv_mutex_{"TcpEndpoint::recv_mutex_"};
+  std::vector<std::uint8_t> buffer_ TDP_GUARDED_BY(recv_mutex_);
+  /// Bytes of buffer_ handed out as the last frame.
+  std::size_t consume_ TDP_GUARDED_BY(recv_mutex_) = 0;
 };
 
 class TcpListener final : public Listener {

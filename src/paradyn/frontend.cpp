@@ -22,7 +22,7 @@ Result<std::string> Frontend::start(const std::string& listen_address) {
   address_ = listener_->address();
   running_.store(true, std::memory_order_release);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     threads_.emplace_back([this] { accept_loop(); });
   }
   kLog.info("front-end listening on ", address_);
@@ -40,7 +40,7 @@ void Frontend::stop() {
     std::vector<std::thread> to_join;
     std::map<proc::Pid, std::shared_ptr<net::Endpoint>> to_close;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       to_join.swap(threads_);
       to_close.swap(daemons_);
     }
@@ -67,12 +67,12 @@ int Frontend::port() const {
 }
 
 std::size_t Frontend::daemon_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return daemons_.size();
 }
 
 std::vector<proc::Pid> Frontend::finished_pids() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return finished_;
 }
 
@@ -84,7 +84,7 @@ void Frontend::accept_loop() {
       break;
     }
     std::shared_ptr<net::Endpoint> endpoint(std::move(accepted).value().release());
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (!running_.load(std::memory_order_acquire)) {
       endpoint->close();
       break;
@@ -105,7 +105,7 @@ void Frontend::serve_daemon(std::shared_ptr<net::Endpoint> endpoint) {
     switch (msg.type()) {
       case net::MsgType::kParadynHello: {
         pid = msg.get_int("pid");
-        std::lock_guard<std::mutex> lock(mutex_);
+        LockGuard lock(mutex_);
         daemons_[pid] = endpoint;
         kLog.info("daemon '", msg.get("daemon"), "' attached to pid ", pid,
                   " (", msg.get("executable"), ")");
@@ -129,7 +129,7 @@ void Frontend::serve_daemon(std::shared_ptr<net::Endpoint> endpoint) {
           metrics_.record(sample, report_pid);
         }
         if (msg.get("final") == "1") {
-          std::lock_guard<std::mutex> lock(mutex_);
+          LockGuard lock(mutex_);
           finished_.push_back(report_pid);
         }
         break;
@@ -146,7 +146,7 @@ void Frontend::serve_daemon(std::shared_ptr<net::Endpoint> endpoint) {
     }
   }
   if (pid != 0) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     daemons_.erase(pid);
   }
   endpoint->close();
@@ -156,7 +156,7 @@ Status Frontend::command(proc::Pid pid, const std::string& cmd,
                          const std::map<std::string, std::string>& fields) {
   std::shared_ptr<net::Endpoint> endpoint;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     auto it = daemons_.find(pid);
     if (it == daemons_.end()) {
       return make_error(ErrorCode::kNotFound,
@@ -174,7 +174,7 @@ Status Frontend::command_all(const std::string& cmd,
                              const std::map<std::string, std::string>& fields) {
   std::vector<std::shared_ptr<net::Endpoint>> endpoints;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     endpoints.reserve(daemons_.size());
     for (auto& [pid, endpoint] : daemons_) endpoints.push_back(endpoint);
   }

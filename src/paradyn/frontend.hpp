@@ -15,7 +15,6 @@
 #include <atomic>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -23,6 +22,7 @@
 #include "net/transport.hpp"
 #include "paradyn/consultant.hpp"
 #include "paradyn/metrics.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::paradyn {
 
@@ -96,12 +96,14 @@ class Frontend {
   std::string address_;
   MetricStore metrics_;
 
-  mutable std::mutex mutex_;
-  std::map<proc::Pid, std::shared_ptr<net::Endpoint>> daemons_;
-  std::vector<proc::Pid> finished_;
-  std::vector<std::thread> threads_;
+  mutable Mutex mutex_{"Frontend::mutex_"};
+  std::map<proc::Pid, std::shared_ptr<net::Endpoint>> daemons_ TDP_GUARDED_BY(mutex_);
+  std::vector<proc::Pid> finished_ TDP_GUARDED_BY(mutex_);
+  std::vector<std::thread> threads_ TDP_GUARDED_BY(mutex_);
+
   std::atomic<bool> running_{false};
   std::atomic<std::size_t> reports_{0};
+  /// Touched only from the user-facing thread (start/stop/publish_contact).
   std::unique_ptr<attr::AttrClient> cass_;
 };
 

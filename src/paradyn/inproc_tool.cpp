@@ -26,13 +26,13 @@ Result<proc::Pid> InProcParadynLauncher::launch(
   config.retry = options_.retry;
 
   const int timeout_ms = options_.run_timeout_ms;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   threads_.emplace_back([this, config = std::move(config), timeout_ms]() mutable {
     Paradynd daemon(std::move(config));
     Status status = daemon.start();
     if (status.is_ok()) status = daemon.run(timeout_ms);
     daemon.stop();
-    std::lock_guard<std::mutex> inner(mutex_);
+    LockGuard inner(mutex_);
     last_status_ = status;
     if (!status.is_ok()) {
       kLog.warn("in-process paradynd finished with: ", status.to_string());
@@ -47,7 +47,7 @@ void InProcParadynLauncher::join_all() {
   while (true) {
     std::vector<std::thread> to_join;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       to_join.swap(threads_);
     }
     if (to_join.empty()) break;
@@ -58,7 +58,7 @@ void InProcParadynLauncher::join_all() {
 }
 
 Status InProcParadynLauncher::last_daemon_status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return last_status_;
 }
 

@@ -8,12 +8,12 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "condor/starter.hpp"
 #include "paradyn/paradynd.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::paradyn {
 
@@ -52,10 +52,11 @@ class InProcParadynLauncher final : public condor::ToolLauncher {
 
  private:
   Options options_;
-  mutable std::mutex mutex_;
-  std::vector<std::thread> threads_;
+  mutable Mutex mutex_{"InProcParadynLauncher::mutex_"};
+  std::vector<std::thread> threads_ TDP_GUARDED_BY(mutex_);
+  Status last_status_ TDP_GUARDED_BY(mutex_);
+
   std::atomic<std::size_t> launched_{0};
-  Status last_status_;
 };
 
 }  // namespace tdp::paradyn

@@ -17,7 +17,7 @@ std::string process_focus(proc::Pid pid) {
 }
 
 void MetricStore::record(const Sample& sample, proc::Pid pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto& per_focus = data_[sample.metric];
   per_focus[code_focus()] += sample.value;
   per_focus[module_focus(sample.module)] += sample.value;
@@ -31,7 +31,7 @@ void MetricStore::record_all(const std::vector<Sample>& samples, proc::Pid pid) 
 }
 
 double MetricStore::value(Metric metric, const std::string& focus) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto metric_it = data_.find(metric);
   if (metric_it == data_.end()) return 0.0;
   auto focus_it = metric_it->second.find(focus);
@@ -40,7 +40,7 @@ double MetricStore::value(Metric metric, const std::string& focus) const {
 
 std::vector<std::string> MetricStore::children(Metric metric,
                                                const std::string& focus) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<std::string> out;
   auto metric_it = data_.find(metric);
   if (metric_it == data_.end()) return out;
@@ -55,7 +55,7 @@ std::vector<std::string> MetricStore::children(Metric metric,
 }
 
 std::vector<std::string> MetricStore::foci(Metric metric) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<std::string> out;
   auto metric_it = data_.find(metric);
   if (metric_it == data_.end()) return out;
@@ -65,12 +65,12 @@ std::vector<std::string> MetricStore::foci(Metric metric) const {
 }
 
 std::size_t MetricStore::sample_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return samples_;
 }
 
 void MetricStore::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   data_.clear();
   samples_ = 0;
 }

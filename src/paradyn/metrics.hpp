@@ -9,11 +9,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "paradyn/dyninst.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::paradyn {
 
@@ -48,10 +48,10 @@ class MetricStore {
   void clear();
 
  private:
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_{"MetricStore::mutex_"};
   /// metric -> focus -> accumulated value.
-  std::map<Metric, std::map<std::string, double>> data_;
-  std::size_t samples_ = 0;
+  std::map<Metric, std::map<std::string, double>> data_ TDP_GUARDED_BY(mutex_);
+  std::size_t samples_ TDP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace tdp::paradyn

@@ -168,13 +168,13 @@ Result<proc::Pid> InProcTraceLauncher::launch(
                         (spec.output.empty() ? "trace" : spec.output);
   }
   const int timeout_ms = options_.run_timeout_ms;
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   threads_.emplace_back([this, config = std::move(config), timeout_ms]() mutable {
     TraceTool tracer(std::move(config));
     Status status = tracer.start();
     if (status.is_ok()) status = tracer.run(timeout_ms);
     tracer.stop();
-    std::lock_guard<std::mutex> inner(mutex_);
+    LockGuard inner(mutex_);
     last_status_ = status;
     last_records_ = tracer.records().size();
   });
@@ -186,7 +186,7 @@ void InProcTraceLauncher::join_all() {
   while (true) {
     std::vector<std::thread> to_join;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       to_join.swap(threads_);
     }
     if (to_join.empty()) break;
@@ -197,12 +197,12 @@ void InProcTraceLauncher::join_all() {
 }
 
 Status InProcTraceLauncher::last_tracer_status() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return last_status_;
 }
 
 std::size_t InProcTraceLauncher::last_record_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return last_records_;
 }
 

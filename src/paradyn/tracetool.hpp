@@ -23,12 +23,12 @@
 #include <vector>
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 
 #include "condor/starter.hpp"
 #include "core/tdp.hpp"
 #include "paradyn/dyninst.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::paradyn {
 
@@ -135,11 +135,12 @@ class InProcTraceLauncher final : public condor::ToolLauncher {
 
  private:
   Options options_;
-  mutable std::mutex mutex_;
-  std::vector<std::thread> threads_;
+  mutable Mutex mutex_{"InProcTraceLauncher::mutex_"};
+  std::vector<std::thread> threads_ TDP_GUARDED_BY(mutex_);
+  Status last_status_ TDP_GUARDED_BY(mutex_);
+  std::size_t last_records_ TDP_GUARDED_BY(mutex_) = 0;
+
   std::atomic<std::size_t> launched_{0};
-  Status last_status_;
-  std::size_t last_records_ = 0;
 };
 
 }  // namespace tdp::paradyn

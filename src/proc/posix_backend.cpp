@@ -83,7 +83,7 @@ Status errno_status(ErrorCode code, const char* what) {
 PosixProcessBackend::~PosixProcessBackend() {
   // Last-resort cleanup: kill and reap everything still alive so tests and
   // daemons never leak stopped children.
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (auto& [pid, managed] : managed_) {
     if (!is_terminal(managed.info.state)) {
       ::kill(static_cast<pid_t>(pid), SIGKILL);
@@ -168,7 +168,7 @@ Result<Pid> PosixProcessBackend::create_process(const CreateOptions& options) {
     ::close(err_pipe[0]);
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   Managed managed;
   managed.info.pid = child;
   managed.info.state = initial_state;
@@ -187,7 +187,7 @@ Result<PosixProcessBackend::Managed*> PosixProcessBackend::find_locked(Pid pid) 
 }
 
 Status PosixProcessBackend::attach(Pid pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto found = find_locked(pid);
   if (!found.is_ok()) return found.status();
   Managed* managed = found.value();
@@ -208,7 +208,7 @@ Status PosixProcessBackend::attach(Pid pid) {
 }
 
 Status PosixProcessBackend::continue_process(Pid pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto found = find_locked(pid);
   if (!found.is_ok()) return found.status();
   Managed* managed = found.value();
@@ -227,7 +227,7 @@ Status PosixProcessBackend::continue_process(Pid pid) {
 }
 
 Status PosixProcessBackend::pause_process(Pid pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto found = find_locked(pid);
   if (!found.is_ok()) return found.status();
   Managed* managed = found.value();
@@ -246,7 +246,7 @@ Status PosixProcessBackend::pause_process(Pid pid) {
 }
 
 Status PosixProcessBackend::kill_process(Pid pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto found = find_locked(pid);
   if (!found.is_ok()) return found.status();
   Managed* managed = found.value();
@@ -261,7 +261,7 @@ Status PosixProcessBackend::kill_process(Pid pid) {
 }
 
 Result<ProcessInfo> PosixProcessBackend::info(Pid pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto found = find_locked(pid);
   if (!found.is_ok()) return found.status();
   drain_status_locked(pid, &pending_events_);
@@ -310,7 +310,7 @@ void PosixProcessBackend::drain_status_locked(Pid pid,
 }
 
 std::vector<ProcessEvent> PosixProcessBackend::poll_events() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   for (auto& [pid, managed] : managed_) {
     if (!managed.reaped) drain_status_locked(pid, &pending_events_);
   }
@@ -325,7 +325,7 @@ Result<ProcessInfo> PosixProcessBackend::wait_terminal(Pid pid, int timeout_ms) 
       std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
   while (true) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      LockGuard lock(mutex_);
       auto found = find_locked(pid);
       if (!found.is_ok()) return found.status();
       drain_status_locked(pid, &pending_events_);
@@ -339,7 +339,7 @@ Result<ProcessInfo> PosixProcessBackend::wait_terminal(Pid pid, int timeout_ms) 
 }
 
 std::size_t PosixProcessBackend::managed_count() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::size_t count = 0;
   for (const auto& [pid, managed] : managed_) {
     if (!managed.reaped) ++count;

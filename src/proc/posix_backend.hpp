@@ -18,9 +18,9 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 
 #include "proc/backend.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::proc {
 
@@ -47,13 +47,14 @@ class PosixProcessBackend final : public ProcessBackend {
 
   /// Reaps pending waitpid statuses for `pid` without blocking; updates the
   /// registry and appends events. Caller holds mutex_.
-  void drain_status_locked(Pid pid, std::vector<ProcessEvent>* events);
+  void drain_status_locked(Pid pid, std::vector<ProcessEvent>* events)
+      TDP_REQUIRES(mutex_);
 
-  Result<Managed*> find_locked(Pid pid);
+  Result<Managed*> find_locked(Pid pid) TDP_REQUIRES(mutex_);
 
-  std::mutex mutex_;
-  std::map<Pid, Managed> managed_;
-  std::vector<ProcessEvent> pending_events_;
+  Mutex mutex_{"PosixBackend::mutex_"};
+  std::map<Pid, Managed> managed_ TDP_GUARDED_BY(mutex_);
+  std::vector<ProcessEvent> pending_events_ TDP_GUARDED_BY(mutex_);
 };
 
 }  // namespace tdp::proc

@@ -12,7 +12,7 @@ Result<Pid> SimProcessBackend::create_process(const CreateOptions& options) {
   if (options.sim_work_units < 0) {
     return make_error(ErrorCode::kInvalidArgument, "sim_work_units must be >= 0");
   }
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   SimProcess process;
   process.info.pid = next_pid_++;
   process.info.executable = options.argv[0];
@@ -56,7 +56,7 @@ Result<SimProcessBackend::SimProcess*> SimProcessBackend::find_locked(Pid pid) {
 }
 
 Status SimProcessBackend::attach(Pid pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto found = find_locked(pid);
   if (!found.is_ok()) return found.status();
   SimProcess* process = found.value();
@@ -71,7 +71,7 @@ Status SimProcessBackend::attach(Pid pid) {
 }
 
 Status SimProcessBackend::continue_process(Pid pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto found = find_locked(pid);
   if (!found.is_ok()) return found.status();
   SimProcess* process = found.value();
@@ -80,7 +80,7 @@ Status SimProcessBackend::continue_process(Pid pid) {
 }
 
 Status SimProcessBackend::pause_process(Pid pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto found = find_locked(pid);
   if (!found.is_ok()) return found.status();
   SimProcess* process = found.value();
@@ -89,7 +89,7 @@ Status SimProcessBackend::pause_process(Pid pid) {
 }
 
 Status SimProcessBackend::kill_process(Pid pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto found = find_locked(pid);
   if (!found.is_ok()) return found.status();
   SimProcess* process = found.value();
@@ -99,14 +99,14 @@ Status SimProcessBackend::kill_process(Pid pid) {
 }
 
 Result<ProcessInfo> SimProcessBackend::info(Pid pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto found = find_locked(pid);
   if (!found.is_ok()) return found.status();
   return found.value()->info;
 }
 
 std::vector<ProcessEvent> SimProcessBackend::poll_events() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::vector<ProcessEvent> out;
   out.swap(pending_events_);
   return out;
@@ -115,7 +115,7 @@ std::vector<ProcessEvent> SimProcessBackend::poll_events() {
 Result<ProcessInfo> SimProcessBackend::wait_terminal(Pid pid, int timeout_ms) {
   // The simulated world only advances via step(); waiting wall-clock time
   // cannot change anything, so return immediately unless already terminal.
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto found = find_locked(pid);
   if (!found.is_ok()) return found.status();
   if (is_terminal(found.value()->info.state)) return found.value()->info;
@@ -125,7 +125,7 @@ Result<ProcessInfo> SimProcessBackend::wait_terminal(Pid pid, int timeout_ms) {
 }
 
 std::size_t SimProcessBackend::managed_count() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   std::size_t count = 0;
   for (const auto& [pid, process] : managed_) {
     if (!is_terminal(process.info.state)) ++count;
@@ -134,7 +134,7 @@ std::size_t SimProcessBackend::managed_count() {
 }
 
 int SimProcessBackend::step(std::int64_t units) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   int terminated = 0;
   for (auto& [pid, process] : managed_) {
     if (process.info.state != ProcessState::kRunning) continue;
@@ -150,7 +150,7 @@ int SimProcessBackend::step(std::int64_t units) {
 }
 
 Result<std::string> SimProcessBackend::checkpoint(Pid pid) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = managed_.find(pid);
   if (it == managed_.end()) {
     return make_error(ErrorCode::kNotFound, "pid not managed: " + std::to_string(pid));
@@ -201,7 +201,7 @@ Result<Pid> SimProcessBackend::restore(const std::string& checkpoint,
 }
 
 Result<std::int64_t> SimProcessBackend::remaining_work(Pid pid) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   auto it = managed_.find(pid);
   if (it == managed_.end()) {
     return make_error(ErrorCode::kNotFound, "pid not managed: " + std::to_string(pid));
@@ -210,7 +210,7 @@ Result<std::int64_t> SimProcessBackend::remaining_work(Pid pid) const {
 }
 
 std::int64_t SimProcessBackend::total_work_done() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  LockGuard lock(mutex_);
   return work_done_;
 }
 

@@ -14,9 +14,9 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 
 #include "proc/backend.hpp"
+#include "util/sync.hpp"
 
 namespace tdp::proc {
 
@@ -57,14 +57,15 @@ class SimProcessBackend final : public ProcessBackend {
     std::int64_t remaining_work = 0;
   };
 
-  Status transition_locked(SimProcess& process, ProcessState to);
-  Result<SimProcess*> find_locked(Pid pid);
+  Status transition_locked(SimProcess& process, ProcessState to)
+      TDP_REQUIRES(mutex_);
+  Result<SimProcess*> find_locked(Pid pid) TDP_REQUIRES(mutex_);
 
-  mutable std::mutex mutex_;
-  std::map<Pid, SimProcess> managed_;
-  std::vector<ProcessEvent> pending_events_;
-  Pid next_pid_ = 1000;
-  std::int64_t work_done_ = 0;
+  mutable Mutex mutex_{"SimBackend::mutex_"};
+  std::map<Pid, SimProcess> managed_ TDP_GUARDED_BY(mutex_);
+  std::vector<ProcessEvent> pending_events_ TDP_GUARDED_BY(mutex_);
+  Pid next_pid_ TDP_GUARDED_BY(mutex_) = 1000;
+  std::int64_t work_done_ TDP_GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace tdp::proc

@@ -2,14 +2,16 @@
 
 #include <cstdio>
 
+#include "util/sync.hpp"
+
 namespace tdp::log {
 
 namespace {
 
 std::atomic<Level> g_level{Level::kWarn};
 
-std::mutex& sink_mutex() {
-  static std::mutex m;
+tdp::Mutex& sink_mutex() {
+  static tdp::Mutex m{"log::sink_mutex"};
   return m;
 }
 
@@ -37,7 +39,7 @@ void set_level(Level level) noexcept { g_level.store(level, std::memory_order_re
 Level get_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
 void set_sink(Sink sink) {
-  std::lock_guard<std::mutex> lock(sink_mutex());
+  LockGuard lock(sink_mutex());
   sink_ref() = std::move(sink);
 }
 
@@ -51,7 +53,7 @@ void write(Level level, std::string_view component, std::string_view message) {
   line += ": ";
   line += message;
 
-  std::lock_guard<std::mutex> lock(sink_mutex());
+  LockGuard lock(sink_mutex());
   if (sink_ref()) {
     sink_ref()(line);
   } else {

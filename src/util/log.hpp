@@ -7,7 +7,6 @@
 
 #include <atomic>
 #include <functional>
-#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
