@@ -1,0 +1,202 @@
+// bench_telemetry - the observability tax. The telemetry registry and
+// tracer are compiled into every daemon, so the number that matters is the
+// overhead they add to the attribute-space hot path of bench_fig2 when
+// nothing is being traced (the steady state: counters tick, spans are
+// absent). Target: < 3% on the inproc put+get round trip; CI fails the
+// bench job above 5%.
+//
+// Three modes, interleaved in batches so machine noise (frequency
+// scaling, cache state) lands evenly on both sides of the comparison:
+//
+//   telemetry_off - Tracer disabled: counters still tick (they are
+//                   unconditional relaxed adds), span machinery dormant.
+//   telemetry_on  - Tracer enabled, no active span: the steady state of a
+//                   production daemon between traced requests.
+//   traced        - every round trip under a live span: headers stamped,
+//                   server dispatch spans opened, latency histograms fed.
+//                   This is the *opt-in* cost, reported but not gated.
+//
+// Writes BENCH_telemetry.json into the working directory (the repo root
+// when driven by scripts/ci.sh bench).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <optional>
+
+#include "bench_util.hpp"
+#include "util/telemetry.hpp"
+
+namespace {
+
+using namespace tdp;
+using bench::AttrSpaceFixture;
+using bench::BenchResult;
+using bench::LatencyRecorder;
+
+// --- console pass: metric primitives ---------------------------------------
+
+void BM_Telemetry_CounterInc(benchmark::State& state) {
+  telemetry::Counter& counter =
+      telemetry::Registry::instance().counter("bench.counter");
+  for (auto _ : state) counter.inc();
+  benchmark::DoNotOptimize(counter.value());
+}
+BENCHMARK(BM_Telemetry_CounterInc);
+
+void BM_Telemetry_HistogramRecord(benchmark::State& state) {
+  telemetry::Histogram& histogram =
+      telemetry::Registry::instance().histogram("bench.histogram");
+  std::uint64_t v = 0;
+  for (auto _ : state) histogram.record(v++ & 0xffff);
+  benchmark::DoNotOptimize(histogram.snapshot().count);
+}
+BENCHMARK(BM_Telemetry_HistogramRecord);
+
+void BM_Telemetry_SpanLifecycle(benchmark::State& state) {
+  telemetry::Tracer::instance().clear();
+  for (auto _ : state) {
+    telemetry::Span span("bench.op", "bench");
+    benchmark::DoNotOptimize(span.context().trace_id);
+  }
+  telemetry::Tracer::instance().clear();
+}
+BENCHMARK(BM_Telemetry_SpanLifecycle);
+
+void BM_Telemetry_RegistryLookup(benchmark::State& state) {
+  // The anti-pattern cost (lookup per op instead of a cached reference),
+  // kept visible so nobody "simplifies" the cached-static idiom away.
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        &telemetry::Registry::instance().counter("bench.lookup"));
+  }
+}
+BENCHMARK(BM_Telemetry_RegistryLookup);
+
+// --- console pass: instrumented fig2 round trip -----------------------------
+
+void BM_Telemetry_Fig2RoundTrip(benchmark::State& state) {
+  bench::silence_logs();
+  auto fixture = AttrSpaceFixture::inproc("telemetry-fig2");
+  auto client = fixture.client();
+  const int mode = static_cast<int>(state.range(0));
+  telemetry::Tracer::instance().set_enabled(mode != 0);
+  telemetry::Tracer::instance().clear();
+  std::optional<telemetry::Span> span;
+  if (mode == 2) span.emplace("bench.traced", "bench");
+  std::int64_t i = 0;
+  for (auto _ : state) {
+    const std::string attr = "k" + std::to_string(i++ % 128);
+    client->put(attr, "value");
+    benchmark::DoNotOptimize(client->try_get(attr));
+  }
+  state.SetLabel(mode == 0   ? "telemetry_off"
+                 : mode == 1 ? "telemetry_on"
+                             : "traced");
+  span.reset();
+  telemetry::Tracer::instance().set_enabled(true);
+  telemetry::Tracer::instance().clear();
+}
+BENCHMARK(BM_Telemetry_Fig2RoundTrip)->Arg(0)->Arg(1)->Arg(2)
+    ->Unit(benchmark::kMicrosecond);
+
+// --- machine-readable pass: BENCH_telemetry.json ----------------------------
+
+struct ModeResult {
+  const char* mode;
+  BenchResult result;
+};
+
+std::string mode_result_to_json(const ModeResult& row) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "{\"name\": \"%s\", \"mode\": \"%s\", "
+                "\"ops_per_sec\": %.1f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
+                "\"iterations\": %zu}",
+                row.result.name.c_str(), row.mode, row.result.ops_per_sec,
+                row.result.p50_us, row.result.p99_us, row.result.iterations);
+  return buf;
+}
+
+void emit_telemetry_json() {
+  bench::silence_logs();
+  telemetry::Tracer& tracer = telemetry::Tracer::instance();
+
+  auto fixture = AttrSpaceFixture::inproc("telemetry-json");
+  auto client = fixture.client();
+  auto round_trip = [&](int i) {
+    const std::string attr = "k" + std::to_string(i % 128);
+    client->put(attr, "value");
+    benchmark::DoNotOptimize(client->try_get(attr));
+  };
+
+  // Warm-up: populate the key space and fault in every code path once.
+  LatencyRecorder warmup;
+  warmup.measure(512, round_trip);
+
+  // Interleaved batches: off/on/traced take turns so slow drift in machine
+  // state cannot masquerade as telemetry overhead.
+  LatencyRecorder off;
+  LatencyRecorder on;
+  LatencyRecorder traced;
+  constexpr int kBatches = 10;
+  constexpr int kBatchIters = 400;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    tracer.set_enabled(false);
+    off.measure(kBatchIters, round_trip);
+    tracer.set_enabled(true);
+    on.measure(kBatchIters, round_trip);
+    {
+      telemetry::Span span("bench.traced", "bench");
+      traced.measure(kBatchIters, round_trip);
+    }
+    tracer.clear();  // keep the finished-span buffer far from its cap
+  }
+  tracer.set_enabled(true);
+  tracer.clear();
+
+  std::vector<ModeResult> rows = {
+      {"telemetry_off", BenchResult::from("fig2_put_get", "inproc", off)},
+      {"telemetry_on", BenchResult::from("fig2_put_get", "inproc", on)},
+      {"traced", BenchResult::from("fig2_put_get", "inproc", traced)},
+  };
+
+  // The gated number: steady-state (untraced) slowdown of the hot path.
+  const double overhead_pct =
+      off.ops_per_sec() > 0
+          ? (off.ops_per_sec() - on.ops_per_sec()) / off.ops_per_sec() * 100.0
+          : 0.0;
+  const double traced_overhead_pct =
+      off.ops_per_sec() > 0
+          ? (off.ops_per_sec() - traced.ops_per_sec()) / off.ops_per_sec() *
+                100.0
+          : 0.0;
+
+  std::ofstream out("BENCH_telemetry.json", std::ios::trunc);
+  out << "{\n  \"benchmark\": \"telemetry\",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    out << "    " << mode_result_to_json(rows[i])
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  char tail[160];
+  std::snprintf(tail, sizeof(tail),
+                "  ],\n  \"overhead_pct\": %.2f,\n"
+                "  \"traced_overhead_pct\": %.2f\n}\n",
+                overhead_pct, traced_overhead_pct);
+  out << tail;
+
+  std::printf("telemetry overhead: untraced %.2f%%, traced %.2f%% "
+              "(BENCH_telemetry.json)\n",
+              overhead_pct, traced_overhead_pct);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_telemetry_json();
+  return 0;
+}

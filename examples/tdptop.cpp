@@ -1,0 +1,189 @@
+// tdptop.cpp - top(1) for TDP daemons, fed entirely through the attribute
+// space. Daemons publish their metrics registries under
+// tdp.telemetry.<role>.<host>.* (see attrspace/telemetry_export.hpp);
+// tdptop joins the same context with a plain tdp_init, subscribes to the
+// telemetry prefix, and renders a live per-daemon table. No side channel,
+// no extra port: the observability plane IS the attribute space.
+//
+// Run:  ./tdptop <lass-or-cass address> [--context <ctx>] [--interval <ms>]
+//               [--once]
+//       ./tdptop --demo        (self-contained smoke: in-process LASS,
+//                               one publisher, one rendered frame)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "attrspace/attr_client.hpp"
+#include "attrspace/attr_protocol.hpp"
+#include "attrspace/attr_server.hpp"
+#include "attrspace/telemetry_export.hpp"
+#include "net/inproc.hpp"
+#include "net/tcp.hpp"
+#include "util/telemetry.hpp"
+
+using namespace tdp;
+
+namespace {
+
+/// daemon ("<role>.<host>") -> metric name -> latest value.
+using Table = std::map<std::string, std::map<std::string, std::string>>;
+
+/// Splits "tdp.telemetry.<role>.<host>.<metric...>" into its table slot.
+void ingest(Table& table, const std::string& attribute, const std::string& value) {
+  const std::size_t prefix_len = std::strlen(attr::kTelemetryPrefix);
+  if (attribute.compare(0, prefix_len, attr::kTelemetryPrefix) != 0) return;
+  const std::string rest = attribute.substr(prefix_len);
+  const std::size_t role_dot = rest.find('.');
+  if (role_dot == std::string::npos) return;
+  const std::size_t host_dot = rest.find('.', role_dot + 1);
+  if (host_dot == std::string::npos) return;
+  const std::string daemon = rest.substr(0, host_dot);
+  const std::string metric = rest.substr(host_dot + 1);
+  if (metric.empty()) return;
+  table[daemon][metric] = value;
+}
+
+void render(const Table& table, bool clear_screen) {
+  if (clear_screen) std::printf("\x1b[2J\x1b[H");
+  if (table.empty()) {
+    std::printf("tdptop: no daemons have published telemetry yet\n");
+    return;
+  }
+  for (const auto& [daemon, metrics] : table) {
+    std::printf("=== %s (%zu metrics) ===\n", daemon.c_str(), metrics.size());
+    std::size_t width = 8;
+    for (const auto& [name, value] : metrics) {
+      width = std::max(width, name.size());
+    }
+    for (const auto& [name, value] : metrics) {
+      std::printf("  %-*s  %s\n", static_cast<int>(width), name.c_str(),
+                  value.c_str());
+    }
+  }
+}
+
+int run_demo() {
+  // Self-contained: host a LASS, publish a synthetic daemon's registry
+  // into it, then watch it the way a real tdptop session would.
+  auto transport = net::InProcTransport::create();
+  attr::AttrServer lass("LASS@demo", transport);
+  auto address = lass.start("inproc://tdptop-demo");
+  if (!address.is_ok()) {
+    std::printf("demo: LASS start failed: %s\n",
+                address.status().to_string().c_str());
+    return 1;
+  }
+
+  // Some registry activity so the table has content.
+  telemetry::Registry::instance().counter("demo.requests").add(42);
+  telemetry::Registry::instance().gauge("demo.queue_depth").set(3);
+  telemetry::Histogram& latency =
+      telemetry::Registry::instance().histogram("demo.latency_us");
+  for (std::uint64_t v : {7, 90, 1400, 2100, 36000}) latency.record(v);
+
+  attr::TelemetryPublisher::Options options;
+  options.role = "demo";
+  options.host = "localhost";
+  options.context = attr::kDefaultContext;
+  attr::TelemetryPublisher publisher(std::move(options), &lass.store());
+  Status published = publisher.publish_now();
+  if (!published.is_ok()) {
+    std::printf("demo: publish failed: %s\n", published.to_string().c_str());
+    return 1;
+  }
+
+  auto client = attr::AttrClient::connect(*transport, address.value(),
+                                          attr::kDefaultContext);
+  if (!client.is_ok()) {
+    std::printf("demo: connect failed: %s\n",
+                client.status().to_string().c_str());
+    return 1;
+  }
+  Table table;
+  auto listed = client.value()->list();
+  if (!listed.is_ok()) {
+    std::printf("demo: list failed: %s\n", listed.status().to_string().c_str());
+    return 1;
+  }
+  for (const auto& [attribute, value] : listed.value()) {
+    ingest(table, attribute, value);
+  }
+  render(table, /*clear_screen=*/false);
+  client.value()->exit();
+  lass.stop();
+  // The smoke gate: the demo daemon must have come through the space.
+  return table.count("demo.localhost") == 1 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string address;
+  std::string context = attr::kDefaultContext;
+  int interval_ms = 1000;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--demo") return run_demo();
+    if (arg == "--once") {
+      once = true;
+    } else if (arg == "--context" && i + 1 < argc) {
+      context = argv[++i];
+    } else if (arg == "--interval" && i + 1 < argc) {
+      interval_ms = std::atoi(argv[++i]);
+    } else {
+      address = arg;
+    }
+  }
+  if (address.empty()) {
+    std::printf("usage: tdptop <address> [--context <ctx>] [--interval <ms>] "
+                "[--once] | --demo\n");
+    return 2;
+  }
+
+  net::TcpTransport transport;
+  auto client = attr::AttrClient::connect(transport, address, context);
+  if (!client.is_ok()) {
+    std::printf("tdptop: connect to %s failed: %s\n", address.c_str(),
+                client.status().to_string().c_str());
+    return 1;
+  }
+
+  Table table;
+  // Catch up on what is already in the space, then ride notifications.
+  auto listed = client.value()->list();
+  if (listed.is_ok()) {
+    for (const auto& [attribute, value] : listed.value()) {
+      ingest(table, attribute, value);
+    }
+  }
+  Status subscribed = client.value()->subscribe(
+      std::string(attr::kTelemetryPrefix) + "*",
+      [&table](const std::string& attribute, const std::string& value) {
+        ingest(table, attribute, value);
+      });
+  if (!subscribed.is_ok()) {
+    std::printf("tdptop: subscribe failed: %s\n",
+                subscribed.to_string().c_str());
+    return 1;
+  }
+
+  while (true) {
+    client.value()->service_events();
+    render(table, /*clear_screen=*/!once);
+    if (once) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    if (!client.value()->connected()) {
+      std::printf("tdptop: connection lost\n");
+      return 1;
+    }
+  }
+  client.value()->exit();
+  return 0;
+}

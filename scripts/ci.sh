@@ -11,6 +11,8 @@
 #   scripts/ci.sh analyze    # lock-discipline gate: lint.py always; clang
 #                            # -Wthread-safety -Werror + clang-tidy where a
 #                            # clang toolchain exists (skipped otherwise)
+#   scripts/ci.sh bench      # benchmark emitters: BENCH_attrspace.json +
+#                            # BENCH_telemetry.json at the repo root
 #   scripts/ci.sh all        # everything
 set -euo pipefail
 
@@ -76,6 +78,23 @@ run_chaos() {
     --target tdp_chaos_tests tdp_chaos_integration_tests
   TDP_CHAOS_SEED="${extra_seed}" ./build-ci/tests/tdp_chaos_tests
   TDP_CHAOS_SEED="${extra_seed}" ./build-ci/tests/tdp_chaos_integration_tests
+}
+
+run_bench() {
+  # Machine-readable benchmark pass. Each emitter bench writes its JSON
+  # into the working directory, so running from the repo root (cd above)
+  # lands BENCH_attrspace.json and BENCH_telemetry.json next to README.md.
+  # --benchmark_filter='^$' skips the console pass: CI wants the JSON
+  # emitters (which run after RunSpecifiedBenchmarks), not console tables.
+  cmake -B build-ci -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DTDP_WERROR=ON
+  cmake --build build-ci -j"$(nproc)" \
+    --target bench_fig2_attr_space bench_attr_primitives bench_telemetry
+  ./build-ci/bench/bench_fig2_attr_space --benchmark_filter='^$'
+  ./build-ci/bench/bench_attr_primitives --benchmark_filter='^$'
+  ./build-ci/bench/bench_telemetry --benchmark_filter='^$'
+  echo "bench: wrote BENCH_attrspace.json and BENCH_telemetry.json"
 }
 
 find_tool() {
@@ -151,6 +170,7 @@ case "${1:-release}" in
   asan)    run_asan ;;
   chaos)   run_chaos ;;
   analyze) run_analyze ;;
-  all)     run_release; run_tsan; run_asan; run_chaos; run_analyze ;;
-  *) echo "usage: $0 [release|tsan|asan|chaos|analyze|all]" >&2; exit 2 ;;
+  bench)   run_bench ;;
+  all)     run_release; run_tsan; run_asan; run_chaos; run_analyze; run_bench ;;
+  *) echo "usage: $0 [release|tsan|asan|chaos|analyze|bench|all]" >&2; exit 2 ;;
 esac

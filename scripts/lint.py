@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lock-discipline lint (PR 3, runs from scripts/ci.sh analyze).
 
-Three rules, all cheap text scans that hold regardless of which compiler
+Four rules, all cheap text scans that hold regardless of which compiler
 built the tree (the clang -Wthread-safety gate only runs where clang
 exists; these rules always run):
 
@@ -24,6 +24,13 @@ exists; these rules always run):
      that guarded fields sit directly under their mutex; a blank line ends
      the guarded block, so deliberately unguarded members (atomics,
      thread-owned state) live after a separator with a comment.
+
+  4. stray-stderr: no `fprintf(stderr, ...)` / `std::cerr` in src/ outside
+     the log sink itself (util/log.cpp), the sync FATAL paths (util/sync.hpp
+     cannot call the logger that is built on top of it), and the paradynd
+     CLI shim (usage/startup errors from main() belong on raw stderr).
+     Everything else reports through util/log so output is capturable,
+     leveled, and - since PR 4 - timestamp/trace-prefixable.
 
 A line ending in a `// NOLINT` comment is exempt from rules 1 and 2; every
 NOLINT must carry a justification after a colon (`// NOLINT: why`). The
@@ -70,6 +77,16 @@ GUARD_DECL = re.compile(
     r"\b(?:tdp::)?(LockGuard|UniqueLock|WriteLock|SharedLock)\s+\w+\s*[({]")
 BLOCKING_CALL = re.compile(
     r"\b(sleep_for|sleep_until|usleep|nanosleep)\s*\(|(->|\.)\s*receive\s*\(|\bsleep\s*\(")
+
+# Rule 4 -------------------------------------------------------------------
+
+STRAY_STDERR = re.compile(r"\bfprintf\s*\(\s*stderr\b|\bstd::cerr\b")
+
+STRAY_STDERR_EXEMPT = {
+    Path("src/util/log.cpp"),        # the sink writes stderr by design
+    Path("src/util/sync.hpp"),       # FATAL paths under the logger's lock layer
+    Path("src/paradyn/paradynd_main.cpp"),  # CLI usage/startup errors
+}
 
 # Rule 3 -------------------------------------------------------------------
 
@@ -168,12 +185,27 @@ def check_unguarded_adjacent_fields(root: Path, findings):
                 i += 1
 
 
+def check_stray_stderr(root: Path, findings):
+    for path in iter_source(root):
+        rel = path.relative_to(root)
+        if rel in STRAY_STDERR_EXEMPT:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//", 1)[0]
+            if STRAY_STDERR.search(code):
+                findings.append(
+                    f"{rel}:{lineno}: direct stderr write outside util/log — "
+                    f"use a log::Logger so output is leveled and "
+                    f"trace-prefixable: {line.strip()}")
+
+
 def run(root: Path) -> int:
     findings: list[str] = []
     suppressions: list = []
     check_raw_sync(root, findings, suppressions)
     check_blocking_under_lock(root, findings, suppressions)
     check_unguarded_adjacent_fields(root, findings)
+    check_stray_stderr(root, findings)
     if len(suppressions) > kMaxSuppressions:
         findings.append(
             f"{len(suppressions)} NOLINT suppressions exceed the budget of "
@@ -214,6 +246,11 @@ struct S {
 };
 """
 
+BAD_STDERR = """\
+#include <cstdio>
+void f() { std::fprintf(stderr, "oops\\n"); }
+"""
+
 GOOD_FILE = """\
 #include "util/sync.hpp"
 struct S {
@@ -230,6 +267,8 @@ def self_test() -> int:
         ("raw std::mutex", {"src/bad.cpp": BAD_RAW_MUTEX}, True),
         ("sleep under lock", {"src/net/reactor.cpp": BAD_SLEEP_UNDER_LOCK}, True),
         ("unguarded adjacent field", {"src/bad.hpp": BAD_UNGUARDED_FIELD}, True),
+        ("stray stderr write", {"src/bad.cpp": BAD_STDERR}, True),
+        ("stderr in exempt file", {"src/util/log.cpp": BAD_STDERR}, False),
         ("clean file", {"src/good.hpp": GOOD_FILE}, False),
     ]
     failures = 0

@@ -1,0 +1,151 @@
+#!/usr/bin/env python3
+"""trace2html.py - wrap a Chrome trace_event JSON file (as produced by
+telemetry::Tracer::dump_chrome_trace) in a standalone HTML page.
+
+The page needs no external viewer: it renders the spans as a simple
+timeline (one swimlane per trace, bars positioned by ts/dur) with the raw
+JSON embedded for loading into chrome://tracing or Perfetto later.
+
+Usage:
+    scripts/trace2html.py trace.json [-o trace.html]
+    scripts/trace2html.py --self-test
+"""
+
+import argparse
+import html
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+PAGE_TEMPLATE = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>TDP trace</title>
+<style>
+  body {{ font-family: monospace; background: #111; color: #ddd; margin: 1em; }}
+  h1 {{ font-size: 1.1em; }}
+  .lane {{ margin: 0.4em 0; }}
+  .lane-label {{ color: #8ad; }}
+  .track {{ position: relative; height: 22px; background: #1c1c1c;
+           border: 1px solid #333; }}
+  .span {{ position: absolute; top: 2px; height: 16px; background: #2a6;
+          border: 1px solid #6fb; overflow: hidden; white-space: nowrap;
+          font-size: 11px; color: #012; padding-left: 2px; }}
+  .span:hover {{ background: #6fb; }}
+  details {{ margin-top: 1.5em; }}
+  pre {{ color: #888; }}
+</style>
+</head>
+<body>
+<h1>TDP trace &mdash; {nspans} span(s), {ntraces} trace(s), {span_total_us} &micro;s spanned</h1>
+{lanes}
+<details><summary>raw trace_event JSON (load into chrome://tracing / Perfetto)</summary>
+<pre>{raw}</pre>
+</details>
+</body>
+</html>
+"""
+
+LANE_TEMPLATE = (
+    '<div class="lane"><div class="lane-label">trace {tid}</div>'
+    '<div class="track">{bars}</div></div>'
+)
+
+BAR_TEMPLATE = (
+    '<div class="span" style="left:{left:.2f}%;width:{width:.2f}%" '
+    'title="{title}">{label}</div>'
+)
+
+
+def render(trace: dict) -> str:
+    events = [e for e in trace.get("traceEvents", []) if e.get("ph") == "X"]
+    if events:
+        t0 = min(e["ts"] for e in events)
+        t1 = max(e["ts"] + e.get("dur", 0) for e in events)
+    else:
+        t0, t1 = 0, 0
+    total = max(t1 - t0, 1)
+
+    lanes = {}
+    for event in events:
+        lanes.setdefault(event.get("tid", 0), []).append(event)
+
+    lane_html = []
+    for tid in sorted(lanes):
+        bars = []
+        for event in sorted(lanes[tid], key=lambda e: e["ts"]):
+            left = (event["ts"] - t0) * 100.0 / total
+            width = max(event.get("dur", 0) * 100.0 / total, 0.15)
+            name = html.escape(str(event.get("name", "?")))
+            role = html.escape(str(event.get("args", {}).get("role", "")))
+            title = f"{name} [{role}] ts={event['ts']} dur={event.get('dur', 0)}us"
+            bars.append(
+                BAR_TEMPLATE.format(left=left, width=width, title=title, label=name)
+            )
+        lane_html.append(LANE_TEMPLATE.format(tid=tid, bars="".join(bars)))
+
+    return PAGE_TEMPLATE.format(
+        nspans=len(events),
+        ntraces=len(lanes),
+        span_total_us=t1 - t0,
+        lanes="\n".join(lane_html),
+        raw=html.escape(json.dumps(trace, indent=1)),
+    )
+
+
+def self_test() -> int:
+    sample = {
+        "traceEvents": [
+            {"name": "schedd.submit", "ph": "X", "ts": 0, "dur": 50,
+             "pid": 1, "tid": 7, "args": {"role": "schedd"}},
+            {"name": "starter.launch", "ph": "X", "ts": 10, "dur": 30,
+             "pid": 1, "tid": 7, "args": {"role": "starter"}},
+            {"name": "paradynd.attach", "ph": "X", "ts": 25, "dur": 10,
+             "pid": 1, "tid": 7, "args": {"role": "paradynd"}},
+        ]
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        src = Path(tmp) / "trace.json"
+        dst = Path(tmp) / "trace.html"
+        src.write_text(json.dumps(sample))
+        dst.write_text(render(json.loads(src.read_text())))
+        page = dst.read_text()
+    for needle in ("schedd.submit", "starter.launch", "paradynd.attach",
+                   "trace 7", "<!DOCTYPE html>"):
+        if needle not in page:
+            print(f"self-test FAILED: {needle!r} missing from output")
+            return 1
+    # Empty trace must still produce a valid page, not a crash.
+    if "<!DOCTYPE html>" not in render({"traceEvents": []}):
+        print("self-test FAILED: empty trace")
+        return 1
+    print("trace2html self-test passed")
+    return 0
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", nargs="?", help="Chrome trace_event JSON file")
+    parser.add_argument("-o", "--output", help="output HTML path "
+                        "(default: <trace>.html)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="render a built-in sample and verify the output")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.trace:
+        parser.error("a trace file is required (or --self-test)")
+
+    src = Path(args.trace)
+    trace = json.loads(src.read_text())
+    out = Path(args.output) if args.output else src.with_suffix(".html")
+    out.write_text(render(trace))
+    print(f"wrote {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,13 @@
 #include "attrspace/attr_client.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <thread>
 #include <vector>
 
 #include "attrspace/attr_protocol.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace tdp::attr {
 
@@ -14,6 +16,51 @@ using net::MsgType;
 
 namespace {
 const log::Logger kLog("attr_client");
+
+telemetry::Counter& calls_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::instance().counter("attrclient.calls");
+  return c;
+}
+
+telemetry::Counter& replays_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::instance().counter("attrclient.replays");
+  return c;
+}
+
+telemetry::Counter& reconnects_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::instance().counter("attrclient.reconnects");
+  return c;
+}
+
+// Round-trip latency, sampled only for traced calls (a span active on the
+// calling thread); the untraced hot path pays one counter add.
+telemetry::Histogram& call_histogram() {
+  static telemetry::Histogram& h =
+      telemetry::Registry::instance().histogram("attrclient.call_us");
+  return h;
+}
+
+/// Stamps the caller's trace context onto an outgoing request, so the
+/// server (and whoever later reads the value) can join the causal tree.
+void stamp_trace(Message& request) {
+  const telemetry::SpanContext ctx = telemetry::current_context();
+  if (ctx.valid() && !request.has(net::kTraceField)) {
+    request.set(net::kTraceField, telemetry::format_context(ctx));
+  }
+}
+
+/// Adopts the trace header of a reply as the thread's ambient context:
+/// whatever the caller does next (e.g. paradynd attaching after its
+/// blocking get("pid") returns) parents to the writer's span.
+void adopt_reply_trace(const Message& reply) {
+  const std::string_view header = reply.get_view(net::kTraceField);
+  if (header.empty()) return;
+  const telemetry::SpanContext ctx = telemetry::parse_context(header);
+  if (ctx.valid()) telemetry::set_ambient_context(ctx);
+}
 
 Status status_from_reply(const Message& reply) {
   if (reply.get(field::kStatus) == "ok") return Status::ok();
@@ -126,6 +173,7 @@ Status AttrClient::init_on_endpoint_locked() {
             std::chrono::steady_clock::now() - last_send >
                 std::chrono::milliseconds(retry_.attempt_timeout_ms)) {
           replays_.fetch_add(1, std::memory_order_relaxed);
+          replays_counter().inc();
           endpoint_->send(init);
           last_send = std::chrono::steady_clock::now();
         }
@@ -172,6 +220,7 @@ Status AttrClient::reconnect_locked() {
       continue;
     }
     reconnects_.fetch_add(1, std::memory_order_relaxed);
+    reconnects_counter().inc();
     // Re-register every subscription under its original seq so notify
     // correlation keeps working; the acks are routed and dropped as
     // already-answered replies.
@@ -248,6 +297,7 @@ Result<std::string> AttrClient::get(const std::string& attribute, int timeout_ms
   if (!reply.is_ok()) return reply.status();
   Status status = status_from_reply(reply.value());
   if (!status.is_ok()) return status;
+  adopt_reply_trace(reply.value());
   return reply->get(field::kValue);
 }
 
@@ -260,6 +310,7 @@ Result<std::string> AttrClient::try_get(const std::string& attribute) {
   if (!reply.is_ok()) return reply.status();
   Status status = status_from_reply(reply.value());
   if (!status.is_ok()) return status;
+  adopt_reply_trace(reply.value());
   return reply->get(field::kValue);
 }
 
@@ -303,6 +354,7 @@ Result<int> AttrClient::async_get(const std::string& attribute,
   request.set_seq(seq_used);
   request.set(field::kContext, context_);
   request.set(field::kAttribute, attribute);
+  stamp_trace(request);
   TDP_RETURN_IF_ERROR(endpoint_->send(std::move(request)));
   pending_async_[seq_used] = {MsgType::kAttrAsyncGet, attribute, "",
                               std::move(callback)};
@@ -324,6 +376,7 @@ Result<int> AttrClient::async_put(const std::string& attribute, const std::strin
   request.set(field::kContext, context_);
   request.set(field::kAttribute, attribute);
   request.set(field::kValue, value);
+  stamp_trace(request);
   TDP_RETURN_IF_ERROR(endpoint_->send(std::move(request)));
   pending_async_[seq_used] = {MsgType::kAttrPut, attribute, value,
                               std::move(callback)};
@@ -346,6 +399,7 @@ Status AttrClient::subscribe(const std::string& pattern, NotifyCallback callback
   request.set_seq(seq_used);
   request.set(field::kContext, context_);
   request.set(field::kPattern, pattern);
+  stamp_trace(request);
   Status sent = endpoint_->send(std::move(request));
   if (!sent.is_ok()) {
     if (!can_reconnect_locked()) {
@@ -377,6 +431,7 @@ Status AttrClient::subscribe(const std::string& pattern, NotifyCallback callback
           resend.set(field::kContext, context_);
           resend.set(field::kPattern, pattern);
           replays_.fetch_add(1, std::memory_order_relaxed);
+          replays_counter().inc();
           endpoint_->send(std::move(resend));
           last_resend = std::chrono::steady_clock::now();
         }
@@ -396,11 +451,22 @@ Status AttrClient::subscribe(const std::string& pattern, NotifyCallback callback
 }
 
 Result<Message> AttrClient::call(Message request, int timeout_ms) {
-  LockGuard lock(mutex_);
-  return call_locked(std::move(request), timeout_ms);
+  calls_counter().inc();
+  const bool traced = telemetry::current_context().valid();
+  const Micros start = traced ? telemetry::Tracer::instance().now() : 0;
+  Result<Message> result = [&] {
+    LockGuard lock(mutex_);
+    return call_locked(std::move(request), timeout_ms);
+  }();
+  if (traced) {
+    call_histogram().record(static_cast<std::uint64_t>(
+        std::max<Micros>(0, telemetry::Tracer::instance().now() - start)));
+  }
+  return result;
 }
 
 Result<Message> AttrClient::call_locked(Message request, int timeout_ms) {
+  stamp_trace(request);
   if (!endpoint_ || !endpoint_->is_open()) {
     if (!can_reconnect_locked()) {
       return make_error(ErrorCode::kConnectionError, "not connected");
@@ -450,6 +516,7 @@ Result<Message> AttrClient::call_locked(Message request, int timeout_ms) {
             // requests are idempotent (puts overwrite, batches are
             // server-deduplicated by batch id).
             replays_.fetch_add(1, std::memory_order_relaxed);
+            replays_counter().inc();
             break;
           }
           continue;
@@ -479,9 +546,15 @@ bool AttrClient::route_message(Message msg, std::uint64_t awaited_seq,
         NotifyCallback callback = sub.callback;
         std::string attribute = msg.get(field::kAttribute);
         std::string value = msg.get(field::kValue);
+        // The notify carries the writer's trace header; dispatch the
+        // callback under that ambient context so work it triggers joins
+        // the writer's causal tree.
+        const telemetry::SpanContext trace =
+            telemetry::parse_context(msg.get_view(net::kTraceField));
         ready_callbacks_.push_back([callback = std::move(callback),
                                     attribute = std::move(attribute),
-                                    value = std::move(value)] {
+                                    value = std::move(value), trace] {
+          telemetry::ScopedAmbient ambient(trace);
           callback(attribute, value);
         });
         return false;
@@ -497,8 +570,11 @@ bool AttrClient::route_message(Message msg, std::uint64_t awaited_seq,
     pending_async_.erase(async_it);
     Status status = status_from_reply(msg);
     std::string value = msg.get(field::kValue);
+    const telemetry::SpanContext trace =
+        telemetry::parse_context(msg.get_view(net::kTraceField));
     ready_callbacks_.push_back([pending = std::move(pending), status,
-                                value = std::move(value)] {
+                                value = std::move(value), trace] {
+      telemetry::ScopedAmbient ambient(trace);
       pending.callback(status, pending.attribute, value);
     });
     return false;

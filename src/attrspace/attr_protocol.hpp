@@ -33,6 +33,12 @@ inline constexpr const char* kValPrefix = "v";
 inline constexpr const char* kBatchId = "bid";
 }  // namespace field
 
+/// Attribute-name prefix under which every daemon self-publishes its
+/// telemetry snapshot: tdp.telemetry.<role>.<host>.<metric>. The space
+/// observes itself through the same channel it provides (Section 1's "one
+/// coordination channel" claim applied to the system's own state).
+inline constexpr const char* kTelemetryPrefix = "tdp.telemetry.";
+
 /// The standard attribute names every RM and RT must understand.
 namespace attrs {
 /// Application process id, put by the RM after tdp_create_process(paused)

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdlib>
+#include <optional>
 
 #include "attrspace/attr_protocol.hpp"
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace tdp::attr {
 
@@ -14,6 +16,20 @@ using net::MessageView;
 using net::MsgType;
 
 namespace {
+
+telemetry::Counter& dispatch_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::instance().counter("attrsrv.dispatch");
+  return c;
+}
+
+// Recorded only for requests that carry a trace header; untraced hot-path
+// messages pay a counter increment and a has-field check, nothing more.
+telemetry::Histogram& dispatch_histogram() {
+  static telemetry::Histogram& h =
+      telemetry::Registry::instance().histogram("attrsrv.dispatch_us");
+  return h;
+}
 
 /// True when `key` is `prefix` followed by one or more decimal digits
 /// ("k12" for prefix "k"), the batch-put field naming scheme.
@@ -165,9 +181,25 @@ void AttrServer::teardown(Connection& conn) {
 }
 
 void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
+  dispatch_counter().inc();
   const std::string_view context = msg.get(field::kContext, kDefaultContext);
   const std::uint64_t seq = msg.seq();
   const std::shared_ptr<net::Endpoint>& endpoint = conn.endpoint;
+
+  // A request carrying a trace header gets a server-side dispatch span
+  // parented to the caller, plus a latency sample. Untraced requests (the
+  // overwhelming hot path) skip both - see the <3% overhead target.
+  const std::string_view trace_header = msg.get(net::kTraceField);
+  std::optional<telemetry::Span> dispatch_span;
+  Micros dispatch_start = 0;
+  if (!trace_header.empty()) {
+    const telemetry::SpanContext parent =
+        telemetry::parse_context(trace_header);
+    if (parent.valid()) {
+      dispatch_span.emplace(net::msg_type_name(msg.type()), name_, parent);
+      dispatch_start = telemetry::Tracer::instance().now();
+    }
+  }
 
   auto reply_status = [&](MsgType type, const Status& status) {
     Message reply(type);
@@ -207,7 +239,8 @@ void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
 
     case MsgType::kAttrPut: {
       Status status = store_.put(context, msg.get(field::kAttribute),
-                                 std::string(msg.get(field::kValue)));
+                                 std::string(msg.get(field::kValue)),
+                                 std::string(trace_header));
       reply_status(MsgType::kAttrPutReply, status);
       break;
     }
@@ -240,7 +273,8 @@ void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
           have_attr = true;
         } else if (have_attr && is_indexed_key(f.key, field::kValPrefix, &index) &&
                    index == pending_index) {
-          status = store_.put(context, pending_attr, std::string(f.value));
+          status = store_.put(context, pending_attr, std::string(f.value),
+                              std::string(trace_header));
           have_attr = false;
           if (!status.is_ok()) break;
           ++applied;
@@ -271,12 +305,18 @@ void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
       const bool block = msg.get(field::kBlock) == "1" ||
                          msg.type() == MsgType::kAttrAsyncGet;
       if (!block) {
-        auto value = store_.get(context, attribute);
+        std::string stored_trace;
+        auto value = store_.get(context, attribute, &stored_trace);
         Message reply(MsgType::kAttrGetReply);
         reply.set_seq(seq);
         reply.set(field::kAttribute, std::string(attribute));
         if (value.is_ok()) {
           reply.set(field::kStatus, "ok").set(field::kValue, std::move(value).value());
+          // The reply carries the *writer's* trace so the reader can join
+          // the causal tree of whoever produced the value.
+          if (!stored_trace.empty()) {
+            reply.set(net::kTraceField, std::move(stored_trace));
+          }
         } else {
           reply.set(field::kStatus, "error")
               .set(field::kError, value.status().to_string());
@@ -286,16 +326,17 @@ void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
       }
       // Parked get: reply fires from whichever thread performs the put.
       std::weak_ptr<net::Endpoint> weak = endpoint;
-      std::uint64_t id = store_.get_or_wait(
+      std::uint64_t id = store_.get_or_wait_traced(
           context, attribute,
           [weak, seq](const std::string&, const std::string& attr,
-                      const std::string& value) {
+                      const std::string& value, const std::string& trace) {
             if (auto ep = weak.lock()) {
               Message reply(MsgType::kAttrGetReply);
               reply.set_seq(seq);
               reply.set(field::kStatus, "ok");
               reply.set(field::kAttribute, attr);
               reply.set(field::kValue, value);
+              if (!trace.empty()) reply.set(net::kTraceField, trace);
               ep->send(std::move(reply));
             }
           });
@@ -317,15 +358,16 @@ void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
       }
       const std::string_view pattern = msg.get(field::kPattern);
       std::weak_ptr<net::Endpoint> weak = endpoint;
-      std::uint64_t id = store_.subscribe(
+      std::uint64_t id = store_.subscribe_traced(
           context, pattern,
           [weak, seq](const std::string&, const std::string& attr,
-                      const std::string& value) {
+                      const std::string& value, const std::string& trace) {
             if (auto ep = weak.lock()) {
               Message notify(MsgType::kAttrNotify);
               notify.set_seq(seq);  // correlates with the subscribe request
               notify.set(field::kAttribute, attr);
               notify.set(field::kValue, value);
+              if (!trace.empty()) notify.set(net::kTraceField, trace);
               ep->send(std::move(notify));
             }
           });
@@ -374,6 +416,13 @@ void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
                                   net::msg_type_name(msg.type())));
       break;
     }
+  }
+
+  if (dispatch_span.has_value()) {
+    const Micros start = dispatch_start;
+    dispatch_span->end();
+    dispatch_histogram().record(static_cast<std::uint64_t>(
+        std::max<Micros>(0, telemetry::Tracer::instance().now() - start)));
   }
 }
 

@@ -2,7 +2,43 @@
 
 #include <algorithm>
 
+#include "util/telemetry.hpp"
+
 namespace tdp::attr {
+
+namespace {
+
+// Shard-op counters. Registered once, then a relaxed add per op - the
+// registry reference is stable for the process lifetime.
+telemetry::Counter& puts_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::instance().counter("attrstore.puts");
+  return c;
+}
+
+telemetry::Counter& gets_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::instance().counter("attrstore.gets");
+  return c;
+}
+
+telemetry::Counter& watchers_fired_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::instance().counter("attrstore.watchers_fired");
+  return c;
+}
+
+/// Adapts a plain callback to the traced signature (trace dropped).
+TracedCallback drop_trace(AttrCallback callback) {
+  return [cb = std::move(callback)](const std::string& context,
+                                    const std::string& attribute,
+                                    const std::string& value,
+                                    const std::string& /*trace*/) {
+    cb(context, attribute, value);
+  };
+}
+
+}  // namespace
 
 int AttributeStore::open_context(std::string_view context) {
   Shard& shard = shard_for(context);
@@ -10,7 +46,7 @@ int AttributeStore::open_context(std::string_view context) {
   auto ctx_it = shard.contexts.find(context);
   if (ctx_it == shard.contexts.end()) {
     shard.contexts.emplace(std::string(context),
-                           std::map<std::string, std::string, std::less<>>{});
+                           std::map<std::string, Entry, std::less<>>{});
   }
   auto rc_it = shard.refcounts.find(context);
   if (rc_it == shard.refcounts.end()) {
@@ -56,7 +92,7 @@ int AttributeStore::context_refcount(std::string_view context) const {
 
 void AttributeStore::match_watchers_locked(Shard& shard, std::string_view context,
                                            std::string_view attribute,
-                                           std::vector<AttrCallback>& to_fire) {
+                                           std::vector<TracedCallback>& to_fire) {
   shard.mutex.assert_held();
   for (auto it = shard.watchers.begin(); it != shard.watchers.end();) {
     if (it->context == context && pattern_matches(it->pattern, attribute)) {
@@ -74,7 +110,7 @@ std::uint64_t AttributeStore::add_watcher_locked(Shard& shard,
                                                  std::string_view context,
                                                  std::string_view pattern,
                                                  bool one_shot,
-                                                 AttrCallback callback) {
+                                                 TracedCallback callback) {
   shard.mutex.assert_held();
   std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
   shard.watchers.push_back(
@@ -83,9 +119,10 @@ std::uint64_t AttributeStore::add_watcher_locked(Shard& shard,
 }
 
 Status AttributeStore::put(std::string_view context, std::string_view attribute,
-                           std::string value) {
+                           std::string value, std::string trace) {
+  puts_counter().inc();
   Shard& shard = shard_for(context);
-  std::vector<AttrCallback> to_fire;
+  std::vector<TracedCallback> to_fire;
   std::string fired_value;
   {
     WriteLock lock(shard.mutex);
@@ -94,16 +131,20 @@ Status AttributeStore::put(std::string_view context, std::string_view attribute,
       // Implicit context creation on put.
       ctx_it = shard.contexts
                    .emplace(std::string(context),
-                            std::map<std::string, std::string, std::less<>>{})
+                            std::map<std::string, Entry, std::less<>>{})
                    .first;
     }
     auto attr_it = ctx_it->second.find(attribute);
     if (attr_it == ctx_it->second.end()) {
-      attr_it = ctx_it->second.emplace(std::string(attribute), std::move(value)).first;
+      attr_it = ctx_it->second
+                    .emplace(std::string(attribute),
+                             Entry{std::move(value), trace})
+                    .first;
     } else {
-      attr_it->second = std::move(value);
+      attr_it->second.value = std::move(value);
+      attr_it->second.trace = trace;
     }
-    fired_value = attr_it->second;
+    fired_value = attr_it->second.value;
 
     match_watchers_locked(shard, context, attribute, to_fire);
   }
@@ -111,15 +152,20 @@ Status AttributeStore::put(std::string_view context, std::string_view attribute,
     // PR 1 invariant, asserted: watcher callbacks fire outside the shard
     // lock, so a callback that re-enters the store cannot self-deadlock.
     shard.mutex.assert_not_held();
+    watchers_fired_counter().add(to_fire.size());
     const std::string ctx_name(context);
     const std::string attr_name(attribute);
-    for (auto& callback : to_fire) callback(ctx_name, attr_name, fired_value);
+    for (auto& callback : to_fire) {
+      callback(ctx_name, attr_name, fired_value, trace);
+    }
   }
   return Status::ok();
 }
 
 Result<std::string> AttributeStore::get(std::string_view context,
-                                        std::string_view attribute) const {
+                                        std::string_view attribute,
+                                        std::string* trace_out) const {
+  gets_counter().inc();
   const Shard& shard = shard_for(context);
   SharedLock lock(shard.mutex);
   auto ctx_it = shard.contexts.find(context);
@@ -131,7 +177,8 @@ Result<std::string> AttributeStore::get(std::string_view context,
     return make_error(ErrorCode::kNotFound,
                       "attribute not in shared space: " + std::string(attribute));
   }
-  return attr_it->second;
+  if (trace_out != nullptr) *trace_out = attr_it->second.trace;
+  return attr_it->second.value;
 }
 
 Status AttributeStore::remove(std::string_view context, std::string_view attribute) {
@@ -158,7 +205,10 @@ std::vector<std::pair<std::string, std::string>> AttributeStore::list(
   std::vector<std::pair<std::string, std::string>> out;
   auto ctx_it = shard.contexts.find(context);
   if (ctx_it != shard.contexts.end()) {
-    out.assign(ctx_it->second.begin(), ctx_it->second.end());
+    out.reserve(ctx_it->second.size());
+    for (const auto& [name, entry] : ctx_it->second) {
+      out.emplace_back(name, entry.value);
+    }
   }
   return out;
 }
@@ -175,15 +225,23 @@ std::size_t AttributeStore::size() const {
 std::uint64_t AttributeStore::get_or_wait(std::string_view context,
                                           std::string_view attribute,
                                           AttrCallback callback) {
+  return get_or_wait_traced(context, attribute, drop_trace(std::move(callback)));
+}
+
+std::uint64_t AttributeStore::get_or_wait_traced(std::string_view context,
+                                                 std::string_view attribute,
+                                                 TracedCallback callback) {
   Shard& shard = shard_for(context);
   std::string value;
+  std::string trace;
   {
     WriteLock lock(shard.mutex);
     auto ctx_it = shard.contexts.find(context);
     if (ctx_it != shard.contexts.end()) {
       auto attr_it = ctx_it->second.find(attribute);
       if (attr_it != ctx_it->second.end()) {
-        value = attr_it->second;
+        value = attr_it->second.value;
+        trace = attr_it->second.trace;
         // Fall through to fire outside the lock.
       } else {
         return add_watcher_locked(shard, context, attribute, /*one_shot=*/true,
@@ -196,13 +254,19 @@ std::uint64_t AttributeStore::get_or_wait(std::string_view context,
   }
   // Same invariant as put(): immediate-hit callbacks run outside the lock.
   shard.mutex.assert_not_held();
-  callback(std::string(context), std::string(attribute), value);
+  callback(std::string(context), std::string(attribute), value, trace);
   return 0;
 }
 
 std::uint64_t AttributeStore::subscribe(std::string_view context,
                                         std::string_view pattern,
                                         AttrCallback callback) {
+  return subscribe_traced(context, pattern, drop_trace(std::move(callback)));
+}
+
+std::uint64_t AttributeStore::subscribe_traced(std::string_view context,
+                                               std::string_view pattern,
+                                               TracedCallback callback) {
   Shard& shard = shard_for(context);
   WriteLock lock(shard.mutex);
   return add_watcher_locked(shard, context, pattern, /*one_shot=*/false,

@@ -41,6 +41,14 @@ namespace tdp::attr {
 using AttrCallback =
     std::function<void(const std::string&, const std::string&, const std::string&)>;
 
+/// Trace-aware variant: also receives the telemetry trace header that rode
+/// the put which stored the value ("" when the writer was untraced). The
+/// servers use this to stamp replies/notifications so a blocked get in one
+/// daemon joins the causal tree of the put that released it (Figure 6: the
+/// starter's put("pid") parents paradynd's attach).
+using TracedCallback = std::function<void(
+    const std::string&, const std::string&, const std::string&, const std::string&)>;
+
 /// Thread-safe attribute store shared by one server (LASS or CASS).
 class AttributeStore {
  public:
@@ -72,12 +80,26 @@ class AttributeStore {
   /// Stores (attribute, value); overwrites silently, then fires all
   /// matching waiters (one-shot) and subscriptions, outside the lock.
   Status put(std::string_view context, std::string_view attribute,
-             std::string value);
+             std::string value) {
+    return put(context, attribute, std::move(value), std::string());
+  }
+
+  /// Trace-carrying put: `trace` is the wire trace header of the writer
+  /// (retained with the value and handed to watchers; "" = untraced).
+  Status put(std::string_view context, std::string_view attribute,
+             std::string value, std::string trace);
 
   /// Immediate lookup; kNotFound when absent (the paper's documented
   /// non-blocking failure mode for tdp_get).
   Result<std::string> get(std::string_view context,
-                          std::string_view attribute) const;
+                          std::string_view attribute) const {
+    return get(context, attribute, nullptr);
+  }
+
+  /// As above; additionally copies the stored trace header (possibly "")
+  /// into *trace_out on success when trace_out is non-null.
+  Result<std::string> get(std::string_view context, std::string_view attribute,
+                          std::string* trace_out) const;
 
   /// Removes an attribute; kNotFound when absent.
   Status remove(std::string_view context, std::string_view attribute);
@@ -98,11 +120,22 @@ class AttributeStore {
   std::uint64_t get_or_wait(std::string_view context, std::string_view attribute,
                             AttrCallback callback);
 
+  /// get_or_wait whose callback also receives the writer's trace header
+  /// (the stored one on an immediate hit, the releasing put's otherwise).
+  std::uint64_t get_or_wait_traced(std::string_view context,
+                                   std::string_view attribute,
+                                   TracedCallback callback);
+
   /// Persistent subscription: fires on every put whose attribute matches
   /// `pattern` (exact string, or prefix match when the pattern ends with
   /// '*'). Returns a nonzero subscription id.
   std::uint64_t subscribe(std::string_view context, std::string_view pattern,
                           AttrCallback callback);
+
+  /// subscribe whose callback also receives each put's trace header.
+  std::uint64_t subscribe_traced(std::string_view context,
+                                 std::string_view pattern,
+                                 TracedCallback callback);
 
   /// Cancels a waiter or subscription; unknown ids are ignored.
   void unsubscribe(std::uint64_t id);
@@ -116,14 +149,20 @@ class AttributeStore {
     std::string context;
     std::string pattern;  ///< exact name, or prefix when trailing '*'
     bool one_shot = false;
-    AttrCallback callback;
+    TracedCallback callback;
+  };
+
+  /// A stored value plus the trace header of the put that wrote it.
+  struct Entry {
+    std::string value;
+    std::string trace;
   };
 
   /// One partition: contexts whose hash lands here, plus their refcounts
   /// and watchers. std::less<> enables allocation-free string_view lookups.
   struct Shard {
     mutable SharedMutex mutex{"AttributeStore::Shard::mutex"};
-    std::map<std::string, std::map<std::string, std::string, std::less<>>,
+    std::map<std::string, std::map<std::string, Entry, std::less<>>,
              std::less<>>
         contexts TDP_GUARDED_BY(mutex);
     std::map<std::string, int, std::less<>> refcounts TDP_GUARDED_BY(mutex);
@@ -141,13 +180,13 @@ class AttributeStore {
   /// erasing one-shot waiters as it goes.
   static void match_watchers_locked(Shard& shard, std::string_view context,
                                     std::string_view attribute,
-                                    std::vector<AttrCallback>& to_fire)
+                                    std::vector<TracedCallback>& to_fire)
       TDP_REQUIRES(shard.mutex);
 
   /// Registers a watcher in the shard and returns its id.
   std::uint64_t add_watcher_locked(Shard& shard, std::string_view context,
                                    std::string_view pattern, bool one_shot,
-                                   AttrCallback callback)
+                                   TracedCallback callback)
       TDP_REQUIRES(shard.mutex);
 
   static bool pattern_matches(const std::string& pattern, std::string_view attribute);

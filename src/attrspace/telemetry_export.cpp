@@ -1,0 +1,92 @@
+#include "attrspace/telemetry_export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "attrspace/attr_protocol.hpp"
+#include "util/telemetry.hpp"
+
+namespace tdp::attr {
+
+namespace {
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f", v);
+  return buf;
+}
+
+/// Flattens one registry sample into (suffix, value) attribute pairs.
+void append_sample(const telemetry::Sample& sample, const std::string& prefix,
+                   std::vector<std::pair<std::string, std::string>>* out) {
+  switch (sample.kind) {
+    case telemetry::Sample::Kind::kCounter:
+    case telemetry::Sample::Kind::kGauge:
+      out->emplace_back(prefix + sample.name, std::to_string(sample.value));
+      break;
+    case telemetry::Sample::Kind::kHistogram: {
+      const std::string base = prefix + sample.name;
+      out->emplace_back(base + ".count", std::to_string(sample.hist.count));
+      out->emplace_back(base + ".sum", std::to_string(sample.hist.sum));
+      out->emplace_back(base + ".p50", format_double(sample.hist.p50));
+      out->emplace_back(base + ".p95", format_double(sample.hist.p95));
+      out->emplace_back(base + ".p99", format_double(sample.hist.p99));
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+TelemetryPublisher::TelemetryPublisher(Options options, AttributeStore* store)
+    : options_(std::move(options)), store_(store) {
+  prefix_ = std::string(kTelemetryPrefix) + options_.role + "." + options_.host + ".";
+}
+
+TelemetryPublisher::TelemetryPublisher(Options options, PutBatchFn put_batch)
+    : options_(std::move(options)), put_batch_(std::move(put_batch)) {
+  prefix_ = std::string(kTelemetryPrefix) + options_.role + "." + options_.host + ".";
+}
+
+Micros TelemetryPublisher::now() const {
+  const Clock* clock =
+      options_.clock != nullptr ? options_.clock : &RealClock::instance();
+  return clock->now_micros();
+}
+
+bool TelemetryPublisher::maybe_publish() {
+  const Micros t = now();
+  if (published_once_ && t - last_publish_ < options_.interval_micros) {
+    return false;
+  }
+  last_publish_ = t;
+  published_once_ = true;
+  return publish_now().is_ok();
+}
+
+Status TelemetryPublisher::publish_now() {
+  std::vector<std::pair<std::string, std::string>> pairs;
+  const std::vector<telemetry::Sample> samples =
+      telemetry::Registry::instance().snapshot();
+  pairs.reserve(samples.size() + 1);
+  for (const telemetry::Sample& sample : samples) {
+    append_sample(sample, prefix_, &pairs);
+  }
+  // A publish sequence number last, so a subscriber that sees it bump
+  // knows the rest of this batch is already in the space (puts are
+  // ordered per connection and per shard map).
+  ++publishes_;
+  pairs.emplace_back(prefix_ + "publishes", std::to_string(publishes_));
+
+  if (store_ != nullptr) {
+    for (auto& [attribute, value] : pairs) {
+      TDP_RETURN_IF_ERROR(
+          store_->put(options_.context, attribute, std::move(value)));
+    }
+    return Status::ok();
+  }
+  if (put_batch_) return put_batch_(pairs);
+  return make_error(ErrorCode::kInvalidState, "telemetry publisher has no sink");
+}
+
+}  // namespace tdp::attr

@@ -1,0 +1,80 @@
+// telemetry_export.hpp - self-hosted telemetry export: daemons publish
+// their metrics registry into the attribute space itself, under
+//
+//   tdp.telemetry.<role>.<host>.<metric>[.count|.sum|.p50|.p95|.p99]
+//
+// so the same LASS/CASS channel that carries job control also carries the
+// observability plane (the way Condor daemons expose state through their
+// own ClassAd collector). Anything that can do an attribute-space get -
+// examples/tdptop, another daemon, a test - can watch a daemon's counters
+// live with plain subscribes; no side channel, no extra port.
+//
+// The reserved "tdp.telemetry." prefix is declared in attr_protocol.hpp
+// (attr::kTelemetryPrefix); metric names never collide with application
+// attributes because application code has no reason to write under it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "attrspace/attr_store.hpp"
+#include "util/clock.hpp"
+#include "util/status.hpp"
+
+namespace tdp::attr {
+
+/// Periodically snapshots telemetry::Registry and writes it into an
+/// attribute space. Two sinks:
+///   - a direct AttributeStore* for daemons that own their LASS in-process
+///     (the starter), bypassing the wire entirely;
+///   - a batch-put function for client-backed daemons (paradynd via its
+///     TdpSession), so one publish is one batched round trip.
+/// Not thread-safe: drive it from the daemon's own pump/poll loop, which
+/// is where the paper wants all TDP activity anyway.
+class TelemetryPublisher {
+ public:
+  struct Options {
+    std::string role;     ///< daemon role, e.g. "starter", "paradynd"
+    std::string host;     ///< machine/daemon instance name
+    std::string context;  ///< store-backed sink only: context to write into
+    /// Minimum spacing between publishes from maybe_publish().
+    Micros interval_micros = 250'000;
+    /// Time source for the interval; nullptr = RealClock.
+    const Clock* clock = nullptr;
+  };
+
+  using PutBatchFn = std::function<Status(
+      const std::vector<std::pair<std::string, std::string>>&)>;
+
+  TelemetryPublisher(Options options, AttributeStore* store);
+  TelemetryPublisher(Options options, PutBatchFn put_batch);
+
+  /// Publishes if at least interval_micros elapsed since the last publish
+  /// (first call always publishes). Returns true when a publish happened.
+  bool maybe_publish();
+
+  /// Unconditional snapshot-and-write.
+  Status publish_now();
+
+  /// "tdp.telemetry.<role>.<host>." - every exported attribute starts with
+  /// this.
+  [[nodiscard]] const std::string& prefix() const noexcept { return prefix_; }
+
+  [[nodiscard]] std::uint64_t publishes() const noexcept { return publishes_; }
+
+ private:
+  [[nodiscard]] Micros now() const;
+
+  Options options_;
+  AttributeStore* store_ = nullptr;  ///< store sink (may be null)
+  PutBatchFn put_batch_;             ///< client sink (may be empty)
+  std::string prefix_;
+  Micros last_publish_ = 0;
+  bool published_once_ = false;
+  std::uint64_t publishes_ = 0;
+};
+
+}  // namespace tdp::attr

@@ -104,6 +104,11 @@ struct JobRecord {
   std::string failure_reason;
   /// Times this job was requeued after a machine failure.
   int restarts = 0;
+  /// Serialized telemetry trace context of the submit that created this
+  /// job (util/telemetry.hpp format_context). Every daemon that later
+  /// touches the job - startd claim, starter launch, paradynd attach -
+  /// parents its spans here, producing one causal tree per submit.
+  std::string trace;
 };
 
 }  // namespace tdp::condor

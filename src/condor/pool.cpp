@@ -1,10 +1,12 @@
 #include "condor/pool.hpp"
 
 #include <chrono>
+#include <optional>
 #include <thread>
 
 #include "util/log.hpp"
 #include "util/string_util.hpp"
+#include "util/telemetry.hpp"
 
 namespace tdp::condor {
 
@@ -73,6 +75,14 @@ JobId Pool::submit(const JobDescription& description) {
 std::vector<JobId> Pool::submit(const SubmitFile& file) { return schedd_.submit(file); }
 
 int Pool::negotiate() {
+  // Match-cycle latency: one sample per negotiation cycle (pump cadence,
+  // not per-message, so always-on sampling is cheap).
+  static telemetry::Histogram& match_cycle_us =
+      telemetry::Registry::instance().histogram("schedd.match_cycle_us");
+  static telemetry::Counter& matches_counter =
+      telemetry::Registry::instance().counter("schedd.matches");
+  const Micros cycle_start = telemetry::Tracer::instance().now();
+
   // Busy set: machines currently claimed or running.
   std::set<std::string> busy;
   for (const auto& [name, startd] : startds_) {
@@ -86,6 +96,15 @@ int Pool::negotiate() {
     if (startd == nullptr) continue;
     auto record = schedd_.job(match.job);
     if (!record.is_ok()) continue;
+
+    // Join the job's causal tree (rooted at schedd.submit) for the whole
+    // claim+activate leg; Starter::launch nests under this span.
+    const telemetry::SpanContext job_parent =
+        telemetry::parse_context(record->trace);
+    std::optional<telemetry::Span> claim_span;
+    if (job_parent.valid()) {
+      claim_span.emplace("startd.claim", "startd", job_parent);
+    }
 
     // Claiming protocol (Figure 4): schedd contacts the startd; either
     // party may back out.
@@ -140,6 +159,9 @@ int Pool::negotiate() {
     }
     ++activated;
   }
+  if (activated > 0) matches_counter.add(static_cast<std::uint64_t>(activated));
+  match_cycle_us.record(static_cast<std::uint64_t>(std::max<Micros>(
+      0, telemetry::Tracer::instance().now() - cycle_start)));
   return activated;
 }
 

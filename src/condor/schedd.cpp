@@ -1,9 +1,11 @@
 #include "condor/schedd.hpp"
 
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace tdp::condor {
 
@@ -20,6 +22,13 @@ Shadow::Shadow(JobId job, std::string submit_dir, UpdateFn on_update)
 
 void Shadow::on_job_status(JobId id, JobStatus status, int exit_code,
                            const std::string& detail) {
+  // Status updates arrive from the starter's thread while its launch/pump
+  // span (or the job's ambient context) is active; join that tree. An
+  // untraced update (unit tests driving a bare Shadow) records nothing.
+  std::optional<telemetry::Span> span;
+  if (telemetry::current_context().valid()) {
+    span.emplace("shadow.update", "shadow");
+  }
   {
     LockGuard lock(mutex_);
     last_status_ = status;
@@ -95,11 +104,18 @@ std::size_t Shadow::remote_syscalls() const {
 Schedd::Schedd(std::string name) : name_(std::move(name)) {}
 
 JobId Schedd::submit(const JobDescription& description) {
+  // The root of the job's causal tree: every later span - startd claim,
+  // starter launch, paradynd attach - parents here via record.trace.
+  telemetry::Span span("schedd.submit", "schedd");
+  telemetry::Registry::instance().counter("schedd.submits").inc();
   LockGuard lock(mutex_);
   JobRecord record;
   record.id = next_id_++;
   record.description = description;
   record.status = JobStatus::kIdle;
+  if (span.context().valid()) {
+    record.trace = telemetry::format_context(span.context());
+  }
   jobs_[record.id] = std::move(record);
   kLog.debug(name_, ": queued job ", next_id_ - 1);
   return next_id_ - 1;

@@ -2,11 +2,13 @@
 
 #include <filesystem>
 #include <fstream>
+#include <optional>
 
 #include "attrspace/attr_protocol.hpp"
 #include "util/clock.hpp"
 #include "util/log.hpp"
 #include "util/string_util.hpp"
+#include "util/telemetry.hpp"
 
 namespace tdp::condor {
 
@@ -60,6 +62,16 @@ bool Starter::wants_paused_start() const {
 }
 
 Status Starter::launch() {
+  // Join the job's causal tree: the pool's startd.claim span is usually the
+  // innermost context (activation happens on the negotiate thread); the
+  // job record's serialized submit context is the fallback for starters
+  // driven directly (tests). An untraced job records nothing.
+  telemetry::ScopedAmbient ambient(telemetry::parse_context(job_.trace));
+  std::optional<telemetry::Span> span;
+  if (telemetry::current_context().valid()) {
+    span.emplace("starter.launch", "starter");
+  }
+  telemetry::Registry::instance().counter("starter.launches").inc();
   launch_time_micros_ = RealClock::instance().now_micros();
   TDP_RETURN_IF_ERROR(setup_sandbox());
   TDP_RETURN_IF_ERROR(start_lass());
@@ -165,6 +177,15 @@ Status Starter::start_lass() {
     if (!started.is_ok()) return started.status();
   }
   lass_address_ = started.value();
+
+  // Self-hosted telemetry: the starter writes its registry snapshot
+  // straight into the LASS store (no wire hop - it owns the server).
+  attr::TelemetryPublisher::Options pub_options;
+  pub_options.role = "starter";
+  pub_options.host = config_.machine_name;
+  pub_options.context = context_;
+  telemetry_pub_ = std::make_unique<attr::TelemetryPublisher>(
+      std::move(pub_options), &lass_->store());
   return Status::ok();
 }
 
@@ -236,6 +257,14 @@ Status Starter::create_rank(int rank, proc::CreateMode mode) {
     if (!job_.description.error.empty()) {
       options.stderr_path = in_scratch(job_.description.error) + suffix;
     }
+  }
+
+  // Figure 6 step 1: while this span is open the pid puts below carry the
+  // application's context on the wire, so paradynd's blocking get("pid")
+  // later joins this exact subtree (the attach handoff).
+  std::optional<telemetry::Span> span;
+  if (telemetry::current_context().valid()) {
+    span.emplace("app.create", "app");
   }
 
   Result<proc::Pid> pid = make_error(ErrorCode::kInternal, "not launched");
@@ -451,7 +480,11 @@ proc::Pid Starter::app_pid(int rank) const {
 
 bool Starter::pump() {
   if (done_) return true;
+  // Pump turns run on the pool thread with no span on the stack; restore
+  // the job's context so late rank creation and finish() join its tree.
+  telemetry::ScopedAmbient ambient(telemetry::parse_context(job_.trace));
   session_->service_events();
+  if (telemetry_pub_) telemetry_pub_->maybe_publish();
   if (config_.live_stdio) forward_stdio();
   watch_tool_daemons();
 
@@ -550,6 +583,11 @@ bool Starter::pump() {
 void Starter::finish(JobStatus status, int exit_code, const std::string& detail) {
   if (done_) return;
   done_ = true;
+  telemetry::ScopedAmbient ambient(telemetry::parse_context(job_.trace));
+  std::optional<telemetry::Span> span;
+  if (telemetry::current_context().valid()) {
+    span.emplace("starter.finish", "starter");
+  }
   // Flush the tail of the live stdout stream before teardown.
   if (config_.live_stdio) forward_stdio();
   // Publish the terminal state of every rank before anything is torn

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "attrspace/attr_server.hpp"
+#include "attrspace/telemetry_export.hpp"
 #include "condor/file_transfer.hpp"
 #include "condor/job.hpp"
 #include "core/tdp.hpp"
@@ -201,6 +202,10 @@ class Starter {
   StatusSink* sink_;
 
   std::unique_ptr<attr::AttrServer> lass_;
+  /// Publishes this RM's metrics into its own LASS (tdp.telemetry.starter.*)
+  /// each pump turn, so tools and tdptop observe the RM through the same
+  /// attribute space that carries job control.
+  std::unique_ptr<attr::TelemetryPublisher> telemetry_pub_;
   std::string lass_address_;
   std::string context_;
   std::unique_ptr<TdpSession> session_;

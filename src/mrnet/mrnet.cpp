@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/telemetry.hpp"
+
 namespace tdp::mrnet {
 
 const char* filter_name(Filter filter) noexcept {
@@ -60,6 +62,9 @@ Status Tree::recover_leaf(int leaf) {
 }
 
 Tree::BroadcastResult Tree::broadcast() const {
+  static telemetry::Counter& broadcasts =
+      telemetry::Registry::instance().counter("mrnet.broadcasts");
+  broadcasts.inc();
   BroadcastResult result;
   result.hops = depth_;
   result.delivered = live_leaves();
@@ -92,6 +97,9 @@ double fold(Filter filter, double acc, double value, bool first) {
 
 Tree::ReduceResult Tree::reduce(Filter filter,
                                 const std::vector<double>& leaf_values) const {
+  static telemetry::Counter& reduces =
+      telemetry::Registry::instance().counter("mrnet.reduces");
+  reduces.inc();
   ReduceResult result;
   result.hops = depth_;
   bool first = true;

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace tdp::net {
 
@@ -12,6 +13,12 @@ namespace {
 const log::Logger kLog("faulty");
 
 constexpr std::uint64_t kIndexSalt = 0x9e3779b97f4a7c15ULL;
+
+// Process-wide mirrors of the per-transport FaultStats, so injected faults
+// show up in tdptop next to the retry/replay counters they provoke.
+telemetry::Counter& injected_counter(const char* what) {
+  return telemetry::Registry::instance().counter(std::string("faulty.") + what);
+}
 }  // namespace
 
 FaultPlan FaultPlan::chaos(std::uint64_t seed) {
@@ -90,6 +97,8 @@ bool FaultyEndpoint::account_message() {
                                                   std::memory_order_acq_rel)) {
       killed_.store(true, std::memory_order_release);
       stats_->forced_disconnects.fetch_add(1, std::memory_order_relaxed);
+      static telemetry::Counter& disconnects = injected_counter("disconnects");
+      disconnects.inc();
       return false;
     }
   }
@@ -129,14 +138,20 @@ Status FaultyEndpoint::send(const Message& msg) {
   stats_->sent.fetch_add(1, std::memory_order_relaxed);
   if (drop) {
     stats_->dropped.fetch_add(1, std::memory_order_relaxed);
+    static telemetry::Counter& drops = injected_counter("drops");
+    drops.inc();
     return Status::ok();  // the link ate it; the sender cannot tell
   }
   if (delay > 0) {
     stats_->delayed.fetch_add(1, std::memory_order_relaxed);
+    static telemetry::Counter& delays = injected_counter("delays");
+    delays.inc();
     sleep_ms(delay);
   }
   if (dup) {
     stats_->duplicated.fetch_add(1, std::memory_order_relaxed);
+    static telemetry::Counter& dups = injected_counter("dups");
+    dups.inc();
     TDP_RETURN_IF_ERROR(inner_->send(msg));
   }
   return inner_->send(msg);
@@ -173,6 +188,8 @@ Result<Message> FaultyEndpoint::receive(int timeout_ms) {
   // delivered garbled; one that does not has desynced the stream, which
   // on a framed byte transport is fatal for the connection.
   stats_->corrupted.fetch_add(1, std::memory_order_relaxed);
+  static telemetry::Counter& corruptions = injected_counter("corruptions");
+  corruptions.inc();
   std::vector<std::uint8_t> frame = received->encode();
   {
     LockGuard lock(mutex_);

@@ -229,4 +229,13 @@ class MessageView {
 /// Short human-readable name of a message type.
 const char* msg_type_name(MsgType type) noexcept;
 
+/// Reserved field key carrying the compact telemetry trace header
+/// ("1-<trace-hex>-<span-hex>", see util/telemetry.hpp format_context).
+/// Riding the ordinary string field table keeps the frame layout
+/// unchanged: readers that predate telemetry skip it like any other
+/// unknown field, and the header itself is versioned for the day the
+/// encoding changes. The "_" prefix keeps it out of the application's
+/// attribute key namespace.
+inline constexpr const char* kTraceField = "_tc";
+
 }  // namespace tdp::net

@@ -4,11 +4,21 @@
 #include <chrono>
 
 #include "util/log.hpp"
+#include "util/telemetry.hpp"
 
 namespace tdp::net {
 
 namespace {
 const log::Logger kLog("proxy");
+
+// Messages relayed in either direction, across all tunnels. Trace headers
+// pass through untouched - the proxy forwards whole Messages, so the "_tc"
+// field survives the tunnel and cross-daemon spans connect through it.
+telemetry::Counter& relayed_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::instance().counter("proxy.frames_relayed");
+  return c;
+}
 }  // namespace
 
 ProxyServer::ProxyServer(std::shared_ptr<Transport> transport)
@@ -236,6 +246,7 @@ void ProxyServer::pump_client_to_upstream(const std::shared_ptr<Tunnel>& tunnel)
       if (!up) break;
       if (up->send(msg.value()).is_ok()) {
         forwarded = true;
+        relayed_counter().inc();
         break;
       }
       if (!relink(*tunnel, generation)) break;  // retry send on the new link
@@ -264,6 +275,7 @@ void ProxyServer::pump_upstream_to_client(const std::shared_ptr<Tunnel>& tunnel)
       break;
     }
     if (!tunnel->client->send(std::move(msg).value()).is_ok()) break;
+    relayed_counter().inc();
   }
   tunnel->client->close();
   LockGuard lock(tunnel->mu);

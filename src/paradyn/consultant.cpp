@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/telemetry.hpp"
+
 namespace tdp::paradyn {
 
 const char* hypothesis_name(Hypothesis hypothesis) noexcept {
@@ -45,6 +47,9 @@ std::vector<PerformanceConsultant::Finding> PerformanceConsultant::search() {
               if (a.severity != b.severity) return a.severity > b.severity;
               return a.focus < b.focus;
             });
+  static telemetry::Counter& steps =
+      telemetry::Registry::instance().counter("consultant.search_steps");
+  steps.add(static_cast<std::uint64_t>(tested_));
   return findings;
 }
 

@@ -5,9 +5,12 @@
 #include <thread>
 #include <utility>
 
+#include <optional>
+
 #include "net/proxy.hpp"
 #include "util/log.hpp"
 #include "util/string_util.hpp"
+#include "util/telemetry.hpp"
 
 namespace tdp::paradyn {
 
@@ -35,6 +38,16 @@ Status Paradynd::start() {
 
   TDP_RETURN_IF_ERROR(discover_application());
 
+  // The blocking get("pid") above adopted the WRITER's trace context (the
+  // starter's app.create span) as this thread's ambient, so the attach leg
+  // joins the same causal tree as the submit that launched the job - the
+  // Figure 6 handoff, observable as one connected trace.
+  std::optional<telemetry::Span> span;
+  if (telemetry::current_context().valid()) {
+    span.emplace("paradynd.attach", "paradynd");
+  }
+  telemetry::Registry::instance().counter("paradynd.attaches").inc();
+
   // tdp_attach: control is routed to the RM; the application ends up (or
   // stays) paused so instrumentation precedes the first user instruction.
   TDP_RETURN_IF_ERROR(session_->attach(app_pid_));
@@ -50,6 +63,18 @@ Status Paradynd::start() {
 
   // Figure 6 step 4 end: run the application from the very beginning.
   TDP_RETURN_IF_ERROR(session_->continue_process(app_pid_));
+
+  // Self-hosted telemetry: the RT exports its registry into the job's
+  // LASS over its own session, batched per interval.
+  attr::TelemetryPublisher::Options pub_options;
+  pub_options.role = "paradynd";
+  pub_options.host = config_.daemon_name;
+  telemetry_pub_ = std::make_unique<attr::TelemetryPublisher>(
+      std::move(pub_options),
+      [this](const std::vector<std::pair<std::string, std::string>>& pairs) {
+        return session_->put_batch(pairs);
+      });
+
   started_ = true;
   return Status::ok();
 }
@@ -128,6 +153,7 @@ Status Paradynd::connect_frontend() {
 bool Paradynd::poll_once() {
   if (!started_) return false;
   session_->service_events();
+  if (telemetry_pub_) telemetry_pub_->maybe_publish();
 
   // Drain front-end commands (non-blocking). Any non-timeout failure means
   // the link is unusable (peer gone, stream desynced): drop it cleanly and
@@ -180,6 +206,9 @@ bool Paradynd::poll_once() {
 }
 
 Status Paradynd::send_report(bool final_report) {
+  static telemetry::Counter& rollups_counter =
+      telemetry::Registry::instance().counter("paradynd.rollups");
+  rollups_counter.inc();
   // Publish the whole-program rollup of every metric seen in this batch to
   // the attribute space in one batched round trip, so other daemons (and
   // the RM) can observe progress without talking to the front-end.

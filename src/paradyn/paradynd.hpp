@@ -20,6 +20,7 @@
 #include <memory>
 #include <string>
 
+#include "attrspace/telemetry_export.hpp"
 #include "core/tdp.hpp"
 #include "paradyn/dyninst.hpp"
 #include "paradyn/metrics.hpp"
@@ -106,6 +107,9 @@ class Paradynd {
 
   ParadyndConfig config_;
   std::unique_ptr<TdpSession> session_;
+  /// Publishes this RT's metrics into the LASS (tdp.telemetry.paradynd.*)
+  /// over the session, one batched round trip per interval.
+  std::unique_ptr<attr::TelemetryPublisher> telemetry_pub_;
   std::unique_ptr<net::Endpoint> frontend_;
   std::unique_ptr<Inferior> inferior_;
   MetricStore metrics_;

@@ -1,14 +1,17 @@
 #include "util/log.hpp"
 
+#include <cinttypes>
 #include <cstdio>
 
 #include "util/sync.hpp"
+#include "util/telemetry.hpp"
 
 namespace tdp::log {
 
 namespace {
 
 std::atomic<Level> g_level{Level::kWarn};
+std::atomic<bool> g_timestamps{false};
 
 tdp::Mutex& sink_mutex() {
   static tdp::Mutex m{"log::sink_mutex"};
@@ -43,9 +46,29 @@ void set_sink(Sink sink) {
   sink_ref() = std::move(sink);
 }
 
+void set_timestamps(bool enabled) noexcept {
+  g_timestamps.store(enabled, std::memory_order_relaxed);
+}
+
+bool timestamps_enabled() noexcept {
+  return g_timestamps.load(std::memory_order_relaxed);
+}
+
 void write(Level level, std::string_view component, std::string_view message) {
   std::string line;
   line.reserve(component.size() + message.size() + 16);
+  if (timestamps_enabled()) {
+    char prefix[48];
+    std::snprintf(prefix, sizeof(prefix), "[%" PRId64 "us] ",
+                  telemetry::Tracer::instance().now());
+    line += prefix;
+    const telemetry::SpanContext ctx = telemetry::current_context();
+    if (ctx.valid()) {
+      std::snprintf(prefix, sizeof(prefix), "[%08" PRIx64 "] ",
+                    ctx.trace_id & 0xffffffffu);
+      line += prefix;
+    }
+  }
   line += '[';
   line += level_name(level);
   line += "] ";

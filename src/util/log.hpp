@@ -27,7 +27,15 @@ Level get_level() noexcept;
 using Sink = std::function<void(std::string_view line)>;
 void set_sink(Sink sink);
 
-/// Emit one formatted line: "[LEVEL] component: message".
+/// Opt-in line prefixes for correlating logs with telemetry: a monotonic
+/// microsecond timestamp (telemetry clock, so sim runs log virtual time)
+/// and, when a span is active on the calling thread, the short (low 32
+/// bits) trace id. Off by default - the format stays byte-identical.
+void set_timestamps(bool enabled) noexcept;
+bool timestamps_enabled() noexcept;
+
+/// Emit one formatted line: "[LEVEL] component: message", or with
+/// set_timestamps(true): "[<micros>us] [<trace8>] [LEVEL] component: ...".
 void write(Level level, std::string_view component, std::string_view message);
 
 /// A named logging handle, cheap to copy.

@@ -1,0 +1,282 @@
+// telemetry.hpp - self-hosted observability for the TDP daemons: a
+// lock-sharded metrics registry (counters / gauges / log2 histograms, all
+// atomics on the hot path) and a span-based tracer whose context rides the
+// attribute-space wire frames, so one submit yields a single causal tree
+// across schedd, shadow, startd, starter, paradynd and the application.
+//
+// Design constraints, in order:
+//   - zero allocation after registration: handles returned by the Registry
+//     are stable references; hot paths cache them once and then only do
+//     relaxed atomic adds.
+//   - virtual-clock aware: the Tracer reads time through util/clock.hpp's
+//     Clock interface, so sim-engine runs produce deterministic spans.
+//   - self-hosted export: dump through the attribute-space itself under
+//     tdp.telemetry.<role>.<host>.* (see attrspace/telemetry_export.hpp),
+//     the way Condor-family managers expose daemon state through their own
+//     job-control channel.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+#include "util/sync.hpp"
+
+namespace tdp::telemetry {
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Monotonic counter. All operations are relaxed atomics; cross-metric
+/// consistency is not promised (snapshots are advisory, like /proc).
+class Counter {
+ public:
+  void inc() noexcept { value_.fetch_add(1, std::memory_order_relaxed); }
+  void add(std::uint64_t n) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-value gauge (queue depths, live connections, ...). Signed so
+/// add(-1) works for up/down tracking.
+class Gauge {
+ public:
+  void set(std::int64_t v) noexcept {
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Fixed-bucket log2 histogram: bucket b counts values whose bit width is
+/// b, i.e. [2^(b-1), 2^b) for b >= 1 and the single value 0 for b == 0.
+/// record() is three relaxed fetch_adds - no locks, no allocation. Intended
+/// unit is microseconds but any non-negative magnitude works.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void record(std::uint64_t v) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    /// Percentiles are the upper bound of the bucket in which the
+    /// percentile falls - an overestimate bounded by 2x (the bucket
+    /// width), which is the precision log2 buckets buy.
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// One registry entry flattened for export / inspection.
+struct Sample {
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  /// Counter/gauge value (histograms: 0).
+  std::int64_t value = 0;
+  /// Histogram-only fields.
+  Histogram::Snapshot hist;
+};
+
+/// Process-wide, lock-sharded metrics registry. Locks are taken only at
+/// registration and snapshot time; the returned references stay valid for
+/// the life of the process (entries are never removed), so callers cache
+/// them in function-local statics and the steady state is lock-free.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// All metrics, sorted by name. Values are read with relaxed loads; the
+  /// snapshot is consistent per-metric, not across metrics.
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+ private:
+  static constexpr std::size_t kShards = 8;
+
+  struct Shard {
+    mutable Mutex mutex{"telemetry::Registry::Shard::mutex"};
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+        TDP_GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges
+        TDP_GUARDED_BY(mutex);
+    std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+        TDP_GUARDED_BY(mutex);
+  };
+
+  Shard& shard_for(std::string_view name) noexcept;
+
+  Shard shards_[kShards];
+};
+
+// ---------------------------------------------------------------------------
+// Tracing
+// ---------------------------------------------------------------------------
+
+/// Identifies a position in a causal tree. Propagated across daemons as a
+/// compact string header ("1-<trace-hex>-<span-hex>") in a reserved
+/// attribute-space message field; see net/message.hpp kTraceField.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  [[nodiscard]] bool valid() const noexcept { return trace_id != 0; }
+};
+
+/// "1-%016x-%016x". The leading "1" is the header version: parsers ignore
+/// versions they do not understand, and readers that predate telemetry see
+/// only an unknown string field (the frame layout is unchanged).
+std::string format_context(const SpanContext& ctx);
+
+/// Returns an invalid context on malformed input or unknown version.
+SpanContext parse_context(std::string_view header);
+
+/// One finished span.
+struct SpanRecord {
+  std::string name;  ///< operation, e.g. "starter.launch"
+  std::string role;  ///< daemon role, e.g. "starter"
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_id = 0;  ///< 0 = root
+  Micros start_us = 0;
+  Micros end_us = 0;
+};
+
+/// Process-wide span collector. Span ids come from plain atomic counters
+/// (not RNG) and time from the configured Clock, so a sim run with a
+/// VirtualClock produces byte-identical traces; clear() rewinds the id
+/// counters for back-to-back determinism tests.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// nullptr restores the default RealClock. The pointer must outlive all
+  /// tracing activity (sim engines call set_clock(nullptr) on teardown).
+  void set_clock(const Clock* clock) noexcept;
+  [[nodiscard]] Micros now() const noexcept;
+
+  /// Disabled: Span construction is a no-op (contexts come back invalid,
+  /// nothing is recorded). Default on; the overhead bench measures off.
+  void set_enabled(bool enabled) noexcept;
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::vector<SpanRecord> finished() const;
+
+  /// Drops all finished spans AND resets the id counters - only safe when
+  /// no spans are in flight (tests, bench setup).
+  void clear();
+
+  /// Chrome trace_event JSON ("ph":"X" complete events) from finished
+  /// spans; view via chrome://tracing, Perfetto, or scripts/trace2html.py.
+  [[nodiscard]] std::string chrome_trace_json() const;
+  Status dump_chrome_trace(const std::string& path) const;
+
+  // Internal - used by Span.
+  std::uint64_t next_trace_id() noexcept {
+    return next_trace_.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::uint64_t next_span_id() noexcept {
+    return next_span_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void record(SpanRecord rec);
+
+ private:
+  /// Back-pressure: beyond this many retained spans, new records are
+  /// dropped (counted in telemetry.spans_dropped) rather than growing
+  /// without bound in long-lived daemons.
+  static constexpr std::size_t kMaxFinished = 65536;
+
+  mutable Mutex mutex_{"telemetry::Tracer::mutex_"};
+  std::vector<SpanRecord> finished_ TDP_GUARDED_BY(mutex_);
+
+  std::atomic<const Clock*> clock_{nullptr};
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> next_trace_{1};
+  std::atomic<std::uint64_t> next_span_{1};
+};
+
+/// The context a new Span would inherit on this thread: the innermost
+/// active Span if any, else the ambient (remote) context.
+[[nodiscard]] SpanContext current_context();
+
+/// The thread's ambient context: set when a message carrying a trace
+/// header is being handled (or a traced attribute value was just read), so
+/// work triggered by a remote operation joins the remote trace.
+[[nodiscard]] SpanContext ambient_context();
+void set_ambient_context(const SpanContext& ctx);
+
+/// RAII save/set/restore of the ambient context.
+class ScopedAmbient {
+ public:
+  explicit ScopedAmbient(const SpanContext& ctx);
+  ~ScopedAmbient();
+  ScopedAmbient(const ScopedAmbient&) = delete;
+  ScopedAmbient& operator=(const ScopedAmbient&) = delete;
+
+ private:
+  SpanContext saved_;
+};
+
+/// RAII span. Parents to current_context() (or an explicit parent); while
+/// alive it is the thread's innermost span, so nested Spans and outgoing
+/// attribute-space calls inherit it. Records on destruction/end().
+class Span {
+ public:
+  Span(std::string_view name, std::string_view role);
+  Span(std::string_view name, std::string_view role,
+       const SpanContext& parent);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Invalid when the tracer is disabled.
+  [[nodiscard]] SpanContext context() const noexcept { return ctx_; }
+  [[nodiscard]] bool recording() const noexcept { return open_; }
+  void end();
+
+ private:
+  void begin(std::string_view name, std::string_view role,
+             const SpanContext& parent);
+
+  SpanContext ctx_;
+  std::uint64_t parent_ = 0;
+  Micros start_ = 0;
+  std::string name_;
+  std::string role_;
+  bool open_ = false;
+};
+
+}  // namespace tdp::telemetry

@@ -1,0 +1,167 @@
+// One parador submit, one causal tree: the trace context born in
+// Schedd::submit must travel through the job record into the startd claim,
+// the starter's launch and app creation, across the attribute-space pid
+// handshake, and into paradynd's attach — every span of the run connected
+// under a single trace id.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <map>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "condor/pool.hpp"
+#include "net/inproc.hpp"
+#include "paradyn/frontend.hpp"
+#include "paradyn/inproc_tool.hpp"
+#include "proc/sim_backend.hpp"
+#include "util/telemetry.hpp"
+
+namespace tdp {
+namespace {
+
+using condor::JobDescription;
+using condor::JobId;
+using condor::JobStatus;
+using condor::Pool;
+using condor::PoolConfig;
+
+class TracePipelineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    transport_ = net::InProcTransport::create();
+    frontend_ = std::make_unique<paradyn::Frontend>(transport_);
+    auto started = frontend_->start("inproc://trace-fe");
+    ASSERT_TRUE(started.is_ok());
+
+    paradyn::InProcParadynLauncher::Options launcher_options;
+    launcher_options.transport = transport_;
+    launcher_options.frontend_address = started.value();
+    launcher_options.sample_quantum_micros = 5'000;
+    launcher_ =
+        std::make_unique<paradyn::InProcParadynLauncher>(launcher_options);
+
+    PoolConfig config;
+    config.transport = transport_;
+    config.use_real_files = false;
+    config.tool_launcher = launcher_.get();
+    config.tool_wait_timeout_ms = 20'000;
+    config.frontend_host = started.value();
+    config.backend_factory = [this](const std::string& machine) {
+      auto backend = std::make_shared<proc::SimProcessBackend>();
+      backends_[machine] = backend;
+      return backend;
+    };
+    pool_ = std::make_unique<Pool>(std::move(config));
+    pool_->add_machine("node0", Pool::default_machine_ad("node0"));
+
+    telemetry::Tracer::instance().set_enabled(true);
+    telemetry::Tracer::instance().clear();
+  }
+
+  void TearDown() override {
+    launcher_->join_all();
+    pool_.reset();
+    frontend_->stop();
+    telemetry::Tracer::instance().clear();
+  }
+
+  condor::JobRecord drive(JobId id, int timeout_ms = 30'000) {
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      pool_->negotiate();
+      pool_->pump();
+      for (auto& [name, backend] : backends_) backend->step(1);
+      auto record = pool_->schedd().job(id);
+      if (record.is_ok() && condor::job_status_terminal(record->status)) {
+        return record.value();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    auto record = pool_->schedd().job(id);
+    return record.is_ok() ? record.value() : condor::JobRecord{};
+  }
+
+  std::shared_ptr<net::InProcTransport> transport_;
+  std::unique_ptr<paradyn::Frontend> frontend_;
+  std::unique_ptr<paradyn::InProcParadynLauncher> launcher_;
+  std::map<std::string, std::shared_ptr<proc::SimProcessBackend>> backends_;
+  std::unique_ptr<Pool> pool_;
+};
+
+TEST_F(TracePipelineTest, OneSubmitYieldsOneConnectedTraceTree) {
+  JobDescription job;
+  job.executable = "simulated_app";
+  job.suspend_job_at_exec = true;
+  job.tool_daemon.present = true;
+  job.tool_daemon.cmd = "paradynd";
+  job.tool_daemon.args = "-zunix -l3 -a%pid";
+  job.sim_work_units = 200;
+
+  JobId id = pool_->submit(job);
+  auto record = drive(id);
+  ASSERT_EQ(record.status, JobStatus::kCompleted) << record.failure_reason;
+  launcher_->join_all();  // paradynd's spans are all ended once it joins
+
+  const auto spans = telemetry::Tracer::instance().finished();
+  ASSERT_FALSE(spans.empty());
+
+  // Exactly one submit root; its trace id names the causal tree.
+  std::uint64_t trace = 0;
+  for (const auto& span : spans) {
+    if (span.name == "schedd.submit") {
+      EXPECT_EQ(trace, 0u) << "second submit root in a single-submit run";
+      EXPECT_EQ(span.parent_id, 0u);
+      trace = span.trace_id;
+    }
+  }
+  ASSERT_NE(trace, 0u) << "submit produced no root span";
+
+  // Every daemon the job touched contributed a span to THIS trace.
+  std::set<std::string> roles;
+  std::set<std::uint64_t> ids;
+  for (const auto& span : spans) {
+    if (span.trace_id != trace) continue;
+    roles.insert(span.role);
+    ids.insert(span.span_id);
+    EXPECT_LE(span.start_us, span.end_us) << span.name;
+  }
+  for (const char* role : {"schedd", "startd", "starter", "app", "paradynd"}) {
+    EXPECT_TRUE(roles.count(role)) << "no span from role " << role
+                                   << " joined the submit trace";
+  }
+
+  // Connected: every non-root span of the trace parents to another span of
+  // the same trace — one tree, no orphaned fragments.
+  std::size_t roots = 0;
+  for (const auto& span : spans) {
+    if (span.trace_id != trace) continue;
+    if (span.parent_id == 0) {
+      ++roots;
+      continue;
+    }
+    EXPECT_TRUE(ids.count(span.parent_id))
+        << span.name << " (role " << span.role
+        << ") parents to an unknown span";
+  }
+  EXPECT_EQ(roots, 1u) << "the submit span must be the only root";
+
+  // The protocol spans (not just the daemon-local ones) joined the tree:
+  // attribute-space dispatches on the LASS path carry the caller's trace.
+  bool lass_dispatch_in_trace = false;
+  for (const auto& span : spans) {
+    if (span.trace_id == trace && span.role != "schedd" &&
+        span.role != "startd" && span.role != "starter" &&
+        span.role != "app" && span.role != "paradynd" &&
+        span.role != "shadow") {
+      lass_dispatch_in_trace = true;
+    }
+  }
+  EXPECT_TRUE(lass_dispatch_in_trace)
+      << "no server-side dispatch span joined the submit trace";
+}
+
+}  // namespace
+}  // namespace tdp

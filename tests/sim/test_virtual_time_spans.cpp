@@ -1,0 +1,74 @@
+// Deterministic virtual-time tracing: with the Tracer reading time from a
+// sim VirtualClock and clear() rewinding the id counters, two identical
+// runs must produce byte-identical Chrome trace JSON — timestamps are
+// virtual microseconds, not wall-clock noise.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "sim/engine.hpp"
+#include "util/telemetry.hpp"
+
+namespace tdp {
+namespace {
+
+/// One scripted "negotiate -> launch" episode on virtual time.
+std::string scripted_run() {
+  sim::Engine engine;
+  sim::VirtualClock clock(engine);
+  telemetry::Tracer& tracer = telemetry::Tracer::instance();
+  tracer.set_clock(&clock);
+  tracer.clear();
+
+  auto advance_to = [&engine](Micros t) {
+    engine.schedule_at(t, [] {});
+    engine.run();
+  };
+
+  advance_to(1000);
+  {
+    telemetry::Span submit("schedd.submit", "schedd");
+    advance_to(1500);
+    {
+      telemetry::Span launch("starter.launch", "starter");
+      advance_to(1700);
+    }
+    advance_to(2000);
+  }
+  const std::string json = tracer.chrome_trace_json();
+  tracer.set_clock(nullptr);
+  return json;
+}
+
+TEST(VirtualTimeSpans, TimestampsComeFromTheEngine) {
+  telemetry::Tracer& tracer = telemetry::Tracer::instance();
+  const std::string json = scripted_run();
+
+  const auto spans = tracer.finished();
+  ASSERT_EQ(spans.size(), 2u);
+  // Inner span finishes first; both carry exact virtual times.
+  EXPECT_EQ(spans[0].name, "starter.launch");
+  EXPECT_EQ(spans[0].start_us, 1500);
+  EXPECT_EQ(spans[0].end_us, 1700);
+  EXPECT_EQ(spans[1].name, "schedd.submit");
+  EXPECT_EQ(spans[1].start_us, 1000);
+  EXPECT_EQ(spans[1].end_us, 2000);
+  EXPECT_EQ(spans[0].trace_id, spans[1].trace_id);
+  EXPECT_EQ(spans[0].parent_id, spans[1].span_id);
+
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":1000"), std::string::npos) << json;
+  tracer.clear();
+}
+
+TEST(VirtualTimeSpans, TwoRunsAreByteIdentical) {
+  const std::string first = scripted_run();
+  const std::string second = scripted_run();
+  EXPECT_EQ(first, second)
+      << "virtual-time traces must be reproducible byte for byte";
+  EXPECT_FALSE(first.empty());
+  telemetry::Tracer::instance().clear();
+}
+
+}  // namespace
+}  // namespace tdp

@@ -1,0 +1,320 @@
+// Unit tests for util/telemetry: histogram bucket/percentile semantics,
+// counter behaviour under 8-thread contention (the TSan target), trace
+// header format/parse round trips including malformed and future-version
+// input, and Span parenting via the thread-local stack + ambient context.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/telemetry.hpp"
+
+namespace tdp::telemetry {
+namespace {
+
+// --- Histogram -------------------------------------------------------------
+
+TEST(TelemetryHistogram, EmptySnapshotIsAllZero) {
+  Histogram h;
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_EQ(snap.p95, 0.0);
+  EXPECT_EQ(snap.p99, 0.0);
+}
+
+TEST(TelemetryHistogram, ZeroHasItsOwnBucket) {
+  Histogram h;
+  h.record(0);
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 1u);
+  EXPECT_EQ(snap.sum, 0u);
+  EXPECT_EQ(snap.p50, 0.0);
+  EXPECT_EQ(snap.p99, 0.0);
+}
+
+TEST(TelemetryHistogram, PercentileIsBucketUpperBoundWithin2x) {
+  // Log2 buckets report the bucket's upper bound: exact for values of the
+  // form 2^b - 1, and an overestimate strictly below 2x otherwise. That
+  // bound is the whole precision contract of the fixed-bucket design.
+  for (const std::uint64_t v :
+       {std::uint64_t{1}, std::uint64_t{2}, std::uint64_t{3}, std::uint64_t{5},
+        std::uint64_t{9}, std::uint64_t{100}, std::uint64_t{12345},
+        std::uint64_t{1} << 40}) {
+    Histogram h;
+    h.record(v);
+    const auto snap = h.snapshot();
+    EXPECT_GE(snap.p50, static_cast<double>(v)) << "v=" << v;
+    EXPECT_LT(snap.p50, 2.0 * static_cast<double>(v)) << "v=" << v;
+    EXPECT_EQ(snap.p50, snap.p99) << "v=" << v;  // single sample
+  }
+  // Exact upper-bound values come back exactly.
+  Histogram exact;
+  exact.record(7);  // bucket [4,8) reports 7
+  EXPECT_EQ(exact.snapshot().p50, 7.0);
+}
+
+TEST(TelemetryHistogram, PercentilesSplitAcrossBuckets) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.record(1);     // bucket upper bound 1
+  for (int i = 0; i < 10; ++i) h.record(1000);  // bucket [512,1024) -> 1023
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 100u);
+  EXPECT_EQ(snap.sum, 90u + 10u * 1000u);
+  EXPECT_EQ(snap.p50, 1.0);     // rank 50 of 100 lands in the 90x bucket
+  EXPECT_EQ(snap.p95, 1023.0);  // rank 95 is past the first 90
+  EXPECT_EQ(snap.p99, 1023.0);
+}
+
+TEST(TelemetryHistogram, CountAndSumSurviveManyRecords) {
+  Histogram h;
+  std::uint64_t sum = 0;
+  for (std::uint64_t v = 0; v < 4096; ++v) {
+    h.record(v);
+    sum += v;
+  }
+  const auto snap = h.snapshot();
+  EXPECT_EQ(snap.count, 4096u);
+  EXPECT_EQ(snap.sum, sum);
+}
+
+// --- Registry + contention -------------------------------------------------
+
+TEST(TelemetryRegistry, HandlesAreStableAcrossLookups) {
+  Registry& reg = Registry::instance();
+  Counter& a = reg.counter("test.registry.stable");
+  Counter& b = reg.counter("test.registry.stable");
+  EXPECT_EQ(&a, &b);
+  Gauge& g1 = reg.gauge("test.registry.stable");  // separate namespace
+  Gauge& g2 = reg.gauge("test.registry.stable");
+  EXPECT_EQ(&g1, &g2);
+}
+
+TEST(TelemetryRegistry, SnapshotContainsRegisteredMetricsSorted) {
+  Registry& reg = Registry::instance();
+  reg.counter("test.snap.a").add(3);
+  reg.gauge("test.snap.b").set(-7);
+  reg.histogram("test.snap.c").record(5);
+  const auto samples = reg.snapshot();
+  ASSERT_GE(samples.size(), 3u);
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_LE(samples[i - 1].name, samples[i].name) << "snapshot not sorted";
+  }
+  bool saw_counter = false;
+  bool saw_gauge = false;
+  bool saw_hist = false;
+  for (const Sample& s : samples) {
+    if (s.name == "test.snap.a") {
+      saw_counter = true;
+      EXPECT_EQ(s.kind, Sample::Kind::kCounter);
+      EXPECT_EQ(s.value, 3);
+    } else if (s.name == "test.snap.b") {
+      saw_gauge = true;
+      EXPECT_EQ(s.kind, Sample::Kind::kGauge);
+      EXPECT_EQ(s.value, -7);
+    } else if (s.name == "test.snap.c") {
+      saw_hist = true;
+      EXPECT_EQ(s.kind, Sample::Kind::kHistogram);
+      EXPECT_EQ(s.hist.count, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_counter && saw_gauge && saw_hist);
+}
+
+TEST(TelemetryContention, EightThreadsIncrementOneCounter) {
+  // The hot-path contract: concurrent inc()/record() from 8 threads loses
+  // nothing. Runs under the TSan tier as well, where a non-atomic slip in
+  // the registry or metric types would be a hard failure.
+  Counter& counter =
+      Registry::instance().counter("test.contention.counter");
+  Histogram& hist =
+      Registry::instance().histogram("test.contention.hist");
+  const std::uint64_t before = counter.value();
+  constexpr int kThreads = 8;
+  constexpr int kIters = 50'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Mix registration (shard locks) with hot-path adds.
+      Counter& own = Registry::instance().counter(
+          "test.contention.t" + std::to_string(t));
+      for (int i = 0; i < kIters; ++i) {
+        counter.inc();
+        own.inc();
+        hist.record(static_cast<std::uint64_t>(i));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(counter.value() - before,
+            static_cast<std::uint64_t>(kThreads) * kIters);
+  EXPECT_GE(hist.snapshot().count, static_cast<std::uint64_t>(kThreads) * kIters);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(Registry::instance()
+                  .counter("test.contention.t" + std::to_string(t))
+                  .value(),
+              static_cast<std::uint64_t>(kIters));
+  }
+}
+
+// --- Trace header ----------------------------------------------------------
+
+TEST(TelemetryContext, FormatParseRoundTrip) {
+  SpanContext ctx;
+  ctx.trace_id = 0x0123456789abcdefULL;
+  ctx.span_id = 0xfedcba9876543210ULL;
+  const std::string header = format_context(ctx);
+  EXPECT_EQ(header, "1-0123456789abcdef-fedcba9876543210");
+  const SpanContext parsed = parse_context(header);
+  EXPECT_TRUE(parsed.valid());
+  EXPECT_EQ(parsed.trace_id, ctx.trace_id);
+  EXPECT_EQ(parsed.span_id, ctx.span_id);
+}
+
+TEST(TelemetryContext, MalformedAndFutureHeadersParseInvalid) {
+  // Everything that is not exactly a version-1 header must come back
+  // invalid — treated like "no trace", never an error on the wire path.
+  const char* bad[] = {
+      "",
+      "1",
+      "1-0123456789abcdef",                      // missing span half
+      "2-0123456789abcdef-fedcba9876543210",     // future version
+      "1-0123456789ABCDEF-fedcba9876543210",     // uppercase not emitted
+      "1-0123456789abcdeg-fedcba9876543210",     // non-hex digit
+      "1-0123456789abcdef_fedcba9876543210",     // wrong separator
+      "1-0123456789abcdef-fedcba98765432100",    // too long
+      "x-0123456789abcdef-fedcba9876543210",
+  };
+  for (const char* header : bad) {
+    EXPECT_FALSE(parse_context(header).valid()) << "header=" << header;
+  }
+  // trace_id 0 is the "invalid" sentinel even in a well-formed header.
+  EXPECT_FALSE(
+      parse_context("1-0000000000000000-fedcba9876543210").valid());
+}
+
+// --- Spans -----------------------------------------------------------------
+
+class TelemetrySpan : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().set_enabled(true);
+    Tracer::instance().clear();
+    set_ambient_context(SpanContext{});
+  }
+  void TearDown() override {
+    set_ambient_context(SpanContext{});
+    Tracer::instance().set_enabled(true);
+    Tracer::instance().clear();
+  }
+};
+
+TEST_F(TelemetrySpan, RootAndNestedParenting) {
+  SpanContext outer_ctx;
+  SpanContext inner_ctx;
+  {
+    Span outer("outer", "test");
+    outer_ctx = outer.context();
+    EXPECT_TRUE(outer_ctx.valid());
+    EXPECT_EQ(current_context().span_id, outer_ctx.span_id);
+    {
+      Span inner("inner", "test");
+      inner_ctx = inner.context();
+      EXPECT_EQ(inner_ctx.trace_id, outer_ctx.trace_id);
+      EXPECT_EQ(current_context().span_id, inner_ctx.span_id);
+    }
+    EXPECT_EQ(current_context().span_id, outer_ctx.span_id);
+  }
+  const auto spans = Tracer::instance().finished();
+  ASSERT_EQ(spans.size(), 2u);  // inner finishes first
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].parent_id, outer_ctx.span_id);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent_id, 0u) << "outer must be a root";
+  EXPECT_EQ(spans[0].trace_id, spans[1].trace_id);
+}
+
+TEST_F(TelemetrySpan, AmbientContextSeedsRemoteParent) {
+  // The cross-daemon case: a context that arrived over the wire is set as
+  // ambient, and the next span joins that trace instead of starting one.
+  SpanContext remote;
+  remote.trace_id = 0xabc;
+  remote.span_id = 0x123;
+  {
+    ScopedAmbient ambient(remote);
+    Span span("local.work", "test");
+    EXPECT_EQ(span.context().trace_id, remote.trace_id);
+  }
+  EXPECT_FALSE(ambient_context().valid()) << "ScopedAmbient must restore";
+  const auto spans = Tracer::instance().finished();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].trace_id, 0xabcu);
+  EXPECT_EQ(spans[0].parent_id, 0x123u);
+}
+
+TEST_F(TelemetrySpan, ExplicitParentWinsOverThreadState) {
+  SpanContext parent;
+  parent.trace_id = 0x777;
+  parent.span_id = 0x42;
+  Span ignored("ambient.noise", "test");  // live innermost span
+  {
+    Span span("child", "test", parent);
+    EXPECT_EQ(span.context().trace_id, 0x777u);
+  }
+  ignored.end();
+  const auto spans = Tracer::instance().finished();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "child");
+  EXPECT_EQ(spans[0].parent_id, 0x42u);
+}
+
+TEST_F(TelemetrySpan, DisabledTracerMakesSpansNoOps) {
+  Tracer::instance().set_enabled(false);
+  {
+    Span span("ghost", "test");
+    EXPECT_FALSE(span.context().valid());
+    EXPECT_FALSE(span.recording());
+    EXPECT_FALSE(current_context().valid());
+  }
+  Tracer::instance().set_enabled(true);
+  EXPECT_TRUE(Tracer::instance().finished().empty());
+}
+
+TEST_F(TelemetrySpan, ClearRewindsIdsForDeterministicRuns) {
+  auto run = [] {
+    Tracer::instance().clear();
+    Span a("a", "test");
+    const SpanContext ctx = a.context();
+    a.end();
+    return ctx;
+  };
+  const SpanContext first = run();
+  const SpanContext second = run();
+  EXPECT_EQ(first.trace_id, second.trace_id);
+  EXPECT_EQ(first.span_id, second.span_id);
+}
+
+TEST_F(TelemetrySpan, ChromeTraceJsonUsesInjectedClock) {
+  ManualClock clock;
+  Tracer::instance().set_clock(&clock);
+  clock.set_micros(1000);
+  {
+    Span span("step", "test");
+    clock.advance_micros(250);
+  }
+  Tracer::instance().set_clock(nullptr);
+  const auto spans = Tracer::instance().finished();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].start_us, 1000);
+  EXPECT_EQ(spans[0].end_us, 1250);
+  const std::string json = Tracer::instance().chrome_trace_json();
+  EXPECT_NE(json.find("\"ts\":1000"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"dur\":250"), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace tdp::telemetry
