@@ -25,6 +25,7 @@
 #include "attrspace/telemetry_export.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
+#include "util/lease.hpp"
 #include "util/telemetry.hpp"
 
 using namespace tdp;
@@ -47,6 +48,68 @@ void ingest(Table& table, const std::string& attribute, const std::string& value
   const std::string metric = rest.substr(host_dot + 1);
   if (metric.empty()) return;
   table[daemon][metric] = value;
+}
+
+/// Daemon liveness derived from tdp.liveness.<role>.<host> beats (PR 5).
+/// Health comes from a LeaseMonitor over the beat arrivals; restarts are
+/// counted from sequence-number regressions - a fresh incarnation of a
+/// daemon restarts its beat sequence at 1, so seq going backwards means
+/// the old daemon died and a replacement took over.
+struct LivenessTable {
+  struct Row {
+    std::uint64_t last_seq = 0;
+    int restarts = 0;
+  };
+  lease::LeaseMonitor monitor{lease::Config{}};
+  std::map<std::string, Row> rows;
+};
+
+void ingest_liveness(LivenessTable& liveness, const std::string& attribute,
+                     const std::string& value) {
+  const std::size_t prefix_len = std::strlen(lease::kLivenessPrefix);
+  if (attribute.compare(0, prefix_len, lease::kLivenessPrefix) != 0) return;
+  const std::string daemon = attribute.substr(prefix_len);
+  if (daemon.empty()) return;
+  std::uint64_t seq = 0;
+  try {
+    seq = std::stoull(value);  // beat format: "<seq> <clock-micros>"
+  } catch (const std::exception&) {
+    return;
+  }
+  LivenessTable::Row& row = liveness.rows[daemon];
+  if (seq < row.last_seq) ++row.restarts;
+  row.last_seq = seq;
+  liveness.monitor.observe(daemon);
+}
+
+const char* liveness_state(lease::Health health) {
+  switch (health) {
+    case lease::Health::kAlive:
+      return "alive";
+    case lease::Health::kDegraded:
+      return "degraded";
+    case lease::Health::kExpired:
+      // An expired lease is the master's cue to restart the daemon; until
+      // beats resume (or forever, if the circuit breaker opened) the most
+      // useful thing to show an operator is that a restart is under way.
+      return "restarting";
+  }
+  return "unknown";
+}
+
+void render_liveness(const LivenessTable& liveness) {
+  if (liveness.rows.empty()) return;
+  std::printf("=== liveness (%zu daemons) ===\n", liveness.rows.size());
+  std::size_t width = std::strlen("daemon");
+  for (const auto& [daemon, row] : liveness.rows) {
+    width = std::max(width, daemon.size());
+  }
+  std::printf("  %-*s  %-10s  %s\n", static_cast<int>(width), "daemon", "state",
+              "restarts");
+  for (const auto& [daemon, row] : liveness.rows) {
+    std::printf("  %-*s  %-10s  %d\n", static_cast<int>(width), daemon.c_str(),
+                liveness_state(liveness.monitor.health(daemon)), row.restarts);
+  }
 }
 
 void render(const Table& table, bool clear_screen) {
@@ -106,6 +169,30 @@ int run_demo() {
     return 1;
   }
   Table table;
+  LivenessTable liveness;
+
+  // Ride the beats as they land (a snapshot would only show the latest
+  // one, hiding the sequence regression that marks a restart).
+  Status subscribed = client.value()->subscribe(
+      std::string(lease::kLivenessPrefix) + "*",
+      [&liveness](const std::string& attribute, const std::string& value) {
+        ingest_liveness(liveness, attribute, value);
+      });
+  if (!subscribed.is_ok()) {
+    std::printf("demo: subscribe failed: %s\n", subscribed.to_string().c_str());
+    return 1;
+  }
+  // A daemon beats twice, dies, and its replacement starts over at seq 1:
+  // the regression is what tdptop counts as a restart.
+  const std::string beat_attr = lease::liveness_attr("demo", "localhost");
+  for (const char* beat : {"1 100", "2 600", "1 1200"}) {
+    lass.store().put(attr::kDefaultContext, beat_attr, beat);
+  }
+  for (int i = 0; i < 50 && liveness.rows["demo.localhost"].last_seq != 1; ++i) {
+    client.value()->service_events();
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
   auto listed = client.value()->list();
   if (!listed.is_ok()) {
     std::printf("demo: list failed: %s\n", listed.status().to_string().c_str());
@@ -115,10 +202,16 @@ int run_demo() {
     ingest(table, attribute, value);
   }
   render(table, /*clear_screen=*/false);
+  render_liveness(liveness);
   client.value()->exit();
   lass.stop();
-  // The smoke gate: the demo daemon must have come through the space.
-  return table.count("demo.localhost") == 1 ? 0 : 1;
+  // The smoke gate: the demo daemon must have come through the space, its
+  // beats must read alive, and the seq regression must count one restart.
+  const auto row = liveness.rows.find("demo.localhost");
+  const bool liveness_ok =
+      row != liveness.rows.end() && row->second.restarts == 1 &&
+      liveness.monitor.health("demo.localhost") == lease::Health::kAlive;
+  return table.count("demo.localhost") == 1 && liveness_ok ? 0 : 1;
 }
 
 }  // namespace
@@ -156,11 +249,13 @@ int main(int argc, char** argv) {
   }
 
   Table table;
+  LivenessTable liveness;
   // Catch up on what is already in the space, then ride notifications.
   auto listed = client.value()->list();
   if (listed.is_ok()) {
     for (const auto& [attribute, value] : listed.value()) {
       ingest(table, attribute, value);
+      ingest_liveness(liveness, attribute, value);
     }
   }
   Status subscribed = client.value()->subscribe(
@@ -173,10 +268,21 @@ int main(int argc, char** argv) {
                 subscribed.to_string().c_str());
     return 1;
   }
+  Status beats = client.value()->subscribe(
+      std::string(lease::kLivenessPrefix) + "*",
+      [&liveness](const std::string& attribute, const std::string& value) {
+        ingest_liveness(liveness, attribute, value);
+      });
+  if (!beats.is_ok()) {
+    std::printf("tdptop: liveness subscribe failed: %s\n",
+                beats.to_string().c_str());
+    return 1;
+  }
 
   while (true) {
     client.value()->service_events();
     render(table, /*clear_screen=*/!once);
+    render_liveness(liveness);
     if (once) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
     if (!client.value()->connected()) {

@@ -8,6 +8,9 @@
 #   scripts/ci.sh asan       # ASan+UBSan build of the chaos/fuzz tier
 #   scripts/ci.sh chaos      # chaos tier: fixed seeds + one time-derived
 #                            # seed (printed, so any failure is replayable)
+#   scripts/ci.sh chaos-kill # daemon-death kill matrix only: paradynd /
+#                            # startd / schedd killed mid-run over the
+#                            # fixed seeds (fast subset for PR gating)
 #   scripts/ci.sh analyze    # lock-discipline gate: lint.py always; clang
 #                            # -Wthread-safety -Werror + clang-tidy where a
 #                            # clang toolchain exists (skipped otherwise)
@@ -78,6 +81,21 @@ run_chaos() {
     --target tdp_chaos_tests tdp_chaos_integration_tests
   TDP_CHAOS_SEED="${extra_seed}" ./build-ci/tests/tdp_chaos_tests
   TDP_CHAOS_SEED="${extra_seed}" ./build-ci/tests/tdp_chaos_integration_tests
+}
+
+run_chaos_kill() {
+  # The daemon-death survival matrix (tests/chaos/test_chaos_kill.cpp):
+  # kill paradynd (app must survive, tool reattaches), kill startd (job
+  # requeued exactly once, via journal replay and via lease expiry), kill
+  # schedd (queue recovered from the write-ahead journal), plus the
+  # disabled-recovery control that demonstrably loses the job. Runs the
+  # fixed seeds only - deterministic, so it gates PRs without flake risk.
+  cmake -B build-ci -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DTDP_WERROR=ON
+  cmake --build build-ci -j"$(nproc)" --target tdp_chaos_integration_tests
+  ./build-ci/tests/tdp_chaos_integration_tests \
+    --gtest_filter='Seeds/ChaosKillTest.*'
 }
 
 run_bench() {
@@ -165,12 +183,14 @@ run_analyze() {
 }
 
 case "${1:-release}" in
-  release) run_release ;;
-  tsan)    run_tsan ;;
-  asan)    run_asan ;;
-  chaos)   run_chaos ;;
-  analyze) run_analyze ;;
-  bench)   run_bench ;;
-  all)     run_release; run_tsan; run_asan; run_chaos; run_analyze; run_bench ;;
-  *) echo "usage: $0 [release|tsan|asan|chaos|analyze|bench|all]" >&2; exit 2 ;;
+  release)    run_release ;;
+  tsan)       run_tsan ;;
+  asan)       run_asan ;;
+  chaos)      run_chaos ;;
+  chaos-kill) run_chaos_kill ;;
+  analyze)    run_analyze ;;
+  bench)      run_bench ;;
+  all)        run_release; run_tsan; run_asan; run_chaos; run_analyze; run_bench ;;
+  *) echo "usage: $0 [release|tsan|asan|chaos|chaos-kill|analyze|bench|all]" >&2
+     exit 2 ;;
 esac

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """Repo-specific lock-discipline lint (PR 3, runs from scripts/ci.sh analyze).
 
-Four rules, all cheap text scans that hold regardless of which compiler
+Five rules, all cheap text scans that hold regardless of which compiler
 built the tree (the clang -Wthread-safety gate only runs where clang
 exists; these rules always run):
 
@@ -31,6 +31,14 @@ exists; these rules always run):
      CLI shim (usage/startup errors from main() belong on raw stderr).
      Everything else reports through util/log so output is capturable,
      leveled, and - since PR 4 - timestamp/trace-prefixable.
+
+  5. raw-process-signal: no direct `::kill` / `kill()` / `waitpid()` calls
+     outside src/proc/ (the process backends own signalling) and
+     src/condor/master.cpp (the supervisor may reap what it restarts).
+     Since PR 5 daemon death is a first-class, journaled, lease-observed
+     event; an ad-hoc kill in any other layer bypasses the claim journal
+     and the liveness protocol. Use proc::ProcessBackend::kill_process,
+     which this rule deliberately does not match.
 
 A line ending in a `// NOLINT` comment is exempt from rules 1 and 2; every
 NOLINT must carry a justification after a colon (`// NOLINT: why`). The
@@ -87,6 +95,19 @@ STRAY_STDERR_EXEMPT = {
     Path("src/util/sync.hpp"),       # FATAL paths under the logger's lock layer
     Path("src/paradyn/paradynd_main.cpp"),  # CLI usage/startup errors
 }
+
+# Rule 5 -------------------------------------------------------------------
+
+# `::kill(` / `kill(` / `waitpid(` as a free-function call. The negative
+# lookbehind rejects identifiers that merely end in "kill" (SIGKILL never
+# precedes "("), and `kill_process(` fails the match because "kill" is
+# followed by "_", not "(". Member calls like backend->kill_process() are
+# therefore clean; a hypothetical obj.kill() still flags, which is wanted -
+# process death must flow through the proc layer whatever the spelling.
+RAW_PROCESS_SIGNAL = re.compile(r"(?<![\w])(?:::\s*)?(kill|waitpid)\s*\(")
+
+RAW_PROCESS_SIGNAL_EXEMPT_DIRS = (Path("src/proc"),)
+RAW_PROCESS_SIGNAL_EXEMPT = {Path("src/condor/master.cpp")}
 
 # Rule 3 -------------------------------------------------------------------
 
@@ -199,6 +220,31 @@ def check_stray_stderr(root: Path, findings):
                     f"trace-prefixable: {line.strip()}")
 
 
+def check_raw_process_signals(root: Path, findings, suppressions):
+    for path in iter_source(root):
+        rel = path.relative_to(root)
+        if rel in RAW_PROCESS_SIGNAL_EXEMPT:
+            continue
+        if any(d in rel.parents for d in RAW_PROCESS_SIGNAL_EXEMPT_DIRS):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//", 1)[0]
+            if not RAW_PROCESS_SIGNAL.search(code):
+                continue
+            if NOLINT.search(line):
+                suppressions.append((rel, lineno, line.strip()))
+                if not NOLINT_JUSTIFIED.search(line):
+                    findings.append(
+                        f"{rel}:{lineno}: NOLINT without a justification "
+                        f"(write `// NOLINT: reason`): {line.strip()}")
+                continue
+            findings.append(
+                f"{rel}:{lineno}: direct kill/waitpid outside src/proc/ and "
+                f"master.cpp — daemon death must flow through "
+                f"proc::ProcessBackend so journals and leases observe it: "
+                f"{line.strip()}")
+
+
 def run(root: Path) -> int:
     findings: list[str] = []
     suppressions: list = []
@@ -206,6 +252,7 @@ def run(root: Path) -> int:
     check_blocking_under_lock(root, findings, suppressions)
     check_unguarded_adjacent_fields(root, findings)
     check_stray_stderr(root, findings)
+    check_raw_process_signals(root, findings, suppressions)
     if len(suppressions) > kMaxSuppressions:
         findings.append(
             f"{len(suppressions)} NOLINT suppressions exceed the budget of "
@@ -251,6 +298,21 @@ BAD_STDERR = """\
 void f() { std::fprintf(stderr, "oops\\n"); }
 """
 
+BAD_RAW_KILL = """\
+#include <csignal>
+void f(int pid) {
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  waitpid(pid, &status, 0);
+}
+"""
+
+GOOD_KILL_PROCESS = """\
+void f(tdp::proc::ProcessBackend& backend, tdp::proc::Pid pid) {
+  backend.kill_process(pid);  // the sanctioned spelling
+}
+"""
+
 GOOD_FILE = """\
 #include "util/sync.hpp"
 struct S {
@@ -269,6 +331,10 @@ def self_test() -> int:
         ("unguarded adjacent field", {"src/bad.hpp": BAD_UNGUARDED_FIELD}, True),
         ("stray stderr write", {"src/bad.cpp": BAD_STDERR}, True),
         ("stderr in exempt file", {"src/util/log.cpp": BAD_STDERR}, False),
+        ("raw kill/waitpid", {"src/condor/oops.cpp": BAD_RAW_KILL}, True),
+        ("kill in proc backend", {"src/proc/posix_backend.cpp": BAD_RAW_KILL}, False),
+        ("kill in master.cpp", {"src/condor/master.cpp": BAD_RAW_KILL}, False),
+        ("kill_process call", {"src/condor/fine.cpp": GOOD_KILL_PROCESS}, False),
         ("clean file", {"src/good.hpp": GOOD_FILE}, False),
     ]
     failures = 0

@@ -219,29 +219,43 @@ Status AttrClient::reconnect_locked() {
       last = init;
       continue;
     }
-    reconnects_.fetch_add(1, std::memory_order_relaxed);
-    reconnects_counter().inc();
     // Re-register every subscription under its original seq so notify
     // correlation keeps working; the acks are routed and dropped as
-    // already-answered replies.
+    // already-answered replies. Each send's status matters: a fresh
+    // endpoint that dies here would otherwise report a "successful"
+    // reconnect whose lease watches are never re-armed server-side.
+    Status rearm = Status::ok();
     for (const Subscription& sub : subscriptions_) {
       Message request(MsgType::kAttrSubscribe);
       request.set_seq(sub.seq);
       request.set(field::kContext, context_);
       request.set(field::kPattern, sub.pattern);
-      endpoint_->send(std::move(request));
+      rearm = endpoint_->send(std::move(request));
+      if (!rearm.is_ok()) break;
     }
     // Replay in-flight async operations (idempotent: puts overwrite).
-    for (const auto& [seq, pending] : pending_async_) {
-      Message request(pending.type);
-      request.set_seq(seq);
-      request.set(field::kContext, context_);
-      request.set(field::kAttribute, pending.attribute);
-      if (pending.type == MsgType::kAttrPut) {
-        request.set(field::kValue, pending.value);
+    if (rearm.is_ok()) {
+      for (const auto& [seq, pending] : pending_async_) {
+        Message request(pending.type);
+        request.set_seq(seq);
+        request.set(field::kContext, context_);
+        request.set(field::kAttribute, pending.attribute);
+        if (pending.type == MsgType::kAttrPut) {
+          request.set(field::kValue, pending.value);
+        }
+        rearm = endpoint_->send(std::move(request));
+        if (!rearm.is_ok()) break;
       }
-      endpoint_->send(std::move(request));
     }
+    if (!rearm.is_ok()) {
+      kLog.warn("reconnect attempt ", attempt,
+                " lost the connection mid-rearm: ", rearm.to_string());
+      endpoint_->close();
+      last = rearm;
+      continue;  // counts as a failed attempt; keep backing off
+    }
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    reconnects_counter().inc();
     kLog.info("reconnected to ", address_, " (attempt ", attempt, "), ",
               subscriptions_.size(), " subscriptions re-registered, ",
               pending_async_.size(), " async ops replayed");
@@ -654,6 +668,12 @@ Status AttrClient::exit() {
   }
   endpoint_->close();
   return Status::ok();
+}
+
+void AttrClient::abandon() {
+  LockGuard lock(mutex_);
+  exited_ = true;
+  if (endpoint_) endpoint_->close();
 }
 
 bool AttrClient::connected() const {

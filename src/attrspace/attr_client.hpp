@@ -159,6 +159,11 @@ class AttrClient {
   /// participant exits) and closes the connection.
   Status exit();
 
+  /// Simulates daemon death: drops the connection without the tdp_exit
+  /// protocol, exactly as a crashed process would. The server learns about
+  /// it only through the broken transport (or a missed lease heartbeat).
+  void abandon();
+
   [[nodiscard]] const std::string& context() const noexcept { return context_; }
   [[nodiscard]] bool connected() const;
 

@@ -1,5 +1,7 @@
 #include "condor/job.hpp"
 
+#include "util/string_util.hpp"
+
 namespace tdp::condor {
 
 const char* universe_name(Universe universe) noexcept {
@@ -46,6 +48,161 @@ classads::ClassAd JobDescription::to_classad() const {
     if (!ad.insert(name, value).is_ok()) ad.insert_string(name, value);
   }
   return ad;
+}
+
+namespace {
+
+/// List fields inside one journal value, separated by ASCII unit-separator
+/// (cannot appear in paths/command lines; the journal codec escapes the
+/// value as a whole).
+constexpr char kListSep = '\x1f';
+
+std::string join_list(const std::vector<std::string>& parts) {
+  return str::join(parts, std::string(1, kListSep));
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  if (value.empty()) return {};
+  return str::split(value, kListSep);
+}
+
+}  // namespace
+
+journal::Record job_to_journal(const JobRecord& record) {
+  journal::Record out;
+  out.type = "job";
+  auto put = [&out](const std::string& key, const std::string& value) {
+    out.fields.push_back(key);
+    out.fields.push_back(value);
+  };
+  const JobDescription& d = record.description;
+  put("id", std::to_string(record.id));
+  put("status", std::to_string(static_cast<int>(record.status)));
+  put("machine", record.matched_machine);
+  put("exit_code", std::to_string(record.exit_code));
+  put("failure", record.failure_reason);
+  put("restarts", std::to_string(record.restarts));
+  put("trace", record.trace);
+  put("universe", std::to_string(static_cast<int>(d.universe)));
+  put("executable", d.executable);
+  put("arguments", d.arguments);
+  put("input", d.input);
+  put("output", d.output);
+  put("error", d.error);
+  put("initial_dir", d.initial_dir);
+  put("requirements", d.requirements);
+  put("rank", d.rank);
+  put("machine_count", std::to_string(d.machine_count));
+  put("transfer_files", d.transfer_files ? "1" : "0");
+  put("transfer_input_files", join_list(d.transfer_input_files));
+  put("suspend_job_at_exec", d.suspend_job_at_exec ? "1" : "0");
+  put("td_present", d.tool_daemon.present ? "1" : "0");
+  put("td_cmd", d.tool_daemon.cmd);
+  put("td_args", d.tool_daemon.args);
+  put("td_output", d.tool_daemon.output);
+  put("td_error", d.tool_daemon.error);
+  put("td_input_files", join_list(d.tool_daemon.input_files));
+  put("aux_services", join_list(d.aux_services));
+  put("sim_work_units", std::to_string(d.sim_work_units));
+  put("sim_exit_code", std::to_string(d.sim_exit_code));
+  put("checkpoint", d.checkpoint);
+  for (const auto& [name, value] : d.custom_attributes) {
+    put("ca." + name, value);
+  }
+  return out;
+}
+
+Result<JobRecord> job_from_journal(const journal::Record& record) {
+  if (record.type != "job") {
+    return Status(ErrorCode::kInvalidArgument,
+                  "not a job record: " + record.type);
+  }
+  if (record.fields.size() % 2 != 0) {
+    return Status(ErrorCode::kInvalidArgument, "odd field count");
+  }
+  JobRecord out;
+  JobDescription& d = out.description;
+  bool saw_id = false;
+  for (std::size_t i = 0; i + 1 < record.fields.size(); i += 2) {
+    const std::string& key = record.fields[i];
+    const std::string& value = record.fields[i + 1];
+    auto as_int = [&value]() { return std::stoll(value); };
+    try {
+      if (key == "id") {
+        out.id = as_int();
+        saw_id = true;
+      } else if (key == "status") {
+        out.status = static_cast<JobStatus>(as_int());
+      } else if (key == "machine") {
+        out.matched_machine = value;
+      } else if (key == "exit_code") {
+        out.exit_code = static_cast<int>(as_int());
+      } else if (key == "failure") {
+        out.failure_reason = value;
+      } else if (key == "restarts") {
+        out.restarts = static_cast<int>(as_int());
+      } else if (key == "trace") {
+        out.trace = value;
+      } else if (key == "universe") {
+        d.universe = static_cast<Universe>(as_int());
+      } else if (key == "executable") {
+        d.executable = value;
+      } else if (key == "arguments") {
+        d.arguments = value;
+      } else if (key == "input") {
+        d.input = value;
+      } else if (key == "output") {
+        d.output = value;
+      } else if (key == "error") {
+        d.error = value;
+      } else if (key == "initial_dir") {
+        d.initial_dir = value;
+      } else if (key == "requirements") {
+        d.requirements = value;
+      } else if (key == "rank") {
+        d.rank = value;
+      } else if (key == "machine_count") {
+        d.machine_count = static_cast<int>(as_int());
+      } else if (key == "transfer_files") {
+        d.transfer_files = value == "1";
+      } else if (key == "transfer_input_files") {
+        d.transfer_input_files = split_list(value);
+      } else if (key == "suspend_job_at_exec") {
+        d.suspend_job_at_exec = value == "1";
+      } else if (key == "td_present") {
+        d.tool_daemon.present = value == "1";
+      } else if (key == "td_cmd") {
+        d.tool_daemon.cmd = value;
+      } else if (key == "td_args") {
+        d.tool_daemon.args = value;
+      } else if (key == "td_output") {
+        d.tool_daemon.output = value;
+      } else if (key == "td_error") {
+        d.tool_daemon.error = value;
+      } else if (key == "td_input_files") {
+        d.tool_daemon.input_files = split_list(value);
+      } else if (key == "aux_services") {
+        d.aux_services = split_list(value);
+      } else if (key == "sim_work_units") {
+        d.sim_work_units = as_int();
+      } else if (key == "sim_exit_code") {
+        d.sim_exit_code = static_cast<int>(as_int());
+      } else if (key == "checkpoint") {
+        d.checkpoint = value;
+      } else if (str::starts_with(key, "ca.")) {
+        d.custom_attributes[key.substr(3)] = value;
+      }
+      // Unknown keys: skip (a newer writer's record replays on an older
+      // reader without losing the fields both understand).
+    } catch (const std::exception&) {
+      return Status(ErrorCode::kInvalidArgument,
+                    "malformed journal value for '" + key + "': " + value);
+    }
+  }
+  if (!saw_id) {
+    return Status(ErrorCode::kInvalidArgument, "job record without an id");
+  }
+  return out;
 }
 
 }  // namespace tdp::condor

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "classads/classad.hpp"
+#include "util/journal.hpp"
 
 namespace tdp::condor {
 
@@ -110,5 +111,16 @@ struct JobRecord {
   /// parents its spans here, producing one causal tree per submit.
   std::string trace;
 };
+
+/// Serializes the complete record (status + description) into a journal
+/// "job" record of alternating key/value fields. Written on every schedd
+/// mutation; on replay the last record per id wins, so recovery is a
+/// single forward pass (PR 5).
+journal::Record job_to_journal(const JobRecord& record);
+
+/// Inverse of job_to_journal. Unknown keys are ignored (forward
+/// compatibility); kInvalidArgument on a record of the wrong type or with
+/// a malformed id.
+Result<JobRecord> job_from_journal(const journal::Record& record);
 
 }  // namespace tdp::condor

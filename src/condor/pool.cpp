@@ -21,28 +21,51 @@ std::string expand_pattern(const std::string& pattern, const std::string& machin
 }
 }  // namespace
 
-Pool::Pool(PoolConfig config) : config_(std::move(config)) {}
+Pool::Pool(PoolConfig config) : config_(std::move(config)) {
+  master_.set_policy(config_.restart_policy);
+  master_.set_clock(config_.clock);
+  if (config_.schedd_journal != nullptr) {
+    schedd_.set_journal(config_.schedd_journal);
+    // The master supervises the submit-side daemon too: a crashed schedd
+    // is restarted cold and rebuilds its queue from the journal.
+    master_.supervise(
+        "schedd", [this] { return !schedd_.crashed(); },
+        [this] { return schedd_.recover().is_ok(); });
+  }
+  if (config_.enable_liveness) {
+    startd_monitor_ =
+        std::make_unique<lease::LeaseMonitor>(config_.startd_lease, config_.clock);
+  }
+}
 
 Pool::~Pool() {
   for (auto& [name, startd] : startds_) startd->retire();
 }
 
 Startd& Pool::add_machine(const std::string& name, classads::ClassAd ad) {
+  machine_ads_[name] = ad;  // remembered so a dead startd can be rebuilt
   auto startd = std::make_unique<Startd>(name, std::move(ad));
   Startd* raw = startd.get();
+  if (config_.startd_journal_factory) {
+    journal::Journal* claim_journal = config_.startd_journal_factory(name);
+    if (claim_journal != nullptr) {
+      startd_journals_[name] = claim_journal;
+      raw->set_journal(claim_journal);
+    }
+  }
   startds_[name] = std::move(startd);
   matchmaker_.advertise_machine(name, raw->ad());
   if (config_.backend_factory) {
     backends_[name] = config_.backend_factory(name);
   }
-  // The master watches the startd role for this machine; "restart" here
-  // re-registers the advertisement (a fresh daemon would re-advertise).
+  if (config_.enable_liveness) start_beats(name);
+  // The master watches the startd role for this machine. The probe and
+  // the restart action capture only the machine name: the Startd object a
+  // kill destroys must not be reachable from supervision state.
   master_.supervise(
-      "startd@" + name, [raw] { return raw != nullptr; },
-      [this, name, raw] {
-        matchmaker_.advertise_machine(name, raw->ad());
-        return true;
-      });
+      "startd@" + name,
+      [this, name] { return dead_startds_.find(name) == dead_startds_.end(); },
+      [this, name] { return revive_startd(name); });
   return *raw;
 }
 
@@ -139,6 +162,10 @@ int Pool::negotiate() {
     starter_config.tool_wait_timeout_ms = config_.tool_wait_timeout_ms;
     starter_config.live_stdio = config_.live_stdio;
     starter_config.retry = config_.retry;
+    starter_config.tool_lease_enabled = config_.tool_lease_enabled;
+    starter_config.tool_lease = config_.tool_lease;
+    starter_config.tool_restart_budget = config_.tool_restart_budget;
+    starter_config.lease_clock = config_.clock;
     if (!config_.lass_listen_pattern.empty()) {
       starter_config.lass_listen_address =
           expand_pattern(config_.lass_listen_pattern, match.machine, match.job);
@@ -166,6 +193,8 @@ int Pool::negotiate() {
 }
 
 int Pool::pump() {
+  master_.tick();  // probes every supervised daemon; restarts the dead
+  if (startd_monitor_) check_liveness();
   int completed = 0;
   for (auto& [name, startd] : startds_) {
     Starter* starter = startd->starter();
@@ -221,6 +250,121 @@ Status Pool::recover_machine(const std::string& name) {
   }
   matchmaker_.advertise_machine(name, startd->ad());
   return Status::ok();
+}
+
+Status Pool::kill_startd(const std::string& name) {
+  auto it = startds_.find(name);
+  if (it == startds_.end()) {
+    return make_error(ErrorCode::kNotFound, "no such machine: " + name);
+  }
+  kLog.warn("startd@", name, " killed: no checkpoint, no goodbye");
+  matchmaker_.withdraw_machine(name);
+  startd_beats_.erase(name);   // heartbeats stop; the lease will expire
+  dead_startds_.insert(name);  // the master's probe now sees the death
+  // Deliberately not retire(): a killed daemon does not get to checkpoint
+  // or requeue anything. Destroying the Startd kills the starter's process
+  // tree (the kernel reaping a dead daemon's children) without a status
+  // report, and only the claim journal survives.
+  startds_.erase(it);
+  return Status::ok();
+}
+
+void Pool::kill_schedd() {
+  kLog.warn("schedd killed: its shadows die with it");
+  // Starters report into Shadow* sinks the schedd owns. In real Condor a
+  // starter whose shadow vanishes kills its job; model that by retiring
+  // busy machines first so no starter is left holding a dangling sink.
+  for (auto& [name, startd] : startds_) {
+    if (startd->state() == Startd::State::kBusy) {
+      startd->retire();
+      matchmaker_.advertise_machine(name, startd->ad());
+    } else if (startd->state() == Startd::State::kClaimed) {
+      startd->release_claim();
+    }
+  }
+  schedd_.crash();
+}
+
+bool Pool::revive_startd(const std::string& name) {
+  auto ad_it = machine_ads_.find(name);
+  if (ad_it == machine_ads_.end()) return false;
+  auto startd = std::make_unique<Startd>(name, ad_it->second);
+  Startd* raw = startd.get();
+  std::optional<JobId> orphan;
+  auto journal_it = startd_journals_.find(name);
+  if (journal_it != startd_journals_.end()) {
+    raw->set_journal(journal_it->second);
+    auto replayed = raw->recover();
+    if (replayed.is_ok()) {
+      orphan = replayed.value();
+    } else {
+      kLog.warn("startd@", name,
+                " claim-journal replay failed: ", replayed.status().to_string());
+    }
+  }
+  startds_[name] = std::move(startd);
+  dead_startds_.erase(name);
+  if (orphan.has_value()) requeue_orphan(*orphan, name);
+  matchmaker_.advertise_machine(name, raw->ad());
+  if (config_.enable_liveness) start_beats(name);
+  kLog.info("startd@", name, " revived from claim journal");
+  return true;
+}
+
+void Pool::requeue_orphan(JobId job, const std::string& machine) {
+  static telemetry::Counter& requeues_counter =
+      telemetry::Registry::instance().counter("pool.orphan_requeues");
+  // Exactly-once guard, shared by the claim-journal and lease-expiry
+  // paths: only a job that is still in flight *on this machine* is
+  // requeued. The first path through clears matched_machine, so the
+  // second (and any later duplicate expiry) is a no-op.
+  auto record = schedd_.job(job);
+  if (!record.is_ok()) return;  // unknown, or the schedd itself is down
+  if (job_status_terminal(record->status) || record->status == JobStatus::kIdle) {
+    return;
+  }
+  if (record->matched_machine != machine) return;
+  Status requeued = schedd_.requeue_job(job, "");
+  if (!requeued.is_ok()) {
+    kLog.warn("orphan requeue of job ", job, " failed: ", requeued.to_string());
+    return;
+  }
+  ++orphan_requeues_;
+  requeues_counter.inc();
+  kLog.warn("job ", job, " orphaned by dead startd@", machine, "; requeued");
+}
+
+void Pool::start_beats(const std::string& name) {
+  if (!startd_monitor_) return;
+  const std::string attribute = lease::liveness_attr("startd", name);
+  beat_to_machine_[attribute] = name;
+  auto beat = std::make_unique<lease::HeartbeatPublisher>(
+      attribute, config_.startd_lease, config_.clock,
+      [this](const std::string& attr, const std::string& value) {
+        (void)value;
+        startd_monitor_->observe(attr);
+        return Status::ok();
+      });
+  beat->beat_now();
+  startd_beats_[name] = std::move(beat);
+}
+
+void Pool::check_liveness() {
+  // A live startd's beat is refreshed before the poll, so only a daemon
+  // whose publisher is gone (killed) can ever be seen expired here.
+  for (auto& [name, beat] : startd_beats_) beat->maybe_beat();
+  startd_monitor_->poll();
+  for (const std::string& attribute : startd_monitor_->expired()) {
+    startd_monitor_->forget(attribute);
+    auto it = beat_to_machine_.find(attribute);
+    if (it == beat_to_machine_.end()) continue;
+    const std::string machine = it->second;
+    kLog.warn("liveness lease expired for startd@", machine);
+    matchmaker_.withdraw_machine(machine);
+    for (JobId job : schedd_.jobs_on_machine(machine)) {
+      requeue_orphan(job, machine);
+    }
+  }
 }
 
 std::size_t Pool::busy_count() const {

@@ -24,6 +24,8 @@
 #include "condor/schedd.hpp"
 #include "condor/startd.hpp"
 #include "net/proxy.hpp"
+#include "util/journal.hpp"
+#include "util/lease.hpp"
 
 namespace tdp::condor {
 
@@ -55,6 +57,36 @@ struct PoolConfig {
   /// Failure-recovery policy handed to every starter's TDP session; enable
   /// when the pool's transport is lossy (chaos tests, flaky networks).
   attr::RetryPolicy retry;
+
+  // --- daemon-death survival (PR 5) ---
+
+  /// Lease-based startd liveness: every pump turn beats each live startd's
+  /// tdp.liveness.startd.<machine> lease; a lease that expires (the daemon
+  /// died without a goodbye) withdraws the machine and requeues its job
+  /// exactly once. Off by default: the seed pipeline stays byte-identical.
+  bool enable_liveness = false;
+  lease::Config startd_lease;
+
+  /// Clock for lease expiry, master backoff and heartbeat pacing.
+  const Clock* clock = &RealClock::instance();
+
+  /// Schedd write-ahead journal (not owned; must outlive the pool). When
+  /// set, every queue mutation is journaled and the master supervises the
+  /// schedd: a crash() is answered by recover() from this journal.
+  journal::Journal* schedd_journal = nullptr;
+
+  /// Per-machine claim-journal factory (not owned; journals must outlive
+  /// the pool). A revived startd replays its claim journal and the orphaned
+  /// job is requeued exactly once.
+  std::function<journal::Journal*(const std::string& machine)> startd_journal_factory;
+
+  /// Master supervision policy (backoff, jitter, restart budget).
+  Master::Policy restart_policy;
+
+  /// Tool-daemon lease supervision, forwarded to every starter.
+  bool tool_lease_enabled = false;
+  lease::Config tool_lease;
+  int tool_restart_budget = 2;
 };
 
 class Pool {
@@ -112,13 +144,60 @@ class Pool {
   /// Brings a failed machine back: re-advertises it to the matchmaker.
   Status recover_machine(const std::string& name);
 
+  // --- daemon-death survival (PR 5) ---
+
+  /// Simulates the startd daemon being killed (kill -9): the startd object
+  /// and everything it supervised (starter, application processes) vanish
+  /// with no checkpoint and no protocol goodbye. Only the claim journal
+  /// survives. Its heartbeats stop, so the lease expires; the master's
+  /// probe sees the death and revives the machine per the restart policy.
+  Status kill_startd(const std::string& name);
+
+  /// Simulates the schedd being killed: running starters lose their shadows
+  /// (retired first - they hold Shadow* sinks into the schedd), then the
+  /// queue vanishes from memory. Recovery is the master's job, from the
+  /// configured journal.
+  void kill_schedd();
+
+  /// Jobs requeued through the orphan paths (lease expiry or claim-journal
+  /// replay) so far.
+  [[nodiscard]] std::uint64_t orphan_requeues() const noexcept {
+    return orphan_requeues_;
+  }
+
  private:
+  /// Rebuilds a dead startd from its remembered ad, replays its claim
+  /// journal, requeues the orphan (exactly once) and re-advertises.
+  bool revive_startd(const std::string& name);
+
+  /// Exactly-once requeue guard shared by the lease-expiry and the
+  /// claim-journal paths: only a non-terminal, non-idle job still matched
+  /// to `machine` is requeued.
+  void requeue_orphan(JobId job, const std::string& machine);
+
+  /// Beats every live startd's lease, polls the monitor, and handles
+  /// expired leases (withdraw + orphan requeue).
+  void check_liveness();
+
+  void start_beats(const std::string& name);
+
   PoolConfig config_;
   Schedd schedd_;
   Matchmaker matchmaker_;
   Master master_;
   std::map<std::string, std::unique_ptr<Startd>> startds_;
   std::map<std::string, std::shared_ptr<proc::ProcessBackend>> backends_;
+
+  /// Survival state (PR 5): remembered ads for revival, claim journals,
+  /// per-machine heartbeats, the lease monitor, and the set of machines
+  /// currently dead (probe input for the master).
+  std::map<std::string, classads::ClassAd> machine_ads_;
+  std::map<std::string, journal::Journal*> startd_journals_;
+  std::map<std::string, std::unique_ptr<lease::HeartbeatPublisher>> startd_beats_;
+  std::map<std::string, std::string> beat_to_machine_;
+  std::unique_ptr<lease::LeaseMonitor> startd_monitor_;
+  std::set<std::string> dead_startds_;
+  std::uint64_t orphan_requeues_ = 0;
 };
 
 }  // namespace tdp::condor

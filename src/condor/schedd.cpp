@@ -1,5 +1,6 @@
 #include "condor/schedd.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <optional>
 #include <sstream>
@@ -116,6 +117,7 @@ JobId Schedd::submit(const JobDescription& description) {
   if (span.context().valid()) {
     record.trace = telemetry::format_context(span.context());
   }
+  journal_record_locked(record);
   jobs_[record.id] = std::move(record);
   kLog.debug(name_, ": queued job ", next_id_ - 1);
   return next_id_ - 1;
@@ -166,6 +168,7 @@ Status Schedd::update_job(JobId id, JobStatus status, int exit_code,
   if (!detail.empty() && status == JobStatus::kFailed) {
     it->second.failure_reason = detail;
   }
+  journal_record_locked(it->second);
   return Status::ok();
 }
 
@@ -181,6 +184,7 @@ Status Schedd::set_matched(JobId id, const std::string& machine) {
   }
   it->second.status = JobStatus::kMatched;
   it->second.matched_machine = machine;
+  journal_record_locked(it->second);
   return Status::ok();
 }
 
@@ -194,6 +198,7 @@ Status Schedd::remove_job(JobId id) {
     return make_error(ErrorCode::kInvalidState, "job already terminal");
   }
   it->second.status = JobStatus::kRemoved;
+  journal_record_locked(it->second);
   return Status::ok();
 }
 
@@ -210,10 +215,22 @@ Status Schedd::requeue_job(JobId id, const std::string& checkpoint) {
   it->second.matched_machine.clear();
   it->second.description.checkpoint = checkpoint;
   ++it->second.restarts;
+  journal_record_locked(it->second);
   shadows_.erase(id);  // a fresh shadow is spawned on the next activation
   kLog.info(name_, ": job ", id, " requeued (restart #", it->second.restarts,
             checkpoint.empty() ? ", from scratch)" : ", from checkpoint)");
   return Status::ok();
+}
+
+std::vector<JobId> Schedd::jobs_on_machine(const std::string& machine) const {
+  LockGuard lock(mutex_);
+  std::vector<JobId> ids;
+  for (const auto& [id, record] : jobs_) {
+    if (record.matched_machine == machine && !job_status_terminal(record.status)) {
+      ids.push_back(id);
+    }
+  }
+  return ids;
 }
 
 Shadow* Schedd::spawn_shadow(JobId id, const std::string& submit_dir) {
@@ -238,6 +255,110 @@ Shadow* Schedd::shadow(JobId id) {
 std::size_t Schedd::queue_size() const {
   LockGuard lock(mutex_);
   return jobs_.size();
+}
+
+// ---------------------------------------------------------------------
+// Crash recovery (PR 5)
+// ---------------------------------------------------------------------
+
+void Schedd::journal_record_locked(const JobRecord& record) {
+  // The journal mutex is a strict leaf (DESIGN.md §10): appending under
+  // Schedd::mutex_ is the intended order and the append never calls out.
+  static constexpr std::size_t kCompactTailRecords = 256;
+  if (journal_ == nullptr) return;
+  Status appended = journal_->append(job_to_journal(record));
+  if (!appended.is_ok()) {
+    kLog.warn(name_, ": journal append failed: ", appended.to_string());
+    return;
+  }
+  if (journal_->tail_size() >= kCompactTailRecords) {
+    std::vector<journal::Record> snapshot;
+    snapshot.reserve(jobs_.size() + 1);
+    for (const auto& [id, live] : jobs_) {
+      if (live.id == record.id) continue;  // the in-flight mutation
+      snapshot.push_back(job_to_journal(live));
+    }
+    snapshot.push_back(job_to_journal(record));
+    Status written = journal_->write_snapshot(snapshot);
+    if (!written.is_ok()) {
+      kLog.warn(name_, ": journal compaction failed: ", written.to_string());
+    }
+  }
+}
+
+void Schedd::set_journal(journal::Journal* journal) {
+  LockGuard lock(mutex_);
+  journal_ = journal;
+  if (journal_ == nullptr || jobs_.empty()) return;
+  // Adopt the live queue as journal truth (attach-to-running-daemon case).
+  std::vector<journal::Record> snapshot;
+  snapshot.reserve(jobs_.size());
+  for (const auto& [id, record] : jobs_) {
+    snapshot.push_back(job_to_journal(record));
+  }
+  Status written = journal_->write_snapshot(snapshot);
+  if (!written.is_ok()) {
+    kLog.warn(name_, ": journal adoption snapshot failed: ", written.to_string());
+  }
+}
+
+void Schedd::crash() {
+  LockGuard lock(mutex_);
+  kLog.warn(name_, ": simulated crash; dropping ", jobs_.size(),
+            " job(s) and ", shadows_.size(), " shadow(s) from memory");
+  jobs_.clear();
+  shadows_.clear();
+  next_id_ = 1;
+  crashed_ = true;
+}
+
+bool Schedd::crashed() const {
+  LockGuard lock(mutex_);
+  return crashed_;
+}
+
+Status Schedd::recover() {
+  telemetry::Span span("schedd.recover", "schedd");
+  LockGuard lock(mutex_);
+  if (journal_ == nullptr) {
+    return make_error(ErrorCode::kInvalidState, "schedd has no journal");
+  }
+  auto replayed = journal_->replay();
+  if (!replayed.is_ok()) return replayed.status();
+  jobs_.clear();
+  shadows_.clear();
+  JobId max_id = 0;
+  for (const journal::Record& raw : replayed.value()) {
+    if (raw.type != "job") continue;
+    auto record = job_from_journal(raw);
+    if (!record.is_ok()) {
+      kLog.warn(name_, ": skipping damaged journal record: ",
+                record.status().to_string());
+      continue;
+    }
+    max_id = std::max(max_id, record->id);
+    jobs_[record->id] = std::move(record.value());
+  }
+  next_id_ = std::max<JobId>(next_id_, max_id + 1);
+  // Jobs that were in flight died with the daemon's shadows and claims:
+  // return them to the idle queue (the journal makes this exactly-once -
+  // the requeue itself is journaled, so a second recovery sees kIdle).
+  std::size_t requeued = 0;
+  for (auto& [id, record] : jobs_) {
+    if (record.status == JobStatus::kIdle || job_status_terminal(record.status)) {
+      continue;
+    }
+    record.status = JobStatus::kIdle;
+    record.matched_machine.clear();
+    ++record.restarts;
+    journal_record_locked(record);
+    ++requeued;
+  }
+  crashed_ = false;
+  kLog.info(name_, ": recovered ", jobs_.size(), " job(s) from journal, ",
+            requeued, " requeued");
+  telemetry::Registry::instance().counter("schedd.recoveries").inc();
+  return Status::ok();
 }
 
 std::size_t Schedd::count_with_status(JobStatus status) const {

@@ -17,6 +17,7 @@
 #include "condor/job.hpp"
 #include "condor/starter.hpp"
 #include "condor/submit_file.hpp"
+#include "util/journal.hpp"
 #include "util/sync.hpp"
 
 namespace tdp::condor {
@@ -105,6 +106,10 @@ class Schedd {
   /// it on its next activation. Increments the restart counter.
   Status requeue_job(JobId id, const std::string& checkpoint);
 
+  /// Ids of every non-terminal job currently matched to `machine` (orphan
+  /// discovery after a startd death without a goodbye).
+  [[nodiscard]] std::vector<JobId> jobs_on_machine(const std::string& machine) const;
+
   /// Spawns the shadow for a matched job. The schedd owns it.
   Shadow* spawn_shadow(JobId id, const std::string& submit_dir);
   [[nodiscard]] Shadow* shadow(JobId id);
@@ -113,12 +118,39 @@ class Schedd {
   [[nodiscard]] std::size_t count_with_status(JobStatus status) const;
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
 
+  // --- crash recovery (PR 5) ---
+
+  /// Attaches a write-ahead journal (not owned; must outlive the schedd or
+  /// be detached with nullptr). Every queue mutation is journaled from then
+  /// on; any jobs already queued are snapshotted in. The journal is
+  /// compacted to a snapshot when its tail grows past an internal bound.
+  void set_journal(journal::Journal* journal);
+
+  /// Simulates whole-process death: all in-memory state (queue, shadows,
+  /// next id) vanishes; only the journal - the disk - survives. Queries on
+  /// a crashed schedd see an empty daemon, exactly like calls into a dead
+  /// process that was restarted cold.
+  void crash();
+
+  [[nodiscard]] bool crashed() const;
+
+  /// Rebuilds the queue from the journal (last record per job id wins) and
+  /// requeues every job that was in flight when the daemon died - its
+  /// shadow died too, so the job restarts idle with restarts+1. Requires a
+  /// journal.
+  Status recover();
+
  private:
+  /// Appends one job record to the journal and compacts when due.
+  void journal_record_locked(const JobRecord& record) TDP_REQUIRES(mutex_);
+
   std::string name_;
   mutable Mutex mutex_{"Schedd::mutex_"};
   std::map<JobId, JobRecord> jobs_ TDP_GUARDED_BY(mutex_);
   std::map<JobId, std::unique_ptr<Shadow>> shadows_ TDP_GUARDED_BY(mutex_);
   JobId next_id_ TDP_GUARDED_BY(mutex_) = 1;
+  journal::Journal* journal_ TDP_GUARDED_BY(mutex_) = nullptr;
+  bool crashed_ TDP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace tdp::condor

@@ -56,6 +56,7 @@ bool Startd::request_claim(JobId job, const classads::ClassAd& job_ad) {
   }
   state_ = State::kClaimed;
   claimed_job_ = job;
+  journal_claim_locked();
   return true;
 }
 
@@ -64,6 +65,7 @@ void Startd::release_claim() {
   if (state_ == State::kClaimed) {
     state_ = State::kUnclaimed;
     claimed_job_ = 0;
+    journal_claim_locked();
   }
 }
 
@@ -94,6 +96,7 @@ void Startd::retire() {
   std::unique_ptr<Starter> starter = std::move(starter_);
   state_ = State::kUnclaimed;
   claimed_job_ = 0;
+  journal_claim_locked();
   lock.unlock();
   starter.reset();  // shutdown outside the lock
 }
@@ -101,6 +104,65 @@ void Startd::retire() {
 JobId Startd::claimed_job() const {
   LockGuard lock(mutex_);
   return claimed_job_;
+}
+
+// ---------------------------------------------------------------------
+// Claim-table journal (PR 5)
+// ---------------------------------------------------------------------
+
+void Startd::journal_claim_locked() {
+  if (journal_ == nullptr) return;
+  // The claim table is one slot, so every write is a full snapshot of it;
+  // no separate compaction pass is ever needed.
+  journal::Record record;
+  if (claimed_job_ != 0) {
+    record.type = "claim";
+    record.fields = {std::to_string(claimed_job_)};
+  } else {
+    record.type = "clear";
+  }
+  Status written = journal_->write_snapshot({record});
+  if (!written.is_ok()) {
+    kLog.warn(name_, ": claim journal write failed: ", written.to_string());
+  }
+}
+
+void Startd::set_journal(journal::Journal* journal) {
+  // Attach only: the journal may still hold the previous incarnation's
+  // claim, which recover() must be able to read before anything overwrites
+  // it.
+  LockGuard lock(mutex_);
+  journal_ = journal;
+}
+
+Result<std::optional<JobId>> Startd::recover() {
+  LockGuard lock(mutex_);
+  if (journal_ == nullptr) {
+    return make_error(ErrorCode::kInvalidState, name_ + ": no claim journal");
+  }
+  auto replayed = journal_->replay();
+  if (!replayed.is_ok()) return replayed.status();
+  std::optional<JobId> orphan;
+  for (const journal::Record& record : replayed.value()) {
+    if (record.type == "claim" && !record.fields.empty()) {
+      try {
+        orphan = std::stoll(record.fields[0]);
+      } catch (const std::exception&) {
+        kLog.warn(name_, ": damaged claim record ignored");
+      }
+    } else if (record.type == "clear") {
+      orphan.reset();
+    }
+  }
+  // The new incarnation starts unclaimed either way: the dead starter's
+  // processes are gone, so holding the claim open would wedge the machine.
+  state_ = State::kUnclaimed;
+  claimed_job_ = 0;
+  journal_claim_locked();
+  if (orphan.has_value()) {
+    kLog.warn(name_, ": recovered with orphaned claim for job ", *orphan);
+  }
+  return orphan;
 }
 
 }  // namespace tdp::condor

@@ -6,10 +6,12 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "classads/classad.hpp"
 #include "condor/starter.hpp"
+#include "util/journal.hpp"
 #include "util/sync.hpp"
 
 namespace tdp::condor {
@@ -48,13 +50,31 @@ class Startd {
 
   [[nodiscard]] JobId claimed_job() const;
 
+  // --- claim-table journal (PR 5) ---
+
+  /// Attaches a write-ahead journal for the claim table (not owned). Claim
+  /// grants and releases are recorded so a startd restarted after a crash
+  /// knows which job it was holding.
+  void set_journal(journal::Journal* journal);
+
+  /// Replays the claim journal. Returns the orphaned claim - the job the
+  /// dead incarnation held - if one was live, so the pool can requeue it
+  /// exactly once. The recovered startd always comes back kUnclaimed (the
+  /// starter and its processes died with the old incarnation).
+  Result<std::optional<JobId>> recover();
+
  private:
+  /// Journals the claim state: a live claim writes ("claim", job), release
+  /// writes ("clear").
+  void journal_claim_locked() TDP_REQUIRES(mutex_);
+
   std::string name_;
   mutable Mutex mutex_{"Startd::mutex_"};
   classads::ClassAd ad_ TDP_GUARDED_BY(mutex_);
   State state_ TDP_GUARDED_BY(mutex_) = State::kUnclaimed;
   JobId claimed_job_ TDP_GUARDED_BY(mutex_) = 0;
   std::unique_ptr<Starter> starter_ TDP_GUARDED_BY(mutex_);
+  journal::Journal* journal_ TDP_GUARDED_BY(mutex_) = nullptr;
 };
 
 const char* startd_state_name(Startd::State state) noexcept;

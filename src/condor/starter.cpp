@@ -186,6 +186,28 @@ Status Starter::start_lass() {
   pub_options.context = context_;
   telemetry_pub_ = std::make_unique<attr::TelemetryPublisher>(
       std::move(pub_options), &lass_->store());
+
+  if (config_.tool_lease_enabled) {
+    tool_monitor_ =
+        std::make_unique<lease::LeaseMonitor>(config_.tool_lease, config_.lease_clock);
+    // Every paradynd beat that lands in this LASS renews its lease. The
+    // store fires watchers outside its shard lock, and LeaseMonitor is
+    // thread-safe, so observing straight from the I/O thread is fine.
+    lass_->store().subscribe(
+        context_, std::string(lease::kLivenessPrefix) + "paradynd.*",
+        [this](const std::string&, const std::string& attribute, const std::string&) {
+          tool_monitor_->observe(attribute);
+        });
+    // The RM's own beat goes straight into its own store (no wire hop);
+    // tdptop and pool-side monitors read it as tdp.liveness.starter.<host>.
+    own_beat_ = std::make_unique<lease::HeartbeatPublisher>(
+        lease::liveness_attr("starter", config_.machine_name), config_.tool_lease,
+        config_.lease_clock,
+        [this](const std::string& attribute, const std::string& value) {
+          return lass_->store().put(context_, attribute, value);
+        });
+    own_beat_->beat_now();
+  }
   return Status::ok();
 }
 
@@ -473,6 +495,73 @@ void Starter::watch_tool_daemons() {
   }
 }
 
+void Starter::check_tool_leases() {
+  // Daemon-death supervision for the RT: a missed lease means the tool
+  // daemon is gone even when the backend cannot tell us (in-process tools
+  // have synthetic pids). The application is never touched — Section 2.3
+  // puts the processes under the RM, and the pid is still in the LASS, so
+  // the relaunched daemon reattaches via the ordinary Figure 6 handshake.
+  if (!tool_monitor_ || done_) return;
+  if (own_beat_) own_beat_->maybe_beat();
+  tool_monitor_->poll();
+  const std::string prefix = std::string(lease::kLivenessPrefix) + "paradynd.";
+  for (const std::string& name : tool_monitor_->expired()) {
+    if (!str::starts_with(name, prefix)) continue;
+    // Beat suffix is the pid attribute with '.' folded to '-': "pid" is
+    // rank 0, "pid-<r>" is MPI rank r.
+    const std::string suffix = name.substr(prefix.size());
+    int rank = 0;
+    if (str::starts_with(suffix, "pid-")) {
+      try {
+        rank = std::stoi(suffix.substr(4));
+      } catch (const std::exception&) {
+        continue;
+      }
+    } else if (suffix != "pid") {
+      continue;
+    }
+    // A tool outliving its application rank has nothing left to profile;
+    // lease expiry after rank exit is normal shutdown, not a fault.
+    auto rank_it = rank_pids_.find(rank);
+    if (rank_it != rank_pids_.end()) {
+      auto app_info = config_.backend->info(rank_it->second);
+      if (!app_info.is_ok() || proc::is_terminal(app_info->state)) {
+        tool_monitor_->forget(name);
+        continue;
+      }
+    } else {
+      tool_monitor_->forget(name);
+      continue;
+    }
+    if (tool_restarts_[rank] >= config_.tool_restart_budget) {
+      if (!tool_death_reported_[rank]) {
+        tool_death_reported_[rank] = true;
+        session_->put("tool_state." + std::to_string(rank), "lease-expired");
+        kLog.error("job ", job_.id, ": tool daemon for rank ", rank,
+                   " lease expired and the restart budget (",
+                   config_.tool_restart_budget, ") is spent; running untooled");
+      }
+      tool_monitor_->forget(name);
+      continue;
+    }
+    ++tool_restarts_[rank];
+    telemetry::Registry::instance().counter("starter.tool_restarts").inc();
+    // Forget before relaunch: the replacement's first beat re-tracks the
+    // name with a fresh lease instead of inheriting the expired one.
+    tool_monitor_->forget(name);
+    kLog.warn("job ", job_.id, ": tool daemon for rank ", rank,
+              " lease expired while the application runs; relaunching (",
+              tool_restarts_[rank], "/", config_.tool_restart_budget, ")");
+    Status relaunched = launch_tool(rank);
+    if (!relaunched.is_ok()) {
+      kLog.error("job ", job_.id, ": tool relaunch for rank ", rank,
+                 " failed: ", relaunched.to_string());
+    }
+    session_->put("tool_restarts." + std::to_string(rank),
+                  std::to_string(tool_restarts_[rank]));
+  }
+}
+
 proc::Pid Starter::app_pid(int rank) const {
   auto it = rank_pids_.find(rank);
   return it == rank_pids_.end() ? 0 : it->second;
@@ -487,6 +576,7 @@ bool Starter::pump() {
   if (telemetry_pub_) telemetry_pub_->maybe_publish();
   if (config_.live_stdio) forward_stdio();
   watch_tool_daemons();
+  check_tool_leases();
 
   // MPI staged startup: once rank 0 runs (the tool attached and continued
   // it, or no tool was requested), create the remaining ranks.

@@ -30,6 +30,7 @@
 #include "core/tdp.hpp"
 #include "net/transport.hpp"
 #include "proc/backend.hpp"
+#include "util/lease.hpp"
 
 namespace tdp::condor {
 
@@ -137,6 +138,20 @@ struct StarterConfig {
   bool live_stdio = false;
   /// Failure-recovery policy for this starter's TDP session (LASS link).
   attr::RetryPolicy retry;
+
+  /// Lease-based tool-daemon supervision. When enabled the starter watches
+  /// tdp.liveness.paradynd.* beats in its LASS, publishes its own
+  /// tdp.liveness.starter.<machine> beat, and relaunches a tool daemon
+  /// whose lease expires while its application rank is still running (the
+  /// pid is still in the LASS, so the replacement reattaches through the
+  /// normal Figure 6 handshake). Backend-pid polling cannot see in-process
+  /// tools (synthetic pids); the lease can.
+  bool tool_lease_enabled = false;
+  lease::Config tool_lease;
+  /// Relaunches per rank before the starter gives up on that tool.
+  int tool_restart_budget = 2;
+  /// Clock for lease expiry decisions (tests inject a ManualClock).
+  const Clock* lease_clock = &RealClock::instance();
 };
 
 class Starter {
@@ -183,6 +198,12 @@ class Starter {
   /// Kills all application processes and tears down the LASS.
   void shutdown();
 
+  /// Tool-daemon relaunches performed for `rank` after lease expiry.
+  [[nodiscard]] int tool_restarts(int rank = 0) const {
+    auto it = tool_restarts_.find(rank);
+    return it == tool_restarts_.end() ? 0 : it->second;
+  }
+
  private:
   Status setup_sandbox();
   Status start_lass();
@@ -194,6 +215,7 @@ class Starter {
   void finish(JobStatus status, int exit_code, const std::string& detail);
   void forward_stdio();
   void watch_tool_daemons();
+  void check_tool_leases();
   [[nodiscard]] bool wants_paused_start() const;
   [[nodiscard]] std::map<std::string, std::string> placeholder_vars() const;
 
@@ -221,6 +243,11 @@ class Starter {
   std::int64_t launch_time_micros_ = 0;
   std::size_t stdio_offset_ = 0;          ///< bytes of stdout forwarded so far
   std::map<int, bool> tool_death_reported_;
+
+  /// Lease-based tool supervision (tool_lease_enabled).
+  std::unique_ptr<lease::LeaseMonitor> tool_monitor_;
+  std::unique_ptr<lease::HeartbeatPublisher> own_beat_;
+  std::map<int, int> tool_restarts_;
 };
 
 }  // namespace tdp::condor

@@ -339,4 +339,11 @@ Status TdpSession::exit() {
   return status;
 }
 
+void TdpSession::abandon() {
+  bool expected = false;
+  if (!exited_.compare_exchange_strong(expected, true)) return;
+  if (cass_) cass_->abandon();
+  if (lass_) lass_->abandon();
+}
+
 }  // namespace tdp

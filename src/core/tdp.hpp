@@ -204,6 +204,11 @@ class TdpSession {
   /// the last participant exits. The session is unusable afterwards.
   Status exit();
 
+  /// Simulates daemon death: severs both space connections without the
+  /// tdp_exit protocol, as a crashed process would. Contexts are NOT left
+  /// cleanly — survivors notice via broken transports or missed leases.
+  void abandon();
+
   [[nodiscard]] Role role() const noexcept { return role_; }
   [[nodiscard]] const std::string& context() const noexcept { return context_; }
   [[nodiscard]] bool has_cass() const noexcept { return cass_ != nullptr; }

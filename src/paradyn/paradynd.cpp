@@ -75,6 +75,17 @@ Status Paradynd::start() {
         return session_->put_batch(pairs);
       });
 
+  // Liveness lease: first beat immediately (the starter may already be
+  // watching for the replacement daemon after a crash), then paced.
+  if (config_.publish_liveness) {
+    heartbeat_ = std::make_unique<lease::HeartbeatPublisher>(
+        lease::liveness_attr("paradynd", config_.pid_attribute), config_.liveness,
+        config_.clock, [this](const std::string& attribute, const std::string& value) {
+          return session_->put(attribute, value);
+        });
+    heartbeat_->beat_now();
+  }
+
   started_ = true;
   return Status::ok();
 }
@@ -154,6 +165,7 @@ bool Paradynd::poll_once() {
   if (!started_) return false;
   session_->service_events();
   if (telemetry_pub_) telemetry_pub_->maybe_publish();
+  if (heartbeat_) heartbeat_->maybe_beat();
 
   // Drain front-end commands (non-blocking). Any non-timeout failure means
   // the link is unusable (peer gone, stream desynced): drop it cleanly and
@@ -307,6 +319,18 @@ Status Paradynd::stop() {
   }
   if (session_) return session_->exit();
   return Status::ok();
+}
+
+void Paradynd::abandon() {
+  kLog.warn(config_.daemon_name, ": simulated crash (connections severed, "
+            "application left running)");
+  heartbeat_.reset();  // beats stop: the lease will expire
+  if (frontend_) {
+    frontend_->close();
+    frontend_.reset();
+  }
+  if (session_) session_->abandon();
+  started_ = false;
 }
 
 }  // namespace tdp::paradyn

@@ -24,6 +24,7 @@
 #include "core/tdp.hpp"
 #include "paradyn/dyninst.hpp"
 #include "paradyn/metrics.hpp"
+#include "util/lease.hpp"
 
 namespace tdp::paradyn {
 
@@ -63,6 +64,17 @@ struct ParadyndConfig {
 
   /// Failure-recovery policy for the daemon's LASS session.
   attr::RetryPolicy retry;
+
+  /// Liveness lease: the daemon publishes heartbeats under
+  /// tdp.liveness.paradynd.<pid_attribute> so the starter can tell a dead
+  /// tool daemon (restartable) from a dead application (job over). In-proc
+  /// tools get synthetic pids, so process-table liveness cannot see them;
+  /// the lease is the only death signal that works for every launcher.
+  bool publish_liveness = true;
+  lease::Config liveness;
+
+  /// Clock driving heartbeat pacing (tests inject a ManualClock).
+  const Clock* clock = &RealClock::instance();
 };
 
 class Paradynd {
@@ -98,6 +110,17 @@ class Paradynd {
   /// Detaches cleanly: tdp_exit and front-end disconnect.
   Status stop();
 
+  /// Simulates daemon death: every connection is severed without protocol,
+  /// heartbeats stop, the application keeps running (Section 2.3: the RM,
+  /// not the RT, owns the processes). A replacement daemon reattaches via
+  /// the normal Figure 6 handshake - the pid is still in the LASS.
+  void abandon();
+
+  /// Heartbeats published so far (tests).
+  [[nodiscard]] std::uint64_t beats_sent() const {
+    return heartbeat_ ? heartbeat_->beats_sent() : 0;
+  }
+
  private:
   Status discover_application();
   Status initialize_inferior();
@@ -110,6 +133,8 @@ class Paradynd {
   /// Publishes this RT's metrics into the LASS (tdp.telemetry.paradynd.*)
   /// over the session, one batched round trip per interval.
   std::unique_ptr<attr::TelemetryPublisher> telemetry_pub_;
+  /// Beats tdp.liveness.paradynd.<pid_attribute> into the LASS.
+  std::unique_ptr<lease::HeartbeatPublisher> heartbeat_;
   std::unique_ptr<net::Endpoint> frontend_;
   std::unique_ptr<Inferior> inferior_;
   MetricStore metrics_;

@@ -1,0 +1,201 @@
+#include "util/journal.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+namespace tdp::journal {
+
+namespace {
+
+/// Escapes one field so that '\t' can separate fields and '\n' records.
+void escape_into(const std::string& field, std::string& out) {
+  for (char c : field) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+Result<std::vector<std::string>> split_fields(const std::string& line) {
+  std::vector<std::string> fields(1);
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (c == '\t') {
+      fields.emplace_back();
+    } else if (c == '\\') {
+      if (i + 1 >= line.size()) {
+        return Status(ErrorCode::kInvalidArgument, "dangling escape");
+      }
+      const char next = line[++i];
+      if (next == '\\') {
+        fields.back() += '\\';
+      } else if (next == 't') {
+        fields.back() += '\t';
+      } else if (next == 'n') {
+        fields.back() += '\n';
+      } else {
+        return Status(ErrorCode::kInvalidArgument, "bad escape");
+      }
+    } else {
+      fields.back() += c;
+    }
+  }
+  return fields;
+}
+
+}  // namespace
+
+std::string encode_record(const Record& record) {
+  std::string line;
+  escape_into(record.type, line);
+  for (const std::string& field : record.fields) {
+    line += '\t';
+    escape_into(field, line);
+  }
+  return line;
+}
+
+Result<Record> decode_record(const std::string& line) {
+  auto fields = split_fields(line);
+  if (!fields.is_ok()) return fields.status();
+  if (fields->empty() || fields->front().empty()) {
+    return Status(ErrorCode::kInvalidArgument, "record without a type");
+  }
+  Record record;
+  record.type = fields->front();
+  record.fields.assign(fields->begin() + 1, fields->end());
+  return record;
+}
+
+Journal::Journal(std::string path) : path_(std::move(path)) {}
+
+std::unique_ptr<Journal> Journal::in_memory() {
+  return std::unique_ptr<Journal>(new Journal(""));
+}
+
+Result<std::unique_ptr<Journal>> Journal::open_file(const std::string& path) {
+  if (path.empty()) {
+    return Status(ErrorCode::kInvalidArgument, "journal path empty");
+  }
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty() && !std::filesystem::exists(parent, ec)) {
+    return Status(ErrorCode::kNotFound,
+                  "journal parent directory missing: " + parent.string());
+  }
+  auto journal = std::unique_ptr<Journal>(new Journal(path));
+  // Recover the tail count so the compaction trigger survives reopen.
+  auto replayed = journal->replay();
+  if (!replayed.is_ok()) return replayed.status();
+  return journal;
+}
+
+Status Journal::append(const Record& record) {
+  LockGuard lock(mutex_);
+  if (path_.empty()) {
+    memory_tail_.push_back(record);
+    ++tail_count_;
+    return Status::ok();
+  }
+  std::ofstream out(path_ + ".log", std::ios::app | std::ios::binary);
+  if (!out) {
+    return Status(ErrorCode::kInternal, "journal log open failed: " + path_);
+  }
+  out << encode_record(record) << '\n';
+  out.flush();
+  if (!out) {
+    return Status(ErrorCode::kInternal, "journal log write failed: " + path_);
+  }
+  ++tail_count_;
+  return Status::ok();
+}
+
+Status Journal::write_snapshot(const std::vector<Record>& records) {
+  LockGuard lock(mutex_);
+  if (path_.empty()) {
+    memory_snapshot_ = records;
+    memory_tail_.clear();
+    tail_count_ = 0;
+    return Status::ok();
+  }
+  const std::string tmp = path_ + ".snap.tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc | std::ios::binary);
+    if (!out) {
+      return Status(ErrorCode::kInternal, "snapshot open failed: " + tmp);
+    }
+    for (const Record& record : records) {
+      out << encode_record(record) << '\n';
+    }
+    out.flush();
+    if (!out) {
+      return Status(ErrorCode::kInternal, "snapshot write failed: " + tmp);
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path_ + ".snap", ec);
+  if (ec) {
+    return Status(ErrorCode::kInternal, "snapshot rename failed: " + ec.message());
+  }
+  // The snapshot now owns all state; an empty log is correct even if the
+  // truncation below were to be lost.
+  std::ofstream truncate(path_ + ".log", std::ios::trunc | std::ios::binary);
+  tail_count_ = 0;
+  return Status::ok();
+}
+
+Result<std::vector<Record>> Journal::replay() const {
+  LockGuard lock(mutex_);
+  std::vector<Record> records;
+  if (path_.empty()) {
+    records = memory_snapshot_;
+    records.insert(records.end(), memory_tail_.begin(), memory_tail_.end());
+    return records;
+  }
+  std::size_t tail = 0;
+  for (const char* suffix : {".snap", ".log"}) {
+    std::ifstream in(path_ + suffix, std::ios::binary);
+    if (!in) continue;  // neither file existing yet is a valid empty journal
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    std::size_t start = 0;
+    while (start < contents.size()) {
+      const std::size_t end = contents.find('\n', start);
+      if (end == std::string::npos) break;  // torn trailing append: drop it
+      const std::string line = contents.substr(start, end - start);
+      start = end + 1;
+      if (line.empty()) continue;
+      auto record = decode_record(line);
+      if (!record.is_ok()) {
+        // A corrupt snapshot is fatal (it is written atomically, so damage
+        // means real trouble); a corrupt log line ends the usable tail.
+        if (std::string(suffix) == ".snap") return record.status();
+        break;
+      }
+      records.push_back(std::move(record.value()));
+      if (std::string(suffix) == ".log") ++tail;
+    }
+  }
+  tail_count_ = tail;
+  return records;
+}
+
+std::size_t Journal::tail_size() const {
+  LockGuard lock(mutex_);
+  return tail_count_;
+}
+
+}  // namespace tdp::journal

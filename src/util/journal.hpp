@@ -1,0 +1,81 @@
+// journal.hpp - a small write-ahead journal + snapshot for daemon state
+// (PR 5). A restarted daemon must "reload state instead of starting cold":
+// the schedd journals its job queue, the startd its claim table, and the
+// attribute space its durable entries. The format is deliberately tiny -
+// one record per line, tab-separated escaped fields - because the state
+// being protected is small and the recovery story must be auditable by eye.
+//
+// Two backings share one interface:
+//   * in_memory()  - vectors; what the sim/chaos tier uses so a "process
+//                    death" is modelled as dropping the daemon object while
+//                    the journal (the disk) survives;
+//   * open_file()  - <path>.snap + <path>.log on disk, snapshot written
+//                    atomically (tmp + rename), torn trailing log lines
+//                    dropped on replay (a crash mid-append must not poison
+//                    recovery).
+//
+// Locking: Journal::mutex_ is a strict leaf - daemons append while holding
+// their own state lock, so the journal must never call out or acquire
+// anything else (DESIGN.md §10).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/sync.hpp"
+
+namespace tdp::journal {
+
+/// One journal entry: a record type tag plus its payload fields. Writers
+/// define their own schema per type ("job", "claim", "attr", ...).
+struct Record {
+  std::string type;
+  std::vector<std::string> fields;
+
+  bool operator==(const Record& other) const {
+    return type == other.type && fields == other.fields;
+  }
+};
+
+/// Serializes a record to its single-line wire form (exposed for tests).
+std::string encode_record(const Record& record);
+/// Parses one line; kInvalidArgument on malformed escapes.
+Result<Record> decode_record(const std::string& line);
+
+class Journal {
+ public:
+  /// Volatile backing that survives daemon-object destruction (the chaos
+  /// tier's "disk").
+  static std::unique_ptr<Journal> in_memory();
+
+  /// Disk backing at <path>.snap / <path>.log; parent directory must exist.
+  static Result<std::unique_ptr<Journal>> open_file(const std::string& path);
+
+  /// Appends one record to the tail log (flushed before returning).
+  Status append(const Record& record);
+
+  /// Atomically replaces the snapshot with `records` and truncates the
+  /// tail log (compaction).
+  Status write_snapshot(const std::vector<Record>& records);
+
+  /// Snapshot records followed by surviving tail records, in write order.
+  [[nodiscard]] Result<std::vector<Record>> replay() const;
+
+  /// Records appended since the last snapshot - the compaction trigger.
+  [[nodiscard]] std::size_t tail_size() const;
+
+ private:
+  explicit Journal(std::string path);
+
+  mutable Mutex mutex_{"Journal::mutex_"};
+  std::vector<Record> memory_snapshot_ TDP_GUARDED_BY(mutex_);
+  std::vector<Record> memory_tail_ TDP_GUARDED_BY(mutex_);
+  mutable std::size_t tail_count_ TDP_GUARDED_BY(mutex_) = 0;
+
+  /// Empty for the in-memory backing.
+  const std::string path_;
+};
+
+}  // namespace tdp::journal

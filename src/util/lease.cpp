@@ -1,0 +1,166 @@
+#include "util/lease.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace tdp::lease {
+
+std::string liveness_attr(const std::string& role, const std::string& host) {
+  std::string safe_host = host;
+  std::replace(safe_host.begin(), safe_host.end(), '.', '-');
+  return std::string(kLivenessPrefix) + role + "." + safe_host;
+}
+
+const char* health_name(Health health) {
+  switch (health) {
+    case Health::kAlive:
+      return "alive";
+    case Health::kDegraded:
+      return "degraded";
+    case Health::kExpired:
+      return "expired";
+  }
+  return "unknown";
+}
+
+// --- HeartbeatPublisher ---
+
+HeartbeatPublisher::HeartbeatPublisher(std::string attribute, Config config,
+                                       const Clock* clock, PutFn put)
+    : attribute_(std::move(attribute)),
+      config_(config),
+      clock_(clock),
+      put_(std::move(put)) {}
+
+Status HeartbeatPublisher::maybe_beat() {
+  {
+    LockGuard lock(mutex_);
+    const Micros now = clock_->now_micros();
+    if (last_beat_micros_ >= 0 &&
+        now - last_beat_micros_ < config_.beat_interval_micros) {
+      return Status::ok();
+    }
+  }
+  return beat_now();
+}
+
+Status HeartbeatPublisher::beat_now() {
+  std::string value;
+  {
+    LockGuard lock(mutex_);
+    const Micros now = clock_->now_micros();
+    value = std::to_string(++sequence_) + " " + std::to_string(now);
+    last_beat_micros_ = now;
+  }
+  // The put may block on the network; never hold the lock across it.
+  return put_(attribute_, value);
+}
+
+std::uint64_t HeartbeatPublisher::beats_sent() const {
+  LockGuard lock(mutex_);
+  return sequence_;
+}
+
+// --- LeaseMonitor ---
+
+LeaseMonitor::LeaseMonitor(Config config, const Clock* clock)
+    : config_(config), clock_(clock) {}
+
+void LeaseMonitor::on_transition(TransitionCallback callback) {
+  LockGuard lock(mutex_);
+  callbacks_.push_back(std::move(callback));
+}
+
+void LeaseMonitor::observe(const std::string& name) {
+  LockGuard lock(mutex_);
+  const Micros now = clock_->now_micros();
+  auto [it, inserted] = entries_.try_emplace(name);
+  it->second.last_beat_micros = now;
+  if (inserted) it->second.reported = Health::kAlive;
+  // A beat does not flip `reported` back by itself: the resurrection
+  // transition (kExpired -> kAlive) fires from the next poll(), keeping
+  // every callback on the poller's thread.
+}
+
+Health LeaseMonitor::compute(Micros last_beat, Micros now) const {
+  const Micros elapsed = now - last_beat;
+  // A beat landing exactly at the TTL boundary still renews: the lease is
+  // alive while elapsed <= ttl (the renewal-race rule).
+  if (elapsed <= config_.ttl_micros) return Health::kAlive;
+  if (elapsed <= config_.ttl_micros + config_.grace_micros) {
+    return Health::kDegraded;
+  }
+  return Health::kExpired;
+}
+
+Health LeaseMonitor::health(const std::string& name) const {
+  LockGuard lock(mutex_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return Health::kExpired;
+  return compute(it->second.last_beat_micros, clock_->now_micros());
+}
+
+int LeaseMonitor::poll() {
+  struct Transition {
+    std::string name;
+    Health from;
+    Health to;
+    Micros last_beat;
+  };
+  std::vector<Transition> transitions;
+  std::vector<TransitionCallback> callbacks;
+  {
+    LockGuard lock(mutex_);
+    const Micros now = clock_->now_micros();
+    for (auto& [name, entry] : entries_) {
+      const Health current = compute(entry.last_beat_micros, now);
+      if (current == entry.reported) continue;
+      transitions.push_back(
+          {name, entry.reported, current, entry.last_beat_micros});
+      entry.reported = current;
+    }
+    if (!transitions.empty()) callbacks = callbacks_;
+  }
+  // Loss ordering: the lease whose beats stopped first is reported first,
+  // so a cascade (startd died, then its tool) is observed in causal order.
+  std::stable_sort(transitions.begin(), transitions.end(),
+                   [](const Transition& a, const Transition& b) {
+                     return a.last_beat < b.last_beat;
+                   });
+  mutex_.assert_not_held();
+  for (const Transition& transition : transitions) {
+    for (const TransitionCallback& callback : callbacks) {
+      callback(transition.name, transition.from, transition.to);
+    }
+  }
+  return static_cast<int>(transitions.size());
+}
+
+std::vector<std::string> LeaseMonitor::expired() const {
+  LockGuard lock(mutex_);
+  const Micros now = clock_->now_micros();
+  std::vector<std::string> names;
+  for (const auto& [name, entry] : entries_) {
+    if (compute(entry.last_beat_micros, now) == Health::kExpired) {
+      names.push_back(name);
+    }
+  }
+  return names;
+}
+
+void LeaseMonitor::forget(const std::string& name) {
+  LockGuard lock(mutex_);
+  entries_.erase(name);
+}
+
+std::size_t LeaseMonitor::tracked_count() const {
+  LockGuard lock(mutex_);
+  return entries_.size();
+}
+
+bool LeaseMonitor::tracked(const std::string& name) const {
+  LockGuard lock(mutex_);
+  return entries_.count(name) != 0;
+}
+
+}  // namespace tdp::lease

@@ -1,0 +1,152 @@
+// lease.hpp - heartbeat/lease liveness primitive (PR 5).
+//
+// TDP separates failure domains: the RM, the tool daemon and the
+// application may die independently, and the paper requires that the
+// survivors *detect* the death and respond (Section 2.3: "the RM must be
+// able to detect these failures [and] respond to them"). Detection here is
+// lease-based: every daemon publishes a heartbeat attribute
+// `tdp.liveness.<role>.<host>` through the attribute space, and any
+// interested peer holds a lease over that name. A lease is
+//
+//     kAlive     while the last beat is at most ttl old,
+//     kDegraded  between ttl and ttl+grace (one missed beat is not death:
+//                the grace period absorbs scheduling jitter and transport
+//                retry stalls from PR 2),
+//     kExpired   after ttl+grace - the peer is presumed dead and loss
+//                callbacks fire.
+//
+// All time flows through a tdp::Clock pointer so the same code runs under
+// the real clock in deployments and under ManualClock / the sim virtual
+// clock in tests - lease expiry in the chaos tier is deterministic, not a
+// sleep race.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+#include "util/sync.hpp"
+
+namespace tdp::lease {
+
+/// Attribute-name prefix for liveness beats: tdp.liveness.<role>.<host>.
+/// Lives here (not attr_protocol.hpp) because util/ sits below attrspace/ in
+/// the layering; the attrspace registry references this constant.
+inline constexpr const char* kLivenessPrefix = "tdp.liveness.";
+
+/// "tdp.liveness.<role>.<host>". Dots inside `host` are replaced with '-'
+/// so the two-level split (role, host) stays parseable by observers.
+std::string liveness_attr(const std::string& role, const std::string& host);
+
+struct Config {
+  /// Beat age at which a lease stops being healthy.
+  Micros ttl_micros = 2'000'000;
+  /// Extra allowance past the TTL before the holder declares death.
+  Micros grace_micros = 500'000;
+  /// How often the publisher refreshes its beat (default TTL/4: three
+  /// consecutive beats may be lost before the lease even degrades).
+  Micros beat_interval_micros = 500'000;
+};
+
+enum class Health : std::uint8_t { kAlive, kDegraded, kExpired };
+
+const char* health_name(Health health);
+
+/// Publishes one daemon's heartbeat through a caller-supplied put function
+/// (normally TdpSession::put or AttrStore::put bound to the liveness
+/// attribute). Value format: "<seq> <clock-micros>" - the sequence number
+/// makes every beat a distinct put so subscribers are re-notified.
+class HeartbeatPublisher {
+ public:
+  using PutFn = std::function<Status(const std::string& attribute,
+                                     const std::string& value)>;
+
+  HeartbeatPublisher(std::string attribute, Config config, const Clock* clock,
+                     PutFn put);
+
+  /// Beats only if beat_interval has elapsed since the last beat; call it
+  /// from the daemon's poll loop on every iteration.
+  Status maybe_beat();
+
+  /// Unconditional beat (daemon startup, post-reconnect re-announce).
+  Status beat_now();
+
+  [[nodiscard]] std::uint64_t beats_sent() const;
+  [[nodiscard]] const std::string& attribute() const { return attribute_; }
+
+ private:
+  mutable Mutex mutex_{"HeartbeatPublisher::mutex_"};
+  std::uint64_t sequence_ TDP_GUARDED_BY(mutex_) = 0;
+  Micros last_beat_micros_ TDP_GUARDED_BY(mutex_) = -1;
+
+  const std::string attribute_;
+  const Config config_;
+  const Clock* clock_;
+  const PutFn put_;
+};
+
+/// Holds leases over a set of heartbeat names. observe() records a beat
+/// (typically from an attrspace subscription callback, which may run on an
+/// I/O thread); poll() recomputes every lease against the clock and fires
+/// transition callbacks for each health change. Callbacks run outside the
+/// monitor lock, ordered by expiry deadline (the peer that died first is
+/// reported first), and each boundary crossing fires exactly once.
+class LeaseMonitor {
+ public:
+  /// (name, previous health, new health).
+  using TransitionCallback =
+      std::function<void(const std::string&, Health, Health)>;
+
+  explicit LeaseMonitor(Config config,
+                        const Clock* clock = &RealClock::instance());
+
+  /// Appends a callback fired from poll() on every health transition.
+  void on_transition(TransitionCallback callback);
+
+  /// Records a beat for `name` at the current clock reading. Unknown names
+  /// start being tracked (as kAlive) from their first beat, so a daemon
+  /// that has not announced itself yet can never be declared dead.
+  void observe(const std::string& name);
+
+  /// Current health of `name`, computed against the clock; kExpired for
+  /// names never observed (use tracked() to distinguish).
+  [[nodiscard]] Health health(const std::string& name) const;
+
+  [[nodiscard]] bool tracked(const std::string& name) const;
+
+  /// Recomputes every lease and fires transition callbacks. Returns the
+  /// number of transitions reported.
+  int poll();
+
+  /// Names currently past ttl+grace.
+  [[nodiscard]] std::vector<std::string> expired() const;
+
+  /// Stops tracking `name` (no transition fires; the next observe()
+  /// restarts tracking from kAlive).
+  void forget(const std::string& name);
+
+  [[nodiscard]] std::size_t tracked_count() const;
+
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  struct Entry {
+    Micros last_beat_micros = 0;
+    Health reported = Health::kAlive;
+  };
+
+  [[nodiscard]] Health compute(Micros last_beat, Micros now) const;
+
+  mutable Mutex mutex_{"LeaseMonitor::mutex_"};
+  std::map<std::string, Entry> entries_ TDP_GUARDED_BY(mutex_);
+  std::vector<TransitionCallback> callbacks_ TDP_GUARDED_BY(mutex_);
+
+  const Config config_;
+  const Clock* clock_;
+};
+
+}  // namespace tdp::lease

@@ -1,0 +1,446 @@
+// test_chaos_kill.cpp - the daemon-death kill matrix (PR 5).
+//
+// The paper's failure model (Section 2.3) assigns each process to exactly
+// one failure domain and requires the survivors to detect and respond.
+// This file kills one daemon per test - paradynd, startd, schedd - at a
+// seed-derived moment mid-run and asserts the system-level outcome:
+//
+//   * paradynd killed  -> the application is NEVER touched (the RM owns
+//     the processes); the starter's lease expires and a replacement daemon
+//     reattaches through the ordinary Figure 6 handshake (the pid is still
+//     in the LASS). The job completes, monitored again.
+//   * startd killed    -> no checkpoint, no goodbye. The job is requeued
+//     EXACTLY ONCE - via the claim-journal replay when the master revives
+//     the daemon, or via lease expiry when the restart budget is spent -
+//     and completes on a surviving machine.
+//   * schedd killed    -> the queue is rebuilt from the write-ahead
+//     journal; in-flight jobs restart idle and every job still completes.
+//   * control          -> with journals and leases disabled the same
+//     startd kill demonstrably LOSES the job: nothing ever requeues it.
+//
+// Seeds vary the kill moment (how many pump turns after the job starts
+// running), so the matrix probes different interleavings of the claim,
+// activate and monitor phases.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chaos_util.hpp"
+#include "condor/pool.hpp"
+#include "paradyn/paradynd.hpp"
+#include "proc/sim_backend.hpp"
+#include "util/journal.hpp"
+#include "util/lease.hpp"
+
+namespace tdp {
+namespace {
+
+using chaos::Watchdog;
+using chaos::Wire;
+using condor::JobDescription;
+using condor::JobId;
+using condor::JobStatus;
+using condor::Master;
+using condor::Pool;
+using condor::PoolConfig;
+
+/// Tight lease so death detection fits in a test: a daemon is presumed
+/// dead ~230ms after its last beat.
+lease::Config fast_lease() {
+  lease::Config config;
+  config.ttl_micros = 150'000;
+  config.grace_micros = 80'000;
+  config.beat_interval_micros = 25'000;
+  return config;
+}
+
+/// In-process paradynd launcher whose daemons can be murdered: kill(i)
+/// makes daemon i abandon() - connections severed, no tdp_exit, heartbeats
+/// stop - exactly what a SIGKILL leaves behind.
+class KillableParadynLauncher final : public condor::ToolLauncher {
+ public:
+  explicit KillableParadynLauncher(std::shared_ptr<net::Transport> transport)
+      : transport_(std::move(transport)) {}
+  ~KillableParadynLauncher() override { join_all(); }
+
+  Result<proc::Pid> launch(const condor::ToolDaemonSpec& spec,
+                           const std::vector<std::string>& argv,
+                           const std::string& lass_address,
+                           const std::string& context,
+                           const std::string& pid_attribute,
+                           TdpSession& rm_session) override {
+    (void)spec;
+    (void)argv;
+    (void)rm_session;
+    paradyn::ParadyndConfig config;
+    config.lass_address = lass_address;
+    config.context = context;
+    config.pid_attribute = pid_attribute;
+    config.transport = transport_;
+    config.sample_quantum_micros = 2'000;
+    config.liveness = fast_lease();
+    auto kill_flag = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard<std::mutex> lock(mutex_);
+    kill_flags_.push_back(kill_flag);
+    threads_.emplace_back([config = std::move(config), kill_flag]() mutable {
+      paradyn::Paradynd daemon(std::move(config));
+      if (!daemon.start().is_ok()) return;
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(30);
+      while (std::chrono::steady_clock::now() < deadline) {
+        if (kill_flag->load(std::memory_order_acquire)) {
+          daemon.abandon();  // murdered: no exit protocol, app left running
+          return;
+        }
+        if (!daemon.poll_once()) break;  // application exited; final report sent
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      daemon.stop();
+    });
+    ++launched_;
+    return static_cast<proc::Pid>(-static_cast<std::int64_t>(launched_));
+  }
+
+  void kill(std::size_t index) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ASSERT_LT(index, kill_flags_.size());
+    kill_flags_[index]->store(true, std::memory_order_release);
+  }
+
+  [[nodiscard]] std::size_t launched() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return launched_;
+  }
+
+  void join_all() {
+    std::vector<std::thread> to_join;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      to_join.swap(threads_);
+    }
+    for (auto& thread : to_join) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+
+ private:
+  std::shared_ptr<net::Transport> transport_;
+  mutable std::mutex mutex_;
+  std::vector<std::thread> threads_;
+  std::vector<std::shared_ptr<std::atomic<bool>>> kill_flags_;
+  std::size_t launched_ = 0;
+};
+
+/// A pool plus the state that outlives daemon deaths: sim backends and the
+/// journals (the "disk").
+struct KillCluster {
+  std::shared_ptr<net::Transport> transport;
+  std::map<std::string, std::shared_ptr<proc::SimProcessBackend>> backends;
+  std::map<std::string, std::unique_ptr<journal::Journal>> claim_journals;
+  std::unique_ptr<journal::Journal> schedd_journal;
+  std::unique_ptr<Pool> pool;
+};
+
+struct ClusterOptions {
+  int machines = 2;
+  bool recovery = true;  ///< journals + startd leases; false = the control
+  int startd_restart_budget = 5;
+  condor::ToolLauncher* tool_launcher = nullptr;
+  bool tool_lease = false;
+  /// Share an existing in-proc universe (tool launchers need the same one).
+  std::shared_ptr<net::Transport> transport;
+};
+
+KillCluster make_cluster(const ClusterOptions& options) {
+  KillCluster cluster;
+  cluster.transport =
+      options.transport ? options.transport : chaos::make_base(Wire::kInProc);
+
+  PoolConfig config;
+  config.transport = cluster.transport;
+  config.use_real_files = false;
+  config.tool_launcher = options.tool_launcher;
+  config.tool_wait_timeout_ms = 30'000;
+  config.backend_factory = [&cluster](const std::string& machine) {
+    auto backend = std::make_shared<proc::SimProcessBackend>();
+    cluster.backends[machine] = backend;
+    return backend;
+  };
+  if (options.recovery) {
+    config.enable_liveness = true;
+    config.startd_lease = fast_lease();
+    cluster.schedd_journal = journal::Journal::in_memory();
+    config.schedd_journal = cluster.schedd_journal.get();
+    config.startd_journal_factory =
+        [&cluster](const std::string& machine) -> journal::Journal* {
+      auto& slot = cluster.claim_journals[machine];
+      if (!slot) slot = journal::Journal::in_memory();
+      return slot.get();
+    };
+    config.restart_policy.restart_budget = options.startd_restart_budget;
+    config.restart_policy.base_backoff_ms = 5;
+    config.restart_policy.max_backoff_ms = 50;
+  }
+  if (options.tool_lease) {
+    config.tool_lease_enabled = true;
+    config.tool_lease = fast_lease();
+    config.tool_restart_budget = 2;
+  }
+  cluster.pool = std::make_unique<Pool>(std::move(config));
+  for (int i = 0; i < options.machines; ++i) {
+    const std::string name = "node" + std::to_string(i);
+    cluster.pool->add_machine(name, Pool::default_machine_ad(name));
+  }
+  return cluster;
+}
+
+JobDescription sim_job(std::int64_t work_units, bool with_tool) {
+  JobDescription job;
+  job.executable = "simulated_app";
+  job.sim_work_units = work_units;
+  if (with_tool) {
+    job.suspend_job_at_exec = true;
+    job.tool_daemon.present = true;
+    job.tool_daemon.cmd = "paradynd";
+    job.tool_daemon.args = "-zunix -l3 -a%pid";
+  }
+  return job;
+}
+
+/// Drives negotiate/pump/backend-step until `done` or timeout; returns
+/// whether `done` fired.
+template <typename Predicate>
+bool drive(KillCluster& cluster, Predicate done, int timeout_ms) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    cluster.pool->negotiate();
+    cluster.pool->pump();
+    for (auto& [name, backend] : cluster.backends) backend->step(1);
+    if (done()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return false;
+}
+
+bool job_terminal(KillCluster& cluster, JobId id) {
+  auto record = cluster.pool->schedd().job(id);
+  return record.is_ok() && condor::job_status_terminal(record->status);
+}
+
+/// Waits until the job is kRunning, then a seed-derived number of extra
+/// turns, so each seed kills at a different phase of the run.
+bool run_until_kill_point(KillCluster& cluster, JobId id, std::uint64_t seed) {
+  const bool running = drive(
+      cluster,
+      [&] {
+        auto record = cluster.pool->schedd().job(id);
+        return record.is_ok() && record->status == JobStatus::kRunning;
+      },
+      20'000);
+  if (!running) return false;
+  int extra = static_cast<int>(5 + seed % 37);
+  return drive(cluster, [&] { return --extra <= 0 || job_terminal(cluster, id); },
+               20'000);
+}
+
+class ChaosKillTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ChaosKillTest, KillParadyndMidRunAppSurvivesAndToolReattaches) {
+  const std::uint64_t seed = GetParam();
+  Watchdog dog("KillParadynd/seed=" + std::to_string(seed), 110'000);
+
+  ClusterOptions options;
+  options.machines = 1;
+  options.tool_lease = true;
+  options.transport = chaos::make_base(Wire::kInProc);
+  KillableParadynLauncher launcher(options.transport);
+  options.tool_launcher = &launcher;
+  KillCluster cluster = make_cluster(options);
+
+  const JobId id = cluster.pool->submit(sim_job(900, /*with_tool=*/true));
+  ASSERT_TRUE(run_until_kill_point(cluster, id, seed));
+  ASSERT_EQ(launcher.launched(), 1u);
+  launcher.kill(0);
+
+  // The job must complete, and along the way the starter must have
+  // relaunched the tool exactly once (observed live: the starter retires
+  // with the job).
+  int restarts_seen = 0;
+  const bool completed = drive(
+      cluster,
+      [&] {
+        if (condor::Startd* startd = cluster.pool->startd("node0")) {
+          if (condor::Starter* starter = startd->starter()) {
+            restarts_seen = std::max(restarts_seen, starter->tool_restarts(0));
+          }
+        }
+        return job_terminal(cluster, id);
+      },
+      60'000);
+  ASSERT_TRUE(completed) << "job never finished after the tool daemon died";
+
+  auto record = cluster.pool->schedd().job(id);
+  ASSERT_TRUE(record.is_ok());
+  EXPECT_EQ(record->status, JobStatus::kCompleted) << record->failure_reason;
+  EXPECT_EQ(record->exit_code, 0);
+  // The application was never killed or requeued: killing the RT must not
+  // touch the AP's failure domain.
+  EXPECT_EQ(record->restarts, 0);
+  EXPECT_EQ(cluster.pool->orphan_requeues(), 0u);
+  // The lease expired and exactly one replacement daemon reattached.
+  EXPECT_EQ(restarts_seen, 1);
+  EXPECT_EQ(launcher.launched(), 2u);
+  launcher.join_all();
+}
+
+TEST_P(ChaosKillTest, KillStartdJournalReplayRequeuesExactlyOnce) {
+  const std::uint64_t seed = GetParam();
+  Watchdog dog("KillStartdJournal/seed=" + std::to_string(seed), 110'000);
+
+  ClusterOptions options;
+  options.machines = 2;
+  KillCluster cluster = make_cluster(options);
+
+  const JobId id = cluster.pool->submit(sim_job(400, /*with_tool=*/false));
+  ASSERT_TRUE(run_until_kill_point(cluster, id, seed));
+
+  auto running = cluster.pool->schedd().job(id);
+  ASSERT_TRUE(running.is_ok());
+  const std::string victim = running->matched_machine;
+  ASSERT_FALSE(victim.empty());
+  ASSERT_TRUE(cluster.pool->kill_startd(victim).is_ok());
+
+  ASSERT_TRUE(drive(cluster, [&] { return job_terminal(cluster, id); }, 60'000))
+      << "job never finished after its startd was killed";
+
+  auto record = cluster.pool->schedd().job(id);
+  ASSERT_TRUE(record.is_ok());
+  EXPECT_EQ(record->status, JobStatus::kCompleted) << record->failure_reason;
+  // Exactly-once: both the claim-journal replay and the lease expiry saw
+  // the orphan, but only one requeue happened.
+  EXPECT_EQ(record->restarts, 1);
+  EXPECT_EQ(cluster.pool->orphan_requeues(), 1u);
+  // The master actually revived the dead daemon.
+  EXPECT_GE(cluster.pool->master().restart_count("startd@" + victim), 1u);
+  EXPECT_EQ(cluster.pool->master().health("startd@" + victim),
+            Master::DaemonHealth::kHealthy);
+}
+
+TEST_P(ChaosKillTest, KillStartdLeaseExpiryRequeuesWhenRestartBudgetSpent) {
+  const std::uint64_t seed = GetParam();
+  Watchdog dog("KillStartdLease/seed=" + std::to_string(seed), 110'000);
+
+  ClusterOptions options;
+  options.machines = 2;
+  options.startd_restart_budget = 0;  // the master may never revive it
+  KillCluster cluster = make_cluster(options);
+
+  const JobId id = cluster.pool->submit(sim_job(400, /*with_tool=*/false));
+  ASSERT_TRUE(run_until_kill_point(cluster, id, seed));
+
+  auto running = cluster.pool->schedd().job(id);
+  ASSERT_TRUE(running.is_ok());
+  const std::string victim = running->matched_machine;
+  ASSERT_FALSE(victim.empty());
+  ASSERT_TRUE(cluster.pool->kill_startd(victim).is_ok());
+
+  ASSERT_TRUE(drive(cluster, [&] { return job_terminal(cluster, id); }, 60'000))
+      << "lease expiry never rescued the job";
+
+  auto record = cluster.pool->schedd().job(id);
+  ASSERT_TRUE(record.is_ok());
+  EXPECT_EQ(record->status, JobStatus::kCompleted) << record->failure_reason;
+  EXPECT_EQ(record->restarts, 1);
+  EXPECT_EQ(cluster.pool->orphan_requeues(), 1u);
+  // The job finished on the surviving machine.
+  EXPECT_NE(record->matched_machine, victim);
+  // Restart storm bounded: the breaker opened instead of spinning.
+  EXPECT_EQ(cluster.pool->master().health("startd@" + victim),
+            Master::DaemonHealth::kHalted);
+  EXPECT_GE(cluster.pool->master().stats().circuit_breaks, 1u);
+}
+
+TEST_P(ChaosKillTest, KillScheddQueueRecoversFromJournal) {
+  const std::uint64_t seed = GetParam();
+  Watchdog dog("KillSchedd/seed=" + std::to_string(seed), 110'000);
+
+  ClusterOptions options;
+  options.machines = 2;
+  KillCluster cluster = make_cluster(options);
+
+  std::vector<JobId> ids;
+  for (int i = 0; i < 3; ++i) {
+    ids.push_back(cluster.pool->submit(sim_job(150 + 50 * i, /*with_tool=*/false)));
+  }
+  ASSERT_TRUE(run_until_kill_point(cluster, ids.front(), seed));
+
+  cluster.pool->kill_schedd();
+  // The dead daemon answers like a dead process: nothing there.
+  EXPECT_EQ(cluster.pool->schedd().queue_size(), 0u);
+
+  ASSERT_TRUE(drive(
+      cluster,
+      [&] {
+        for (JobId id : ids) {
+          if (!job_terminal(cluster, id)) return false;
+        }
+        return true;
+      },
+      60'000))
+      << "queue never drained after the schedd was killed";
+
+  for (JobId id : ids) {
+    auto record = cluster.pool->schedd().job(id);
+    ASSERT_TRUE(record.is_ok()) << "job " << id << " lost by recovery";
+    EXPECT_EQ(record->status, JobStatus::kCompleted) << record->failure_reason;
+  }
+  EXPECT_EQ(cluster.pool->schedd().queue_size(), 3u);
+  EXPECT_GE(cluster.pool->master().restart_count("schedd"), 1u);
+}
+
+TEST_P(ChaosKillTest, ControlWithoutRecoveryLosesTheJob) {
+  const std::uint64_t seed = GetParam();
+  Watchdog dog("ControlNoRecovery/seed=" + std::to_string(seed), 110'000);
+
+  ClusterOptions options;
+  options.machines = 2;
+  options.recovery = false;  // no journals, no leases - the seed pipeline
+  KillCluster cluster = make_cluster(options);
+
+  const JobId id = cluster.pool->submit(sim_job(400, /*with_tool=*/false));
+  ASSERT_TRUE(run_until_kill_point(cluster, id, seed));
+
+  auto running = cluster.pool->schedd().job(id);
+  ASSERT_TRUE(running.is_ok());
+  const std::string victim = running->matched_machine;
+  ASSERT_FALSE(victim.empty());
+  ASSERT_TRUE(cluster.pool->kill_startd(victim).is_ok());
+
+  // Give the pool ample time to (not) notice: without the claim journal
+  // and the lease nothing ever learns the job's processes are gone.
+  EXPECT_FALSE(drive(cluster, [&] { return job_terminal(cluster, id); }, 1'500));
+
+  auto record = cluster.pool->schedd().job(id);
+  ASSERT_TRUE(record.is_ok());
+  EXPECT_FALSE(condor::job_status_terminal(record->status))
+      << "control run unexpectedly finished: recovery is not what saved it";
+  EXPECT_EQ(record->restarts, 0);
+  EXPECT_EQ(cluster.pool->orphan_requeues(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosKillTest, ::testing::ValuesIn(chaos::seeds()),
+                         [](const ::testing::TestParamInfo<std::uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace tdp

@@ -231,6 +231,74 @@ TEST(Master, FailedRestartCounted) {
   EXPECT_EQ(master.supervised_count(), 0u);
 }
 
+TEST(Master, BackoffSeparatesConsecutiveAttempts) {
+  ManualClock clock;
+  Master::Policy policy;
+  policy.base_backoff_ms = 10;
+  policy.max_backoff_ms = 100;
+  policy.restart_budget = 100;
+  Master master(policy);
+  master.set_clock(&clock);
+
+  int attempts = 0;
+  master.supervise("flappy", [] { return false; },
+                   [&] {
+                     ++attempts;
+                     return true;
+                   });
+  master.tick();  // first restart is immediate
+  EXPECT_EQ(attempts, 1);
+  EXPECT_EQ(master.health("flappy"), Master::DaemonHealth::kRestarting);
+
+  // Still inside the backoff window (max jittered delay for attempt 2 is
+  // 15ms): repeated ticks must not hammer the restart action.
+  for (int i = 0; i < 5; ++i) master.tick();
+  EXPECT_EQ(attempts, 1);
+
+  clock.advance_micros(15'000 + 1);
+  master.tick();
+  EXPECT_EQ(attempts, 2);
+
+  // An alive probe resets the ladder: the next death restarts immediately.
+  master.supervise("flappy", [] { return true; }, [&] { ++attempts; return true; });
+  master.tick();
+  EXPECT_EQ(master.health("flappy"), Master::DaemonHealth::kHealthy);
+}
+
+TEST(Master, CircuitBreakerHaltsAfterBudget) {
+  ManualClock clock;
+  Master::Policy policy;
+  policy.base_backoff_ms = 1;
+  policy.max_backoff_ms = 2;
+  policy.restart_budget = 3;
+  Master master(policy);
+  master.set_clock(&clock);
+
+  int attempts = 0;
+  // Restart "succeeds" but the daemon never comes back: the classic
+  // restart storm. The breaker must bound it at the budget.
+  master.supervise("storm", [] { return false; },
+                   [&] {
+                     ++attempts;
+                     return true;
+                   });
+  for (int i = 0; i < 20; ++i) {
+    master.tick();
+    clock.advance_micros(10'000);
+  }
+  EXPECT_EQ(attempts, 3);
+  EXPECT_EQ(master.health("storm"), Master::DaemonHealth::kHalted);
+  auto stats = master.stats();
+  EXPECT_EQ(stats.restarts, 3u);
+  EXPECT_EQ(stats.circuit_breaks, 1u);
+  EXPECT_EQ(master.restart_count("storm"), 3u);
+
+  // reset() closes the breaker and re-arms exactly one immediate attempt.
+  master.reset("storm");
+  master.tick();
+  EXPECT_EQ(attempts, 4);
+}
+
 // --- file transfer ---
 
 class FileTransferTest : public ::testing::Test {

@@ -1,0 +1,180 @@
+// Lease semantics under a virtual clock: expiry, renewal races, the
+// grace-period boundary, and lease-loss callback ordering (PR 5 satellite).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/lease.hpp"
+
+namespace tdp::lease {
+namespace {
+
+Config test_config() {
+  Config config;
+  config.ttl_micros = 1'000;
+  config.grace_micros = 400;
+  config.beat_interval_micros = 250;
+  return config;
+}
+
+TEST(Lease, LivenessAttrNaming) {
+  EXPECT_EQ(liveness_attr("startd", "node1"), "tdp.liveness.startd.node1");
+  // Dots in the host leg are folded so role/host stay two-level parseable.
+  EXPECT_EQ(liveness_attr("paradynd", "pid.1"), "tdp.liveness.paradynd.pid-1");
+}
+
+TEST(Lease, ExpiryUnderVirtualClock) {
+  ManualClock clock;
+  LeaseMonitor monitor(test_config(), &clock);
+  monitor.observe("rt");
+  EXPECT_EQ(monitor.health("rt"), Health::kAlive);
+
+  clock.advance_micros(999);
+  EXPECT_EQ(monitor.health("rt"), Health::kAlive);
+  clock.advance_micros(200);  // now 1199: past ttl, inside grace
+  EXPECT_EQ(monitor.health("rt"), Health::kDegraded);
+  clock.advance_micros(300);  // now 1499: past ttl+grace
+  EXPECT_EQ(monitor.health("rt"), Health::kExpired);
+  EXPECT_EQ(monitor.expired(), std::vector<std::string>{"rt"});
+}
+
+TEST(Lease, UnknownNamesAreNotTracked) {
+  ManualClock clock;
+  LeaseMonitor monitor(test_config(), &clock);
+  EXPECT_FALSE(monitor.tracked("ghost"));
+  EXPECT_EQ(monitor.health("ghost"), Health::kExpired);
+  // ...but never produce a loss transition: the daemon has not announced.
+  EXPECT_EQ(monitor.poll(), 0);
+  EXPECT_TRUE(monitor.expired().empty());
+}
+
+TEST(Lease, RenewalRaceAtTtlBoundary) {
+  ManualClock clock;
+  LeaseMonitor monitor(test_config(), &clock);
+  monitor.observe("rt");
+  // A beat observed exactly at the TTL boundary still renews the lease.
+  clock.advance_micros(1'000);
+  EXPECT_EQ(monitor.health("rt"), Health::kAlive);
+  monitor.observe("rt");
+  clock.advance_micros(1'000);
+  EXPECT_EQ(monitor.health("rt"), Health::kAlive);
+  clock.advance_micros(1);
+  EXPECT_EQ(monitor.health("rt"), Health::kDegraded);
+  // Renewal from degraded recovers without ever reaching expiry.
+  monitor.observe("rt");
+  EXPECT_EQ(monitor.health("rt"), Health::kAlive);
+  EXPECT_EQ(monitor.poll(), 0);  // alive -> alive: nothing reported
+}
+
+TEST(Lease, GracePeriodBoundary) {
+  ManualClock clock;
+  LeaseMonitor monitor(test_config(), &clock);
+  monitor.observe("rt");
+  clock.advance_micros(1'400);  // exactly ttl+grace
+  EXPECT_EQ(monitor.health("rt"), Health::kDegraded);
+  clock.advance_micros(1);
+  EXPECT_EQ(monitor.health("rt"), Health::kExpired);
+}
+
+TEST(Lease, TransitionsFireOncePerCrossing) {
+  ManualClock clock;
+  LeaseMonitor monitor(test_config(), &clock);
+  std::vector<std::string> events;
+  monitor.on_transition([&](const std::string& name, Health from, Health to) {
+    events.push_back(name + ":" + health_name(from) + "->" + health_name(to));
+  });
+  monitor.observe("rt");
+  clock.advance_micros(1'100);
+  EXPECT_EQ(monitor.poll(), 1);
+  EXPECT_EQ(monitor.poll(), 0);  // same state: no re-report
+  clock.advance_micros(400);
+  EXPECT_EQ(monitor.poll(), 1);
+  EXPECT_EQ(monitor.poll(), 0);
+  // Resurrection: a late beat brings the lease back and is reported too.
+  monitor.observe("rt");
+  EXPECT_EQ(monitor.poll(), 1);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0], "rt:alive->degraded");
+  EXPECT_EQ(events[1], "rt:degraded->expired");
+  EXPECT_EQ(events[2], "rt:expired->alive");
+}
+
+TEST(Lease, LossCallbacksOrderedByExpiryDeadline) {
+  ManualClock clock;
+  LeaseMonitor monitor(test_config(), &clock);
+  std::vector<std::string> lost;
+  monitor.on_transition([&](const std::string& name, Health, Health to) {
+    if (to == Health::kExpired) lost.push_back(name);
+  });
+  // "late" beats 200us after "early": its deadline is later, so when both
+  // cross expiry in one poll, "early" must be reported first (causal order
+  // for cascades). Map iteration order would report "early" last.
+  monitor.observe("early");
+  clock.advance_micros(200);
+  monitor.observe("a-late");
+  clock.advance_micros(2'000);
+  EXPECT_EQ(monitor.poll(), 2);
+  ASSERT_EQ(lost.size(), 2u);
+  EXPECT_EQ(lost[0], "early");
+  EXPECT_EQ(lost[1], "a-late");
+}
+
+TEST(Lease, ForgetStopsTrackingWithoutTransition) {
+  ManualClock clock;
+  LeaseMonitor monitor(test_config(), &clock);
+  int transitions = 0;
+  monitor.on_transition([&](const std::string&, Health, Health) { ++transitions; });
+  monitor.observe("rt");
+  monitor.forget("rt");
+  clock.advance_micros(10'000);
+  EXPECT_EQ(monitor.poll(), 0);
+  EXPECT_EQ(transitions, 0);
+  EXPECT_EQ(monitor.tracked_count(), 0u);
+}
+
+TEST(Lease, HeartbeatPublisherPacesBeats) {
+  ManualClock clock;
+  std::vector<std::pair<std::string, std::string>> puts;
+  HeartbeatPublisher publisher(
+      liveness_attr("startd", "node1"), test_config(), &clock,
+      [&](const std::string& attribute, const std::string& value) {
+        puts.emplace_back(attribute, value);
+        return Status::ok();
+      });
+  ASSERT_TRUE(publisher.maybe_beat().is_ok());  // first call always beats
+  ASSERT_TRUE(publisher.maybe_beat().is_ok());  // paced: suppressed
+  EXPECT_EQ(publisher.beats_sent(), 1u);
+  clock.advance_micros(250);
+  ASSERT_TRUE(publisher.maybe_beat().is_ok());
+  EXPECT_EQ(publisher.beats_sent(), 2u);
+  ASSERT_TRUE(publisher.beat_now().is_ok());  // unconditional
+  EXPECT_EQ(publisher.beats_sent(), 3u);
+  ASSERT_EQ(puts.size(), 3u);
+  EXPECT_EQ(puts[0].first, "tdp.liveness.startd.node1");
+  // Values carry a monotone sequence so every beat is a distinct put.
+  EXPECT_EQ(puts[0].second.substr(0, 2), "1 ");
+  EXPECT_EQ(puts[2].second.substr(0, 2), "3 ");
+}
+
+TEST(Lease, PublisherFeedsMonitorEndToEnd) {
+  ManualClock clock;
+  LeaseMonitor monitor(test_config(), &clock);
+  HeartbeatPublisher publisher(
+      liveness_attr("paradynd", "pid"), test_config(), &clock,
+      [&](const std::string& attribute, const std::string&) {
+        monitor.observe(attribute);
+        return Status::ok();
+      });
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(publisher.maybe_beat().is_ok());
+    clock.advance_micros(500);
+    EXPECT_EQ(monitor.health("tdp.liveness.paradynd.pid"), Health::kAlive);
+  }
+  clock.advance_micros(2'000);  // beats stop: the lease runs out
+  EXPECT_EQ(monitor.health("tdp.liveness.paradynd.pid"), Health::kExpired);
+}
+
+}  // namespace
+}  // namespace tdp::lease
