@@ -16,6 +16,9 @@
 #                            # clang toolchain exists (skipped otherwise)
 #   scripts/ci.sh bench      # benchmark emitters: BENCH_attrspace.json +
 #                            # BENCH_telemetry.json at the repo root
+#   scripts/ci.sh bench-wire # wire/proxy/journal bench: refreshes
+#                            # BENCH_wire.json and fails on a >10% proxy
+#                            # throughput regression vs the committed copy
 #   scripts/ci.sh all        # everything
 set -euo pipefail
 
@@ -115,6 +118,40 @@ run_bench() {
   echo "bench: wrote BENCH_attrspace.json and BENCH_telemetry.json"
 }
 
+run_bench_wire() {
+  # Wire-format / proxy-relay / journal-recovery bench with a regression
+  # gate: the committed BENCH_wire.json is the baseline, and a fresh run
+  # whose proxy relay throughput drops more than 10% below it fails. The
+  # fresh numbers overwrite BENCH_wire.json so an intentional change is
+  # committed together with the code that caused it.
+  cmake -B build-ci -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DTDP_WERROR=ON
+  cmake --build build-ci -j"$(nproc)" --target bench_wire
+  local baseline=""
+  if [[ -f BENCH_wire.json ]]; then
+    baseline="$(python3 -c 'import json; print(json.load(open("BENCH_wire.json"))["proxy_relay_ops_per_sec"])')"
+  fi
+  ./build-ci/bench/bench_wire --benchmark_filter='^$'
+  python3 - "$baseline" <<'EOF'
+import json, sys
+data = json.load(open("BENCH_wire.json"))
+fresh = data["proxy_relay_ops_per_sec"]
+speedup = data["proxy_speedup"]
+print(f"bench-wire: proxy relay {fresh:.0f} ops/s "
+      f"({speedup:.2f}x over decode-and-re-encode relay)")
+print(f"bench-wire: 1M-record replay {data['journal_full_replay_ms']:.0f} ms, "
+      f"delta replay {data['journal_delta_replay_ms']:.0f} ms")
+if len(sys.argv) > 1 and sys.argv[1]:
+    baseline = float(sys.argv[1])
+    floor = baseline * 0.9
+    print(f"bench-wire: committed baseline {baseline:.0f} ops/s, floor {floor:.0f}")
+    if fresh < floor:
+        print("bench-wire: FAIL - proxy relay throughput regressed >10%")
+        raise SystemExit(1)
+EOF
+}
+
 find_tool() {
   # Prefer an unversioned binary, then recent versioned ones.
   local base="$1" candidate
@@ -190,7 +227,8 @@ case "${1:-release}" in
   chaos-kill) run_chaos_kill ;;
   analyze)    run_analyze ;;
   bench)      run_bench ;;
-  all)        run_release; run_tsan; run_asan; run_chaos; run_analyze; run_bench ;;
-  *) echo "usage: $0 [release|tsan|asan|chaos|chaos-kill|analyze|bench|all]" >&2
+  bench-wire) run_bench_wire ;;
+  all)        run_release; run_tsan; run_asan; run_chaos; run_analyze; run_bench; run_bench_wire ;;
+  *) echo "usage: $0 [release|tsan|asan|chaos|chaos-kill|analyze|bench|bench-wire|all]" >&2
      exit 2 ;;
 esac

@@ -40,6 +40,14 @@ exists; these rules always run):
      and the liveness protocol. Use proc::ProcessBackend::kill_process,
      which this rule deliberately does not match.
 
+  6. manual-framing: no direct Message codec calls - `.encode(`,
+     `encode_into(`, `Message::decode(`, `peek_length(` - in src/ outside
+     src/net/. Since PR 6 the wire format is versioned (v1/v2 negotiate per
+     endpoint, see DESIGN.md §13); a layer that encodes frames itself
+     bypasses the negotiated version and silently pins the peer to whatever
+     it hard-coded. All framing flows through Endpoint
+     send/receive/send_frame/receive_frame.
+
 A line ending in a `// NOLINT` comment is exempt from rules 1 and 2; every
 NOLINT must carry a justification after a colon (`// NOLINT: why`). The
 repo-wide suppression budget is capped (kMaxSuppressions) so the escape
@@ -108,6 +116,18 @@ RAW_PROCESS_SIGNAL = re.compile(r"(?<![\w])(?:::\s*)?(kill|waitpid)\s*\(")
 
 RAW_PROCESS_SIGNAL_EXEMPT_DIRS = (Path("src/proc"),)
 RAW_PROCESS_SIGNAL_EXEMPT = {Path("src/condor/master.cpp")}
+
+# Rule 6 -------------------------------------------------------------------
+
+# Direct codec calls: encoding (`x.encode(` / `encode_into(`), decoding
+# (`Message::decode(`), and framing introspection (`peek_length(`). The
+# negative lookbehind on encode rejects larger identifiers that merely end
+# in "encode" (re-encode helpers named e.g. reencode( are still flagged via
+# the explicit alternatives only if spelled exactly).
+MANUAL_FRAMING = re.compile(
+    r"\.\s*encode\s*\(|\bencode_into\s*\(|\bMessage::decode\s*\(|\bpeek_length\s*\(")
+
+MANUAL_FRAMING_EXEMPT_DIRS = (Path("src/net"),)
 
 # Rule 3 -------------------------------------------------------------------
 
@@ -245,6 +265,29 @@ def check_raw_process_signals(root: Path, findings, suppressions):
                 f"{line.strip()}")
 
 
+def check_manual_framing(root: Path, findings, suppressions):
+    for path in iter_source(root):
+        rel = path.relative_to(root)
+        if any(d in rel.parents for d in MANUAL_FRAMING_EXEMPT_DIRS):
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//", 1)[0]
+            if not MANUAL_FRAMING.search(code):
+                continue
+            if NOLINT.search(line):
+                suppressions.append((rel, lineno, line.strip()))
+                if not NOLINT_JUSTIFIED.search(line):
+                    findings.append(
+                        f"{rel}:{lineno}: NOLINT without a justification "
+                        f"(write `// NOLINT: reason`): {line.strip()}")
+                continue
+            findings.append(
+                f"{rel}:{lineno}: direct Message codec call outside src/net/ "
+                f"— manual framing bypasses the negotiated wire version; go "
+                f"through Endpoint send/receive/send_frame/receive_frame: "
+                f"{line.strip()}")
+
+
 def run(root: Path) -> int:
     findings: list[str] = []
     suppressions: list = []
@@ -253,6 +296,7 @@ def run(root: Path) -> int:
     check_unguarded_adjacent_fields(root, findings)
     check_stray_stderr(root, findings)
     check_raw_process_signals(root, findings, suppressions)
+    check_manual_framing(root, findings, suppressions)
     if len(suppressions) > kMaxSuppressions:
         findings.append(
             f"{len(suppressions)} NOLINT suppressions exceed the budget of "
@@ -313,6 +357,21 @@ void f(tdp::proc::ProcessBackend& backend, tdp::proc::Pid pid) {
 }
 """
 
+BAD_MANUAL_FRAMING = """\
+#include "net/message.hpp"
+void f(const tdp::net::Message& msg) {
+  auto frame = msg.encode();
+  auto decoded = tdp::net::Message::decode(frame.data(), frame.size());
+}
+"""
+
+GOOD_ENDPOINT_SEND = """\
+#include "net/transport.hpp"
+void f(tdp::net::Endpoint& ep, const tdp::net::Message& msg) {
+  (void)ep.send(msg);  // framing stays inside the transport
+}
+"""
+
 GOOD_FILE = """\
 #include "util/sync.hpp"
 struct S {
@@ -335,6 +394,9 @@ def self_test() -> int:
         ("kill in proc backend", {"src/proc/posix_backend.cpp": BAD_RAW_KILL}, False),
         ("kill in master.cpp", {"src/condor/master.cpp": BAD_RAW_KILL}, False),
         ("kill_process call", {"src/condor/fine.cpp": GOOD_KILL_PROCESS}, False),
+        ("manual framing outside net", {"src/attrspace/oops.cpp": BAD_MANUAL_FRAMING}, True),
+        ("manual framing inside net", {"src/net/tcp.cpp": BAD_MANUAL_FRAMING}, False),
+        ("endpoint send is fine", {"src/condor/send.cpp": GOOD_ENDPOINT_SEND}, False),
         ("clean file", {"src/good.hpp": GOOD_FILE}, False),
     ]
     failures = 0

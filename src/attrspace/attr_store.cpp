@@ -347,11 +347,17 @@ Status AttributeStore::recover_durable() {
   if (journal == nullptr) {
     return make_error(ErrorCode::kInvalidState, "durability not configured");
   }
-  auto replayed = journal->replay();
+  journal::ReplayStats replay_stats;
+  auto replayed = journal->replay(&replay_stats);
   if (!replayed.is_ok()) {
     LockGuard lock(durability_mutex_);
     durable_journal_ = journal;
     return replayed.status();
+  }
+  if (replay_stats.resyncs > 0 || replay_stats.torn_tail) {
+    telemetry::Registry::instance()
+        .counter("attr.durability_resyncs")
+        .add(replay_stats.resyncs + (replay_stats.torn_tail ? 1 : 0));
   }
   // Last record per (context, attribute) wins; puts are applied in order
   // so watchers observe the same final state a live daemon produced.

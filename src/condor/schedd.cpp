@@ -323,8 +323,17 @@ Status Schedd::recover() {
   if (journal_ == nullptr) {
     return make_error(ErrorCode::kInvalidState, "schedd has no journal");
   }
-  auto replayed = journal_->replay();
+  journal::ReplayStats replay_stats;
+  auto replayed = journal_->replay(&replay_stats);
   if (!replayed.is_ok()) return replayed.status();
+  if (replay_stats.resyncs > 0 || replay_stats.torn_tail) {
+    kLog.warn(name_, ": journal recovery skipped ", replay_stats.bytes_skipped,
+              " byte(s) across ", replay_stats.resyncs, " resync(s)",
+              replay_stats.torn_tail ? " plus a torn tail" : "");
+    telemetry::Registry::instance()
+        .counter("schedd.journal_resyncs")
+        .add(replay_stats.resyncs + (replay_stats.torn_tail ? 1 : 0));
+  }
   jobs_.clear();
   shadows_.clear();
   JobId max_id = 0;

@@ -140,8 +140,15 @@ Result<std::optional<JobId>> Startd::recover() {
   if (journal_ == nullptr) {
     return make_error(ErrorCode::kInvalidState, name_ + ": no claim journal");
   }
-  auto replayed = journal_->replay();
+  journal::ReplayStats replay_stats;
+  auto replayed = journal_->replay(&replay_stats);
   if (!replayed.is_ok()) return replayed.status();
+  if (replay_stats.resyncs > 0 || replay_stats.torn_tail) {
+    kLog.warn(name_, ": claim journal recovery skipped ",
+              replay_stats.bytes_skipped, " byte(s) across ",
+              replay_stats.resyncs, " resync(s)",
+              replay_stats.torn_tail ? " plus a torn tail" : "");
+  }
   std::optional<JobId> orphan;
   for (const journal::Record& record : replayed.value()) {
     if (record.type == "claim" && !record.fields.empty()) {

@@ -190,7 +190,10 @@ Result<Message> FaultyEndpoint::receive(int timeout_ms) {
   stats_->corrupted.fetch_add(1, std::memory_order_relaxed);
   static telemetry::Counter& corruptions = injected_counter("corruptions");
   corruptions.inc();
-  std::vector<std::uint8_t> frame = received->encode();
+  // Re-encode with the inner endpoint's negotiated version so the chaos
+  // tier damages (and re-decodes) v2 frames once a session upgrades, not
+  // just the v1 layout.
+  std::vector<std::uint8_t> frame = received->encode(inner_->wire_version());
   {
     LockGuard lock(mutex_);
     corrupt_frame(frame, rng_);

@@ -30,6 +30,31 @@ inline std::uint8_t* put_bytes(std::uint8_t* p, const void* data, std::size_t n)
   return p + n;
 }
 
+/// LEB128 varint (v2 layout). Sizes and writes agree byte-for-byte so the
+/// two-pass encode (size, then fill) never reallocates.
+inline std::size_t varint_size(std::uint64_t v) noexcept {
+  std::size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+inline std::uint8_t* put_varint(std::uint8_t* p, std::uint64_t v) {
+  while (v >= 0x80) {
+    *p++ = static_cast<std::uint8_t>(v) | 0x80;
+    v >>= 7;
+  }
+  *p++ = static_cast<std::uint8_t>(v);
+  return p;
+}
+
+/// v2 field tags. Unknown tags are skipped via their body_len - the
+/// forward-compatibility rule.
+constexpr std::uint8_t kTagInterned = 0x01;
+constexpr std::uint8_t kTagNamed = 0x02;
+
 /// Bounds-checked little-endian reader over a byte span.
 class ByteReader {
  public:
@@ -65,7 +90,27 @@ class ByteReader {
     return true;
   }
 
+  bool read_u8(std::uint8_t* v) {
+    if (size_ - pos_ < 1) return false;
+    *v = data_[pos_++];
+    return true;
+  }
+
+  /// LEB128, capped at 10 bytes; rejects non-canonical over-length runs.
+  bool read_varint(std::uint64_t* v) {
+    *v = 0;
+    int shift = 0;
+    while (pos_ < size_ && shift < 64) {
+      const std::uint8_t byte = data_[pos_++];
+      *v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+      if ((byte & 0x80) == 0) return true;
+      shift += 7;
+    }
+    return false;
+  }
+
   [[nodiscard]] bool exhausted() const noexcept { return pos_ == size_; }
+  [[nodiscard]] std::size_t remaining() const noexcept { return size_ - pos_; }
 
  private:
   const std::uint8_t* data_;
@@ -82,11 +127,10 @@ std::int64_t parse_int(std::string_view text, std::int64_t fallback) {
   return value;
 }
 
-/// Shared frame-header validation; on success positions a ByteReader over
-/// the payload and returns the field count.
-Status parse_header(const std::uint8_t* data, std::size_t size, ByteReader* reader_out,
-                    std::uint16_t* type_out, std::uint64_t* seq_out,
-                    std::uint16_t* nfields_out) {
+/// Validates the length prefix against the actual frame size and positions
+/// a ByteReader over the payload. Shared by both wire versions.
+Status validate_frame(const std::uint8_t* data, std::size_t size,
+                      ByteReader* reader_out) {
   if (size < Message::kLenPrefixSize) {
     return make_error(ErrorCode::kInvalidArgument, "frame shorter than length prefix");
   }
@@ -97,12 +141,103 @@ Status parse_header(const std::uint8_t* data, std::size_t size, ByteReader* read
   if (size != Message::kLenPrefixSize + payload) {
     return make_error(ErrorCode::kInvalidArgument, "frame size does not match prefix");
   }
-  ByteReader reader(data + Message::kLenPrefixSize, payload);
+  *reader_out = ByteReader(data + Message::kLenPrefixSize, payload);
+  return Status::ok();
+}
+
+/// v1 payload header: u16 type | u64 seq | u16 nfields.
+Status parse_v1_header(ByteReader& reader, std::uint16_t* type_out,
+                       std::uint64_t* seq_out, std::uint64_t* nfields_out) {
+  std::uint16_t nfields = 0;
   if (!reader.read_u16(type_out) || !reader.read_u64(seq_out) ||
-      !reader.read_u16(nfields_out)) {
+      !reader.read_u16(&nfields)) {
     return make_error(ErrorCode::kInvalidArgument, "truncated message header");
   }
-  *reader_out = reader;
+  *nfields_out = nfields;
+  return Status::ok();
+}
+
+/// v2 payload header: u8 marker | u8 version | u8 flags | u16 type |
+/// varint seq | varint nfields.
+Status parse_v2_header(ByteReader& reader, std::uint16_t* type_out,
+                       std::uint64_t* seq_out, std::uint64_t* nfields_out) {
+  std::uint8_t marker = 0;
+  std::uint8_t version = 0;
+  std::uint8_t flags = 0;
+  if (!reader.read_u8(&marker) || !reader.read_u8(&version) ||
+      !reader.read_u8(&flags)) {
+    return make_error(ErrorCode::kInvalidArgument, "truncated v2 header");
+  }
+  if (marker != kV2Marker) {
+    return make_error(ErrorCode::kInvalidArgument, "missing v2 marker");
+  }
+  if (version != static_cast<std::uint8_t>(WireVersion::kV2)) {
+    return make_error(ErrorCode::kInvalidArgument, "unsupported wire version");
+  }
+  if (flags != 0) {
+    return make_error(ErrorCode::kInvalidArgument, "reserved wire flags set");
+  }
+  if (!reader.read_u16(type_out) || !reader.read_varint(seq_out) ||
+      !reader.read_varint(nfields_out)) {
+    return make_error(ErrorCode::kInvalidArgument, "truncated v2 header");
+  }
+  // The 0xFD row of the type space is reserved so payload[0] can mark v2
+  // frames; a type from that row could never re-encode as v1.
+  if ((*type_out & 0xFF) == kV2Marker) {
+    return make_error(ErrorCode::kInvalidArgument, "reserved message type");
+  }
+  // Each encoded field is at least tag + body_len = 2 bytes, so a count
+  // exceeding the remaining payload is corrupt (guards reserve() against
+  // a hostile varint).
+  if (*nfields_out > reader.remaining()) {
+    return make_error(ErrorCode::kInvalidArgument, "v2 field count exceeds payload");
+  }
+  return Status::ok();
+}
+
+/// Parses one v2 field. On success either yields key/value views or sets
+/// `skipped` (unknown tag or unregistered interned id - the
+/// skip-unknown-fields rule). Interned keys view the static registry, so
+/// they outlive any buffer.
+Status parse_v2_field(ByteReader& reader, std::string_view* key,
+                      std::string_view* value, bool* skipped) {
+  std::uint8_t tag = 0;
+  std::uint64_t body_len = 0;
+  if (!reader.read_u8(&tag) || !reader.read_varint(&body_len)) {
+    return make_error(ErrorCode::kInvalidArgument, "truncated v2 field header");
+  }
+  std::string_view body;
+  if (body_len > reader.remaining() ||
+      !reader.read_view(static_cast<std::size_t>(body_len), &body)) {
+    return make_error(ErrorCode::kInvalidArgument, "truncated v2 field body");
+  }
+  ByteReader body_reader(reinterpret_cast<const std::uint8_t*>(body.data()),
+                         body.size());
+  *skipped = false;
+  if (tag == kTagInterned) {
+    std::uint16_t id = 0;
+    if (!body_reader.read_u16(&id)) {
+      return make_error(ErrorCode::kInvalidArgument, "truncated interned field id");
+    }
+    const std::string_view name = wire_field_name(id);
+    if (name.empty()) {
+      *skipped = true;  // id from a newer registry than ours
+      return Status::ok();
+    }
+    *key = name;
+    body_reader.read_view(body_reader.remaining(), value);
+    return Status::ok();
+  }
+  if (tag == kTagNamed) {
+    std::uint64_t klen = 0;
+    if (!body_reader.read_varint(&klen) || klen > body_reader.remaining() ||
+        !body_reader.read_view(static_cast<std::size_t>(klen), key)) {
+      return make_error(ErrorCode::kInvalidArgument, "truncated named field key");
+    }
+    body_reader.read_view(body_reader.remaining(), value);
+    return Status::ok();
+  }
+  *skipped = true;  // unknown tag, body_len already consumed
   return Status::ok();
 }
 
@@ -154,33 +289,82 @@ std::int64_t Message::get_int(std::string_view key, std::int64_t fallback) const
   return fallback;
 }
 
-std::size_t Message::encoded_size() const noexcept {
-  std::size_t size = kLenPrefixSize + 2 + 8 + 2;
+namespace {
+
+/// Size of one v2 field body (without tag and body_len prefix). Sets
+/// `interned_id` when the key is in the registry.
+inline std::size_t v2_field_body_size(const Message::Field& field,
+                                      std::uint16_t* interned_id) {
+  if (wire_field_id(field.key, interned_id)) {
+    return 2 + field.value.size();
+  }
+  *interned_id = 0;
+  return varint_size(field.key.size()) + field.key.size() + field.value.size();
+}
+
+}  // namespace
+
+std::size_t Message::encoded_size(WireVersion version) const noexcept {
+  if (version == WireVersion::kV1) {
+    std::size_t size = kLenPrefixSize + 2 + 8 + 2;
+    for (const Field& field : fields_) {
+      size += 2 + field.key.size() + 4 + field.value.size();
+    }
+    return size;
+  }
+  std::size_t size = kLenPrefixSize + 3 + 2 + varint_size(seq_) +
+                     varint_size(fields_.size());
   for (const Field& field : fields_) {
-    size += 2 + field.key.size() + 4 + field.value.size();
+    std::uint16_t id = 0;
+    const std::size_t body = v2_field_body_size(field, &id);
+    size += 1 + varint_size(body) + body;
   }
   return size;
 }
 
-void Message::encode_into(std::vector<std::uint8_t>& out) const {
-  const std::size_t total = encoded_size();
+void Message::encode_into(std::vector<std::uint8_t>& out, WireVersion version) const {
+  const std::size_t total = encoded_size(version);
   out.resize(total);
   std::uint8_t* p = out.data();
   p = put_u32(p, static_cast<std::uint32_t>(total - kLenPrefixSize));
+  if (version == WireVersion::kV1) {
+    p = put_u16(p, static_cast<std::uint16_t>(type_));
+    p = put_u64(p, seq_);
+    p = put_u16(p, static_cast<std::uint16_t>(fields_.size()));
+    for (const Field& field : fields_) {
+      p = put_u16(p, static_cast<std::uint16_t>(field.key.size()));
+      p = put_bytes(p, field.key.data(), field.key.size());
+      p = put_u32(p, static_cast<std::uint32_t>(field.value.size()));
+      p = put_bytes(p, field.value.data(), field.value.size());
+    }
+    return;
+  }
+  *p++ = kV2Marker;
+  *p++ = static_cast<std::uint8_t>(WireVersion::kV2);
+  *p++ = 0;  // flags, reserved
   p = put_u16(p, static_cast<std::uint16_t>(type_));
-  p = put_u64(p, seq_);
-  p = put_u16(p, static_cast<std::uint16_t>(fields_.size()));
+  p = put_varint(p, seq_);
+  p = put_varint(p, fields_.size());
   for (const Field& field : fields_) {
-    p = put_u16(p, static_cast<std::uint16_t>(field.key.size()));
-    p = put_bytes(p, field.key.data(), field.key.size());
-    p = put_u32(p, static_cast<std::uint32_t>(field.value.size()));
+    std::uint16_t id = 0;
+    const std::size_t body = v2_field_body_size(field, &id);
+    if (id != 0) {
+      *p++ = kTagInterned;
+      p = put_varint(p, body);
+      p = put_u16(p, id);
+    } else {
+      *p++ = kTagNamed;
+      p = put_varint(p, body);
+      p = put_varint(p, field.key.size());
+      p = put_bytes(p, field.key.data(), field.key.size());
+    }
     p = put_bytes(p, field.value.data(), field.value.size());
   }
 }
 
-std::vector<std::uint8_t> Message::encode() const {
+std::vector<std::uint8_t> Message::encode(WireVersion version) const {
   std::vector<std::uint8_t> out;
-  encode_into(out);
+  encode_into(out, version);
   return out;
 }
 
@@ -191,22 +375,40 @@ std::uint32_t Message::peek_length(const std::uint8_t* prefix) noexcept {
          (static_cast<std::uint32_t>(prefix[3]) << 24);
 }
 
+WireVersion Message::detect_version(const std::uint8_t* data,
+                                    std::size_t size) noexcept {
+  if (size <= kLenPrefixSize) return WireVersion::kV1;
+  return data[kLenPrefixSize] == kV2Marker ? WireVersion::kV2 : WireVersion::kV1;
+}
+
 Result<Message> Message::decode(const std::uint8_t* data, std::size_t size) {
   ByteReader reader(nullptr, 0);
+  TDP_RETURN_IF_ERROR(validate_frame(data, size, &reader));
+  const WireVersion version = detect_version(data, size);
   std::uint16_t type_raw = 0;
-  std::uint16_t nfields = 0;
   std::uint64_t seq = 0;
-  TDP_RETURN_IF_ERROR(parse_header(data, size, &reader, &type_raw, &seq, &nfields));
+  std::uint64_t nfields = 0;
+  if (version == WireVersion::kV1) {
+    TDP_RETURN_IF_ERROR(parse_v1_header(reader, &type_raw, &seq, &nfields));
+  } else {
+    TDP_RETURN_IF_ERROR(parse_v2_header(reader, &type_raw, &seq, &nfields));
+  }
   Message msg(static_cast<MsgType>(type_raw));
   msg.set_seq(seq);
-  msg.fields_.reserve(nfields);
-  for (std::uint16_t i = 0; i < nfields; ++i) {
-    std::uint16_t klen = 0;
-    std::uint32_t vlen = 0;
+  msg.fields_.reserve(static_cast<std::size_t>(nfields));
+  for (std::uint64_t i = 0; i < nfields; ++i) {
     std::string_view key, value;
-    if (!reader.read_u16(&klen) || !reader.read_view(klen, &key) ||
-        !reader.read_u32(&vlen) || !reader.read_view(vlen, &value)) {
-      return make_error(ErrorCode::kInvalidArgument, "truncated message field");
+    if (version == WireVersion::kV1) {
+      std::uint16_t klen = 0;
+      std::uint32_t vlen = 0;
+      if (!reader.read_u16(&klen) || !reader.read_view(klen, &key) ||
+          !reader.read_u32(&vlen) || !reader.read_view(vlen, &value)) {
+        return make_error(ErrorCode::kInvalidArgument, "truncated message field");
+      }
+    } else {
+      bool skipped = false;
+      TDP_RETURN_IF_ERROR(parse_v2_field(reader, &key, &value, &skipped));
+      if (skipped) continue;
     }
     // set() keeps keys unique: duplicate wire keys merge, last wins.
     msg.set(std::string(key), std::string(value));
@@ -239,20 +441,32 @@ bool operator==(const Message& a, const Message& b) {
 
 Status MessageView::parse(const std::uint8_t* data, std::size_t size) {
   ByteReader reader(nullptr, 0);
+  TDP_RETURN_IF_ERROR(validate_frame(data, size, &reader));
+  const WireVersion version = Message::detect_version(data, size);
   std::uint16_t type_raw = 0;
-  std::uint16_t nfields = 0;
   std::uint64_t seq = 0;
-  TDP_RETURN_IF_ERROR(parse_header(data, size, &reader, &type_raw, &seq, &nfields));
+  std::uint64_t nfields = 0;
+  if (version == WireVersion::kV1) {
+    TDP_RETURN_IF_ERROR(parse_v1_header(reader, &type_raw, &seq, &nfields));
+  } else {
+    TDP_RETURN_IF_ERROR(parse_v2_header(reader, &type_raw, &seq, &nfields));
+  }
   fields_.clear();
   owned_ = Message();
-  fields_.reserve(nfields);
-  for (std::uint16_t i = 0; i < nfields; ++i) {
-    std::uint16_t klen = 0;
-    std::uint32_t vlen = 0;
+  fields_.reserve(static_cast<std::size_t>(nfields));
+  for (std::uint64_t i = 0; i < nfields; ++i) {
     FieldView field;
-    if (!reader.read_u16(&klen) || !reader.read_view(klen, &field.key) ||
-        !reader.read_u32(&vlen) || !reader.read_view(vlen, &field.value)) {
-      return make_error(ErrorCode::kInvalidArgument, "truncated message field");
+    if (version == WireVersion::kV1) {
+      std::uint16_t klen = 0;
+      std::uint32_t vlen = 0;
+      if (!reader.read_u16(&klen) || !reader.read_view(klen, &field.key) ||
+          !reader.read_u32(&vlen) || !reader.read_view(vlen, &field.value)) {
+        return make_error(ErrorCode::kInvalidArgument, "truncated message field");
+      }
+    } else {
+      bool skipped = false;
+      TDP_RETURN_IF_ERROR(parse_v2_field(reader, &field.key, &field.value, &skipped));
+      if (skipped) continue;
     }
     fields_.push_back(field);
   }
@@ -261,6 +475,7 @@ Status MessageView::parse(const std::uint8_t* data, std::size_t size) {
   }
   type_ = static_cast<MsgType>(type_raw);
   seq_ = seq;
+  wire_version_ = version;
   return Status::ok();
 }
 
@@ -268,6 +483,7 @@ void MessageView::adopt(Message msg) {
   owned_ = std::move(msg);
   type_ = owned_.type();
   seq_ = owned_.seq();
+  wire_version_ = WireVersion::kV1;
   fields_.clear();
   fields_.reserve(owned_.fields().size());
   for (const Message::Field& field : owned_.fields()) {

@@ -27,12 +27,17 @@
 #include <string_view>
 #include <vector>
 
+#include "net/wire.hpp"
 #include "util/status.hpp"
 
 namespace tdp::net {
 
 /// Message type codes. One flat space keeps the framing layer protocol-
 /// agnostic; each subsystem uses its own contiguous range.
+///
+/// Reserved: values whose low byte is 0xFD (253, 509, 765, ...) must never
+/// be assigned - payload byte 0 distinguishes v1 frames (type low byte)
+/// from v2 frames (wire marker 0xFD, see net/wire.hpp).
 enum class MsgType : std::uint16_t {
   kInvalid = 0,
 
@@ -141,19 +146,33 @@ class Message {
   /// Pre-sizes the field table (batch builders).
   void reserve_fields(std::size_t n) { fields_.reserve(n); }
 
-  /// Serializes to the wire format described in the header comment.
-  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// Serializes to the wire format described in the header comment (v1)
+  /// or the compact v2 layout (net/wire.hpp).
+  [[nodiscard]] std::vector<std::uint8_t> encode(
+      WireVersion version = WireVersion::kV1) const;
 
   /// Serializes into `out`, reusing its capacity (out is overwritten).
-  void encode_into(std::vector<std::uint8_t>& out) const;
+  /// Steady-state senders with a warm buffer allocate nothing in either
+  /// version.
+  void encode_into(std::vector<std::uint8_t>& out,
+                   WireVersion version = WireVersion::kV1) const;
 
-  /// Exact frame size encode() would produce (prefix included).
-  [[nodiscard]] std::size_t encoded_size() const noexcept;
+  /// Exact frame size encode(version) would produce (prefix included).
+  [[nodiscard]] std::size_t encoded_size(
+      WireVersion version = WireVersion::kV1) const noexcept;
 
-  /// Decodes a full frame (including the u32 length prefix). Returns
-  /// kInvalidArgument on truncated or malformed input. Duplicate keys on
-  /// the wire merge (last occurrence wins), matching set() semantics.
+  /// Decodes a full frame (including the u32 length prefix), auto-detecting
+  /// v1 vs v2 (payload byte 0 == wire::kV2Marker). Returns kInvalidArgument
+  /// on truncated or malformed input. Duplicate keys on the wire merge
+  /// (last occurrence wins), matching set() semantics. v2 fields with an
+  /// unknown tag or an unregistered field id are skipped (the
+  /// skip-unknown-fields rule; see DESIGN.md §13).
   static Result<Message> decode(const std::uint8_t* data, std::size_t size);
+
+  /// Wire version a full frame claims to be (inspects the payload marker
+  /// byte). Frames shorter than prefix+1 report kV1.
+  static WireVersion detect_version(const std::uint8_t* data,
+                                    std::size_t size) noexcept;
 
   /// Reads the payload length from a 4-byte prefix.
   static std::uint32_t peek_length(const std::uint8_t* prefix) noexcept;
@@ -193,10 +212,16 @@ class MessageView {
 
   MessageView() = default;
 
-  /// Parses a full frame (length prefix included) in place. The buffer must
-  /// outlive the view. Same validation as Message::decode; duplicate wire
-  /// keys are kept (lookups return the last occurrence, matching decode()).
+  /// Parses a full frame (length prefix included) in place, auto-detecting
+  /// v1 vs v2. The buffer must outlive the view. Same validation as
+  /// Message::decode; duplicate wire keys are kept (lookups return the last
+  /// occurrence, matching decode()). v2 interned keys view the static
+  /// registry string, so they are zero-copy too.
   Status parse(const std::uint8_t* data, std::size_t size);
+
+  /// Wire version of the last successfully parsed frame (kV1 after
+  /// adopt(), which never saw bytes).
+  [[nodiscard]] WireVersion wire_version() const noexcept { return wire_version_; }
 
   /// Takes ownership of a decoded message (transports that queue Message
   /// objects instead of bytes) and exposes it through the same interface.
@@ -222,6 +247,7 @@ class MessageView {
  private:
   MsgType type_ = MsgType::kInvalid;
   std::uint64_t seq_ = 0;
+  WireVersion wire_version_ = WireVersion::kV1;
   std::vector<FieldView> fields_;
   Message owned_;  ///< backing storage for adopt(); empty after parse()
 };

@@ -11,13 +11,26 @@ namespace tdp::net {
 namespace {
 const log::Logger kLog("proxy");
 
-// Messages relayed in either direction, across all tunnels. Trace headers
-// pass through untouched - the proxy forwards whole Messages, so the "_tc"
-// field survives the tunnel and cross-daemon spans connect through it.
+// Frames relayed in either direction, across all tunnels. Since PR 6 the
+// pumps move raw frames (send_frame/receive_frame) without decoding, so
+// trace headers, unknown fields, and the sender's wire version all pass
+// through byte-identical - and the relay never pays a field-table parse.
 telemetry::Counter& relayed_counter() {
   static telemetry::Counter& c =
       telemetry::Registry::instance().counter("proxy.frames_relayed");
   return c;
+}
+
+// A relayed burst holds whole frames only (receive_frames guarantees it),
+// so counting them is a prefix walk, no decode.
+std::size_t count_frames(const std::uint8_t* data, std::size_t size) {
+  std::size_t frames = 0;
+  std::size_t offset = 0;
+  while (offset + Message::kLenPrefixSize <= size) {
+    offset += Message::kLenPrefixSize + Message::peek_length(data + offset);
+    ++frames;
+  }
+  return frames;
 }
 }  // namespace
 
@@ -124,6 +137,9 @@ void ProxyServer::handle_connection_shared(std::shared_ptr<Endpoint> client) {
     auto it = services_.find(service);
     if (it != services_.end()) target = it->second;
   }
+  // The handshake stays version-neutral (plain v1): the proxy cannot speak
+  // for the upstream's capabilities. End-to-end negotiation rides the
+  // application's first messages, which the raw-frame pumps relay verbatim.
   Message reply(MsgType::kProxyConnectReply);
   if (target.empty()) {
     reply.set("status", "error").set("error", "unknown service: " + service);
@@ -226,12 +242,15 @@ bool ProxyServer::relink(Tunnel& tunnel, std::uint64_t seen_generation) {
 }
 
 void ProxyServer::pump_client_to_upstream(const std::shared_ptr<Tunnel>& tunnel) {
+  // One warm burst buffer per pump thread: steady state relays with zero
+  // allocation, zero decode, and one write per pipelined burst.
+  std::vector<std::uint8_t> frame;
   while (running_.load(std::memory_order_acquire)) {
-    // Bounded receive so stop() is honored; receive(-1) here would wedge
-    // the thread forever on an idle-but-open client.
-    auto msg = tunnel->client->receive(200);
-    if (!msg.is_ok()) {
-      if (msg.status().code() == ErrorCode::kTimeout) continue;
+    // Bounded receive so stop() is honored; receive_frames(-1) here would
+    // wedge the thread forever on an idle-but-open client.
+    auto received = tunnel->client->receive_frames(200, &frame);
+    if (!received.is_ok()) {
+      if (received.code() == ErrorCode::kTimeout) continue;
       break;  // client gone: the tunnel is over
     }
     bool forwarded = false;
@@ -244,9 +263,11 @@ void ProxyServer::pump_client_to_upstream(const std::shared_ptr<Tunnel>& tunnel)
         generation = tunnel->generation;
       }
       if (!up) break;
-      if (up->send(msg.value()).is_ok()) {
+      // The buffered burst survives a relink, so the redial path re-sends
+      // the same bytes on the fresh upstream.
+      if (up->send_frame(frame.data(), frame.size()).is_ok()) {
         forwarded = true;
-        relayed_counter().inc();
+        relayed_counter().add(count_frames(frame.data(), frame.size()));
         break;
       }
       if (!relink(*tunnel, generation)) break;  // retry send on the new link
@@ -259,6 +280,7 @@ void ProxyServer::pump_client_to_upstream(const std::shared_ptr<Tunnel>& tunnel)
 }
 
 void ProxyServer::pump_upstream_to_client(const std::shared_ptr<Tunnel>& tunnel) {
+  std::vector<std::uint8_t> frame;
   while (running_.load(std::memory_order_acquire)) {
     std::shared_ptr<Endpoint> up;
     std::uint64_t generation;
@@ -268,14 +290,14 @@ void ProxyServer::pump_upstream_to_client(const std::shared_ptr<Tunnel>& tunnel)
       generation = tunnel->generation;
     }
     if (!up) break;
-    auto msg = up->receive(200);
-    if (!msg.is_ok()) {
-      if (msg.status().code() == ErrorCode::kTimeout) continue;
+    auto received = up->receive_frames(200, &frame);
+    if (!received.is_ok()) {
+      if (received.code() == ErrorCode::kTimeout) continue;
       if (relink(*tunnel, generation)) continue;
       break;
     }
-    if (!tunnel->client->send(std::move(msg).value()).is_ok()) break;
-    relayed_counter().inc();
+    if (!tunnel->client->send_frame(frame.data(), frame.size()).is_ok()) break;
+    relayed_counter().add(count_frames(frame.data(), frame.size()));
   }
   tunnel->client->close();
   LockGuard lock(tunnel->mu);

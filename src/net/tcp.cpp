@@ -99,48 +99,71 @@ class TcpEndpoint final : public Endpoint {
 
   Status send(const Message& msg) override {
     LockGuard lock(send_mutex_);
-    if (closed_.load(std::memory_order_acquire)) {
-      return make_error(ErrorCode::kConnectionError, "endpoint closed");
-    }
     // Encode into the reused per-endpoint buffer: steady-state senders pay
     // one resize into warm capacity instead of an allocation per message.
-    msg.encode_into(send_buf_);
-    std::size_t sent = 0;
-    while (sent < send_buf_.size()) {
-      ssize_t n =
-          ::send(fd_.get(), send_buf_.data() + sent, send_buf_.size() - sent, MSG_NOSIGNAL);
-      if (n > 0) {
-        sent += static_cast<std::size_t>(n);
-        continue;
-      }
-      if (n < 0 && errno == EINTR) continue;
-      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
-        TDP_RETURN_IF_ERROR(poll_fd(fd_.get(), POLLOUT, -1));
-        continue;
-      }
-      return errno_status(ErrorCode::kConnectionError, "send");
-    }
-    return Status::ok();
+    // The version is whatever negotiation has established by now.
+    msg.encode_into(send_buf_, wire_version());
+    return send_bytes_locked(send_buf_.data(), send_buf_.size());
+  }
+
+  Status send_frame(const std::uint8_t* data, std::size_t size) override {
+    LockGuard lock(send_mutex_);
+    // Relay fast path: the frame is already encoded (in whatever version
+    // its original sender chose); write it through verbatim.
+    return send_bytes_locked(data, size);
   }
 
   Result<Message> receive(int timeout_ms) override {
     LockGuard lock(recv_mutex_);
     auto frame_size = await_frame(timeout_ms);
     if (!frame_size.is_ok()) return frame_size.status();
-    auto decoded = Message::decode(buffer_.data(), frame_size.value());
+    // Mark consumed before validating: a rejected frame must not be
+    // re-delivered to the next receive call (consumption is lazy, so the
+    // bytes stay readable through this call).
     consume_ = frame_size.value();
-    return decoded;
+    TDP_RETURN_IF_ERROR(note_frame_version(buffer_.data(), consume_));
+    return Message::decode(buffer_.data(), consume_);
   }
 
   Status receive_view(int timeout_ms, MessageView* view) override {
     LockGuard lock(recv_mutex_);
     auto frame_size = await_frame(timeout_ms);
     if (!frame_size.is_ok()) return frame_size.status();
+    consume_ = frame_size.value();
+    TDP_RETURN_IF_ERROR(note_frame_version(buffer_.data(), consume_));
     // The view borrows buffer_; the frame is consumed lazily at the next
     // receive call, which is what keeps this zero-copy.
-    Status parsed = view->parse(buffer_.data(), frame_size.value());
+    return view->parse(buffer_.data(), consume_);
+  }
+
+  Status receive_frame(int timeout_ms, std::vector<std::uint8_t>* frame) override {
+    LockGuard lock(recv_mutex_);
+    auto frame_size = await_frame(timeout_ms);
+    if (!frame_size.is_ok()) return frame_size.status();
+    frame->assign(buffer_.data(), buffer_.data() + frame_size.value());
     consume_ = frame_size.value();
-    return parsed;
+    return Status::ok();
+  }
+
+  Status receive_frames(int timeout_ms, std::vector<std::uint8_t>* frames) override {
+    LockGuard lock(recv_mutex_);
+    auto frame_size = await_frame(timeout_ms);
+    if (!frame_size.is_ok()) return frame_size.status();
+    // Coalesce: one recv() typically lands a burst of pipelined frames in
+    // buffer_; hand the relay every complete one so it forwards the burst
+    // with a single write. An oversized length here is left for the next
+    // receive call to reject - this path never consumes a partial frame.
+    std::size_t take = frame_size.value();
+    while (buffer_.size() - take >= Message::kLenPrefixSize) {
+      const std::uint32_t payload = Message::peek_length(buffer_.data() + take);
+      if (payload > Message::kMaxPayload) break;
+      const std::size_t next = Message::kLenPrefixSize + payload;
+      if (buffer_.size() - take < next) break;
+      take += next;
+    }
+    frames->assign(buffer_.data(), buffer_.data() + take);
+    consume_ = take;
+    return Status::ok();
   }
 
   [[nodiscard]] int readable_fd() const override { return fd_.get(); }
@@ -162,6 +185,43 @@ class TcpEndpoint final : public Endpoint {
   [[nodiscard]] std::string peer_address() const override { return peer_; }
 
  private:
+  Status send_bytes_locked(const std::uint8_t* data, std::size_t size)
+      TDP_REQUIRES(send_mutex_) {
+    if (closed_.load(std::memory_order_acquire)) {
+      return make_error(ErrorCode::kConnectionError, "endpoint closed");
+    }
+    std::size_t sent = 0;
+    while (sent < size) {
+      ssize_t n = ::send(fd_.get(), data + sent, size - sent, MSG_NOSIGNAL);
+      if (n > 0) {
+        sent += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        TDP_RETURN_IF_ERROR(poll_fd(fd_.get(), POLLOUT, -1));
+        continue;
+      }
+      return errno_status(ErrorCode::kConnectionError, "send");
+    }
+    return Status::ok();
+  }
+
+  /// A received v2 frame is proof the peer speaks v2: upgrade our send
+  /// side. A pinned-v1 endpoint emulates a genuine old daemon, which would
+  /// misparse the frame - reject it the way that daemon's decoder would.
+  Status note_frame_version(const std::uint8_t* data, std::size_t size) {
+    if (Message::detect_version(data, size) != WireVersion::kV2) {
+      return Status::ok();
+    }
+    if (wire_version_pinned() && wire_version() == WireVersion::kV1) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "v2 frame received by a v1-only endpoint");
+    }
+    note_peer_wire_version(WireVersion::kV2);
+    return Status::ok();
+  }
+
   /// Waits until buffer_ holds one complete frame and returns its size.
   /// Consumes the previously returned frame first.
   Result<std::size_t> await_frame(int timeout_ms) TDP_REQUIRES(recv_mutex_) {

@@ -1,0 +1,113 @@
+#include "net/wire.hpp"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/transport.hpp"
+
+namespace tdp::net {
+
+namespace {
+
+/// The interned key table, in id order starting at id 1 (id 0 is reserved
+/// as "no id"). Wire format: APPEND ONLY - renumbering breaks mixed-version
+/// pools mid-upgrade. The batch slots k0..k31 / v0..v31 are appended
+/// programmatically after this list.
+constexpr const char* kWellKnownKeys[] = {
+    // attrspace protocol fields (attr_protocol.hpp)
+    "ctx", "attr", "value", "status", "error", "block", "pattern", "sub_id",
+    "count", "bid",
+    // reserved cross-cutting fields
+    "_tc", "_wv",
+    // proxy / process-control / ping payloads
+    "service", "payload", "cmd",
+    // standard attribute names that double as message fields
+    "pid", "executable_name", "app_args", "frontend_host", "frontend_port",
+    "frontend_port2", "proxy_address", "stdio_address", "app_state",
+    "rt_ready", "working_dir", "job_id", "num_procs",
+    // condor / paradyn / mrnet message fields
+    "job", "machine", "executable", "daemon", "module", "function", "metric",
+    "host", "rank", "state", "final", "mod", "fn", "m", "v",
+    // liveness / telemetry publish fields (PR 4/5)
+    "seq", "micros", "role", "lease_ttl_ms", "beat",
+};
+
+constexpr std::size_t kBatchSlots = 32;  // k0..k31, v0..v31
+
+struct Registry {
+  std::unordered_map<std::string_view, std::uint16_t> by_key;
+  std::vector<std::string> by_id;  // index = id; [0] unused
+
+  Registry() {
+    // Reserve the exact final size up front: the by_key string_views point
+    // into by_id's strings, so the vector must never reallocate (SSO moves
+    // the character buffers with the string objects).
+    const std::size_t total =
+        1 + std::size(kWellKnownKeys) + 2 * kBatchSlots;
+    by_id.reserve(total);
+    by_key.reserve(total);
+    by_id.emplace_back();  // id 0 = "no id"
+    for (const char* key : kWellKnownKeys) add(key);
+    for (std::size_t i = 0; i < kBatchSlots; ++i) {
+      add("k" + std::to_string(i));
+      add("v" + std::to_string(i));
+    }
+  }
+
+  void add(std::string key) {
+    by_id.push_back(std::move(key));
+    by_key.emplace(by_id.back(), static_cast<std::uint16_t>(by_id.size() - 1));
+  }
+};
+
+const Registry& registry() {
+  static const Registry instance;
+  return instance;
+}
+
+}  // namespace
+
+bool wire_field_id(std::string_view key, std::uint16_t* id) {
+  const auto& reg = registry();
+  auto it = reg.by_key.find(key);
+  if (it == reg.by_key.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+std::string_view wire_field_name(std::uint16_t id) {
+  const auto& reg = registry();
+  if (id == 0 || id >= reg.by_id.size()) return {};
+  return reg.by_id[id];
+}
+
+std::size_t wire_field_registry_size() { return registry().by_id.size(); }
+
+void advertise_wire_version(const Endpoint& endpoint, Message& msg) {
+  if (endpoint.wire_version_pinned()) return;
+  msg.set(kWireVersionField, "2");
+}
+
+namespace {
+void adopt_impl(Endpoint& endpoint, std::string_view advertised) {
+  // Numeric compare, not lexicographic: a future "10" still means >= 2.
+  int version = 0;
+  for (char c : advertised) {
+    if (c < '0' || c > '9' || version > 1000) return;  // not a version
+    version = version * 10 + (c - '0');
+  }
+  if (version >= 2) endpoint.note_peer_wire_version(WireVersion::kV2);
+}
+}  // namespace
+
+void adopt_advertised_wire_version(Endpoint& endpoint, const MessageView& msg) {
+  adopt_impl(endpoint, msg.get(kWireVersionField));
+}
+
+void adopt_advertised_wire_version(Endpoint& endpoint, const Message& msg) {
+  adopt_impl(endpoint, msg.get_view(kWireVersionField));
+}
+
+}  // namespace tdp::net

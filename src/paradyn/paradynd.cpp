@@ -8,6 +8,7 @@
 #include <optional>
 
 #include "net/proxy.hpp"
+#include "net/wire.hpp"
 #include "util/log.hpp"
 #include "util/string_util.hpp"
 #include "util/telemetry.hpp"
@@ -153,6 +154,7 @@ Status Paradynd::connect_frontend() {
   frontend_ = std::move(endpoint).value();
 
   net::Message hello(net::MsgType::kParadynHello);
+  net::advertise_wire_version(*frontend_, hello);
   hello.set("daemon", config_.daemon_name);
   hello.set_int("pid", app_pid_);
   hello.set("executable", executable_);

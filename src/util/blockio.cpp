@@ -1,0 +1,147 @@
+#include "util/blockio.hpp"
+
+#include <cstring>
+
+namespace tdp::blockio {
+
+namespace {
+
+inline void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+inline void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+inline std::uint16_t read_u16(const char* p) {
+  return static_cast<std::uint16_t>(static_cast<std::uint8_t>(p[0]) |
+                                    (static_cast<std::uint8_t>(p[1]) << 8));
+}
+
+inline std::uint32_t read_u32(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[i])) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::string encode_block(std::string_view payload) {
+  compress::Codec codec = compress::Codec::kStore;
+  std::string compressed;
+  if (payload.size() >= kCompressThreshold) {
+    compressed = compress::lz_compress(payload);
+    if (compressed.size() < payload.size()) codec = compress::Codec::kLz;
+  }
+  const std::string_view body =
+      codec == compress::Codec::kLz ? std::string_view(compressed) : payload;
+
+  std::string block;
+  block.reserve(kHeaderSize + body.size());
+  put_u32(block, kSyncMagic);
+  block.push_back(static_cast<char>(kBlockVersion));
+  block.push_back(static_cast<char>(codec));
+  put_u16(block, 0);  // flags, reserved
+  put_u32(block, static_cast<std::uint32_t>(payload.size()));
+  put_u32(block, static_cast<std::uint32_t>(body.size()));
+  put_u32(block, compress::crc32(body));
+  block.append(body);
+  return block;
+}
+
+Result<DecodedBlock> BlockReader::decode_at(std::uint64_t offset) {
+  if (offset >= stream_.size()) {
+    return make_error(ErrorCode::kNotFound, "end of stream");
+  }
+  if (stream_.size() - offset < kHeaderSize) {
+    // A crash mid-append can tear even the header, so trailing bytes too
+    // short to hold one are the torn-tail shape, not a clean end.
+    return make_error(ErrorCode::kInvalidState, "torn block header at end of stream");
+  }
+  const char* p = stream_.data() + offset;
+  if (read_u32(p) != kSyncMagic) {
+    return make_error(ErrorCode::kInvalidArgument, "bad sync marker");
+  }
+  const std::uint8_t version = static_cast<std::uint8_t>(p[4]);
+  const std::uint8_t codec = static_cast<std::uint8_t>(p[5]);
+  const std::uint16_t flags = read_u16(p + 6);
+  const std::uint32_t raw_len = read_u32(p + 8);
+  const std::uint32_t comp_len = read_u32(p + 12);
+  const std::uint32_t crc = read_u32(p + 16);
+  if (version != kBlockVersion || flags != 0 ||
+      codec > static_cast<std::uint8_t>(compress::Codec::kLz) ||
+      raw_len > compress::kMaxBlockRawSize || comp_len > compress::kMaxBlockRawSize ||
+      (codec == static_cast<std::uint8_t>(compress::Codec::kStore) &&
+       comp_len != raw_len)) {
+    return make_error(ErrorCode::kInvalidArgument, "bad block header");
+  }
+  if (stream_.size() - offset - kHeaderSize < comp_len) {
+    // Header is plausible but the payload runs past the end: this is the
+    // torn-tail shape. Distinguished from header corruption so next()
+    // stops instead of resyncing into the void.
+    return make_error(ErrorCode::kInvalidState, "torn block at end of stream");
+  }
+  const std::string_view body(stream_.data() + offset + kHeaderSize, comp_len);
+  if (compress::crc32(body) != crc) {
+    return make_error(ErrorCode::kInvalidArgument, "block crc mismatch");
+  }
+  DecodedBlock block;
+  block.offset = offset;
+  block.next_offset = offset + kHeaderSize + comp_len;
+  if (codec == static_cast<std::uint8_t>(compress::Codec::kLz)) {
+    auto decompressed = compress::lz_decompress(body, raw_len);
+    if (!decompressed.is_ok()) return decompressed.status();
+    block.payload = std::move(decompressed).value();
+  } else {
+    block.payload.assign(body.data(), body.size());
+  }
+  return block;
+}
+
+Result<DecodedBlock> BlockReader::next() {
+  std::uint64_t offset = pos_;
+  bool resynced = false;
+  const std::uint64_t scan_start = pos_;
+  while (true) {
+    auto block = decode_at(offset);
+    if (block.is_ok()) {
+      if (resynced) {
+        ++stats_.resyncs;
+        stats_.bytes_skipped += block->offset - scan_start;
+      }
+      ++stats_.blocks;
+      pos_ = block->next_offset;
+      return block;
+    }
+    if (block.status().code() == ErrorCode::kNotFound) {
+      pos_ = stream_.size();
+      return block.status();  // clean end of stream
+    }
+    if (block.status().code() == ErrorCode::kInvalidState) {
+      // Torn tail: a partially appended block. Nothing after it can be
+      // trusted to exist, so the scan ends here.
+      stats_.torn_tail = true;
+      pos_ = stream_.size();
+      return make_error(ErrorCode::kNotFound, "torn trailing block dropped");
+    }
+    // Corrupt block (or a payload byte run that happened to look like a
+    // marker): scan forward for the next candidate marker and try again.
+    resynced = true;
+    std::uint64_t scan = offset + 1;
+    while (scan + 4 <= stream_.size() &&
+           read_u32(stream_.data() + scan) != kSyncMagic) {
+      ++scan;
+    }
+    if (scan + 4 > stream_.size()) {
+      stats_.bytes_skipped += stream_.size() - scan_start;
+      ++stats_.resyncs;
+      pos_ = stream_.size();
+      return make_error(ErrorCode::kNotFound, "no further sync marker");
+    }
+    offset = scan;
+  }
+}
+
+}  // namespace tdp::blockio

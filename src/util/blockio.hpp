@@ -1,0 +1,90 @@
+// blockio.hpp - the block-structured container format shared by the v2
+// journal and span export (PR 6, a4io-style). A stream is a sequence of
+// self-delimiting blocks, each led by a sync marker:
+//
+//   u32 magic 0x4A504454 ("TDPJ") | u8 version | u8 codec | u16 flags |
+//   u32 raw_len | u32 comp_len | u32 crc32(compressed payload) |
+//   comp_len payload bytes
+//
+// Properties the journal and any streaming reader rely on:
+//   * Seekability: a reader positioned at any block boundary (a "sync
+//     point") can resume without reading anything before it. Positions are
+//     plain byte offsets, cheap to checkpoint and compare.
+//   * Resynchronization: after a corrupt region the reader scans forward
+//     for the next marker and validates the full header + CRC before
+//     trusting it, so marker bytes occurring inside a payload (collisions
+//     are legal and expected) cannot fake a block.
+//   * Torn tails: a block whose header or payload extends past the end of
+//     the stream is dropped - exactly the crash-mid-append case.
+//
+// The payload is opaque here; the journal packs length-delimited records
+// into it (see util/journal.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/compress.hpp"
+#include "util/status.hpp"
+
+namespace tdp::blockio {
+
+/// First four bytes of every block, little-endian on the wire.
+inline constexpr std::uint32_t kSyncMagic = 0x4A504454u;  // "TDPJ"
+/// Header size in bytes: magic + version + codec + flags + raw + comp + crc.
+inline constexpr std::size_t kHeaderSize = 4 + 1 + 1 + 2 + 4 + 4 + 4;
+/// Current container version. Readers reject blocks from the future
+/// instead of misparsing them; resync then skips to the next marker.
+inline constexpr std::uint8_t kBlockVersion = 2;
+/// Payloads at or above this size attempt LZ compression; smaller ones
+/// (single-record durability appends) are stored - the header would cost
+/// more than the window saves.
+inline constexpr std::size_t kCompressThreshold = 128;
+
+/// Encodes one block: picks Codec::kLz when it actually shrinks the
+/// payload (and the payload clears kCompressThreshold), Codec::kStore
+/// otherwise. The result is appendable to any byte sink.
+std::string encode_block(std::string_view payload);
+
+/// One decoded block plus the cursor state to continue the scan.
+struct DecodedBlock {
+  std::string payload;
+  std::uint64_t offset = 0;       ///< byte offset of this block's marker
+  std::uint64_t next_offset = 0;  ///< where the following block starts
+};
+
+/// Outcome counters of a scan, for recovery logging and tests.
+struct ScanStats {
+  std::size_t blocks = 0;            ///< blocks decoded successfully
+  std::size_t resyncs = 0;           ///< corrupt regions skipped via marker scan
+  std::uint64_t bytes_skipped = 0;   ///< bytes lost to those regions
+  bool torn_tail = false;            ///< stream ended inside a block
+};
+
+/// Forward reader over a contiguous buffer (journals are read whole at
+/// recovery; span streams hand in their mapped bytes). Not thread-safe.
+class BlockReader {
+ public:
+  explicit BlockReader(std::string_view stream, std::uint64_t start_offset = 0)
+      : stream_(stream), pos_(start_offset) {}
+
+  /// Decodes the block at the cursor. On corruption, scans forward to the
+  /// next marker that validates (header sane AND CRC matches) and returns
+  /// that block instead, counting the resync. Returns kNotFound at end of
+  /// stream (including a torn trailing block, which sets stats().torn_tail).
+  Result<DecodedBlock> next();
+
+  [[nodiscard]] const ScanStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::uint64_t position() const noexcept { return pos_; }
+
+ private:
+  /// Tries to decode exactly at `offset`; no resync.
+  Result<DecodedBlock> decode_at(std::uint64_t offset);
+
+  std::string_view stream_;
+  std::uint64_t pos_ = 0;
+  ScanStats stats_;
+};
+
+}  // namespace tdp::blockio

@@ -1,0 +1,197 @@
+#include "util/compress.hpp"
+
+#include <array>
+#include <cstring>
+
+namespace tdp::compress {
+
+namespace {
+
+/// Token stream grammar (one "sequence" repeated until input exhausted):
+///   u8 token: high nibble = literal run length, low nibble = match length
+///             minus kMinMatch; nibble 15 means "extended below"
+///   [u8 255]* u8   extension bytes for the literal run (if nibble == 15)
+///   literal bytes
+///   u16le offset   distance back into the output (only if a match follows;
+///                  the final sequence of a stream has literals only and
+///                  simply ends the input after its literal bytes)
+///   [u8 255]* u8   extension bytes for the match length (if nibble == 15)
+constexpr std::size_t kMinMatch = 4;
+constexpr std::size_t kMaxOffset = 65535;
+constexpr int kHashBits = 15;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline std::uint32_t read_u32_unaligned(const char* p) {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+inline std::uint32_t hash4(std::uint32_t v) {
+  // Fibonacci hashing of the next 4 bytes; 2^kHashBits buckets.
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void append_run_length(std::string& out, std::size_t extra) {
+  while (extra >= 255) {
+    out.push_back(static_cast<char>(0xff));
+    extra -= 255;
+  }
+  out.push_back(static_cast<char>(extra));
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (unsigned char byte : data) {
+    c = table[(c ^ byte) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string lz_compress(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 16);
+  const char* base = input.data();
+  const std::size_t size = input.size();
+
+  // Last 4 bytes are always emitted as literals: a match needs 4 readable
+  // bytes at the cursor, and ending on literals is what the decoder's
+  // final-sequence rule expects.
+  const std::size_t match_limit = size > kMinMatch ? size - kMinMatch : 0;
+
+  std::array<std::uint32_t, 1u << kHashBits> head{};
+  head.fill(0xFFFFFFFFu);
+
+  std::size_t literal_start = 0;
+  std::size_t pos = 0;
+  while (pos < match_limit) {
+    const std::uint32_t h = hash4(read_u32_unaligned(base + pos));
+    const std::uint32_t candidate = head[h];
+    head[h] = static_cast<std::uint32_t>(pos);
+    if (candidate == 0xFFFFFFFFu || pos - candidate > kMaxOffset ||
+        read_u32_unaligned(base + candidate) != read_u32_unaligned(base + pos)) {
+      ++pos;
+      continue;
+    }
+    // Extend the match as far as the input allows.
+    std::size_t match_len = kMinMatch;
+    while (pos + match_len < size && base[candidate + match_len] == base[pos + match_len]) {
+      ++match_len;
+    }
+
+    const std::size_t literal_len = pos - literal_start;
+    const std::size_t match_code = match_len - kMinMatch;
+    const std::uint8_t lit_nibble =
+        static_cast<std::uint8_t>(literal_len >= 15 ? 15 : literal_len);
+    const std::uint8_t match_nibble =
+        static_cast<std::uint8_t>(match_code >= 15 ? 15 : match_code);
+    out.push_back(static_cast<char>((lit_nibble << 4) | match_nibble));
+    if (lit_nibble == 15) append_run_length(out, literal_len - 15);
+    out.append(base + literal_start, literal_len);
+    const std::uint16_t offset = static_cast<std::uint16_t>(pos - candidate);
+    out.push_back(static_cast<char>(offset & 0xff));
+    out.push_back(static_cast<char>(offset >> 8));
+    if (match_nibble == 15) append_run_length(out, match_code - 15);
+
+    // Index a couple of positions inside the match so repeated structures
+    // keep finding each other, then skip past it.
+    const std::size_t match_end = pos + match_len;
+    for (std::size_t i = pos + 1; i < match_end && i < match_limit; i += 2) {
+      head[hash4(read_u32_unaligned(base + i))] = static_cast<std::uint32_t>(i);
+    }
+    pos = match_end;
+    literal_start = pos;
+  }
+
+  // Final literal-only sequence (may be empty input: emit nothing).
+  const std::size_t tail = size - literal_start;
+  if (size != 0) {
+    const std::uint8_t lit_nibble = static_cast<std::uint8_t>(tail >= 15 ? 15 : tail);
+    out.push_back(static_cast<char>(lit_nibble << 4));
+    if (lit_nibble == 15) append_run_length(out, tail - 15);
+    out.append(base + literal_start, tail);
+  }
+  return out;
+}
+
+Result<std::string> lz_decompress(std::string_view input, std::size_t expected_size) {
+  if (expected_size > kMaxBlockRawSize) {
+    return make_error(ErrorCode::kInvalidArgument, "decompressed size exceeds block limit");
+  }
+  std::string out;
+  out.reserve(expected_size);
+  std::size_t pos = 0;
+  const std::size_t size = input.size();
+
+  auto read_extended = [&](std::size_t base_len, std::size_t* len) -> bool {
+    *len = base_len;
+    while (true) {
+      if (pos >= size) return false;
+      const std::uint8_t byte = static_cast<std::uint8_t>(input[pos++]);
+      *len += byte;
+      if (byte != 255) return true;
+    }
+  };
+
+  while (pos < size) {
+    const std::uint8_t token = static_cast<std::uint8_t>(input[pos++]);
+    std::size_t literal_len = token >> 4;
+    if (literal_len == 15 && !read_extended(15, &literal_len)) {
+      return make_error(ErrorCode::kInvalidArgument, "truncated literal length");
+    }
+    if (literal_len > size - pos) {
+      return make_error(ErrorCode::kInvalidArgument, "literal run past end of input");
+    }
+    if (literal_len > expected_size - out.size()) {
+      return make_error(ErrorCode::kInvalidArgument, "literal run exceeds declared size");
+    }
+    out.append(input.data() + pos, literal_len);
+    pos += literal_len;
+    if (pos == size) break;  // final sequence: literals only
+
+    if (size - pos < 2) {
+      return make_error(ErrorCode::kInvalidArgument, "truncated match offset");
+    }
+    const std::size_t offset = static_cast<std::uint8_t>(input[pos]) |
+                               (static_cast<std::size_t>(
+                                    static_cast<std::uint8_t>(input[pos + 1]))
+                                << 8);
+    pos += 2;
+    std::size_t match_len = (token & 0x0f) + kMinMatch;
+    if ((token & 0x0f) == 15 && !read_extended(15 + kMinMatch, &match_len)) {
+      return make_error(ErrorCode::kInvalidArgument, "truncated match length");
+    }
+    if (offset == 0 || offset > out.size()) {
+      return make_error(ErrorCode::kInvalidArgument, "match offset outside produced output");
+    }
+    if (match_len > expected_size - out.size()) {
+      return make_error(ErrorCode::kInvalidArgument, "match exceeds declared size");
+    }
+    // Byte-by-byte on purpose: overlapping matches (offset < match_len)
+    // replicate the just-written bytes, the classic LZ run encoding.
+    std::size_t src = out.size() - offset;
+    for (std::size_t i = 0; i < match_len; ++i) {
+      out.push_back(out[src + i]);
+    }
+  }
+  if (out.size() != expected_size) {
+    return make_error(ErrorCode::kInvalidArgument, "decompressed size mismatch");
+  }
+  return out;
+}
+
+}  // namespace tdp::compress

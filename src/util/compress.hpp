@@ -1,0 +1,52 @@
+// compress.hpp - self-contained block compression for the journal and span
+// export (PR 6). The container bakes in no compression library, so this is
+// a small LZ77 byte codec of the LZ4 family: greedy hash-chain matcher,
+// token = (literal-run nibble | match-length nibble), 2-byte little-endian
+// match offsets. It is not LZ4-compatible on the wire - it is ours, which
+// keeps the decoder auditable and the fuzz tier honest - but it has the
+// same shape: decompression is a straight memcpy loop, no entropy coder,
+// no allocation beyond the output buffer.
+//
+// Also hosts the CRC-32 (ISO-HDLC polynomial, the zlib one) used by the
+// block format to validate payloads before trusting a sync marker.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.hpp"
+
+namespace tdp::compress {
+
+/// Codec byte stored in every block header. Values are wire format:
+/// renumbering breaks journals on disk.
+enum class Codec : std::uint8_t {
+  kStore = 0,  ///< payload stored verbatim
+  kLz = 1,     ///< LZ77 token stream (this file)
+};
+
+/// CRC-32 (reflected, poly 0xEDB88320) of `data`, seeded with `seed` so
+/// checksums can be chained. Matches zlib's crc32() for interoperability
+/// of any future external tooling.
+std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0);
+
+/// Compresses `input` into the LZ token stream. Always succeeds; the worst
+/// case (incompressible input) expands by ~1/255 plus a few bytes, which is
+/// why callers compare sizes and fall back to Codec::kStore.
+std::string lz_compress(std::string_view input);
+
+/// Decompresses a token stream produced by lz_compress. `expected_size` is
+/// the decoded length recorded in the block header: the decoder allocates
+/// exactly that much and fails (kInvalidArgument) on any
+/// token that would write outside it, reference data before the start, or
+/// leave the output short - corrupted headers must never turn into
+/// unbounded allocation or an overrun.
+Result<std::string> lz_decompress(std::string_view input, std::size_t expected_size);
+
+/// Upper bound a caller may impose on expected_size before calling
+/// lz_decompress: a corrupt header claiming a multi-GB block is rejected
+/// outright instead of allocated.
+inline constexpr std::size_t kMaxBlockRawSize = 64u * 1024u * 1024u;
+
+}  // namespace tdp::compress

@@ -4,7 +4,11 @@
 #include <bit>
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <sstream>
+
+#include "util/blockio.hpp"
 
 namespace tdp::telemetry {
 
@@ -293,6 +297,134 @@ Status Tracer::dump_chrome_trace(const std::string& path) const {
                       "dump_chrome_trace: write failed for " + path);
   }
   return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
+// Span block export (util/blockio container)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// One span inside a block payload, little-endian:
+//   u32 name_len | name | u32 role_len | role |
+//   u64 trace | u64 span | u64 parent | i64 start_us | i64 end_us
+// Length-delimited like the wire's v2 fields, so a reader that trusts the
+// block CRC can slice records without a terminator scan.
+
+void put_u32(std::string* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void put_u64(std::string* out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+bool get_u32(std::string_view data, std::size_t* pos, std::uint32_t* v) {
+  if (data.size() - *pos < 4) return false;
+  std::uint32_t out = 0;
+  for (int i = 0; i < 4; ++i) {
+    out |= static_cast<std::uint32_t>(static_cast<std::uint8_t>(data[*pos + i])) << (8 * i);
+  }
+  *pos += 4;
+  *v = out;
+  return true;
+}
+
+bool get_u64(std::string_view data, std::size_t* pos, std::uint64_t* v) {
+  if (data.size() - *pos < 8) return false;
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data[*pos + i])) << (8 * i);
+  }
+  *pos += 8;
+  *v = out;
+  return true;
+}
+
+bool get_string(std::string_view data, std::size_t* pos, std::string* out) {
+  std::uint32_t len = 0;
+  if (!get_u32(data, pos, &len)) return false;
+  if (data.size() - *pos < len) return false;
+  out->assign(data.data() + *pos, len);
+  *pos += len;
+  return true;
+}
+
+}  // namespace
+
+Status Tracer::dump_span_blocks(const std::string& path) const {
+  const std::vector<SpanRecord> spans = finished();
+  std::string payload;
+  for (const SpanRecord& s : spans) {
+    put_u32(&payload, static_cast<std::uint32_t>(s.name.size()));
+    payload += s.name;
+    put_u32(&payload, static_cast<std::uint32_t>(s.role.size()));
+    payload += s.role;
+    put_u64(&payload, s.trace_id);
+    put_u64(&payload, s.span_id);
+    put_u64(&payload, s.parent_id);
+    put_u64(&payload, static_cast<std::uint64_t>(s.start_us));
+    put_u64(&payload, static_cast<std::uint64_t>(s.end_us));
+  }
+  if (payload.empty()) return Status::ok();
+  std::ofstream f(path, std::ios::binary | std::ios::app);
+  if (!f) {
+    return make_error(ErrorCode::kInternal,
+                      "dump_span_blocks: cannot open " + path);
+  }
+  f << blockio::encode_block(payload);
+  f.close();
+  if (!f) {
+    return make_error(ErrorCode::kInternal,
+                      "dump_span_blocks: write failed for " + path);
+  }
+  return Status::ok();
+}
+
+Result<std::vector<SpanRecord>> load_span_blocks(const std::string& path,
+                                                 std::uint64_t offset,
+                                                 blockio::ScanStats* stats) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) {
+    return make_error(ErrorCode::kNotFound,
+                      "load_span_blocks: cannot open " + path);
+  }
+  std::ostringstream contents;
+  contents << f.rdbuf();
+  const std::string stream = contents.str();
+  if (offset > stream.size()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "load_span_blocks: offset past end of " + path);
+  }
+  std::vector<SpanRecord> spans;
+  blockio::BlockReader reader(stream, offset);
+  while (true) {
+    auto block = reader.next();
+    if (!block.is_ok()) break;  // end of stream (torn tail lands in stats)
+    const std::string_view payload = block->payload;
+    std::size_t pos = 0;
+    while (pos < payload.size()) {
+      SpanRecord s;
+      std::uint64_t start = 0;
+      std::uint64_t end = 0;
+      if (!get_string(payload, &pos, &s.name) ||
+          !get_string(payload, &pos, &s.role) ||
+          !get_u64(payload, &pos, &s.trace_id) ||
+          !get_u64(payload, &pos, &s.span_id) ||
+          !get_u64(payload, &pos, &s.parent_id) ||
+          !get_u64(payload, &pos, &start) || !get_u64(payload, &pos, &end)) {
+        // The block CRC vouched for these bytes, so a short record means a
+        // writer bug, not disk damage; surface it instead of resyncing.
+        return make_error(ErrorCode::kInvalidArgument,
+                          "load_span_blocks: malformed span record in " + path);
+      }
+      s.start_us = static_cast<Micros>(start);
+      s.end_us = static_cast<Micros>(end);
+      spans.push_back(std::move(s));
+    }
+  }
+  if (stats != nullptr) *stats = reader.stats();
+  return spans;
 }
 
 // ---------------------------------------------------------------------------

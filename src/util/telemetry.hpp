@@ -28,6 +28,10 @@
 #include "util/status.hpp"
 #include "util/sync.hpp"
 
+namespace tdp::blockio {
+struct ScanStats;
+}  // namespace tdp::blockio
+
 namespace tdp::telemetry {
 
 // ---------------------------------------------------------------------------
@@ -204,6 +208,14 @@ class Tracer {
   [[nodiscard]] std::string chrome_trace_json() const;
   Status dump_chrome_trace(const std::string& path) const;
 
+  /// Appends every finished span to `path` as one compressed block
+  /// (util/blockio). Each call emits one self-delimiting, CRC-guarded
+  /// block, so a collector can tail the file across daemon restarts and
+  /// resume from any block boundary (seek-to-sync) instead of re-reading
+  /// from byte zero; a torn tail from a crash mid-dump costs only that
+  /// final block.
+  Status dump_span_blocks(const std::string& path) const;
+
   // Internal - used by Span.
   std::uint64_t next_trace_id() noexcept {
     return next_trace_.fetch_add(1, std::memory_order_relaxed);
@@ -227,6 +239,15 @@ class Tracer {
   std::atomic<std::uint64_t> next_trace_{1};
   std::atomic<std::uint64_t> next_span_{1};
 };
+
+/// Reads spans back from a block file written by dump_span_blocks,
+/// starting at byte `offset` (0 = whole file; a collector passes the
+/// position it checkpointed after its last read). Damaged regions are
+/// skipped by marker resync; `stats`, when non-null, reports blocks,
+/// resyncs, and a torn tail so the collector can account for loss.
+Result<std::vector<SpanRecord>> load_span_blocks(
+    const std::string& path, std::uint64_t offset = 0,
+    blockio::ScanStats* stats = nullptr);
 
 /// The context a new Span would inherit on this thread: the innermost
 /// active Span if any, else the ambient (remote) context.

@@ -1,0 +1,232 @@
+// Mixed-version interop tests (PR 6, DESIGN.md §13): a v1-pinned endpoint
+// and a v2-capable endpoint must interoperate in either direction - the
+// rolling-upgrade scenario where old and new daemons share a pool - and a
+// relay (the Section 2.4 proxy) must pass both formats through untouched.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "attrspace/attr_client.hpp"
+#include "attrspace/attr_server.hpp"
+#include "net/proxy.hpp"
+#include "net/tcp.hpp"
+#include "net/wire.hpp"
+
+namespace tdp::net {
+namespace {
+
+/// Serves one connection: adopts the client's _wv advertisement, then
+/// echoes every request as kPong, so the reply traffic exercises whatever
+/// version the handshake negotiated.
+class VersionedEcho {
+ public:
+  explicit VersionedEcho(Transport& transport, bool pin_v1 = false) {
+    listener_ = transport.listen(":0").value();
+    thread_ = std::thread([this, pin_v1] {
+      auto accepted = listener_->accept(5000);
+      if (!accepted.is_ok()) return;
+      endpoint_ = std::move(accepted).value();
+      if (pin_v1) endpoint_->pin_wire_version(WireVersion::kV1);
+      while (true) {
+        auto msg = endpoint_->receive(2000);
+        if (!msg.is_ok()) {
+          last_error_ = msg.status();
+          break;
+        }
+        adopt_advertised_wire_version(*endpoint_, msg.value());
+        Message reply(MsgType::kPong);
+        reply.set_seq(msg->seq());
+        reply.set("echo", msg->get("payload"));
+        advertise_wire_version(*endpoint_, reply);
+        if (!endpoint_->send(reply).is_ok()) break;
+      }
+    });
+  }
+  ~VersionedEcho() {
+    listener_->close();
+    if (thread_.joinable()) thread_.join();
+    if (endpoint_) endpoint_->close();
+  }
+  [[nodiscard]] std::string address() const { return listener_->address(); }
+  [[nodiscard]] WireVersion server_version() const {
+    return endpoint_ ? endpoint_->wire_version() : WireVersion::kV1;
+  }
+  [[nodiscard]] const Status& last_error() const { return last_error_; }
+
+  std::unique_ptr<Listener> listener_;
+  std::unique_ptr<Endpoint> endpoint_;
+  std::thread thread_;
+  Status last_error_ = Status::ok();
+};
+
+Message ping(std::uint64_t seq) {
+  Message msg(MsgType::kPing);
+  msg.set_seq(seq);
+  msg.set("payload", "interop");
+  return msg;
+}
+
+TEST(Interop, BothSidesUpgradeToV2) {
+  TcpTransport transport;
+  VersionedEcho echo(transport);
+  auto client = transport.connect(echo.address()).value();
+
+  EXPECT_EQ(client->wire_version(), WireVersion::kV1);  // everyone starts v1
+  Message first = ping(1);
+  advertise_wire_version(*client, first);
+  ASSERT_TRUE(client->send(first).is_ok());
+  auto reply = client->receive(5000);
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  adopt_advertised_wire_version(*client, reply.value());
+
+  // The server adopted the client's advert; the client saw either the
+  // server's v2 frame or its advert. Both directions are now v2.
+  EXPECT_EQ(client->wire_version(), WireVersion::kV2);
+  ASSERT_TRUE(client->send(ping(2)).is_ok());  // encoded as v2 now
+  auto second = client->receive(5000);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second->get("echo"), "interop");
+  EXPECT_EQ(echo.server_version(), WireVersion::kV2);
+}
+
+TEST(Interop, PinnedV1ClientKeepsSessionV1) {
+  TcpTransport transport;
+  VersionedEcho echo(transport);
+  auto client = transport.connect(echo.address()).value();
+  client->pin_wire_version(WireVersion::kV1);
+
+  Message first = ping(1);
+  advertise_wire_version(*client, first);     // no-op: pinned
+  EXPECT_FALSE(first.has(kWireVersionField));  // a pinned client never claims v2
+  ASSERT_TRUE(client->send(first).is_ok());
+  auto reply = client->receive(5000);
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  adopt_advertised_wire_version(*client, reply.value());  // ignored: pinned
+
+  EXPECT_EQ(client->wire_version(), WireVersion::kV1);
+  // The v2-capable server sees no proof the client decodes v2, so it must
+  // keep replying v1: that is the whole rolling-upgrade contract.
+  ASSERT_TRUE(client->send(ping(2)).is_ok());
+  ASSERT_TRUE(client->receive(5000).is_ok());
+  EXPECT_EQ(echo.server_version(), WireVersion::kV1);
+}
+
+TEST(Interop, PinnedV1ServerKeepsSessionV1) {
+  TcpTransport transport;
+  VersionedEcho echo(transport, /*pin_v1=*/true);
+  auto client = transport.connect(echo.address()).value();
+
+  Message first = ping(1);
+  advertise_wire_version(*client, first);  // client claims v2...
+  ASSERT_TRUE(client->send(first).is_ok());
+  auto reply = client->receive(5000);
+  ASSERT_TRUE(reply.is_ok());
+  adopt_advertised_wire_version(*client, reply.value());
+  // ...but the pinned server never echoes an advert and never sends v2, so
+  // the client has no proof and keeps sending v1 the old server can read.
+  EXPECT_EQ(client->wire_version(), WireVersion::kV1);
+  ASSERT_TRUE(client->send(ping(2)).is_ok());
+  auto second = client->receive(5000);
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second->get("echo"), "interop");
+  EXPECT_EQ(echo.server_version(), WireVersion::kV1);
+}
+
+TEST(Interop, PinnedV1EndpointRejectsInboundV2Frame) {
+  TcpTransport transport;
+  auto listener = transport.listen(":0").value();
+  auto dial = std::thread([&] {
+    auto client = transport.connect(listener->address()).value();
+    client->note_peer_wire_version(WireVersion::kV2);
+    Message msg = ping(1);
+    (void)client->send(msg);  // goes out as a v2 frame
+    (void)client->receive(1000);
+  });
+  auto server = listener->accept(5000).value();
+  server->pin_wire_version(WireVersion::kV1);
+  auto received = server->receive(5000);
+  // A genuine v1 build cannot parse a v2 frame; the pinned endpoint
+  // emulates that as a hard protocol error instead of silently decoding.
+  ASSERT_FALSE(received.is_ok());
+  EXPECT_EQ(received.status().code(), ErrorCode::kInvalidArgument);
+  dial.join();
+}
+
+TEST(Interop, UnknownV2FieldsSkippedAcrossTcp) {
+  TcpTransport transport;
+  auto listener = transport.listen(":0").value();
+  auto dial = std::thread([&] {
+    auto client = transport.connect(listener->address()).value();
+    // A future sender: known fields plus a field id this build has never
+    // heard of. send_frame writes the crafted bytes verbatim.
+    Message msg(MsgType::kAttrPut);
+    msg.set_seq(3);
+    msg.set("attr", "pid");
+    auto frame = msg.encode(WireVersion::kV2);
+    // Append one unknown-tag field: tag 0x6E, body_len 4, 4 bytes.
+    const std::uint8_t extra[] = {0x6E, 0x04, 0xDE, 0xAD, 0xBE, 0xEF};
+    frame.insert(frame.end(), std::begin(extra), std::end(extra));
+    // Patch payload length and nfields (header layout: prefix, marker,
+    // version, flags, u16 type, varint seq=3, varint nfields).
+    const auto len = static_cast<std::uint32_t>(frame.size() - 4);
+    for (int i = 0; i < 4; ++i) {
+      frame[i] = static_cast<std::uint8_t>((len >> (8 * i)) & 0xFF);
+    }
+    frame[4 + 5 + 1] += 1;
+    (void)client->send_frame(frame.data(), frame.size());
+    (void)client->receive(1000);
+  });
+  auto server = listener->accept(5000).value();
+  auto received = server->receive(5000);
+  ASSERT_TRUE(received.is_ok()) << received.status().to_string();
+  EXPECT_EQ(received->get("attr"), "pid");
+  EXPECT_EQ(received->fields().size(), 1u);  // the future field was skipped
+  dial.join();
+}
+
+TEST(Interop, MixedVersionsThroughProxyEndToEnd) {
+  // Full stack: attr server upstream, proxy in the middle, one v2-capable
+  // client and one pinned-v1 client sharing the space. The proxy relays
+  // raw frames, so it must carry both formats in the same process.
+  auto transport = std::make_shared<TcpTransport>();
+  attr::AttrServer server("CASS", transport);
+  auto server_addr = server.start(":0");
+  ASSERT_TRUE(server_addr.is_ok());
+
+  ProxyServer proxy(transport);
+  proxy.register_service("cass", server_addr.value());
+  auto proxy_addr = proxy.start(":0");
+  ASSERT_TRUE(proxy_addr.is_ok());
+
+  auto v2_ep = proxy_connect(*transport, proxy_addr.value(), "cass");
+  ASSERT_TRUE(v2_ep.is_ok());
+  auto v2_client = attr::AttrClient::adopt(std::move(v2_ep).value(), "job-1");
+  ASSERT_TRUE(v2_client.is_ok());
+
+  auto v1_ep = proxy_connect(*transport, proxy_addr.value(), "cass");
+  ASSERT_TRUE(v1_ep.is_ok());
+  v1_ep.value()->pin_wire_version(WireVersion::kV1);
+  auto v1_client = attr::AttrClient::adopt(std::move(v1_ep).value(), "job-1");
+  ASSERT_TRUE(v1_client.is_ok());
+
+  // v2 writer, v1 reader...
+  ASSERT_TRUE(v2_client.value()->put("pid", "4242").is_ok());
+  auto from_v1 = v1_client.value()->get("pid", 5000);
+  ASSERT_TRUE(from_v1.is_ok()) << from_v1.status().to_string();
+  EXPECT_EQ(from_v1.value(), "4242");
+  // ...and v1 writer, v2 reader.
+  ASSERT_TRUE(v1_client.value()->put("hostname", "node-9").is_ok());
+  auto from_v2 = v2_client.value()->get("hostname", 5000);
+  ASSERT_TRUE(from_v2.is_ok());
+  EXPECT_EQ(from_v2.value(), "node-9");
+
+  v1_client.value().reset();
+  v2_client.value().reset();
+  proxy.stop();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace tdp::net

@@ -1,0 +1,272 @@
+// Wire format v2 tests (PR 6): compact-layout round trips, field-id
+// interning, the skip-unknown-fields rule, version detection, strict
+// header validation, and fuzz coverage mirroring test_fuzz_decode.cpp for
+// the v2 decoder (truncated frames, corrupted field-id tables, random
+// mutations).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "net/message.hpp"
+#include "net/wire.hpp"
+#include "util/rng.hpp"
+
+namespace tdp::net {
+namespace {
+
+Message sample_message() {
+  Message msg(MsgType::kAttrPut);
+  msg.set_seq(0x1234567890ABCDEFULL);
+  msg.set("attr", "pid");          // interned protocol field
+  msg.set("value", "1234567890");  // interned protocol field
+  msg.set("ctx", "job-1");         // interned protocol field
+  msg.set("application-key", "survives as a named field");
+  return msg;
+}
+
+void put_varint(std::vector<std::uint8_t>* out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  out->push_back(static_cast<std::uint8_t>(v));
+}
+
+// Hand-assembles a v2 frame from raw parts (length prefix included), so
+// tests can express frames no conforming encoder would produce.
+std::vector<std::uint8_t> frame_v2(MsgType type, std::uint64_t seq,
+                                   const std::vector<std::vector<std::uint8_t>>& fields) {
+  std::vector<std::uint8_t> payload;
+  payload.push_back(kV2Marker);
+  payload.push_back(2);  // version
+  payload.push_back(0);  // flags
+  payload.push_back(static_cast<std::uint8_t>(static_cast<std::uint16_t>(type) & 0xFF));
+  payload.push_back(static_cast<std::uint8_t>(static_cast<std::uint16_t>(type) >> 8));
+  put_varint(&payload, seq);
+  put_varint(&payload, fields.size());
+  for (const auto& field : fields) {
+    payload.insert(payload.end(), field.begin(), field.end());
+  }
+  std::vector<std::uint8_t> frame;
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<std::uint8_t>((len >> (8 * i)) & 0xFF));
+  }
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+std::vector<std::uint8_t> named_field(std::string_view key, std::string_view value) {
+  std::vector<std::uint8_t> body;
+  put_varint(&body, key.size());
+  body.insert(body.end(), key.begin(), key.end());
+  body.insert(body.end(), value.begin(), value.end());
+  std::vector<std::uint8_t> field{0x02};
+  put_varint(&field, body.size());
+  field.insert(field.end(), body.begin(), body.end());
+  return field;
+}
+
+std::vector<std::uint8_t> interned_field(std::uint16_t id, std::string_view value) {
+  std::vector<std::uint8_t> body;
+  body.push_back(static_cast<std::uint8_t>(id & 0xFF));
+  body.push_back(static_cast<std::uint8_t>(id >> 8));
+  body.insert(body.end(), value.begin(), value.end());
+  std::vector<std::uint8_t> field{0x01};
+  put_varint(&field, body.size());
+  field.insert(field.end(), body.begin(), body.end());
+  return field;
+}
+
+TEST(WireV2, RoundTripsThroughDecodeAndView) {
+  const Message msg = sample_message();
+  const auto bytes = msg.encode(WireVersion::kV2);
+  EXPECT_EQ(bytes.size(), msg.encoded_size(WireVersion::kV2));
+  EXPECT_EQ(Message::detect_version(bytes.data(), bytes.size()), WireVersion::kV2);
+
+  auto decoded = Message::decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value(), msg);
+
+  MessageView view;
+  ASSERT_TRUE(view.parse(bytes.data(), bytes.size()).is_ok());
+  EXPECT_EQ(view.wire_version(), WireVersion::kV2);
+  EXPECT_EQ(view.type(), MsgType::kAttrPut);
+  EXPECT_EQ(view.seq(), msg.seq());
+  EXPECT_EQ(view.get("attr"), "pid");
+  EXPECT_EQ(view.get("application-key"), "survives as a named field");
+}
+
+TEST(WireV2, EncodeIntoReusesBufferAndMatchesEncode) {
+  const Message msg = sample_message();
+  std::vector<std::uint8_t> warm;
+  msg.encode_into(warm, WireVersion::kV2);
+  EXPECT_EQ(warm, msg.encode(WireVersion::kV2));
+  // Second fill must not grow the buffer: steady-state senders stay
+  // allocation-free in v2 exactly as they did in v1.
+  const std::uint8_t* data = warm.data();
+  const std::size_t cap = warm.capacity();
+  msg.encode_into(warm, WireVersion::kV2);
+  EXPECT_EQ(warm.data(), data);
+  EXPECT_EQ(warm.capacity(), cap);
+}
+
+TEST(WireV2, InterningShrinksWellKnownFields) {
+  std::uint16_t id = 0;
+  ASSERT_TRUE(wire_field_id("attr", &id));
+  EXPECT_EQ(wire_field_name(id), "attr");
+  ASSERT_TRUE(wire_field_id(kTraceField, &id));
+  EXPECT_TRUE(wire_field_name(wire_field_registry_size()).empty());
+
+  Message msg(MsgType::kAttrPut);
+  msg.set_seq(7);
+  msg.set("attr", "x").set("value", "y").set("ctx", "z");
+  // Three interned keys: v2 spends 2 bytes per key where v1 spends
+  // 2 + strlen; plus varint seq vs fixed u64.
+  EXPECT_LT(msg.encoded_size(WireVersion::kV2), msg.encoded_size(WireVersion::kV1));
+}
+
+TEST(WireV2, UnknownKeysRideAsNamedFields) {
+  Message msg(MsgType::kAttrPut);
+  msg.set("totally-custom-key", "v");
+  const auto bytes = msg.encode(WireVersion::kV2);
+  auto decoded = Message::decode(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded->get("totally-custom-key"), "v");
+}
+
+TEST(WireV2, SkipsUnknownTagsAndUnregisteredIds) {
+  const auto future_id =
+      static_cast<std::uint16_t>(wire_field_registry_size() + 100);
+  std::vector<std::uint8_t> unknown_tag{0x5E};
+  put_varint(&unknown_tag, 3);
+  unknown_tag.insert(unknown_tag.end(), {1, 2, 3});
+
+  const auto frame = frame_v2(
+      MsgType::kAttrPut, 9,
+      {named_field("keep", "me"), interned_field(future_id, "from the future"),
+       unknown_tag, named_field("also", "kept")});
+  auto decoded = Message::decode(frame.data(), frame.size());
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded->fields().size(), 2u);
+  EXPECT_EQ(decoded->get("keep"), "me");
+  EXPECT_EQ(decoded->get("also"), "kept");
+
+  MessageView view;
+  ASSERT_TRUE(view.parse(frame.data(), frame.size()).is_ok());
+  EXPECT_EQ(view.field_count(), 2u);
+}
+
+TEST(WireV2, RejectsBadHeaders) {
+  const Message msg = sample_message();
+  auto bytes = msg.encode(WireVersion::kV2);
+
+  auto bad_version = bytes;
+  bad_version[Message::kLenPrefixSize + 1] = 3;  // future wire version
+  EXPECT_FALSE(Message::decode(bad_version.data(), bad_version.size()).is_ok());
+
+  auto bad_flags = bytes;
+  bad_flags[Message::kLenPrefixSize + 2] = 0x80;  // undefined flag bit
+  EXPECT_FALSE(Message::decode(bad_flags.data(), bad_flags.size()).is_ok());
+
+  // nfields larger than the remaining payload could ever hold.
+  const auto huge = frame_v2(MsgType::kPing, 1, {});
+  auto inflated = huge;
+  inflated[inflated.size() - 1] = 0x7F;  // nfields = 127, zero field bytes
+  EXPECT_FALSE(Message::decode(inflated.data(), inflated.size()).is_ok());
+}
+
+TEST(WireV2, V1FramesStillDecode) {
+  const Message msg = sample_message();
+  const auto v1 = msg.encode(WireVersion::kV1);
+  EXPECT_EQ(Message::detect_version(v1.data(), v1.size()), WireVersion::kV1);
+  auto decoded = Message::decode(v1.data(), v1.size());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value(), msg);
+}
+
+class WireV2Fuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireV2Fuzz, TruncationsNeverCrashOrPass) {
+  const auto bytes = sample_message().encode(WireVersion::kV2);
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    EXPECT_FALSE(Message::decode(bytes.data(), cut).is_ok());
+  }
+}
+
+TEST_P(WireV2Fuzz, SingleByteMutationsNeverCrash) {
+  Rng rng(GetParam());
+  const auto bytes = sample_message().encode(WireVersion::kV2);
+  for (int round = 0; round < 4000; ++round) {
+    auto mutated = bytes;
+    mutated[rng.next_below(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.next_below(255));
+    auto decoded = Message::decode(mutated.data(), mutated.size());
+    if (decoded.is_ok()) {
+      // Accepted input must reach a fixpoint in both encodings.
+      for (WireVersion v : {WireVersion::kV1, WireVersion::kV2}) {
+        auto reencoded = decoded->encode(v);
+        auto redecoded = Message::decode(reencoded.data(), reencoded.size());
+        ASSERT_TRUE(redecoded.is_ok());
+        EXPECT_EQ(redecoded.value(), decoded.value());
+      }
+    }
+  }
+}
+
+TEST_P(WireV2Fuzz, CorruptedFieldTablesNeverCrash) {
+  Rng rng(GetParam());
+  // Mutate only the field region (tags, lengths, interned ids) so the
+  // header stays valid and the field parser does the rejecting.
+  Message msg(MsgType::kAttrPutBatch);
+  for (int i = 0; i < 8; ++i) {
+    msg.set("k" + std::to_string(i), std::string(1 + rng.next_below(48), 'x'));
+  }
+  const auto bytes = msg.encode(WireVersion::kV2);
+  const std::size_t fields_start = Message::kLenPrefixSize + 5 + 1 + 1;
+  for (int round = 0; round < 4000; ++round) {
+    auto mutated = bytes;
+    const std::size_t span = mutated.size() - fields_start;
+    const std::size_t flips = 1 + rng.next_below(4);
+    for (std::size_t i = 0; i < flips; ++i) {
+      mutated[fields_start + rng.next_below(span)] ^=
+          static_cast<std::uint8_t>(1 + rng.next_below(255));
+    }
+    auto decoded = Message::decode(mutated.data(), mutated.size());
+    if (decoded.is_ok()) {
+      auto reencoded = decoded->encode(WireVersion::kV2);
+      auto redecoded = Message::decode(reencoded.data(), reencoded.size());
+      ASSERT_TRUE(redecoded.is_ok());
+      EXPECT_EQ(redecoded.value(), decoded.value());
+    }
+  }
+}
+
+TEST_P(WireV2Fuzz, MarkedRandomBytesNeverCrash) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 2000; ++round) {
+    const std::size_t size = rng.next_below(256);
+    std::vector<std::uint8_t> payload(size);
+    for (auto& b : payload) b = static_cast<std::uint8_t>(rng.next_below(256));
+    if (!payload.empty()) payload[0] = kV2Marker;  // force the v2 path
+    std::vector<std::uint8_t> frame;
+    const auto len = static_cast<std::uint32_t>(payload.size());
+    for (int i = 0; i < 4; ++i) {
+      frame.push_back(static_cast<std::uint8_t>((len >> (8 * i)) & 0xFF));
+    }
+    frame.insert(frame.end(), payload.begin(), payload.end());
+    auto decoded = Message::decode(frame.data(), frame.size());
+    if (decoded.is_ok()) {
+      auto reencoded = decoded->encode(WireVersion::kV2);
+      auto redecoded = Message::decode(reencoded.data(), reencoded.size());
+      ASSERT_TRUE(redecoded.is_ok());
+      EXPECT_EQ(redecoded.value(), decoded.value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireV2Fuzz, ::testing::Values(1u, 42u, 20030211u));
+
+}  // namespace
+}  // namespace tdp::net

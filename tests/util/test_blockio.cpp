@@ -1,0 +1,216 @@
+// Block container tests (PR 6): encode/decode round-trips with both
+// codecs, resynchronization after corruption, torn tails, and sync-marker
+// collisions inside payloads and corrupt regions. The journal and the span
+// export both ride this format, so its recovery behaviour is load-bearing.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/blockio.hpp"
+#include "util/compress.hpp"
+#include "util/rng.hpp"
+
+namespace tdp::blockio {
+namespace {
+
+std::string compressible_payload(std::size_t size) {
+  std::string payload;
+  payload.reserve(size);
+  while (payload.size() < size) payload += "job\t42\trunning\tnode-17\n";
+  payload.resize(size);
+  return payload;
+}
+
+std::string random_payload(std::size_t size, std::uint64_t seed) {
+  Rng rng(seed);
+  std::string payload(size, '\0');
+  for (char& c : payload) c = static_cast<char>(rng.next_below(256));
+  return payload;
+}
+
+TEST(Compress, RoundTripsCompressibleAndRandom) {
+  for (const std::string& input :
+       {std::string(), compressible_payload(4096), random_payload(4096, 7)}) {
+    const std::string packed = compress::lz_compress(input);
+    auto unpacked = compress::lz_decompress(packed, input.size());
+    ASSERT_TRUE(unpacked.is_ok()) << unpacked.status().to_string();
+    EXPECT_EQ(unpacked.value(), input);
+  }
+  // Repetitive input must actually shrink, or the journal's blocks gain
+  // nothing from the codec.
+  const std::string repetitive = compressible_payload(4096);
+  EXPECT_LT(compress::lz_compress(repetitive).size(), repetitive.size() / 2);
+}
+
+TEST(Compress, DecompressRejectsWrongExpectedSize) {
+  const std::string input = compressible_payload(1024);
+  const std::string packed = compress::lz_compress(input);
+  EXPECT_FALSE(compress::lz_decompress(packed, input.size() - 1).is_ok());
+  EXPECT_FALSE(compress::lz_decompress(packed, input.size() + 1).is_ok());
+}
+
+TEST(BlockIo, RoundTripsSmallAndLargeBlocks) {
+  const std::string small = "one tiny record";  // below kCompressThreshold
+  const std::string large = compressible_payload(8192);
+  std::string stream = encode_block(small) + encode_block(large);
+
+  BlockReader reader(stream);
+  auto first = reader.next();
+  ASSERT_TRUE(first.is_ok()) << first.status().to_string();
+  EXPECT_EQ(first->payload, small);
+  EXPECT_EQ(first->offset, 0u);
+  auto second = reader.next();
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second->payload, large);
+  EXPECT_EQ(second->offset, first->next_offset);
+  EXPECT_FALSE(reader.next().is_ok());
+  EXPECT_EQ(reader.stats().blocks, 2u);
+  EXPECT_EQ(reader.stats().resyncs, 0u);
+  EXPECT_FALSE(reader.stats().torn_tail);
+}
+
+TEST(BlockIo, CompressedBlockIsSmallerThanPayload) {
+  const std::string payload = compressible_payload(8192);
+  const std::string block = encode_block(payload);
+  EXPECT_LT(block.size(), payload.size());
+}
+
+TEST(BlockIo, SeeksToBlockBoundary) {
+  const std::string a = encode_block("first");
+  const std::string b = encode_block("second");
+  const std::string stream = a + b;
+  // A reader positioned at the second block's sync point never touches the
+  // first - this is the journal's replay_from() contract.
+  BlockReader reader(stream, a.size());
+  auto block = reader.next();
+  ASSERT_TRUE(block.is_ok());
+  EXPECT_EQ(block->payload, "second");
+  EXPECT_FALSE(reader.next().is_ok());
+  EXPECT_EQ(reader.stats().blocks, 1u);
+}
+
+TEST(BlockIo, ResyncsPastMidStreamCorruption) {
+  std::string stream = encode_block("alpha") + encode_block("beta") +
+                       encode_block("gamma");
+  // Scribble over a byte inside the second block's payload.
+  const std::size_t second_start = encode_block("alpha").size();
+  stream[second_start + kHeaderSize] ^= 0x5A;
+
+  BlockReader reader(stream);
+  auto first = reader.next();
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(first->payload, "alpha");
+  auto skipped_to = reader.next();
+  ASSERT_TRUE(skipped_to.is_ok());
+  EXPECT_EQ(skipped_to->payload, "gamma");  // beta lost, gamma intact
+  EXPECT_EQ(reader.stats().resyncs, 1u);
+  EXPECT_GT(reader.stats().bytes_skipped, 0u);
+}
+
+TEST(BlockIo, BadHeaderFieldsAreSkippedViaResync) {
+  std::string good = encode_block("survivor");
+  // A block claiming a future container version must not be parsed.
+  std::string future = encode_block("from the future");
+  future[4] = static_cast<char>(kBlockVersion + 1);
+  // A block with a corrupted length field must fail validation, not turn
+  // into a giant allocation.
+  std::string huge_len = encode_block("short");
+  huge_len[8] = '\xFF';
+  huge_len[9] = '\xFF';
+  huge_len[10] = '\xFF';
+  huge_len[11] = '\x7F';
+
+  for (const std::string& bad : {future, huge_len}) {
+    const std::string stream = bad + good;
+    BlockReader reader(stream);
+    auto block = reader.next();
+    ASSERT_TRUE(block.is_ok());
+    EXPECT_EQ(block->payload, "survivor");
+    EXPECT_EQ(reader.stats().resyncs, 1u);
+  }
+}
+
+TEST(BlockIo, TornTailIsDropped) {
+  const std::string full = encode_block("durable");
+  const std::string torn = encode_block("crashed mid-append");
+  for (std::size_t keep = 1; keep < torn.size(); keep += 7) {
+    const std::string stream = full + torn.substr(0, keep);
+    BlockReader reader(stream);
+    auto block = reader.next();
+    ASSERT_TRUE(block.is_ok());
+    EXPECT_EQ(block->payload, "durable");
+    EXPECT_FALSE(reader.next().is_ok());
+    EXPECT_EQ(reader.stats().blocks, 1u);
+    EXPECT_TRUE(reader.stats().torn_tail) << "keep=" << keep;
+  }
+}
+
+TEST(BlockIo, MarkerCollisionInsidePayloadDoesNotConfuseReader) {
+  // A payload that embeds the sync magic (legal and expected: block
+  // payloads are opaque bytes). An intact stream must parse exactly as
+  // written, no phantom blocks.
+  std::string tricky = "....TDPJ....";
+  tricky += std::string(reinterpret_cast<const char*>("\x54\x44\x50\x4A"), 4);
+  tricky += compressible_payload(256);
+  const std::string stream = encode_block(tricky) + encode_block("after");
+  BlockReader reader(stream);
+  auto first = reader.next();
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(first->payload, tricky);
+  auto second = reader.next();
+  ASSERT_TRUE(second.is_ok());
+  EXPECT_EQ(second->payload, "after");
+  EXPECT_EQ(reader.stats().resyncs, 0u);
+}
+
+TEST(BlockIo, ResyncIgnoresFakeMarkerInCorruptRegion) {
+  // Corrupt region contains the magic bytes followed by garbage: the
+  // resync scan must reject the fake marker (header/CRC validation) and
+  // land on the genuine next block.
+  std::string fake(64, '\0');
+  fake.replace(8, 4, "TDPJ");
+  const std::string real = encode_block("the real one");
+  const std::string stream = fake + real;
+  BlockReader reader(stream);
+  auto block = reader.next();
+  ASSERT_TRUE(block.is_ok());
+  EXPECT_EQ(block->payload, "the real one");
+  EXPECT_EQ(reader.stats().resyncs, 1u);
+  EXPECT_EQ(reader.stats().bytes_skipped, fake.size());
+}
+
+TEST(BlockIoFuzz, RandomMutationsNeverCrashOrLoop) {
+  Rng rng(20030211);
+  const std::string stream = encode_block(compressible_payload(512)) +
+                             encode_block("middle") +
+                             encode_block(random_payload(300, 3));
+  for (int round = 0; round < 500; ++round) {
+    std::string mutated = stream;
+    const std::size_t flips = 1 + rng.next_below(8);
+    for (std::size_t i = 0; i < flips; ++i) {
+      mutated[rng.next_below(mutated.size())] ^=
+          static_cast<char>(1 + rng.next_below(255));
+    }
+    BlockReader reader(mutated);
+    std::size_t blocks = 0;
+    while (reader.next().is_ok()) {
+      ++blocks;
+      ASSERT_LE(blocks, 3u);  // mutation can only lose blocks, never mint them
+    }
+  }
+}
+
+TEST(BlockIoFuzz, RandomByteSoupNeverCrashes) {
+  Rng rng(42);
+  for (int round = 0; round < 200; ++round) {
+    const std::string soup = random_payload(rng.next_below(512), rng.next_u64());
+    BlockReader reader(soup);
+    int guard = 0;
+    while (reader.next().is_ok()) {
+      ASSERT_LT(++guard, 1000);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tdp::blockio
