@@ -1,0 +1,198 @@
+// bench_scale (PR 7) - the tentpole's numbers: what hierarchical CASS
+// aggregation buys at 100 / 1k / 10k virtual hosts.
+//
+//   * root write volume: liveness + telemetry writes absorbed by the root
+//     attrspace per virtual second, flat vs tree — the O(hosts) vs
+//     O(fanout) claim as a measured curve;
+//   * crossover: the smallest pool at which the tree beats flat on root
+//     writes (below it the extra summary beats cost more than they save);
+//   * submit->attach latency: the Figure-6 attach order multicast over the
+//     same topology (mean / p99 / max), flat vs tree at each size;
+//   * engine throughput: simulated events per wall second at 10k hosts
+//     (reported, NOT gated: wall time is machine-dependent).
+//
+// Every gated number is computed on the sim engine's virtual clock from a
+// fixed seed, so re-running the bench reproduces them bit-for-bit
+// (tests/sim/test_scale_determinism.cpp is the proof). The JSON emitter
+// writes BENCH_scale.json at the repo root; the committed copy is the
+// baseline `scripts/ci.sh bench-scale` gates against (>10% regression on
+// any gated metric fails).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "mrnet/virtual_pool.hpp"
+
+namespace {
+
+using namespace tdp;
+using mrnet::VirtualCassPool;
+using mrnet::VirtualPoolConfig;
+
+constexpr Micros kRunMicros = 10'000'000;  // 10 virtual seconds
+constexpr std::uint64_t kSeed = 42;
+
+VirtualPoolConfig pool_config(int hosts, bool hierarchical) {
+  VirtualPoolConfig config;
+  config.hosts = hosts;
+  config.fanout = 8;
+  config.hierarchical = hierarchical;
+  config.seed = kSeed;
+  config.telemetry_interval_micros = 1'000'000;
+  return config;
+}
+
+// --- console benchmarks ----------------------------------------------------
+
+void BM_PoolRun(benchmark::State& state) {
+  bench::silence_logs();
+  const int hosts = static_cast<int>(state.range(0));
+  const bool hierarchical = state.range(1) != 0;
+  for (auto _ : state) {
+    VirtualCassPool pool(pool_config(hosts, hierarchical));
+    pool.run(kRunMicros);
+    benchmark::DoNotOptimize(pool.stats().root_liveness_writes);
+    state.counters["root_writes"] =
+        static_cast<double>(pool.stats().root_liveness_writes);
+    state.counters["events"] =
+        static_cast<double>(pool.stats().events_executed);
+  }
+  state.SetLabel(std::string(hierarchical ? "tree" : "flat") + "/" +
+                 std::to_string(hosts));
+}
+BENCHMARK(BM_PoolRun)
+    ->Args({1'000, 0})
+    ->Args({1'000, 1})
+    ->Args({10'000, 1})
+    ->Unit(benchmark::kMillisecond);
+
+// --- JSON emission pass ----------------------------------------------------
+
+struct ModeNumbers {
+  std::uint64_t root_liveness_writes = 0;
+  std::uint64_t root_telemetry_writes = 0;
+  double root_ops_per_vsec = 0.0;
+  double attach_mean_us = 0.0;
+  double attach_p99_us = 0.0;
+  double sim_events_per_wall_sec = 0.0;
+};
+
+ModeNumbers run_mode(int hosts, bool hierarchical) {
+  VirtualCassPool pool(pool_config(hosts, hierarchical));
+  const auto begin = std::chrono::steady_clock::now();
+  pool.run(kRunMicros);
+  const double wall_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - begin)
+          .count();
+  const auto attach = pool.measure_submit_attach();
+  ModeNumbers numbers;
+  numbers.root_liveness_writes = pool.stats().root_liveness_writes;
+  numbers.root_telemetry_writes = pool.stats().root_telemetry_writes;
+  numbers.root_ops_per_vsec =
+      static_cast<double>(numbers.root_liveness_writes +
+                          numbers.root_telemetry_writes) /
+      (static_cast<double>(kRunMicros) / 1e6);
+  numbers.attach_mean_us = attach.mean_micros;
+  numbers.attach_p99_us = attach.p99_micros;
+  numbers.sim_events_per_wall_sec =
+      wall_secs > 0
+          ? static_cast<double>(pool.stats().events_executed) / wall_secs
+          : 0.0;
+  return numbers;
+}
+
+/// Smallest pool size at which the tree's root write volume drops below
+/// flat's. Below the crossover the summary beats are pure overhead (a
+/// one-level tree relays every beat AND publishes summaries).
+int find_crossover() {
+  for (int hosts : {2, 4, 8, 12, 16, 24, 32, 48, 64}) {
+    VirtualCassPool tree(pool_config(hosts, true));
+    VirtualCassPool flat(pool_config(hosts, false));
+    tree.run(kRunMicros);
+    flat.run(kRunMicros);
+    const auto root_writes = [](const VirtualCassPool& pool) {
+      return pool.stats().root_liveness_writes +
+             pool.stats().root_telemetry_writes;
+    };
+    if (root_writes(tree) < root_writes(flat)) return hosts;
+  }
+  return -1;
+}
+
+void emit_scale_json() {
+  bench::silence_logs();
+  const int sizes[] = {100, 1'000, 10'000};
+  ModeNumbers flat[3];
+  ModeNumbers tree[3];
+  for (int i = 0; i < 3; ++i) {
+    flat[i] = run_mode(sizes[i], false);
+    tree[i] = run_mode(sizes[i], true);
+  }
+  const int crossover = find_crossover();
+
+  std::ofstream out("BENCH_scale.json", std::ios::trunc);
+  out << "{\n  \"benchmark\": \"scale\",\n"
+      << "  \"fanout\": 8,\n  \"seed\": " << kSeed << ",\n"
+      << "  \"virtual_seconds\": " << kRunMicros / 1'000'000 << ",\n"
+      << "  \"crossover_hosts\": " << crossover << ",\n";
+  char buf[512];
+  for (int i = 0; i < 3; ++i) {
+    const double reduction =
+        tree[i].root_ops_per_vsec > 0
+            ? flat[i].root_ops_per_vsec / tree[i].root_ops_per_vsec
+            : 0.0;
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"hosts_%d\": {\n"
+        "    \"flat_root_writes\": %llu,\n"
+        "    \"tree_root_writes\": %llu,\n"
+        "    \"flat_root_ops_per_vsec\": %.1f,\n"
+        "    \"tree_root_ops_per_vsec\": %.1f,\n"
+        "    \"root_write_reduction\": %.2f,\n"
+        "    \"flat_attach_mean_us\": %.1f,\n"
+        "    \"tree_attach_mean_us\": %.1f,\n"
+        "    \"flat_attach_p99_us\": %.1f,\n"
+        "    \"tree_attach_p99_us\": %.1f,\n"
+        "    \"sim_events_per_wall_sec\": %.0f\n"
+        "  }%s\n",
+        sizes[i],
+        static_cast<unsigned long long>(flat[i].root_liveness_writes +
+                                        flat[i].root_telemetry_writes),
+        static_cast<unsigned long long>(tree[i].root_liveness_writes +
+                                        tree[i].root_telemetry_writes),
+        flat[i].root_ops_per_vsec, tree[i].root_ops_per_vsec, reduction,
+        flat[i].attach_mean_us, tree[i].attach_mean_us, flat[i].attach_p99_us,
+        tree[i].attach_p99_us, tree[i].sim_events_per_wall_sec,
+        i == 2 ? "" : ",");
+    out << buf;
+  }
+  out << "}\n";
+
+  for (int i = 0; i < 3; ++i) {
+    std::printf(
+        "scale %5d hosts: root ops/vsec flat %8.0f tree %7.0f (%.1fx), "
+        "attach p99 flat %6.0fus tree %6.0fus\n",
+        sizes[i], flat[i].root_ops_per_vsec, tree[i].root_ops_per_vsec,
+        tree[i].root_ops_per_vsec > 0
+            ? flat[i].root_ops_per_vsec / tree[i].root_ops_per_vsec
+            : 0.0,
+        flat[i].attach_p99_us, tree[i].attach_p99_us);
+  }
+  std::printf("scale crossover: tree wins from %d hosts (fanout 8)\n",
+              crossover);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_scale_json();
+  return 0;
+}

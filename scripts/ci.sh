@@ -19,6 +19,10 @@
 #   scripts/ci.sh bench-wire # wire/proxy/journal bench: refreshes
 #                            # BENCH_wire.json and fails on a >10% proxy
 #                            # throughput regression vs the committed copy
+#   scripts/ci.sh bench-scale# scale tier: 10k-host ctest (-L scale with
+#                            # TDP_SCALE_10K=1) + flat-vs-tree bench,
+#                            # refreshes BENCH_scale.json and fails on a
+#                            # >10% regression vs the committed copy
 #   scripts/ci.sh all        # everything
 set -euo pipefail
 
@@ -152,6 +156,68 @@ if len(sys.argv) > 1 and sys.argv[1]:
 EOF
 }
 
+run_bench_scale() {
+  # The PR 7 scale tier, in two halves:
+  #   1. the `scale`-labeled ctest tier with the 10k cases un-skipped
+  #      (TDP_SCALE_10K=1): O(fanout) root writes at 10k hosts, determinism,
+  #      and the 1k-host chaos kill matrix under tree aggregation;
+  #   2. the flat-vs-tree bench. The committed BENCH_scale.json is the
+  #      baseline; a fresh run whose root-write reduction or tree attach
+  #      p99 regresses more than 10% at any pool size fails. Every gated
+  #      number is computed on the sim engine's virtual clock from a fixed
+  #      seed (bit-reproducible), so 10% is slack for intentional protocol
+  #      changes, not for measurement noise. The fresh numbers overwrite
+  #      BENCH_scale.json so an intentional change is committed together
+  #      with the code that caused it.
+  cmake -B build-ci -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DTDP_WERROR=ON
+  cmake --build build-ci -j"$(nproc)" \
+    --target bench_scale tdp_scale_tests tdp_chaos_scale_tests
+  TDP_SCALE_10K=1 ctest --test-dir build-ci -L scale --output-on-failure \
+    -j"$(nproc)"
+  local baseline=""
+  if [[ -f BENCH_scale.json ]]; then
+    baseline="$(cat BENCH_scale.json)"
+  fi
+  ./build-ci/bench/bench_scale --benchmark_filter='^$'
+  TDP_SCALE_BASELINE="$baseline" python3 - <<'EOF'
+import json, os, sys
+fresh = json.load(open("BENCH_scale.json"))
+for hosts in (100, 1000, 10000):
+    tier = fresh[f"hosts_{hosts}"]
+    print(f"bench-scale: {hosts:5d} hosts: root writes flat "
+          f"{tier['flat_root_writes']} vs tree {tier['tree_root_writes']} "
+          f"({tier['root_write_reduction']:.0f}x), tree attach p99 "
+          f"{tier['tree_attach_p99_us']:.0f}us")
+print(f"bench-scale: crossover at {fresh['crossover_hosts']} hosts")
+raw = os.environ.get("TDP_SCALE_BASELINE", "")
+if not raw:
+    sys.exit(0)
+base = json.loads(raw)
+failed = False
+for hosts in (100, 1000, 10000):
+    got, want = fresh[f"hosts_{hosts}"], base[f"hosts_{hosts}"]
+    floor = want["root_write_reduction"] * 0.9
+    if got["root_write_reduction"] < floor:
+        print(f"bench-scale: FAIL - root write reduction at {hosts} hosts "
+              f"fell to {got['root_write_reduction']:.1f}x "
+              f"(baseline {want['root_write_reduction']:.1f}x, floor {floor:.1f}x)")
+        failed = True
+    ceiling = want["tree_attach_p99_us"] * 1.1
+    if got["tree_attach_p99_us"] > ceiling:
+        print(f"bench-scale: FAIL - tree attach p99 at {hosts} hosts rose to "
+              f"{got['tree_attach_p99_us']:.0f}us "
+              f"(baseline {want['tree_attach_p99_us']:.0f}us, ceiling {ceiling:.0f}us)")
+        failed = True
+if fresh["crossover_hosts"] > base["crossover_hosts"]:
+    print(f"bench-scale: FAIL - crossover moved from "
+          f"{base['crossover_hosts']} to {fresh['crossover_hosts']} hosts")
+    failed = True
+sys.exit(1 if failed else 0)
+EOF
+}
+
 find_tool() {
   # Prefer an unversioned binary, then recent versioned ones.
   local base="$1" candidate
@@ -228,7 +294,8 @@ case "${1:-release}" in
   analyze)    run_analyze ;;
   bench)      run_bench ;;
   bench-wire) run_bench_wire ;;
-  all)        run_release; run_tsan; run_asan; run_chaos; run_analyze; run_bench; run_bench_wire ;;
-  *) echo "usage: $0 [release|tsan|asan|chaos|chaos-kill|analyze|bench|bench-wire|all]" >&2
+  bench-scale) run_bench_scale ;;
+  all)        run_release; run_tsan; run_asan; run_chaos; run_analyze; run_bench; run_bench_wire; run_bench_scale ;;
+  *) echo "usage: $0 [release|tsan|asan|chaos|chaos-kill|analyze|bench|bench-wire|bench-scale|all]" >&2
      exit 2 ;;
 esac

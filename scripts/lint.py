@@ -48,6 +48,14 @@ exists; these rules always run):
      it hard-coded. All framing flows through Endpoint
      send/receive/send_frame/receive_frame.
 
+  7. raw-clock-read: no std::chrono::steady_clock / system_clock /
+     high_resolution_clock reads in src/ outside util/clock.hpp. Since PR 7
+     every timeout and deadline is Micros arithmetic on a tdp::Clock
+     (RealClock for daemons, SimClock for the virtual pools), which is what
+     makes identical-seed scale runs byte-identical: a stray ::now() is
+     nondeterminism the sim cannot control. Durations (sleep_for,
+     milliseconds(n)) are fine — only clock *reads* are banned.
+
 A line ending in a `// NOLINT` comment is exempt from rules 1 and 2; every
 NOLINT must carry a justification after a colon (`// NOLINT: why`). The
 repo-wide suppression budget is capped (kMaxSuppressions) so the escape
@@ -128,6 +136,17 @@ MANUAL_FRAMING = re.compile(
     r"\.\s*encode\s*\(|\bencode_into\s*\(|\bMessage::decode\s*\(|\bpeek_length\s*\(")
 
 MANUAL_FRAMING_EXEMPT_DIRS = (Path("src/net"),)
+
+# Rule 7 -------------------------------------------------------------------
+
+# Any mention of a std::chrono clock type is a read risk; the only sanctioned
+# location is util/clock.hpp (RealClock's implementation). Matching the type
+# name (not just `::now()`) also catches time_point declarations that would
+# force a read somewhere nearby.
+RAW_CLOCK_READ = re.compile(
+    r"\bstd::chrono::(steady_clock|system_clock|high_resolution_clock)\b")
+
+RAW_CLOCK_READ_EXEMPT = {Path("src/util/clock.hpp")}
 
 # Rule 3 -------------------------------------------------------------------
 
@@ -288,6 +307,28 @@ def check_manual_framing(root: Path, findings, suppressions):
                 f"{line.strip()}")
 
 
+def check_raw_clock_reads(root: Path, findings, suppressions):
+    for path in iter_source(root):
+        rel = path.relative_to(root)
+        if rel in RAW_CLOCK_READ_EXEMPT:
+            continue
+        for lineno, line in enumerate(path.read_text().splitlines(), 1):
+            code = line.split("//", 1)[0]
+            if not RAW_CLOCK_READ.search(code):
+                continue
+            if NOLINT.search(line):
+                suppressions.append((rel, lineno, line.strip()))
+                if not NOLINT_JUSTIFIED.search(line):
+                    findings.append(
+                        f"{rel}:{lineno}: NOLINT without a justification "
+                        f"(write `// NOLINT: reason`): {line.strip()}")
+                continue
+            findings.append(
+                f"{rel}:{lineno}: raw std::chrono clock outside util/clock.hpp "
+                f"— read time via tdp::Clock (RealClock::instance().now_micros()) "
+                f"so sim runs stay deterministic: {line.strip()}")
+
+
 def run(root: Path) -> int:
     findings: list[str] = []
     suppressions: list = []
@@ -297,6 +338,7 @@ def run(root: Path) -> int:
     check_stray_stderr(root, findings)
     check_raw_process_signals(root, findings, suppressions)
     check_manual_framing(root, findings, suppressions)
+    check_raw_clock_reads(root, findings, suppressions)
     if len(suppressions) > kMaxSuppressions:
         findings.append(
             f"{len(suppressions)} NOLINT suppressions exceed the budget of "
@@ -365,6 +407,23 @@ void f(const tdp::net::Message& msg) {
 }
 """
 
+BAD_CLOCK_READ = """\
+#include <chrono>
+void f() {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(1);
+  (void)deadline;
+}
+"""
+
+GOOD_CLOCK_USE = """\
+#include "util/clock.hpp"
+void f(const tdp::Clock& clock) {
+  const tdp::Micros deadline = clock.now_micros() + 1'000'000;
+  (void)deadline;
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));  // duration: fine
+}
+"""
+
 GOOD_ENDPOINT_SEND = """\
 #include "net/transport.hpp"
 void f(tdp::net::Endpoint& ep, const tdp::net::Message& msg) {
@@ -397,6 +456,9 @@ def self_test() -> int:
         ("manual framing outside net", {"src/attrspace/oops.cpp": BAD_MANUAL_FRAMING}, True),
         ("manual framing inside net", {"src/net/tcp.cpp": BAD_MANUAL_FRAMING}, False),
         ("endpoint send is fine", {"src/condor/send.cpp": GOOD_ENDPOINT_SEND}, False),
+        ("raw clock read", {"src/condor/oops.cpp": BAD_CLOCK_READ}, True),
+        ("clock read in util/clock.hpp", {"src/util/clock.hpp": BAD_CLOCK_READ}, False),
+        ("tdp clock use is fine", {"src/core/fine.cpp": GOOD_CLOCK_USE}, False),
         ("clean file", {"src/good.hpp": GOOD_FILE}, False),
     ]
     failures = 0

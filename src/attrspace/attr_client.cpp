@@ -164,22 +164,22 @@ Status AttrClient::init_on_endpoint_locked() {
   // later v2 frame from it) upgrades this endpoint's send side.
   net::advertise_wire_version(*endpoint_, init);
   TDP_RETURN_IF_ERROR(endpoint_->send(init));
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(5000);
-  auto last_send = std::chrono::steady_clock::now();
-  while (std::chrono::steady_clock::now() < deadline) {
+  const Clock& wall = RealClock::instance();
+  const Micros deadline = wall.now_micros() + 5'000'000;
+  Micros last_send = wall.now_micros();
+  while (wall.now_micros() < deadline) {
     auto received = endpoint_->receive(200);
     if (!received.is_ok()) {
       if (received.status().code() == ErrorCode::kTimeout) {
         // A lossy link may have eaten the init; resend (a duplicate init
         // is balanced by the matching implicit exit at teardown).
         if (retry_.enabled &&
-            std::chrono::steady_clock::now() - last_send >
-                std::chrono::milliseconds(retry_.attempt_timeout_ms)) {
+            wall.now_micros() - last_send >
+                static_cast<Micros>(retry_.attempt_timeout_ms) * 1000) {
           replays_.fetch_add(1, std::memory_order_relaxed);
           replays_counter().inc();
           endpoint_->send(init);
-          last_send = std::chrono::steady_clock::now();
+          last_send = wall.now_micros();
         }
         continue;
       }
@@ -435,16 +435,16 @@ Status AttrClient::subscribe(const std::string& pattern, NotifyCallback callback
   }
   // Wait (bounded) for the acknowledgement so callers know the
   // subscription is live; re-send on a lost frame when retry is enabled.
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::seconds(30);
-  auto last_resend = std::chrono::steady_clock::now();
-  while (std::chrono::steady_clock::now() < deadline) {
+  const Clock& wall = RealClock::instance();
+  const Micros deadline = wall.now_micros() + 30'000'000;
+  Micros last_resend = wall.now_micros();
+  while (wall.now_micros() < deadline) {
     auto received = endpoint_->receive(200);
     if (!received.is_ok()) {
       if (received.status().code() == ErrorCode::kTimeout) {
         if (retry_.enabled &&
-            std::chrono::steady_clock::now() - last_resend >
-                std::chrono::milliseconds(retry_.attempt_timeout_ms)) {
+            wall.now_micros() - last_resend >
+                static_cast<Micros>(retry_.attempt_timeout_ms) * 1000) {
           Message resend(MsgType::kAttrSubscribe);
           resend.set_seq(seq_used);
           resend.set(field::kContext, context_);
@@ -452,7 +452,7 @@ Status AttrClient::subscribe(const std::string& pattern, NotifyCallback callback
           replays_.fetch_add(1, std::memory_order_relaxed);
           replays_counter().inc();
           endpoint_->send(std::move(resend));
-          last_resend = std::chrono::steady_clock::now();
+          last_resend = wall.now_micros();
         }
         continue;
       }
@@ -493,8 +493,9 @@ Result<Message> AttrClient::call_locked(Message request, int timeout_ms) {
     TDP_RETURN_IF_ERROR(reconnect_locked());
   }
   const bool has_deadline = timeout_ms >= 0;
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  const Clock& wall = RealClock::instance();
+  const Micros deadline =
+      wall.now_micros() + static_cast<Micros>(timeout_ms) * 1000;
   int consecutive_conn_failures = 0;
   while (true) {
     // (Re)send under a fresh seq; a straggler reply to a superseded seq is
@@ -513,12 +514,9 @@ Result<Message> AttrClient::call_locked(Message request, int timeout_ms) {
     while (true) {
       int wait = -1;
       if (has_deadline) {
-        auto now = std::chrono::steady_clock::now();
+        const Micros now = wall.now_micros();
         if (now >= deadline) return make_error(ErrorCode::kTimeout, "call timed out");
-        wait = static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
-                                    deadline - now)
-                                    .count() +
-                                1);
+        wait = static_cast<int>((deadline - now) / 1000 + 1);
       }
       if (retry_.enabled && retry_.attempt_timeout_ms > 0) {
         wait = wait < 0 ? retry_.attempt_timeout_ms
@@ -527,7 +525,7 @@ Result<Message> AttrClient::call_locked(Message request, int timeout_ms) {
       auto received = endpoint_->receive(wait);
       if (!received.is_ok()) {
         if (received.status().code() == ErrorCode::kTimeout) {
-          if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+          if (has_deadline && wall.now_micros() >= deadline) {
             return make_error(ErrorCode::kTimeout, "call timed out");
           }
           if (retry_.enabled) {
@@ -660,8 +658,9 @@ Status AttrClient::exit() {
   if (sent.is_ok()) {
     // Await the ack (with a bound) so the server-side refcount is settled
     // before we tear the connection down.
-    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(2);
-    while (std::chrono::steady_clock::now() < deadline) {
+    const Clock& wall = RealClock::instance();
+    const Micros deadline = wall.now_micros() + 2'000'000;
+    while (wall.now_micros() < deadline) {
       auto received = endpoint_->receive(200);
       if (!received.is_ok()) {
         if (received.status().code() == ErrorCode::kTimeout) continue;

@@ -38,6 +38,74 @@ void append_sample(const telemetry::Sample& sample, const std::string& prefix,
 
 }  // namespace
 
+// --- TelemetryRollup ---
+
+void TelemetryRollup::add_value(const std::string& name, double value) {
+  auto [it, inserted] = scalars_.try_emplace(name);
+  Scalar& s = it->second;
+  if (inserted || s.count == 0) {
+    s.min = value;
+    s.max = value;
+  } else {
+    if (value < s.min) s.min = value;
+    if (value > s.max) s.max = value;
+  }
+  s.sum += value;
+  ++s.count;
+}
+
+void TelemetryRollup::add_histogram(const std::string& name,
+                                    const std::vector<std::uint64_t>& buckets,
+                                    std::uint64_t sum) {
+  Hist& h = hists_[name];
+  if (h.buckets.size() < buckets.size()) h.buckets.resize(buckets.size(), 0);
+  for (std::size_t b = 0; b < buckets.size(); ++b) h.buckets[b] += buckets[b];
+  h.sum += sum;
+}
+
+void TelemetryRollup::merge(const TelemetryRollup& other) {
+  for (const auto& [name, s] : other.scalars_) {
+    auto [it, inserted] = scalars_.try_emplace(name);
+    Scalar& mine = it->second;
+    if (inserted || mine.count == 0) {
+      mine.min = s.min;
+      mine.max = s.max;
+    } else if (s.count > 0) {
+      if (s.min < mine.min) mine.min = s.min;
+      if (s.max > mine.max) mine.max = s.max;
+    }
+    mine.sum += s.sum;
+    mine.count += s.count;
+  }
+  for (const auto& [name, h] : other.hists_) {
+    add_histogram(name, h.buckets, h.sum);
+  }
+}
+
+std::vector<std::pair<std::string, std::string>> TelemetryRollup::flatten(
+    const std::string& prefix) const {
+  std::vector<std::pair<std::string, std::string>> out;
+  out.reserve(scalars_.size() * 4 + hists_.size() * 5);
+  for (const auto& [name, s] : scalars_) {
+    const std::string base = prefix + name;
+    out.emplace_back(base + ".sum", format_double(s.sum));
+    out.emplace_back(base + ".min", format_double(s.min));
+    out.emplace_back(base + ".max", format_double(s.max));
+    out.emplace_back(base + ".count", std::to_string(s.count));
+  }
+  for (const auto& [name, h] : hists_) {
+    const telemetry::Histogram::Snapshot snap =
+        telemetry::snapshot_from_buckets(h.buckets, h.sum);
+    const std::string base = prefix + name;
+    out.emplace_back(base + ".count", std::to_string(snap.count));
+    out.emplace_back(base + ".sum", std::to_string(snap.sum));
+    out.emplace_back(base + ".p50", format_double(snap.p50));
+    out.emplace_back(base + ".p95", format_double(snap.p95));
+    out.emplace_back(base + ".p99", format_double(snap.p99));
+  }
+  return out;
+}
+
 TelemetryPublisher::TelemetryPublisher(Options options, AttributeStore* store)
     : options_(std::move(options)), store_(store) {
   prefix_ = std::string(kTelemetryPrefix) + options_.role + "." + options_.host + ".";

@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <utility>
 #include <vector>
@@ -25,6 +26,57 @@
 #include "util/status.hpp"
 
 namespace tdp::attr {
+
+/// Cross-host telemetry fold (PR 7): the mergeable form of one host's (or
+/// one subtree's) metrics, carried up the mrnet overlay by the
+/// hierarchical CASS. Scalars fold as sum/min/max/count (the mrnet numeric
+/// filters applied per metric); histograms merge their log2 buckets
+/// elementwise (mrnet Filter::kHistMerge) and percentiles are recomputed
+/// from the merged buckets at the root — folding per-host percentiles
+/// would produce numbers with no statistical meaning.
+class TelemetryRollup {
+ public:
+  /// One scalar observation (counter or gauge value from one host).
+  void add_value(const std::string& name, double value);
+
+  /// One histogram contribution: log2 bucket counts + value sum.
+  void add_histogram(const std::string& name,
+                     const std::vector<std::uint64_t>& buckets,
+                     std::uint64_t sum);
+
+  /// Folds another rollup in (what an interior node does with each child's
+  /// upward message).
+  void merge(const TelemetryRollup& other);
+
+  [[nodiscard]] std::size_t metric_count() const {
+    return scalars_.size() + hists_.size();
+  }
+  [[nodiscard]] bool empty() const {
+    return scalars_.empty() && hists_.empty();
+  }
+
+  /// Root export: flattened (attribute, value) pairs.
+  /// Scalars: <prefix><name>.{sum,min,max,count}; histograms:
+  /// <prefix><name>.{count,sum,p50,p95,p99} recomputed from merged
+  /// buckets. Deterministic order (sorted metric names).
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> flatten(
+      const std::string& prefix) const;
+
+ private:
+  struct Scalar {
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::uint64_t count = 0;
+  };
+  struct Hist {
+    std::vector<std::uint64_t> buckets;
+    std::uint64_t sum = 0;
+  };
+
+  std::map<std::string, Scalar> scalars_;
+  std::map<std::string, Hist> hists_;
+};
 
 /// Periodically snapshots telemetry::Registry and writes it into an
 /// attribute space. Two sinks:

@@ -340,31 +340,115 @@ void Pool::start_beats(const std::string& name) {
   beat_to_machine_[attribute] = name;
   auto beat = std::make_unique<lease::HeartbeatPublisher>(
       attribute, config_.startd_lease, config_.clock,
-      [this](const std::string& attr, const std::string& value) {
-        (void)value;
-        startd_monitor_->observe(attr);
+      [this, name](const std::string& attr, const std::string& value) {
+        // Tree mode: the beat enters the overlay at this machine's leaf
+        // (an interior aggregator holds the lease). Flat mode: it lands
+        // on the central monitor directly — one root write per beat.
+        if (cass_) {
+          cass_->observe_host(name, value);
+        } else {
+          ++flat_liveness_writes_;
+          startd_monitor_->observe(attr);
+        }
         return Status::ok();
       });
   beat->beat_now();
   startd_beats_[name] = std::move(beat);
 }
 
+void Pool::on_machine_lease_expired(const std::string& machine) {
+  kLog.warn("liveness lease expired for startd@", machine);
+  matchmaker_.withdraw_machine(machine);
+  for (JobId job : schedd_.jobs_on_machine(machine)) {
+    requeue_orphan(job, machine);
+  }
+}
+
+void Pool::ensure_cass() {
+  if (!config_.hierarchical_cass || machine_ads_.size() == cass_hosts_) return;
+  // Rebuild only on pool growth. The rebuild is safe mid-flight because
+  // lease tracking at every level starts from the first beat that arrives
+  // (LeaseMonitor::observe), so no machine can be falsely expired by the
+  // topology change — the same property re-parenting relies on.
+  std::vector<std::string> hosts;
+  hosts.reserve(machine_ads_.size());
+  for (const auto& [name, ad] : machine_ads_) hosts.push_back(name);
+  mrnet::HierarchyConfig hierarchy;
+  hierarchy.fanout = config_.cass_fanout;
+  hierarchy.lease = config_.startd_lease;
+  hierarchy.clock = config_.clock;
+  auto built = mrnet::HierarchicalCass::build(hosts, hierarchy);
+  if (!built.is_ok()) {
+    kLog.warn("hierarchical CASS build failed: ", built.status().to_string());
+    return;
+  }
+  cass_ = std::move(built.value());
+  cass_hosts_ = machine_ads_.size();
+  cass_->on_host_expired(
+      [this](const std::string& machine) { on_machine_lease_expired(machine); });
+  if (config_.cass_store != nullptr) {
+    cass_->set_root_write(
+        [this](const std::string& attribute, const std::string& value) {
+          (void)config_.cass_store->put("cass", attribute, value);
+        });
+  }
+  kLog.info("hierarchical CASS over ", cass_hosts_, " machines (fanout ",
+            config_.cass_fanout, ", root sees O(fanout) liveness writes)");
+}
+
 void Pool::check_liveness() {
+  ensure_cass();
   // A live startd's beat is refreshed before the poll, so only a daemon
   // whose publisher is gone (killed) can ever be seen expired here.
   for (auto& [name, beat] : startd_beats_) beat->maybe_beat();
+  if (cass_) {
+    // Expiries at any level surface through on_host_expired.
+    cass_->pump();
+    return;
+  }
   startd_monitor_->poll();
   for (const std::string& attribute : startd_monitor_->expired()) {
     startd_monitor_->forget(attribute);
     auto it = beat_to_machine_.find(attribute);
     if (it == beat_to_machine_.end()) continue;
-    const std::string machine = it->second;
-    kLog.warn("liveness lease expired for startd@", machine);
-    matchmaker_.withdraw_machine(machine);
-    for (JobId job : schedd_.jobs_on_machine(machine)) {
-      requeue_orphan(job, machine);
+    on_machine_lease_expired(it->second);
+  }
+}
+
+Status Pool::kill_cass_node(int node) {
+  if (!cass_) {
+    return make_error(ErrorCode::kInvalidState,
+                      "hierarchical CASS not active");
+  }
+  return cass_->kill_interior(node);
+}
+
+int Pool::publish_cass_rollup() {
+  // Per-machine pool state folded to the root: the tree writes one merged
+  // rollup (O(1) at the root), the flat control one batch per machine.
+  std::map<std::string, attr::TelemetryRollup> per_host;
+  for (const auto& [name, ad] : machine_ads_) {
+    if (dead_startds_.count(name) != 0) continue;
+    auto it = startds_.find(name);
+    if (it == startds_.end()) continue;
+    attr::TelemetryRollup& rollup = per_host[name];
+    rollup.add_value("machine.alive", 1.0);
+    rollup.add_value("machine.busy",
+                     it->second->state() == Startd::State::kBusy ? 1.0 : 0.0);
+  }
+  if (cass_) return cass_->rollup_telemetry(per_host, "pool");
+  int written = 0;
+  for (const auto& [name, rollup] : per_host) {
+    const auto pairs =
+        rollup.flatten("tdp.telemetry.rollup.pool." + name + ".");
+    written += static_cast<int>(pairs.size());
+    if (config_.cass_store != nullptr) {
+      for (const auto& [attribute, value] : pairs) {
+        (void)config_.cass_store->put("cass", attribute, value);
+      }
     }
   }
+  return written;
 }
 
 std::size_t Pool::busy_count() const {
@@ -377,8 +461,12 @@ std::size_t Pool::busy_count() const {
 
 Result<JobRecord> Pool::run_to_completion(JobId id, int timeout_ms,
                                           const std::function<void()>& idle_hook) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  // Wall-clock on purpose (not config_.clock): this is a real-time budget
+  // for driving real backends, independent of any virtual clock the pool's
+  // leases run on.
+  const Clock& wall = RealClock::instance();
+  const Micros deadline =
+      wall.now_micros() + static_cast<Micros>(timeout_ms) * 1000;
   while (true) {
     auto record = schedd_.job(id);
     if (!record.is_ok()) return record.status();
@@ -388,7 +476,7 @@ Result<JobRecord> Pool::run_to_completion(JobId id, int timeout_ms,
     pump();
     if (idle_hook) idle_hook();
 
-    if (std::chrono::steady_clock::now() >= deadline) {
+    if (wall.now_micros() >= deadline) {
       return make_error(ErrorCode::kTimeout,
                         "job " + std::to_string(id) + " still " +
                             job_status_name(record->status) + " after " +

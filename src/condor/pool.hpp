@@ -23,6 +23,7 @@
 #include "condor/matchmaker.hpp"
 #include "condor/schedd.hpp"
 #include "condor/startd.hpp"
+#include "mrnet/hierarchy.hpp"
 #include "net/proxy.hpp"
 #include "util/journal.hpp"
 #include "util/lease.hpp"
@@ -87,6 +88,21 @@ struct PoolConfig {
   bool tool_lease_enabled = false;
   lease::Config tool_lease;
   int tool_restart_budget = 2;
+
+  // --- hierarchical CASS (PR 7) ---
+
+  /// Route startd liveness beats (and telemetry rollups) through the
+  /// mrnet overlay instead of flat at the central monitor: interior comm
+  /// nodes hold the leases and the root sees O(cass_fanout) writes, not
+  /// O(machines). Requires enable_liveness. The overlay is (re)built only
+  /// when machines are ADDED; startd kills and revives are observed
+  /// through leases, never through topology edits, so recovery semantics
+  /// are identical to the flat path.
+  bool hierarchical_cass = false;
+  int cass_fanout = 8;
+  /// Optional store the CASS root writes summaries/rollups into (context
+  /// "cass"); not owned, may be null (stats still count the writes).
+  attr::AttributeStore* cass_store = nullptr;
 };
 
 class Pool {
@@ -165,6 +181,30 @@ class Pool {
     return orphan_requeues_;
   }
 
+  // --- hierarchical CASS (PR 7) ---
+
+  /// The live aggregation tree (null unless hierarchical_cass and at least
+  /// one check_liveness() ran). Tests use it to pick interior victims.
+  [[nodiscard]] const mrnet::HierarchicalCass* cass() const {
+    return cass_.get();
+  }
+
+  /// Kills an interior comm node of the aggregation tree: beats from its
+  /// subtree are lost until its own summary lease expires at its parent
+  /// and the children re-parent. Leaf and root ids are rejected.
+  Status kill_cass_node(int node);
+
+  /// Liveness writes the root attrspace absorbed (tree mode: summaries
+  /// reaching the root; flat mode: every single beat).
+  [[nodiscard]] std::uint64_t root_liveness_writes() const noexcept {
+    return cass_ ? cass_->root_liveness_writes() : flat_liveness_writes_;
+  }
+
+  /// Folds one per-machine telemetry rollup (alive/busy state) through
+  /// the tree to the root (flat mode: one write batch per machine).
+  /// Returns attributes written at the root.
+  int publish_cass_rollup();
+
  private:
   /// Rebuilds a dead startd from its remembered ad, replays its claim
   /// journal, requeues the orphan (exactly once) and re-advertises.
@@ -198,6 +238,15 @@ class Pool {
   std::unique_ptr<lease::LeaseMonitor> startd_monitor_;
   std::set<std::string> dead_startds_;
   std::uint64_t orphan_requeues_ = 0;
+
+  /// Hierarchical CASS state (PR 7): the tree is rebuilt only when the
+  /// machine set GROWS (machine_ads_ never shrinks), so lease recovery
+  /// logic — not topology edits — handles every death.
+  void ensure_cass();
+  void on_machine_lease_expired(const std::string& machine);
+  std::unique_ptr<mrnet::HierarchicalCass> cass_;
+  std::size_t cass_hosts_ = 0;
+  std::uint64_t flat_liveness_writes_ = 0;
 };
 
 }  // namespace tdp::condor

@@ -7,6 +7,7 @@
 #include <chrono>
 
 #include "net/proxy.hpp"
+#include "util/clock.hpp"
 #include "util/log.hpp"
 #include "util/string_util.hpp"
 
@@ -187,13 +188,13 @@ Status TdpSession::request_control(const std::string& op, proc::Pid pid) {
   const bool nudge = options_.retry.enabled;
   const int total = options_.control_timeout_ms;
   const int slice = nudge ? std::max(1, std::min(total, 1000)) : total;
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(total);
+  const Clock& wall = RealClock::instance();
+  const Micros deadline = wall.now_micros() + static_cast<Micros>(total) * 1000;
   Result<std::string> result = make_error(ErrorCode::kTimeout, "not attempted");
   while (true) {
     result = lass_->get(reply, slice);
     if (result.is_ok() || result.status().code() != ErrorCode::kTimeout) break;
-    if (!nudge || std::chrono::steady_clock::now() >= deadline) break;
+    if (!nudge || wall.now_micros() >= deadline) break;
     lass_->put(request, request_value);
   }
   if (!result.is_ok()) {

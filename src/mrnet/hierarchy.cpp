@@ -1,0 +1,341 @@
+#include "mrnet/hierarchy.hpp"
+
+#include <algorithm>
+
+#include "attrspace/attr_protocol.hpp"
+
+namespace tdp::mrnet {
+
+HierarchicalCass::HierarchicalCass(HierarchyConfig config)
+    : config_(std::move(config)),
+      root_monitor_(config_.lease, config_.clock) {}
+
+std::string HierarchicalCass::summary_attr(int node) const {
+  return lease::liveness_attr(config_.summary_role,
+                              "n" + std::to_string(node));
+}
+
+Result<std::unique_ptr<HierarchicalCass>> HierarchicalCass::build(
+    const std::vector<std::string>& hosts, HierarchyConfig config) {
+  if (hosts.empty()) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "hierarchical CASS needs at least one host");
+  }
+  auto overlay = Overlay::build(static_cast<int>(hosts.size()), config.fanout);
+  TDP_RETURN_IF_ERROR(overlay.status());
+  // No make_unique: the constructor is private.
+  std::unique_ptr<HierarchicalCass> cass(
+      new HierarchicalCass(std::move(config)));
+  cass->overlay_ = std::move(overlay.value());
+  cass->hosts_ = hosts;
+  for (int leaf = 0; leaf < static_cast<int>(hosts.size()); ++leaf) {
+    const auto [it, inserted] =
+        cass->host_leaf_.emplace(hosts[static_cast<std::size_t>(leaf)], leaf);
+    if (!inserted) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "duplicate host name: " + it->first);
+    }
+  }
+
+  HierarchicalCass* self = cass.get();
+  for (int node : cass->overlay_.interior_nodes()) {
+    const std::string attr = cass->summary_attr(node);
+    cass->summary_node_[attr] = node;
+    auto aggregator = std::make_unique<lease::LeaseAggregator>(
+        attr, cass->config_.lease, cass->config_.clock,
+        [self, node](const std::string& attribute, const std::string& value) {
+          return self->route_summary(node, attribute, value);
+        });
+    aggregator->on_child_transition(
+        [self, node](const std::string& name, lease::Health /*from*/,
+                     lease::Health to) {
+          if (to != lease::Health::kExpired) return;
+          if (self->summary_node_.count(name) != 0) {
+            self->pending_dead_summaries_.emplace_back(node, name);
+          } else {
+            self->pending_expired_hosts_.emplace_back(node, name);
+          }
+        });
+    cass->aggregators_.emplace(node, std::move(aggregator));
+  }
+  const int root = cass->overlay_.root();
+  cass->root_monitor_.on_transition(
+      [self, root](const std::string& name, lease::Health /*from*/,
+                   lease::Health to) {
+        if (to != lease::Health::kExpired) return;
+        if (self->summary_node_.count(name) != 0) {
+          self->pending_dead_summaries_.emplace_back(root, name);
+        } else {
+          self->pending_expired_hosts_.emplace_back(root, name);
+        }
+      });
+
+  // The tree is BORN holding a lease on every member. Without this, a host
+  // (or interior node) that goes silent before its first beat reaches its
+  // parent is never tracked, so its death is never detected — silence from
+  // a never-heard member must be indistinguishable from silence from a
+  // known one. Membership is the host list passed here, not "whoever has
+  // spoken"; the seed counts as the member's first beat.
+  for (int node : cass->overlay_.interior_nodes()) {
+    cass->seed_children(node);
+  }
+  cass->seed_children(root);
+  return cass;
+}
+
+void HierarchicalCass::seed_children(int observer) {
+  lease::LeaseAggregator* aggregator = nullptr;
+  if (observer != overlay_.root()) {
+    const auto it = aggregators_.find(observer);
+    if (it == aggregators_.end()) return;  // dead node: nothing to seed
+    aggregator = it->second.get();
+  }
+  for (int child : overlay_.children(observer)) {
+    std::string name;
+    if (overlay_.is_leaf(child)) {
+      name = hosts_[static_cast<std::size_t>(child)];
+    } else if (aggregators_.count(child) != 0) {
+      name = summary_attr(child);
+    } else {
+      continue;  // dead interior child: its subtree re-parents separately
+    }
+    if (aggregator != nullptr) {
+      aggregator->observe_child(name);
+    } else {
+      root_monitor_.observe(name);
+    }
+  }
+}
+
+void HierarchicalCass::root_observe(const std::string& attribute,
+                                    const std::string& value) {
+  root_monitor_.observe(attribute);
+  ++root_liveness_writes_;
+  if (auto parsed = lease::parse_summary(value); parsed.is_ok()) {
+    root_summaries_[attribute] = parsed.value();
+  }
+  if (root_write_) root_write_(attribute, value);
+}
+
+void HierarchicalCass::observe_host(const std::string& host,
+                                    const std::string& value) {
+  const auto it = host_leaf_.find(host);
+  if (it == host_leaf_.end()) return;
+  const int parent = overlay_.parent(it->second);
+  if (parent == overlay_.root()) {
+    root_observe(host, value);
+    return;
+  }
+  const auto agg = aggregators_.find(parent);
+  if (agg == aggregators_.end()) {
+    // The parent comm node is dead and not yet re-parented around: the
+    // beat is lost in flight, exactly like a real dead relay.
+    ++dropped_beats_;
+    return;
+  }
+  agg->second->observe_child(host);
+}
+
+Status HierarchicalCass::route_summary(int from_node,
+                                       const std::string& attribute,
+                                       const std::string& value) {
+  ++summary_publishes_;
+  const int parent = overlay_.parent(from_node);
+  if (parent == overlay_.root()) {
+    root_observe(attribute, value);
+    return Status::ok();
+  }
+  const auto agg = aggregators_.find(parent);
+  if (agg == aggregators_.end()) {
+    ++dropped_beats_;
+    return Status::ok();  // lost in flight, not an error at the sender
+  }
+  agg->second->observe_child(attribute);
+  return Status::ok();
+}
+
+int HierarchicalCass::pump() {
+  int transitions = 0;
+  // Ascending node id == bottom-up by construction, so a summary freshly
+  // published by a child aggregator is observed by its parent in the SAME
+  // round — degradation news travels one full path per pump, not one
+  // level.
+  for (auto& [node, aggregator] : aggregators_) {
+    transitions += aggregator->poll();
+  }
+  transitions += root_monitor_.poll();
+  process_pending();
+  return transitions;
+}
+
+void HierarchicalCass::process_pending() {
+  std::vector<std::pair<int, std::string>> hosts;
+  hosts.swap(pending_expired_hosts_);
+  std::vector<std::pair<int, std::string>> summaries;
+  summaries.swap(pending_dead_summaries_);
+
+  for (const auto& [observer, host] : hosts) {
+    // Stop tracking before the callback: the callback may revive the host
+    // (requeue + restart), and a fresh observe must restart from kAlive.
+    if (observer == overlay_.root()) {
+      root_monitor_.forget(host);
+      root_summaries_.erase(host);
+    } else if (const auto it = aggregators_.find(observer);
+               it != aggregators_.end()) {
+      it->second->remove_child(host);
+    }
+    ++host_expiries_;
+    if (on_host_expired_) on_host_expired_(host);
+  }
+
+  for (const auto& [observer, attr] : summaries) {
+    const auto node_it = summary_node_.find(attr);
+    if (node_it == summary_node_.end()) continue;
+    const int dead = node_it->second;
+    if (observer == overlay_.root()) {
+      root_monitor_.forget(attr);
+      root_summaries_.erase(attr);
+    } else if (const auto it = aggregators_.find(observer);
+               it != aggregators_.end()) {
+      it->second->remove_child(attr);
+    }
+    aggregators_.erase(dead);  // silent death without kill_interior
+    if (overlay_.alive(dead)) {
+      auto moved = overlay_.kill_node(dead);
+      if (moved.is_ok()) {
+        ++reparent_events_;
+        // Seed every promoted child at its new parent, fresh from NOW: the
+        // membership-always-tracked invariant must survive re-parenting, or
+        // a child that died during the blackout would vanish untracked. A
+        // live child's next beat lands well inside the ttl, so the fresh
+        // lease can never falsely expire; a dead one is detected ttl+grace
+        // from promotion.
+        for (int child : moved.value()) {
+          const int parent = overlay_.parent(child);
+          if (parent < 0) continue;
+          std::string name;
+          if (overlay_.is_leaf(child)) {
+            name = hosts_[static_cast<std::size_t>(child)];
+          } else if (aggregators_.count(child) != 0) {
+            name = summary_attr(child);
+          } else {
+            continue;  // dead interior child: re-parented on its own expiry
+          }
+          if (parent == overlay_.root()) {
+            root_monitor_.observe(name);
+          } else if (const auto agg = aggregators_.find(parent);
+                     agg != aggregators_.end()) {
+            agg->second->observe_child(name);
+          }
+          // A dead new parent tracks nothing; when ITS death is detected
+          // these children move (and seed) again.
+        }
+      }
+    }
+  }
+}
+
+Status HierarchicalCass::kill_interior(int node) {
+  if (!overlay_.is_interior(node)) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "not an interior overlay node");
+  }
+  if (aggregators_.erase(node) == 0) {
+    return make_error(ErrorCode::kInvalidState, "node already dead");
+  }
+  // The overlay edge stays until the node's summary lease expires at its
+  // parent: death is DETECTED (lease), never announced.
+  return Status::ok();
+}
+
+std::vector<int> HierarchicalCass::interior_nodes() const {
+  std::vector<int> nodes;
+  nodes.reserve(aggregators_.size());
+  for (const auto& [node, aggregator] : aggregators_) nodes.push_back(node);
+  return nodes;
+}
+
+int HierarchicalCass::interior_of(const std::string& host) const {
+  const auto it = host_leaf_.find(host);
+  if (it == host_leaf_.end()) return -1;
+  return overlay_.parent(it->second);
+}
+
+lease::Health HierarchicalCass::host_health(const std::string& host) const {
+  const auto it = host_leaf_.find(host);
+  if (it == host_leaf_.end()) return lease::Health::kExpired;
+  const int parent = overlay_.parent(it->second);
+  if (parent == overlay_.root()) {
+    return root_monitor_.tracked(host) ? root_monitor_.health(host)
+                                       : lease::Health::kExpired;
+  }
+  const auto agg = aggregators_.find(parent);
+  if (agg == aggregators_.end() || !agg->second->tracks(host)) {
+    return lease::Health::kExpired;
+  }
+  return agg->second->child_health(host);
+}
+
+lease::Summary HierarchicalCass::root_counts() const {
+  lease::Summary folded;
+  for (const auto& [attr, summary] : root_summaries_) {
+    folded.alive += summary.alive;
+    folded.degraded += summary.degraded;
+    folded.expired += summary.expired;
+    folded.total += summary.total;
+  }
+  // Leaf hosts beating directly at the root (pools <= fanout) have no
+  // summary value; count them by lease freshness.
+  for (const auto& [host, leaf] : host_leaf_) {
+    if (overlay_.parent(leaf) != overlay_.root()) continue;
+    if (!root_monitor_.tracked(host)) continue;
+    switch (root_monitor_.health(host)) {
+      case lease::Health::kAlive: ++folded.alive; break;
+      case lease::Health::kDegraded: ++folded.degraded; break;
+      case lease::Health::kExpired: ++folded.expired; break;
+    }
+    ++folded.total;
+  }
+  return folded;
+}
+
+int HierarchicalCass::rollup_telemetry(
+    const std::map<std::string, attr::TelemetryRollup>& per_host,
+    const std::string& scope) {
+  // Fold bottom-up: ascending interior ids guarantee children are merged
+  // before their parent reads them. A dead (no-aggregator) interior node
+  // contributes nothing — its subtree's telemetry is lost with its beats.
+  std::map<int, attr::TelemetryRollup> per_node;
+  auto leaf_contribution = [&](int leaf) -> const attr::TelemetryRollup* {
+    const auto it = per_host.find(hosts_[static_cast<std::size_t>(leaf)]);
+    return it == per_host.end() ? nullptr : &it->second;
+  };
+  auto fold_children = [&](int node, attr::TelemetryRollup* out) {
+    for (int child : overlay_.children(node)) {
+      if (overlay_.is_leaf(child)) {
+        if (const attr::TelemetryRollup* rollup = leaf_contribution(child)) {
+          out->merge(*rollup);
+        }
+      } else if (aggregators_.count(child) != 0) {
+        out->merge(per_node[child]);
+      }
+    }
+  };
+  for (const auto& [node, aggregator] : aggregators_) {
+    fold_children(node, &per_node[node]);
+  }
+  attr::TelemetryRollup root_rollup;
+  fold_children(overlay_.root(), &root_rollup);
+
+  const std::string prefix =
+      std::string(attr::kTelemetryPrefix) + "rollup." + scope + ".";
+  int written = 0;
+  for (const auto& [attribute, value] : root_rollup.flatten(prefix)) {
+    ++root_telemetry_writes_;
+    ++written;
+    if (root_write_) root_write_(attribute, value);
+  }
+  return written;
+}
+
+}  // namespace tdp::mrnet

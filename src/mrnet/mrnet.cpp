@@ -14,6 +14,7 @@ const char* filter_name(Filter filter) noexcept {
     case Filter::kMax: return "max";
     case Filter::kCount: return "count";
     case Filter::kConcat: return "concat";
+    case Filter::kHistMerge: return "histmerge";
   }
   return "?";
 }
@@ -88,7 +89,8 @@ double fold(Filter filter, double acc, double value, bool first) {
     case Filter::kMin: return first ? value : std::min(acc, value);
     case Filter::kMax: return first ? value : std::max(acc, value);
     case Filter::kCount: return acc + 1;
-    case Filter::kConcat: return acc;  // handled separately
+    case Filter::kConcat: return acc;       // handled separately
+    case Filter::kHistMerge: return acc;    // handled by reduce_histograms
   }
   return acc;
 }
@@ -143,6 +145,41 @@ Tree::ReduceResult Tree::reduce_concat(
     }
   }
   result.concat = std::move(concat);
+  return result;
+}
+
+Tree::HistReduceResult Tree::reduce_histograms(
+    const std::vector<std::vector<std::uint64_t>>& leaf_buckets) const {
+  static telemetry::Counter& reduces =
+      telemetry::Registry::instance().counter("mrnet.hist_reduces");
+  reduces.inc();
+  HistReduceResult result;
+  result.hops = depth_;
+  for (int leaf = 0; leaf < leaves_; ++leaf) {
+    if (leaf_failed_[static_cast<std::size_t>(leaf)]) {
+      ++result.missing;
+      continue;
+    }
+    ++result.contributed;
+    if (leaf >= static_cast<int>(leaf_buckets.size())) continue;
+    const std::vector<std::uint64_t>& buckets =
+        leaf_buckets[static_cast<std::size_t>(leaf)];
+    if (result.buckets.size() < buckets.size()) {
+      result.buckets.resize(buckets.size(), 0);
+    }
+    for (std::size_t b = 0; b < buckets.size(); ++b) {
+      result.buckets[b] += buckets[b];
+    }
+  }
+  // Same edge accounting as reduce(): one message per live edge, one
+  // folded message per internal node per level.
+  result.messages = result.contributed;
+  int level_width = leaves_;
+  while (level_width > fanout_) {
+    level_width = (level_width + fanout_ - 1) / fanout_;
+    result.messages += level_width;
+  }
+  result.root_receives = level_width;
   return result;
 }
 

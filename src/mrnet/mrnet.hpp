@@ -24,8 +24,19 @@
 
 namespace tdp::mrnet {
 
-/// Reduction filters applied at each internal node.
-enum class Filter : std::uint8_t { kSum = 0, kMin, kMax, kCount, kConcat };
+/// Reduction filters applied at each internal node. kHistMerge folds
+/// per-leaf log2 histogram bucket vectors elementwise (see
+/// reduce_histograms) so the root can recompute exact-within-bucket
+/// percentiles over the whole pool — the telemetry-rollup path of the
+/// hierarchical CASS.
+enum class Filter : std::uint8_t {
+  kSum = 0,
+  kMin,
+  kMax,
+  kCount,
+  kConcat,
+  kHistMerge,
+};
 
 const char* filter_name(Filter filter) noexcept;
 
@@ -76,6 +87,21 @@ class Tree {
   /// String reduction (kConcat): values joined in leaf order with ','.
   [[nodiscard]] ReduceResult reduce_concat(
       const std::vector<std::string>& leaf_values) const;
+
+  struct HistReduceResult {
+    std::vector<std::uint64_t> buckets;  ///< elementwise-summed buckets
+    int messages = 0;
+    int hops = 0;
+    int root_receives = 0;
+    int contributed = 0;
+    int missing = 0;
+  };
+
+  /// Histogram reduction (kHistMerge): folds `leaf_buckets[i]` elementwise
+  /// up the tree. Bucket vectors may differ in length (short ones are
+  /// zero-extended); failed leaves are skipped like reduce().
+  [[nodiscard]] HistReduceResult reduce_histograms(
+      const std::vector<std::vector<std::uint64_t>>& leaf_buckets) const;
 
   /// Marks a leaf as failed; subsequent operations skip it.
   Status fail_leaf(int leaf);

@@ -1,0 +1,161 @@
+#include "mrnet/overlay.hpp"
+
+#include <algorithm>
+
+namespace tdp::mrnet {
+
+Result<Overlay> Overlay::build(int leaves, int fanout) {
+  if (leaves < 1) {
+    return make_error(ErrorCode::kInvalidArgument, "leaves must be >= 1");
+  }
+  if (fanout < 2) {
+    return make_error(ErrorCode::kInvalidArgument, "fanout must be >= 2");
+  }
+  Overlay overlay;
+  overlay.leaves_ = leaves;
+  overlay.fanout_ = fanout;
+
+  std::vector<int> level(static_cast<std::size_t>(leaves));
+  for (int i = 0; i < leaves; ++i) level[static_cast<std::size_t>(i)] = i;
+  overlay.parent_.assign(static_cast<std::size_t>(leaves), -1);
+  overlay.children_.assign(static_cast<std::size_t>(leaves), {});
+
+  // Ceil-group `fanout` consecutive nodes per parent until one group fits
+  // under the root. Interior ids therefore ascend bottom-up, which pump
+  // loops exploit: iterating ascending polls children before parents.
+  while (static_cast<int>(level.size()) > fanout) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i < level.size(); i += static_cast<std::size_t>(fanout)) {
+      const int node = static_cast<int>(overlay.parent_.size());
+      overlay.parent_.push_back(-1);
+      overlay.children_.emplace_back();
+      const std::size_t end =
+          std::min(level.size(), i + static_cast<std::size_t>(fanout));
+      for (std::size_t j = i; j < end; ++j) {
+        overlay.parent_[static_cast<std::size_t>(level[j])] = node;
+        overlay.children_[static_cast<std::size_t>(node)].push_back(level[j]);
+      }
+      next.push_back(node);
+    }
+    level = std::move(next);
+  }
+
+  const int root = static_cast<int>(overlay.parent_.size());
+  overlay.parent_.push_back(-1);
+  overlay.children_.emplace_back();
+  for (int child : level) {
+    overlay.parent_[static_cast<std::size_t>(child)] = root;
+    overlay.children_[static_cast<std::size_t>(root)].push_back(child);
+  }
+  overlay.root_ = root;
+  overlay.dead_.assign(overlay.parent_.size(), false);
+  return overlay;
+}
+
+int Overlay::parent(int node) const {
+  if (!valid_node(node) || !alive(node)) return -1;
+  return parent_[static_cast<std::size_t>(node)];
+}
+
+const std::vector<int>& Overlay::children(int node) const {
+  static const std::vector<int> kEmpty;
+  if (!valid_node(node)) return kEmpty;
+  return children_[static_cast<std::size_t>(node)];
+}
+
+std::vector<int> Overlay::interior_nodes() const {
+  std::vector<int> nodes;
+  for (int node = leaves_; node < root_; ++node) {
+    if (alive(node)) nodes.push_back(node);
+  }
+  return nodes;
+}
+
+int Overlay::depth() const {
+  int depth = 0;
+  for (int leaf = 0; leaf < leaves_; ++leaf) {
+    if (!alive(leaf)) continue;
+    int hops = 0;
+    for (int node = leaf; node != root_; node = parent_[static_cast<std::size_t>(node)]) {
+      ++hops;
+      if (hops > node_count()) break;  // cycle guard; connected() catches it
+    }
+    depth = std::max(depth, hops);
+  }
+  return depth;
+}
+
+int Overlay::live_ancestor(int node) const {
+  if (!valid_node(node)) return -1;
+  int cursor = parent_[static_cast<std::size_t>(node)];
+  int steps = 0;
+  while (cursor != -1 && !alive(cursor) && steps++ <= node_count()) {
+    cursor = parent_[static_cast<std::size_t>(cursor)];
+  }
+  return cursor == -1 ? root_ : cursor;
+}
+
+Result<std::vector<int>> Overlay::kill_node(int node) {
+  if (!valid_node(node)) {
+    return make_error(ErrorCode::kInvalidArgument, "no such overlay node");
+  }
+  if (node == root_) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "the root (front-end) is outside the fault model");
+  }
+  if (!alive(node)) {
+    return make_error(ErrorCode::kInvalidState, "node already dead");
+  }
+  dead_[static_cast<std::size_t>(node)] = true;
+
+  // Detach from the (live-ancestor) parent's child list.
+  const int old_parent = live_ancestor(node);
+  auto& siblings = children_[static_cast<std::size_t>(old_parent)];
+  siblings.erase(std::remove(siblings.begin(), siblings.end(), node),
+                 siblings.end());
+
+  // Promote orphaned children to the nearest live ancestor.
+  std::vector<int> moved = children_[static_cast<std::size_t>(node)];
+  children_[static_cast<std::size_t>(node)].clear();
+  for (int child : moved) {
+    parent_[static_cast<std::size_t>(child)] = old_parent;
+    children_[static_cast<std::size_t>(old_parent)].push_back(child);
+  }
+  return moved;
+}
+
+bool Overlay::connected() const {
+  for (int leaf = 0; leaf < leaves_; ++leaf) {
+    if (!alive(leaf)) continue;
+    int cursor = leaf;
+    int steps = 0;
+    while (cursor != root_) {
+      if (!alive(cursor) || steps++ > node_count()) return false;
+      cursor = parent_[static_cast<std::size_t>(cursor)];
+    }
+  }
+  return true;
+}
+
+std::vector<int> Overlay::reduce_deliveries() const {
+  std::vector<int> counts(static_cast<std::size_t>(leaves_), 0);
+  // Iterative DFS over the materialized child lists; a node appearing
+  // twice (or a cycle) shows up as a live leaf counted twice.
+  std::vector<int> stack = {root_};
+  std::size_t safety = 0;
+  const std::size_t limit = parent_.size() * 2 + 16;
+  while (!stack.empty() && safety++ < limit) {
+    const int node = stack.back();
+    stack.pop_back();
+    if (is_leaf(node)) {
+      if (alive(node)) ++counts[static_cast<std::size_t>(node)];
+      continue;
+    }
+    for (int child : children_[static_cast<std::size_t>(node)]) {
+      stack.push_back(child);
+    }
+  }
+  return counts;
+}
+
+}  // namespace tdp::mrnet

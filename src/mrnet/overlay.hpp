@@ -1,0 +1,85 @@
+// overlay.hpp - explicit MRNet overlay topology (PR 7).
+//
+// mrnet.hpp's Tree is a counts-only model of a balanced k-ary tree: enough
+// for message accounting, useless for fault injection on *interior* nodes,
+// because it has no node identities to kill. The hierarchical CASS needs
+// exactly that: kill comm node 137, watch its children re-parent, prove no
+// false lease expiry fires for still-alive leaves. This class materializes
+// the node graph.
+//
+// Node ids: leaves are 0..leaves-1; interior nodes are assigned level by
+// level bottom-up (deterministically, by ceil-grouping `fanout` consecutive
+// nodes); the root is the highest id. Re-parenting on interior death
+// promotes the orphaned children to the nearest live ancestor — the same
+// repair MPD's ring and MRNet's tree perform when a comm process dies.
+#pragma once
+
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace tdp::mrnet {
+
+class Overlay {
+ public:
+  /// leaves >= 1, fanout >= 2 (same contract as Tree::build).
+  static Result<Overlay> build(int leaves, int fanout);
+
+  [[nodiscard]] int leaf_count() const noexcept { return leaves_; }
+  [[nodiscard]] int node_count() const noexcept {
+    return static_cast<int>(parent_.size());
+  }
+  [[nodiscard]] int root() const noexcept { return root_; }
+  [[nodiscard]] int fanout() const noexcept { return fanout_; }
+
+  [[nodiscard]] bool valid_node(int node) const noexcept {
+    return node >= 0 && node < node_count();
+  }
+  [[nodiscard]] bool is_leaf(int node) const noexcept {
+    return node >= 0 && node < leaves_;
+  }
+  [[nodiscard]] bool is_interior(int node) const noexcept {
+    return valid_node(node) && !is_leaf(node) && node != root_;
+  }
+  [[nodiscard]] bool alive(int node) const {
+    return valid_node(node) && !dead_[static_cast<std::size_t>(node)];
+  }
+
+  /// Parent id; -1 for the root and for dead nodes.
+  [[nodiscard]] int parent(int node) const;
+  [[nodiscard]] const std::vector<int>& children(int node) const;
+  /// Live interior node ids, ascending (ascending == bottom-up by level).
+  [[nodiscard]] std::vector<int> interior_nodes() const;
+  /// Longest live-leaf -> root path length in hops.
+  [[nodiscard]] int depth() const;
+  /// Walks the parent chain from `node` to the first live node (the root
+  /// is always live). Returns -1 for invalid input.
+  [[nodiscard]] int live_ancestor(int node) const;
+
+  /// Kills a node. A dead leaf just drops out of its parent's child list;
+  /// a dead interior node's children re-parent to its nearest live
+  /// ancestor (returned, in child-id order). Killing the root is a clean
+  /// error — the front-end is not part of the overlay's fault model.
+  Result<std::vector<int>> kill_node(int node);
+
+  /// True when every live leaf reaches the root through live nodes — the
+  /// fuzz tier's convergence invariant after arbitrary death sequences.
+  [[nodiscard]] bool connected() const;
+
+  /// Per-leaf delivery counts of one simulated broadcast/reduction walked
+  /// over the materialized child lists. Any live leaf with count != 1 is a
+  /// structural bug (missed or double delivery).
+  [[nodiscard]] std::vector<int> reduce_deliveries() const;
+
+  Overlay() = default;  // empty overlay; build() is the real constructor
+
+ private:
+  int leaves_ = 0;
+  int fanout_ = 0;
+  int root_ = 0;
+  std::vector<int> parent_;
+  std::vector<std::vector<int>> children_;
+  std::vector<bool> dead_;
+};
+
+}  // namespace tdp::mrnet

@@ -1,0 +1,287 @@
+#include "mrnet/virtual_pool.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+namespace tdp::mrnet {
+
+namespace {
+
+/// Zero-padded host names keep every name-keyed map in index order, so
+/// iteration order (and therefore event order) is seed-stable.
+std::string make_host_name(int index) {
+  char buffer[16];
+  std::snprintf(buffer, sizeof(buffer), "h%06d", index);
+  return buffer;
+}
+
+}  // namespace
+
+VirtualCassPool::VirtualCassPool(VirtualPoolConfig config)
+    : config_(config), clock_(engine_) {
+  hosts_.reserve(static_cast<std::size_t>(config_.hosts));
+  for (int i = 0; i < config_.hosts; ++i) hosts_.push_back(make_host_name(i));
+  host_alive_.assign(static_cast<std::size_t>(config_.hosts), true);
+
+  if (config_.hierarchical) {
+    HierarchyConfig hierarchy;
+    hierarchy.fanout = config_.fanout;
+    hierarchy.lease = config_.lease;
+    hierarchy.clock = &clock_;
+    cass_ = HierarchicalCass::build(hosts_, hierarchy).value();
+    cass_->on_host_expired([this](const std::string& host) {
+      ++stats_.host_expiries;
+      log("t=" + std::to_string(engine_.now()) + " expired " + host);
+    });
+  } else {
+    flat_monitor_ =
+        std::make_unique<lease::LeaseMonitor>(config_.lease, &clock_);
+    flat_monitor_->on_transition([this](const std::string& name,
+                                        lease::Health /*from*/,
+                                        lease::Health to) {
+      if (to != lease::Health::kExpired) return;
+      ++stats_.host_expiries;
+      flat_monitor_->forget(name);
+      log("t=" + std::to_string(engine_.now()) + " expired " + name);
+    });
+  }
+
+  publishers_.reserve(hosts_.size());
+  for (int i = 0; i < config_.hosts; ++i) {
+    const std::string& host = hosts_[static_cast<std::size_t>(i)];
+    lease::HeartbeatPublisher::PutFn put;
+    if (config_.hierarchical) {
+      put = [this, &host](const std::string& /*attribute*/,
+                          const std::string& value) {
+        ++stats_.beats_sent;
+        cass_->observe_host(host, value);
+        return Status::ok();
+      };
+    } else {
+      put = [this, &host](const std::string& /*attribute*/,
+                          const std::string& /*value*/) {
+        ++stats_.beats_sent;
+        ++stats_.root_liveness_writes;
+        flat_monitor_->observe(host);
+        return Status::ok();
+      };
+    }
+    publishers_.push_back(std::make_unique<lease::HeartbeatPublisher>(
+        host, config_.lease, &clock_, std::move(put)));
+  }
+}
+
+void VirtualCassPool::log(std::string line) {
+  if (config_.log_events) event_log_.push_back(std::move(line));
+}
+
+void VirtualCassPool::schedule_beat(int host, Micros at) {
+  engine_.schedule_at(at, [this, host] {
+    if (engine_.now() >= end_micros_) return;
+    if (host_alive_[static_cast<std::size_t>(host)]) {
+      (void)publishers_[static_cast<std::size_t>(host)]->beat_now();
+    }
+    schedule_beat(host, engine_.now() + config_.lease.beat_interval_micros);
+  });
+}
+
+void VirtualCassPool::schedule_pump(Micros at) {
+  engine_.schedule_at(at, [this] {
+    if (engine_.now() >= end_micros_) return;
+    int transitions = 0;
+    if (cass_) {
+      transitions = cass_->pump();
+    } else {
+      transitions = flat_monitor_->poll();
+    }
+    stats_.lease_transitions += static_cast<std::uint64_t>(transitions);
+    if (transitions != 0) {
+      log("t=" + std::to_string(engine_.now()) + " pump transitions=" +
+          std::to_string(transitions));
+    }
+    schedule_pump(engine_.now() + config_.pump_interval_micros);
+  });
+}
+
+void VirtualCassPool::telemetry_round() {
+  // Synthetic but deterministic per-host metrics: one counter-like scalar
+  // and one log2 histogram contribution, both pure functions of (host,
+  // virtual time), so same-seed runs roll up identical values.
+  const Micros now = engine_.now();
+  if (cass_) {
+    std::map<std::string, attr::TelemetryRollup> per_host;
+    for (int i = 0; i < config_.hosts; ++i) {
+      if (!host_alive_[static_cast<std::size_t>(i)]) continue;
+      attr::TelemetryRollup& rollup =
+          per_host[hosts_[static_cast<std::size_t>(i)]];
+      rollup.add_value("work.items",
+                       static_cast<double>((i * 7 + now / 1000) % 101));
+      std::vector<std::uint64_t> buckets(16, 0);
+      buckets[static_cast<std::size_t>((i + now / 1000) % 16)] = 1;
+      rollup.add_histogram("work.latency_us", buckets,
+                           static_cast<std::uint64_t>(i % 997));
+    }
+    const int written = cass_->rollup_telemetry(per_host, "pool");
+    log("t=" + std::to_string(now) + " rollup attrs=" +
+        std::to_string(written));
+  } else {
+    // Flat control: every host flattens its own sample at the root.
+    int written = 0;
+    for (int i = 0; i < config_.hosts; ++i) {
+      if (!host_alive_[static_cast<std::size_t>(i)]) continue;
+      attr::TelemetryRollup rollup;
+      rollup.add_value("work.items",
+                       static_cast<double>((i * 7 + now / 1000) % 101));
+      std::vector<std::uint64_t> buckets(16, 0);
+      buckets[static_cast<std::size_t>((i + now / 1000) % 16)] = 1;
+      rollup.add_histogram("work.latency_us", buckets,
+                           static_cast<std::uint64_t>(i % 997));
+      const auto pairs = rollup.flatten("tdp.telemetry.rollup.pool." +
+                                        hosts_[static_cast<std::size_t>(i)] +
+                                        ".");
+      written += static_cast<int>(pairs.size());
+    }
+    stats_.root_telemetry_writes += static_cast<std::uint64_t>(written);
+    log("t=" + std::to_string(now) + " rollup attrs=" +
+        std::to_string(written));
+  }
+}
+
+void VirtualCassPool::schedule_telemetry(Micros at) {
+  engine_.schedule_at(at, [this] {
+    if (engine_.now() >= end_micros_) return;
+    telemetry_round();
+    schedule_telemetry(engine_.now() + config_.telemetry_interval_micros);
+  });
+}
+
+void VirtualCassPool::run(Micros duration_micros) {
+  end_micros_ = duration_micros;
+  if (!scheduled_) {
+    scheduled_ = true;
+    if (config_.log_events) {
+      engine_.set_trace([this](const sim::Engine::TraceEntry& entry) {
+        event_log_.push_back("e " + std::to_string(entry.time) + " " +
+                             std::to_string(entry.seq));
+      });
+    }
+    // Beat phases are spread deterministically from the seed so the root
+    // is not hit by config.hosts simultaneous writes at t=0.
+    Rng rng(config_.seed);
+    for (int i = 0; i < config_.hosts; ++i) {
+      schedule_beat(i, static_cast<Micros>(rng.next_below(static_cast<std::uint64_t>(
+                           config_.lease.beat_interval_micros))));
+    }
+    schedule_pump(config_.pump_interval_micros);
+    if (config_.telemetry_interval_micros > 0) {
+      schedule_telemetry(config_.telemetry_interval_micros);
+    }
+  }
+  engine_.run_until(duration_micros);
+
+  stats_.events_executed = engine_.executed();
+  stats_.end_micros = engine_.now();
+  if (cass_) {
+    stats_.root_liveness_writes = cass_->root_liveness_writes();
+    stats_.root_telemetry_writes = cass_->root_telemetry_writes();
+    stats_.summary_publishes = cass_->summary_publishes();
+    stats_.dropped_beats = cass_->dropped_beats();
+    stats_.reparent_events = cass_->reparent_events();
+  }
+}
+
+void VirtualCassPool::kill_host_at(int host, Micros when) {
+  engine_.schedule_at(when, [this, host] {
+    host_alive_[static_cast<std::size_t>(host)] = false;
+    log("t=" + std::to_string(engine_.now()) + " kill_host " +
+        hosts_[static_cast<std::size_t>(host)]);
+  });
+}
+
+void VirtualCassPool::kill_interior_at(int node, Micros when) {
+  engine_.schedule_at(when, [this, node] {
+    if (!cass_) return;
+    (void)cass_->kill_interior(node);
+    log("t=" + std::to_string(engine_.now()) + " kill_interior n" +
+        std::to_string(node));
+  });
+}
+
+lease::Health VirtualCassPool::host_health(int host) const {
+  const std::string& name = hosts_[static_cast<std::size_t>(host)];
+  if (cass_) return cass_->host_health(name);
+  return flat_monitor_->tracked(name) ? flat_monitor_->health(name)
+                                      : lease::Health::kExpired;
+}
+
+VirtualCassPool::AttachStats VirtualCassPool::measure_submit_attach() const {
+  // The front-end multicasts one attach order per live host and waits for
+  // the farthest ack. Every sender serializes its sends (k-th child waits
+  // k send costs); every edge costs one LAN hop + jitter, and the ack
+  // returns over the same path without the serialization penalty. Flat
+  // mode is the degenerate one-level tree: the root serializes config.hosts
+  // sends, which is exactly the O(hosts) term the hierarchy removes.
+  Rng rng(config_.seed ^ 0x5ca1ab1eULL);
+  auto hop = [&]() {
+    return static_cast<double>(config_.lan_hop_micros) +
+           rng.next_exponential(config_.jitter_mean_micros);
+  };
+  std::vector<double> latencies;
+  latencies.reserve(static_cast<std::size_t>(config_.hosts));
+
+  if (!config_.hierarchical || cass_ == nullptr) {
+    for (int i = 0; i < config_.hosts; ++i) {
+      if (!host_alive_[static_cast<std::size_t>(i)]) continue;
+      const double request =
+          static_cast<double>((i + 1) * config_.send_cost_micros) + hop();
+      latencies.push_back(request + hop());  // + ack
+    }
+  } else {
+    const Overlay& overlay = cass_->overlay();
+    // BFS arrival times from the root over the materialized topology.
+    std::vector<double> arrival(
+        static_cast<std::size_t>(overlay.node_count()), -1.0);
+    std::vector<int> frontier = {overlay.root()};
+    arrival[static_cast<std::size_t>(overlay.root())] = 0.0;
+    while (!frontier.empty()) {
+      std::vector<int> next;
+      for (int node : frontier) {
+        int slot = 0;
+        for (int child : overlay.children(node)) {
+          const double when =
+              arrival[static_cast<std::size_t>(node)] +
+              static_cast<double>((++slot) * config_.send_cost_micros) + hop();
+          arrival[static_cast<std::size_t>(child)] = when;
+          if (!overlay.is_leaf(child)) next.push_back(child);
+        }
+      }
+      frontier = std::move(next);
+    }
+    const int depth = std::max(1, overlay.depth());
+    for (int i = 0; i < config_.hosts; ++i) {
+      if (!host_alive_[static_cast<std::size_t>(i)]) continue;
+      if (arrival[static_cast<std::size_t>(i)] < 0.0) continue;
+      double ack = 0.0;
+      for (int d = 0; d < depth; ++d) ack += hop();
+      latencies.push_back(arrival[static_cast<std::size_t>(i)] + ack);
+    }
+  }
+
+  AttachStats stats;
+  if (latencies.empty()) return stats;
+  std::sort(latencies.begin(), latencies.end());
+  double sum = 0.0;
+  for (double v : latencies) sum += v;
+  stats.mean_micros = sum / static_cast<double>(latencies.size());
+  const std::size_t p99_index = std::min(
+      latencies.size() - 1,
+      static_cast<std::size_t>(
+          std::ceil(0.99 * static_cast<double>(latencies.size())) - 1));
+  stats.p99_micros = latencies[p99_index];
+  stats.max_micros = latencies.back();
+  return stats;
+}
+
+}  // namespace tdp::mrnet

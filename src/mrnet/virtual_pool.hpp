@@ -1,0 +1,134 @@
+// virtual_pool.hpp - N-host virtual pools on the sim engine (PR 7).
+//
+// The scale tier cannot run 10k real daemons, so it runs 10k virtual ones:
+// every host owns a real lease::HeartbeatPublisher, every interior comm
+// node a real lease::LeaseAggregator (via mrnet::HierarchicalCass), and
+// time advances through sim::Engine — the protocol logic is the production
+// code, only the clock and the network hops are simulated. Two modes share
+// one driver so the bench can draw the flat-vs-tree crossover:
+//
+//   flat: every beat and telemetry sample lands on the root directly —
+//         O(hosts) root writes, the PR 5 status quo;
+//   tree: beats fold through the hierarchical CASS — O(fanout) root
+//         writes.
+//
+// Determinism: all event phases derive from the seed, all time from the
+// virtual clock; two same-seed runs must produce byte-identical engine
+// traces and equal Stats (tests/sim/test_scale_determinism.cpp), which is
+// also what makes BENCH_scale.json reproducible.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mrnet/hierarchy.hpp"
+#include "sim/engine.hpp"
+#include "util/lease.hpp"
+#include "util/rng.hpp"
+
+namespace tdp::mrnet {
+
+struct VirtualPoolConfig {
+  int hosts = 100;
+  int fanout = 8;
+  bool hierarchical = true;  ///< false = flat control
+  std::uint64_t seed = 1;
+  lease::Config lease;
+  /// Per-host telemetry cadence; 0 disables the telemetry plane.
+  Micros telemetry_interval_micros = 1'000'000;
+  /// Liveness poll cadence (flat monitor poll / cass pump).
+  Micros pump_interval_micros = 250'000;
+  /// Record engine (time, seq) trace lines and semantic event lines —
+  /// memory-heavy at 10k hosts, required by the determinism tier.
+  bool log_events = false;
+
+  // Submit->attach latency model (measure_submit_attach): every sender
+  // serializes one message per child at `send_cost`, every edge costs one
+  // LAN hop plus seeded exponential jitter.
+  Micros lan_hop_micros = 150;
+  Micros send_cost_micros = 2;
+  double jitter_mean_micros = 25.0;
+};
+
+class VirtualCassPool {
+ public:
+  explicit VirtualCassPool(VirtualPoolConfig config);
+
+  /// Runs the pool to `duration_micros` of virtual time (schedules beats,
+  /// pumps and telemetry on first call).
+  void run(Micros duration_micros);
+
+  /// Schedules a host death (beats stop) at virtual time `when`.
+  void kill_host_at(int host, Micros when);
+  /// Schedules an interior comm-node death at virtual time `when`
+  /// (hierarchical mode only).
+  void kill_interior_at(int node, Micros when);
+
+  struct Stats {
+    std::uint64_t beats_sent = 0;
+    std::uint64_t root_liveness_writes = 0;
+    std::uint64_t root_telemetry_writes = 0;
+    std::uint64_t summary_publishes = 0;
+    std::uint64_t dropped_beats = 0;
+    std::uint64_t host_expiries = 0;
+    std::uint64_t reparent_events = 0;
+    std::uint64_t lease_transitions = 0;
+    std::uint64_t events_executed = 0;
+    Micros end_micros = 0;
+
+    [[nodiscard]] bool operator==(const Stats&) const = default;
+  };
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Engine (time, seq) trace + semantic events, in execution order; empty
+  /// unless config.log_events.
+  [[nodiscard]] const std::vector<std::string>& event_log() const {
+    return event_log_;
+  }
+
+  [[nodiscard]] const HierarchicalCass* cass() const { return cass_.get(); }
+  [[nodiscard]] sim::Engine& engine() { return engine_; }
+  [[nodiscard]] const std::string& host_name(int host) const {
+    return hosts_[static_cast<std::size_t>(host)];
+  }
+  [[nodiscard]] lease::Health host_health(int host) const;
+
+  struct AttachStats {
+    double mean_micros = 0.0;
+    double p99_micros = 0.0;
+    double max_micros = 0.0;
+  };
+  /// Submit->attach latency over the current topology: the front-end
+  /// multicasts the Figure-6 attach order to every live host (flat: one
+  /// serialized send per host; tree: sends fan out level by level) and the
+  /// farthest ack closes the handshake. Deterministic for a fixed seed.
+  [[nodiscard]] AttachStats measure_submit_attach() const;
+
+ private:
+  void schedule_beat(int host, Micros at);
+  void schedule_pump(Micros at);
+  void schedule_telemetry(Micros at);
+  void telemetry_round();
+  void log(std::string line);
+
+  VirtualPoolConfig config_;
+  sim::Engine engine_;
+  sim::VirtualClock clock_;
+
+  std::vector<std::string> hosts_;
+  std::vector<bool> host_alive_;
+  std::vector<std::unique_ptr<lease::HeartbeatPublisher>> publishers_;
+
+  std::unique_ptr<HierarchicalCass> cass_;  // hierarchical mode
+  std::unique_ptr<lease::LeaseMonitor> flat_monitor_;  // flat mode
+
+  bool scheduled_ = false;
+  Micros end_micros_ = 0;
+  Stats stats_;
+  std::vector<std::string> event_log_;
+};
+
+}  // namespace tdp::mrnet

@@ -9,10 +9,10 @@
 
 #include <atomic>
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 #include <vector>
 
+#include "util/clock.hpp"
 #include "util/string_util.hpp"
 #include "util/sync.hpp"
 
@@ -25,19 +25,17 @@ void UniqueFd::reset(int fd) noexcept {
 
 namespace {
 
-using SteadyClock = std::chrono::steady_clock;
-
 Status errno_status(ErrorCode code, const char* what) {
   return make_error(code, std::string(what) + ": " + std::strerror(errno));
 }
 
-/// Remaining milliseconds until `deadline`; -1 means "no deadline".
-int remaining_ms(SteadyClock::time_point deadline, bool has_deadline) {
+/// Remaining milliseconds until `deadline` (util/clock micros); -1 means
+/// "no deadline".
+int remaining_ms(Micros deadline, bool has_deadline) {
   if (!has_deadline) return -1;
-  auto now = SteadyClock::now();
+  const Micros now = RealClock::instance().now_micros();
   if (now >= deadline) return 0;
-  return static_cast<int>(
-      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now).count() + 1);
+  return static_cast<int>((deadline - now) / 1000 + 1);
 }
 
 /// Waits for events on fd. Returns kOk when ready, kTimeout otherwise.
@@ -234,7 +232,8 @@ class TcpEndpoint final : public Endpoint {
     }
 
     const bool has_deadline = timeout_ms >= 0;
-    const auto deadline = SteadyClock::now() + std::chrono::milliseconds(timeout_ms);
+    const Micros deadline = RealClock::instance().now_micros() +
+                            static_cast<Micros>(timeout_ms) * 1000;
 
     while (true) {
       if (buffer_.size() >= Message::kLenPrefixSize) {

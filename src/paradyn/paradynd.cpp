@@ -9,6 +9,7 @@
 
 #include "net/proxy.hpp"
 #include "net/wire.hpp"
+#include "util/clock.hpp"
 #include "util/log.hpp"
 #include "util/string_util.hpp"
 #include "util/telemetry.hpp"
@@ -303,10 +304,10 @@ void Paradynd::handle_frontend_command(const net::Message& command) {
 }
 
 Status Paradynd::run(int timeout_ms) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  const Clock& wall = RealClock::instance();
+  const Micros deadline = wall.now_micros() + static_cast<Micros>(timeout_ms) * 1000;
   while (poll_once()) {
-    if (std::chrono::steady_clock::now() >= deadline) {
+    if (wall.now_micros() >= deadline) {
       return make_error(ErrorCode::kTimeout, "application still running");
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));

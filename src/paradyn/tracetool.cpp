@@ -4,6 +4,7 @@
 #include <fstream>
 #include <thread>
 
+#include "util/clock.hpp"
 #include "util/log.hpp"
 #include "util/string_util.hpp"
 
@@ -121,10 +122,10 @@ bool TraceTool::poll_once() {
 }
 
 Status TraceTool::run(int timeout_ms) {
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  const Clock& wall = RealClock::instance();
+  const Micros deadline = wall.now_micros() + static_cast<Micros>(timeout_ms) * 1000;
   while (poll_once()) {
-    if (std::chrono::steady_clock::now() >= deadline) {
+    if (wall.now_micros() >= deadline) {
       return make_error(ErrorCode::kTimeout, "application still running");
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));

@@ -11,6 +11,7 @@
 #include <cstring>
 #include <thread>
 
+#include "util/clock.hpp"
 #include "util/log.hpp"
 
 namespace tdp::proc {
@@ -320,9 +321,9 @@ std::vector<ProcessEvent> PosixProcessBackend::poll_events() {
 }
 
 Result<ProcessInfo> PosixProcessBackend::wait_terminal(Pid pid, int timeout_ms) {
+  const Clock& wall = RealClock::instance();
   const bool has_deadline = timeout_ms >= 0;
-  const auto deadline =
-      std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+  const Micros deadline = wall.now_micros() + static_cast<Micros>(timeout_ms) * 1000;
   while (true) {
     {
       LockGuard lock(mutex_);
@@ -331,7 +332,7 @@ Result<ProcessInfo> PosixProcessBackend::wait_terminal(Pid pid, int timeout_ms) 
       drain_status_locked(pid, &pending_events_);
       if (is_terminal(found.value()->info.state)) return found.value()->info;
     }
-    if (has_deadline && std::chrono::steady_clock::now() >= deadline) {
+    if (has_deadline && wall.now_micros() >= deadline) {
       return make_error(ErrorCode::kTimeout, "process did not terminate in time");
     }
     std::this_thread::sleep_for(std::chrono::milliseconds(2));

@@ -21,6 +21,8 @@ bool Engine::step() {
   Event event = queue_.top();
   queue_.pop();
   now_ = event.time;
+  ++executed_;
+  if (trace_) trace_(TraceEntry{event.time, event.seq});
   event.action();
   return true;
 }

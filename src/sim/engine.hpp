@@ -50,6 +50,23 @@ class Engine {
   [[nodiscard]] bool idle() const noexcept { return queue_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
 
+  /// One executed event as the determinism tier sees it: (time, seq) is a
+  /// total order over executions — two same-seed runs must produce
+  /// byte-identical trace streams (tests/sim/test_scale_determinism.cpp).
+  struct TraceEntry {
+    Micros time;
+    std::uint64_t seq;
+  };
+  using TraceFn = std::function<void(const TraceEntry&)>;
+
+  /// Installs a sink called for every executed event, before its action
+  /// runs. Pass nullptr to disable. Tracing is observational only: it must
+  /// not schedule or mutate the engine.
+  void set_trace(TraceFn trace) { trace_ = std::move(trace); }
+
+  /// Total events executed over the engine's lifetime.
+  [[nodiscard]] std::uint64_t executed() const noexcept { return executed_; }
+
  private:
   struct Event {
     Micros time;
@@ -65,6 +82,8 @@ class Engine {
 
   Micros now_ = 0;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  TraceFn trace_;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

@@ -148,6 +148,20 @@ std::vector<std::string> LeaseMonitor::expired() const {
   return names;
 }
 
+LeaseMonitor::Counts LeaseMonitor::counts() const {
+  LockGuard lock(mutex_);
+  const Micros now = clock_->now_micros();
+  Counts counts;
+  for (const auto& [name, entry] : entries_) {
+    switch (compute(entry.last_beat_micros, now)) {
+      case Health::kAlive: ++counts.alive; break;
+      case Health::kDegraded: ++counts.degraded; break;
+      case Health::kExpired: ++counts.expired; break;
+    }
+  }
+  return counts;
+}
+
 void LeaseMonitor::forget(const std::string& name) {
   LockGuard lock(mutex_);
   entries_.erase(name);

@@ -125,6 +125,20 @@ class LeaseMonitor {
   /// Names currently past ttl+grace.
   [[nodiscard]] std::vector<std::string> expired() const;
 
+  /// Tracked names bucketed by current health, computed against the clock
+  /// in one pass. This is the input to per-level lease aggregation
+  /// (lease_agg.hpp): an interior CASS node summarizes its children with
+  /// counts, not names, so the upward beat stays O(1).
+  struct Counts {
+    int alive = 0;
+    int degraded = 0;
+    int expired = 0;
+    [[nodiscard]] int total() const noexcept {
+      return alive + degraded + expired;
+    }
+  };
+  [[nodiscard]] Counts counts() const;
+
   /// Stops tracking `name` (no transition fires; the next observe()
   /// restarts tracking from kAlive).
   void forget(const std::string& name);

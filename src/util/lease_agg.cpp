@@ -1,0 +1,140 @@
+#include "util/lease_agg.hpp"
+
+#include <cstdio>
+#include <utility>
+
+namespace tdp::lease {
+
+std::string format_summary(const Summary& summary) {
+  char buffer[128];
+  std::snprintf(buffer, sizeof(buffer),
+                "%llu %lld a=%d d=%d e=%d t=%d",
+                static_cast<unsigned long long>(summary.seq),
+                static_cast<long long>(summary.at_micros), summary.alive,
+                summary.degraded, summary.expired, summary.total);
+  return buffer;
+}
+
+Result<Summary> parse_summary(const std::string& value) {
+  Summary summary;
+  unsigned long long seq = 0;
+  long long at = 0;
+  const int matched =
+      std::sscanf(value.c_str(), "%llu %lld a=%d d=%d e=%d t=%d", &seq, &at,
+                  &summary.alive, &summary.degraded, &summary.expired,
+                  &summary.total);
+  if (matched != 6) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "malformed summary beat: " + value);
+  }
+  summary.seq = seq;
+  summary.at_micros = at;
+  if (summary.alive < 0 || summary.degraded < 0 || summary.expired < 0 ||
+      summary.alive + summary.degraded + summary.expired != summary.total) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "inconsistent summary counts: " + value);
+  }
+  return summary;
+}
+
+LeaseAggregator::LeaseAggregator(std::string attribute, Config config,
+                                 const Clock* clock, PutFn put)
+    : monitor_(config, clock),
+      attribute_(std::move(attribute)),
+      config_(config),
+      clock_(clock),
+      put_(std::move(put)) {}
+
+void LeaseAggregator::on_child_transition(
+    LeaseMonitor::TransitionCallback callback) {
+  monitor_.on_transition(std::move(callback));
+}
+
+void LeaseAggregator::observe_child(const std::string& name) {
+  monitor_.observe(name);
+}
+
+void LeaseAggregator::remove_child(const std::string& name) {
+  monitor_.forget(name);
+}
+
+bool LeaseAggregator::tracks(const std::string& name) const {
+  return monitor_.tracked(name);
+}
+
+std::size_t LeaseAggregator::child_count() const {
+  return monitor_.tracked_count();
+}
+
+Health LeaseAggregator::child_health(const std::string& name) const {
+  return monitor_.health(name);
+}
+
+int LeaseAggregator::poll() {
+  // Child transitions first (callbacks fire inside, outside all locks)...
+  const int transitions = monitor_.poll();
+  // ...then decide whether the summary is due upward. Publishing on shape
+  // change (not only on the pacing interval) bounds root detection latency
+  // to child-TTL + one poll per level, not + beat_interval per level.
+  const LeaseMonitor::Counts counts = monitor_.counts();
+  bool due = false;
+  {
+    LockGuard lock(mutex_);
+    const Micros now = clock_->now_micros();
+    due = last_publish_micros_ < 0 ||
+          now - last_publish_micros_ >= config_.beat_interval_micros ||
+          counts.alive != last_published_.alive ||
+          counts.degraded != last_published_.degraded ||
+          counts.expired != last_published_.expired ||
+          counts.total() != last_published_.total;
+  }
+  if (due) (void)publish_locked_counts(counts);
+  return transitions;
+}
+
+Status LeaseAggregator::publish_now() {
+  return publish_locked_counts(monitor_.counts());
+}
+
+Status LeaseAggregator::publish_locked_counts(LeaseMonitor::Counts counts) {
+  std::string value;
+  {
+    LockGuard lock(mutex_);
+    const Micros now = clock_->now_micros();
+    Summary summary;
+    summary.seq = ++sequence_;
+    summary.at_micros = now;
+    summary.alive = counts.alive;
+    summary.degraded = counts.degraded;
+    summary.expired = counts.expired;
+    summary.total = counts.total();
+    last_publish_micros_ = now;
+    last_published_ = summary;
+    value = format_summary(summary);
+  }
+  // The put may cross the network (or recurse into a parent aggregator's
+  // own leaf lock); never hold our lock across it.
+  return put_(attribute_, value);
+}
+
+Summary LeaseAggregator::summary() const {
+  const LeaseMonitor::Counts counts = monitor_.counts();
+  Summary summary;
+  {
+    LockGuard lock(mutex_);
+    summary.seq = sequence_;
+    summary.at_micros = last_publish_micros_;
+  }
+  summary.alive = counts.alive;
+  summary.degraded = counts.degraded;
+  summary.expired = counts.expired;
+  summary.total = counts.total();
+  return summary;
+}
+
+std::uint64_t LeaseAggregator::publishes() const {
+  LockGuard lock(mutex_);
+  return sequence_;
+}
+
+}  // namespace tdp::lease

@@ -1,0 +1,123 @@
+// lease_agg.hpp - per-level lease aggregation (PR 7).
+//
+// The flat liveness design (lease.hpp, PR 5) has every daemon beat straight
+// at one central monitor: O(hosts) writes arriving at the root attrspace,
+// which caps pool size long before the paper's scale. The hierarchical CASS
+// (mrnet/hierarchy.hpp) interposes interior nodes, and this file is the
+// primitive an interior node runs: it holds leases on its children via an
+// embedded LeaseMonitor and publishes ONE summarized beat upward, so each
+// level of the tree compresses its subtree's liveness into a single
+// attribute write. The root then sees O(fanout) writes regardless of hosts.
+//
+// Summary beat value format (an extension of the plain "<seq> <micros>"
+// heartbeat so existing parsers still find the leading pair):
+//
+//     "<seq> <micros> a=<alive> d=<degraded> e=<expired> t=<total>"
+//
+// A summary is kAlive when every child is alive and kDegraded otherwise —
+// a "degraded subtree" means some descendants missed beats but the interior
+// node itself is up and reporting. The summary never claims kExpired: a
+// subtree is declared dead only by the *parent's* lease on the summary beat
+// expiring, i.e. the interior node itself went silent (DESIGN.md §14).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/clock.hpp"
+#include "util/lease.hpp"
+#include "util/status.hpp"
+#include "util/sync.hpp"
+
+namespace tdp::lease {
+
+/// Parsed form of one summarized upward beat.
+struct Summary {
+  std::uint64_t seq = 0;
+  Micros at_micros = 0;
+  int alive = 0;
+  int degraded = 0;
+  int expired = 0;
+  int total = 0;
+
+  /// Aggregate health claimed by the summary. kExpired is never claimed:
+  /// subtree death is only ever inferred by the parent's lease expiring.
+  [[nodiscard]] Health health() const noexcept {
+    return (degraded == 0 && expired == 0) ? Health::kAlive
+                                           : Health::kDegraded;
+  }
+
+  [[nodiscard]] bool same_shape(const Summary& other) const noexcept {
+    return alive == other.alive && degraded == other.degraded &&
+           expired == other.expired && total == other.total;
+  }
+};
+
+[[nodiscard]] std::string format_summary(const Summary& summary);
+[[nodiscard]] Result<Summary> parse_summary(const std::string& value);
+
+/// One interior node's aggregation state: a LeaseMonitor over the child
+/// beat names plus a paced publisher of the summarized upward beat. The
+/// upward beat is published when beat_interval elapses OR the summary shape
+/// changes (a child degrading must not wait out the pacing interval, or the
+/// root would learn of trouble one beat late per level).
+///
+/// Thread-safety: same discipline as HeartbeatPublisher/LeaseMonitor — all
+/// state behind leaf mutexes (§10 row 5), the upward put and all child
+/// transition callbacks run outside every lock.
+class LeaseAggregator {
+ public:
+  using PutFn = HeartbeatPublisher::PutFn;
+
+  /// `attribute` is this node's own upward beat name (e.g.
+  /// tdp.liveness.cassagg.n137); `put` delivers it one level up.
+  LeaseAggregator(std::string attribute, Config config, const Clock* clock,
+                  PutFn put);
+
+  /// Appends a callback fired from poll() on every child health
+  /// transition, outside all aggregator/monitor locks.
+  void on_child_transition(LeaseMonitor::TransitionCallback callback);
+
+  /// Records one child beat (child names are arbitrary: leaf host beat
+  /// attributes or child aggregators' summary attributes).
+  void observe_child(const std::string& name);
+
+  /// Stops tracking a child with no transition (re-parenting, not death).
+  void remove_child(const std::string& name);
+
+  [[nodiscard]] bool tracks(const std::string& name) const;
+  [[nodiscard]] std::size_t child_count() const;
+  [[nodiscard]] Health child_health(const std::string& name) const;
+
+  /// Recomputes child leases, fires transition callbacks, then publishes
+  /// one summarized beat upward if due. Returns child transitions reported.
+  int poll();
+
+  /// Unconditional upward publish (node startup, post-re-parent announce).
+  Status publish_now();
+
+  /// Current summary computed fresh from the child monitor (seq/at_micros
+  /// are those of the *last published* beat, counts are live).
+  [[nodiscard]] Summary summary() const;
+
+  [[nodiscard]] std::uint64_t publishes() const;
+  [[nodiscard]] const std::string& attribute() const { return attribute_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ private:
+  Status publish_locked_counts(LeaseMonitor::Counts counts);
+
+  LeaseMonitor monitor_;  // owns its own leaf lock
+
+  mutable Mutex mutex_{"lease::LeaseAggregator::mutex_"};
+  std::uint64_t sequence_ TDP_GUARDED_BY(mutex_) = 0;
+  Micros last_publish_micros_ TDP_GUARDED_BY(mutex_) = -1;
+  Summary last_published_ TDP_GUARDED_BY(mutex_);
+
+  const std::string attribute_;
+  const Config config_;
+  const Clock* clock_;
+  const PutFn put_;
+};
+
+}  // namespace tdp::lease

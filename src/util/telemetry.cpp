@@ -31,6 +31,21 @@ double bucket_upper(int b) noexcept {
   return static_cast<double>((std::uint64_t{1} << b) - 1);
 }
 
+/// Shared by snapshot() and snapshot_from_buckets(): a value at cumulative
+/// rank r is in the first bucket where the running total reaches r. Ranks
+/// are 1-based ceilings, p100 == max.
+double bucket_percentile(const std::uint64_t* buckets, int n,
+                         std::uint64_t count, double q) noexcept {
+  const auto rank =
+      static_cast<std::uint64_t>(q * static_cast<double>(count - 1)) + 1;
+  std::uint64_t seen = 0;
+  for (int b = 0; b < n; ++b) {
+    seen += buckets[b];
+    if (seen >= rank) return bucket_upper(b);
+  }
+  return bucket_upper(n - 1);
+}
+
 }  // namespace
 
 void Histogram::record(std::uint64_t v) noexcept {
@@ -48,21 +63,32 @@ Histogram::Snapshot Histogram::snapshot() const {
   }
   snap.sum = sum_.load(std::memory_order_relaxed);
   if (snap.count == 0) return snap;
+  snap.p50 = bucket_percentile(buckets, kBuckets, snap.count, 0.50);
+  snap.p95 = bucket_percentile(buckets, kBuckets, snap.count, 0.95);
+  snap.p99 = bucket_percentile(buckets, kBuckets, snap.count, 0.99);
+  return snap;
+}
 
-  // A value at cumulative rank r is in the first bucket where the running
-  // total reaches r. Ranks are 1-based ceilings, p100 == max.
-  auto percentile = [&](double q) {
-    const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(snap.count - 1)) + 1;
-    std::uint64_t seen = 0;
-    for (int b = 0; b < kBuckets; ++b) {
-      seen += buckets[b];
-      if (seen >= rank) return bucket_upper(b);
-    }
-    return bucket_upper(kBuckets - 1);
-  };
-  snap.p50 = percentile(0.50);
-  snap.p95 = percentile(0.95);
-  snap.p99 = percentile(0.99);
+std::vector<std::uint64_t> Histogram::bucket_counts() const {
+  std::vector<std::uint64_t> out(static_cast<std::size_t>(kBuckets));
+  for (int b = 0; b < kBuckets; ++b) {
+    out[static_cast<std::size_t>(b)] =
+        buckets_[b].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+Histogram::Snapshot snapshot_from_buckets(
+    const std::vector<std::uint64_t>& buckets, std::uint64_t sum) {
+  Histogram::Snapshot snap;
+  const int n = std::min(static_cast<int>(buckets.size()),
+                         Histogram::kBuckets);
+  for (int b = 0; b < n; ++b) snap.count += buckets[static_cast<std::size_t>(b)];
+  snap.sum = sum;
+  if (snap.count == 0 || n == 0) return snap;
+  snap.p50 = bucket_percentile(buckets.data(), n, snap.count, 0.50);
+  snap.p95 = bucket_percentile(buckets.data(), n, snap.count, 0.95);
+  snap.p99 = bucket_percentile(buckets.data(), n, snap.count, 0.99);
   return snap;
 }
 

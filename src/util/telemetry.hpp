@@ -94,11 +94,24 @@ class Histogram {
   };
   [[nodiscard]] Snapshot snapshot() const;
 
+  /// Raw bucket counts (relaxed loads). This is the mergeable form: the
+  /// hierarchical CASS folds per-host buckets elementwise up the mrnet
+  /// overlay and recomputes percentiles at the root with
+  /// snapshot_from_buckets() — exact where folding per-host percentiles
+  /// would be statistically meaningless.
+  [[nodiscard]] std::vector<std::uint64_t> bucket_counts() const;
+
  private:
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<std::uint64_t> sum_{0};
 };
+
+/// Recomputes a Snapshot (count + percentiles) from merged log2 bucket
+/// counts; `sum` is carried alongside by the merger. `buckets` may be
+/// shorter than kBuckets (missing tail buckets count zero).
+[[nodiscard]] Histogram::Snapshot snapshot_from_buckets(
+    const std::vector<std::uint64_t>& buckets, std::uint64_t sum);
 
 /// One registry entry flattened for export / inspection.
 struct Sample {

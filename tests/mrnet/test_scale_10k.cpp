@@ -1,0 +1,104 @@
+// Scale tier (PR 7 tentpole proof): the root attrspace absorbs O(fanout)
+// liveness writes per beat interval in tree mode, versus O(hosts) flat.
+// The 100- and 1k-host tiers always run; the 10k tier carries the ctest
+// label `scale` and additionally skips unless TDP_SCALE_10K=1, so tier-1
+// stays fast while `scripts/ci.sh bench-scale` exercises the full curve.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "mrnet/virtual_pool.hpp"
+
+namespace tdp::mrnet {
+namespace {
+
+VirtualPoolConfig pool_config(int hosts, bool hierarchical) {
+  VirtualPoolConfig config;
+  config.hosts = hosts;
+  config.fanout = 8;
+  config.hierarchical = hierarchical;
+  config.seed = 42;
+  config.telemetry_interval_micros = 0;  // isolate the liveness plane
+  return config;
+}
+
+constexpr Micros kRunMicros = 8'000'000;  // 8 virtual seconds
+
+/// Upper bound on tree-mode root liveness writes: each of the root's
+/// <= fanout children publishes once per beat interval, plus slack for the
+/// startup publish and shape-change republishes.
+std::uint64_t tree_root_write_budget(const VirtualPoolConfig& config) {
+  const std::uint64_t rounds = static_cast<std::uint64_t>(
+      kRunMicros / config.lease.beat_interval_micros + 2);
+  return static_cast<std::uint64_t>(config.fanout) * rounds * 2;
+}
+
+void expect_o_fanout_root_writes(int hosts) {
+  VirtualCassPool tree(pool_config(hosts, true));
+  VirtualCassPool flat(pool_config(hosts, false));
+  tree.run(kRunMicros);
+  flat.run(kRunMicros);
+
+  const VirtualPoolConfig config = pool_config(hosts, true);
+  const std::uint64_t beat_rounds = static_cast<std::uint64_t>(
+      kRunMicros / config.lease.beat_interval_micros);
+
+  // Flat control: every host's every beat lands on the root.
+  EXPECT_GE(flat.stats().root_liveness_writes,
+            static_cast<std::uint64_t>(hosts) * (beat_rounds - 1));
+
+  // Tree: root write volume is bounded by fanout, NOT hosts. The same
+  // budget holds at every pool size — that is the O(fanout) claim.
+  EXPECT_LE(tree.stats().root_liveness_writes, tree_root_write_budget(config))
+      << "hosts=" << hosts;
+  EXPECT_GT(tree.stats().root_liveness_writes, 0u);
+
+  // Every beat was still accounted for somewhere (observed, not dropped).
+  EXPECT_GE(tree.stats().beats_sent,
+            static_cast<std::uint64_t>(hosts) * (beat_rounds - 1));
+  EXPECT_EQ(tree.stats().dropped_beats, 0u);
+  EXPECT_EQ(tree.stats().host_expiries, 0u);  // nobody died: no false expiry
+}
+
+TEST(ScaleTier, RootWritesAreOFanoutAt100) { expect_o_fanout_root_writes(100); }
+
+TEST(ScaleTier, RootWritesAreOFanoutAt1k) { expect_o_fanout_root_writes(1'000); }
+
+TEST(ScaleTier, RootWriteRateIndependentOfHostCount) {
+  // The sharpest form of the claim: grow the pool 10x, the root's write
+  // volume stays within 2x (depth grows by one level, rates match).
+  VirtualCassPool small(pool_config(100, true));
+  VirtualCassPool large(pool_config(1'000, true));
+  small.run(kRunMicros);
+  large.run(kRunMicros);
+  ASSERT_GT(small.stats().root_liveness_writes, 0u);
+  EXPECT_LE(large.stats().root_liveness_writes,
+            small.stats().root_liveness_writes * 2);
+}
+
+TEST(ScaleTier, RootWritesAreOFanoutAt10k) {
+  if (std::getenv("TDP_SCALE_10K") == nullptr) {
+    GTEST_SKIP() << "10k tier is opt-in: set TDP_SCALE_10K=1 "
+                    "(scripts/ci.sh bench-scale does)";
+  }
+  expect_o_fanout_root_writes(10'000);
+}
+
+TEST(ScaleTier, TelemetryFoldsAt10k) {
+  if (std::getenv("TDP_SCALE_10K") == nullptr) {
+    GTEST_SKIP() << "10k tier is opt-in: set TDP_SCALE_10K=1 "
+                    "(scripts/ci.sh bench-scale does)";
+  }
+  VirtualPoolConfig config = pool_config(10'000, true);
+  config.telemetry_interval_micros = 1'000'000;
+  VirtualCassPool tree(config);
+  tree.run(4'000'000);
+  // Telemetry reaches the root as a bounded set of rollup attributes per
+  // round, not one batch per host.
+  EXPECT_GT(tree.stats().root_telemetry_writes, 0u);
+  EXPECT_LE(tree.stats().root_telemetry_writes,
+            static_cast<std::uint64_t>(4 + 1) * 64);
+}
+
+}  // namespace
+}  // namespace tdp::mrnet

@@ -1,0 +1,303 @@
+// Overlay construction edge cases plus randomized node-death fuzzing
+// (PR 7 satellite): after any fixed-seed kill sequence the overlay either
+// converges to one connected tree (every live leaf reaches the root through
+// live nodes, each delivered to exactly once) or the kill reports a clean
+// error — never a hang, never a double delivery.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mrnet/hierarchy.hpp"
+#include "mrnet/mrnet.hpp"
+#include "mrnet/overlay.hpp"
+#include "util/clock.hpp"
+#include "util/rng.hpp"
+
+namespace tdp::mrnet {
+namespace {
+
+void expect_converged(const Overlay& overlay) {
+  EXPECT_TRUE(overlay.connected());
+  const std::vector<int> deliveries = overlay.reduce_deliveries();
+  for (int leaf = 0; leaf < overlay.leaf_count(); ++leaf) {
+    if (!overlay.alive(leaf)) continue;
+    EXPECT_EQ(deliveries[static_cast<std::size_t>(leaf)], 1)
+        << "leaf " << leaf << " delivered " << deliveries[leaf] << " times";
+  }
+}
+
+TEST(OverlayBuild, SingleLeaf) {
+  auto built = Overlay::build(1, 2);
+  ASSERT_TRUE(built.is_ok());
+  const Overlay& overlay = built.value();
+  EXPECT_EQ(overlay.leaf_count(), 1);
+  // One leaf still gets a distinct root above it: the front-end is never a
+  // leaf, so kill semantics stay uniform at every size.
+  EXPECT_NE(overlay.root(), 0);
+  EXPECT_EQ(overlay.parent(0), overlay.root());
+  expect_converged(overlay);
+}
+
+TEST(OverlayBuild, RejectsBadShapes) {
+  EXPECT_FALSE(Overlay::build(0, 2).is_ok());
+  EXPECT_FALSE(Overlay::build(-3, 2).is_ok());
+  EXPECT_FALSE(Overlay::build(8, 1).is_ok());
+  EXPECT_FALSE(Overlay::build(8, 0).is_ok());
+}
+
+TEST(OverlayBuild, MinimumFanout) {
+  auto built = Overlay::build(9, 2);
+  ASSERT_TRUE(built.is_ok());
+  const Overlay& overlay = built.value();
+  // Binary grouping of 9 leaves: 5 + 3 + 2 interior/root levels.
+  EXPECT_GT(overlay.node_count(), overlay.leaf_count());
+  EXPECT_EQ(overlay.root(), overlay.node_count() - 1);
+  for (int node = 0; node < overlay.node_count(); ++node) {
+    if (node == overlay.root()) {
+      EXPECT_EQ(overlay.parent(node), -1);
+    } else {
+      EXPECT_TRUE(overlay.valid_node(overlay.parent(node)));
+      EXPECT_GT(overlay.parent(node), node);  // parents are built above
+    }
+    EXPECT_LE(overlay.children(node).size(),
+              static_cast<std::size_t>(overlay.fanout()));
+  }
+  expect_converged(overlay);
+}
+
+TEST(OverlayBuild, HugeFanoutCollapsesToOneLevel) {
+  auto built = Overlay::build(100, 1'000);
+  ASSERT_TRUE(built.is_ok());
+  const Overlay& overlay = built.value();
+  // fanout >= leaves: every leaf is a direct child of the root.
+  EXPECT_EQ(overlay.node_count(), 101);
+  EXPECT_EQ(overlay.depth(), 1);
+  for (int leaf = 0; leaf < 100; ++leaf) {
+    EXPECT_EQ(overlay.parent(leaf), overlay.root());
+  }
+  expect_converged(overlay);
+}
+
+TEST(OverlayBuild, AgreesWithTreeModelOnDepth) {
+  // The counts-only Tree and the materialized Overlay must describe the
+  // same topology family or the bench's message accounting lies.
+  for (int leaves : {1, 7, 64, 513}) {
+    for (int fanout : {2, 8, 32}) {
+      auto tree = Tree::build(leaves, fanout);
+      auto overlay = Overlay::build(leaves, fanout);
+      ASSERT_TRUE(tree.is_ok());
+      ASSERT_TRUE(overlay.is_ok());
+      EXPECT_EQ(overlay.value().depth(), tree.value().depth())
+          << "leaves=" << leaves << " fanout=" << fanout;
+    }
+  }
+}
+
+TEST(OverlayKill, RootKillIsCleanError) {
+  auto built = Overlay::build(8, 2);
+  ASSERT_TRUE(built.is_ok());
+  Overlay overlay = std::move(built).value();
+  auto killed = overlay.kill_node(overlay.root());
+  EXPECT_FALSE(killed.is_ok());
+  EXPECT_TRUE(overlay.alive(overlay.root()));
+  expect_converged(overlay);
+}
+
+TEST(OverlayKill, InvalidAndDoubleKills) {
+  auto built = Overlay::build(8, 2);
+  ASSERT_TRUE(built.is_ok());
+  Overlay overlay = std::move(built).value();
+  EXPECT_FALSE(overlay.kill_node(-1).is_ok());
+  EXPECT_FALSE(overlay.kill_node(overlay.node_count()).is_ok());
+  ASSERT_TRUE(overlay.kill_node(0).is_ok());
+  EXPECT_FALSE(overlay.kill_node(0).is_ok());  // already dead
+  expect_converged(overlay);
+}
+
+TEST(OverlayKill, InteriorKillReparentsToNearestLiveAncestor) {
+  auto built = Overlay::build(16, 2);
+  ASSERT_TRUE(built.is_ok());
+  Overlay overlay = std::move(built).value();
+  const std::vector<int> interior = overlay.interior_nodes();
+  ASSERT_FALSE(interior.empty());
+  const int victim = interior.front();
+  const int grandparent = overlay.parent(victim);
+  const std::vector<int> orphans = overlay.children(victim);
+  auto moved = overlay.kill_node(victim);
+  ASSERT_TRUE(moved.is_ok());
+  EXPECT_EQ(moved.value(), orphans);
+  for (int child : orphans) {
+    EXPECT_EQ(overlay.parent(child), grandparent);
+  }
+  EXPECT_EQ(overlay.parent(victim), -1);
+  expect_converged(overlay);
+}
+
+TEST(OverlayKill, CascadeThroughDeadAncestors) {
+  // Kill a whole chain of ancestors; children must skip every dead level
+  // and land on the first LIVE ancestor.
+  auto built = Overlay::build(64, 2);
+  ASSERT_TRUE(built.is_ok());
+  Overlay overlay = std::move(built).value();
+  int node = overlay.parent(0);
+  std::vector<int> chain;
+  while (overlay.is_interior(node)) {
+    chain.push_back(node);
+    node = overlay.parent(node);
+  }
+  ASSERT_GE(chain.size(), 2u);
+  for (int victim : chain) {
+    ASSERT_TRUE(overlay.kill_node(victim).is_ok());
+    expect_converged(overlay);
+  }
+  // Leaf 0 survived the entire ancestry dying around it.
+  EXPECT_TRUE(overlay.alive(0));
+  EXPECT_EQ(overlay.parent(0), overlay.root());
+}
+
+TEST(OverlayFuzz, RandomDeathSequencesConverge) {
+  // Fixed seeds (the chaos-tier convention): every kill either succeeds and
+  // leaves a connected exactly-once tree, or reports a clean error on an
+  // invalid target. The loop is bounded, so termination == no hang.
+  for (std::uint64_t seed : {1ull, 42ull, 20030211ull}) {
+    for (int fanout : {2, 4, 16}) {
+      auto built = Overlay::build(257, fanout);
+      ASSERT_TRUE(built.is_ok());
+      Overlay overlay = std::move(built).value();
+      Rng rng(seed ^ static_cast<std::uint64_t>(fanout) << 32);
+      std::set<int> dead;
+      int kills = 0;
+      for (int attempt = 0; attempt < 400; ++attempt) {
+        const int victim = static_cast<int>(
+            rng.next_below(static_cast<std::uint64_t>(overlay.node_count())));
+        auto killed = overlay.kill_node(victim);
+        if (victim == overlay.root() || dead.count(victim) != 0) {
+          EXPECT_FALSE(killed.is_ok());
+          continue;
+        }
+        ASSERT_TRUE(killed.is_ok())
+            << "seed=" << seed << " fanout=" << fanout << " victim=" << victim;
+        dead.insert(victim);
+        ++kills;
+        expect_converged(overlay);
+      }
+      EXPECT_GT(kills, 0);
+      // Dead leaves deliver zero; live leaves exactly once (checked above).
+      const std::vector<int> deliveries = overlay.reduce_deliveries();
+      for (int leaf = 0; leaf < overlay.leaf_count(); ++leaf) {
+        if (!overlay.alive(leaf)) {
+          EXPECT_EQ(deliveries[static_cast<std::size_t>(leaf)], 0);
+        }
+      }
+    }
+  }
+}
+
+TEST(Membership, SilentFromBirthIsStillDetected) {
+  // The regression the chaos tier caught: a host killed before its first
+  // beat ever reached its parent was never tracked, so its lease never
+  // expired and its job was stranded forever. build() now seeds a lease on
+  // every member, making birth-silence equal to death-silence.
+  ManualClock clock;
+  HierarchyConfig config;
+  config.fanout = 4;
+  config.lease.ttl_micros = 1'000;
+  config.lease.grace_micros = 400;
+  config.lease.beat_interval_micros = 250;
+  config.clock = &clock;
+  std::vector<std::string> hosts;
+  for (int i = 0; i < 20; ++i) hosts.push_back("h" + std::to_string(i));
+  auto built = HierarchicalCass::build(hosts, config);
+  ASSERT_TRUE(built.is_ok());
+  auto& cass = built.value();
+  std::vector<std::string> expired;
+  cass->on_host_expired([&](const std::string& host) {
+    expired.push_back(host);
+  });
+  // Everyone is tracked (and alive) from build, before any beat arrives.
+  for (const auto& host : hosts) {
+    EXPECT_EQ(cass->host_health(host), lease::Health::kAlive) << host;
+  }
+  // h7 never speaks; everyone else beats normally.
+  for (int round = 0; round < 10; ++round) {
+    for (const auto& host : hosts) {
+      if (host != "h7") cass->observe_host(host);
+    }
+    cass->pump();
+    clock.advance_micros(250);
+  }
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired.front(), "h7");
+  EXPECT_EQ(cass->host_expiries(), 1u);
+}
+
+TEST(Membership, PromotedChildrenAreSeededAtNewParent) {
+  // Re-parenting must preserve the everyone-is-tracked invariant: a child
+  // that died while its parent comm node was down is detected ttl+grace
+  // after promotion, not lost.
+  ManualClock clock;
+  HierarchyConfig config;
+  config.fanout = 4;
+  config.lease.ttl_micros = 1'000;
+  config.lease.grace_micros = 400;
+  config.lease.beat_interval_micros = 250;
+  config.clock = &clock;
+  std::vector<std::string> hosts;
+  for (int i = 0; i < 20; ++i) hosts.push_back("h" + std::to_string(i));
+  auto built = HierarchicalCass::build(hosts, config);
+  ASSERT_TRUE(built.is_ok());
+  auto& cass = built.value();
+  std::vector<std::string> expired;
+  cass->on_host_expired([&](const std::string& host) {
+    expired.push_back(host);
+  });
+
+  const int victim_node = cass->interior_of("h0");
+  ASSERT_TRUE(cass->overlay().is_interior(victim_node));
+  ASSERT_TRUE(cass->kill_interior(victim_node).is_ok());
+  // h0 dies during the blackout; its still-alive siblings keep beating
+  // into the void until re-parenting.
+  const std::uint64_t reparents_before = cass->reparent_events();
+  int rounds = 0;
+  while (cass->reparent_events() == reparents_before && rounds < 64) {
+    for (const auto& host : hosts) {
+      if (host != "h0") cass->observe_host(host);
+    }
+    cass->pump();
+    clock.advance_micros(250);
+    ++rounds;
+  }
+  ASSERT_GT(cass->reparent_events(), reparents_before);
+  // The survivors were seeded at the new parent: alive immediately.
+  EXPECT_NE(cass->interior_of("h1"), victim_node);
+  EXPECT_EQ(cass->host_health("h1"), lease::Health::kAlive);
+  // The blackout casualty was seeded too — and expires on schedule.
+  for (int round = 0; round < 10 && expired.empty(); ++round) {
+    for (const auto& host : hosts) {
+      if (host != "h0") cass->observe_host(host);
+    }
+    cass->pump();
+    clock.advance_micros(250);
+  }
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired.front(), "h0");
+}
+
+TEST(HistMerge, BucketsMergeElementwise) {
+  auto built = Tree::build(4, 2);
+  ASSERT_TRUE(built.is_ok());
+  const Tree& tree = built.value();
+  std::vector<std::vector<std::uint64_t>> leaves = {
+      {1, 0, 2}, {0, 3}, {}, {5, 5, 5, 5}};
+  auto merged = tree.reduce_histograms(leaves);
+  const std::vector<std::uint64_t> want = {6, 8, 7, 5};
+  EXPECT_EQ(merged.buckets, want);
+  EXPECT_EQ(merged.contributed, 4);
+  // Tree reduction: the root absorbs fanout receives, not one per leaf.
+  EXPECT_LE(merged.root_receives, 2);
+}
+
+}  // namespace
+}  // namespace tdp::mrnet

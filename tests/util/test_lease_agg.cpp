@@ -1,0 +1,257 @@
+// Per-level lease aggregation (PR 7 satellite): an interior node folds N
+// child beats into ONE upward summary beat; a child expiring flips the
+// summary to degraded and the change propagates to a root monitor within
+// TTL+grace; all callbacks and upward puts run outside the aggregator's
+// locks (asserted via Mutex::assert_not_held under Debug).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/lease.hpp"
+#include "util/lease_agg.hpp"
+
+namespace tdp::lease {
+namespace {
+
+Config test_config() {
+  Config config;
+  config.ttl_micros = 1'000;
+  config.grace_micros = 400;
+  config.beat_interval_micros = 250;
+  return config;
+}
+
+struct Upward {
+  std::string attribute;
+  std::string value;
+};
+
+TEST(LeaseAgg, SummaryFormatRoundTrip) {
+  Summary summary;
+  summary.seq = 7;
+  summary.at_micros = 123'456;
+  summary.alive = 40;
+  summary.degraded = 2;
+  summary.expired = 1;
+  summary.total = 43;
+  const std::string value = format_summary(summary);
+  // The leading "<seq> <micros>" pair matches the plain heartbeat format.
+  EXPECT_EQ(value, "7 123456 a=40 d=2 e=1 t=43");
+
+  auto parsed = parse_summary(value);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().seq, 7u);
+  EXPECT_EQ(parsed.value().at_micros, 123'456);
+  EXPECT_TRUE(parsed.value().same_shape(summary));
+  EXPECT_EQ(parsed.value().health(), Health::kDegraded);
+}
+
+TEST(LeaseAgg, ParseRejectsMalformedSummaries) {
+  EXPECT_FALSE(parse_summary("").is_ok());
+  EXPECT_FALSE(parse_summary("1 2").is_ok());  // plain beat, no counts
+  EXPECT_FALSE(parse_summary("1 2 a=1 d=0 e=0 t=9").is_ok());  // a+d+e != t
+  EXPECT_FALSE(parse_summary("1 2 a=-1 d=0 e=0 t=-1").is_ok());
+  EXPECT_FALSE(parse_summary("garbage").is_ok());
+}
+
+TEST(LeaseAgg, NChildBeatsBecomeOneUpwardBeat) {
+  ManualClock clock;
+  std::vector<Upward> upward;
+  LeaseAggregator agg("tdp.liveness.cassagg.n8", test_config(), &clock,
+                      [&](const std::string& attribute, const std::string& value) {
+                        upward.push_back({attribute, value});
+                        return Status::ok();
+                      });
+  constexpr int kChildren = 16;
+  for (int i = 0; i < kChildren; ++i) {
+    agg.observe_child("child" + std::to_string(i));
+  }
+  EXPECT_EQ(agg.child_count(), static_cast<std::size_t>(kChildren));
+
+  // First poll publishes the initial summary: 16 beats in, ONE beat out.
+  agg.poll();
+  ASSERT_EQ(upward.size(), 1u);
+  EXPECT_EQ(upward[0].attribute, "tdp.liveness.cassagg.n8");
+  auto summary = parse_summary(upward[0].value);
+  ASSERT_TRUE(summary.is_ok());
+  EXPECT_EQ(summary.value().alive, kChildren);
+  EXPECT_EQ(summary.value().total, kChildren);
+  EXPECT_EQ(summary.value().health(), Health::kAlive);
+
+  // More beats inside the pacing interval with an unchanged shape do not
+  // re-publish: the compression is what makes the root O(fanout).
+  for (int i = 0; i < kChildren; ++i) {
+    agg.observe_child("child" + std::to_string(i));
+  }
+  agg.poll();
+  EXPECT_EQ(upward.size(), 1u);
+
+  // After the pacing interval the refreshed summary goes up (the parent's
+  // lease on THIS node needs renewing even when nothing changed below).
+  clock.advance_micros(250);
+  for (int i = 0; i < kChildren; ++i) {
+    agg.observe_child("child" + std::to_string(i));
+  }
+  agg.poll();
+  EXPECT_EQ(upward.size(), 2u);
+  EXPECT_EQ(agg.publishes(), 2u);
+}
+
+TEST(LeaseAgg, ShapeChangePublishesImmediately) {
+  ManualClock clock;
+  std::vector<Upward> upward;
+  LeaseAggregator agg("n1", test_config(), &clock,
+                      [&](const std::string& attribute, const std::string& value) {
+                        upward.push_back({attribute, value});
+                        return Status::ok();
+                      });
+  agg.observe_child("a");
+  agg.observe_child("b");
+  agg.poll();
+  ASSERT_EQ(upward.size(), 1u);
+
+  // "b" misses beats; at ttl+1 it degrades. Even though the pacing interval
+  // for the *previous* publish has not elapsed since the last refresh, the
+  // shape change must go up immediately — trouble news never waits.
+  clock.advance_micros(500);
+  agg.observe_child("a");
+  agg.poll();
+  const std::size_t published_before = upward.size();
+  clock.advance_micros(501);  // b at 1001 > ttl; a at 501: alive
+  agg.observe_child("a");
+  agg.poll();
+  ASSERT_GT(upward.size(), published_before);
+  auto summary = parse_summary(upward.back().value);
+  ASSERT_TRUE(summary.is_ok());
+  EXPECT_EQ(summary.value().alive, 1);
+  EXPECT_EQ(summary.value().degraded, 1);
+  EXPECT_EQ(summary.value().health(), Health::kDegraded);
+}
+
+TEST(LeaseAgg, SummaryNeverClaimsExpired) {
+  // A summary claims at most kDegraded: subtree death is only ever inferred
+  // by the parent's lease on the summary beat itself expiring.
+  Summary summary;
+  summary.expired = 5;
+  summary.total = 5;
+  EXPECT_EQ(summary.health(), Health::kDegraded);
+}
+
+TEST(LeaseAgg, ChildExpiryPropagatesToRootWithinTtlPlusGrace) {
+  // Two levels: interior aggregator -> root monitor. The root holds a lease
+  // on the aggregator's summary attribute; a child dying below flips the
+  // summary to degraded on the next poll after ttl, well inside the
+  // TTL+grace budget the root allows the whole subtree.
+  ManualClock clock;
+  LeaseMonitor root(test_config(), &clock);
+  std::vector<Summary> root_saw;
+  LeaseAggregator agg("n1", test_config(), &clock,
+                      [&](const std::string& attribute, const std::string& value) {
+                        root.observe(attribute);
+                        auto parsed = parse_summary(value);
+                        if (parsed.is_ok()) root_saw.push_back(parsed.value());
+                        return Status::ok();
+                      });
+  agg.observe_child("h0");
+  agg.observe_child("h1");
+  agg.poll();
+  root.poll();
+  ASSERT_FALSE(root_saw.empty());
+  EXPECT_EQ(root_saw.back().health(), Health::kAlive);
+
+  // h1 goes silent at t=0; h0 keeps beating. Walk time in beat intervals.
+  const Micros deadline = test_config().ttl_micros + test_config().grace_micros;
+  Micros elapsed = 0;
+  while (elapsed < deadline) {
+    clock.advance_micros(250);
+    elapsed += 250;
+    agg.observe_child("h0");
+    agg.poll();
+    root.poll();
+  }
+  // Within ttl+grace of the silence the root has seen a degraded summary,
+  // and its lease on the (still-publishing) aggregator stays alive.
+  EXPECT_EQ(root_saw.back().health(), Health::kDegraded);
+  EXPECT_EQ(root_saw.back().degraded + root_saw.back().expired, 1);
+  EXPECT_EQ(root.health("n1"), Health::kAlive);
+}
+
+TEST(LeaseAgg, TransitionCallbacksRunOutsideLocks) {
+  // Re-entering the aggregator from a transition callback would deadlock
+  // (or trip the Debug lock-order assert) if callbacks fired under a lock.
+  ManualClock clock;
+  int publishes = 0;
+  LeaseAggregator agg("n1", test_config(), &clock,
+                      [&](const std::string&, const std::string&) {
+                        ++publishes;
+                        return Status::ok();
+                      });
+  std::vector<std::pair<std::string, Health>> transitions;
+  agg.on_child_transition(
+      [&](const std::string& name, Health, Health now) {
+        transitions.emplace_back(name, now);
+        // Re-entrancy: reads AND a fresh observe from inside the callback.
+        (void)agg.child_count();
+        (void)agg.summary();
+        if (now == Health::kExpired) agg.remove_child(name);
+      });
+  agg.observe_child("a");
+  agg.observe_child("b");
+  agg.poll();
+  clock.advance_micros(1'401);  // both past ttl+grace
+  agg.poll();
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0].second, Health::kExpired);
+  // The callback's remove_child took effect: nothing tracked any more.
+  EXPECT_EQ(agg.child_count(), 0u);
+  EXPECT_GT(publishes, 0);
+}
+
+TEST(LeaseAgg, UpwardPutRunsOutsideLocks) {
+  // The upward put re-enters the aggregator (summary(), tracks()) — legal
+  // only because publish never holds mutex_ across put_.
+  ManualClock clock;
+  std::unique_ptr<LeaseAggregator> agg;
+  int reentrant_reads = 0;
+  agg = std::make_unique<LeaseAggregator>(
+      "n1", test_config(), &clock,
+      [&](const std::string&, const std::string&) {
+        if (agg) {
+          (void)agg->summary();
+          (void)agg->tracks("a");
+          ++reentrant_reads;
+        }
+        return Status::ok();
+      });
+  agg->observe_child("a");
+  agg->poll();
+  EXPECT_GT(reentrant_reads, 0);
+}
+
+TEST(LeaseAgg, RemoveChildIsSilent) {
+  ManualClock clock;
+  LeaseAggregator agg("n1", test_config(), &clock,
+                      [](const std::string&, const std::string&) {
+                        return Status::ok();
+                      });
+  int transitions = 0;
+  agg.on_child_transition(
+      [&](const std::string&, Health, Health) { ++transitions; });
+  agg.observe_child("a");
+  agg.remove_child("a");  // re-parenting, not death: no transition
+  clock.advance_micros(10'000);
+  agg.poll();
+  EXPECT_EQ(transitions, 0);
+  EXPECT_FALSE(agg.tracks("a"));
+  // A fresh observe restarts tracking from kAlive — the property that
+  // makes re-parenting free of false expiries.
+  agg.observe_child("a");
+  EXPECT_EQ(agg.child_health("a"), Health::kAlive);
+}
+
+}  // namespace
+}  // namespace tdp::lease
