@@ -367,9 +367,9 @@ void Pool::on_machine_lease_expired(const std::string& machine) {
 void Pool::ensure_cass() {
   if (!config_.hierarchical_cass || machine_ads_.size() == cass_hosts_) return;
   // Rebuild only on pool growth. The rebuild is safe mid-flight because
-  // lease tracking at every level starts from the first beat that arrives
-  // (LeaseMonitor::observe), so no machine can be falsely expired by the
-  // topology change — the same property re-parenting relies on.
+  // every machine's lease state is carried over from the old tree below,
+  // so the topology change can neither falsely expire a machine nor reset
+  // an in-flight detection deadline.
   std::vector<std::string> hosts;
   hosts.reserve(machine_ads_.size());
   for (const auto& [name, ad] : machine_ads_) hosts.push_back(name);
@@ -382,8 +382,28 @@ void Pool::ensure_cass() {
     kLog.warn("hierarchical CASS build failed: ", built.status().to_string());
     return;
   }
+  std::unique_ptr<mrnet::HierarchicalCass> previous = std::move(cass_);
   cass_ = std::move(built.value());
   cass_hosts_ = machine_ads_.size();
+  // build() seeded every member fresh-from-now; correct that against the
+  // old tree. A machine whose lease was in flight keeps its last-beat time
+  // (a machine that went silent just before this growth is still detected
+  // on its original deadline, not ttl+grace later). A machine whose death
+  // was already detected (untracked in the old tree, in dead_startds_)
+  // stays untracked, so it cannot fire a second expiry — its next beat
+  // after revival re-arms tracking. Machines new in this rebuild, and live
+  // machines transiently untracked mid re-parent, keep the fresh seed.
+  if (previous) {
+    for (const std::string& name : hosts) {
+      if (!previous->member(name)) continue;
+      const Micros beat = previous->host_last_beat(name);
+      if (beat >= 0) {
+        cass_->carry_host_beat(name, beat);
+      } else if (dead_startds_.count(name) != 0) {
+        cass_->carry_host_beat(name, -1);
+      }
+    }
+  }
   cass_->on_host_expired(
       [this](const std::string& machine) { on_machine_lease_expired(machine); });
   if (config_.cass_store != nullptr) {

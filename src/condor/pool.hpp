@@ -241,7 +241,10 @@ class Pool {
 
   /// Hierarchical CASS state (PR 7): the tree is rebuilt only when the
   /// machine set GROWS (machine_ads_ never shrinks), so lease recovery
-  /// logic — not topology edits — handles every death.
+  /// logic — not topology edits — handles every death. A rebuild carries
+  /// each machine's lease state over from the old tree (in-flight beat
+  /// times preserved; already-detected deaths stay untracked so they do
+  /// not expire twice).
   void ensure_cass();
   void on_machine_lease_expired(const std::string& machine);
   std::unique_ptr<mrnet::HierarchicalCass> cass_;

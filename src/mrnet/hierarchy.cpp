@@ -94,10 +94,11 @@ void HierarchicalCass::seed_children(int observer) {
     std::string name;
     if (overlay_.is_leaf(child)) {
       name = hosts_[static_cast<std::size_t>(child)];
-    } else if (aggregators_.count(child) != 0) {
-      name = summary_attr(child);
     } else {
-      continue;  // dead interior child: its subtree re-parents separately
+      // Seeded whether the interior child is alive or dead: a dead child's
+      // never-beaten summary lease is the only remaining way its death can
+      // be observed (see the re-seed in process_pending).
+      name = summary_attr(child);
     }
     if (aggregator != nullptr) {
       aggregator->observe_child(name);
@@ -216,10 +217,16 @@ void HierarchicalCass::process_pending() {
           std::string name;
           if (overlay_.is_leaf(child)) {
             name = hosts_[static_cast<std::size_t>(child)];
-          } else if (aggregators_.count(child) != 0) {
-            name = summary_attr(child);
           } else {
-            continue;  // dead interior child: re-parented on its own expiry
+            // A DEAD interior child is seeded at the new parent too: the
+            // erased aggregator here was the only holder of its summary
+            // lease, so this fresh, never-beaten lease is the only way its
+            // death can still be observed — it expires ttl+grace after
+            // promotion and the child's own kill_node/re-parent runs then.
+            // Skipping it would strand its whole subtree when nested
+            // interior nodes die within one ttl+grace window (correlated
+            // rack failure).
+            name = summary_attr(child);
           }
           if (parent == overlay_.root()) {
             root_monitor_.observe(name);
@@ -274,6 +281,40 @@ lease::Health HierarchicalCass::host_health(const std::string& host) const {
     return lease::Health::kExpired;
   }
   return agg->second->child_health(host);
+}
+
+Micros HierarchicalCass::host_last_beat(const std::string& host) const {
+  const auto it = host_leaf_.find(host);
+  if (it == host_leaf_.end()) return -1;
+  const int parent = overlay_.parent(it->second);
+  if (parent == overlay_.root()) {
+    return root_monitor_.tracked(host) ? root_monitor_.last_beat(host) : -1;
+  }
+  const auto agg = aggregators_.find(parent);
+  if (agg == aggregators_.end()) return -1;
+  return agg->second->child_last_beat(host);
+}
+
+void HierarchicalCass::carry_host_beat(const std::string& host, Micros at) {
+  const auto it = host_leaf_.find(host);
+  if (it == host_leaf_.end()) return;
+  const int parent = overlay_.parent(it->second);
+  if (parent == overlay_.root()) {
+    if (at < 0) {
+      root_monitor_.forget(host);
+      root_summaries_.erase(host);
+    } else {
+      root_monitor_.observe_at(host, at);
+    }
+    return;
+  }
+  const auto agg = aggregators_.find(parent);
+  if (agg == aggregators_.end()) return;
+  if (at < 0) {
+    agg->second->remove_child(host);
+  } else {
+    agg->second->observe_child_at(host, at);
+  }
 }
 
 lease::Summary HierarchicalCass::root_counts() const {

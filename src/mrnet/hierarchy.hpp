@@ -106,6 +106,23 @@ class HierarchicalCass {
   /// beat reaches the new parent).
   [[nodiscard]] lease::Health host_health(const std::string& host) const;
 
+  /// True if `host` was in the host list this tree was built over.
+  [[nodiscard]] bool member(const std::string& host) const {
+    return host_leaf_.count(host) != 0;
+  }
+
+  /// Clock reading of `host`'s last recorded beat at its current observer,
+  /// or -1 if nothing tracks it (death already detected, or the observer
+  /// itself is dead).
+  [[nodiscard]] Micros host_last_beat(const std::string& host) const;
+
+  /// Transplants `host`'s lease state from a previous tree after a pool
+  /// rebuild: `at >= 0` re-dates the seeded lease to that beat time so the
+  /// in-flight detection deadline survives the topology change; `at < 0`
+  /// untracks the host so an already-detected death is not re-detected
+  /// (the next observed beat re-arms tracking).
+  void carry_host_beat(const std::string& host, Micros at);
+
   /// Pool-wide counts folded from the last summary each root child
   /// reported (leaf children of the root count via their lease directly).
   [[nodiscard]] lease::Summary root_counts() const;

@@ -80,9 +80,11 @@ void VirtualCassPool::log(std::string line) {
 void VirtualCassPool::schedule_beat(int host, Micros at) {
   engine_.schedule_at(at, [this, host] {
     if (engine_.now() >= end_micros_) return;
-    if (host_alive_[static_cast<std::size_t>(host)]) {
-      (void)publishers_[static_cast<std::size_t>(host)]->beat_now();
-    }
+    // A killed host's beat chain ends here instead of re-arming no-op
+    // events for the rest of the run (kills are seed-scheduled, so never
+    // re-arming does not perturb determinism; hosts are never revived).
+    if (!host_alive_[static_cast<std::size_t>(host)]) return;
+    (void)publishers_[static_cast<std::size_t>(host)]->beat_now();
     schedule_beat(host, engine_.now() + config_.lease.beat_interval_micros);
   });
 }

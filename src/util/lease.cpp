@@ -72,14 +72,23 @@ void LeaseMonitor::on_transition(TransitionCallback callback) {
 }
 
 void LeaseMonitor::observe(const std::string& name) {
+  observe_at(name, clock_->now_micros());
+}
+
+void LeaseMonitor::observe_at(const std::string& name, Micros at_micros) {
   LockGuard lock(mutex_);
-  const Micros now = clock_->now_micros();
   auto [it, inserted] = entries_.try_emplace(name);
-  it->second.last_beat_micros = now;
+  it->second.last_beat_micros = at_micros;
   if (inserted) it->second.reported = Health::kAlive;
   // A beat does not flip `reported` back by itself: the resurrection
   // transition (kExpired -> kAlive) fires from the next poll(), keeping
   // every callback on the poller's thread.
+}
+
+Micros LeaseMonitor::last_beat(const std::string& name) const {
+  LockGuard lock(mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? -1 : it->second.last_beat_micros;
 }
 
 Health LeaseMonitor::compute(Micros last_beat, Micros now) const {

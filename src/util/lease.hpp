@@ -112,6 +112,16 @@ class LeaseMonitor {
   /// that has not announced itself yet can never be declared dead.
   void observe(const std::string& name);
 
+  /// Records a beat as of an explicit (normally past) clock reading: a
+  /// monitor rebuilt around a topology change carries the old monitor's
+  /// in-flight beat times so detection deadlines are neither reset nor
+  /// fabricated by the rebuild.
+  void observe_at(const std::string& name, Micros at_micros);
+
+  /// Clock reading of the last recorded beat, or -1 if `name` is
+  /// untracked.
+  [[nodiscard]] Micros last_beat(const std::string& name) const;
+
   /// Current health of `name`, computed against the clock; kExpired for
   /// names never observed (use tracked() to distinguish).
   [[nodiscard]] Health health(const std::string& name) const;

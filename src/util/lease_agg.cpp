@@ -54,6 +54,15 @@ void LeaseAggregator::observe_child(const std::string& name) {
   monitor_.observe(name);
 }
 
+void LeaseAggregator::observe_child_at(const std::string& name,
+                                       Micros at_micros) {
+  monitor_.observe_at(name, at_micros);
+}
+
+Micros LeaseAggregator::child_last_beat(const std::string& name) const {
+  return monitor_.last_beat(name);
+}
+
 void LeaseAggregator::remove_child(const std::string& name) {
   monitor_.forget(name);
 }

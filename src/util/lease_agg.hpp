@@ -82,6 +82,13 @@ class LeaseAggregator {
   /// attributes or child aggregators' summary attributes).
   void observe_child(const std::string& name);
 
+  /// Records a child beat as of an explicit past clock reading (lease
+  /// state carried across a tree rebuild, see LeaseMonitor::observe_at).
+  void observe_child_at(const std::string& name, Micros at_micros);
+
+  /// Last recorded beat time for `name`, or -1 if untracked.
+  [[nodiscard]] Micros child_last_beat(const std::string& name) const;
+
   /// Stops tracking a child with no transition (re-parenting, not death).
   void remove_child(const std::string& name);
 

@@ -11,6 +11,7 @@
 #include "net/tcp.hpp"
 #include "proc/posix_backend.hpp"
 #include "proc/sim_backend.hpp"
+#include "util/clock.hpp"
 
 namespace tdp::condor {
 namespace {
@@ -252,6 +253,65 @@ TEST_F(PoolPosixTest, InputFileStagedIn) {
   std::string data((std::istreambuf_iterator<char>(out)),
                    std::istreambuf_iterator<char>());
   EXPECT_EQ(data, "from-stdin");
+}
+
+TEST(PoolCassRebuild, GrowthCarriesLeaseStateAndNeverReExpiresTheDead) {
+  // Pool growth rebuilds the aggregation tree from machine_ads_, which
+  // never shrinks. The rebuild must carry lease state from the old tree:
+  // an already-detected dead machine stays untracked (no second
+  // withdraw/expiry ttl+grace after every growth event), and a machine
+  // that went silent just before the growth keeps its original detection
+  // deadline instead of gaining a fresh ttl+grace.
+  ManualClock clock;
+  PoolConfig config;
+  config.use_real_files = false;
+  config.enable_liveness = true;
+  config.hierarchical_cass = true;
+  config.cass_fanout = 4;
+  config.clock = &clock;
+  config.startd_lease.ttl_micros = 1'000;
+  config.startd_lease.grace_micros = 400;
+  config.startd_lease.beat_interval_micros = 250;
+  config.restart_policy.restart_budget = 0;  // the dead stay dead
+  Pool pool(std::move(config));
+  for (int i = 0; i < 12; ++i) {
+    const std::string name = "m" + std::to_string(i);
+    pool.add_machine(name, Pool::default_machine_ad(name));
+  }
+  auto drive = [&](int rounds) {
+    for (int round = 0; round < rounds; ++round) {
+      pool.pump();
+      clock.advance_micros(250);
+    }
+  };
+  drive(4);  // tree built, everyone beating
+  ASSERT_NE(pool.cass(), nullptr);
+
+  // m3 dies and is detected exactly once.
+  ASSERT_TRUE(pool.kill_startd("m3").is_ok());
+  drive(10);  // well past ttl+grace
+  EXPECT_EQ(pool.cass()->host_expiries(), 1u);
+
+  // m4 dies, and the pool grows 750us into its 1400us detection window.
+  ASSERT_TRUE(pool.kill_startd("m4").is_ok());
+  drive(3);
+  pool.add_machine("m12", Pool::default_machine_ad("m12"));
+  pool.pump();  // rebuilds the tree over 13 machines
+  ASSERT_TRUE(pool.cass()->member("m12"));
+
+  // Carried deadline: m4 expires on the ORIGINAL schedule (~1400us after
+  // its last beat), not a fresh ttl+grace counted from the rebuild.
+  drive(4);  // ~1750us since m4's last beat; rebuild+1400 would be ~2150us
+  EXPECT_EQ(pool.cass()->host_expiries(), 1u) << "m4's deadline was reset";
+  EXPECT_EQ(pool.cass()->host_health("m4"), lease::Health::kExpired);
+
+  // m3 was already detected before the rebuild: it must never fire again.
+  drive(12);
+  EXPECT_EQ(pool.cass()->host_expiries(), 1u) << "dead machine re-expired";
+
+  // Every live machine — including the newcomer — is tracked and alive.
+  EXPECT_EQ(pool.cass()->host_health("m12"), lease::Health::kAlive);
+  EXPECT_EQ(pool.cass()->host_health("m0"), lease::Health::kAlive);
 }
 
 TEST_F(PoolPosixTest, SubmitFileDrivesWholePipeline) {

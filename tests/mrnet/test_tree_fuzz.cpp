@@ -285,6 +285,122 @@ TEST(Membership, PromotedChildrenAreSeededAtNewParent) {
   EXPECT_EQ(expired.front(), "h0");
 }
 
+TEST(Membership, NestedInteriorDeathsDoNotStrandTheSubtree) {
+  // Correlated failure (e.g. a rack): an interior node AND its parent die
+  // within one ttl+grace window. The parent's aggregator was the only
+  // holder of the child's summary lease, so when the parent's death is
+  // detected the promoted dead child must be re-seeded at the new parent
+  // anyway — its never-beaten lease is the only remaining way its death
+  // can be observed. Skipping it would strand its whole subtree: hosts
+  // beating into the void forever, a dead host never expiring.
+  ManualClock clock;
+  HierarchyConfig config;
+  config.fanout = 2;  // deep tree: a leaf's grandparent is interior
+  config.lease.ttl_micros = 1'000;
+  config.lease.grace_micros = 400;
+  config.lease.beat_interval_micros = 250;
+  config.clock = &clock;
+  std::vector<std::string> hosts;
+  for (int i = 0; i < 20; ++i) hosts.push_back("h" + std::to_string(i));
+  auto built = HierarchicalCass::build(hosts, config);
+  ASSERT_TRUE(built.is_ok());
+  auto& cass = built.value();
+  std::vector<std::string> expired;
+  cass->on_host_expired([&](const std::string& host) {
+    expired.push_back(host);
+  });
+
+  const int inner = cass->interior_of("h0");
+  ASSERT_TRUE(cass->overlay().is_interior(inner));
+  const int outer = cass->overlay().parent(inner);
+  ASSERT_TRUE(cass->overlay().is_interior(outer));
+  ASSERT_TRUE(cass->kill_interior(inner).is_ok());
+  ASSERT_TRUE(cass->kill_interior(outer).is_ok());
+  // h0 dies during the same blackout; its siblings stay alive and beat.
+  auto drive_rounds = [&](int rounds) {
+    for (int round = 0; round < rounds; ++round) {
+      for (const auto& host : hosts) {
+        if (host != "h0") cass->observe_host(host);
+      }
+      cass->pump();
+      clock.advance_micros(250);
+    }
+  };
+  // Three detection generations: outer's summary expires at ITS parent,
+  // then inner's re-seeded summary expires at the promotion target, then
+  // h0's re-seeded lease expires. Each takes ttl+grace (6 rounds); 64
+  // rounds is generous slack.
+  drive_rounds(64);
+
+  ASSERT_GE(cass->reparent_events(), 2u)
+      << "the nested dead interior node never re-parented";
+  // Exactly the blackout casualty expired — no false expiry for the
+  // still-beating hosts that were stranded under the two dead nodes.
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired.front(), "h0");
+  // Every survivor is tracked and alive at a live observer again.
+  for (const auto& host : hosts) {
+    if (host == "h0") continue;
+    EXPECT_EQ(cass->host_health(host), lease::Health::kAlive) << host;
+  }
+}
+
+TEST(Membership, CarryHostBeatTransplantsLeaseState) {
+  // The pool-growth rebuild contract: a carried beat time keeps the old
+  // detection deadline, carry(-1) untracks until the next observed beat.
+  ManualClock clock;
+  HierarchyConfig config;
+  config.fanout = 4;
+  config.lease.ttl_micros = 1'000;
+  config.lease.grace_micros = 400;
+  config.lease.beat_interval_micros = 250;
+  config.clock = &clock;
+  std::vector<std::string> hosts = {"a", "b", "c", "d", "e", "f"};
+  auto built = HierarchicalCass::build(hosts, config);
+  ASSERT_TRUE(built.is_ok());
+  auto& cass = built.value();
+  std::vector<std::string> expired;
+  cass->on_host_expired([&](const std::string& host) {
+    expired.push_back(host);
+  });
+
+  // "a" went silent 1'200us ago in the old tree; carrying that beat time
+  // into this fresh tree must keep the original deadline: only 200us of
+  // grace remain, not a fresh ttl+grace.
+  clock.advance_micros(1'200);
+  for (const auto& host : hosts) {
+    if (host != "a" && host != "b") cass->observe_host(host);
+  }
+  cass->carry_host_beat("a", 0);
+  EXPECT_EQ(cass->host_last_beat("a"), 0);
+  // "b" was already detected dead before the rebuild: untracked, silent.
+  cass->carry_host_beat("b", -1);
+  EXPECT_EQ(cass->host_last_beat("b"), -1);
+
+  clock.advance_micros(300);  // past a's original ttl+grace, inside b's
+  cass->pump();
+  ASSERT_EQ(expired.size(), 1u);
+  EXPECT_EQ(expired.front(), "a");
+  // An untracked machine never expires again — until it beats anew and
+  // then goes silent, the ordinary detection path from then on.
+  auto drive_beating = [&](int rounds) {
+    for (int round = 0; round < rounds; ++round) {
+      for (const auto& host : hosts) {
+        if (host != "a" && host != "b") cass->observe_host(host);
+      }
+      cass->pump();
+      clock.advance_micros(250);
+    }
+  };
+  drive_beating(10);
+  EXPECT_EQ(expired.size(), 1u);
+  cass->observe_host("b");  // revival: tracking re-arms from this beat
+  EXPECT_GE(cass->host_last_beat("b"), 0);
+  drive_beating(10);  // b goes silent again after the single revival beat
+  ASSERT_EQ(expired.size(), 2u);
+  EXPECT_EQ(expired.back(), "b");
+}
+
 TEST(HistMerge, BucketsMergeElementwise) {
   auto built = Tree::build(4, 2);
   ASSERT_TRUE(built.is_ok());
