@@ -11,9 +11,12 @@
 #   scripts/ci.sh chaos-kill # daemon-death kill matrix only: paradynd /
 #                            # startd / schedd killed mid-run over the
 #                            # fixed seeds (fast subset for PR gating)
-#   scripts/ci.sh analyze    # lock-discipline gate: lint.py always; clang
-#                            # -Wthread-safety -Werror + clang-tidy where a
-#                            # clang toolchain exists (skipped otherwise)
+#   scripts/ci.sh analyze    # lock-discipline gate: the tdpsa static
+#                            # analyzer always (self-test + whole-program
+#                            # pass + SARIF, verdict-cached on the source
+#                            # hash); clang -Wthread-safety -Werror +
+#                            # clang-tidy where a clang toolchain exists
+#                            # (skipped otherwise)
 #   scripts/ci.sh bench      # benchmark emitters: BENCH_attrspace.json +
 #                            # BENCH_telemetry.json at the repo root
 #   scripts/ci.sh bench-wire # wire/proxy/journal bench: refreshes
@@ -45,7 +48,9 @@ run_tsan() {
     -DTDP_BUILD_EXAMPLES=OFF \
     -DCMAKE_CXX_FLAGS="-fsanitize=thread -fno-omit-frame-pointer" \
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
-  cmake --build build-tsan -j"$(nproc)" --target tdp_attr_tests tdp_chaos_tests
+  cmake --build build-tsan -j"$(nproc)" \
+    --target tdp_attr_tests tdp_chaos_tests tdp_util_tests tdp_scale_tests \
+             tdp_chaos_scale_tests
   # The stress tests exercise the sharded store (concurrent writers,
   # readers, racing waiters) and the reactor-driven server under client
   # churn - exactly the paths a data race would hide in.
@@ -56,6 +61,17 @@ run_tsan() {
   # caller thread, service_events and the server I/O thread.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/tdp_chaos_tests
+  # The PR 7 hierarchical-CASS tier: lease aggregation, the mrnet
+  # hierarchy and the virtual pool at 100/1k hosts. The 10k cases
+  # self-skip without TDP_SCALE_10K (the sanitizer pass wants race
+  # coverage, not scale), and the 1k chaos kill matrix runs with its
+  # fixed seeds.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/tdp_util_tests --gtest_filter='LeaseAgg*'
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/tdp_scale_tests
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/tdp_chaos_scale_tests
 }
 
 run_asan() {
@@ -232,11 +248,30 @@ find_tool() {
 }
 
 run_analyze() {
-  # The repo-specific lock-discipline lint runs unconditionally (pure
-  # python): first its self-test — proving it really does fail on a raw
-  # std::mutex — then the tree itself.
-  python3 scripts/lint.py --self-test
-  python3 scripts/lint.py
+  # The tdpsa static analyzer runs unconditionally (pure python, stdlib
+  # only): first its self-test — proving it still fails on a raw
+  # std::mutex and on every seeded bug in tests/analysis/corpus/ — then
+  # the whole-program pass over src/ (lock graph extraction, cycle
+  # detection, blocking-under-lock, DESIGN.md §10 drift, plus the ported
+  # lint rules), emitting SARIF for CI annotation. A clean verdict is
+  # cached keyed on everything that can change it: the sources, the
+  # analyzer itself, the baseline, DESIGN.md and the corpus.
+  mkdir -p build-analyze
+  local akey
+  akey="$(find src scripts/tdpsa scripts/tdpsa-baseline.json DESIGN.md \
+               tests/analysis -type f -print0 \
+            | sort -z | xargs -0 sha256sum | sha256sum | cut -d' ' -f1)"
+  local astamp="build-analyze/.tdpsa-clean-${akey}"
+  # The SARIF must exist even on a cache hit (CI uploads it), so a
+  # restored stamp without the artifact still re-runs the (cheap) pass.
+  if [[ -f "$astamp" && -f build-analyze/tdpsa.sarif ]]; then
+    echo "analyze: tdpsa cache hit (${akey:0:12}); skipping"
+  else
+    rm -f build-analyze/.tdpsa-clean-*
+    python3 scripts/tdpsa --self-test
+    python3 scripts/tdpsa --sarif build-analyze/tdpsa.sarif
+    touch "$astamp"
+  fi
 
   local clangxx
   if ! clangxx="$(find_tool clang++)"; then

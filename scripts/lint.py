@@ -1,493 +1,20 @@
 #!/usr/bin/env python3
-"""Repo-specific lock-discipline lint (PR 3, runs from scripts/ci.sh analyze).
+"""Compatibility shim: the lint rules moved into scripts/tdpsa.
 
-Five rules, all cheap text scans that hold regardless of which compiler
-built the tree (the clang -Wthread-safety gate only runs where clang
-exists; these rules always run):
-
-  1. raw-sync: no raw std::mutex / std::shared_mutex / std::lock_guard /
-     std::unique_lock / std::shared_lock / std::scoped_lock /
-     std::condition_variable (or their headers) anywhere in src/ outside
-     util/sync.hpp. Everything goes through the annotated tdp wrappers so
-     the thread-safety analysis and the lock-order detector see every
-     acquisition.
-
-  2. blocking-under-lock: in the reactor and server dispatch files, no
-     sleep or blocking receive while a tdp guard is live in an enclosing
-     scope. The "callbacks run outside locks" invariant is asserted at
-     runtime (Mutex::assert_not_held); this catches the obvious static
-     cases before they ever run.
-
-  3. unguarded-adjacent-field: a member field declared in the contiguous
-     declaration block immediately following a tdp::Mutex / tdp::SharedMutex
-     member must carry TDP_GUARDED_BY. The convention (DESIGN.md §10) is
-     that guarded fields sit directly under their mutex; a blank line ends
-     the guarded block, so deliberately unguarded members (atomics,
-     thread-owned state) live after a separator with a comment.
-
-  4. stray-stderr: no `fprintf(stderr, ...)` / `std::cerr` in src/ outside
-     the log sink itself (util/log.cpp), the sync FATAL paths (util/sync.hpp
-     cannot call the logger that is built on top of it), and the paradynd
-     CLI shim (usage/startup errors from main() belong on raw stderr).
-     Everything else reports through util/log so output is capturable,
-     leveled, and - since PR 4 - timestamp/trace-prefixable.
-
-  5. raw-process-signal: no direct `::kill` / `kill()` / `waitpid()` calls
-     outside src/proc/ (the process backends own signalling) and
-     src/condor/master.cpp (the supervisor may reap what it restarts).
-     Since PR 5 daemon death is a first-class, journaled, lease-observed
-     event; an ad-hoc kill in any other layer bypasses the claim journal
-     and the liveness protocol. Use proc::ProcessBackend::kill_process,
-     which this rule deliberately does not match.
-
-  6. manual-framing: no direct Message codec calls - `.encode(`,
-     `encode_into(`, `Message::decode(`, `peek_length(` - in src/ outside
-     src/net/. Since PR 6 the wire format is versioned (v1/v2 negotiate per
-     endpoint, see DESIGN.md §13); a layer that encodes frames itself
-     bypasses the negotiated version and silently pins the peer to whatever
-     it hard-coded. All framing flows through Endpoint
-     send/receive/send_frame/receive_frame.
-
-  7. raw-clock-read: no std::chrono::steady_clock / system_clock /
-     high_resolution_clock reads in src/ outside util/clock.hpp. Since PR 7
-     every timeout and deadline is Micros arithmetic on a tdp::Clock
-     (RealClock for daemons, SimClock for the virtual pools), which is what
-     makes identical-seed scale runs byte-identical: a stray ::now() is
-     nondeterminism the sim cannot control. Durations (sleep_for,
-     milliseconds(n)) are fine — only clock *reads* are banned.
-
-A line ending in a `// NOLINT` comment is exempt from rules 1 and 2; every
-NOLINT must carry a justification after a colon (`// NOLINT: why`). The
-repo-wide suppression budget is capped (kMaxSuppressions) so the escape
-hatch cannot quietly become the norm.
-
-Exit status: 0 clean, 1 findings, 2 usage/self-test failure.
+The PR 3 regex linter grew into the tdpsa static analyzer (DESIGN.md
+§15): the original rules 1 and 3-7 are ported verbatim into its rule
+registry, and rule 2 (blocking-in-reactor/server scopes) is superseded
+by the whole-program blocking-under-lock pass, which follows the call
+graph instead of matching single files. This shim keeps the old entry
+point working — `python3 scripts/lint.py [--self-test]` behaves exactly
+like `python3 scripts/tdpsa [--self-test]`, same exit codes (0 clean,
+1 findings, 2 self-test failure) — so muscle memory, editor hooks and
+older CI configs keep passing through to the real engine.
 """
 
-from __future__ import annotations
-
-import re
+import os
 import sys
-import tempfile
-from pathlib import Path
-
-REPO = Path(__file__).resolve().parent.parent
-
-# Rule 1 -------------------------------------------------------------------
-
-RAW_SYNC_PATTERNS = [
-    (re.compile(r"\bstd::(recursive_|timed_|recursive_timed_)?mutex\b"), "std::mutex"),
-    (re.compile(r"\bstd::shared_(timed_)?mutex\b"), "std::shared_mutex"),
-    (re.compile(r"\bstd::lock_guard\b"), "std::lock_guard"),
-    (re.compile(r"\bstd::unique_lock\b"), "std::unique_lock"),
-    (re.compile(r"\bstd::shared_lock\b"), "std::shared_lock"),
-    (re.compile(r"\bstd::scoped_lock\b"), "std::scoped_lock"),
-    (re.compile(r"\bstd::condition_variable(_any)?\b"), "std::condition_variable"),
-    (re.compile(r"#\s*include\s*<(mutex|shared_mutex|condition_variable)>"),
-     "raw sync header include"),
-]
-
-RAW_SYNC_EXEMPT = {Path("src/util/sync.hpp")}
-
-# Rule 2 -------------------------------------------------------------------
-
-# Files whose dispatch loops promise "no callback under a lock".
-BLOCKING_SCOPE_FILES = [
-    Path("src/net/reactor.cpp"),
-    Path("src/attrspace/attr_server.cpp"),
-]
-
-GUARD_DECL = re.compile(
-    r"\b(?:tdp::)?(LockGuard|UniqueLock|WriteLock|SharedLock)\s+\w+\s*[({]")
-BLOCKING_CALL = re.compile(
-    r"\b(sleep_for|sleep_until|usleep|nanosleep)\s*\(|(->|\.)\s*receive\s*\(|\bsleep\s*\(")
-
-# Rule 4 -------------------------------------------------------------------
-
-STRAY_STDERR = re.compile(r"\bfprintf\s*\(\s*stderr\b|\bstd::cerr\b")
-
-STRAY_STDERR_EXEMPT = {
-    Path("src/util/log.cpp"),        # the sink writes stderr by design
-    Path("src/util/sync.hpp"),       # FATAL paths under the logger's lock layer
-    Path("src/paradyn/paradynd_main.cpp"),  # CLI usage/startup errors
-}
-
-# Rule 5 -------------------------------------------------------------------
-
-# `::kill(` / `kill(` / `waitpid(` as a free-function call. The negative
-# lookbehind rejects identifiers that merely end in "kill" (SIGKILL never
-# precedes "("), and `kill_process(` fails the match because "kill" is
-# followed by "_", not "(". Member calls like backend->kill_process() are
-# therefore clean; a hypothetical obj.kill() still flags, which is wanted -
-# process death must flow through the proc layer whatever the spelling.
-RAW_PROCESS_SIGNAL = re.compile(r"(?<![\w])(?:::\s*)?(kill|waitpid)\s*\(")
-
-RAW_PROCESS_SIGNAL_EXEMPT_DIRS = (Path("src/proc"),)
-RAW_PROCESS_SIGNAL_EXEMPT = {Path("src/condor/master.cpp")}
-
-# Rule 6 -------------------------------------------------------------------
-
-# Direct codec calls: encoding (`x.encode(` / `encode_into(`), decoding
-# (`Message::decode(`), and framing introspection (`peek_length(`). The
-# negative lookbehind on encode rejects larger identifiers that merely end
-# in "encode" (re-encode helpers named e.g. reencode( are still flagged via
-# the explicit alternatives only if spelled exactly).
-MANUAL_FRAMING = re.compile(
-    r"\.\s*encode\s*\(|\bencode_into\s*\(|\bMessage::decode\s*\(|\bpeek_length\s*\(")
-
-MANUAL_FRAMING_EXEMPT_DIRS = (Path("src/net"),)
-
-# Rule 7 -------------------------------------------------------------------
-
-# Any mention of a std::chrono clock type is a read risk; the only sanctioned
-# location is util/clock.hpp (RealClock's implementation). Matching the type
-# name (not just `::now()`) also catches time_point declarations that would
-# force a read somewhere nearby.
-RAW_CLOCK_READ = re.compile(
-    r"\bstd::chrono::(steady_clock|system_clock|high_resolution_clock)\b")
-
-RAW_CLOCK_READ_EXEMPT = {Path("src/util/clock.hpp")}
-
-# Rule 3 -------------------------------------------------------------------
-
-MUTEX_MEMBER = re.compile(
-    r"^\s*(?:mutable\s+)?(?:tdp::)?(Mutex|SharedMutex)\s+\w+\s*(\{|;)")
-FIELD_DECL = re.compile(r"^\s*(?:mutable\s+)?[\w:<>,\s*&]+\s[\w]+_?\s*(\{.*\}\s*)?(=[^;]*)?;")
-BLOCK_END = re.compile(r"^\s*($|\}|public:|protected:|private:|//)")
-
-NOLINT = re.compile(r"//\s*NOLINT(?!\w)")
-NOLINT_JUSTIFIED = re.compile(r"//\s*NOLINT(\(.*\))?:\s*\S")
-
-kMaxSuppressions = 5
-
-
-def iter_source(root: Path):
-    for sub in ("src",):
-        for path in sorted((root / sub).rglob("*")):
-            if path.suffix in (".hpp", ".cpp", ".h", ".cc"):
-                yield path
-
-
-def check_raw_sync(root: Path, findings, suppressions):
-    for path in iter_source(root):
-        rel = path.relative_to(root)
-        if rel in RAW_SYNC_EXEMPT:
-            continue
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            hit = next((name for rx, name in RAW_SYNC_PATTERNS if rx.search(line)), None)
-            if hit is None:
-                continue
-            if NOLINT.search(line):
-                suppressions.append((rel, lineno, line.strip()))
-                if not NOLINT_JUSTIFIED.search(line):
-                    findings.append(
-                        f"{rel}:{lineno}: NOLINT without a justification "
-                        f"(write `// NOLINT: reason`): {line.strip()}")
-                continue
-            findings.append(
-                f"{rel}:{lineno}: raw sync primitive ({hit}) outside "
-                f"util/sync.hpp — use the tdp wrappers: {line.strip()}")
-
-
-def check_blocking_under_lock(root: Path, findings, suppressions):
-    for rel in BLOCKING_SCOPE_FILES:
-        path = root / rel
-        if not path.exists():
-            continue
-        guard_depths: list[int] = []  # brace depth at which each live guard was declared
-        depth = 0
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            code = line.split("//", 1)[0]
-            if GUARD_DECL.search(code):
-                guard_depths.append(depth)
-            if guard_depths and BLOCKING_CALL.search(code):
-                if NOLINT.search(line):
-                    suppressions.append((rel, lineno, line.strip()))
-                    if not NOLINT_JUSTIFIED.search(line):
-                        findings.append(
-                            f"{rel}:{lineno}: NOLINT without a justification: "
-                            f"{line.strip()}")
-                else:
-                    findings.append(
-                        f"{rel}:{lineno}: blocking call while a lock guard is "
-                        f"live in this scope: {line.strip()}")
-            depth += code.count("{") - code.count("}")
-            # A guard declared at depth d lives while depth >= d; the scope
-            # that contains it closes when depth drops below d.
-            while guard_depths and depth < guard_depths[-1]:
-                guard_depths.pop()
-
-
-def check_unguarded_adjacent_fields(root: Path, findings):
-    for path in iter_source(root):
-        rel = path.relative_to(root)
-        if rel in RAW_SYNC_EXEMPT:
-            continue
-        lines = path.read_text().splitlines()
-        i = 0
-        while i < len(lines):
-            if MUTEX_MEMBER.match(lines[i]):
-                j = i + 1
-                while j < len(lines) and not BLOCK_END.match(lines[j]):
-                    line = lines[j]
-                    # Another mutex member restarts the guarded block.
-                    if MUTEX_MEMBER.match(line):
-                        break
-                    if FIELD_DECL.match(line) and "TDP_GUARDED_BY" not in line:
-                        findings.append(
-                            f"{rel}:{j + 1}: field adjacent to a tdp mutex "
-                            f"member lacks TDP_GUARDED_BY (move it below a "
-                            f"blank-line separator if it is deliberately "
-                            f"unguarded): {line.strip()}")
-                    j += 1
-                i = j
-            else:
-                i += 1
-
-
-def check_stray_stderr(root: Path, findings):
-    for path in iter_source(root):
-        rel = path.relative_to(root)
-        if rel in STRAY_STDERR_EXEMPT:
-            continue
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            code = line.split("//", 1)[0]
-            if STRAY_STDERR.search(code):
-                findings.append(
-                    f"{rel}:{lineno}: direct stderr write outside util/log — "
-                    f"use a log::Logger so output is leveled and "
-                    f"trace-prefixable: {line.strip()}")
-
-
-def check_raw_process_signals(root: Path, findings, suppressions):
-    for path in iter_source(root):
-        rel = path.relative_to(root)
-        if rel in RAW_PROCESS_SIGNAL_EXEMPT:
-            continue
-        if any(d in rel.parents for d in RAW_PROCESS_SIGNAL_EXEMPT_DIRS):
-            continue
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            code = line.split("//", 1)[0]
-            if not RAW_PROCESS_SIGNAL.search(code):
-                continue
-            if NOLINT.search(line):
-                suppressions.append((rel, lineno, line.strip()))
-                if not NOLINT_JUSTIFIED.search(line):
-                    findings.append(
-                        f"{rel}:{lineno}: NOLINT without a justification "
-                        f"(write `// NOLINT: reason`): {line.strip()}")
-                continue
-            findings.append(
-                f"{rel}:{lineno}: direct kill/waitpid outside src/proc/ and "
-                f"master.cpp — daemon death must flow through "
-                f"proc::ProcessBackend so journals and leases observe it: "
-                f"{line.strip()}")
-
-
-def check_manual_framing(root: Path, findings, suppressions):
-    for path in iter_source(root):
-        rel = path.relative_to(root)
-        if any(d in rel.parents for d in MANUAL_FRAMING_EXEMPT_DIRS):
-            continue
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            code = line.split("//", 1)[0]
-            if not MANUAL_FRAMING.search(code):
-                continue
-            if NOLINT.search(line):
-                suppressions.append((rel, lineno, line.strip()))
-                if not NOLINT_JUSTIFIED.search(line):
-                    findings.append(
-                        f"{rel}:{lineno}: NOLINT without a justification "
-                        f"(write `// NOLINT: reason`): {line.strip()}")
-                continue
-            findings.append(
-                f"{rel}:{lineno}: direct Message codec call outside src/net/ "
-                f"— manual framing bypasses the negotiated wire version; go "
-                f"through Endpoint send/receive/send_frame/receive_frame: "
-                f"{line.strip()}")
-
-
-def check_raw_clock_reads(root: Path, findings, suppressions):
-    for path in iter_source(root):
-        rel = path.relative_to(root)
-        if rel in RAW_CLOCK_READ_EXEMPT:
-            continue
-        for lineno, line in enumerate(path.read_text().splitlines(), 1):
-            code = line.split("//", 1)[0]
-            if not RAW_CLOCK_READ.search(code):
-                continue
-            if NOLINT.search(line):
-                suppressions.append((rel, lineno, line.strip()))
-                if not NOLINT_JUSTIFIED.search(line):
-                    findings.append(
-                        f"{rel}:{lineno}: NOLINT without a justification "
-                        f"(write `// NOLINT: reason`): {line.strip()}")
-                continue
-            findings.append(
-                f"{rel}:{lineno}: raw std::chrono clock outside util/clock.hpp "
-                f"— read time via tdp::Clock (RealClock::instance().now_micros()) "
-                f"so sim runs stay deterministic: {line.strip()}")
-
-
-def run(root: Path) -> int:
-    findings: list[str] = []
-    suppressions: list = []
-    check_raw_sync(root, findings, suppressions)
-    check_blocking_under_lock(root, findings, suppressions)
-    check_unguarded_adjacent_fields(root, findings)
-    check_stray_stderr(root, findings)
-    check_raw_process_signals(root, findings, suppressions)
-    check_manual_framing(root, findings, suppressions)
-    check_raw_clock_reads(root, findings, suppressions)
-    if len(suppressions) > kMaxSuppressions:
-        findings.append(
-            f"{len(suppressions)} NOLINT suppressions exceed the budget of "
-            f"{kMaxSuppressions}; fix findings instead of suppressing them")
-        for rel, lineno, text in suppressions:
-            findings.append(f"  suppression at {rel}:{lineno}: {text}")
-    for finding in findings:
-        print(f"lint: {finding}")
-    print(f"lint: {len(findings)} finding(s), "
-          f"{len(suppressions)} suppression(s) in {root}")
-    return 1 if findings else 0
-
-
-# Self-test ----------------------------------------------------------------
-
-BAD_RAW_MUTEX = """\
-#include <mutex>
-struct S {
-  std::mutex mu;
-  void f() { std::lock_guard<std::mutex> g(mu); }
-};
-"""
-
-BAD_SLEEP_UNDER_LOCK = """\
-void Reactor::run_once() {
-  {
-    LockGuard lock(mutex_);
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-}
-"""
-
-BAD_UNGUARDED_FIELD = """\
-struct S {
-  mutable Mutex mutex_{"S::mutex_"};
-  int guarded_ TDP_GUARDED_BY(mutex_) = 0;
-  int oops_ = 0;
-};
-"""
-
-BAD_STDERR = """\
-#include <cstdio>
-void f() { std::fprintf(stderr, "oops\\n"); }
-"""
-
-BAD_RAW_KILL = """\
-#include <csignal>
-void f(int pid) {
-  ::kill(pid, SIGKILL);
-  int status = 0;
-  waitpid(pid, &status, 0);
-}
-"""
-
-GOOD_KILL_PROCESS = """\
-void f(tdp::proc::ProcessBackend& backend, tdp::proc::Pid pid) {
-  backend.kill_process(pid);  // the sanctioned spelling
-}
-"""
-
-BAD_MANUAL_FRAMING = """\
-#include "net/message.hpp"
-void f(const tdp::net::Message& msg) {
-  auto frame = msg.encode();
-  auto decoded = tdp::net::Message::decode(frame.data(), frame.size());
-}
-"""
-
-BAD_CLOCK_READ = """\
-#include <chrono>
-void f() {
-  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(1);
-  (void)deadline;
-}
-"""
-
-GOOD_CLOCK_USE = """\
-#include "util/clock.hpp"
-void f(const tdp::Clock& clock) {
-  const tdp::Micros deadline = clock.now_micros() + 1'000'000;
-  (void)deadline;
-  std::this_thread::sleep_for(std::chrono::milliseconds(2));  // duration: fine
-}
-"""
-
-GOOD_ENDPOINT_SEND = """\
-#include "net/transport.hpp"
-void f(tdp::net::Endpoint& ep, const tdp::net::Message& msg) {
-  (void)ep.send(msg);  // framing stays inside the transport
-}
-"""
-
-GOOD_FILE = """\
-#include "util/sync.hpp"
-struct S {
-  mutable Mutex mutex_{"S::mutex_"};
-  int guarded_ TDP_GUARDED_BY(mutex_) = 0;
-
-  int deliberately_unguarded_ = 0;  ///< owner-thread only
-};
-"""
-
-
-def self_test() -> int:
-    cases = [
-        ("raw std::mutex", {"src/bad.cpp": BAD_RAW_MUTEX}, True),
-        ("sleep under lock", {"src/net/reactor.cpp": BAD_SLEEP_UNDER_LOCK}, True),
-        ("unguarded adjacent field", {"src/bad.hpp": BAD_UNGUARDED_FIELD}, True),
-        ("stray stderr write", {"src/bad.cpp": BAD_STDERR}, True),
-        ("stderr in exempt file", {"src/util/log.cpp": BAD_STDERR}, False),
-        ("raw kill/waitpid", {"src/condor/oops.cpp": BAD_RAW_KILL}, True),
-        ("kill in proc backend", {"src/proc/posix_backend.cpp": BAD_RAW_KILL}, False),
-        ("kill in master.cpp", {"src/condor/master.cpp": BAD_RAW_KILL}, False),
-        ("kill_process call", {"src/condor/fine.cpp": GOOD_KILL_PROCESS}, False),
-        ("manual framing outside net", {"src/attrspace/oops.cpp": BAD_MANUAL_FRAMING}, True),
-        ("manual framing inside net", {"src/net/tcp.cpp": BAD_MANUAL_FRAMING}, False),
-        ("endpoint send is fine", {"src/condor/send.cpp": GOOD_ENDPOINT_SEND}, False),
-        ("raw clock read", {"src/condor/oops.cpp": BAD_CLOCK_READ}, True),
-        ("clock read in util/clock.hpp", {"src/util/clock.hpp": BAD_CLOCK_READ}, False),
-        ("tdp clock use is fine", {"src/core/fine.cpp": GOOD_CLOCK_USE}, False),
-        ("clean file", {"src/good.hpp": GOOD_FILE}, False),
-    ]
-    failures = 0
-    for name, files, expect_findings in cases:
-        with tempfile.TemporaryDirectory() as tmp:
-            root = Path(tmp)
-            for rel, content in files.items():
-                target = root / rel
-                target.parent.mkdir(parents=True, exist_ok=True)
-                target.write_text(content)
-            rc = run(root)
-            ok = (rc != 0) == expect_findings
-            print(f"self-test [{name}]: {'ok' if ok else 'FAILED'}")
-            failures += 0 if ok else 1
-    if failures:
-        print(f"self-test: {failures} case(s) FAILED")
-        return 2
-    print("self-test: all cases ok")
-    return 0
-
-
-def main(argv: list[str]) -> int:
-    if len(argv) > 1 and argv[1] == "--self-test":
-        return self_test()
-    if len(argv) > 1:
-        print(__doc__)
-        return 2
-    return run(REPO)
-
 
 if __name__ == "__main__":
-    sys.exit(main(sys.argv))
+    tdpsa = os.path.join(os.path.dirname(os.path.abspath(__file__)), "tdpsa")
+    os.execv(sys.executable, [sys.executable, tdpsa] + sys.argv[1:])

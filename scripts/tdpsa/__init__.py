@@ -1,0 +1,29 @@
+"""tdpsa — the TDP static analyzer (PR 8).
+
+A dependency-free Python static-analysis engine for the TDP C++ tree.
+It supersedes the regex-grep scripts/lint.py:
+
+  * extracts the whole-program lock graph from util/sync.hpp wrapper
+    call sites (LockGuard / UniqueLock / WriteLock / SharedLock) and the
+    TSA annotations (TDP_GUARDED_BY / TDP_REQUIRES / TDP_ACQUIRE /
+    TDP_EXCLUDES, plus the `_locked` helper naming convention),
+  * detects *potential* acquired-after cycles statically — a strict
+    superset of the Debug runtime LockOrderGraph, which only proves
+    executed paths safe,
+  * flags blocking calls (socket send/receive, journal/blockio file IO,
+    sleeps, CondVar waits, AttrClient RPCs) reachable while a lock is
+    held, via an intra-procedural scan plus a name-resolved call-graph
+    propagation pass,
+  * flags callback invocation under a held guard,
+  * diffs the extracted graph against the DESIGN.md §10 ordering table
+    so the doc can never drift from the code,
+  * carries the seven legacy lint rules in the same rule registry, with
+    one suppression budget and one --self-test.
+
+Outputs: human text, machine JSON, and SARIF 2.1.0 (for CI inline
+annotations). A committed baseline (scripts/tdpsa-baseline.json)
+grandfathers known by-design findings: baselined findings warn, new
+findings fail. See DESIGN.md §15.
+"""
+
+__version__ = "1.0"

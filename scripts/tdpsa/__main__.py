@@ -1,0 +1,13 @@
+"""Entry point so both `python3 scripts/tdpsa` and `python3 -m tdpsa` work."""
+
+import os
+import sys
+
+if __package__ in (None, ""):  # executed as a directory: fix up sys.path
+    sys.path.insert(0, os.path.dirname(os.path.dirname(os.path.abspath(__file__))))
+    from tdpsa.cli import main
+else:
+    from .cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

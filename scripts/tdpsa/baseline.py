@@ -1,0 +1,53 @@
+"""Committed-baseline handling: grandfathered findings warn, new fail.
+
+The baseline is a JSON file mapping fingerprints to a short context
+record (rule, file, note). Fingerprints hash the rule, path, and the
+normalized finding text — not the line number — so pure line shifts do
+not invalidate entries. `--write-baseline` regenerates the file from the
+current findings; review the diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .findings import Finding
+
+BASELINE_RELPATH = "scripts/tdpsa-baseline.json"
+
+
+def load_baseline(root: Path) -> dict[str, dict]:
+    path = root / BASELINE_RELPATH
+    if not path.exists():
+        return {}
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return {}
+    return data.get("findings", {}) if isinstance(data, dict) else {}
+
+
+def apply_baseline(findings: list[Finding], baseline: dict[str, dict]) -> None:
+    for f in findings:
+        if f.fingerprint in baseline:
+            f.baselined = True
+
+
+def write_baseline(root: Path, findings: list[Finding]) -> None:
+    entries = {
+        f.fingerprint: {
+            "rule": f.rule,
+            "file": f.file,
+            "note": (f.message or f.snippet)[:160],
+        }
+        for f in sorted(findings, key=lambda f: (f.file, f.line, f.rule))
+    }
+    payload = {
+        "comment": "tdpsa grandfathered findings — new findings fail, these "
+                   "warn. Regenerate with scripts/tdpsa --write-baseline "
+                   "and review the diff. See DESIGN.md §15.",
+        "findings": entries,
+    }
+    (root / BASELINE_RELPATH).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n")

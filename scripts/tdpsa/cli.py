@@ -1,0 +1,85 @@
+"""Command-line interface.
+
+    python3 scripts/tdpsa                  # analyze the repo, text output
+    python3 scripts/tdpsa --self-test      # prove the engine catches bugs
+    python3 scripts/tdpsa --dump-lock-graph  # the DESIGN.md §10 table
+    python3 scripts/tdpsa --json F --sarif F # machine-readable outputs
+    python3 scripts/tdpsa --write-baseline # regenerate the baseline
+
+Exit status (the lint.py contract): 0 clean (baselined findings may
+warn), 1 unbaselined findings, 2 usage error or self-test failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .baseline import BASELINE_RELPATH, write_baseline
+from .engine import analyze_tree, dump_lock_graph
+from .selftest import run_self_test
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="tdpsa", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", type=Path, default=REPO,
+                        help="tree to analyze (default: the repo)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="run the engine self-test (inline + corpus)")
+    parser.add_argument("--dump-lock-graph", action="store_true",
+                        help="print the canonical lock ordering table")
+    parser.add_argument("--json", type=Path, metavar="FILE",
+                        help="write machine-readable findings JSON")
+    parser.add_argument("--sarif", type=Path, metavar="FILE",
+                        help="write SARIF 2.1.0 for CI annotation")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help=f"regenerate {BASELINE_RELPATH} from the "
+                             f"current findings")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="ignore the committed baseline")
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as e:
+        return 0 if e.code == 0 else 2
+
+    root = args.root.resolve()
+    if args.self_test:
+        return run_self_test(REPO)
+    if args.dump_lock_graph:
+        sys.stdout.write(dump_lock_graph(root))
+        return 0
+
+    report, _ = analyze_tree(root, use_baseline=not args.no_baseline)
+
+    if args.write_baseline:
+        write_baseline(root, report.findings)
+        print(f"tdpsa: wrote {BASELINE_RELPATH} with "
+              f"{len(report.findings)} entr"
+              f"{'y' if len(report.findings) == 1 else 'ies'}")
+        return 0
+
+    from .output import to_json, to_sarif
+    if args.json:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        args.json.write_text(to_json(report.findings,
+                                     len(report.suppressions)))
+    if args.sarif:
+        args.sarif.parent.mkdir(parents=True, exist_ok=True)
+        args.sarif.write_text(to_sarif(report.findings))
+
+    fresh = [f for f in report.findings if not f.baselined]
+    base = [f for f in report.findings if f.baselined]
+    for f in base:
+        where = f"{f.file}:{f.line}: " if f.file else ""
+        print(f"tdpsa: warning: {where}[{f.rule}] {f.message} (baselined)")
+    for f in fresh:
+        where = f"{f.file}:{f.line}: " if f.file else ""
+        print(f"tdpsa: {where}[{f.rule}] {f.message}")
+    print(f"tdpsa: {len(fresh)} finding(s), {len(base)} baselined, "
+          f"{len(report.suppressions)} suppression(s) in {root}")
+    return 1 if fresh else 0

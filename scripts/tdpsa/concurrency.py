@@ -1,0 +1,182 @@
+"""The whole-program concurrency rules, fed by analysis.Analysis.
+
+Reporting discipline: a blocking/callback finding is attributed to the
+function that *introduces* the held lock (takes the guard), not to every
+`_locked` helper beneath it — the helper inherits the lock via
+TDP_REQUIRES and has no say in the matter. That keeps one by-design
+pattern one baseline entry per introducing site instead of a cascade.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .analysis import Analysis, BlockWitness, edge_map, find_cycles, \
+    render_lock_table
+from .findings import Report
+
+BEGIN_MARK = "<!-- tdpsa:lock-table:begin -->"
+END_MARK = "<!-- tdpsa:lock-table:end -->"
+
+
+def _chain_str(w: BlockWitness) -> str:
+    return " -> ".join(w.chain + (w.what,))
+
+
+def run_blocking_rule(a: Analysis, report: Report,
+                      raw_lines: dict[str, list[str]]) -> None:
+    for fn in a.program.functions:
+        k = id(fn)
+        # Direct blocking primitives under a lock this function took.
+        for b in fn.blocks:
+            intro = [l for l in b.introduced if l != b.exempt]
+            if not intro:
+                continue
+            locks = ", ".join(f"`{l}`" for l in intro)
+            raw = _raw(raw_lines, fn.file, b.line)
+            report.suppress_or_add(
+                raw, "blocking-under-lock", fn.file, b.line,
+                f"{b.kind} ({b.what}) while holding {locks} "
+                f"in {fn.qname}")
+        # Calls to callees that may block, under a lock taken here.
+        flagged: set[int] = set()
+        for cs, cands in zip(fn.calls, a.callees[k]):
+            if not cs.introduced or cs.line in flagged:
+                continue
+            best: BlockWitness | None = None
+            best_name = ""
+            for c in sorted(cands, key=lambda c: c.qname):
+                for kind in sorted(a.may_block[id(c)]):
+                    w = a.may_block[id(c)][kind]
+                    if w.exempt is not None and \
+                            set(cs.introduced) <= {w.exempt}:
+                        continue
+                    if best is None:
+                        best = w
+                        best_name = c.qname
+                if best is not None:
+                    break
+            if best is None:
+                continue
+            locks = ", ".join(f"`{l}`" for l in cs.introduced)
+            chain = " -> ".join((best_name,) + best.chain[1:] + (best.what,)) \
+                if best.chain[0] != best_name else _chain_str(best)
+            raw = _raw(raw_lines, fn.file, cs.line)
+            report.suppress_or_add(
+                raw, "blocking-under-lock", fn.file, cs.line,
+                f"call to {best_name} may block ({best.kind}: {chain}) "
+                f"while holding {locks} in {fn.qname}")
+            flagged.add(cs.line)
+
+
+def run_callback_rule(a: Analysis, report: Report,
+                      raw_lines: dict[str, list[str]]) -> None:
+    p = a.program
+    for fn in p.functions:
+        if not fn.owner:
+            continue
+        cb_names: set[str] = set()
+        chain = fn.owner.split("::")
+        while chain:
+            cb_names |= p.callbacks.get("::".join(chain), set())
+            chain.pop()
+        if not cb_names:
+            continue
+        local_names = set(getattr(fn, "locals", {}))
+        for cs in fn.calls:
+            if cs.receiver is not None or cs.qualifier is not None:
+                continue
+            if cs.name not in cb_names or cs.name in local_names:
+                continue
+            if not cs.introduced:
+                continue
+            locks = ", ".join(f"`{l}`" for l in cs.introduced)
+            raw = _raw(raw_lines, fn.file, cs.line)
+            report.suppress_or_add(
+                raw, "callback-under-lock", fn.file, cs.line,
+                f"callback member {cs.name} invoked while holding {locks} "
+                f"in {fn.qname} — copy it out and invoke after release "
+                f"(DESIGN.md §10: callbacks run with no lock held)")
+
+
+def run_cycle_rule(a: Analysis, report: Report) -> None:
+    edges = edge_map(a)
+    for comp in find_cycles(a):
+        # Build a concrete witness walk around the component.
+        hops = []
+        ring = comp + [comp[0]]
+        for s, d in zip(ring, ring[1:]):
+            e = edges.get((s, d))
+            if e is None:
+                # component edges may not form a simple ring; find any
+                # outgoing edge inside the component
+                e = next((edges[(s, x)] for x in comp
+                          if (s, x) in edges), None)
+            if e is not None:
+                via = f" via {e.via}" if e.via else ""
+                hops.append(f"`{e.src}` -> `{e.dst}` "
+                            f"({e.file}:{e.line} in {e.fn}{via})")
+        first = next((edges[(s, d)] for s, d in zip(ring, ring[1:])
+                      if (s, d) in edges), None)
+        where = (first.file, first.line) if first else ("", 0)
+        report.add(
+            "lock-order-cycle", where[0], where[1],
+            "potential lock-order cycle (static superset of the Debug "
+            "runtime detector): " + "; ".join(hops))
+
+
+def run_exclusion_rule(a: Analysis, report: Report,
+                       raw_lines: dict[str, list[str]]) -> None:
+    for fn in a.program.functions:
+        k = id(fn)
+        for cs, cands in zip(fn.calls, a.callees[k]):
+            if not cs.held:
+                continue
+            for c in cands:
+                bad = [l for l in c.excludes if l in cs.held]
+                if bad:
+                    locks = ", ".join(f"`{l}`" for l in bad)
+                    raw = _raw(raw_lines, fn.file, cs.line)
+                    report.suppress_or_add(
+                        raw, "exclusion-violation", fn.file, cs.line,
+                        f"call to {c.qname} (TDP_EXCLUDES) while holding "
+                        f"{locks} in {fn.qname}")
+                    break
+
+
+def run_design_drift_rule(a: Analysis, report: Report,
+                          design_path: str, design_text: str | None) -> None:
+    if design_text is None:
+        return
+    if BEGIN_MARK not in design_text or END_MARK not in design_text:
+        return
+    inner = design_text.split(BEGIN_MARK, 1)[1].split(END_MARK, 1)[0]
+    inner = inner.strip("\n") + "\n"
+    want = render_lock_table(a)
+    if inner != want:
+        line = design_text[:design_text.index(BEGIN_MARK)].count("\n") + 1
+        got_rows = {l for l in inner.splitlines() if l.startswith("|")}
+        want_rows = {l for l in want.splitlines() if l.startswith("|")}
+        stale = sorted(got_rows - want_rows)[:3]
+        missing = sorted(want_rows - got_rows)[:3]
+        detail = ""
+        if stale:
+            detail += " stale: " + " / ".join(stale)
+        if missing:
+            detail += " missing: " + " / ".join(missing)
+        report.add(
+            "design-drift", design_path, line,
+            "DESIGN.md §10 ordering table differs from the extracted lock "
+            "graph — regenerate it with `scripts/tdpsa --dump-lock-graph`."
+            + detail)
+
+
+def _raw(raw_lines: dict[str, list[str]], rel: str, line: int) -> str:
+    lines = raw_lines.get(rel, [])
+    if 1 <= line <= len(lines):
+        return lines[line - 1]
+    return ""
+
+
+def strip_md(s: str) -> str:
+    return re.sub(r"`", "", s)

@@ -1,0 +1,170 @@
+"""Lightweight C++ scrubbing and tokenizing.
+
+This is not a C++ parser. It is the minimum lexical machinery the rules
+need: comments and literal contents removed (newlines preserved so every
+token keeps its 1-based source line), then a flat token stream of
+identifiers, numbers, and punctuators. Multi-character punctuators that
+matter structurally (`::`, `->`) are kept as single tokens; everything
+else structural is single characters (`{ } ( ) [ ] ; , : < > = . * &`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Tok:
+    kind: str  # "id" | "num" | "punct" | "str"
+    text: str
+    line: int
+
+
+def scrub(text: str) -> str:
+    """Blank comments, string contents, char contents, and preprocessor
+    directives, preserving newlines (and therefore line numbers)."""
+    out = []
+    i, n = 0, len(text)
+    at_line_start = True
+    while i < n:
+        c = text[i]
+        if at_line_start:
+            # Preprocessor line (possibly continued with backslashes):
+            # blank it entirely so #include <mutex> etc. never tokenize.
+            j = i
+            while j < n and text[j] in " \t":
+                j += 1
+            if j < n and text[j] == "#":
+                k = i
+                while k < n:
+                    if text[k] == "\n" and text[k - 1] != "\\":
+                        break  # the newline itself is handled below
+                    out.append("\n" if text[k] == "\n" else " ")
+                    k += 1
+                i = k
+                continue
+        at_line_start = False
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            while i < n and text[i] != "\n":
+                out.append(" ")
+                i += 1
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            out.append("  ")
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and text[i + 1] == "/"):
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("  ")
+                i += 2
+            continue
+        if c == '"':
+            # Raw string literal R"delim( ... )delim"
+            if i >= 1 and text[i - 1] == "R" and (i < 2 or not text[i - 2].isalnum()):
+                j = i + 1
+                delim = ""
+                while j < n and text[j] != "(":
+                    delim += text[j]
+                    j += 1
+                close = ")" + delim + '"'
+                end = text.find(close, j)
+                end = n if end < 0 else end + len(close)
+                out.append('"')
+                for k in range(i + 1, end - 1 if end <= n else n):
+                    out.append("\n" if text[k] == "\n" else " ")
+                if end <= n:
+                    out.append('"')
+                i = end
+                continue
+            out.append('"')
+            i += 1
+            while i < n and text[i] != '"':
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                    continue
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append('"')
+                i += 1
+            continue
+        if c == "'":
+            # Char literal — but not a digit separator (1'000'000).
+            if i >= 1 and text[i - 1].isdigit() and i + 1 < n and text[i + 1].isalnum():
+                out.append(" ")
+                i += 1
+                continue
+            out.append("'")
+            i += 1
+            while i < n and text[i] != "'":
+                if text[i] == "\\" and i + 1 < n:
+                    out.append("  ")
+                    i += 2
+                    continue
+                out.append("\n" if text[i] == "\n" else " ")
+                i += 1
+            if i < n:
+                out.append("'")
+                i += 1
+            continue
+        out.append(c)
+        if c == "\n":
+            at_line_start = True
+        i += 1
+    return "".join(out)
+
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+
+
+def tokenize(scrubbed: str) -> list[Tok]:
+    toks: list[Tok] = []
+    i, n = 0, len(scrubbed)
+    line = 1
+    while i < n:
+        c = scrubbed[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c in " \t\r\f\v":
+            i += 1
+            continue
+        if c in _IDENT_START:
+            j = i + 1
+            while j < n and scrubbed[j] in _IDENT_CONT:
+                j += 1
+            toks.append(Tok("id", scrubbed[i:j], line))
+            i = j
+            continue
+        if c.isdigit():
+            j = i + 1
+            while j < n and (scrubbed[j].isalnum() or scrubbed[j] in "._"):
+                j += 1
+            toks.append(Tok("num", scrubbed[i:j], line))
+            i = j
+            continue
+        if c == ":" and i + 1 < n and scrubbed[i + 1] == ":":
+            toks.append(Tok("punct", "::", line))
+            i += 2
+            continue
+        if c == "-" and i + 1 < n and scrubbed[i + 1] == ">":
+            toks.append(Tok("punct", "->", line))
+            i += 2
+            continue
+        if c in "\"'":
+            toks.append(Tok("str", c, line))
+            # scrubbed literals are quote-blank-quote; skip to close quote
+            j = i + 1
+            while j < n and scrubbed[j] != c:
+                if scrubbed[j] == "\n":
+                    line += 1
+                j += 1
+            i = j + 1
+            continue
+        toks.append(Tok("punct", c, line))
+        i += 1
+    return toks

@@ -1,0 +1,69 @@
+"""Finding type, stable fingerprints, and the suppression budget."""
+
+from __future__ import annotations
+
+import hashlib
+import re
+from dataclasses import dataclass, field
+
+# One escape hatch, shared by every rule (the lint.py contract): a line
+# ending in `// NOLINT` is suppressed, must carry a justification after a
+# colon, and counts against a repo-wide budget.
+NOLINT = re.compile(r"//\s*NOLINT(?!\w)")
+NOLINT_JUSTIFIED = re.compile(r"//\s*NOLINT(\(.*\))?:\s*\S")
+kMaxSuppressions = 5
+
+
+@dataclass
+class Finding:
+    rule: str
+    file: str          # repo-relative path
+    line: int
+    message: str
+    snippet: str = ""
+    baselined: bool = False
+    fingerprint: str = ""
+
+
+@dataclass
+class Report:
+    findings: list[Finding] = field(default_factory=list)
+    suppressions: list[tuple[str, int, str]] = field(default_factory=list)
+
+    def add(self, rule: str, file: str, line: int, message: str,
+            snippet: str = "") -> None:
+        self.findings.append(Finding(rule=rule, file=file, line=line,
+                                     message=message, snippet=snippet))
+
+    def suppress_or_add(self, raw_line: str, rule: str, file: str,
+                        line: int, message: str) -> None:
+        """Honor a trailing NOLINT (with justification) or record."""
+        if NOLINT.search(raw_line):
+            self.suppressions.append((file, line, raw_line.strip()))
+            if not NOLINT_JUSTIFIED.search(raw_line):
+                self.add("nolint-unjustified", file, line,
+                         "NOLINT without a justification "
+                         "(write `// NOLINT: reason`)", raw_line.strip())
+            return
+        self.add(rule, file, line, message, raw_line.strip())
+
+    def enforce_budget(self) -> None:
+        if len(self.suppressions) > kMaxSuppressions:
+            self.add("suppression-budget", "", 0,
+                     f"{len(self.suppressions)} NOLINT suppressions exceed "
+                     f"the budget of {kMaxSuppressions}; fix findings "
+                     f"instead of suppressing them")
+
+
+def fingerprint_findings(findings: list[Finding]) -> None:
+    """Assign line-shift-stable fingerprints: hash of rule, path, and the
+    normalized message/snippet, plus an occurrence index so duplicated
+    sites stay distinct."""
+    seen: dict[str, int] = {}
+    for f in sorted(findings, key=lambda f: (f.file, f.line, f.rule)):
+        norm = re.sub(r"\d+", "#", f.snippet.strip() or f.message.strip())
+        base = f"{f.rule}|{f.file}|{norm}"
+        idx = seen.get(base, 0)
+        seen[base] = idx + 1
+        f.fingerprint = hashlib.sha256(
+            f"{base}|{idx}".encode()).hexdigest()[:24]

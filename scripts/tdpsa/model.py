@@ -1,0 +1,118 @@
+"""Program model the extraction pass produces and the rules consume."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MutexDecl:
+    kind: str            # "Mutex" | "SharedMutex"
+    member: str          # member / variable name, e.g. "mutex_"
+    canonical: str       # the constructor name string, e.g. "AttrClient::mutex_"
+    owner: str           # enclosing class chain ("AttributeStore::Shard") or ""
+    file: str            # repo-relative path
+    line: int
+
+
+@dataclass
+class CallSite:
+    name: str            # method / function base name
+    receiver: str | None  # receiver variable name ("journal", "this", None)
+    qualifier: str | None  # explicit qualifier ("telemetry::Registry", "Journal")
+    line: int
+    held: tuple[str, ...]        # canonical lock names held at the site
+    introduced: tuple[str, ...]  # subset of `held` acquired in THIS function
+
+
+@dataclass
+class BlockOp:
+    kind: str            # "sleep" | "file-io" | "socket-io" | "condvar-wait"
+    what: str            # the spelling at the site, e.g. "::send"
+    line: int
+    held: tuple[str, ...]
+    introduced: tuple[str, ...]
+    exempt: str | None = None  # lock a CondVar wait legitimately holds
+
+
+@dataclass
+class AcquireSite:
+    lock: str            # canonical lock name
+    line: int
+    via: str             # "LockGuard" / "WriteLock" / "TDP_ACQUIRE" / ...
+    held: tuple[str, ...]  # locks already held when this one was taken
+
+
+@dataclass
+class FunctionModel:
+    qname: str           # "AttrClient::call_locked", "log::write_line", ...
+    owner: str           # class chain or "" for free functions
+    name: str            # base name
+    file: str
+    line: int
+    requires: list[str] = field(default_factory=list)   # canonical lock names
+    excludes: list[str] = field(default_factory=list)
+    acquires: list[AcquireSite] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    blocks: list[BlockOp] = field(default_factory=list)
+    is_lambda: bool = False
+
+
+@dataclass
+class Program:
+    root: str
+    # (owner, member) -> MutexDecl; owner "" for namespace/file scope.
+    mutexes: dict[tuple[str, str], MutexDecl] = field(default_factory=dict)
+    # class chain -> {member -> type base name}
+    members: dict[str, dict[str, str]] = field(default_factory=dict)
+    # class chain -> {member names that are std::function-typed callbacks}
+    callbacks: dict[str, set[str]] = field(default_factory=dict)
+    # class chain -> list of direct base class names (last component)
+    bases: dict[str, list[str]] = field(default_factory=dict)
+    functions: list[FunctionModel] = field(default_factory=list)
+    # base name -> [FunctionModel ...]
+    by_name: dict[str, list[FunctionModel]] = field(default_factory=dict)
+    # (owner-suffix-resolved) annotation registry: (owner, name) -> raw exprs
+    annotations: dict[tuple[str, str], dict[str, list[str]]] = field(default_factory=dict)
+    # class last-component -> full chain(s)
+    class_index: dict[str, list[str]] = field(default_factory=dict)
+
+    def note_class(self, chain: str) -> None:
+        last = chain.split("::")[-1]
+        lst = self.class_index.setdefault(last, [])
+        if chain not in lst:
+            lst.append(chain)
+
+    def resolve_class(self, name: str) -> str | None:
+        """Map a (possibly partial) class name to a known full chain."""
+        if name in self.members or name in self.class_index.get(name.split("::")[-1], []):
+            pass
+        last = name.split("::")[-1]
+        cands = self.class_index.get(last, [])
+        for c in cands:
+            if c == name or c.endswith("::" + name):
+                return c
+        if len(cands) == 1:
+            return cands[0]
+        return None
+
+    def mutex_for(self, owner: str | None, member: str) -> MutexDecl | None:
+        """Resolve a lock member reference to its declaration.
+
+        Tries the owner chain (walking outward through enclosing classes),
+        then a unique global member-name match.
+        """
+        if owner:
+            chain = owner.split("::")
+            while chain:
+                d = self.mutexes.get(("::".join(chain), member))
+                if d is not None:
+                    return d
+                chain.pop()
+        d = self.mutexes.get(("", member))
+        if d is not None:
+            return d
+        hits = [m for (own, mem), m in self.mutexes.items() if mem == member]
+        if len(hits) == 1:
+            return hits[0]
+        return None

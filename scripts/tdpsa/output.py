@@ -1,0 +1,108 @@
+"""Machine-readable emitters: JSON and SARIF 2.1.0.
+
+SARIF is what CI uploads so findings annotate PRs inline. Baselined
+findings are emitted at level "warning", fresh ones at "error"; the
+fingerprint rides in partialFingerprints so GitHub's dedup matches the
+baseline semantics.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .findings import Finding
+
+RULE_HELP = {
+    "raw-sync": "Raw std sync primitive outside util/sync.hpp; use the "
+                "annotated tdp wrappers so TSA and the lock-order detector "
+                "see every acquisition.",
+    "blocking-under-lock": "A blocking primitive (socket IO, file IO, "
+                           "sleep, CondVar wait) is reachable while a tdp "
+                           "lock is held, directly or through the call "
+                           "graph.",
+    "callback-under-lock": "A std::function-typed callback member is "
+                           "invoked while a lock taken in this function is "
+                           "held; copy it out and call after release.",
+    "lock-order-cycle": "The static acquired-after graph contains a cycle; "
+                        "two paths acquire the same locks in opposite "
+                        "orders.",
+    "exclusion-violation": "A function annotated TDP_EXCLUDES(m) is called "
+                           "while m is held.",
+    "design-drift": "DESIGN.md §10 ordering table no longer matches the "
+                    "extracted lock graph.",
+    "unguarded-adjacent-field": "Field adjacent to a tdp mutex member "
+                                "lacks TDP_GUARDED_BY.",
+    "stray-stderr": "Direct stderr write outside util/log.",
+    "raw-process-signal": "Direct kill/waitpid outside src/proc/ and "
+                          "master.cpp.",
+    "manual-framing": "Direct Message codec call outside src/net/.",
+    "raw-clock-read": "Raw std::chrono clock read outside util/clock.hpp.",
+    "nolint-unjustified": "NOLINT without a justification.",
+    "suppression-budget": "NOLINT suppression budget exceeded.",
+}
+
+
+def to_json(findings: list[Finding], suppression_count: int) -> str:
+    return json.dumps({
+        "tool": "tdpsa",
+        "suppressions": suppression_count,
+        "findings": [
+            {
+                "rule": f.rule,
+                "file": f.file,
+                "line": f.line,
+                "message": f.message,
+                "snippet": f.snippet,
+                "baselined": f.baselined,
+                "fingerprint": f.fingerprint,
+            }
+            for f in findings
+        ],
+    }, indent=2) + "\n"
+
+
+def to_sarif(findings: list[Finding]) -> str:
+    rules = sorted({f.rule for f in findings} | set(RULE_HELP))
+    sarif = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "tdpsa",
+                    "informationUri": "DESIGN.md#15-the-tdpsa-static-analyzer",
+                    "version": "1.0",
+                    "rules": [
+                        {
+                            "id": r,
+                            "shortDescription": {"text": r},
+                            "help": {"text": RULE_HELP.get(r, r)},
+                        }
+                        for r in rules
+                    ],
+                }
+            },
+            "results": [
+                {
+                    "ruleId": f.rule,
+                    "level": "warning" if f.baselined else "error",
+                    "message": {"text": f.message},
+                    "partialFingerprints": {
+                        "tdpsa/v1": f.fingerprint,
+                    },
+                    "locations": [{
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": f.file or "DESIGN.md",
+                                "uriBaseId": "SRCROOT",
+                            },
+                            "region": {"startLine": max(1, f.line)},
+                        }
+                    }],
+                }
+                for f in findings
+            ],
+        }],
+    }
+    return json.dumps(sarif, indent=2) + "\n"

@@ -66,13 +66,16 @@ void ProxyServer::stop() {
   if (listener_) listener_->close();
   if (accept_thread_.joinable()) accept_thread_.join();
   // Sever every live tunnel so detached pump threads wind down, then wait
-  // for the count to drain.
+  // for the count to drain. The registry is swapped out under the lock but
+  // the endpoints are closed outside it: close() can cascade into socket
+  // shutdown / signal-pipe writes, and pump threads contend on mutex_.
+  std::vector<std::weak_ptr<Endpoint>> doomed;
   {
     LockGuard lock(mutex_);
-    for (auto& weak : live_endpoints_) {
-      if (auto endpoint = weak.lock()) endpoint->close();
-    }
-    live_endpoints_.clear();
+    doomed.swap(live_endpoints_);
+  }
+  for (auto& weak : doomed) {
+    if (auto endpoint = weak.lock()) endpoint->close();
   }
   while (active_threads_.load(std::memory_order_acquire) > 0) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -100,21 +103,26 @@ void ProxyServer::accept_loop() {
       break;  // listener closed or failed
     }
     std::shared_ptr<Endpoint> shared(std::move(accepted).value().release());
+    bool rejected = false;
     {
       LockGuard lock(mutex_);
       if (!running_.load(std::memory_order_acquire)) {
-        shared->close();
-        break;
+        rejected = true;  // closed below, outside the registry lock
+      } else {
+        // Prune dead entries so the registry stays proportional to LIVE
+        // tunnels, not historical ones.
+        live_endpoints_.erase(
+            std::remove_if(live_endpoints_.begin(), live_endpoints_.end(),
+                           [](const std::weak_ptr<Endpoint>& weak) {
+                             return weak.expired();
+                           }),
+            live_endpoints_.end());
+        live_endpoints_.push_back(shared);
       }
-      // Prune dead entries so the registry stays proportional to LIVE
-      // tunnels, not historical ones.
-      live_endpoints_.erase(
-          std::remove_if(live_endpoints_.begin(), live_endpoints_.end(),
-                         [](const std::weak_ptr<Endpoint>& weak) {
-                           return weak.expired();
-                         }),
-          live_endpoints_.end());
-      live_endpoints_.push_back(shared);
+    }
+    if (rejected) {
+      shared->close();
+      break;
     }
     active_threads_.fetch_add(1, std::memory_order_acq_rel);
     std::thread([this, shared]() mutable {
@@ -167,17 +175,22 @@ void ProxyServer::handle_connection_shared(std::shared_ptr<Endpoint> client) {
   tunnel->client = client;
   tunnel->target = target;
   int relink_budget = 0;
+  bool stopped = false;
   {
     LockGuard lock(mutex_);
     if (!running_.load(std::memory_order_acquire)) {
       // stop() already swept the registry; do not start a tunnel it can
-      // no longer sever.
-      client->close();
-      upstream->close();
-      return;
+      // no longer sever. Closes happen below, outside the registry lock.
+      stopped = true;
+    } else {
+      relink_budget = relink_.enabled ? relink_.max_relinks : 0;
+      live_endpoints_.push_back(upstream);
     }
-    relink_budget = relink_.enabled ? relink_.max_relinks : 0;
-    live_endpoints_.push_back(upstream);
+  }
+  if (stopped) {
+    client->close();
+    upstream->close();
+    return;
   }
   {
     // Deliberately outside mutex_: the tunnel lock orders before the
@@ -222,13 +235,18 @@ bool ProxyServer::relink(Tunnel& tunnel, std::uint64_t seen_generation) {
     auto dialed = transport_->connect(tunnel.target);
     if (!dialed.is_ok()) continue;
     std::shared_ptr<Endpoint> fresh(std::move(dialed).value().release());
+    bool stopped = false;
     {
       LockGuard plock(mutex_);
       if (!running_.load(std::memory_order_acquire)) {
-        fresh->close();
-        break;
+        stopped = true;  // closed below, outside the registry lock
+      } else {
+        live_endpoints_.push_back(fresh);
       }
-      live_endpoints_.push_back(fresh);
+    }
+    if (stopped) {
+      fresh->close();
+      break;
     }
     tunnel.upstream = std::move(fresh);
     ++tunnel.generation;

@@ -85,12 +85,19 @@ void Frontend::accept_loop() {
       break;
     }
     std::shared_ptr<net::Endpoint> endpoint(std::move(accepted).value().release());
-    LockGuard lock(mutex_);
-    if (!running_.load(std::memory_order_acquire)) {
+    bool rejected = false;
+    {
+      LockGuard lock(mutex_);
+      if (!running_.load(std::memory_order_acquire)) {
+        rejected = true;  // closed below, outside the registry lock
+      } else {
+        threads_.emplace_back([this, endpoint] { serve_daemon(endpoint); });
+      }
+    }
+    if (rejected) {
       endpoint->close();
       break;
     }
-    threads_.emplace_back([this, endpoint] { serve_daemon(endpoint); });
   }
 }
 

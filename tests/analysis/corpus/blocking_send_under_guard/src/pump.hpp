@@ -1,0 +1,19 @@
+// Seeded bug: a raw socket send while the queue lock is held. Every
+// other writer now waits on network backpressure, not on the queue.
+#include "util/sync.hpp"
+
+namespace corpus {
+
+class Pump {
+ public:
+  void push(const char* buf, int n) {
+    LockGuard lock(mutex_);
+    ::send(fd_, buf, n, 0);
+  }
+
+ private:
+  mutable Mutex mutex_{"corpus.Pump.mutex_"};
+  int fd_ TDP_GUARDED_BY(mutex_) = -1;
+};
+
+}  // namespace corpus

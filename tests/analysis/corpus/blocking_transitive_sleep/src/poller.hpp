@@ -1,0 +1,26 @@
+// Seeded bug: the sleep is two calls away from the lock. An
+// intra-procedural scan of run() sees nothing — only call-graph
+// propagation (backoff() may sleep, run() calls it under the guard)
+// catches it.
+#include "util/sync.hpp"
+
+namespace corpus {
+
+class Poller {
+ public:
+  void run() {
+    LockGuard lock(mutex_);
+    if (++misses_ > 3) backoff();
+  }
+
+ private:
+  void backoff() { retry_pause(); }
+  void retry_pause() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  mutable Mutex mutex_{"corpus.Poller.mutex_"};
+  int misses_ TDP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace corpus

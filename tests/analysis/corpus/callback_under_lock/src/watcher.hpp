@@ -1,0 +1,30 @@
+// Seeded bug: a user-registered callback fires while the store lock is
+// held. If the callback re-enters the store it self-deadlocks; §10's
+// rule is copy-out-then-invoke (asserted at runtime by
+// Mutex::assert_not_held on the real fire paths).
+#include "util/sync.hpp"
+
+#include <functional>
+
+namespace corpus {
+
+class Watcher {
+ public:
+  void on_change(std::function<void(int)> cb) {
+    LockGuard lock(mutex_);
+    on_change_ = std::move(cb);
+  }
+
+  void publish(int v) {
+    LockGuard lock(mutex_);
+    version_ = v;
+    on_change_(v);
+  }
+
+ private:
+  mutable Mutex mutex_{"corpus.Watcher.mutex_"};
+  int version_ TDP_GUARDED_BY(mutex_) = 0;
+  std::function<void(int)> on_change_ TDP_GUARDED_BY(mutex_);
+};
+
+}  // namespace corpus

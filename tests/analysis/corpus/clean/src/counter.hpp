@@ -1,0 +1,39 @@
+// The control case: disciplined locking. Guards scoped tight, the
+// callback copied out and invoked after release, file IO done before
+// the lock is taken, deliberately unguarded members below the
+// separator. Must produce zero findings.
+#include "util/sync.hpp"
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+namespace corpus {
+
+class Counter {
+ public:
+  void increment() {
+    std::function<void(int)> cb;
+    int snapshot = 0;
+    {
+      LockGuard lock(mutex_);
+      snapshot = ++count_;
+      cb = on_increment_;
+    }
+    if (cb) cb(snapshot);
+  }
+
+  int value() const {
+    LockGuard lock(mutex_);
+    return count_;
+  }
+
+ private:
+  mutable Mutex mutex_{"corpus.Counter.mutex_"};
+  int count_ TDP_GUARDED_BY(mutex_) = 0;
+  std::function<void(int)> on_increment_ TDP_GUARDED_BY(mutex_);
+
+  std::atomic<int> fast_reads_{0};  ///< hot path, owner: any thread
+};
+
+}  // namespace corpus

@@ -1,0 +1,28 @@
+// Seeded bug: flush() promises TDP_EXCLUDES(mutex_) (it re-acquires the
+// lock itself), but tick() calls it with the lock already held —
+// guaranteed self-deadlock on the non-reentrant mutex.
+#include "util/sync.hpp"
+
+namespace corpus {
+
+class Service {
+ public:
+  void tick() {
+    LockGuard lock(mutex_);
+    ++ticks_;
+    flush();
+  }
+
+  void flush() TDP_EXCLUDES(mutex_);
+
+ private:
+  mutable Mutex mutex_{"corpus.Service.mutex_"};
+  int ticks_ TDP_GUARDED_BY(mutex_) = 0;
+};
+
+inline void Service::flush() {
+  LockGuard lock(mutex_);
+  ticks_ = 0;
+}
+
+}  // namespace corpus

@@ -1,0 +1,23 @@
+// Seeded bug: a journal-style spill writes the file while holding the
+// table lock — every reader stalls behind the disk.
+#include "util/sync.hpp"
+
+#include <fstream>
+#include <string>
+
+namespace corpus {
+
+class SpillTable {
+ public:
+  void spill(const std::string& path) {
+    LockGuard lock(mutex_);
+    std::ofstream out(path, std::ios::binary);
+    out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  }
+
+ private:
+  mutable Mutex mutex_{"corpus.SpillTable.mutex_"};
+  std::string buffer_ TDP_GUARDED_BY(mutex_);
+};
+
+}  // namespace corpus

@@ -1,0 +1,23 @@
+// Seeded bug: two code paths acquire the same pair of locks in opposite
+// orders. Neither path by itself deadlocks; run concurrently they can.
+#include "util/sync.hpp"
+
+namespace corpus {
+
+class Ledger {
+ public:
+  void credit() {
+    LockGuard la(accounts_);
+    LockGuard lb(audit_);
+  }
+  void audit_sweep() {
+    LockGuard lb(audit_);
+    LockGuard la(accounts_);
+  }
+
+ private:
+  mutable Mutex accounts_{"corpus.Ledger.accounts_"};
+  mutable Mutex audit_{"corpus.Ledger.audit_"};
+};
+
+}  // namespace corpus

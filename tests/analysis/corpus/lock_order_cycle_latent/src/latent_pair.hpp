@@ -1,0 +1,52 @@
+// Seeded bug, the static-vs-runtime superset proof (DESIGN.md §10/§15).
+//
+// This header is BOTH statically analyzed (as this corpus case) and
+// compiled into tests/analysis/test_latent_cycle.cpp with
+// TDP_LOCK_ORDER_CHECKS=1. The test executes only the forward() path, so
+// the runtime LockOrderGraph records first_ -> second_ and never sees the
+// inversion: the binary is runtime-clean. tdpsa reads both bodies and
+// flags the first_ <-> second_ cycle from the source alone — the
+// inverted path does not have to run to be a deadlock waiting for an
+// unlucky schedule.
+#ifndef TDP_TESTS_ANALYSIS_LATENT_PAIR_HPP
+#define TDP_TESTS_ANALYSIS_LATENT_PAIR_HPP
+
+#include "util/sync.hpp"
+
+namespace tdpsa_corpus {
+
+using tdp::LockGuard;
+using tdp::Mutex;
+
+class LatentPair {
+ public:
+  // The path the test drives: first_ then second_.
+  void forward() {
+    LockGuard la(first_);
+    LockGuard lb(second_);
+    ++forward_count_;
+  }
+
+  // The latent inversion: reachable (public, compiled, no dead-code
+  // elimination) but never called by the test binary.
+  void backward() {
+    LockGuard lb(second_);
+    LockGuard la(first_);
+    ++backward_count_;
+  }
+
+  int forward_count() const {
+    LockGuard la(first_);
+    return forward_count_;
+  }
+
+ private:
+  mutable Mutex first_{"corpus.latent.first_"};
+  mutable Mutex second_{"corpus.latent.second_"};
+  int forward_count_ TDP_GUARDED_BY(first_) = 0;
+  int backward_count_ TDP_GUARDED_BY(second_) = 0;
+};
+
+}  // namespace tdpsa_corpus
+
+#endif  // TDP_TESTS_ANALYSIS_LATENT_PAIR_HPP

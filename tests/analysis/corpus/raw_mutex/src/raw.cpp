@@ -1,0 +1,16 @@
+// Seeded bug: a raw std::mutex. Invisible to TSA (no capability
+// attributes), invisible to the runtime lock-order detector (no
+// instrumented acquire), invisible to the lock-graph extractor.
+#include <mutex>
+
+namespace corpus {
+
+std::mutex g_table_mutex;
+int g_entries = 0;
+
+void add_entry() {
+  std::lock_guard<std::mutex> lock(g_table_mutex);
+  ++g_entries;
+}
+
+}  // namespace corpus

@@ -1,0 +1,20 @@
+// The code: a single leaf lock, acquiring nothing beneath it. The
+// sibling DESIGN.md still documents a second lock and a successor edge
+// that were refactored away — the table is stale.
+#include "util/sync.hpp"
+
+namespace corpus {
+
+class Cache {
+ public:
+  int get() const {
+    LockGuard lock(mutex_);
+    return value_;
+  }
+
+ private:
+  mutable Mutex mutex_{"corpus.Cache.mutex_"};
+  int value_ TDP_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace corpus

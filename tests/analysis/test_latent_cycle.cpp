@@ -1,0 +1,51 @@
+// The static-vs-runtime superset proof (DESIGN.md §10/§15).
+//
+// This binary compiles the corpus fixture
+// tests/analysis/corpus/lock_order_cycle_latent/src/latent_pair.hpp with
+// TDP_LOCK_ORDER_CHECKS=1 — the same runtime lock-order detector the
+// Debug daemons run — and drives only the forward() path. backward(),
+// the inverted acquisition, is compiled in and publicly reachable but
+// never executed, so the runtime graph only ever records
+// first_ -> second_ and the process runs clean.
+//
+// tdpsa, reading the same header as corpus case lock_order_cycle_latent,
+// flags the first_ <-> second_ cycle statically (asserted by
+// `tdpsa --self-test`, which ctest runs as analysis_selftest). Together
+// the pair proves the analyzer is a strict superset of the runtime
+// detector: same seeded bug, runtime-clean binary, static finding.
+
+#include "latent_pair.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace {
+
+TEST(LatentCycle, ExecutedPathIsRuntimeClean) {
+  // Single-threaded: the detector sees first_ -> second_ repeatedly and
+  // must not abort — one consistent order is not a violation.
+  tdpsa_corpus::LatentPair pair;
+  for (int i = 0; i < 100; ++i) pair.forward();
+  EXPECT_EQ(pair.forward_count(), 100);
+}
+
+TEST(LatentCycle, ConcurrentForwardOnlyIsRuntimeClean) {
+  // Multi-threaded, still forward-only: contention exercises the
+  // detector's held-stack bookkeeping without ever taking the inverted
+  // order. If backward() ran here, TDP_LOCK_ORDER_CHECKS=1 would abort
+  // the process — that it does not is the "runtime misses it" half of
+  // the superset claim.
+  tdpsa_corpus::LatentPair pair;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&pair] {
+      for (int i = 0; i < 50; ++i) pair.forward();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(pair.forward_count(), 200);
+}
+
+}  // namespace
