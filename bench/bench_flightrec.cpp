@@ -1,0 +1,176 @@
+// bench_flightrec - the black-box tax. The flight recorder (PR 9) is
+// compiled into every daemon and left ON in production, so the number that
+// matters is the overhead an always-on ring adds to a daemon's hot path.
+// The modeled workload is the bench_fig2 attribute round trip with one
+// recorded event per operation — a daemon that records a state transition
+// per request, which is denser instrumentation than any real TDP daemon
+// ships (they record per lifecycle transition, not per request). Target:
+// < 5% on the inproc put+get round trip; CI (scripts/ci.sh
+// bench-flightrec) fails above that against the committed
+// BENCH_flightrec.json.
+//
+// Two modes, interleaved in batches so machine noise lands evenly:
+//
+//   recorder_off - Recorder::set_enabled(false): record() returns after
+//                  one relaxed load. The cost of *shipping* the recorder.
+//   recorder_on  - the production steady state: every event stamps,
+//                  sequences, and lands in its shard slot under the leaf
+//                  lock.
+//
+// The console pass also prices the primitives (record, snapshot,
+// encode_capsule) so a regression can be localized.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "bench_util.hpp"
+#include "util/flightrec.hpp"
+
+namespace {
+
+using namespace tdp;
+using bench::AttrSpaceFixture;
+using bench::BenchResult;
+using bench::LatencyRecorder;
+
+flightrec::Config bench_config() {
+  flightrec::Config config;
+  config.role = "bench";
+  config.host = "local";
+  config.capacity = 4096;
+  config.shards = 4;
+  return config;
+}
+
+// --- console pass: recorder primitives --------------------------------------
+
+void BM_FlightRec_Record(benchmark::State& state) {
+  flightrec::Recorder rec(bench_config());
+  for (auto _ : state) {
+    rec.state("tick", "detail");
+  }
+  benchmark::DoNotOptimize(rec.recorded());
+}
+BENCHMARK(BM_FlightRec_Record);
+
+void BM_FlightRec_RecordDisabled(benchmark::State& state) {
+  flightrec::Recorder rec(bench_config());
+  rec.set_enabled(false);
+  for (auto _ : state) {
+    rec.state("tick", "detail");
+  }
+  benchmark::DoNotOptimize(rec.recorded());
+}
+BENCHMARK(BM_FlightRec_RecordDisabled);
+
+void BM_FlightRec_RecordContended(benchmark::State& state) {
+  // 4 threads over 4 shards: the sharding claim. Run with --threads.
+  static flightrec::Recorder rec(bench_config());
+  for (auto _ : state) {
+    rec.state("tick", "detail");
+  }
+  benchmark::DoNotOptimize(rec.recorded());
+}
+BENCHMARK(BM_FlightRec_RecordContended)->Threads(4);
+
+void BM_FlightRec_Snapshot(benchmark::State& state) {
+  flightrec::Recorder rec(bench_config());
+  for (int i = 0; i < 4096; ++i) rec.state("tick", "detail");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.snapshot().size());
+  }
+}
+BENCHMARK(BM_FlightRec_Snapshot)->Unit(benchmark::kMicrosecond);
+
+void BM_FlightRec_EncodeCapsule(benchmark::State& state) {
+  flightrec::Recorder rec(bench_config());
+  for (int i = 0; i < 4096; ++i) {
+    rec.state("tick", "n=" + std::to_string(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rec.encode_capsule("bench").size());
+  }
+}
+BENCHMARK(BM_FlightRec_EncodeCapsule)->Unit(benchmark::kMicrosecond);
+
+// --- machine-readable pass: BENCH_flightrec.json -----------------------------
+
+void emit_flightrec_json() {
+  bench::silence_logs();
+
+  auto fixture = AttrSpaceFixture::inproc("flightrec-json");
+  auto client = fixture.client();
+  flightrec::Recorder rec(bench_config());
+  auto round_trip = [&](int i) {
+    const std::string attr = "k" + std::to_string(i % 128);
+    client->put(attr, "value");
+    benchmark::DoNotOptimize(client->try_get(attr));
+    rec.state("request", attr);  // one event per op: denser than any daemon
+  };
+
+  // Warm-up: populate the key space, wrap the ring once.
+  LatencyRecorder warmup;
+  warmup.measure(8'192, round_trip);
+
+  // Interleaved batches: off/on take turns so drift in machine state
+  // cannot masquerade as recorder overhead.
+  LatencyRecorder off;
+  LatencyRecorder on;
+  constexpr int kBatches = 10;
+  constexpr int kBatchIters = 400;
+  for (int batch = 0; batch < kBatches; ++batch) {
+    rec.set_enabled(false);
+    off.measure(kBatchIters, round_trip);
+    rec.set_enabled(true);
+    on.measure(kBatchIters, round_trip);
+  }
+
+  const BenchResult off_result =
+      BenchResult::from("fig2_put_get_record", "inproc", off);
+  const BenchResult on_result =
+      BenchResult::from("fig2_put_get_record", "inproc", on);
+
+  // The gated number: steady-state slowdown with the ring recording.
+  const double overhead_pct =
+      off.ops_per_sec() > 0
+          ? (off.ops_per_sec() - on.ops_per_sec()) / off.ops_per_sec() * 100.0
+          : 0.0;
+
+  std::ofstream out("BENCH_flightrec.json", std::ios::trunc);
+  out << "{\n  \"benchmark\": \"flightrec\",\n  \"results\": [\n";
+  char row[320];
+  std::snprintf(row, sizeof(row),
+                "    {\"name\": \"%s\", \"mode\": \"recorder_off\", "
+                "\"ops_per_sec\": %.1f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
+                "\"iterations\": %zu},\n",
+                off_result.name.c_str(), off_result.ops_per_sec,
+                off_result.p50_us, off_result.p99_us, off_result.iterations);
+  out << row;
+  std::snprintf(row, sizeof(row),
+                "    {\"name\": \"%s\", \"mode\": \"recorder_on\", "
+                "\"ops_per_sec\": %.1f, \"p50_us\": %.3f, \"p99_us\": %.3f, "
+                "\"iterations\": %zu}\n",
+                on_result.name.c_str(), on_result.ops_per_sec,
+                on_result.p50_us, on_result.p99_us, on_result.iterations);
+  out << row;
+  std::snprintf(row, sizeof(row),
+                "  ],\n  \"overhead_pct\": %.2f\n}\n", overhead_pct);
+  out << row;
+
+  std::printf("flightrec overhead: recorder on vs off %.2f%% "
+              "(BENCH_flightrec.json)\n",
+              overhead_pct);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_flightrec_json();
+  return 0;
+}

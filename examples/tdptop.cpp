@@ -25,6 +25,7 @@
 #include "attrspace/telemetry_export.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
+#include "util/health.hpp"
 #include "util/lease.hpp"
 #include "util/telemetry.hpp"
 
@@ -112,6 +113,62 @@ void render_liveness(const LivenessTable& liveness) {
   }
 }
 
+/// Alerts derived from tdp.health.* reports (PR 9). The health engine in
+/// each pool publishes "<severity> rule=<name> value=<v>" per daemon plus
+/// a rolled-up per-role verdict; tdptop keeps the latest report per key
+/// and remembers whether each key ever left ok, so a rule that fired and
+/// recovered still shows as a (cleared) incident instead of vanishing.
+struct AlertsTable {
+  struct Row {
+    std::string report;  ///< latest encoded report
+    health::Severity severity = health::Severity::kOk;
+    health::Severity worst_seen = health::Severity::kOk;
+  };
+  std::map<std::string, Row> rows;
+};
+
+void ingest_health(AlertsTable& alerts, const std::string& attribute,
+                   const std::string& value) {
+  const std::string_view prefix = health::kHealthPrefix;
+  if (attribute.compare(0, prefix.size(), prefix) != 0) return;
+  const std::string key = attribute.substr(prefix.size());
+  if (key.empty()) return;
+  auto severity = health::parse_severity(value);
+  if (!severity.is_ok()) return;
+  AlertsTable::Row& row = alerts.rows[key];
+  row.report = value;
+  row.severity = severity.value();
+  row.worst_seen = health::fold(row.worst_seen, row.severity);
+}
+
+void render_alerts(const AlertsTable& alerts) {
+  if (alerts.rows.empty()) return;
+  std::size_t firing = 0;
+  for (const auto& [key, row] : alerts.rows) {
+    if (row.severity != health::Severity::kOk) ++firing;
+  }
+  std::printf("=== alerts (%zu rule set(s), %zu firing) ===\n",
+              alerts.rows.size(), firing);
+  std::size_t width = std::strlen("target");
+  for (const auto& [key, row] : alerts.rows) {
+    width = std::max(width, key.size());
+  }
+  std::printf("  %-*s  %-9s  %s\n", static_cast<int>(width), "target",
+              "severity", "report");
+  for (const auto& [key, row] : alerts.rows) {
+    // A recovered incident renders as "ok (was critical)" so a blip that
+    // self-healed between refreshes still reaches the operator.
+    std::string severity = health::severity_name(row.severity);
+    if (row.severity == health::Severity::kOk &&
+        row.worst_seen != health::Severity::kOk) {
+      severity += std::string(" (was ") +
+                  health::severity_name(row.worst_seen) + ")";
+    }
+    std::printf("  %-*s  %-9s  %s\n", static_cast<int>(width), key.c_str(),
+                severity.c_str(), row.report.c_str());
+  }
+}
+
 void render(const Table& table, bool clear_screen) {
   if (clear_screen) std::printf("\x1b[2J\x1b[H");
   if (table.empty()) {
@@ -170,6 +227,7 @@ int run_demo() {
   }
   Table table;
   LivenessTable liveness;
+  AlertsTable alerts;
 
   // Ride the beats as they land (a snapshot would only show the latest
   // one, hiding the sequence regression that marks a restart).
@@ -182,13 +240,50 @@ int run_demo() {
     std::printf("demo: subscribe failed: %s\n", subscribed.to_string().c_str());
     return 1;
   }
+  Status health_sub = client.value()->subscribe(
+      std::string(health::kHealthPrefix) + "*",
+      [&alerts](const std::string& attribute, const std::string& value) {
+        ingest_health(alerts, attribute, value);
+      });
+  if (!health_sub.is_ok()) {
+    std::printf("demo: health subscribe failed: %s\n",
+                health_sub.to_string().c_str());
+    return 1;
+  }
   // A daemon beats twice, dies, and its replacement starts over at seq 1:
   // the regression is what tdptop counts as a restart.
   const std::string beat_attr = lease::liveness_attr("demo", "localhost");
   for (const char* beat : {"1 100", "2 600", "1 1200"}) {
     lass.store().put(attr::kDefaultContext, beat_attr, beat);
   }
-  for (int i = 0; i < 50 && liveness.rows["demo.localhost"].last_seq != 1; ++i) {
+  // The seeded fault: a health engine watches machine.alive, the "machine"
+  // goes down and comes back, and each evaluation publishes through the
+  // space. The alerts pane must show the critical incident AND that it
+  // cleared - the same critical-and-back transition the chaos kill tier
+  // drives with a real startd death.
+  {
+    health::Engine engine;
+    Status added = engine.add_rule(
+        "up: machine.alive value below warn=0.9 critical=0.4");
+    if (!added.is_ok()) {
+      std::printf("demo: bad health rule: %s\n", added.to_string().c_str());
+      return 1;
+    }
+    const std::string health_attr = health::health_attr("demo", "localhost");
+    Micros at = 0;
+    for (std::int64_t alive : {1, 0, 1}) {
+      telemetry::Sample sample;
+      sample.name = "machine.alive";
+      sample.kind = telemetry::Sample::Kind::kGauge;
+      sample.value = alive;
+      const health::Report report = engine.evaluate({sample}, at += 1'000'000);
+      lass.store().put(attr::kDefaultContext, health_attr, report.encode());
+    }
+  }
+  for (int i = 0; i < 50 && (liveness.rows["demo.localhost"].last_seq != 1 ||
+                             alerts.rows["demo.localhost"].worst_seen !=
+                                 health::Severity::kCritical);
+       ++i) {
     client.value()->service_events();
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
   }
@@ -203,6 +298,7 @@ int run_demo() {
   }
   render(table, /*clear_screen=*/false);
   render_liveness(liveness);
+  render_alerts(alerts);
   client.value()->exit();
   lass.stop();
   // The smoke gate: the demo daemon must have come through the space, its
@@ -211,7 +307,15 @@ int run_demo() {
   const bool liveness_ok =
       row != liveness.rows.end() && row->second.restarts == 1 &&
       liveness.monitor.health("demo.localhost") == lease::Health::kAlive;
-  return table.count("demo.localhost") == 1 && liveness_ok ? 0 : 1;
+  // And the alerts pane must have watched the up-rule go critical and
+  // recover: latest report ok, worst ever seen critical.
+  const auto alert = alerts.rows.find("demo.localhost");
+  const bool alerts_ok = alert != alerts.rows.end() &&
+                         alert->second.severity == health::Severity::kOk &&
+                         alert->second.worst_seen ==
+                             health::Severity::kCritical;
+  return table.count("demo.localhost") == 1 && liveness_ok && alerts_ok ? 0
+                                                                        : 1;
 }
 
 }  // namespace
@@ -250,12 +354,14 @@ int main(int argc, char** argv) {
 
   Table table;
   LivenessTable liveness;
+  AlertsTable alerts;
   // Catch up on what is already in the space, then ride notifications.
   auto listed = client.value()->list();
   if (listed.is_ok()) {
     for (const auto& [attribute, value] : listed.value()) {
       ingest(table, attribute, value);
       ingest_liveness(liveness, attribute, value);
+      ingest_health(alerts, attribute, value);
     }
   }
   Status subscribed = client.value()->subscribe(
@@ -278,11 +384,22 @@ int main(int argc, char** argv) {
                 beats.to_string().c_str());
     return 1;
   }
+  Status health_sub = client.value()->subscribe(
+      std::string(health::kHealthPrefix) + "*",
+      [&alerts](const std::string& attribute, const std::string& value) {
+        ingest_health(alerts, attribute, value);
+      });
+  if (!health_sub.is_ok()) {
+    std::printf("tdptop: health subscribe failed: %s\n",
+                health_sub.to_string().c_str());
+    return 1;
+  }
 
   while (true) {
     client.value()->service_events();
     render(table, /*clear_screen=*/!once);
     render_liveness(liveness);
+    render_alerts(alerts);
     if (once) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
     if (!client.value()->connected()) {

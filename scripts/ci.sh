@@ -22,6 +22,10 @@
 #   scripts/ci.sh bench-wire # wire/proxy/journal bench: refreshes
 #                            # BENCH_wire.json and fails on a >10% proxy
 #                            # throughput regression vs the committed copy
+#   scripts/ci.sh bench-flightrec # flight-recorder overhead bench:
+#                            # refreshes BENCH_flightrec.json and fails
+#                            # when the recorder-on steady state is >5%
+#                            # slower than recorder-off
 #   scripts/ci.sh bench-scale# scale tier: 10k-host ctest (-L scale with
 #                            # TDP_SCALE_10K=1) + flat-vs-tree bench,
 #                            # refreshes BENCH_scale.json and fails on a
@@ -68,6 +72,10 @@ run_tsan() {
   # fixed seeds.
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/tdp_util_tests --gtest_filter='LeaseAgg*'
+  # The PR 9 flight recorder: concurrent record/snapshot/encode over the
+  # sharded ring, plus the health engine's leaf-locked evaluate.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/tdp_util_tests --gtest_filter='FlightRec.*:Health.*'
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/tdp_scale_tests
   TSAN_OPTIONS="halt_on_error=1" \
@@ -234,6 +242,34 @@ sys.exit(1 if failed else 0)
 EOF
 }
 
+run_bench_flightrec() {
+  # The always-on recorder's steady-state overhead (PR 9): the bench
+  # interleaves recorder-off and recorder-on batches over the fig2 round
+  # trip with one recorded event per op and fails above 5% slowdown. The
+  # fresh numbers overwrite BENCH_flightrec.json so an intentional change
+  # is committed together with the code that caused it.
+  cmake -B build-ci -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DTDP_WERROR=ON
+  cmake --build build-ci -j"$(nproc)" --target bench_flightrec
+  local baseline=""
+  if [[ -f BENCH_flightrec.json ]]; then
+    baseline="$(python3 -c 'import json; print(json.load(open("BENCH_flightrec.json"))["overhead_pct"])')"
+  fi
+  ./build-ci/bench/bench_flightrec --benchmark_filter='^$'
+  python3 - "$baseline" <<'PYEOF'
+import json, sys
+data = json.load(open("BENCH_flightrec.json"))
+fresh = data["overhead_pct"]
+if len(sys.argv) > 1 and sys.argv[1]:
+    print(f"bench-flightrec: committed baseline {float(sys.argv[1]):.2f}%")
+print(f"bench-flightrec: recorder-on overhead {fresh:.2f}% (ceiling 5%)")
+if fresh > 5.0:
+    print("bench-flightrec: FAIL - recorder steady-state overhead above 5%")
+    raise SystemExit(1)
+PYEOF
+}
+
 find_tool() {
   # Prefer an unversioned binary, then recent versioned ones.
   local base="$1" candidate
@@ -330,7 +366,8 @@ case "${1:-release}" in
   bench)      run_bench ;;
   bench-wire) run_bench_wire ;;
   bench-scale) run_bench_scale ;;
-  all)        run_release; run_tsan; run_asan; run_chaos; run_analyze; run_bench; run_bench_wire; run_bench_scale ;;
-  *) echo "usage: $0 [release|tsan|asan|chaos|chaos-kill|analyze|bench|bench-wire|bench-scale|all]" >&2
+  bench-flightrec) run_bench_flightrec ;;
+  all)        run_release; run_tsan; run_asan; run_chaos; run_analyze; run_bench; run_bench_wire; run_bench_scale; run_bench_flightrec ;;
+  *) echo "usage: $0 [release|tsan|asan|chaos|chaos-kill|analyze|bench|bench-wire|bench-scale|bench-flightrec|all]" >&2
      exit 2 ;;
 esac

@@ -1,6 +1,13 @@
 #!/usr/bin/env python3
-"""trace2html.py - wrap a Chrome trace_event JSON file (as produced by
-telemetry::Tracer::dump_chrome_trace) in a standalone HTML page.
+"""trace2html.py - render TDP traces as a standalone HTML page.
+
+Three input formats, auto-detected:
+  * Chrome trace_event JSON (telemetry::Tracer::dump_chrome_trace);
+  * binary span-block files (telemetry::Tracer::dump_span_blocks): a
+    util/blockio stream of packed SpanRecords, decoded directly - no C++
+    build needed to look at a trace a daemon left behind;
+  * flight-recorder capsules (util/flightrec.hpp): the span events a dead
+    daemon's black box captured are rendered as a timeline of their own.
 
 The page needs no external viewer: it renders the spans as a simple
 timeline (one swimlane per trace, bars positioned by ts/dur) with the raw
@@ -8,6 +15,8 @@ JSON embedded for loading into chrome://tracing or Perfetto later.
 
 Usage:
     scripts/trace2html.py trace.json [-o trace.html]
+    scripts/trace2html.py spans.blk [-o spans.html]
+    scripts/trace2html.py startd.node3.capsule
     scripts/trace2html.py --self-test
 """
 
@@ -17,6 +26,9 @@ import json
 import sys
 import tempfile
 from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+import blackbox  # the pure-python blockio / capsule decoder
 
 PAGE_TEMPLATE = """<!DOCTYPE html>
 <html>
@@ -57,6 +69,90 @@ BAR_TEMPLATE = (
     '<div class="span" style="left:{left:.2f}%;width:{width:.2f}%" '
     'title="{title}">{label}</div>'
 )
+
+
+def parse_span_payload(payload: bytes) -> list:
+    """One dump_span_blocks payload: packed SpanRecords (u32-len name,
+    u32-len role, then trace/span/parent ids and start/end micros, all
+    u64le)."""
+    spans = []
+    pos = 0
+
+    def u32() -> int:
+        nonlocal pos
+        v = int.from_bytes(payload[pos:pos + 4], "little")
+        pos += 4
+        return v
+
+    def u64() -> int:
+        nonlocal pos
+        v = int.from_bytes(payload[pos:pos + 8], "little")
+        pos += 8
+        return v
+
+    while pos < len(payload):
+        if len(payload) - pos < 4:
+            raise ValueError("truncated span record")
+        name_len = u32()
+        name = payload[pos:pos + name_len].decode("utf-8", "replace")
+        pos += name_len
+        role_len = u32()
+        role = payload[pos:pos + role_len].decode("utf-8", "replace")
+        pos += role_len
+        if len(payload) - pos < 5 * 8:
+            raise ValueError("truncated span record")
+        trace_id, span_id, parent_id, start, end = (u64(), u64(), u64(),
+                                                    u64(), u64())
+        spans.append({"name": name, "ph": "X", "ts": start,
+                      "dur": max(end - start, 0), "pid": 1, "tid": trace_id,
+                      "args": {"role": role, "span_id": span_id,
+                               "parent_id": parent_id}})
+    return spans
+
+
+def spans_from_blocks(data: bytes) -> dict:
+    """Decodes a dump_span_blocks file into trace_event JSON."""
+    stats = blackbox.ScanStats()
+    events = []
+    for payload in blackbox.iter_blocks(data, stats):
+        events.extend(parse_span_payload(payload))
+    if stats.torn_tail or stats.resyncs:
+        print(f"warning: span stream damaged (torn_tail={stats.torn_tail}, "
+              f"resyncs={stats.resyncs}, skipped={stats.bytes_skipped}B); "
+              "rendering what survived", file=sys.stderr)
+    return {"traceEvents": events}
+
+
+def spans_from_capsule(data: bytes, path: str = "") -> dict:
+    """Extracts the span events a flight-recorder capsule embeds. The
+    recorder stamps kSpan events at completion with dur_us=<n> in the
+    detail, so ts is recovered as at_micros - dur."""
+    capsule = blackbox.decode_capsule(data, path)
+    events = []
+    for event in capsule.events:
+        if event.kind != "span":
+            continue
+        dur = 0
+        for token in event.detail.split():
+            if token.startswith("dur_us="):
+                dur = int(token[len("dur_us="):])
+        events.append({"name": event.what, "ph": "X",
+                       "ts": max(event.at_micros - dur, 0), "dur": dur,
+                       "pid": 1, "tid": event.trace_id,
+                       "args": {"role": capsule.role,
+                                "span_id": event.span_id}})
+    return {"traceEvents": events}
+
+
+def load_trace(path: Path) -> dict:
+    """Auto-detect: blockio stream (span blocks or a capsule) vs JSON."""
+    data = path.read_bytes()
+    if data[:4] == blackbox.SYNC_MAGIC.to_bytes(4, "little"):
+        try:
+            return spans_from_capsule(data, str(path))
+        except ValueError:
+            return spans_from_blocks(data)
+    return json.loads(data.decode())
 
 
 def render(trace: dict) -> str:
@@ -121,17 +217,76 @@ def self_test() -> int:
     if "<!DOCTYPE html>" not in render({"traceEvents": []}):
         print("self-test FAILED: empty trace")
         return 1
+
+    # A binary dump_span_blocks file decodes directly: pack two
+    # SpanRecords, frame them as one block, render.
+    def packed_span(name: bytes, role: bytes, trace_id: int, span_id: int,
+                    parent: int, start: int, end: int) -> bytes:
+        rec = len(name).to_bytes(4, "little") + name
+        rec += len(role).to_bytes(4, "little") + role
+        for v in (trace_id, span_id, parent, start, end):
+            rec += v.to_bytes(8, "little")
+        return rec
+
+    payload = (packed_span(b"schedd.submit", b"schedd", 9, 1, 0, 100, 400) +
+               packed_span(b"starter.launch", b"starter", 9, 2, 1, 150, 300))
+    with tempfile.TemporaryDirectory() as tmp:
+        blk = Path(tmp) / "spans.blk"
+        blk.write_bytes(blackbox.encode_block_store(payload))
+        page = render(load_trace(blk))
+        for needle in ("schedd.submit", "starter.launch", "trace 9"):
+            if needle not in page:
+                print(f"self-test FAILED: {needle!r} missing from "
+                      "span-block render")
+                return 1
+
+        # A capsule-embedded span block: the flight recorder of a dead
+        # daemon captured two finished spans; the capsule renders as a
+        # timeline with ts recovered from at_micros - dur_us.
+        capsule = blackbox.Capsule(role="startd", host="node3",
+                                   reason="lease-expired", dumped_at=900,
+                                   recorded=3, overwritten=0)
+        capsule.events = [
+            blackbox.Event(kind="span", seq=0, at_micros=500, trace_id=9,
+                           span_id=1, what="startd.claim",
+                           detail="dur_us=200"),
+            blackbox.Event(kind="span", seq=1, at_micros=800, trace_id=9,
+                           span_id=2, what="starter.launch",
+                           detail="dur_us=250 parent=1"),
+            blackbox.Event(kind="state", seq=2, at_micros=850, what="crash",
+                           detail=""),  # non-span events are ignored
+        ]
+        cap = Path(tmp) / "startd.node3.capsule"
+        cap.write_bytes(blackbox.encode_capsule_store(capsule))
+        trace = load_trace(cap)
+        if len(trace["traceEvents"]) != 2:
+            print("self-test FAILED: capsule span extraction count")
+            return 1
+        if trace["traceEvents"][0]["ts"] != 300:
+            print("self-test FAILED: capsule span ts not recovered from "
+                  "dur_us")
+            return 1
+        page = render(trace)
+        for needle in ("startd.claim", "starter.launch"):
+            if needle not in page:
+                print(f"self-test FAILED: {needle!r} missing from "
+                      "capsule render")
+                return 1
+
     print("trace2html self-test passed")
     return 0
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", nargs="?", help="Chrome trace_event JSON file")
+    parser.add_argument("trace", nargs="?",
+                        help="trace_event JSON, dump_span_blocks file, or "
+                        "flight-recorder capsule")
     parser.add_argument("-o", "--output", help="output HTML path "
                         "(default: <trace>.html)")
     parser.add_argument("--self-test", action="store_true",
-                        help="render a built-in sample and verify the output")
+                        help="render built-in samples (JSON, span blocks, "
+                        "a capsule) and verify the output")
     args = parser.parse_args()
 
     if args.self_test:
@@ -140,7 +295,7 @@ def main() -> int:
         parser.error("a trace file is required (or --self-test)")
 
     src = Path(args.trace)
-    trace = json.loads(src.read_text())
+    trace = load_trace(src)
     out = Path(args.output) if args.output else src.with_suffix(".html")
     out.write_text(render(trace))
     print(f"wrote {out}")

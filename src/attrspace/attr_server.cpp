@@ -68,6 +68,7 @@ Result<std::string> AttrServer::start(const std::string& listen_address) {
     }
   });
   log::Logger(name_).info("attribute space server on ", address_);
+  if (recorder_) recorder_->state("start", "address=" + address_);
   return address_;
 }
 
@@ -89,6 +90,7 @@ void AttrServer::stop() {
     reactor_.remove(listener_->readable_fd());
     listener_->close();
   }
+  if (recorder_) recorder_->state("stop", "");
 }
 
 void AttrServer::on_acceptable() {
@@ -110,6 +112,7 @@ void AttrServer::on_acceptable() {
       LockGuard lock(conns_mutex_);
       conns_.emplace(fd, conn);
     }
+    if (recorder_) recorder_->state("accept", "fd=" + std::to_string(fd));
     reactor_.add_readable(fd, [this, fd] { on_readable(fd); });
   }
 }
@@ -179,6 +182,10 @@ void AttrServer::teardown(Connection& conn) {
     }
   }
   conn.endpoint->close();
+  if (recorder_) {
+    recorder_->state("teardown",
+                     "contexts=" + std::to_string(conn.opened_contexts.size()));
+  }
 }
 
 void AttrServer::handle_message(const MessageView& msg, Connection& conn) {

@@ -36,6 +36,7 @@
 #include "attrspace/attr_store.hpp"
 #include "net/reactor.hpp"
 #include "net/transport.hpp"
+#include "util/flightrec.hpp"
 #include "util/sync.hpp"
 
 namespace tdp::attr {
@@ -76,6 +77,13 @@ class AttrServer {
   }
   [[nodiscard]] std::size_t batches_deduped() const {
     return batches_deduped_.load(std::memory_order_relaxed);
+  }
+
+  /// Attaches the server's flight recorder (PR 9): start/stop, accepted
+  /// connections and teardowns land in the ring. Set before start();
+  /// recorded into on the I/O thread with no server lock held.
+  void set_recorder(std::shared_ptr<flightrec::Recorder> recorder) {
+    recorder_ = std::move(recorder);
   }
 
  private:
@@ -129,6 +137,8 @@ class AttrServer {
   std::unordered_set<std::string> recent_batch_ids_;
   std::deque<std::string> recent_batch_order_;
   static constexpr std::size_t kBatchWindow = 1024;
+
+  std::shared_ptr<flightrec::Recorder> recorder_;
 
   /// The I/O thread mutates the connection table, stop() (any thread)
   /// drains it.

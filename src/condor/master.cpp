@@ -116,6 +116,7 @@ std::vector<std::string> Master::tick() {
       circuit_counter.inc();
       kLog.error("daemon '", item.name, "' exhausted its restart budget; ",
                  "circuit breaker open (reset() or a live probe closes it)");
+      if (recorder_) recorder_->state("circuit-open", "daemon=" + item.name);
       continue;
     }
     if (!attempt) continue;  // dead, but inside its backoff window
@@ -126,22 +127,28 @@ std::vector<std::string> Master::tick() {
       telemetry::Span span("master.restart", "master");
       ok = item.restart && item.restart();
     }
-    LockGuard lock(mutex_);
-    auto it = daemons_.find(item.name);
-    if (it == daemons_.end()) continue;
-    Entry& entry = it->second;
-    ++entry.attempts_since_alive;
-    entry.next_attempt_micros =
-        clock_.load(std::memory_order_relaxed)->now_micros() +
-        backoff_micros(entry.attempts_since_alive);
-    if (ok) {
-      ++stats_.restarts;
-      ++entry.restarts;
-      restart_counter.inc();
-      restarted.push_back(item.name);
-    } else {
-      ++stats_.failed_restarts;
-      failed_counter.inc();
+    {
+      LockGuard lock(mutex_);
+      auto it = daemons_.find(item.name);
+      if (it == daemons_.end()) continue;
+      Entry& entry = it->second;
+      ++entry.attempts_since_alive;
+      entry.next_attempt_micros =
+          clock_.load(std::memory_order_relaxed)->now_micros() +
+          backoff_micros(entry.attempts_since_alive);
+      if (ok) {
+        ++stats_.restarts;
+        ++entry.restarts;
+        restart_counter.inc();
+        restarted.push_back(item.name);
+      } else {
+        ++stats_.failed_restarts;
+        failed_counter.inc();
+      }
+    }
+    if (recorder_) {
+      recorder_->state(ok ? "restart" : "restart-failed",
+                       "daemon=" + item.name);
     }
   }
   return restarted;

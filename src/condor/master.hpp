@@ -18,10 +18,12 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "util/clock.hpp"
+#include "util/flightrec.hpp"
 #include "util/rng.hpp"
 #include "util/sync.hpp"
 
@@ -86,6 +88,13 @@ class Master {
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Attaches the master's flight recorder (PR 9): restart outcomes and
+  /// circuit-breaker trips land in the ring. Set once at creation, before
+  /// concurrent ticks; recorded into outside mutex_.
+  void set_recorder(std::shared_ptr<flightrec::Recorder> recorder) {
+    recorder_ = std::move(recorder);
+  }
+
  private:
   struct Entry {
     AliveProbe alive;
@@ -107,6 +116,7 @@ class Master {
   Rng jitter_ TDP_GUARDED_BY(mutex_);
 
   std::atomic<const Clock*> clock_{&RealClock::instance()};
+  std::shared_ptr<flightrec::Recorder> recorder_;
 };
 
 }  // namespace tdp::condor

@@ -24,13 +24,34 @@ std::string expand_pattern(const std::string& pattern, const std::string& machin
 Pool::Pool(PoolConfig config) : config_(std::move(config)) {
   master_.set_policy(config_.restart_policy);
   master_.set_clock(config_.clock);
+  if (config_.enable_flightrec) {
+    schedd_.set_recorder(recorder("schedd", "central"));
+    master_.set_recorder(recorder("master", "central"));
+    recorder("pool", "central")->state("start", "");
+    if (config_.cass_store != nullptr) {
+      // The operator's capsule trigger: a put on
+      // tdp.control.blackbox.<role>.<host> (context "cass") answers with a
+      // dump. The callback fires outside the store's shard locks.
+      control_subscription_ = config_.cass_store->subscribe(
+          "cass", std::string(flightrec::kControlPrefix) + "*",
+          [this](const std::string& /*context*/, const std::string& attribute,
+                 const std::string& value) { on_control_poke(attribute, value); });
+    }
+  }
   if (config_.schedd_journal != nullptr) {
     schedd_.set_journal(config_.schedd_journal);
     // The master supervises the submit-side daemon too: a crashed schedd
-    // is restarted cold and rebuilds its queue from the journal.
+    // is restarted cold and rebuilds its queue from the journal. Detecting
+    // the death is also the dump trigger for the dead daemon's black box:
+    // the pool still holds the ring the crashed object recorded into.
     master_.supervise(
         "schedd", [this] { return !schedd_.crashed(); },
-        [this] { return schedd_.recover().is_ok(); });
+        [this] {
+          if (config_.enable_flightrec && !config_.capsule_dir.empty()) {
+            (void)dump_capsule("schedd", "central", "crash-detected");
+          }
+          return schedd_.recover().is_ok();
+        });
   }
   if (config_.enable_liveness) {
     startd_monitor_ =
@@ -39,6 +60,9 @@ Pool::Pool(PoolConfig config) : config_(std::move(config)) {
 }
 
 Pool::~Pool() {
+  if (control_subscription_ != 0 && config_.cass_store != nullptr) {
+    config_.cass_store->unsubscribe(control_subscription_);
+  }
   for (auto& [name, startd] : startds_) startd->retire();
 }
 
@@ -52,6 +76,11 @@ Startd& Pool::add_machine(const std::string& name, classads::ClassAd ad) {
       startd_journals_[name] = claim_journal;
       raw->set_journal(claim_journal);
     }
+  }
+  if (config_.enable_flightrec) {
+    auto rec = recorder("startd", name);
+    raw->set_recorder(rec);
+    rec->state("start", "");
   }
   startds_[name] = std::move(startd);
   matchmaker_.advertise_machine(name, raw->ad());
@@ -166,6 +195,16 @@ int Pool::negotiate() {
     starter_config.tool_lease = config_.tool_lease;
     starter_config.tool_restart_budget = config_.tool_restart_budget;
     starter_config.lease_clock = config_.clock;
+    if (config_.enable_flightrec) {
+      starter_config.recorder = recorder("starter", match.machine);
+      starter_config.capsule_dir = config_.capsule_dir;
+      if (config_.tool_lease_enabled) {
+        // The tool daemon's ring: launchers that run the tool in-process
+        // (chaos tests) share this same ring via Pool::recorder, so the
+        // starter can dump the victim's capsule on lease expiry.
+        starter_config.tool_recorder = recorder("paradynd", match.machine);
+      }
+    }
     if (!config_.lass_listen_pattern.empty()) {
       starter_config.lass_listen_address =
           expand_pattern(config_.lass_listen_pattern, match.machine, match.job);
@@ -258,6 +297,9 @@ Status Pool::kill_startd(const std::string& name) {
     return make_error(ErrorCode::kNotFound, "no such machine: " + name);
   }
   kLog.warn("startd@", name, " killed: no checkpoint, no goodbye");
+  if (config_.enable_flightrec) {
+    recorder("pool", "central")->state("kill", "startd@" + name);
+  }
   matchmaker_.withdraw_machine(name);
   startd_beats_.erase(name);   // heartbeats stop; the lease will expire
   dead_startds_.insert(name);  // the master's probe now sees the death
@@ -271,6 +313,9 @@ Status Pool::kill_startd(const std::string& name) {
 
 void Pool::kill_schedd() {
   kLog.warn("schedd killed: its shadows die with it");
+  if (config_.enable_flightrec) {
+    recorder("pool", "central")->state("kill", "schedd");
+  }
   // Starters report into Shadow* sinks the schedd owns. In real Condor a
   // starter whose shadow vanishes kills its job; model that by retiring
   // busy machines first so no starter is left holding a dangling sink.
@@ -288,8 +333,16 @@ void Pool::kill_schedd() {
 bool Pool::revive_startd(const std::string& name) {
   auto ad_it = machine_ads_.find(name);
   if (ad_it == machine_ads_.end()) return false;
+  // The master noticing the death is a dump trigger: capture the dead
+  // incarnation's last-known ring before the new one records over it.
+  if (config_.enable_flightrec && !config_.capsule_dir.empty()) {
+    (void)dump_capsule("startd", name, "death-detected");
+  }
   auto startd = std::make_unique<Startd>(name, ad_it->second);
   Startd* raw = startd.get();
+  // The revived daemon shares the killed one's ring (like its claim
+  // journal): one machine, one black box, across incarnations.
+  if (config_.enable_flightrec) raw->set_recorder(recorder("startd", name));
   std::optional<JobId> orphan;
   auto journal_it = startd_journals_.find(name);
   if (journal_it != startd_journals_.end()) {
@@ -307,6 +360,9 @@ bool Pool::revive_startd(const std::string& name) {
   if (orphan.has_value()) requeue_orphan(*orphan, name);
   matchmaker_.advertise_machine(name, raw->ad());
   if (config_.enable_liveness) start_beats(name);
+  if (config_.enable_flightrec) {
+    recorder("pool", "central")->state("revive", "startd@" + name);
+  }
   kLog.info("startd@", name, " revived from claim journal");
   return true;
 }
@@ -338,9 +394,15 @@ void Pool::start_beats(const std::string& name) {
   if (!startd_monitor_) return;
   const std::string attribute = lease::liveness_attr("startd", name);
   beat_to_machine_[attribute] = name;
+  // Each beat also lands in the startd's own black box: after a kill, the
+  // victim's capsule ends with its last beat, which the merged timeline
+  // orders against the pool's lease-expiry event.
+  std::shared_ptr<flightrec::Recorder> rec =
+      config_.enable_flightrec ? recorder("startd", name) : nullptr;
   auto beat = std::make_unique<lease::HeartbeatPublisher>(
       attribute, config_.startd_lease, config_.clock,
-      [this, name](const std::string& attr, const std::string& value) {
+      [this, name, rec](const std::string& attr, const std::string& value) {
+        if (rec) rec->lease("beat", value);
         // Tree mode: the beat enters the overlay at this machine's leaf
         // (an interior aggregator holds the lease). Flat mode: it lands
         // on the central monitor directly — one root write per beat.
@@ -358,6 +420,15 @@ void Pool::start_beats(const std::string& name) {
 
 void Pool::on_machine_lease_expired(const std::string& machine) {
   kLog.warn("liveness lease expired for startd@", machine);
+  if (config_.enable_flightrec) {
+    // The detector's own record of the death, then the victim's black box:
+    // the lease monitor is the peer that still holds the dead daemon's
+    // last-known ring, so lease expiry is a capsule trigger.
+    recorder("pool", "central")->lease("expired", "startd@" + machine);
+    if (!config_.capsule_dir.empty()) {
+      (void)dump_capsule("startd", machine, "lease-expired");
+    }
+  }
   matchmaker_.withdraw_machine(machine);
   for (JobId job : schedd_.jobs_on_machine(machine)) {
     requeue_orphan(job, machine);
@@ -411,6 +482,13 @@ void Pool::ensure_cass() {
         [this](const std::string& attribute, const std::string& value) {
           (void)config_.cass_store->put("cass", attribute, value);
         });
+  }
+  if (config_.enable_flightrec) cass_->set_recorder(recorder("cass", "tree"));
+  if (!config_.health_rules.empty()) {
+    Status rules = cass_->set_health_rules(config_.health_rules);
+    if (!rules.is_ok()) {
+      kLog.warn("health rules rejected: ", rules.to_string());
+    }
   }
   kLog.info("hierarchical CASS over ", cass_hosts_, " machines (fanout ",
             config_.cass_fanout, ", root sees O(fanout) liveness writes)");
@@ -467,6 +545,127 @@ int Pool::publish_cass_rollup() {
         (void)config_.cass_store->put("cass", attribute, value);
       }
     }
+  }
+  return written;
+}
+
+// ---------------------------------------------------------------------
+// Black-box flight recorder + health engine (PR 9)
+// ---------------------------------------------------------------------
+
+std::shared_ptr<flightrec::Recorder> Pool::recorder(const std::string& role,
+                                                    const std::string& host) {
+  if (!config_.enable_flightrec) return nullptr;
+  std::shared_ptr<flightrec::Recorder>& slot = recorders_[role + "." + host];
+  if (!slot) {
+    flightrec::Config rec;
+    rec.role = role;
+    rec.host = host;
+    rec.capacity = config_.flightrec_capacity;
+    rec.clock = config_.clock;
+    slot = std::make_shared<flightrec::Recorder>(std::move(rec));
+  }
+  return slot;
+}
+
+std::string Pool::capsule_path(const std::string& role,
+                               const std::string& host) const {
+  return config_.capsule_dir + "/" + role + "." + host + ".capsule";
+}
+
+Status Pool::dump_capsule(const std::string& role, const std::string& host,
+                          const std::string& reason) {
+  if (config_.capsule_dir.empty()) {
+    return make_error(ErrorCode::kInvalidState, "pool has no capsule_dir");
+  }
+  auto it = recorders_.find(role + "." + host);
+  if (it == recorders_.end()) {
+    return make_error(ErrorCode::kNotFound,
+                      "no flight recorder for " + role + "." + host);
+  }
+  return it->second->dump(capsule_path(role, host), reason);
+}
+
+void Pool::on_control_poke(const std::string& attribute,
+                           const std::string& value) {
+  // tdp.control.blackbox.<role>.<host>; the role never contains a dot,
+  // the host may (first dot splits).
+  std::string target = attribute.substr(flightrec::kControlPrefix.size());
+  const std::size_t dot = target.find('.');
+  if (dot == std::string::npos || dot == 0 || dot + 1 >= target.size()) {
+    kLog.warn("malformed blackbox poke: ", attribute);
+    return;
+  }
+  const std::string role = target.substr(0, dot);
+  const std::string host = target.substr(dot + 1);
+  const std::string reason = value.empty() ? "operator" : value;
+  if (config_.enable_flightrec) {
+    recorder("pool", "central")
+        ->record(flightrec::EventKind::kControl, "poke",
+                 role + "." + host + " reason=" + reason);
+  }
+  Status dumped = dump_capsule(role, host, reason);
+  if (!dumped.is_ok()) {
+    kLog.warn("blackbox poke for ", role, ".", host,
+              " failed: ", dumped.to_string());
+  }
+}
+
+int Pool::publish_health() {
+  if (config_.health_rules.empty()) return 0;
+  ensure_cass();
+  const Micros now = config_.clock->now_micros();
+  // One sample set per machine ever added. Dead machines are included at
+  // machine.alive=0 — unlike the telemetry rollup, absence is exactly the
+  // signal a below-threshold rule exists to catch.
+  std::map<std::string, std::vector<telemetry::Sample>> per_host;
+  for (const auto& [name, ad] : machine_ads_) {
+    const auto it = startds_.find(name);
+    const bool alive = dead_startds_.count(name) == 0 && it != startds_.end();
+    std::vector<telemetry::Sample>& samples = per_host[name];
+    telemetry::Sample sample;
+    sample.kind = telemetry::Sample::Kind::kGauge;
+    sample.name = "machine.alive";
+    sample.value = alive ? 1 : 0;
+    samples.push_back(sample);
+    sample.name = "machine.busy";
+    sample.value =
+        alive && it->second->state() == Startd::State::kBusy ? 1 : 0;
+    samples.push_back(sample);
+    sample.name = "pool.orphan_requeues";
+    sample.kind = telemetry::Sample::Kind::kCounter;
+    sample.value = static_cast<std::int64_t>(orphan_requeues_);
+    samples.push_back(sample);
+  }
+  if (cass_) return cass_->rollup_health(per_host, "startd");
+
+  int written = 0;
+  health::Severity overall = health::Severity::kOk;
+  for (auto& [name, samples] : per_host) {
+    std::unique_ptr<health::Engine>& engine = health_engines_[name];
+    if (!engine) {
+      engine = std::make_unique<health::Engine>();
+      for (const std::string& text : config_.health_rules) {
+        Status added = engine->add_rule(text);
+        if (!added.is_ok()) {
+          kLog.warn("health rule rejected: ", added.to_string());
+        }
+      }
+    }
+    const health::Report report = engine->evaluate(samples, now);
+    overall = health::fold(overall, report.severity);
+    ++written;
+    if (config_.cass_store != nullptr) {
+      (void)config_.cass_store->put(
+          "cass", health::health_attr("startd", name),
+          report.encode());  // NOLINT: health report text, not a Message codec
+    }
+  }
+  ++written;
+  if (config_.cass_store != nullptr) {
+    (void)config_.cass_store->put("cass",
+                                  std::string(health::kHealthPrefix) + "startd",
+                                  health::severity_name(overall));
   }
   return written;
 }

@@ -25,6 +25,8 @@
 #include "condor/startd.hpp"
 #include "mrnet/hierarchy.hpp"
 #include "net/proxy.hpp"
+#include "util/flightrec.hpp"
+#include "util/health.hpp"
 #include "util/journal.hpp"
 #include "util/lease.hpp"
 
@@ -103,6 +105,24 @@ struct PoolConfig {
   /// Optional store the CASS root writes summaries/rollups into (context
   /// "cass"); not owned, may be null (stats still count the writes).
   attr::AttributeStore* cass_store = nullptr;
+
+  // --- black-box flight recorder + health engine (PR 9) ---
+
+  /// Give every pool-side daemon (schedd, each startd, the pool itself,
+  /// the CASS tree) an always-on flight recorder ring. Off by default:
+  /// the seed pipeline records nothing.
+  bool enable_flightrec = false;
+  /// Directory capsules are dumped into when a death is detected (master
+  /// restart, lease expiry) or an operator pokes
+  /// tdp.control.blackbox.<role>.<host> in cass_store (context "cass").
+  /// Empty = no automatic dumps; rings still record.
+  std::string capsule_dir;
+  /// Ring capacity (events) of each recorder.
+  std::size_t flightrec_capacity = 4096;
+  /// Declarative RED-style rules (util/health.hpp grammar) evaluated per
+  /// machine by publish_health(); folded through the CASS tree when
+  /// hierarchical_cass is on, flat writes to cass_store otherwise.
+  std::vector<std::string> health_rules;
 };
 
 class Pool {
@@ -205,7 +225,38 @@ class Pool {
   /// Returns attributes written at the root.
   int publish_cass_rollup();
 
+  // --- black-box flight recorder + health engine (PR 9) ---
+
+  /// The flight recorder for a pool-side daemon, created on first use.
+  /// Owned here, like claim journals: the ring outlives kill_startd /
+  /// kill_schedd so the death-detector can dump the victim's capsule.
+  /// Null when enable_flightrec is off.
+  std::shared_ptr<flightrec::Recorder> recorder(const std::string& role,
+                                                const std::string& host);
+
+  /// Path dump_capsule writes the given daemon's capsule to
+  /// (capsule_dir/<role>.<host>.capsule).
+  [[nodiscard]] std::string capsule_path(const std::string& role,
+                                         const std::string& host) const;
+
+  /// Dumps the named daemon's last-known ring as a capsule into
+  /// capsule_dir. kInvalidState without a capsule_dir, kNotFound when no
+  /// such recorder exists.
+  Status dump_capsule(const std::string& role, const std::string& host,
+                      const std::string& reason);
+
+  /// Evaluates the configured health rules over every machine's rollup
+  /// samples (dead machines included, at machine.alive=0) and publishes
+  /// tdp.health.startd.<machine> verdicts plus the overall
+  /// tdp.health.startd fold — through the CASS tree in hierarchical mode,
+  /// flat writes to cass_store otherwise. Returns attributes written at
+  /// the root.
+  int publish_health();
+
  private:
+  /// Answers a tdp.control.blackbox.<role>.<host> put with a dump.
+  void on_control_poke(const std::string& attribute, const std::string& value);
+
   /// Rebuilds a dead startd from its remembered ad, replays its claim
   /// journal, requeues the orphan (exactly once) and re-advertises.
   bool revive_startd(const std::string& name);
@@ -250,6 +301,14 @@ class Pool {
   std::unique_ptr<mrnet::HierarchicalCass> cass_;
   std::size_t cass_hosts_ = 0;
   std::uint64_t flat_liveness_writes_ = 0;
+
+  /// PR 9 state: recorders keyed "<role>.<host>" (the pool is the
+  /// supervisor-side owner, so rings survive daemon kills), per-machine
+  /// health engines for the flat path (the tree keeps its own), and the
+  /// operator-poke subscription id on cass_store.
+  std::map<std::string, std::shared_ptr<flightrec::Recorder>> recorders_;
+  std::map<std::string, std::unique_ptr<health::Engine>> health_engines_;
+  std::uint64_t control_subscription_ = 0;
 };
 
 }  // namespace tdp::condor

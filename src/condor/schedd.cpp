@@ -109,7 +109,7 @@ JobId Schedd::submit(const JobDescription& description) {
   // starter launch, paradynd attach - parents here via record.trace.
   telemetry::Span span("schedd.submit", "schedd");
   telemetry::Registry::instance().counter("schedd.submits").inc();
-  LockGuard lock(mutex_);
+  UniqueLock lock(mutex_);
   JobRecord record;
   record.id = next_id_++;
   record.description = description;
@@ -118,9 +118,15 @@ JobId Schedd::submit(const JobDescription& description) {
     record.trace = telemetry::format_context(span.context());
   }
   journal_record_locked(record);
-  jobs_[record.id] = std::move(record);
-  kLog.debug(name_, ": queued job ", next_id_ - 1);
-  return next_id_ - 1;
+  const JobId id = record.id;
+  jobs_[id] = std::move(record);
+  kLog.debug(name_, ": queued job ", id);
+  lock.unlock();
+  if (recorder_) {
+    recorder_->state("submit", "job=" + std::to_string(id), span.context().trace_id,
+                     span.context().span_id);
+  }
+  return id;
 }
 
 std::vector<JobId> Schedd::submit(const SubmitFile& file) {
@@ -154,21 +160,27 @@ Result<JobRecord> Schedd::job(JobId id) const {
 
 Status Schedd::update_job(JobId id, JobStatus status, int exit_code,
                           const std::string& detail) {
-  LockGuard lock(mutex_);
-  auto it = jobs_.find(id);
-  if (it == jobs_.end()) {
-    return make_error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
+  {
+    UniqueLock lock(mutex_);
+    auto it = jobs_.find(id);
+    if (it == jobs_.end()) {
+      return make_error(ErrorCode::kNotFound, "no such job: " + std::to_string(id));
+    }
+    if (job_status_terminal(it->second.status) && status != it->second.status) {
+      return make_error(ErrorCode::kInvalidState,
+                        "job " + std::to_string(id) + " already terminal");
+    }
+    it->second.status = status;
+    if (job_status_terminal(status)) it->second.exit_code = exit_code;
+    if (!detail.empty() && status == JobStatus::kFailed) {
+      it->second.failure_reason = detail;
+    }
+    journal_record_locked(it->second);
   }
-  if (job_status_terminal(it->second.status) && status != it->second.status) {
-    return make_error(ErrorCode::kInvalidState,
-                      "job " + std::to_string(id) + " already terminal");
+  if (recorder_) {
+    recorder_->state("job", "job=" + std::to_string(id) + " status=" +
+                                job_status_name(status));
   }
-  it->second.status = status;
-  if (job_status_terminal(status)) it->second.exit_code = exit_code;
-  if (!detail.empty() && status == JobStatus::kFailed) {
-    it->second.failure_reason = detail;
-  }
-  journal_record_locked(it->second);
   return Status::ok();
 }
 
@@ -303,13 +315,22 @@ void Schedd::set_journal(journal::Journal* journal) {
 }
 
 void Schedd::crash() {
-  LockGuard lock(mutex_);
-  kLog.warn(name_, ": simulated crash; dropping ", jobs_.size(),
-            " job(s) and ", shadows_.size(), " shadow(s) from memory");
-  jobs_.clear();
-  shadows_.clear();
-  next_id_ = 1;
-  crashed_ = true;
+  std::size_t dropped = 0;
+  {
+    LockGuard lock(mutex_);
+    kLog.warn(name_, ": simulated crash; dropping ", jobs_.size(),
+              " job(s) and ", shadows_.size(), " shadow(s) from memory");
+    dropped = jobs_.size();
+    jobs_.clear();
+    shadows_.clear();
+    next_id_ = 1;
+    crashed_ = true;
+  }
+  // The recorder is the pool's, not the dead object's memory: like the
+  // journal, it survives the crash and carries the last pre-death events.
+  if (recorder_) {
+    recorder_->state("crash", "jobs_dropped=" + std::to_string(dropped));
+  }
 }
 
 bool Schedd::crashed() const {
@@ -319,7 +340,7 @@ bool Schedd::crashed() const {
 
 Status Schedd::recover() {
   telemetry::Span span("schedd.recover", "schedd");
-  LockGuard lock(mutex_);
+  UniqueLock lock(mutex_);
   if (journal_ == nullptr) {
     return make_error(ErrorCode::kInvalidState, "schedd has no journal");
   }
@@ -364,9 +385,16 @@ Status Schedd::recover() {
     ++requeued;
   }
   crashed_ = false;
-  kLog.info(name_, ": recovered ", jobs_.size(), " job(s) from journal, ",
+  const std::size_t recovered = jobs_.size();
+  kLog.info(name_, ": recovered ", recovered, " job(s) from journal, ",
             requeued, " requeued");
   telemetry::Registry::instance().counter("schedd.recoveries").inc();
+  lock.unlock();
+  if (recorder_) {
+    recorder_->replay("queue-journal", replay_stats);
+    recorder_->state("recover", "jobs=" + std::to_string(recovered) +
+                                    " requeued=" + std::to_string(requeued));
+  }
   return Status::ok();
 }
 

@@ -17,6 +17,7 @@
 #include "condor/job.hpp"
 #include "condor/starter.hpp"
 #include "condor/submit_file.hpp"
+#include "util/flightrec.hpp"
 #include "util/journal.hpp"
 #include "util/sync.hpp"
 
@@ -140,6 +141,16 @@ class Schedd {
   /// journal.
   Status recover();
 
+  // --- black-box flight recorder (PR 9) ---
+
+  /// Attaches the schedd's flight recorder (shared with the pool so the
+  /// ring survives crash()). Queue lifecycle transitions, the crash and
+  /// the journal replay land in the ring; events are recorded with no
+  /// schedd lock held.
+  void set_recorder(std::shared_ptr<flightrec::Recorder> recorder) {
+    recorder_ = std::move(recorder);
+  }
+
  private:
   /// Appends one job record to the journal and compacts when due.
   void journal_record_locked(const JobRecord& record) TDP_REQUIRES(mutex_);
@@ -151,6 +162,9 @@ class Schedd {
   JobId next_id_ TDP_GUARDED_BY(mutex_) = 1;
   journal::Journal* journal_ TDP_GUARDED_BY(mutex_) = nullptr;
   bool crashed_ TDP_GUARDED_BY(mutex_) = false;
+  /// Set once at creation, before concurrent use; recorded into outside
+  /// mutex_ (the recorder's shard lock stays a leaf).
+  std::shared_ptr<flightrec::Recorder> recorder_;
 };
 
 }  // namespace tdp::condor

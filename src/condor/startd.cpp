@@ -41,36 +41,49 @@ void Startd::update_ad(classads::ClassAd ad) {
 }
 
 bool Startd::request_claim(JobId job, const classads::ClassAd& job_ad) {
-  LockGuard lock(mutex_);
-  if (state_ != State::kUnclaimed) {
-    kLog.debug(name_, ": claim for job ", job, " refused (",
-               startd_state_name(state_), ")");
-    return false;
+  bool granted = false;
+  {
+    LockGuard lock(mutex_);
+    if (state_ != State::kUnclaimed) {
+      kLog.debug(name_, ": claim for job ", job, " refused (",
+                 startd_state_name(state_), ")");
+      return false;
+    }
+    // Machine-side re-verification: conditions may have changed since the
+    // matchmaker's cycle (stale ad); the startd gets the final word.
+    if (ad_.has(classads::ads::kRequirements) &&
+        !ad_.evaluate(classads::ads::kRequirements, &job_ad).is_true()) {
+      kLog.debug(name_, ": claim for job ", job, " refused (requirements)");
+      return false;
+    }
+    state_ = State::kClaimed;
+    claimed_job_ = job;
+    journal_claim_locked();
+    granted = true;
   }
-  // Machine-side re-verification: conditions may have changed since the
-  // matchmaker's cycle (stale ad); the startd gets the final word.
-  if (ad_.has(classads::ads::kRequirements) &&
-      !ad_.evaluate(classads::ads::kRequirements, &job_ad).is_true()) {
-    kLog.debug(name_, ": claim for job ", job, " refused (requirements)");
-    return false;
+  if (granted && recorder_) {
+    recorder_->state("claim", "job=" + std::to_string(job));
   }
-  state_ = State::kClaimed;
-  claimed_job_ = job;
-  journal_claim_locked();
-  return true;
+  return granted;
 }
 
 void Startd::release_claim() {
-  LockGuard lock(mutex_);
-  if (state_ == State::kClaimed) {
-    state_ = State::kUnclaimed;
-    claimed_job_ = 0;
-    journal_claim_locked();
+  bool released = false;
+  {
+    LockGuard lock(mutex_);
+    if (state_ == State::kClaimed) {
+      state_ = State::kUnclaimed;
+      claimed_job_ = 0;
+      journal_claim_locked();
+      released = true;
+    }
   }
+  if (released && recorder_) recorder_->state("release", "");
 }
 
 Result<Starter*> Startd::activate(JobRecord job, StarterConfig config,
                                   StatusSink* sink) {
+  const JobId job_id = job.id;
   UniqueLock lock(mutex_);
   if (state_ != State::kClaimed || claimed_job_ != job.id) {
     return make_error(ErrorCode::kInvalidState,
@@ -88,7 +101,12 @@ Result<Starter*> Startd::activate(JobRecord job, StarterConfig config,
   }
   starter_ = std::move(starter);
   state_ = State::kBusy;
-  return starter_.get();
+  Starter* active = starter_.get();
+  lock.unlock();
+  if (recorder_) {
+    recorder_->state("activate", "job=" + std::to_string(job_id));
+  }
+  return active;
 }
 
 void Startd::retire() {
@@ -98,6 +116,7 @@ void Startd::retire() {
   claimed_job_ = 0;
   journal_claim_locked();
   lock.unlock();
+  if (starter != nullptr && recorder_) recorder_->state("retire", "");
   starter.reset();  // shutdown outside the lock
 }
 
@@ -136,7 +155,7 @@ void Startd::set_journal(journal::Journal* journal) {
 }
 
 Result<std::optional<JobId>> Startd::recover() {
-  LockGuard lock(mutex_);
+  UniqueLock lock(mutex_);
   if (journal_ == nullptr) {
     return make_error(ErrorCode::kInvalidState, name_ + ": no claim journal");
   }
@@ -168,6 +187,13 @@ Result<std::optional<JobId>> Startd::recover() {
   journal_claim_locked();
   if (orphan.has_value()) {
     kLog.warn(name_, ": recovered with orphaned claim for job ", *orphan);
+  }
+  lock.unlock();
+  if (recorder_) {
+    recorder_->replay("claim-journal", replay_stats);
+    recorder_->state("recover", orphan.has_value()
+                                    ? "orphan=" + std::to_string(*orphan)
+                                    : "clean");
   }
   return orphan;
 }

@@ -11,6 +11,7 @@
 
 #include "classads/classad.hpp"
 #include "condor/starter.hpp"
+#include "util/flightrec.hpp"
 #include "util/journal.hpp"
 #include "util/sync.hpp"
 
@@ -63,6 +64,16 @@ class Startd {
   /// starter and its processes died with the old incarnation).
   Result<std::optional<JobId>> recover();
 
+  // --- black-box flight recorder (PR 9) ---
+
+  /// Attaches the machine's flight recorder (shared with the pool, which
+  /// keeps it alive across kill_startd the way claim journals survive).
+  /// Claim transitions and journal replays land in the ring; events are
+  /// recorded with no startd lock held.
+  void set_recorder(std::shared_ptr<flightrec::Recorder> recorder) {
+    recorder_ = std::move(recorder);
+  }
+
  private:
   /// Journals the claim state: a live claim writes ("claim", job), release
   /// writes ("clear").
@@ -75,6 +86,10 @@ class Startd {
   JobId claimed_job_ TDP_GUARDED_BY(mutex_) = 0;
   std::unique_ptr<Starter> starter_ TDP_GUARDED_BY(mutex_);
   journal::Journal* journal_ TDP_GUARDED_BY(mutex_) = nullptr;
+  /// Set once at creation, before concurrent use; recorded into outside
+  /// mutex_ so the recorder's shard lock stays a leaf with no edge from
+  /// Startd::mutex_.
+  std::shared_ptr<flightrec::Recorder> recorder_;
 };
 
 const char* startd_state_name(Startd::State state) noexcept;

@@ -100,6 +100,9 @@ Status Starter::launch() {
   }
 
   job_.status = JobStatus::kRunning;
+  if (config_.recorder) {
+    config_.recorder->state("launch", "job=" + std::to_string(job_.id));
+  }
   if (sink_ != nullptr) {
     sink_->on_job_status(job_.id, JobStatus::kRunning, -1, "starter launched job");
   }
@@ -533,6 +536,22 @@ void Starter::check_tool_leases() {
       tool_monitor_->forget(name);
       continue;
     }
+    if (config_.recorder) {
+      config_.recorder->lease("expired", "paradynd rank=" + std::to_string(rank));
+    }
+    if (config_.tool_recorder && !config_.capsule_dir.empty()) {
+      // The starter detected the tool daemon's death and still holds its
+      // last-known ring: dump the victim's black box before anything else
+      // records over it.
+      Status dumped = config_.tool_recorder->dump(
+          config_.capsule_dir + "/" + config_.tool_recorder->role() + "." +
+              config_.tool_recorder->host() + ".capsule",
+          "lease-expired");
+      if (!dumped.is_ok()) {
+        kLog.warn("job ", job_.id,
+                  ": tool capsule dump failed: ", dumped.to_string());
+      }
+    }
     if (tool_restarts_[rank] >= config_.tool_restart_budget) {
       if (!tool_death_reported_[rank]) {
         tool_death_reported_[rank] = true;
@@ -546,6 +565,11 @@ void Starter::check_tool_leases() {
     }
     ++tool_restarts_[rank];
     telemetry::Registry::instance().counter("starter.tool_restarts").inc();
+    if (config_.recorder) {
+      config_.recorder->state("tool-relaunch",
+                              "rank=" + std::to_string(rank) + " attempt=" +
+                                  std::to_string(tool_restarts_[rank]));
+    }
     // Forget before relaunch: the replacement's first beat re-tracks the
     // name with a fresh lease instead of inheriting the expired one.
     tool_monitor_->forget(name);

@@ -30,6 +30,7 @@
 #include "core/tdp.hpp"
 #include "net/transport.hpp"
 #include "proc/backend.hpp"
+#include "util/flightrec.hpp"
 #include "util/lease.hpp"
 
 namespace tdp::condor {
@@ -152,6 +153,18 @@ struct StarterConfig {
   int tool_restart_budget = 2;
   /// Clock for lease expiry decisions (tests inject a ManualClock).
   const Clock* lease_clock = &RealClock::instance();
+
+  // --- black-box flight recorder (PR 9) ---
+
+  /// This starter's own flight recorder (role "starter"): launch, tool
+  /// lease expiries and relaunches land in it. Null = off.
+  std::shared_ptr<flightrec::Recorder> recorder;
+  /// The tool daemon's ring, when the launcher shares one. The starter is
+  /// the peer that detects a tool death (lease expiry), so it dumps this
+  /// last-known ring as a capsule into capsule_dir at that moment.
+  std::shared_ptr<flightrec::Recorder> tool_recorder;
+  /// Where tool capsules go; empty disables the dump.
+  std::string capsule_dir;
 };
 
 class Starter {

@@ -1,6 +1,7 @@
 #include "mrnet/hierarchy.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "attrspace/attr_protocol.hpp"
 
@@ -186,6 +187,10 @@ void HierarchicalCass::process_pending() {
       it->second->remove_child(host);
     }
     ++host_expiries_;
+    if (recorder_) {
+      recorder_->lease("expired", "host=" + host + " observer=" +
+                                      std::to_string(observer));
+    }
     if (on_host_expired_) on_host_expired_(host);
   }
 
@@ -205,6 +210,11 @@ void HierarchicalCass::process_pending() {
       auto moved = overlay_.kill_node(dead);
       if (moved.is_ok()) {
         ++reparent_events_;
+        if (recorder_) {
+          recorder_->state("reparent",
+                           "dead=n" + std::to_string(dead) + " moved=" +
+                               std::to_string(moved.value().size()));
+        }
         // Seed every promoted child at its new parent, fresh from NOW: the
         // membership-always-tracked invariant must survive re-parenting, or
         // a child that died during the blackout would vanish untracked. A
@@ -249,6 +259,9 @@ Status HierarchicalCass::kill_interior(int node) {
   }
   if (aggregators_.erase(node) == 0) {
     return make_error(ErrorCode::kInvalidState, "node already dead");
+  }
+  if (recorder_) {
+    recorder_->state("kill-interior", "node=n" + std::to_string(node));
   }
   // The overlay edge stays until the node's summary lease expires at its
   // parent: death is DETECTED (lease), never announced.
@@ -376,6 +389,82 @@ int HierarchicalCass::rollup_telemetry(
     ++written;
     if (root_write_) root_write_(attribute, value);
   }
+  return written;
+}
+
+Status HierarchicalCass::set_health_rules(const std::vector<std::string>& rules) {
+  std::vector<health::Rule> parsed;
+  parsed.reserve(rules.size());
+  for (const std::string& text : rules) {
+    auto rule = health::parse_rule(text);
+    TDP_RETURN_IF_ERROR(rule.status());
+    parsed.push_back(std::move(rule.value()));
+  }
+  health_rules_ = std::move(parsed);
+  // Engines hold rules by value, so a new rule set retires every engine;
+  // rate windows restart (a rule change redefines what the rate means).
+  health_engines_.clear();
+  return Status::ok();
+}
+
+int HierarchicalCass::rollup_health(
+    const std::map<std::string, std::vector<telemetry::Sample>>& per_host,
+    const std::string& role) {
+  // Same fold shape as rollup_telemetry — ascending interior ids, dead
+  // subtrees lost — but the payload is (severity, per-host verdicts) and
+  // the merge operator is health::fold (worst wins). The full rule
+  // evaluation happens once per host, at its current observer; only the
+  // verdict travels upward.
+  struct NodeFold {
+    health::Severity severity = health::Severity::kOk;
+    std::vector<std::pair<std::string, health::Report>> reports;
+  };
+  const Micros now = config_.clock->now_micros();
+  auto evaluate_host =
+      [&](const std::string& host) -> std::optional<health::Report> {
+    const auto samples = per_host.find(host);
+    if (samples == per_host.end()) return std::nullopt;
+    std::unique_ptr<health::Engine>& engine = health_engines_[host];
+    if (!engine) {
+      engine = std::make_unique<health::Engine>();
+      for (const health::Rule& rule : health_rules_) engine->add_rule(rule);
+    }
+    return engine->evaluate(samples->second, now);
+  };
+  std::map<int, NodeFold> per_node;
+  auto fold_children = [&](int node, NodeFold* out) {
+    for (int child : overlay_.children(node)) {
+      if (overlay_.is_leaf(child)) {
+        const std::string& host = hosts_[static_cast<std::size_t>(child)];
+        if (auto report = evaluate_host(host)) {
+          out->severity = health::fold(out->severity, report->severity);
+          out->reports.emplace_back(host, std::move(*report));
+        }
+      } else if (aggregators_.count(child) != 0) {
+        NodeFold& sub = per_node[child];
+        out->severity = health::fold(out->severity, sub.severity);
+        for (auto& entry : sub.reports) out->reports.push_back(std::move(entry));
+      }
+    }
+  };
+  for (const auto& [node, aggregator] : aggregators_) {
+    fold_children(node, &per_node[node]);
+  }
+  NodeFold root_fold;
+  fold_children(overlay_.root(), &root_fold);
+
+  int written = 0;
+  auto write = [&](const std::string& attribute, const std::string& value) {
+    ++root_health_writes_;
+    ++written;
+    if (root_write_) root_write_(attribute, value);
+  };
+  for (const auto& [host, report] : root_fold.reports) {
+    write(health::health_attr(role, host),
+          report.encode());  // NOLINT: health report text, not a Message codec
+  }
+  write(std::string(health::kHealthPrefix) + role,
+        health::severity_name(root_fold.severity));
   return written;
 }
 

@@ -43,6 +43,8 @@
 #include "attrspace/telemetry_export.hpp"
 #include "mrnet/overlay.hpp"
 #include "util/clock.hpp"
+#include "util/flightrec.hpp"
+#include "util/health.hpp"
 #include "util/lease.hpp"
 #include "util/lease_agg.hpp"
 #include "util/status.hpp"
@@ -136,6 +138,32 @@ class HierarchicalCass {
       const std::map<std::string, attr::TelemetryRollup>& per_host,
       const std::string& scope);
 
+  // --- black-box flight recorder + health engine (PR 9) ---
+
+  /// Attaches the tree's flight recorder: interior kills, re-parenting
+  /// and host lease expiries land in its ring (recorded outside every
+  /// tree/monitor structure, so the recorder's shard mutex stays a leaf).
+  void set_recorder(std::shared_ptr<flightrec::Recorder> recorder) {
+    recorder_ = std::move(recorder);
+  }
+
+  /// Installs the declarative rule set (util/health.hpp grammar) that
+  /// rollup_health evaluates at each host's observer. All-or-nothing:
+  /// the first parse error is returned and the previous set is kept.
+  Status set_health_rules(const std::vector<std::string>& rules);
+
+  /// The health twin of rollup_telemetry: each host's rules run at its
+  /// current interior observer, then only folded severities (worst wins)
+  /// travel upward. The root writes one tdp.health.<role>.<host> verdict
+  /// per host that reached it plus the overall tdp.health.<role> fold.
+  /// Hosts under a dead, not-yet-re-parented interior are lost, like
+  /// their beats. Rate state is keyed by host, so a re-parent moves the
+  /// evaluation point without resetting rate windows. Returns attributes
+  /// written at the root.
+  int rollup_health(
+      const std::map<std::string, std::vector<telemetry::Sample>>& per_host,
+      const std::string& role);
+
   // Stats (the scale tier's assertions).
   [[nodiscard]] std::uint64_t root_liveness_writes() const {
     return root_liveness_writes_;
@@ -151,6 +179,9 @@ class HierarchicalCass {
     return reparent_events_;
   }
   [[nodiscard]] std::uint64_t host_expiries() const { return host_expiries_; }
+  [[nodiscard]] std::uint64_t root_health_writes() const {
+    return root_health_writes_;
+  }
 
  private:
   explicit HierarchicalCass(HierarchyConfig config);
@@ -193,6 +224,14 @@ class HierarchicalCass {
   std::uint64_t dropped_beats_ = 0;
   std::uint64_t reparent_events_ = 0;
   std::uint64_t host_expiries_ = 0;
+  std::uint64_t root_health_writes_ = 0;
+
+  /// PR 9: the tree's flight recorder and the per-host health engines
+  /// rollup_health drives (engines hold the rate windows, hence per host
+  /// and not per observer node).
+  std::shared_ptr<flightrec::Recorder> recorder_;
+  std::vector<health::Rule> health_rules_;
+  std::map<std::string, std::unique_ptr<health::Engine>> health_engines_;
 };
 
 }  // namespace tdp::mrnet

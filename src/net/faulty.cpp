@@ -19,7 +19,33 @@ constexpr std::uint64_t kIndexSalt = 0x9e3779b97f4a7c15ULL;
 telemetry::Counter& injected_counter(const char* what) {
   return telemetry::Registry::instance().counter(std::string("faulty.") + what);
 }
+
+tdp::Mutex& observer_mutex() {
+  static tdp::Mutex m{"net::fault_observer_mutex"};
+  return m;
+}
+
+FaultObserver& observer_ref() {
+  static FaultObserver o;
+  return o;
+}
+
+/// Copies the observer under its leaf lock, invokes outside all locks —
+/// every call site below runs with FaultyEndpoint::mutex_ released.
+void notify_fault(std::string_view kind, std::string_view detail) {
+  FaultObserver observer;
+  {
+    LockGuard lock(observer_mutex());
+    observer = observer_ref();
+  }
+  if (observer) observer(kind, detail);
+}
 }  // namespace
+
+void set_fault_observer(FaultObserver observer) {
+  LockGuard lock(observer_mutex());
+  observer_ref() = std::move(observer);
+}
 
 FaultPlan FaultPlan::chaos(std::uint64_t seed) {
   FaultPlan plan;
@@ -130,6 +156,7 @@ Status FaultyEndpoint::send(const Message& msg) {
   }
   if (die) {
     // "Hang then die": dwell as a wedged peer would, then drop the link.
+    notify_fault("disconnect", inner_->peer_address());
     sleep_ms(plan_.hang_before_die_ms);
     inner_->close();
     return make_error(ErrorCode::kConnectionError,
@@ -140,18 +167,21 @@ Status FaultyEndpoint::send(const Message& msg) {
     stats_->dropped.fetch_add(1, std::memory_order_relaxed);
     static telemetry::Counter& drops = injected_counter("drops");
     drops.inc();
+    notify_fault("drop", inner_->peer_address());
     return Status::ok();  // the link ate it; the sender cannot tell
   }
   if (delay > 0) {
     stats_->delayed.fetch_add(1, std::memory_order_relaxed);
     static telemetry::Counter& delays = injected_counter("delays");
     delays.inc();
+    notify_fault("delay", inner_->peer_address());
     sleep_ms(delay);
   }
   if (dup) {
     stats_->duplicated.fetch_add(1, std::memory_order_relaxed);
     static telemetry::Counter& dups = injected_counter("dups");
     dups.inc();
+    notify_fault("duplicate", inner_->peer_address());
     TDP_RETURN_IF_ERROR(inner_->send(msg));
   }
   return inner_->send(msg);
@@ -175,6 +205,7 @@ Result<Message> FaultyEndpoint::receive(int timeout_ms) {
     }
   }
   if (die) {
+    notify_fault("disconnect", inner_->peer_address());
     sleep_ms(plan_.hang_before_die_ms);
     inner_->close();
     return make_error(ErrorCode::kConnectionError,
@@ -190,6 +221,7 @@ Result<Message> FaultyEndpoint::receive(int timeout_ms) {
   stats_->corrupted.fetch_add(1, std::memory_order_relaxed);
   static telemetry::Counter& corruptions = injected_counter("corruptions");
   corruptions.inc();
+  notify_fault("corrupt", inner_->peer_address());
   // Re-encode with the inner endpoint's negotiated version so the chaos
   // tier damages (and re-decodes) v2 frames once a session upgrades, not
   // just the v1 layout.
@@ -201,6 +233,7 @@ Result<Message> FaultyEndpoint::receive(int timeout_ms) {
   auto decoded = Message::decode(frame.data(), frame.size());
   if (decoded.is_ok()) return decoded;
   stats_->desyncs.fetch_add(1, std::memory_order_relaxed);
+  notify_fault("desync", inner_->peer_address());
   kLog.debug("injected corruption desynced stream from ", inner_->peer_address());
   killed_.store(true, std::memory_order_release);
   inner_->close();
@@ -254,6 +287,7 @@ Result<std::unique_ptr<Endpoint>> FaultyTransport::connect(const std::string& ad
     if (connect_refusals_left_.compare_exchange_weak(left, left - 1,
                                                      std::memory_order_acq_rel)) {
       stats_->connects_refused.fetch_add(1, std::memory_order_relaxed);
+      notify_fault("connect-refused", address);
       return make_error(ErrorCode::kConnectionError,
                         "fault injection: connection refused");
     }

@@ -30,6 +30,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/transport.hpp"
@@ -92,6 +93,16 @@ struct FaultStats {
            corrupted.load() + forced_disconnects.load() + connects_refused.load();
   }
 };
+
+/// Process-wide observer for injected faults, fired once per injection
+/// with no injector lock held: (kind, detail) where kind is one of
+/// "drop", "delay", "duplicate", "corrupt", "desync", "disconnect",
+/// "connect-refused" and detail names the peer where known. The flight
+/// recorder (util/flightrec.hpp) mirrors injections into per-daemon rings
+/// through this. nullptr removes the observer.
+using FaultObserver =
+    std::function<void(std::string_view kind, std::string_view detail)>;
+void set_fault_observer(FaultObserver observer);
 
 /// Mangles an encoded frame in place the way the injector does: flips a
 /// few bytes, truncates the tail, or scribbles on the length prefix.

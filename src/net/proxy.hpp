@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "net/transport.hpp"
+#include "util/flightrec.hpp"
 #include "util/sync.hpp"
 
 namespace tdp::net {
@@ -112,6 +113,13 @@ class ProxyServer {
     return relinks_.load(std::memory_order_relaxed);
   }
 
+  /// Attaches the proxy's flight recorder (PR 9): tunnel opens and
+  /// upstream relinks land in the ring. Set before start(); the recorder's
+  /// shard mutex is a strict leaf, safe from the pump threads.
+  void set_recorder(std::shared_ptr<flightrec::Recorder> recorder) {
+    recorder_ = std::move(recorder);
+  }
+
  private:
   /// Shared state of one spliced connection; `upstream` is replaced (and
   /// `generation` bumped) when the relink policy restores a dead link.
@@ -157,6 +165,7 @@ class ProxyServer {
   /// Weak handles to endpoints so stop() can sever live tunnels; pruned
   /// opportunistically.
   std::vector<std::weak_ptr<Endpoint>> live_endpoints_ TDP_GUARDED_BY(mutex_);
+  std::shared_ptr<flightrec::Recorder> recorder_;
 };
 
 /// Client-side helper implementing the Section 2.4 contract: TDP hands the

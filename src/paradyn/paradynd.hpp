@@ -24,6 +24,7 @@
 #include "core/tdp.hpp"
 #include "paradyn/dyninst.hpp"
 #include "paradyn/metrics.hpp"
+#include "util/flightrec.hpp"
 #include "util/lease.hpp"
 
 namespace tdp::paradyn {
@@ -75,6 +76,11 @@ struct ParadyndConfig {
 
   /// Clock driving heartbeat pacing (tests inject a ManualClock).
   const Clock* clock = &RealClock::instance();
+
+  /// Optional black-box flight recorder (PR 9), shared with the launcher
+  /// so the ring survives abandon(): beats, startup and abandonment land
+  /// in it and the peer that detects the death dumps the capsule.
+  std::shared_ptr<flightrec::Recorder> recorder;
 };
 
 class Paradynd {

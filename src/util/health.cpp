@@ -1,0 +1,248 @@
+#include "util/health.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace tdp::health {
+
+namespace {
+
+/// %g keeps thresholds and values readable in published attributes.
+std::string format_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+Result<Rule::Stat> parse_stat(std::string_view token) {
+  if (token == "value") return Rule::Stat::kValue;
+  if (token == "rate") return Rule::Stat::kRate;
+  if (token == "p50") return Rule::Stat::kP50;
+  if (token == "p95") return Rule::Stat::kP95;
+  if (token == "p99") return Rule::Stat::kP99;
+  return make_error(ErrorCode::kInvalidArgument,
+                    "unknown stat: " + std::string(token));
+}
+
+const char* stat_name(Rule::Stat stat) noexcept {
+  switch (stat) {
+    case Rule::Stat::kValue: return "value";
+    case Rule::Stat::kRate: return "rate";
+    case Rule::Stat::kP50: return "p50";
+    case Rule::Stat::kP95: return "p95";
+    case Rule::Stat::kP99: return "p99";
+  }
+  return "?";
+}
+
+Result<double> parse_threshold(std::string_view token, std::string_view key) {
+  if (token.size() <= key.size() + 1 ||
+      token.substr(0, key.size()) != key || token[key.size()] != '=') {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "expected " + std::string(key) + "=<number>, got '" +
+                          std::string(token) + "'");
+  }
+  const std::string number(token.substr(key.size() + 1));
+  char* end = nullptr;
+  const double value = std::strtod(number.c_str(), &end);
+  if (end == number.c_str() || *end != '\0') {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bad threshold number: " + number);
+  }
+  return value;
+}
+
+/// The statistic a rule extracts from one sample.
+double extract(const Rule& rule, const telemetry::Sample& sample) {
+  switch (rule.stat) {
+    case Rule::Stat::kValue:
+      return sample.kind == telemetry::Sample::Kind::kHistogram
+                 ? static_cast<double>(sample.hist.count)
+                 : static_cast<double>(sample.value);
+    case Rule::Stat::kRate:
+      // Raw value here; evaluate() turns it into a per-second delta.
+      return sample.kind == telemetry::Sample::Kind::kHistogram
+                 ? static_cast<double>(sample.hist.count)
+                 : static_cast<double>(sample.value);
+    case Rule::Stat::kP50: return sample.hist.p50;
+    case Rule::Stat::kP95: return sample.hist.p95;
+    case Rule::Stat::kP99: return sample.hist.p99;
+  }
+  return 0.0;
+}
+
+Severity judge(const Rule& rule, double value) {
+  if (rule.dir == Rule::Dir::kAbove) {
+    if (value >= rule.critical) return Severity::kCritical;
+    if (value >= rule.warn) return Severity::kWarn;
+    return Severity::kOk;
+  }
+  if (value <= rule.critical) return Severity::kCritical;
+  if (value <= rule.warn) return Severity::kWarn;
+  return Severity::kOk;
+}
+
+}  // namespace
+
+std::string health_attr(std::string_view role, std::string_view host) {
+  std::string attr{kHealthPrefix};
+  attr += role;
+  attr += '.';
+  attr += host;
+  return attr;
+}
+
+const char* severity_name(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kOk: return "ok";
+    case Severity::kWarn: return "warn";
+    case Severity::kCritical: return "critical";
+  }
+  return "?";
+}
+
+Result<Rule> parse_rule(std::string_view text) {
+  // "<name>: <metric> <stat> <above|below> warn=<x> critical=<y>"
+  const std::size_t colon = text.find(':');
+  if (colon == std::string_view::npos || colon == 0) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "health rule needs '<name>: ...': " + std::string(text));
+  }
+  Rule rule;
+  rule.name = std::string(text.substr(0, colon));
+
+  std::istringstream rest{std::string(text.substr(colon + 1))};
+  std::string metric, stat, dir, warn, critical, extra;
+  rest >> metric >> stat >> dir >> warn >> critical;
+  if (critical.empty() || (rest >> extra)) {
+    return make_error(
+        ErrorCode::kInvalidArgument,
+        "health rule wants '<name>: <metric> <stat> <above|below> "
+        "warn=<x> critical=<y>': " + std::string(text));
+  }
+  rule.metric = metric;
+  auto parsed_stat = parse_stat(stat);
+  if (!parsed_stat.is_ok()) return parsed_stat.status();
+  rule.stat = *parsed_stat;
+  if (dir == "above") {
+    rule.dir = Rule::Dir::kAbove;
+  } else if (dir == "below") {
+    rule.dir = Rule::Dir::kBelow;
+  } else {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "direction must be above|below, got '" + dir + "'");
+  }
+  auto warn_v = parse_threshold(warn, "warn");
+  if (!warn_v.is_ok()) return warn_v.status();
+  auto critical_v = parse_threshold(critical, "critical");
+  if (!critical_v.is_ok()) return critical_v.status();
+  rule.warn = *warn_v;
+  rule.critical = *critical_v;
+  if (rule.dir == Rule::Dir::kAbove ? rule.critical < rule.warn
+                                    : rule.critical > rule.warn) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "critical threshold must be at least as severe as "
+                      "warn: " + std::string(text));
+  }
+  return rule;
+}
+
+std::string format_rule(const Rule& rule) {
+  std::string out = rule.name;
+  out += ": ";
+  out += rule.metric;
+  out += ' ';
+  out += stat_name(rule.stat);
+  out += rule.dir == Rule::Dir::kAbove ? " above" : " below";
+  out += " warn=" + format_value(rule.warn);
+  out += " critical=" + format_value(rule.critical);
+  return out;
+}
+
+std::string Report::encode() const {
+  if (severity == Severity::kOk) return "ok";
+  std::string out = severity_name(severity);
+  out += " rule=";
+  out += firing;
+  out += " value=";
+  out += format_value(firing_value);
+  return out;
+}
+
+Result<Severity> parse_severity(std::string_view encoded) {
+  const std::size_t space = encoded.find(' ');
+  const std::string_view head =
+      space == std::string_view::npos ? encoded : encoded.substr(0, space);
+  for (auto severity :
+       {Severity::kOk, Severity::kWarn, Severity::kCritical}) {
+    if (head == severity_name(severity)) return severity;
+  }
+  return make_error(ErrorCode::kInvalidArgument,
+                    "unknown health severity: " + std::string(encoded));
+}
+
+void Engine::add_rule(Rule rule) {
+  LockGuard lock(mutex_);
+  rules_.push_back(std::move(rule));
+}
+
+Status Engine::add_rule(std::string_view text) {
+  auto rule = parse_rule(text);
+  if (!rule.is_ok()) return rule.status();
+  add_rule(std::move(*rule));
+  return Status::ok();
+}
+
+std::size_t Engine::rule_count() const {
+  LockGuard lock(mutex_);
+  return rules_.size();
+}
+
+Report Engine::evaluate(const std::vector<telemetry::Sample>& samples,
+                        Micros now) {
+  Report report;
+  LockGuard lock(mutex_);
+  for (const Rule& rule : rules_) {
+    const telemetry::Sample* sample = nullptr;
+    for (const auto& s : samples) {
+      if (s.name == rule.metric) {
+        sample = &s;
+        break;
+      }
+    }
+    if (sample == nullptr) continue;  // absent metric: rule skipped
+
+    double value = extract(rule, *sample);
+    if (rule.stat == Rule::Stat::kRate) {
+      auto it = previous_.find(rule.metric);
+      double rate = 0.0;
+      if (it != previous_.end() && now > it->second.at) {
+        rate = (value - it->second.value) /
+               (static_cast<double>(now - it->second.at) / 1e6);
+      }
+      previous_[rule.metric] = RateState{now, value};
+      value = rate;
+    }
+
+    Verdict verdict;
+    verdict.rule = rule.name;
+    verdict.metric = rule.metric;
+    verdict.value = value;
+    verdict.severity = judge(rule, value);
+    if (verdict.severity > report.severity ||
+        (verdict.severity != Severity::kOk && report.firing.empty())) {
+      report.firing = rule.name;
+      report.firing_value = value;
+    }
+    report.severity = fold(report.severity, verdict.severity);
+    report.verdicts.push_back(std::move(verdict));
+  }
+  if (report.severity == Severity::kOk) {
+    report.firing.clear();
+    report.firing_value = 0.0;
+  }
+  return report;
+}
+
+}  // namespace tdp::health

@@ -1,0 +1,128 @@
+// health.hpp - the declarative pool health engine (PR 9).
+//
+// RED-style SLO rules (rate / error / duration) evaluated over telemetry
+// Registry snapshots: each rule watches one metric through a statistic
+// (current value, per-second rate, or a latency percentile), compares it
+// against warn/critical thresholds, and the engine folds every verdict to
+// one overall severity (worst wins). Rules are written in a one-line text
+// grammar so deployments can ship them as configuration:
+//
+//   <name>: <metric> <stat> <above|below> warn=<x> critical=<y>
+//
+//   stat  := value | rate | p50 | p95 | p99
+//   e.g.  "err-rate: proxy.errors rate above warn=5 critical=50"
+//         "host-up: machine.alive value below warn=0.9 critical=0.4"
+//
+// Reports publish through the attribute space as
+// tdp.health.<role>.<host> = "<severity> rule=<name> value=<v>" and fold
+// bottom-up over the hierarchical CASS exactly like PR 7's telemetry
+// rollups (mrnet::HierarchicalCass::rollup_health), so the root sees
+// O(fanout) health writes and tdptop's alerts pane reads one prefix.
+//
+// Locking: Engine::mutex_ is a strict leaf — evaluate() computes under it
+// and never calls out (DESIGN.md §10).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/status.hpp"
+#include "util/sync.hpp"
+#include "util/telemetry.hpp"
+
+namespace tdp::health {
+
+/// Attribute prefix health reports publish under.
+inline constexpr std::string_view kHealthPrefix = "tdp.health.";
+[[nodiscard]] std::string health_attr(std::string_view role,
+                                      std::string_view host);
+
+enum class Severity : std::uint8_t { kOk = 0, kWarn = 1, kCritical = 2 };
+
+[[nodiscard]] const char* severity_name(Severity severity) noexcept;
+
+/// Worst-wins fold, the bottom-up aggregation operator.
+[[nodiscard]] constexpr Severity fold(Severity a, Severity b) noexcept {
+  return a < b ? b : a;
+}
+
+/// One declarative threshold rule.
+struct Rule {
+  enum class Stat : std::uint8_t { kValue, kRate, kP50, kP95, kP99 };
+  enum class Dir : std::uint8_t { kAbove, kBelow };
+
+  std::string name;    ///< rule id, shows up in the published report
+  std::string metric;  ///< telemetry Sample name it watches
+  Stat stat = Stat::kValue;
+  Dir dir = Dir::kAbove;
+  double warn = 0.0;
+  double critical = 0.0;
+};
+
+/// Parses the one-line grammar above. kInvalidArgument with a pointed
+/// message on anything malformed.
+Result<Rule> parse_rule(std::string_view text);
+/// Round-trips parse_rule.
+std::string format_rule(const Rule& rule);
+
+/// One rule's outcome for one evaluation.
+struct Verdict {
+  std::string rule;
+  std::string metric;
+  Severity severity = Severity::kOk;
+  double value = 0.0;  ///< the statistic the thresholds were compared to
+};
+
+/// One evaluation's fold: overall severity plus the verdict per rule whose
+/// metric was present (rules watching absent metrics are skipped — a
+/// daemon that never registered the metric is not thereby critical).
+struct Report {
+  Severity severity = Severity::kOk;
+  /// Name and value of the worst firing rule (empty when ok).
+  std::string firing;
+  double firing_value = 0.0;
+  std::vector<Verdict> verdicts;
+
+  /// "ok" | "<warn|critical> rule=<name> value=<v>" — the published form.
+  [[nodiscard]] std::string encode() const;
+};
+
+/// Severity of an encoded report ("critical rule=..." -> kCritical).
+/// kInvalidArgument on an unknown leading token.
+Result<Severity> parse_severity(std::string_view encoded);
+
+/// Evaluates a rule set against successive registry snapshots. Stateful:
+/// rate rules remember the previous (value, time) per metric, so the same
+/// Engine instance must see a monotonic clock. Thread-safe; the mutex is a
+/// leaf.
+class Engine {
+ public:
+  Engine() = default;
+
+  void add_rule(Rule rule);
+  /// Parses and adds; returns the parse error unchanged.
+  Status add_rule(std::string_view text);
+  [[nodiscard]] std::size_t rule_count() const;
+
+  /// Evaluates every rule against `samples` at time `now`. Rate rules
+  /// yield 0 on their first sighting of a metric (no interval yet) and
+  /// whenever now <= the previous stamp.
+  [[nodiscard]] Report evaluate(const std::vector<telemetry::Sample>& samples,
+                                Micros now);
+
+ private:
+  struct RateState {
+    Micros at = 0;
+    double value = 0.0;
+  };
+
+  mutable Mutex mutex_{"health::Engine::mutex_"};
+  std::vector<Rule> rules_ TDP_GUARDED_BY(mutex_);
+  std::map<std::string, RateState> previous_ TDP_GUARDED_BY(mutex_);
+};
+
+}  // namespace tdp::health

@@ -23,6 +23,16 @@ Sink& sink_ref() {
   return s;
 }
 
+tdp::Mutex& observer_mutex() {
+  static tdp::Mutex m{"log::observer_mutex"};
+  return m;
+}
+
+Observer& observer_ref() {
+  static Observer o;
+  return o;
+}
+
 }  // namespace
 
 const char* level_name(Level level) noexcept {
@@ -44,6 +54,11 @@ Level get_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 void set_sink(Sink sink) {
   LockGuard lock(sink_mutex());
   sink_ref() = std::move(sink);
+}
+
+void set_observer(Observer observer) {
+  LockGuard lock(observer_mutex());
+  observer_ref() = std::move(observer);
 }
 
 void set_timestamps(bool enabled) noexcept {
@@ -76,12 +91,24 @@ void write(Level level, std::string_view component, std::string_view message) {
   line += ": ";
   line += message;
 
-  LockGuard lock(sink_mutex());
-  if (sink_ref()) {
-    sink_ref()(line);
-  } else {
-    std::fprintf(stderr, "%s\n", line.c_str());
+  {
+    LockGuard lock(sink_mutex());
+    if (sink_ref()) {
+      sink_ref()(line);
+    } else {
+      std::fprintf(stderr, "%s\n", line.c_str());
+    }
   }
+
+  // Copy the observer under its own lock, invoke outside: the observer may
+  // take leaf locks of its own (flight-recorder shards) and must never run
+  // under a log lock.
+  Observer observer;
+  {
+    LockGuard lock(observer_mutex());
+    observer = observer_ref();
+  }
+  if (observer) observer(level, component, message);
 }
 
 }  // namespace tdp::log

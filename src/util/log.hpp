@@ -27,6 +27,15 @@ Level get_level() noexcept;
 using Sink = std::function<void(std::string_view line)>;
 void set_sink(Sink sink);
 
+/// Secondary tap, called for every line that clears the global level, in
+/// addition to (and after) the sink. The observer runs with no log lock
+/// held, so it may take its own leaf locks — the flight recorder
+/// (util/flightrec.hpp) uses this to mirror warnings into its event ring.
+/// Passing nullptr removes the tap.
+using Observer =
+    std::function<void(Level, std::string_view component, std::string_view message)>;
+void set_observer(Observer observer);
+
 /// Opt-in line prefixes for correlating logs with telemetry: a monotonic
 /// microsecond timestamp (telemetry clock, so sim runs log virtual time)
 /// and, when a span is active on the calling thread, the short (low 32

@@ -254,7 +254,32 @@ void Tracer::clear() {
   next_span_.store(1, std::memory_order_relaxed);
 }
 
+std::uint64_t Tracer::add_span_observer(SpanObserver observer) {
+  LockGuard lock(observers_mutex_);
+  const std::uint64_t id =
+      next_observer_.fetch_add(1, std::memory_order_relaxed);
+  observers_.emplace(id, std::move(observer));
+  has_observers_.store(true, std::memory_order_release);
+  return id;
+}
+
+void Tracer::remove_span_observer(std::uint64_t id) {
+  LockGuard lock(observers_mutex_);
+  observers_.erase(id);
+  has_observers_.store(!observers_.empty(), std::memory_order_release);
+}
+
 void Tracer::record(SpanRecord rec) {
+  if (has_observers_.load(std::memory_order_acquire)) {
+    // Copy the observer list under its leaf lock, invoke outside any lock.
+    std::vector<SpanObserver> observers;
+    {
+      LockGuard lock(observers_mutex_);
+      observers.reserve(observers_.size());
+      for (const auto& [id, fn] : observers_) observers.push_back(fn);
+    }
+    for (const auto& fn : observers) fn(rec);
+  }
   LockGuard lock(mutex_);
   if (finished_.size() >= kMaxFinished) {
     // Dropped spans still count, so the gap is visible in tdptop.

@@ -18,6 +18,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -229,6 +230,16 @@ class Tracer {
   /// final block.
   Status dump_span_blocks(const std::string& path) const;
 
+  /// Observers run for every span handed to record() — including spans the
+  /// back-pressure cap drops from finished_ — outside the Tracer lock, so
+  /// an observer may take leaf locks of its own. The flight recorder
+  /// (util/flightrec.hpp) mirrors span completions into per-daemon rings
+  /// through this; it filters by SpanRecord::role because the Tracer is
+  /// process-wide. Returns an id for remove_span_observer.
+  using SpanObserver = std::function<void(const SpanRecord&)>;
+  std::uint64_t add_span_observer(SpanObserver observer);
+  void remove_span_observer(std::uint64_t id);
+
   // Internal - used by Span.
   std::uint64_t next_trace_id() noexcept {
     return next_trace_.fetch_add(1, std::memory_order_relaxed);
@@ -247,6 +258,17 @@ class Tracer {
   mutable Mutex mutex_{"telemetry::Tracer::mutex_"};
   std::vector<SpanRecord> finished_ TDP_GUARDED_BY(mutex_);
 
+  /// Leaf lock for the observer table; record() copies the observers out
+  /// and invokes them with no Tracer lock held. has_observers_ keeps the
+  /// no-observer hot path to one relaxed load.
+  mutable Mutex observers_mutex_{"telemetry::Tracer::observers_mutex_"};
+  std::map<std::uint64_t, SpanObserver> observers_
+      TDP_GUARDED_BY(observers_mutex_);
+
+  // Deliberately unguarded: atomics. has_observers_ keeps the no-observer
+  // hot path to one relaxed load; next_observer_ mints ids.
+  std::atomic<bool> has_observers_{false};
+  std::atomic<std::uint64_t> next_observer_{1};
   std::atomic<const Clock*> clock_{nullptr};
   std::atomic<bool> enabled_{true};
   std::atomic<std::uint64_t> next_trace_{1};

@@ -22,10 +22,20 @@
 // running), so the matrix probes different interleavings of the claim,
 // activate and monitor phases.
 
+//
+// PR 9 extends every kill with the black-box check: a daemon death must
+// leave a decodable capsule behind (dumped by whatever peer detected the
+// death), and merging the victim's capsule with its killers' must yield a
+// causally-ordered timeline — the victim's last heartbeat strictly before
+// the detector's lease-expiry verdict.
+
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -33,10 +43,13 @@
 #include <thread>
 #include <vector>
 
+#include "attrspace/attr_store.hpp"
 #include "chaos_util.hpp"
 #include "condor/pool.hpp"
 #include "paradyn/paradynd.hpp"
 #include "proc/sim_backend.hpp"
+#include "util/flightrec.hpp"
+#include "util/health.hpp"
 #include "util/journal.hpp"
 #include "util/lease.hpp"
 
@@ -71,6 +84,15 @@ class KillableParadynLauncher final : public condor::ToolLauncher {
       : transport_(std::move(transport)) {}
   ~KillableParadynLauncher() override { join_all(); }
 
+  /// Flight recorder the next launched daemon beats into (PR 9). The pool
+  /// hands the same ring to the starter as tool_recorder, so the starter
+  /// can dump the victim's capsule after a kill.
+  void set_recorder_source(
+      std::function<std::shared_ptr<flightrec::Recorder>()> source) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    recorder_source_ = std::move(source);
+  }
+
   Result<proc::Pid> launch(const condor::ToolDaemonSpec& spec,
                            const std::vector<std::string>& argv,
                            const std::string& lass_address,
@@ -89,6 +111,7 @@ class KillableParadynLauncher final : public condor::ToolLauncher {
     config.liveness = fast_lease();
     auto kill_flag = std::make_shared<std::atomic<bool>>(false);
     std::lock_guard<std::mutex> lock(mutex_);
+    if (recorder_source_) config.recorder = recorder_source_();
     kill_flags_.push_back(kill_flag);
     threads_.emplace_back([config = std::move(config), kill_flag]() mutable {
       paradyn::Paradynd daemon(std::move(config));
@@ -136,6 +159,7 @@ class KillableParadynLauncher final : public condor::ToolLauncher {
   mutable std::mutex mutex_;
   std::vector<std::thread> threads_;
   std::vector<std::shared_ptr<std::atomic<bool>>> kill_flags_;
+  std::function<std::shared_ptr<flightrec::Recorder>()> recorder_source_;
   std::size_t launched_ = 0;
 };
 
@@ -157,6 +181,13 @@ struct ClusterOptions {
   bool tool_lease = false;
   /// Share an existing in-proc universe (tool launchers need the same one).
   std::shared_ptr<net::Transport> transport;
+  /// PR 9: turn the black box on and dump capsules into this directory
+  /// (created fresh by make_cluster).
+  std::string capsule_dir;
+  /// PR 9: attribute store the pool publishes health to and listens on for
+  /// operator blackbox pokes. Must outlive the cluster.
+  attr::AttributeStore* cass_store = nullptr;
+  std::vector<std::string> health_rules;
 };
 
 KillCluster make_cluster(const ClusterOptions& options) {
@@ -194,6 +225,14 @@ KillCluster make_cluster(const ClusterOptions& options) {
     config.tool_lease = fast_lease();
     config.tool_restart_budget = 2;
   }
+  if (!options.capsule_dir.empty()) {
+    std::filesystem::remove_all(options.capsule_dir);
+    std::filesystem::create_directories(options.capsule_dir);
+    config.enable_flightrec = true;
+    config.capsule_dir = options.capsule_dir;
+  }
+  config.cass_store = options.cass_store;
+  config.health_rules = options.health_rules;
   cluster.pool = std::make_unique<Pool>(std::move(config));
   for (int i = 0; i < options.machines; ++i) {
     const std::string name = "node" + std::to_string(i);
@@ -236,6 +275,40 @@ bool job_terminal(KillCluster& cluster, JobId id) {
   return record.is_ok() && condor::job_status_terminal(record->status);
 }
 
+/// Per-test capsule directory so a stale capsule from another scenario can
+/// never satisfy an assertion.
+std::string capsule_dir_for(const std::string& tag, std::uint64_t seed) {
+  return ::testing::TempDir() + "tdp_capsules_" + tag + "_" +
+         std::to_string(seed);
+}
+
+/// Reads and decodes the capsule `role`.`host`, failing the test loudly on
+/// a missing or damaged one. Every kill scenario ends with at least one of
+/// these: a death without a decodable black box is a bug.
+flightrec::Capsule must_read_capsule(KillCluster& cluster,
+                                     const std::string& role,
+                                     const std::string& host) {
+  const std::string path = cluster.pool->capsule_path(role, host);
+  auto capsule = flightrec::read_capsule(path);
+  EXPECT_TRUE(capsule.is_ok())
+      << "no decodable capsule for " << role << "." << host << " at " << path
+      << ": " << capsule.status().to_string();
+  if (!capsule.is_ok()) return flightrec::Capsule{};
+  EXPECT_EQ(capsule->role, role);
+  EXPECT_EQ(capsule->host, host);
+  return std::move(capsule.value());
+}
+
+/// Index of the first timeline event matching, or -1.
+template <typename Predicate>
+int timeline_find(const std::vector<flightrec::TimelineEvent>& timeline,
+                  Predicate pred) {
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    if (pred(timeline[i])) return static_cast<int>(i);
+  }
+  return -1;
+}
+
 /// Waits until the job is kRunning, then a seed-derived number of extra
 /// turns, so each seed kills at a different phase of the run.
 bool run_until_kill_point(KillCluster& cluster, JobId id, std::uint64_t seed) {
@@ -262,9 +335,14 @@ TEST_P(ChaosKillTest, KillParadyndMidRunAppSurvivesAndToolReattaches) {
   options.machines = 1;
   options.tool_lease = true;
   options.transport = chaos::make_base(Wire::kInProc);
+  options.capsule_dir = capsule_dir_for("paradynd", seed);
   KillableParadynLauncher launcher(options.transport);
   options.tool_launcher = &launcher;
   KillCluster cluster = make_cluster(options);
+  // The launched daemon beats into the pool's "paradynd" ring — the same
+  // ring the starter holds as tool_recorder and dumps on lease expiry.
+  launcher.set_recorder_source(
+      [&cluster] { return cluster.pool->recorder("paradynd", "node0"); });
 
   const JobId id = cluster.pool->submit(sim_job(900, /*with_tool=*/true));
   ASSERT_TRUE(run_until_kill_point(cluster, id, seed));
@@ -300,14 +378,33 @@ TEST_P(ChaosKillTest, KillParadyndMidRunAppSurvivesAndToolReattaches) {
   EXPECT_EQ(restarts_seen, 1);
   EXPECT_EQ(launcher.launched(), 2u);
   launcher.join_all();
+
+  // The starter dumped the murdered tool daemon's black box when its lease
+  // expired; the capsule must decode and show the daemon was beating until
+  // the kill.
+  const flightrec::Capsule capsule =
+      must_read_capsule(cluster, "paradynd", "node0");
+  EXPECT_EQ(capsule.reason, "lease-expired");
+  int beats = 0;
+  for (const auto& event : capsule.events) {
+    if (event.kind == flightrec::EventKind::kLease && event.what == "beat") {
+      ++beats;
+    }
+  }
+  EXPECT_GE(beats, 1) << "victim's capsule shows no heartbeats";
 }
 
 TEST_P(ChaosKillTest, KillStartdJournalReplayRequeuesExactlyOnce) {
   const std::uint64_t seed = GetParam();
   Watchdog dog("KillStartdJournal/seed=" + std::to_string(seed), 110'000);
 
+  attr::AttributeStore cass;
   ClusterOptions options;
   options.machines = 2;
+  options.capsule_dir = capsule_dir_for("startd_journal", seed);
+  options.cass_store = &cass;
+  options.health_rules = {
+      "up: machine.alive value below warn=0.9 critical=0.4"};
   KillCluster cluster = make_cluster(options);
 
   const JobId id = cluster.pool->submit(sim_job(400, /*with_tool=*/false));
@@ -318,6 +415,19 @@ TEST_P(ChaosKillTest, KillStartdJournalReplayRequeuesExactlyOnce) {
   const std::string victim = running->matched_machine;
   ASSERT_FALSE(victim.empty());
   ASSERT_TRUE(cluster.pool->kill_startd(victim).is_ok());
+
+  // The health engine sees the death: before any pump turn can revive the
+  // daemon, the published per-host verdict is critical (machine.alive=0
+  // trips the below-rule), and the pool-wide fold goes critical with it.
+  const std::string victim_attr = health::health_attr("startd", victim);
+  cluster.pool->publish_health();
+  auto down = cass.get("cass", victim_attr);
+  ASSERT_TRUE(down.is_ok());
+  EXPECT_EQ(down->rfind("critical rule=up", 0), 0u) << down.value();
+  auto overall_down =
+      cass.get("cass", std::string(health::kHealthPrefix) + "startd");
+  ASSERT_TRUE(overall_down.is_ok());
+  EXPECT_EQ(overall_down.value(), "critical");
 
   ASSERT_TRUE(drive(cluster, [&] { return job_terminal(cluster, id); }, 60'000))
       << "job never finished after its startd was killed";
@@ -333,15 +443,37 @@ TEST_P(ChaosKillTest, KillStartdJournalReplayRequeuesExactlyOnce) {
   EXPECT_GE(cluster.pool->master().restart_count("startd@" + victim), 1u);
   EXPECT_EQ(cluster.pool->master().health("startd@" + victim),
             Master::DaemonHealth::kHealthy);
+
+  // ... and with the daemon back, health returns to ok: the rule fires and
+  // clears, no latching (the critical-and-back transition end to end).
+  cluster.pool->publish_health();
+  auto verdict = cass.get("cass", victim_attr);
+  ASSERT_TRUE(verdict.is_ok());
+  EXPECT_EQ(verdict.value(), "ok");
+  auto overall = cass.get("cass", std::string(health::kHealthPrefix) + "startd");
+  ASSERT_TRUE(overall.is_ok());
+  EXPECT_EQ(overall.value(), "ok");
+
+  // The revival dumped the victim's black box; the capsule must decode and
+  // hold the daemon's life up to the kill.
+  const flightrec::Capsule capsule =
+      must_read_capsule(cluster, "startd", victim);
+  EXPECT_TRUE(capsule.reason == "death-detected" ||
+              capsule.reason == "lease-expired")
+      << capsule.reason;
+  EXPECT_FALSE(capsule.events.empty());
 }
 
 TEST_P(ChaosKillTest, KillStartdLeaseExpiryRequeuesWhenRestartBudgetSpent) {
   const std::uint64_t seed = GetParam();
   Watchdog dog("KillStartdLease/seed=" + std::to_string(seed), 110'000);
 
+  attr::AttributeStore cass;
   ClusterOptions options;
   options.machines = 2;
   options.startd_restart_budget = 0;  // the master may never revive it
+  options.capsule_dir = capsule_dir_for("startd_lease", seed);
+  options.cass_store = &cass;
   KillCluster cluster = make_cluster(options);
 
   const JobId id = cluster.pool->submit(sim_job(400, /*with_tool=*/false));
@@ -367,6 +499,57 @@ TEST_P(ChaosKillTest, KillStartdLeaseExpiryRequeuesWhenRestartBudgetSpent) {
   EXPECT_EQ(cluster.pool->master().health("startd@" + victim),
             Master::DaemonHealth::kHalted);
   EXPECT_GE(cluster.pool->master().stats().circuit_breaks, 1u);
+
+  // --- the black-box post-mortem (PR 9) ---
+  // The lease monitor dumped the victim's capsule at expiry. The pool's
+  // and master's rings come out via the operator trigger: a put on
+  // tdp.control.blackbox.<role>.<host> answers with a dump.
+  ASSERT_TRUE(cass.put("cass", flightrec::control_attr("pool", "central"),
+                       "post-mortem")
+                  .is_ok());
+  ASSERT_TRUE(cass.put("cass", flightrec::control_attr("master", "central"),
+                       "post-mortem")
+                  .is_ok());
+
+  const flightrec::Capsule victim_capsule =
+      must_read_capsule(cluster, "startd", victim);
+  EXPECT_EQ(victim_capsule.reason, "lease-expired");
+  const flightrec::Capsule pool_capsule =
+      must_read_capsule(cluster, "pool", "central");
+  EXPECT_EQ(pool_capsule.reason, "post-mortem");
+  const flightrec::Capsule master_capsule =
+      must_read_capsule(cluster, "master", "central");
+
+  // Merge the three daemons' capsules into one timeline: the killer's
+  // lease-expiry verdict must order strictly after the victim's last
+  // heartbeat — the causal story "it beat, it stopped, we noticed".
+  const std::vector<flightrec::TimelineEvent> timeline =
+      flightrec::merge_timeline({victim_capsule, pool_capsule, master_capsule});
+  int last_beat = -1;
+  for (std::size_t i = 0; i < timeline.size(); ++i) {
+    const auto& entry = timeline[i];
+    if (entry.role == "startd" && entry.host == victim &&
+        entry.event.kind == flightrec::EventKind::kLease &&
+        entry.event.what == "beat") {
+      last_beat = static_cast<int>(i);
+    }
+  }
+  const int expiry = timeline_find(timeline, [&](const auto& entry) {
+    return entry.role == "pool" &&
+           entry.event.kind == flightrec::EventKind::kLease &&
+           entry.event.what == "expired" &&
+           entry.event.detail.find(victim) != std::string::npos;
+  });
+  ASSERT_GE(last_beat, 0) << "victim's heartbeats missing from the timeline";
+  ASSERT_GE(expiry, 0) << "pool's lease-expiry verdict missing";
+  EXPECT_LT(last_beat, expiry)
+      << "expiry verdict merged before the victim's last beat";
+  // The pool's poke bookkeeping also landed in its own capsule.
+  const int poke = timeline_find(timeline, [](const auto& entry) {
+    return entry.event.kind == flightrec::EventKind::kControl &&
+           entry.event.what == "poke";
+  });
+  EXPECT_GE(poke, 0);
 }
 
 TEST_P(ChaosKillTest, KillScheddQueueRecoversFromJournal) {
@@ -375,6 +558,7 @@ TEST_P(ChaosKillTest, KillScheddQueueRecoversFromJournal) {
 
   ClusterOptions options;
   options.machines = 2;
+  options.capsule_dir = capsule_dir_for("schedd", seed);
   KillCluster cluster = make_cluster(options);
 
   std::vector<JobId> ids;
@@ -405,6 +589,21 @@ TEST_P(ChaosKillTest, KillScheddQueueRecoversFromJournal) {
   }
   EXPECT_EQ(cluster.pool->schedd().queue_size(), 3u);
   EXPECT_GE(cluster.pool->master().restart_count("schedd"), 1u);
+
+  // The master dumped the crashed schedd's black box before rebuilding the
+  // queue: the capsule must decode and end with the crash transition (the
+  // dropped-jobs count recorded by the dying object, preserved because the
+  // ring belongs to the pool, not the daemon).
+  const flightrec::Capsule capsule =
+      must_read_capsule(cluster, "schedd", "central");
+  EXPECT_EQ(capsule.reason, "crash-detected");
+  const bool crash_recorded =
+      std::any_of(capsule.events.begin(), capsule.events.end(),
+                  [](const flightrec::Event& event) {
+                    return event.kind == flightrec::EventKind::kState &&
+                           event.what == "crash";
+                  });
+  EXPECT_TRUE(crash_recorded) << "schedd capsule missing the crash event";
 }
 
 TEST_P(ChaosKillTest, ControlWithoutRecoveryLosesTheJob) {

@@ -304,8 +304,12 @@ TEST(Master, CircuitBreakerHaltsAfterBudget) {
 class FileTransferTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    submit_dir_ = ::testing::TempDir() + "/ft_submit";
-    exec_dir_ = ::testing::TempDir() + "/ft_exec";
+    // Per-test directories: ctest runs each TEST_F as its own process, in
+    // parallel, so a shared path would race remove_all against a sibling.
+    const std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    submit_dir_ = ::testing::TempDir() + "/ft_submit_" + tag;
+    exec_dir_ = ::testing::TempDir() + "/ft_exec_" + tag;
     std::filesystem::remove_all(submit_dir_);
     std::filesystem::remove_all(exec_dir_);
     std::filesystem::create_directories(submit_dir_);

@@ -1,0 +1,229 @@
+// Health engine tests (PR 9): the rule grammar, threshold judging in both
+// directions, rate statistics over a manual clock, percentile rules,
+// absent-metric skipping, report encoding, and the critical-and-back
+// transition the alerts pane renders. The rollup path over the CASS tree
+// is covered by the hierarchy and pool tiers; this file proves the engine.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "util/clock.hpp"
+#include "util/health.hpp"
+#include "util/telemetry.hpp"
+
+namespace tdp::health {
+namespace {
+
+telemetry::Sample gauge(std::string name, std::int64_t value) {
+  telemetry::Sample sample;
+  sample.name = std::move(name);
+  sample.kind = telemetry::Sample::Kind::kGauge;
+  sample.value = value;
+  return sample;
+}
+
+telemetry::Sample counter(std::string name, std::int64_t value) {
+  telemetry::Sample sample;
+  sample.name = std::move(name);
+  sample.kind = telemetry::Sample::Kind::kCounter;
+  sample.value = value;
+  return sample;
+}
+
+telemetry::Sample histogram(std::string name, double p50, double p95,
+                            double p99, std::uint64_t count = 100) {
+  telemetry::Sample sample;
+  sample.name = std::move(name);
+  sample.kind = telemetry::Sample::Kind::kHistogram;
+  sample.hist.count = count;
+  sample.hist.p50 = p50;
+  sample.hist.p95 = p95;
+  sample.hist.p99 = p99;
+  return sample;
+}
+
+TEST(Health, RuleGrammarRoundTrips) {
+  const std::string text =
+      "err-rate: proxy.errors rate above warn=5 critical=50";
+  auto rule = parse_rule(text);
+  ASSERT_TRUE(rule.is_ok()) << rule.status().to_string();
+  EXPECT_EQ(rule->name, "err-rate");
+  EXPECT_EQ(rule->metric, "proxy.errors");
+  EXPECT_EQ(rule->stat, Rule::Stat::kRate);
+  EXPECT_EQ(rule->dir, Rule::Dir::kAbove);
+  EXPECT_EQ(rule->warn, 5.0);
+  EXPECT_EQ(rule->critical, 50.0);
+  EXPECT_EQ(format_rule(*rule), text);
+
+  const std::string below =
+      "host-up: machine.alive value below warn=0.9 critical=0.4";
+  auto rule2 = parse_rule(below);
+  ASSERT_TRUE(rule2.is_ok());
+  EXPECT_EQ(rule2->dir, Rule::Dir::kBelow);
+  EXPECT_EQ(format_rule(*rule2), below);
+
+  for (auto stat : {"value", "rate", "p50", "p95", "p99"}) {
+    auto r = parse_rule(std::string("r: m ") + stat +
+                        " above warn=1 critical=2");
+    ASSERT_TRUE(r.is_ok()) << stat;
+    EXPECT_EQ(format_rule(*r),
+              std::string("r: m ") + stat + " above warn=1 critical=2");
+  }
+}
+
+TEST(Health, RuleGrammarRejectsMalformedLines) {
+  // No name, unknown stat, bad direction, missing/garbled thresholds,
+  // trailing junk, and thresholds less severe than warn.
+  for (const char* bad : {
+           ": m value above warn=1 critical=2",
+           "r: m median above warn=1 critical=2",
+           "r: m value sideways warn=1 critical=2",
+           "r: m value above warn=1",
+           "r: m value above warn=one critical=2",
+           "r: m value above crit=1 warn=2",
+           "r: m value above warn=1 critical=2 extra",
+           "r: m value above warn=5 critical=2",
+           "r: m value below warn=2 critical=5",
+           "no colon here",
+       }) {
+    EXPECT_FALSE(parse_rule(bad).is_ok()) << bad;
+  }
+}
+
+TEST(Health, JudgesAboveAndBelowThresholds) {
+  Engine engine;
+  ASSERT_TRUE(
+      engine.add_rule("q: jobs.queued value above warn=10 critical=100")
+          .is_ok());
+  ASSERT_TRUE(
+      engine.add_rule("up: machine.alive value below warn=0.9 critical=0.4")
+          .is_ok());
+  EXPECT_EQ(engine.rule_count(), 2u);
+
+  // Both healthy.
+  Report r = engine.evaluate({gauge("jobs.queued", 5), gauge("machine.alive", 1)}, 0);
+  EXPECT_EQ(r.severity, Severity::kOk);
+  EXPECT_EQ(r.encode(), "ok");
+  EXPECT_TRUE(r.firing.empty());
+  ASSERT_EQ(r.verdicts.size(), 2u);
+
+  // Queue depth warns at its threshold (inclusive).
+  r = engine.evaluate({gauge("jobs.queued", 10), gauge("machine.alive", 1)}, 0);
+  EXPECT_EQ(r.severity, Severity::kWarn);
+  EXPECT_EQ(r.firing, "q");
+  EXPECT_EQ(r.encode(), "warn rule=q value=10");
+
+  // Machine down drives the below-rule critical; worst verdict wins the
+  // fold and names the firing rule.
+  r = engine.evaluate({gauge("jobs.queued", 10), gauge("machine.alive", 0)}, 0);
+  EXPECT_EQ(r.severity, Severity::kCritical);
+  EXPECT_EQ(r.firing, "up");
+  EXPECT_EQ(r.encode(), "critical rule=up value=0");
+}
+
+TEST(Health, RateRuleMeasuresPerSecondDeltas) {
+  Engine engine;
+  ASSERT_TRUE(
+      engine.add_rule("err: proxy.errors rate above warn=5 critical=50")
+          .is_ok());
+  ManualClock clock;
+
+  // First sighting: no interval yet, rate is 0.
+  Report r = engine.evaluate({counter("proxy.errors", 100)},
+                             clock.now_micros());
+  EXPECT_EQ(r.severity, Severity::kOk);
+  ASSERT_EQ(r.verdicts.size(), 1u);
+  EXPECT_EQ(r.verdicts[0].value, 0.0);
+
+  // +10 errors over one second -> rate 10/s -> warn.
+  clock.advance_micros(1'000'000);
+  r = engine.evaluate({counter("proxy.errors", 110)}, clock.now_micros());
+  EXPECT_EQ(r.severity, Severity::kWarn);
+  EXPECT_EQ(r.verdicts[0].value, 10.0);
+
+  // +200 over two seconds -> 100/s -> critical.
+  clock.advance_micros(2'000'000);
+  r = engine.evaluate({counter("proxy.errors", 310)}, clock.now_micros());
+  EXPECT_EQ(r.severity, Severity::kCritical);
+  EXPECT_EQ(r.verdicts[0].value, 100.0);
+
+  // Clock not advancing: no interval, rate falls back to 0.
+  r = engine.evaluate({counter("proxy.errors", 400)}, clock.now_micros());
+  EXPECT_EQ(r.severity, Severity::kOk);
+  EXPECT_EQ(r.verdicts[0].value, 0.0);
+}
+
+TEST(Health, PercentileRulesReadHistogramSnapshots) {
+  Engine engine;
+  ASSERT_TRUE(
+      engine.add_rule("lat: rpc.micros p99 above warn=1000 critical=5000")
+          .is_ok());
+
+  Report r = engine.evaluate({histogram("rpc.micros", 100, 500, 900)}, 0);
+  EXPECT_EQ(r.severity, Severity::kOk);
+
+  r = engine.evaluate({histogram("rpc.micros", 100, 800, 2000)}, 0);
+  EXPECT_EQ(r.severity, Severity::kWarn);
+
+  r = engine.evaluate({histogram("rpc.micros", 100, 900, 6000)}, 0);
+  EXPECT_EQ(r.severity, Severity::kCritical);
+  EXPECT_EQ(r.verdicts[0].value, 6000.0);
+}
+
+TEST(Health, AbsentMetricsAreSkippedNotCritical) {
+  Engine engine;
+  ASSERT_TRUE(
+      engine.add_rule("ghost: never.registered value above warn=1 critical=2")
+          .is_ok());
+  Report r = engine.evaluate({gauge("something.else", 99)}, 0);
+  EXPECT_EQ(r.severity, Severity::kOk);
+  EXPECT_TRUE(r.verdicts.empty());
+  EXPECT_EQ(r.encode(), "ok");
+}
+
+TEST(Health, SeverityFoldAndParseRoundTrip) {
+  EXPECT_EQ(fold(Severity::kOk, Severity::kWarn), Severity::kWarn);
+  EXPECT_EQ(fold(Severity::kCritical, Severity::kWarn), Severity::kCritical);
+  EXPECT_EQ(fold(Severity::kOk, Severity::kOk), Severity::kOk);
+
+  auto ok = parse_severity("ok");
+  ASSERT_TRUE(ok.is_ok());
+  EXPECT_EQ(ok.value(), Severity::kOk);
+  auto crit = parse_severity("critical rule=up value=0");
+  ASSERT_TRUE(crit.is_ok());
+  EXPECT_EQ(crit.value(), Severity::kCritical);
+  auto warn = parse_severity("warn rule=q value=11");
+  ASSERT_TRUE(warn.is_ok());
+  EXPECT_EQ(warn.value(), Severity::kWarn);
+  EXPECT_FALSE(parse_severity("meh rule=x value=1").is_ok());
+  EXPECT_EQ(health_attr("startd", "node-1"), "tdp.health.startd.node-1");
+}
+
+// The transition tdptop's alerts pane renders: a fault drives a rule to
+// critical, recovery drives it back to ok, and each evaluation reports
+// the state honestly (no latching).
+TEST(Health, CriticalAndBackTransition) {
+  Engine engine;
+  ASSERT_TRUE(
+      engine.add_rule("up: machine.alive value below warn=0.9 critical=0.4")
+          .is_ok());
+  ManualClock clock;
+
+  auto at = [&](std::int64_t alive) {
+    clock.advance_micros(1'000'000);
+    return engine.evaluate({gauge("machine.alive", alive)},
+                           clock.now_micros());
+  };
+
+  EXPECT_EQ(at(1).severity, Severity::kOk);
+  const Report down = at(0);
+  EXPECT_EQ(down.severity, Severity::kCritical);
+  EXPECT_EQ(down.encode(), "critical rule=up value=0");
+  const Report back = at(1);
+  EXPECT_EQ(back.severity, Severity::kOk);
+  EXPECT_EQ(back.encode(), "ok");
+}
+
+}  // namespace
+}  // namespace tdp::health

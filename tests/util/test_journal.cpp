@@ -52,7 +52,10 @@ TEST(Journal, SnapshotCompactsTail) {
 class FileJournalTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/journal_test";
+    // Per-test directory: parallel ctest runs sibling tests concurrently,
+    // and a shared path races remove_all against them.
+    dir_ = ::testing::TempDir() + "/journal_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     path_ = dir_ + "/schedd";

@@ -17,7 +17,10 @@ namespace {
 class BlockJournalTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/journal_v2_test";
+    // Per-test directory: parallel ctest runs sibling BlockJournal tests
+    // concurrently, and a shared path races remove_all against them.
+    dir_ = ::testing::TempDir() + "/journal_v2_test_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     path_ = dir_ + "/daemon";
