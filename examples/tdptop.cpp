@@ -23,6 +23,7 @@
 #include "attrspace/attr_protocol.hpp"
 #include "attrspace/attr_server.hpp"
 #include "attrspace/telemetry_export.hpp"
+#include "condor/frontdoor.hpp"
 #include "net/inproc.hpp"
 #include "net/tcp.hpp"
 #include "util/health.hpp"
@@ -169,6 +170,71 @@ void render_alerts(const AlertsTable& alerts) {
   }
 }
 
+/// Front-door pane fed by tdp.frontdoor.* (PR 10). The schedd's admission
+/// layer publishes its brownout state plus one flat line per tenant
+/// ("depth=.. active=.. admitted=.. best_effort=.. busy=.. shed=..
+/// shedding=0/1"). Like the alerts pane, the table remembers the worst
+/// brownout state ever seen and whether each tenant was ever shed, so a
+/// brownout that entered and recovered between refreshes still reads as a
+/// (cleared) incident.
+struct FrontDoorTable {
+  static constexpr const char* kPrefix = "tdp.frontdoor.";
+  std::string state = "normal";
+  std::string worst_state;        ///< deepest brownout ever seen ("" = none)
+  struct Row {
+    std::string line;             ///< latest published counter line
+    bool ever_shed = false;
+  };
+  std::map<std::string, Row> tenants;
+};
+
+int brownout_rank(const std::string& state) {
+  if (state == "critical-brownout") return 2;
+  if (state == "warn-brownout") return 1;
+  return 0;
+}
+
+void ingest_frontdoor(FrontDoorTable& frontdoor, const std::string& attribute,
+                      const std::string& value) {
+  const std::size_t prefix_len = std::strlen(FrontDoorTable::kPrefix);
+  if (attribute.compare(0, prefix_len, FrontDoorTable::kPrefix) != 0) return;
+  const std::string rest = attribute.substr(prefix_len);
+  if (rest == "state") {
+    frontdoor.state = value;
+    if (brownout_rank(value) > brownout_rank(frontdoor.worst_state)) {
+      frontdoor.worst_state = value;
+    }
+    return;
+  }
+  const std::string tenant_prefix = "tenant.";
+  if (rest.compare(0, tenant_prefix.size(), tenant_prefix) != 0) return;
+  const std::string tenant = rest.substr(tenant_prefix.size());
+  if (tenant.empty()) return;
+  FrontDoorTable::Row& row = frontdoor.tenants[tenant];
+  row.line = value;
+  if (value.find("shedding=1") != std::string::npos) row.ever_shed = true;
+}
+
+void render_frontdoor(const FrontDoorTable& frontdoor) {
+  if (frontdoor.tenants.empty() && frontdoor.worst_state.empty()) return;
+  // A recovered brownout renders as "normal (was critical-brownout)" so a
+  // shed-and-recover cycle between refreshes still reaches the operator.
+  std::string state = frontdoor.state;
+  if (brownout_rank(frontdoor.worst_state) > brownout_rank(frontdoor.state)) {
+    state += " (was " + frontdoor.worst_state + ")";
+  }
+  std::printf("=== front door (%s, %zu tenant(s)) ===\n", state.c_str(),
+              frontdoor.tenants.size());
+  std::size_t width = std::strlen("tenant");
+  for (const auto& [tenant, row] : frontdoor.tenants) {
+    width = std::max(width, tenant.size());
+  }
+  for (const auto& [tenant, row] : frontdoor.tenants) {
+    std::printf("  %-*s  %s%s\n", static_cast<int>(width), tenant.c_str(),
+                row.line.c_str(), row.ever_shed ? "  [was shed]" : "");
+  }
+}
+
 void render(const Table& table, bool clear_screen) {
   if (clear_screen) std::printf("\x1b[2J\x1b[H");
   if (table.empty()) {
@@ -228,6 +294,7 @@ int run_demo() {
   Table table;
   LivenessTable liveness;
   AlertsTable alerts;
+  FrontDoorTable frontdoor;
 
   // Ride the beats as they land (a snapshot would only show the latest
   // one, hiding the sequence regression that marks a restart).
@@ -248,6 +315,16 @@ int run_demo() {
   if (!health_sub.is_ok()) {
     std::printf("demo: health subscribe failed: %s\n",
                 health_sub.to_string().c_str());
+    return 1;
+  }
+  Status frontdoor_sub = client.value()->subscribe(
+      std::string(FrontDoorTable::kPrefix) + "*",
+      [&frontdoor](const std::string& attribute, const std::string& value) {
+        ingest_frontdoor(frontdoor, attribute, value);
+      });
+  if (!frontdoor_sub.is_ok()) {
+    std::printf("demo: frontdoor subscribe failed: %s\n",
+                frontdoor_sub.to_string().c_str());
     return 1;
   }
   // A daemon beats twice, dies, and its replacement starts over at seq 1:
@@ -280,9 +357,54 @@ int run_demo() {
       lass.store().put(attr::kDefaultContext, health_attr, report.encode());
     }
   }
+  // The front-door pane's seeded incident: a real admission engine browns
+  // out on a critical verdict (shedding the low-priority tenant), then
+  // recovers through the hysteresis exit. Each step publishes the same
+  // tdp.frontdoor.* attributes Pool::publish_frontdoor() emits, and the
+  // pane must show both the recovered state and that batch WAS shed - the
+  // brownout-and-back transition the chaos storm tier drives end to end.
+  {
+    ManualClock fd_clock;
+    auto fd_config = condor::parse_frontdoor_config(
+        {"default: rate=100 burst=10 depth=100",
+         "tenant batch: priority=0",
+         "tenant prod: priority=5",
+         "brownout: warn-floor=1 critical-floor=1 exit-after=2 dwell-ms=10"});
+    if (!fd_config.is_ok()) {
+      std::printf("demo: bad frontdoor rules: %s\n",
+                  fd_config.status().to_string().c_str());
+      return 1;
+    }
+    condor::FrontDoor door(std::move(fd_config.value()), &fd_clock);
+    auto publish_pane = [&] {
+      lass.store().put(attr::kDefaultContext, "tdp.frontdoor.state",
+                       condor::brownout_state_name(door.state()));
+      for (const std::string& tenant : door.seen_tenants()) {
+        const condor::TenantCounters counters = door.counters(tenant);
+        lass.store().put(
+            attr::kDefaultContext, "tdp.frontdoor.tenant." + tenant,
+            "depth=0 active=0 admitted=" + std::to_string(counters.admitted) +
+                " best_effort=" + std::to_string(counters.best_effort) +
+                " busy=" + std::to_string(counters.busy) +
+                " shed=" + std::to_string(counters.shed) +
+                " shedding=" + (door.is_shed(tenant) ? "1" : "0"));
+      }
+    };
+    (void)door.admit("batch", 0, 0);
+    (void)door.admit("prod", 0, 0);
+    door.on_health(health::Severity::kCritical);
+    (void)door.admit("batch", 0, 0);  // refused: batch is shed
+    publish_pane();                   // mid-brownout frame
+    fd_clock.advance_micros(20'000);  // past the dwell
+    door.on_health(health::Severity::kOk);
+    door.on_health(health::Severity::kOk);  // ok streak satisfied: exit
+    publish_pane();                   // recovered frame
+  }
   for (int i = 0; i < 50 && (liveness.rows["demo.localhost"].last_seq != 1 ||
                              alerts.rows["demo.localhost"].worst_seen !=
-                                 health::Severity::kCritical);
+                                 health::Severity::kCritical ||
+                             frontdoor.state != "normal" ||
+                             !frontdoor.tenants["batch"].ever_shed);
        ++i) {
     client.value()->service_events();
     std::this_thread::sleep_for(std::chrono::milliseconds(10));
@@ -299,6 +421,7 @@ int run_demo() {
   render(table, /*clear_screen=*/false);
   render_liveness(liveness);
   render_alerts(alerts);
+  render_frontdoor(frontdoor);
   client.value()->exit();
   lass.stop();
   // The smoke gate: the demo daemon must have come through the space, its
@@ -314,8 +437,18 @@ int run_demo() {
                          alert->second.severity == health::Severity::kOk &&
                          alert->second.worst_seen ==
                              health::Severity::kCritical;
-  return table.count("demo.localhost") == 1 && liveness_ok && alerts_ok ? 0
-                                                                        : 1;
+  // And the front-door pane must have watched the brownout enter and
+  // recover: latest state normal, worst seen critical-brownout, and the
+  // shed-and-restored low-priority tenant still marked "[was shed]".
+  const auto batch = frontdoor.tenants.find("batch");
+  const bool frontdoor_ok = frontdoor.state == "normal" &&
+                            frontdoor.worst_state == "critical-brownout" &&
+                            batch != frontdoor.tenants.end() &&
+                            batch->second.ever_shed;
+  return table.count("demo.localhost") == 1 && liveness_ok && alerts_ok &&
+                 frontdoor_ok
+             ? 0
+             : 1;
 }
 
 }  // namespace
@@ -355,6 +488,7 @@ int main(int argc, char** argv) {
   Table table;
   LivenessTable liveness;
   AlertsTable alerts;
+  FrontDoorTable frontdoor;
   // Catch up on what is already in the space, then ride notifications.
   auto listed = client.value()->list();
   if (listed.is_ok()) {
@@ -362,6 +496,7 @@ int main(int argc, char** argv) {
       ingest(table, attribute, value);
       ingest_liveness(liveness, attribute, value);
       ingest_health(alerts, attribute, value);
+      ingest_frontdoor(frontdoor, attribute, value);
     }
   }
   Status subscribed = client.value()->subscribe(
@@ -394,12 +529,23 @@ int main(int argc, char** argv) {
                 health_sub.to_string().c_str());
     return 1;
   }
+  Status frontdoor_sub = client.value()->subscribe(
+      std::string(FrontDoorTable::kPrefix) + "*",
+      [&frontdoor](const std::string& attribute, const std::string& value) {
+        ingest_frontdoor(frontdoor, attribute, value);
+      });
+  if (!frontdoor_sub.is_ok()) {
+    std::printf("tdptop: frontdoor subscribe failed: %s\n",
+                frontdoor_sub.to_string().c_str());
+    return 1;
+  }
 
   while (true) {
     client.value()->service_events();
     render(table, /*clear_screen=*/!once);
     render_liveness(liveness);
     render_alerts(alerts);
+    render_frontdoor(frontdoor);
     if (once) break;
     std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
     if (!client.value()->connected()) {

@@ -26,6 +26,11 @@
 #                            # refreshes BENCH_flightrec.json and fails
 #                            # when the recorder-on steady state is >5%
 #                            # slower than recorder-off
+#   scripts/ci.sh bench-frontdoor # admission/matchmaker bench: 100k jobs
+#                            # over 1k tenants; refreshes
+#                            # BENCH_frontdoor.json and fails unless the
+#                            # indexed matchmaker beats the full scan and
+#                            # brownout shedding stays fair
 #   scripts/ci.sh bench-scale# scale tier: 10k-host ctest (-L scale with
 #                            # TDP_SCALE_10K=1) + flat-vs-tree bench,
 #                            # refreshes BENCH_scale.json and fails on a
@@ -54,7 +59,8 @@ run_tsan() {
     -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread"
   cmake --build build-tsan -j"$(nproc)" \
     --target tdp_attr_tests tdp_chaos_tests tdp_util_tests tdp_scale_tests \
-             tdp_chaos_scale_tests
+             tdp_chaos_scale_tests tdp_condor_tests \
+             tdp_chaos_integration_tests
   # The stress tests exercise the sharded store (concurrent writers,
   # readers, racing waiters) and the reactor-driven server under client
   # churn - exactly the paths a data race would hide in.
@@ -80,6 +86,19 @@ run_tsan() {
     ./build-tsan/tests/tdp_scale_tests
   TSAN_OPTIONS="halt_on_error=1" \
     ./build-tsan/tests/tdp_chaos_scale_tests
+  # The PR 10 front door: admission under the leaf lock (client caller
+  # thread vs the server I/O thread for the kBusy/retry loop), the brownout
+  # state machine driven from publish_health, and the storm chaos tier's
+  # shed/recover cycle across a concurrent schedd kill.
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/tdp_attr_tests \
+    --gtest_filter='AdmissionEndToEnd.*:BackoffDelay.*'
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/tdp_condor_tests \
+    --gtest_filter='FrontDoor*:Wrr*:ScheddFrontDoor*:MatchmakerIndex*'
+  TSAN_OPTIONS="halt_on_error=1" \
+    ./build-tsan/tests/tdp_chaos_integration_tests \
+    --gtest_filter='*ChaosStorm*'
 }
 
 run_asan() {
@@ -270,6 +289,58 @@ if fresh > 5.0:
 PYEOF
 }
 
+run_bench_frontdoor() {
+  # The PR 10 admission gate: 100k jobs over 1k tenants through the front
+  # door. Three absolute conditions (the point of the refactor, not noise
+  # margins): the indexed matchmaker must beat the full scan it replaced
+  # (speedup > 1 in wall time AND in symmetric_match evaluations), a warn
+  # brownout must shed ONLY below-floor tenants, and WRR dispatch across
+  # the equal-weight survivors must stay fair (Jain >= 0.9). The submit
+  # p99 is additionally held to 2x the committed BENCH_frontdoor.json (a
+  # wall-clock number, so the slack is wide); the fresh numbers overwrite
+  # the JSON so an intentional change is committed with its cause.
+  cmake -B build-ci -S . \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DTDP_WERROR=ON
+  cmake --build build-ci -j"$(nproc)" --target bench_frontdoor
+  local baseline=""
+  if [[ -f BENCH_frontdoor.json ]]; then
+    baseline="$(cat BENCH_frontdoor.json)"
+  fi
+  ./build-ci/bench/bench_frontdoor --benchmark_filter='^$'
+  TDP_FRONTDOOR_BASELINE="$baseline" python3 - <<'EOF'
+import json, os, sys
+fresh = json.load(open("BENCH_frontdoor.json"))
+submit, match, shed = fresh["submit"], fresh["match"], fresh["shed"]
+print(f"bench-frontdoor: submit p99 {submit['p99_us']:.1f}us "
+      f"({submit['jobs']} jobs, {submit['tenants']} tenants)")
+print(f"bench-frontdoor: match cycle indexed {match['indexed_cycle_ms']:.2f}ms "
+      f"vs full {match['full_cycle_ms']:.2f}ms "
+      f"({match['speedup_time']:.1f}x time, {match['speedup_evals']:.1f}x evals)")
+print(f"bench-frontdoor: shed {shed['shed_jobs']}/{shed['expected_shed']}, "
+      f"misdirected {shed['misdirected_shed']}, jain {shed['survivor_jain']:.3f}")
+failed = False
+if match["speedup_time"] <= 1.0 or match["speedup_evals"] <= 1.0:
+    print("bench-frontdoor: FAIL - indexed matchmaker does not beat the full scan")
+    failed = True
+if shed["shed_jobs"] != shed["expected_shed"] or shed["misdirected_shed"] != 0:
+    print("bench-frontdoor: FAIL - brownout shed the wrong jobs")
+    failed = True
+if shed["survivor_jain"] < 0.9:
+    print("bench-frontdoor: FAIL - WRR dispatch unfair across surviving tenants")
+    failed = True
+raw = os.environ.get("TDP_FRONTDOOR_BASELINE", "")
+if raw:
+    base = json.loads(raw)
+    ceiling = base["submit"]["p99_us"] * 2.0
+    if submit["p99_us"] > ceiling:
+        print(f"bench-frontdoor: FAIL - submit p99 rose to {submit['p99_us']:.1f}us "
+              f"(baseline {base['submit']['p99_us']:.1f}us, ceiling {ceiling:.1f}us)")
+        failed = True
+sys.exit(1 if failed else 0)
+EOF
+}
+
 find_tool() {
   # Prefer an unversioned binary, then recent versioned ones.
   local base="$1" candidate
@@ -367,7 +438,8 @@ case "${1:-release}" in
   bench-wire) run_bench_wire ;;
   bench-scale) run_bench_scale ;;
   bench-flightrec) run_bench_flightrec ;;
-  all)        run_release; run_tsan; run_asan; run_chaos; run_analyze; run_bench; run_bench_wire; run_bench_scale; run_bench_flightrec ;;
+  bench-frontdoor) run_bench_frontdoor ;;
+  all)        run_release; run_tsan; run_asan; run_chaos; run_analyze; run_bench; run_bench_wire; run_bench_scale; run_bench_flightrec; run_bench_frontdoor ;;
   *) echo "usage: $0 [release|tsan|asan|chaos|chaos-kill|analyze|bench|bench-wire|bench-scale|bench-flightrec|all]" >&2
      exit 2 ;;
 esac

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <thread>
 #include <vector>
 
@@ -36,6 +37,12 @@ telemetry::Counter& reconnects_counter() {
   return c;
 }
 
+telemetry::Counter& busy_counter() {
+  static telemetry::Counter& c =
+      telemetry::Registry::instance().counter("attrclient.busy_replies");
+  return c;
+}
+
 // Round-trip latency, sampled only for traced calls (a span active on the
 // calling thread); the untraced hot path pays one counter add.
 telemetry::Histogram& call_histogram() {
@@ -64,13 +71,27 @@ void adopt_reply_trace(const Message& reply) {
 }
 
 Status status_from_reply(const Message& reply) {
-  if (reply.get(field::kStatus) == "ok") return Status::ok();
+  const std::string status = reply.get(field::kStatus);
+  if (status == "ok") return Status::ok();
+  if (status == "busy") {
+    // Backpressure, not failure: the server shed the request and computed
+    // how long we should stay away. Encode the hint in the message so a
+    // caller that does not retry in-library can still honor it.
+    return make_error(ErrorCode::kBusy,
+                      "server busy; " + std::string(field::kRetryAfterMs) +
+                          "=" + reply.get(field::kRetryAfterMs, "0"));
+  }
   const std::string error = reply.get(field::kError, "unknown server error");
   // Preserve NOT_FOUND so callers can distinguish absence from failure.
   ErrorCode code = error.find("NOT_FOUND") != std::string::npos
                        ? ErrorCode::kNotFound
                        : ErrorCode::kInternal;
   return make_error(code, error);
+}
+
+/// True when the reply is a served-but-shed backpressure answer.
+bool reply_is_busy(const Message& reply) {
+  return reply.get(field::kStatus) == "busy";
 }
 
 /// Distinct per client instance in this process; combined with a counter
@@ -81,6 +102,36 @@ std::uint64_t make_batch_nonce(const void* self) {
          (reinterpret_cast<std::uintptr_t>(self) >> 4);
 }
 }  // namespace
+
+int backoff_delay_ms(const RetryPolicy& policy, int attempt, int server_hint_ms,
+                     Rng& jitter) {
+  if (server_hint_ms > 0) {
+    return server_hint_ms +
+           static_cast<int>(jitter.next_below(
+               static_cast<std::uint64_t>(server_hint_ms / 2 + 1)));
+  }
+  // base << (attempt-1) is UB once attempt exceeds the int width; beyond
+  // shift 20 the doubled value exceeds any sane max_backoff_ms anyway, so
+  // clamping the exponent preserves the curve and removes the UB.
+  const int shift = std::clamp(attempt - 1, 0, 20);
+  const std::int64_t doubled =
+      static_cast<std::int64_t>(std::max(0, policy.base_backoff_ms)) << shift;
+  const int backoff = static_cast<int>(
+      std::min<std::int64_t>(std::max(0, policy.max_backoff_ms), doubled));
+  if (backoff <= 0) return 0;
+  // Half deterministic, half jitter, so a herd of daemons retrying against
+  // one server spreads out instead of stampeding.
+  return backoff / 2 + static_cast<int>(jitter.next_below(
+                           static_cast<std::uint64_t>(backoff / 2 + 1)));
+}
+
+int retry_after_hint_ms(const Status& status) {
+  if (status.code() != ErrorCode::kBusy) return 0;
+  const std::string key = std::string(field::kRetryAfterMs) + "=";
+  const std::size_t at = status.message().find(key);
+  if (at == std::string::npos) return 0;
+  return std::atoi(status.message().c_str() + at + key.size());
+}
 
 AttrClient::AttrClient(std::unique_ptr<net::Endpoint> endpoint, std::string context)
     : context_(std::move(context)), batch_nonce_(make_batch_nonce(this)),
@@ -97,12 +148,8 @@ Result<std::unique_ptr<AttrClient>> AttrClient::connect(net::Transport& transpor
   Status last = make_error(ErrorCode::kConnectionError, "not attempted");
   for (int attempt = 0; attempt < attempts; ++attempt) {
     if (attempt > 0) {
-      int backoff = std::min(retry.max_backoff_ms,
-                             retry.base_backoff_ms << (attempt - 1));
+      const int backoff = backoff_delay_ms(retry, attempt, 0, jitter);
       if (backoff > 0) {
-        backoff = backoff / 2 +
-                  static_cast<int>(jitter.next_below(
-                      static_cast<std::uint64_t>(backoff / 2 + 1)));
         std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
       }
     }
@@ -203,14 +250,8 @@ bool AttrClient::can_reconnect_locked() const {
 Status AttrClient::reconnect_locked() {
   Status last = make_error(ErrorCode::kConnectionError, "reconnect not attempted");
   for (int attempt = 1; attempt <= retry_.max_reconnects; ++attempt) {
-    int backoff =
-        std::min(retry_.max_backoff_ms, retry_.base_backoff_ms << (attempt - 1));
+    const int backoff = backoff_delay_ms(retry_, attempt, 0, backoff_rng_);
     if (backoff > 0) {
-      // Half deterministic, half jitter, so a herd of daemons redialing a
-      // restarted server spreads out instead of stampeding.
-      backoff = backoff / 2 +
-                static_cast<int>(backoff_rng_.next_below(
-                    static_cast<std::uint64_t>(backoff / 2 + 1)));
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
     }
     auto connected = transport_->connect(address_);
@@ -472,11 +513,44 @@ Status AttrClient::subscribe(const std::string& pattern, NotifyCallback callback
 Result<Message> AttrClient::call(Message request, int timeout_ms) {
   calls_counter().inc();
   const bool traced = telemetry::current_context().valid();
+  const Clock& wall = RealClock::instance();
   const Micros start = traced ? telemetry::Tracer::instance().now() : 0;
-  Result<Message> result = [&] {
-    LockGuard lock(mutex_);
-    return call_locked(std::move(request), timeout_ms);
-  }();
+  const bool has_deadline = timeout_ms >= 0;
+  const Micros deadline =
+      wall.now_micros() + static_cast<Micros>(timeout_ms) * 1000;
+  Result<Message> result =
+      make_error(ErrorCode::kInternal, "call not attempted");
+  for (int busy_attempt = 1;; ++busy_attempt) {
+    int delay_ms = 0;
+    {
+      LockGuard lock(mutex_);
+      int remaining_ms = timeout_ms;
+      if (has_deadline) {
+        remaining_ms = static_cast<int>(
+            std::max<Micros>(0, deadline - wall.now_micros()) / 1000);
+      }
+      result = call_locked(request, remaining_ms);
+      if (!result.is_ok() || !reply_is_busy(result.value())) break;
+      busy_counter().inc();
+      const int hint_ms =
+          static_cast<int>(result->get_int(field::kRetryAfterMs, 0));
+      if (!retry_.enabled || !retry_.honor_retry_after ||
+          busy_attempt > retry_.max_reconnects ||
+          (has_deadline && wall.now_micros() >= deadline)) {
+        break;  // surface the busy reply; status_from_reply maps it to kBusy
+      }
+      delay_ms = backoff_delay_ms(retry_, busy_attempt, hint_ms, backoff_rng_);
+      if (has_deadline) {
+        delay_ms = static_cast<int>(std::min<Micros>(
+            delay_ms, std::max<Micros>(0, deadline - wall.now_micros()) / 1000));
+      }
+    }
+    // Wait out the server's retry-after hint OUTSIDE the client lock: other
+    // threads keep using the client, and blocking stays off the lock graph.
+    if (delay_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    }
+  }
   if (traced) {
     call_histogram().record(static_cast<std::uint64_t>(
         std::max<Micros>(0, telemetry::Tracer::instance().now() - start)));

@@ -31,6 +31,10 @@ inline constexpr const char* kValPrefix = "v";
 /// Client-unique id on a kAttrPutBatch; the server remembers recent ids and
 /// acks a replayed batch without applying it twice (retry idempotency).
 inline constexpr const char* kBatchId = "bid";
+/// Server-computed backpressure hint on a status="busy" reply: how long the
+/// client should wait (milliseconds) before retrying the request. The
+/// client adds jitter on top so a herd of hinted clients desynchronizes.
+inline constexpr const char* kRetryAfterMs = "retry_after_ms";
 }  // namespace field
 
 /// Attribute-name prefix under which every daemon self-publishes its

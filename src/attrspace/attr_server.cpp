@@ -169,6 +169,35 @@ bool AttrServer::remember_batch(const std::string& batch_id) {
   return true;
 }
 
+int AttrServer::admit_write() {
+  if (!admission_.enabled) return 0;
+  // Same lock-free discipline as the batch window: only the I/O thread
+  // touches the bucket, so admission adds zero lock traffic to the hot path.
+  assert_io_thread();
+  const Micros now = admission_.clock->now_micros();
+  if (admission_refill_at_ == 0) admission_refill_at_ = now;
+  if (now > admission_refill_at_) {
+    const double elapsed_s =
+        static_cast<double>(now - admission_refill_at_) / 1e6;
+    admission_tokens_ = std::min(admission_.burst,
+                                 admission_tokens_ +
+                                     elapsed_s * admission_.puts_per_sec);
+    admission_refill_at_ = now;
+  }
+  if (admission_tokens_ >= 1.0) {
+    admission_tokens_ -= 1.0;
+    return 0;
+  }
+  busy_replies_.fetch_add(1, std::memory_order_relaxed);
+  // Hint = time until one whole token refills at the sustained rate. The
+  // hint paces the herd; the client layers jitter on top of it.
+  const double deficit = 1.0 - admission_tokens_;
+  const double rate =
+      admission_.puts_per_sec > 0.0 ? admission_.puts_per_sec : 1.0;
+  const int hint_ms = static_cast<int>(deficit * 1000.0 / rate) + 1;
+  return std::max(admission_.min_retry_after_ms, hint_ms);
+}
+
 void AttrServer::teardown(Connection& conn) {
   // Cancel this client's watchers so their callbacks never touch a dead
   // endpoint, then treat unclosed inits as implicit tdp_exit (the daemon
@@ -251,6 +280,14 @@ void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
     }
 
     case MsgType::kAttrPut: {
+      if (const int retry_after_ms = admit_write(); retry_after_ms > 0) {
+        Message reply(MsgType::kAttrPutReply);
+        reply.set_seq(seq);
+        reply.set(field::kStatus, "busy");
+        reply.set_int(field::kRetryAfterMs, retry_after_ms);
+        endpoint->send(std::move(reply));
+        break;
+      }
       Status status = store_.put(context, msg.get(field::kAttribute),
                                  std::string(msg.get(field::kValue)),
                                  std::string(trace_header));
@@ -259,6 +296,14 @@ void AttrServer::handle_message(const MessageView& msg, Connection& conn) {
     }
 
     case MsgType::kAttrPutBatch: {
+      if (const int retry_after_ms = admit_write(); retry_after_ms > 0) {
+        Message reply(MsgType::kAttrPutReply);
+        reply.set_seq(seq);
+        reply.set(field::kStatus, "busy");
+        reply.set_int(field::kRetryAfterMs, retry_after_ms);
+        endpoint->send(std::move(reply));
+        break;
+      }
       // A batch id already in the recent window means the ack was lost and
       // the client replayed: acknowledge without applying again.
       const std::string batch_id(msg.get(field::kBatchId));

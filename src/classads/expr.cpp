@@ -202,6 +202,8 @@ class LiteralExpr final : public Expr {
   Value evaluate(const EvalContext&) const override { return value_; }
   std::string to_string() const override { return value_.to_string(); }
 
+  const Value& value() const noexcept { return value_; }
+
  private:
   Value value_;
 };
@@ -223,6 +225,9 @@ class AttrRefExpr final : public Expr {
     }
     return name_;
   }
+
+  Scope scope() const noexcept { return scope_; }
+  const std::string& name() const noexcept { return name_; }
 
  private:
   Scope scope_;
@@ -267,6 +272,10 @@ class BinaryExpr final : public Expr {
   std::string to_string() const override {
     return "(" + lhs_->to_string() + " " + op_name() + " " + rhs_->to_string() + ")";
   }
+
+  Tok op() const noexcept { return op_; }
+  const ExprPtr& lhs() const noexcept { return lhs_; }
+  const ExprPtr& rhs() const noexcept { return rhs_; }
 
  private:
   const char* op_name() const {
@@ -824,6 +833,59 @@ Result<Value> evaluate_standalone(const std::string& source) {
   if (!expr.is_ok()) return expr.status();
   EvalContext context;
   return expr.value()->evaluate(context);
+}
+
+namespace {
+
+/// Walks the top-level && spine; a node that is neither && nor an
+/// extractable equality is simply skipped (it still gets evaluated by the
+/// full symmetric_match — extraction only prunes, never decides).
+void collect_equalities(const ExprPtr& expr, std::vector<IndexableEq>& out) {
+  const auto* binary = dynamic_cast<const BinaryExpr*>(expr.get());
+  if (binary == nullptr) return;
+  if (binary->op() == Tok::kAnd) {
+    collect_equalities(binary->lhs(), out);
+    collect_equalities(binary->rhs(), out);
+    return;
+  }
+  if (binary->op() != Tok::kEq) return;
+  const auto* lhs_ref = dynamic_cast<const AttrRefExpr*>(binary->lhs().get());
+  const auto* rhs_ref = dynamic_cast<const AttrRefExpr*>(binary->rhs().get());
+  const auto* lhs_lit = dynamic_cast<const LiteralExpr*>(binary->lhs().get());
+  const auto* rhs_lit = dynamic_cast<const LiteralExpr*>(binary->rhs().get());
+  const AttrRefExpr* ref = nullptr;
+  const LiteralExpr* lit = nullptr;
+  if (lhs_ref != nullptr && rhs_lit != nullptr) {
+    ref = lhs_ref;
+    lit = rhs_lit;
+  } else if (rhs_ref != nullptr && lhs_lit != nullptr) {
+    ref = rhs_ref;
+    lit = lhs_lit;
+  } else {
+    return;
+  }
+  // MY.attr always resolves on the evaluating ad — no candidate constraint.
+  if (ref->scope() == Scope::kMy) return;
+  if (lit->value().is_undefined() || lit->value().is_error()) return;
+  IndexableEq eq;
+  eq.attribute = str::to_lower(ref->name());
+  eq.target_scoped = ref->scope() == Scope::kTarget;
+  eq.value = lit->value();
+  out.push_back(std::move(eq));
+}
+
+}  // namespace
+
+std::vector<IndexableEq> indexable_equalities(const ExprPtr& expr) {
+  std::vector<IndexableEq> out;
+  if (expr != nullptr) collect_equalities(expr, out);
+  return out;
+}
+
+std::optional<Value> literal_value(const ExprPtr& expr) {
+  const auto* literal = dynamic_cast<const LiteralExpr*>(expr.get());
+  if (literal == nullptr) return std::nullopt;
+  return literal->value();
 }
 
 }  // namespace tdp::classads

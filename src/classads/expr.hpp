@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -54,5 +55,31 @@ Result<ExprPtr> parse_expr(const std::string& source);
 
 /// Convenience: parse + evaluate without a target ad.
 Result<Value> evaluate_standalone(const std::string& source);
+
+/// One `attr == literal` conjunct from the top-level && spine of an
+/// expression, usable as an index probe during matchmaking: if the whole
+/// expression evaluates TRUE, every such conjunct evaluated TRUE (a false
+/// or undefined conjunct can never be &&-ed into TRUE), so candidates can
+/// be pruned to the ads whose `attr` equals `value` without changing any
+/// match outcome.
+struct IndexableEq {
+  std::string attribute;       ///< canonical (lower-case) attribute name
+  /// Written TARGET.attr — always resolves on the candidate ad. A bare
+  /// name resolves MY-first: it only constrains the candidate when the
+  /// evaluating ad lacks the attribute (the caller must check).
+  bool target_scoped = false;
+  Value value;                 ///< the literal compared against
+};
+
+/// Harvests every indexable equality from `expr` (empty for non-&& shapes,
+/// MY.-scoped references, or non-literal operands — those just fall back
+/// to a full scan).
+[[nodiscard]] std::vector<IndexableEq> indexable_equalities(const ExprPtr& expr);
+
+/// The value of a literal node (an attribute bound to a constant), or
+/// nullopt for any computed expression. Index keys may only be built from
+/// literals: a computed value could evaluate differently once a TARGET is
+/// in scope.
+[[nodiscard]] std::optional<Value> literal_value(const ExprPtr& expr);
 
 }  // namespace tdp::classads

@@ -1,0 +1,445 @@
+#include "condor/frontdoor.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/string_util.hpp"
+
+namespace tdp::condor {
+
+namespace {
+
+/// "key=<number>" with the whole value consumed, as in health.cpp's
+/// threshold parser.
+Result<double> parse_kv_number(std::string_view token, std::string_view key) {
+  if (token.size() <= key.size() + 1 || token.substr(0, key.size()) != key ||
+      token[key.size()] != '=') {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "expected " + std::string(key) + "=<number>, got '" +
+                          std::string(token) + "'");
+  }
+  const std::string number(token.substr(key.size() + 1));
+  char* end = nullptr;
+  const double value = std::strtod(number.c_str(), &end);
+  if (end == number.c_str() || *end != '\0') {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "bad number for " + std::string(key) + ": " + number);
+  }
+  return value;
+}
+
+/// Applies one "key=value" token to a tenant policy.
+Status apply_tenant_key(TenantPolicy& policy, std::string_view token) {
+  const std::size_t eq = token.find('=');
+  const std::string_view key =
+      eq == std::string_view::npos ? token : token.substr(0, eq);
+  auto number = parse_kv_number(token, key);
+  if (!number.is_ok()) return number.status();
+  const double v = *number;
+  if (key == "rate") {
+    if (v <= 0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "rate must be > 0, got " + std::string(token));
+    }
+    policy.rate = v;
+  } else if (key == "burst") {
+    if (v < 1) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "burst must be >= 1, got " + std::string(token));
+    }
+    policy.burst = v;
+  } else if (key == "depth") {
+    if (v < 1) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "depth must be >= 1, got " + std::string(token));
+    }
+    policy.depth = static_cast<int>(v);
+  } else if (key == "weight") {
+    if (v < 1) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "weight must be >= 1, got " + std::string(token));
+    }
+    policy.weight = static_cast<int>(v);
+  } else if (key == "priority") {
+    policy.priority = static_cast<int>(v);
+  } else if (key == "quota") {
+    if (v < 0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "quota must be >= 0 (0 = unlimited), got " +
+                            std::string(token));
+    }
+    policy.quota = static_cast<int>(v);
+  } else {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "unknown tenant key '" + std::string(key) + "'");
+  }
+  return Status::ok();
+}
+
+/// Applies one "key=value" token to the brownout policy.
+Status apply_brownout_key(BrownoutPolicy& policy, std::string_view token) {
+  const std::size_t eq = token.find('=');
+  const std::string_view key =
+      eq == std::string_view::npos ? token : token.substr(0, eq);
+  auto number = parse_kv_number(token, key);
+  if (!number.is_ok()) return number.status();
+  const double v = *number;
+  if (key == "warn-floor") {
+    policy.warn_floor = static_cast<int>(v);
+  } else if (key == "critical-floor") {
+    policy.critical_floor = static_cast<int>(v);
+  } else if (key == "exit-after") {
+    if (v < 1) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "exit-after must be >= 1, got " + std::string(token));
+    }
+    policy.exit_after = static_cast<int>(v);
+  } else if (key == "dwell-ms") {
+    if (v < 0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "dwell-ms must be >= 0, got " + std::string(token));
+    }
+    policy.dwell_ms = static_cast<int>(v);
+  } else if (key == "busy-retry-ms") {
+    if (v < 1) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "busy-retry-ms must be >= 1, got " + std::string(token));
+    }
+    policy.busy_retry_ms = static_cast<int>(v);
+  } else if (key == "shed-retry-ms") {
+    if (v < 1) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "shed-retry-ms must be >= 1, got " + std::string(token));
+    }
+    policy.shed_retry_ms = static_cast<int>(v);
+  } else {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "unknown brownout key '" + std::string(key) + "'");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+Result<FrontDoorConfig> parse_frontdoor_config(
+    const std::vector<std::string>& lines) {
+  FrontDoorConfig config;
+  for (const std::string& raw : lines) {
+    const std::string line = str::trim(raw);
+    if (line.empty() || line[0] == '#') continue;
+
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "front-door line needs '<head>: ...': " + line);
+    }
+    const std::string head = str::trim(line.substr(0, colon));
+
+    std::istringstream rest{line.substr(colon + 1)};
+    std::vector<std::string> tokens;
+    for (std::string token; rest >> token;) tokens.push_back(std::move(token));
+
+    if (head == "brownout") {
+      for (const std::string& token : tokens) {
+        Status applied = apply_brownout_key(config.brownout, token);
+        if (!applied.is_ok()) return applied;
+      }
+      continue;
+    }
+
+    TenantPolicy policy = config.default_policy;
+    if (head == kDefaultTenant) {
+      policy.name = kDefaultTenant;
+      for (const std::string& token : tokens) {
+        Status applied = apply_tenant_key(policy, token);
+        if (!applied.is_ok()) return applied;
+      }
+      config.default_policy = policy;
+      continue;
+    }
+
+    std::istringstream head_words{head};
+    std::string kind, name, extra;
+    head_words >> kind >> name;
+    if (kind != "tenant" || name.empty() || (head_words >> extra)) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "front-door line wants 'tenant <name>: ...', "
+                        "'default: ...' or 'brownout: ...': " + line);
+    }
+    if (config.tenants.count(name) != 0) {
+      return make_error(ErrorCode::kInvalidArgument,
+                        "duplicate tenant '" + name + "'");
+    }
+    policy.name = name;
+    for (const std::string& token : tokens) {
+      Status applied = apply_tenant_key(policy, token);
+      if (!applied.is_ok()) return applied;
+    }
+    config.tenants.emplace(name, std::move(policy));
+  }
+  if (config.brownout.critical_floor < config.brownout.warn_floor) {
+    return make_error(ErrorCode::kInvalidArgument,
+                      "critical-floor must shed at least as much as "
+                      "warn-floor");
+  }
+  if (config.default_policy.name.empty()) {
+    config.default_policy.name = kDefaultTenant;
+  }
+  return config;
+}
+
+std::string tenant_of(const JobDescription& description) {
+  for (const auto& [key, value] : description.custom_attributes) {
+    if (str::to_lower(key) != "tenant") continue;
+    std::string tenant = str::trim(value);
+    // Submit files keep string values quoted ("acme"); strip that.
+    if (tenant.size() >= 2 && tenant.front() == '"' && tenant.back() == '"') {
+      tenant = tenant.substr(1, tenant.size() - 2);
+    }
+    if (!tenant.empty()) return tenant;
+  }
+  return kDefaultTenant;
+}
+
+const char* brownout_state_name(BrownoutState state) noexcept {
+  switch (state) {
+    case BrownoutState::kNormal: return "normal";
+    case BrownoutState::kWarnBrownout: return "warn-brownout";
+    case BrownoutState::kCriticalBrownout: return "critical-brownout";
+  }
+  return "?";
+}
+
+FrontDoor::FrontDoor(FrontDoorConfig config, const Clock* clock)
+    : config_(std::move(config)), clock_(clock) {
+  if (config_.default_policy.name.empty()) {
+    config_.default_policy.name = kDefaultTenant;
+  }
+}
+
+const TenantPolicy& FrontDoor::policy_locked(const std::string& tenant) const {
+  auto it = config_.tenants.find(tenant);
+  return it == config_.tenants.end() ? config_.default_policy : it->second;
+}
+
+TenantPolicy FrontDoor::policy(const std::string& tenant) const {
+  LockGuard lock(mutex_);
+  TenantPolicy policy = policy_locked(tenant);
+  policy.name = tenant;
+  return policy;
+}
+
+Admission FrontDoor::admit(const std::string& tenant, std::size_t queued_depth,
+                           std::size_t active) {
+  LockGuard lock(mutex_);
+  const TenantPolicy& policy = policy_locked(tenant);
+  TenantCounters& counters = counters_[tenant];
+  Admission result;
+
+  // Shed checks come first: a shed tenant must not drain its own bucket
+  // (the tokens should be full when the brownout lifts).
+  const int floor = state_ == BrownoutState::kNormal ? 0
+                    : state_ == BrownoutState::kWarnBrownout
+                        ? config_.brownout.warn_floor
+                        : config_.brownout.critical_floor;
+  if (state_ != BrownoutState::kNormal && policy.priority < floor) {
+    ++counters.shed;
+    result.verdict = Admission::Verdict::kShed;
+    result.retry_after_ms = config_.brownout.shed_retry_ms;
+    result.reason = "tenant shed: " + std::string(brownout_state_name(state_)) +
+                    " floor=" + std::to_string(floor);
+    return result;
+  }
+
+  if (queued_depth >= static_cast<std::size_t>(policy.depth)) {
+    ++counters.busy;
+    result.verdict = Admission::Verdict::kBusy;
+    result.retry_after_ms = config_.brownout.busy_retry_ms;
+    result.reason = "queue depth limit " + std::to_string(policy.depth);
+    return result;
+  }
+  if (policy.quota > 0 && active >= static_cast<std::size_t>(policy.quota)) {
+    ++counters.busy;
+    result.verdict = Admission::Verdict::kBusy;
+    result.retry_after_ms = config_.brownout.busy_retry_ms;
+    result.reason = "in-flight quota " + std::to_string(policy.quota);
+    return result;
+  }
+
+  const Micros now = clock_->now_micros();
+  auto [it, fresh] = buckets_.try_emplace(tenant);
+  Bucket& bucket = it->second;
+  if (fresh) {
+    bucket.tokens = policy.burst;  // a new tenant starts with a full burst
+    bucket.refilled_at = now;
+  } else if (now > bucket.refilled_at) {
+    const double elapsed_s =
+        static_cast<double>(now - bucket.refilled_at) / 1e6;
+    bucket.tokens = std::min(policy.burst,
+                             bucket.tokens + elapsed_s * policy.rate);
+    bucket.refilled_at = now;
+  }
+  if (bucket.tokens < 1.0) {
+    ++counters.busy;
+    result.verdict = Admission::Verdict::kBusy;
+    // Hint = time until one whole token refills at the sustained rate; the
+    // client layers jitter on top so the herd desynchronizes.
+    result.retry_after_ms = std::max(
+        1, static_cast<int>((1.0 - bucket.tokens) * 1000.0 / policy.rate) + 1);
+    result.reason = "rate limit " + std::to_string(policy.rate) + "/s";
+    return result;
+  }
+  bucket.tokens -= 1.0;
+
+  if (state_ != BrownoutState::kNormal) {
+    ++counters.best_effort;
+    result.verdict = Admission::Verdict::kAdmitBestEffort;
+    return result;
+  }
+  ++counters.admitted;
+  return result;
+}
+
+HealthTransition FrontDoor::on_health(health::Severity severity) {
+  LockGuard lock(mutex_);
+  HealthTransition transition;
+  const Micros now = clock_->now_micros();
+
+  if (severity == health::Severity::kOk) {
+    if (state_ != BrownoutState::kNormal) {
+      ++ok_streak_;
+      const bool dwelled =
+          now - entered_at_ >=
+          static_cast<Micros>(config_.brownout.dwell_ms) * 1000;
+      if (ok_streak_ >= config_.brownout.exit_after && dwelled) {
+        state_ = BrownoutState::kNormal;
+        ok_streak_ = 0;
+        transition.exited = true;
+      }
+    }
+  } else {
+    ok_streak_ = 0;
+    const BrownoutState target = severity == health::Severity::kCritical
+                                     ? BrownoutState::kCriticalBrownout
+                                     : BrownoutState::kWarnBrownout;
+    // Escalation is immediate; de-escalation (critical -> warn verdicts)
+    // keeps the deeper state until a full ok-streak exit, so the shed set
+    // only ever grows within one brownout episode.
+    if (target > state_) {
+      if (state_ == BrownoutState::kNormal) ++entries_;
+      entered_at_ = now;  // escalating re-arms the dwell
+      state_ = target;
+      transition.entered = true;
+    }
+  }
+
+  transition.state = state_;
+  transition.shed_floor = state_ == BrownoutState::kNormal ? 0
+                          : state_ == BrownoutState::kWarnBrownout
+                              ? config_.brownout.warn_floor
+                              : config_.brownout.critical_floor;
+  return transition;
+}
+
+BrownoutState FrontDoor::state() const {
+  LockGuard lock(mutex_);
+  return state_;
+}
+
+int FrontDoor::shed_floor() const {
+  LockGuard lock(mutex_);
+  switch (state_) {
+    case BrownoutState::kNormal: return 0;
+    case BrownoutState::kWarnBrownout: return config_.brownout.warn_floor;
+    case BrownoutState::kCriticalBrownout:
+      return config_.brownout.critical_floor;
+  }
+  return 0;
+}
+
+bool FrontDoor::is_shed(const std::string& tenant) const {
+  LockGuard lock(mutex_);
+  if (state_ == BrownoutState::kNormal) return false;
+  const int floor = state_ == BrownoutState::kWarnBrownout
+                        ? config_.brownout.warn_floor
+                        : config_.brownout.critical_floor;
+  return policy_locked(tenant).priority < floor;
+}
+
+TenantCounters FrontDoor::counters(const std::string& tenant) const {
+  LockGuard lock(mutex_);
+  auto it = counters_.find(tenant);
+  return it == counters_.end() ? TenantCounters{} : it->second;
+}
+
+std::vector<std::string> FrontDoor::seen_tenants() const {
+  LockGuard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) names.push_back(name);
+  return names;
+}
+
+std::uint64_t FrontDoor::brownout_entries() const {
+  LockGuard lock(mutex_);
+  return entries_;
+}
+
+void WrrQueues::push(const std::string& tenant, int weight, JobId id) {
+  if (!queued_.insert(id).second) return;
+  Lane& lane = lanes_[tenant];
+  lane.weight = std::max(1, weight);
+  lane.jobs.push_back(id);
+}
+
+void WrrQueues::erase(JobId id) {
+  if (queued_.erase(id) == 0) return;
+  for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+    auto& jobs = it->second.jobs;
+    auto pos = std::find(jobs.begin(), jobs.end(), id);
+    if (pos != jobs.end()) {
+      jobs.erase(pos);
+      if (jobs.empty()) lanes_.erase(it);
+      return;
+    }
+  }
+}
+
+std::size_t WrrQueues::tenant_depth(const std::string& tenant) const {
+  auto it = lanes_.find(tenant);
+  return it == lanes_.end() ? 0 : it->second.jobs.size();
+}
+
+std::vector<JobId> WrrQueues::pop_round(std::size_t limit) {
+  std::vector<JobId> out;
+  if (limit == 0 || queued_.empty()) return out;
+  while (out.size() < limit && !queued_.empty()) {
+    bool popped_any = false;
+    auto it = lanes_.lower_bound(cursor_);
+    for (std::size_t visited = 0, n = lanes_.size();
+         visited < n && out.size() < limit; ++visited) {
+      if (it == lanes_.end()) it = lanes_.begin();
+      Lane& lane = it->second;
+      for (int k = 0; k < lane.weight && !lane.jobs.empty(); ++k) {
+        out.push_back(lane.jobs.front());
+        queued_.erase(lane.jobs.front());
+        lane.jobs.pop_front();
+        popped_any = true;
+        if (out.size() >= limit) break;
+      }
+      ++it;
+      // The next round resumes at the lane after the last one served, so
+      // no tenant is systematically first.
+      cursor_ = it == lanes_.end() ? std::string() : it->first;
+    }
+    if (!popped_any) break;
+  }
+  // Drop drained lanes; weight re-arrives with the next push.
+  for (auto it = lanes_.begin(); it != lanes_.end();) {
+    it = it->second.jobs.empty() ? lanes_.erase(it) : std::next(it);
+  }
+  return out;
+}
+
+}  // namespace tdp::condor

@@ -1,0 +1,232 @@
+// frontdoor.hpp - the schedd's multi-tenant admission layer (PR 10).
+//
+// Condor's schedd accepts every submit and lets the queue grow without
+// bound; under a submit storm the daemon melts exactly when the pool needs
+// it most. The front door puts an explicit admission decision in front of
+// the queue:
+//
+//   * every job belongs to a tenant (the +Tenant submit attribute; jobs
+//     without one share the "default" tenant);
+//   * each tenant has a token-bucket submit rate, a bounded queue depth
+//     and an in-flight quota, declared in a one-line grammar like the
+//     health rules (util/health.hpp):
+//
+//       tenant <name>: rate=<r/s> burst=<b> depth=<d> weight=<w>
+//                      priority=<p> quota=<q>
+//       default: rate=... (policy for tenants with no line of their own)
+//       brownout: warn-floor=<p> critical-floor=<p> exit-after=<n>
+//                 dwell-ms=<ms> busy-retry-ms=<ms> shed-retry-ms=<ms>
+//
+//   * an over-limit submit is refused with kBusy plus a server-computed
+//     retry-after hint (the client's RetryPolicy honors it with jitter —
+//     explicit backpressure instead of unbounded queueing);
+//   * the health engine's verdict (PR 9) drives a brownout state machine:
+//     warn/critical shed the lowest-priority tenants first (priority below
+//     the configured floor), degrade everything else to best-effort, and
+//     recover with hysteresis (a consecutive-ok streak plus a minimum
+//     dwell) so a flapping metric cannot flap the pool;
+//   * dispatch to the matchmaker drains per-tenant queues weighted
+//     round-robin, so one noisy tenant cannot starve the rest.
+//
+// Locking: FrontDoor::mutex_ is a strict leaf under Schedd::mutex_ —
+// admit()/on_health() compute under it and never call out (DESIGN.md §10).
+// WrrQueues is deliberately unlocked: it lives inside the Schedd and is
+// guarded by Schedd::mutex_ like the job table it indexes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "condor/job.hpp"
+#include "util/clock.hpp"
+#include "util/health.hpp"
+#include "util/status.hpp"
+#include "util/sync.hpp"
+
+namespace tdp::condor {
+
+/// Per-tenant admission policy (one `tenant <name>:` line).
+struct TenantPolicy {
+  std::string name;
+  double rate = 50.0;   ///< sustained submits/second (token refill)
+  double burst = 20.0;  ///< bucket capacity (tokens)
+  int depth = 1000;     ///< max idle jobs queued at once
+  int weight = 1;       ///< weighted-round-robin dispatch share
+  int priority = 0;     ///< brownout sheds lowest priority first
+  int quota = 0;        ///< max in-flight (matched..running) jobs; 0 = unlimited
+};
+
+/// Brownout behaviour (the `brownout:` line).
+struct BrownoutPolicy {
+  int warn_floor = 0;      ///< warn sheds tenants with priority < this
+  int critical_floor = 0;  ///< critical sheds tenants with priority < this
+  int exit_after = 3;      ///< consecutive ok evaluations required to exit
+  int dwell_ms = 1000;     ///< minimum time in brownout before exit
+  int busy_retry_ms = 50;  ///< retry-after hint for depth/quota refusals
+  int shed_retry_ms = 500; ///< retry-after hint for shed-tenant refusals
+};
+
+/// The parsed configuration: named tenants, the policy tenants without a
+/// line inherit, and the brownout behaviour.
+struct FrontDoorConfig {
+  std::map<std::string, TenantPolicy> tenants;
+  TenantPolicy default_policy;
+  BrownoutPolicy brownout;
+};
+
+/// Parses one `tenant <name>:` / `default:` / `brownout:` line.
+/// kInvalidArgument with a pointed message on anything malformed
+/// (unknown keys, rate <= 0, burst/depth/weight < 1, quota < 0, a
+/// critical floor below the warn floor).
+Result<FrontDoorConfig> parse_frontdoor_config(
+    const std::vector<std::string>& lines);
+
+/// The tenant a submit belongs to: the +Tenant custom attribute with
+/// submit-file quoting stripped, or "default" when absent/empty.
+[[nodiscard]] std::string tenant_of(const JobDescription& description);
+inline constexpr const char* kDefaultTenant = "default";
+
+/// Brownout depth. Ordered: comparisons like `state >= kWarnBrownout`
+/// mean "shedding at least the warn floor".
+enum class BrownoutState : std::uint8_t { kNormal = 0, kWarnBrownout, kCriticalBrownout };
+[[nodiscard]] const char* brownout_state_name(BrownoutState state) noexcept;
+
+/// One admission decision.
+struct Admission {
+  enum class Verdict : std::uint8_t {
+    kAdmit = 0,       ///< queue it
+    kAdmitBestEffort, ///< queue it degraded (brownout: no quota headroom wasted)
+    kBusy,            ///< over rate/depth/quota: retry after the hint
+    kShed,            ///< tenant shed by brownout: retry after the (longer) hint
+  };
+  Verdict verdict = Verdict::kAdmit;
+  int retry_after_ms = 0;  ///< 0 when admitted
+  std::string reason;      ///< human-readable refusal cause ("" when admitted)
+
+  [[nodiscard]] bool admitted() const noexcept {
+    return verdict == Verdict::kAdmit || verdict == Verdict::kAdmitBestEffort;
+  }
+};
+
+/// What one health evaluation changed, for the schedd to act on (shedding
+/// already-queued jobs of newly shed tenants is the schedd's job — it owns
+/// the queue and the journal).
+struct HealthTransition {
+  bool entered = false;  ///< entered brownout or escalated warn -> critical
+  bool exited = false;   ///< recovered to normal (hysteresis satisfied)
+  BrownoutState state = BrownoutState::kNormal;
+  int shed_floor = 0;    ///< tenants with priority < this are shed now
+};
+
+/// Per-tenant admission counters (tdptop's front-door pane).
+struct TenantCounters {
+  std::uint64_t admitted = 0;
+  std::uint64_t best_effort = 0;
+  std::uint64_t busy = 0;  ///< rate/depth/quota refusals
+  std::uint64_t shed = 0;  ///< brownout refusals
+};
+
+/// The admission engine: token buckets, quotas and the brownout state
+/// machine. Thread-safe; the mutex is a strict leaf (Schedd::mutex_ may be
+/// held by the caller).
+class FrontDoor {
+ public:
+  explicit FrontDoor(FrontDoorConfig config,
+                     const Clock* clock = &RealClock::instance());
+
+  /// The effective policy for `tenant` (its own line or the default, with
+  /// the name filled in).
+  [[nodiscard]] TenantPolicy policy(const std::string& tenant) const;
+
+  /// Decides one submit. `queued_depth` and `active` are the tenant's
+  /// current idle-queue depth and in-flight job count, maintained by the
+  /// caller (the schedd owns the job table; the front door owns only the
+  /// policy state).
+  Admission admit(const std::string& tenant, std::size_t queued_depth,
+                  std::size_t active);
+
+  /// Feeds one health-engine verdict into the brownout state machine.
+  /// Entering (or escalating) happens immediately on warn/critical; exit
+  /// requires `exit_after` consecutive ok verdicts AND `dwell_ms` elapsed
+  /// since entry — the hysteresis that stops a flapping metric from
+  /// flapping the pool.
+  HealthTransition on_health(health::Severity severity);
+
+  [[nodiscard]] BrownoutState state() const;
+  /// Current shed floor (0 when normal: nothing shed).
+  [[nodiscard]] int shed_floor() const;
+  /// True when `tenant` is currently shed.
+  [[nodiscard]] bool is_shed(const std::string& tenant) const;
+
+  [[nodiscard]] TenantCounters counters(const std::string& tenant) const;
+  /// Tenants seen so far (admitted or refused), sorted.
+  [[nodiscard]] std::vector<std::string> seen_tenants() const;
+  /// Brownout entries so far (flap detector for tests).
+  [[nodiscard]] std::uint64_t brownout_entries() const;
+
+  [[nodiscard]] const BrownoutPolicy& brownout_policy() const noexcept {
+    return config_.brownout;
+  }
+
+ private:
+  struct Bucket {
+    double tokens = 0.0;
+    Micros refilled_at = 0;
+  };
+
+  [[nodiscard]] const TenantPolicy& policy_locked(
+      const std::string& tenant) const TDP_REQUIRES(mutex_);
+
+  FrontDoorConfig config_;  ///< immutable after construction
+  const Clock* clock_;      ///< not owned
+
+  mutable Mutex mutex_{"FrontDoor::mutex_"};
+  std::map<std::string, Bucket> buckets_ TDP_GUARDED_BY(mutex_);
+  std::map<std::string, TenantCounters> counters_ TDP_GUARDED_BY(mutex_);
+  BrownoutState state_ TDP_GUARDED_BY(mutex_) = BrownoutState::kNormal;
+  Micros entered_at_ TDP_GUARDED_BY(mutex_) = 0;
+  int ok_streak_ TDP_GUARDED_BY(mutex_) = 0;
+  std::uint64_t entries_ TDP_GUARDED_BY(mutex_) = 0;
+};
+
+/// Per-tenant FIFO queues drained weighted round-robin. Unlocked by
+/// design: owned by the Schedd and guarded by Schedd::mutex_ (annotating
+/// that here would need the container to know its owner's mutex, so the
+/// schedd simply never touches it unlocked).
+class WrrQueues {
+ public:
+  /// Queues `id` under `tenant` with the given WRR weight; a job id
+  /// already queued anywhere is not queued twice.
+  void push(const std::string& tenant, int weight, JobId id);
+
+  /// Removes `id` wherever it is queued (job removed/completed/shed).
+  void erase(JobId id);
+
+  /// Pops up to `limit` job ids, weighted round-robin across tenants: a
+  /// rotating cursor gives each tenant up to `weight` consecutive pops per
+  /// visit. Popped ids leave the queues — the caller re-pushes what the
+  /// matchmaker did not place.
+  std::vector<JobId> pop_round(std::size_t limit);
+
+  [[nodiscard]] std::size_t size() const { return queued_.size(); }
+  [[nodiscard]] bool contains(JobId id) const { return queued_.count(id) != 0; }
+  [[nodiscard]] std::size_t tenant_depth(const std::string& tenant) const;
+
+ private:
+  struct Lane {
+    int weight = 1;
+    std::deque<JobId> jobs;
+  };
+  /// map keeps lanes in deterministic (name) order; the cursor remembers
+  /// the tenant to start from so no lane is systematically favored.
+  std::map<std::string, Lane> lanes_;
+  std::set<JobId> queued_;
+  std::string cursor_;  ///< first tenant to serve next round
+};
+
+}  // namespace tdp::condor

@@ -83,6 +83,9 @@ journal::Record job_to_journal(const JobRecord& record) {
   put("failure", record.failure_reason);
   put("restarts", std::to_string(record.restarts));
   put("trace", record.trace);
+  put("tenant", record.tenant);
+  put("shed", record.shed ? "1" : "0");
+  put("best_effort", record.best_effort ? "1" : "0");
   put("universe", std::to_string(static_cast<int>(d.universe)));
   put("executable", d.executable);
   put("arguments", d.arguments);
@@ -143,6 +146,12 @@ Result<JobRecord> job_from_journal(const journal::Record& record) {
         out.restarts = static_cast<int>(as_int());
       } else if (key == "trace") {
         out.trace = value;
+      } else if (key == "tenant") {
+        out.tenant = value;
+      } else if (key == "shed") {
+        out.shed = value == "1";
+      } else if (key == "best_effort") {
+        out.best_effort = value == "1";
       } else if (key == "universe") {
         d.universe = static_cast<Universe>(as_int());
       } else if (key == "executable") {

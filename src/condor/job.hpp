@@ -105,6 +105,13 @@ struct JobRecord {
   std::string failure_reason;
   /// Times this job was requeued after a machine failure.
   int restarts = 0;
+  /// Admission tenant (PR 10): the +Tenant submit attribute, or "default".
+  std::string tenant;
+  /// True while a brownout holds this idle job out of dispatch. Flipping
+  /// the flag is journaled, so shed/unshed decisions replay exactly-once.
+  bool shed = false;
+  /// Admitted during a brownout: queued, but with no service guarantee.
+  bool best_effort = false;
   /// Serialized telemetry trace context of the submit that created this
   /// job (util/telemetry.hpp format_context). Every daemon that later
   /// touches the job - startd claim, starter launch, paradynd attach -

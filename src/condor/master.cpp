@@ -44,6 +44,12 @@ void Master::forget(const std::string& name) {
 Micros Master::backoff_micros(int attempts) {
   // attempts = consecutive attempts already made; the delay separates
   // attempt N from attempt N+1 and doubles per attempt, capped.
+  //
+  // Overflow audit (PR 10): unlike the shift form fixed in
+  // attr::backoff_delay_ms, this bounded doubling loop stops as soon as
+  // delay_ms reaches max_backoff_ms, so a huge attempt count can at most
+  // double a below-cap value once — no shift-past-width UB, no int64
+  // overflow for any sane policy (max_backoff_ms < 2^62 ms).
   std::int64_t delay_ms = policy_.base_backoff_ms;
   for (int i = 1; i < attempts && delay_ms < policy_.max_backoff_ms; ++i) {
     delay_ms *= 2;

@@ -5,12 +5,22 @@
 // matchmaker notifies the corresponding job and machine about it."
 //
 // Negotiation is cycle-based, as in Condor's negotiator: each cycle walks
-// the idle jobs in submission order, evaluates symmetric Requirements
-// against every unclaimed machine, and picks the candidate maximizing
-// (job rank, machine rank) lexicographically. The subsequent claiming
-// protocol — "either party may decide not to complete the allocation" —
-// is the schedd/startd's business; a refused claim simply returns the job
-// to the idle pool for the next cycle.
+// the idle jobs, evaluates symmetric Requirements against unclaimed
+// machines, and picks the candidate maximizing (job rank, machine rank)
+// lexicographically. The subsequent claiming protocol — "either party may
+// decide not to complete the allocation" — is the schedd/startd's
+// business; a refused claim simply returns the job to the idle pool for
+// the next cycle.
+//
+// PR 10 replaces the per-job full scan with attribute-indexed candidate
+// pruning: machine ads are indexed by their literal-valued attributes, and
+// a job whose Requirements carry `attr == literal` conjuncts (see
+// classads::indexable_equalities) only evaluates the machines in the
+// intersection of the matching index buckets — plus every machine whose
+// value for that attribute is a computed expression (those can never be
+// keyed, so they stay candidates for everything). Pruning is a strict
+// superset filter: symmetric_match still decides, so results are
+// identical to the full scan, just with far fewer evaluations.
 #pragma once
 
 #include <map>
@@ -52,14 +62,37 @@ class Matchmaker {
   struct Stats {
     std::uint64_t cycles = 0;
     std::uint64_t matches = 0;
-    std::uint64_t evaluations = 0;  ///< symmetric_match calls performed
+    std::uint64_t evaluations = 0;   ///< symmetric_match calls performed
+    std::uint64_t indexed_jobs = 0;  ///< jobs negotiated via index pruning
+    std::uint64_t pruned = 0;        ///< machine evaluations skipped by the index
   };
   [[nodiscard]] Stats stats() const;
 
+  /// Toggles index pruning (on by default). The bench's full-scan control
+  /// and a safety hatch; results are identical either way.
+  void set_indexing(bool enabled);
+
  private:
+  /// Adds `name`'s literal attributes to the inverted index (computed
+  /// attributes land in the per-attribute unindexed set).
+  void index_machine_locked(const std::string& name,
+                            const classads::ClassAd& ad) TDP_REQUIRES(mutex_);
+  void deindex_machine_locked(const std::string& name) TDP_REQUIRES(mutex_);
+
   mutable Mutex mutex_{"Matchmaker::mutex_"};
   std::map<std::string, classads::ClassAd> machines_ TDP_GUARDED_BY(mutex_);
   Stats stats_ TDP_GUARDED_BY(mutex_);
+  bool indexing_ TDP_GUARDED_BY(mutex_) = true;
+  /// attribute -> canonical value key -> machines advertising that value.
+  std::map<std::string, std::map<std::string, std::set<std::string>>> index_
+      TDP_GUARDED_BY(mutex_);
+  /// attribute -> machines whose value is a computed expression (cannot be
+  /// keyed; always candidates when that attribute is probed).
+  std::map<std::string, std::set<std::string>> unindexed_ TDP_GUARDED_BY(mutex_);
+  /// machine -> its (attribute, key) entries, "" key = unindexed set; makes
+  /// deindexing O(own attributes) instead of a full index walk.
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+      machine_keys_ TDP_GUARDED_BY(mutex_);
 };
 
 }  // namespace tdp::condor

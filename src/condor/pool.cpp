@@ -1,6 +1,7 @@
 #include "condor/pool.hpp"
 
 #include <chrono>
+#include <limits>
 #include <optional>
 #include <thread>
 
@@ -56,6 +57,19 @@ Pool::Pool(PoolConfig config) : config_(std::move(config)) {
   if (config_.enable_liveness) {
     startd_monitor_ =
         std::make_unique<lease::LeaseMonitor>(config_.startd_lease, config_.clock);
+  }
+  if (!config_.frontdoor_rules.empty()) {
+    auto parsed = parse_frontdoor_config(config_.frontdoor_rules);
+    if (parsed.is_ok()) {
+      front_door_ =
+          std::make_unique<FrontDoor>(std::move(parsed.value()), config_.clock);
+      schedd_.set_front_door(front_door_.get());
+    } else {
+      // A bad admission config must not take the pool down with it: run
+      // wide open (the seed behaviour) and say so.
+      kLog.warn("frontdoor rules rejected, admission disabled: ",
+                parsed.status().to_string());
+    }
   }
 }
 
@@ -126,6 +140,10 @@ JobId Pool::submit(const JobDescription& description) {
 
 std::vector<JobId> Pool::submit(const SubmitFile& file) { return schedd_.submit(file); }
 
+Result<JobId> Pool::try_submit(const JobDescription& description) {
+  return schedd_.try_submit(description);
+}
+
 int Pool::negotiate() {
   // Match-cycle latency: one sample per negotiation cycle (pump cadence,
   // not per-message, so always-on sampling is cheap).
@@ -141,7 +159,16 @@ int Pool::negotiate() {
     if (startd->state() != Startd::State::kUnclaimed) busy.insert(name);
   }
 
-  auto matches = matchmaker_.negotiate(schedd_.idle_job_ads(), busy);
+  // Dispatch order comes from the schedd: the whole idle queue in id
+  // order without a front door (the seed behaviour), a bounded weighted
+  // round-robin slice over the per-tenant queues with one.
+  std::size_t slice = std::numeric_limits<std::size_t>::max();
+  if (front_door_) {
+    slice = config_.dispatch_slice != 0
+                ? config_.dispatch_slice
+                : std::max<std::size_t>(64, startds_.size() * 4);
+  }
+  auto matches = matchmaker_.negotiate(schedd_.dispatch_ads(slice), busy);
   int activated = 0;
   for (const Matchmaker::Match& match : matches) {
     Startd* startd = this->startd(match.machine);
@@ -637,7 +664,13 @@ int Pool::publish_health() {
     sample.value = static_cast<std::int64_t>(orphan_requeues_);
     samples.push_back(sample);
   }
-  if (cass_) return cass_->rollup_health(per_host, "startd");
+  if (cass_) {
+    const int written = cass_->rollup_health(per_host, "startd");
+    // The tree's verdict drives brownout: warn/critical sheds, a
+    // sustained ok streak recovers (hysteresis lives in the front door).
+    schedd_.on_health(cass_->last_health_fold());
+    return written;
+  }
 
   int written = 0;
   health::Severity overall = health::Severity::kOk;
@@ -666,6 +699,32 @@ int Pool::publish_health() {
     (void)config_.cass_store->put("cass",
                                   std::string(health::kHealthPrefix) + "startd",
                                   health::severity_name(overall));
+  }
+  schedd_.on_health(overall);
+  return written;
+}
+
+int Pool::publish_frontdoor() {
+  if (!front_door_) return 0;
+  int written = 0;
+  auto put = [&](const std::string& attribute, const std::string& value) {
+    ++written;
+    if (config_.cass_store != nullptr) {
+      (void)config_.cass_store->put("cass", attribute, value);
+    }
+  };
+  put("tdp.frontdoor.state", brownout_state_name(front_door_->state()));
+  for (const std::string& tenant : front_door_->seen_tenants()) {
+    const TenantCounters counters = front_door_->counters(tenant);
+    // One flat line per tenant; tdptop splits on spaces.
+    put("tdp.frontdoor.tenant." + tenant,
+        "depth=" + std::to_string(schedd_.tenant_idle(tenant)) +
+            " active=" + std::to_string(schedd_.tenant_active(tenant)) +
+            " admitted=" + std::to_string(counters.admitted) +
+            " best_effort=" + std::to_string(counters.best_effort) +
+            " busy=" + std::to_string(counters.busy) +
+            " shed=" + std::to_string(counters.shed) +
+            " shedding=" + (front_door_->is_shed(tenant) ? "1" : "0"));
   }
   return written;
 }

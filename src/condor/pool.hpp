@@ -19,6 +19,7 @@
 #include <set>
 #include <string>
 
+#include "condor/frontdoor.hpp"
 #include "condor/master.hpp"
 #include "condor/matchmaker.hpp"
 #include "condor/schedd.hpp"
@@ -123,6 +124,22 @@ struct PoolConfig {
   /// machine by publish_health(); folded through the CASS tree when
   /// hierarchical_cass is on, flat writes to cass_store otherwise.
   std::vector<std::string> health_rules;
+
+  // --- multi-tenant front door (PR 10) ---
+
+  /// Declarative tenant/quota/brownout rules (condor/frontdoor.hpp
+  /// grammar). Non-empty = the pool builds a FrontDoor on its clock and
+  /// attaches it to the schedd: try_submit() is rate-limited and
+  /// quota-checked per tenant, negotiation dispatches weighted
+  /// round-robin from per-tenant queues, and publish_health() drives
+  /// brownout shedding. Empty (the default) keeps the seed pipeline:
+  /// no admission, full-queue id-order negotiation.
+  std::vector<std::string> frontdoor_rules;
+
+  /// Idle jobs offered to the matchmaker per negotiation cycle when the
+  /// front door is on (the WRR dispatch slice). 0 = automatic:
+  /// max(64, 4 * machines). Ignored without frontdoor_rules.
+  std::size_t dispatch_slice = 0;
 };
 
 class Pool {
@@ -147,9 +164,16 @@ class Pool {
   [[nodiscard]] std::shared_ptr<proc::ProcessBackend> backend(
       const std::string& machine);
 
-  /// Submits one job (or a whole submit file) into the schedd.
+  /// Submits one job (or a whole submit file) into the schedd. Bypasses
+  /// front-door admission (the trusted operator path).
   JobId submit(const JobDescription& description);
   std::vector<JobId> submit(const SubmitFile& file);
+
+  /// Admission-checked submit: with frontdoor_rules configured this may
+  /// refuse with kBusy carrying a "retry_after_ms=<n>" hint in the status
+  /// message (attr::retry_after_hint_ms parses it). Without a front door
+  /// it behaves exactly like submit().
+  Result<JobId> try_submit(const JobDescription& description);
 
   /// One negotiation cycle: match idle jobs, run the claiming protocol,
   /// spawn shadows and activate starters. Returns the number of jobs
@@ -253,6 +277,17 @@ class Pool {
   /// the root.
   int publish_health();
 
+  // --- multi-tenant front door (PR 10) ---
+
+  /// The pool's front door (null without frontdoor_rules).
+  [[nodiscard]] FrontDoor* front_door() noexcept { return front_door_.get(); }
+
+  /// Publishes per-tenant front-door state (queue depth, verdict
+  /// counters, shed flag) plus the overall brownout state into cass_store
+  /// (context "cass") for tdptop. Returns attributes written; 0 without a
+  /// front door.
+  int publish_frontdoor();
+
  private:
   /// Answers a tdp.control.blackbox.<role>.<host> put with a dump.
   void on_control_poke(const std::string& attribute, const std::string& value);
@@ -309,6 +344,10 @@ class Pool {
   std::map<std::string, std::shared_ptr<flightrec::Recorder>> recorders_;
   std::map<std::string, std::unique_ptr<health::Engine>> health_engines_;
   std::uint64_t control_subscription_ = 0;
+
+  /// PR 10: the admission layer, owned here and attached to the schedd
+  /// (which treats it as a strict leaf under its own mutex).
+  std::unique_ptr<FrontDoor> front_door_;
 };
 
 }  // namespace tdp::condor

@@ -14,10 +14,12 @@
 #include <string>
 #include <vector>
 
+#include "condor/frontdoor.hpp"
 #include "condor/job.hpp"
 #include "condor/starter.hpp"
 #include "condor/submit_file.hpp"
 #include "util/flightrec.hpp"
+#include "util/health.hpp"
 #include "util/journal.hpp"
 #include "util/sync.hpp"
 
@@ -79,11 +81,51 @@ class Schedd {
  public:
   explicit Schedd(std::string name = "schedd");
 
-  /// Queues one job; returns its id.
+  /// Queues one job; returns its id. Bypasses the front door (internal
+  /// and legacy callers); externally-facing submits go through
+  /// try_submit().
   JobId submit(const JobDescription& description);
 
   /// Queues every job a submit file describes.
   std::vector<JobId> submit(const SubmitFile& file);
+
+  // --- front door (PR 10) ---
+
+  /// Attaches the admission layer (not owned; must outlive the schedd or
+  /// be detached with nullptr). From then on try_submit() enforces
+  /// per-tenant rate/depth/quota and dispatch_ads() drains the per-tenant
+  /// queues weighted round-robin.
+  void set_front_door(FrontDoor* front_door);
+  [[nodiscard]] FrontDoor* front_door() const;
+
+  /// Admission-controlled submit. Refusals return ErrorCode::kBusy with
+  /// "retry_after_ms=<n>" in the message (attr::retry_after_hint_ms
+  /// parses it) instead of growing the queue — the backpressure contract.
+  /// Without an attached front door this is just submit().
+  Result<JobId> try_submit(const JobDescription& description);
+
+  /// Feeds the pool's folded health verdict into the brownout state
+  /// machine and applies the consequences to the queue: entering a
+  /// brownout (or escalating) sheds idle jobs of tenants below the floor,
+  /// exiting un-sheds them. Both directions journal each touched job, so
+  /// the decisions replay exactly-once across a crash.
+  HealthTransition on_health(health::Severity severity);
+
+  /// Jobs currently held out of dispatch by a brownout.
+  [[nodiscard]] std::size_t shed_jobs() const;
+  /// Jobs admitted as best-effort during a brownout (lifetime flag).
+  [[nodiscard]] std::size_t best_effort_jobs() const;
+  /// Idle (dispatchable) / in-flight job counts for one tenant.
+  [[nodiscard]] std::size_t tenant_idle(const std::string& tenant) const;
+  [[nodiscard]] std::size_t tenant_active(const std::string& tenant) const;
+
+  /// Ads of up to `limit` dispatchable idle jobs, drained from the
+  /// per-tenant queues weighted round-robin (shed jobs excluded). Without
+  /// a front door falls back to idle_job_ads() — the legacy full scan in
+  /// id order. The WRR queues rotate: jobs the matchmaker does not place
+  /// return to the back of their tenant's lane.
+  [[nodiscard]] std::vector<std::pair<JobId, classads::ClassAd>> dispatch_ads(
+      std::size_t limit);
 
   /// Ads of all idle jobs, in queue order (input to the matchmaker).
   [[nodiscard]] std::vector<std::pair<JobId, classads::ClassAd>> idle_job_ads() const;
@@ -155,6 +197,27 @@ class Schedd {
   /// Appends one job record to the journal and compacts when due.
   void journal_record_locked(const JobRecord& record) TDP_REQUIRES(mutex_);
 
+  /// Creates, journals, inserts and tracks one idle job. `trace` is the
+  /// submit span's serialized context.
+  JobId enqueue_locked(const JobDescription& description, std::string tenant,
+                       bool best_effort, std::string trace)
+      TDP_REQUIRES(mutex_);
+
+  /// Per-tenant queue accounting. Every status mutation brackets itself
+  /// with untrack (old state) / track (new state) so the counters and the
+  /// WRR queues always mirror the job table.
+  void track_job_locked(const JobRecord& record) TDP_REQUIRES(mutex_);
+  void untrack_job_locked(const JobRecord& record) TDP_REQUIRES(mutex_);
+  /// Rebuilds counters and WRR queues from jobs_ (recovery).
+  void rebuild_tenant_state_locked() TDP_REQUIRES(mutex_);
+  [[nodiscard]] int tenant_weight_locked(const std::string& tenant) const
+      TDP_REQUIRES(mutex_);
+
+  struct TenantLoad {
+    std::size_t idle = 0;    ///< dispatchable (kIdle, not shed)
+    std::size_t active = 0;  ///< in flight (matched / claimed / running)
+  };
+
   std::string name_;
   mutable Mutex mutex_{"Schedd::mutex_"};
   std::map<JobId, JobRecord> jobs_ TDP_GUARDED_BY(mutex_);
@@ -162,6 +225,10 @@ class Schedd {
   JobId next_id_ TDP_GUARDED_BY(mutex_) = 1;
   journal::Journal* journal_ TDP_GUARDED_BY(mutex_) = nullptr;
   bool crashed_ TDP_GUARDED_BY(mutex_) = false;
+  /// Admission layer; its mutex is a strict leaf under mutex_.
+  FrontDoor* front_door_ TDP_GUARDED_BY(mutex_) = nullptr;
+  WrrQueues wrr_ TDP_GUARDED_BY(mutex_);
+  std::map<std::string, TenantLoad> tenant_load_ TDP_GUARDED_BY(mutex_);
   /// Set once at creation, before concurrent use; recorded into outside
   /// mutex_ (the recorder's shard lock stays a leaf).
   std::shared_ptr<flightrec::Recorder> recorder_;

@@ -28,6 +28,7 @@ int rc_from_code(ErrorCode code) {
     case ErrorCode::kInternal: return TDP_ERR_INTERNAL;
     case ErrorCode::kUnsupported: return TDP_ERR_UNSUPPORTED;
     case ErrorCode::kCancelled: return TDP_ERR_CANCELLED;
+    case ErrorCode::kBusy: return TDP_ERR_BUSY;
   }
   return TDP_ERR_INTERNAL;
 }
@@ -241,6 +242,7 @@ const char* tdp_rc_name(int rc) {
     case TDP_ERR_CANCELLED: return "TDP_ERR_CANCELLED";
     case TDP_ERR_BAD_HANDLE: return "TDP_ERR_BAD_HANDLE";
     case TDP_ERR_BUFFER_TOO_SMALL: return "TDP_ERR_BUFFER_TOO_SMALL";
+    case TDP_ERR_BUSY: return "TDP_ERR_BUSY";
     default: return "TDP_ERR_UNKNOWN";
   }
 }

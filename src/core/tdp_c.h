@@ -35,7 +35,8 @@ enum tdp_rc {
   TDP_ERR_UNSUPPORTED = -10,
   TDP_ERR_CANCELLED = -11,
   TDP_ERR_BAD_HANDLE = -12,
-  TDP_ERR_BUFFER_TOO_SMALL = -13
+  TDP_ERR_BUFFER_TOO_SMALL = -13,
+  TDP_ERR_BUSY = -14
 };
 
 /* Opaque session handle returned by tdp_init. */

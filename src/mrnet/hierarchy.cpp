@@ -452,6 +452,7 @@ int HierarchicalCass::rollup_health(
   }
   NodeFold root_fold;
   fold_children(overlay_.root(), &root_fold);
+  last_health_fold_ = root_fold.severity;
 
   int written = 0;
   auto write = [&](const std::string& attribute, const std::string& value) {

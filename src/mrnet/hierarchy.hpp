@@ -182,6 +182,12 @@ class HierarchicalCass {
   [[nodiscard]] std::uint64_t root_health_writes() const {
     return root_health_writes_;
   }
+  /// The overall severity the last rollup_health folded at the root
+  /// (kOk before any rollup). The pool feeds this to the schedd's
+  /// front door so brownout decisions follow the tree's verdict.
+  [[nodiscard]] health::Severity last_health_fold() const {
+    return last_health_fold_;
+  }
 
  private:
   explicit HierarchicalCass(HierarchyConfig config);
@@ -232,6 +238,7 @@ class HierarchicalCass {
   std::shared_ptr<flightrec::Recorder> recorder_;
   std::vector<health::Rule> health_rules_;
   std::map<std::string, std::unique_ptr<health::Engine>> health_engines_;
+  health::Severity last_health_fold_ = health::Severity::kOk;
 };
 
 }  // namespace tdp::mrnet

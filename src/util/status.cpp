@@ -16,6 +16,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kInternal: return "INTERNAL";
     case ErrorCode::kUnsupported: return "UNSUPPORTED";
     case ErrorCode::kCancelled: return "CANCELLED";
+    case ErrorCode::kBusy: return "BUSY";
   }
   return "UNKNOWN";
 }

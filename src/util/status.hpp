@@ -29,6 +29,7 @@ enum class ErrorCode : std::uint8_t {
   kInternal,         ///< bug or unexpected OS error
   kUnsupported,      ///< feature not available on this backend
   kCancelled,        ///< operation aborted by shutdown
+  kBusy,             ///< server sheds load; retry after the hinted delay
 };
 
 /// Human-readable name for an ErrorCode ("OK", "NOT_FOUND", ...).

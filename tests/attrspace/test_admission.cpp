@@ -1,0 +1,183 @@
+// Write-admission backpressure tests (PR 10): the AttrServer's token
+// bucket answers over-rate puts with status="busy" plus a retry-after
+// hint, the client honors the hint (with jitter) inside its retry loop,
+// and the backoff helper is overflow-proof for absurd attempt counts.
+#include <gtest/gtest.h>
+
+#include "attrspace/attr_client.hpp"
+#include "attrspace/attr_protocol.hpp"
+#include "attrspace/attr_server.hpp"
+#include "net/inproc.hpp"
+#include "util/rng.hpp"
+
+namespace tdp::attr {
+namespace {
+
+// --- backoff helper (the PR 10 UB fix) ---
+
+TEST(BackoffDelay, HugeAttemptCountIsNotUndefined) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 5;
+  policy.max_backoff_ms = 200;
+  Rng jitter(1);
+  // Pre-fix this computed `5 << (attempt - 1)`: UB at attempt >= 32. The
+  // clamped exponent must saturate at the ceiling instead, forever.
+  for (int attempt : {1, 2, 31, 32, 33, 64, 1'000, 1'000'000'000}) {
+    const int delay = backoff_delay_ms(policy, attempt, 0, jitter);
+    EXPECT_GE(delay, 0) << "attempt " << attempt;
+    EXPECT_LE(delay, policy.max_backoff_ms) << "attempt " << attempt;
+  }
+}
+
+TEST(BackoffDelay, ExponentialRampIsHalfJittered) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 8;
+  policy.max_backoff_ms = 1000;
+  Rng jitter(42);
+  for (int round = 0; round < 100; ++round) {
+    // attempt 3 -> deterministic backoff 32ms, delivered as 16 + U[0,16].
+    const int delay = backoff_delay_ms(policy, 3, 0, jitter);
+    EXPECT_GE(delay, 16);
+    EXPECT_LE(delay, 32);
+  }
+}
+
+TEST(BackoffDelay, ServerHintDominatesWithJitterOnTop) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 5;
+  policy.max_backoff_ms = 10;  // the hint must NOT be capped by this
+  Rng jitter(7);
+  bool saw_jitter = false;
+  for (int round = 0; round < 100; ++round) {
+    const int delay = backoff_delay_ms(policy, 1, 100, jitter);
+    EXPECT_GE(delay, 100);
+    EXPECT_LE(delay, 150);  // hint + up to half the hint again
+    if (delay != 100) saw_jitter = true;
+  }
+  EXPECT_TRUE(saw_jitter);  // a herd must not retry in lockstep
+}
+
+TEST(BackoffDelay, ZeroBaseYieldsZero) {
+  RetryPolicy policy;
+  policy.base_backoff_ms = 0;
+  Rng jitter(3);
+  EXPECT_EQ(backoff_delay_ms(policy, 5, 0, jitter), 0);
+}
+
+TEST(RetryAfterHint, ParsesBusyStatusesOnly) {
+  EXPECT_EQ(retry_after_hint_ms(Status::ok()), 0);
+  EXPECT_EQ(retry_after_hint_ms(
+                make_error(ErrorCode::kBusy, "server busy; retry_after_ms=37")),
+            37);
+  EXPECT_EQ(retry_after_hint_ms(make_error(ErrorCode::kBusy, "no hint here")),
+            0);
+  // Same hint text under a different code is not a backpressure answer.
+  EXPECT_EQ(retry_after_hint_ms(
+                make_error(ErrorCode::kInternal, "retry_after_ms=37")),
+            0);
+}
+
+// --- server-side write admission ---
+
+class AdmissionEndToEnd : public ::testing::Test {
+ protected:
+  void start_server(AttrServer::AdmissionConfig admission) {
+    transport_ = net::InProcTransport::create();
+    server_ = std::make_unique<AttrServer>("CASS", transport_);
+    server_->set_admission(admission);
+    auto started = server_->start("inproc://cass");
+    ASSERT_TRUE(started.is_ok()) << started.status().to_string();
+    address_ = started.value();
+  }
+
+  void TearDown() override {
+    if (server_) server_->stop();
+  }
+
+  std::shared_ptr<net::InProcTransport> transport_;
+  std::unique_ptr<AttrServer> server_;
+  std::string address_;
+};
+
+TEST_F(AdmissionEndToEnd, OverRatePutRefusedWithHint) {
+  AttrServer::AdmissionConfig admission;
+  admission.enabled = true;
+  admission.puts_per_sec = 0.5;  // nothing refills within this test
+  admission.burst = 2;
+  start_server(admission);
+
+  // No retry policy: the busy reply surfaces as kBusy immediately.
+  auto client = AttrClient::connect(*transport_, address_, "tdp");
+  ASSERT_TRUE(client.is_ok());
+  ASSERT_TRUE((*client)->put("a", "1").is_ok());
+  ASSERT_TRUE((*client)->put("b", "2").is_ok());
+  Status refused = (*client)->put("c", "3");
+  ASSERT_FALSE(refused.is_ok());
+  EXPECT_EQ(refused.code(), ErrorCode::kBusy);
+  EXPECT_GT(retry_after_hint_ms(refused), 0);
+  EXPECT_EQ(server_->busy_replies(), 1u);
+
+  // The refused write was shed, not applied.
+  auto value = (*client)->get("c", 50);
+  EXPECT_EQ(value.status().code(), ErrorCode::kTimeout);
+  // Reads are never shed: the monitoring path works exactly when the
+  // server is overloaded.
+  EXPECT_EQ((*client)->get("a", 1000).value(), "1");
+}
+
+TEST_F(AdmissionEndToEnd, RetryingClientHonorsHintAndSucceeds) {
+  AttrServer::AdmissionConfig admission;
+  admission.enabled = true;
+  admission.puts_per_sec = 100;  // a shed put is ~10ms from a token
+  admission.burst = 1;
+  start_server(admission);
+
+  RetryPolicy retry;
+  retry.enabled = true;
+  retry.max_reconnects = 20;
+  auto client = AttrClient::connect(*transport_, address_, "tdp", retry);
+  ASSERT_TRUE(client.is_ok());
+  for (int i = 0; i < 5; ++i) {
+    Status put = (*client)->put("burst" + std::to_string(i), "x");
+    EXPECT_TRUE(put.is_ok()) << i << ": " << put.to_string();
+  }
+  // The storm was paced by busy replies, not absorbed: the server shed at
+  // least once and every write still landed.
+  EXPECT_GT(server_->busy_replies(), 0u);
+  EXPECT_EQ((*client)->get("burst4", 1000).value(), "x");
+}
+
+TEST_F(AdmissionEndToEnd, BatchPutsAreAdmittedAsOneWrite) {
+  AttrServer::AdmissionConfig admission;
+  admission.enabled = true;
+  admission.puts_per_sec = 0.5;
+  admission.burst = 2;
+  start_server(admission);
+
+  auto client = AttrClient::connect(*transport_, address_, "tdp");
+  ASSERT_TRUE(client.is_ok());
+  // One batch = one token, regardless of pair count.
+  ASSERT_TRUE((*client)->put_batch({{"x", "1"}, {"y", "2"}, {"z", "3"}}).is_ok());
+  ASSERT_TRUE((*client)->put_batch({{"w", "4"}}).is_ok());
+  Status refused = (*client)->put_batch({{"v", "5"}});
+  ASSERT_FALSE(refused.is_ok());
+  EXPECT_EQ(refused.code(), ErrorCode::kBusy);
+  EXPECT_EQ((*client)->get("z", 1000).value(), "3");
+}
+
+TEST_F(AdmissionEndToEnd, DisabledAdmissionAdmitsEverything) {
+  AttrServer::AdmissionConfig admission;  // enabled defaults to false
+  admission.puts_per_sec = 0.001;
+  admission.burst = 1;
+  start_server(admission);
+
+  auto client = AttrClient::connect(*transport_, address_, "tdp");
+  ASSERT_TRUE(client.is_ok());
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE((*client)->put("k" + std::to_string(i), "v").is_ok());
+  }
+  EXPECT_EQ(server_->busy_replies(), 0u);
+}
+
+}  // namespace
+}  // namespace tdp::attr

@@ -1,0 +1,320 @@
+// test_chaos_storm.cpp - overload-robustness chaos tier (PR 10).
+//
+// Two storms, each over the fixed reproduction seeds:
+//
+//   * retry storm: a herd of submitters hammers one schedd whose front
+//     door refuses over-rate submits with a retry-after hint. With the
+//     hint honored verbatim (the control) the herd retries in lockstep
+//     and keeps colliding; with the client-side jitter layered on top the
+//     herd desynchronizes. Either way every submit eventually lands
+//     exactly once - backpressure changes WHEN, never WHETHER.
+//
+//   * brownout storm: machine deaths drive the real health engine to
+//     critical, the schedd sheds its lowest-priority tenant, degrades the
+//     rest to best-effort, survives a concurrent schedd kill (journal
+//     replay must not double-shed or lose a job), and recovers through
+//     the hysteresis exit once the machines are revived - with exactly
+//     one brownout entry, i.e. no flapping.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attrspace/attr_client.hpp"
+#include "attrspace/attr_store.hpp"
+#include "chaos_util.hpp"
+#include "condor/frontdoor.hpp"
+#include "condor/pool.hpp"
+#include "condor/schedd.hpp"
+#include "proc/sim_backend.hpp"
+#include "util/health.hpp"
+#include "util/journal.hpp"
+#include "util/lease.hpp"
+#include "util/rng.hpp"
+
+namespace tdp {
+namespace {
+
+using chaos::Watchdog;
+using condor::JobDescription;
+using condor::JobId;
+using condor::JobStatus;
+using condor::Pool;
+using condor::PoolConfig;
+
+class ChaosStormTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+JobDescription storm_job(const std::string& tenant) {
+  JobDescription job;
+  job.executable = "simulated_app";
+  job.sim_work_units = 150;
+  if (!tenant.empty()) job.custom_attributes["tenant"] = tenant;
+  return job;
+}
+
+// --- the retry storm (virtual time, single-threaded determinism) ---
+
+struct StormOutcome {
+  int max_collision = 0;   ///< most attempts landing in one virtual ms
+  int ticks_to_drain = 0;  ///< virtual ms until every client was admitted
+};
+
+/// Runs `clients` submitters against one front-doored schedd in virtual
+/// time. Each refused client re-arms at now + delay, where the delay is
+/// the server hint either verbatim (jitter=false: the lockstep control)
+/// or fed through the client backoff helper (jitter=true).
+StormOutcome run_storm(std::uint64_t seed, int clients, bool jitter) {
+  ManualClock clock;
+  auto config = condor::parse_frontdoor_config(
+      {"default: rate=100 burst=1 depth=1000"});
+  EXPECT_TRUE(config.is_ok());
+  condor::FrontDoor door(config.value(), &clock);
+  condor::Schedd schedd;
+  schedd.set_front_door(&door);
+
+  attr::RetryPolicy policy;  // only the backoff shape matters here
+  policy.enabled = true;
+  struct Client {
+    bool admitted = false;
+    int next_attempt_ms = 0;
+    int attempt = 0;
+    Rng rng{0};
+  };
+  std::vector<Client> herd(static_cast<std::size_t>(clients));
+  for (int i = 0; i < clients; ++i) {
+    herd[static_cast<std::size_t>(i)].rng.reseed(seed * 7919 +
+                                                 static_cast<std::uint64_t>(i));
+  }
+
+  StormOutcome outcome;
+  int remaining = clients;
+  for (int now_ms = 0; remaining > 0 && now_ms < 60'000; ++now_ms) {
+    clock.set_micros(static_cast<Micros>(now_ms) * 1000);
+    int attempts_this_tick = 0;
+    for (Client& client : herd) {
+      if (client.admitted || client.next_attempt_ms > now_ms) continue;
+      ++attempts_this_tick;
+      auto submitted = schedd.try_submit(storm_job(""));
+      if (submitted.is_ok()) {
+        client.admitted = true;
+        --remaining;
+        continue;
+      }
+      EXPECT_EQ(submitted.status().code(), ErrorCode::kBusy);
+      const int hint = attr::retry_after_hint_ms(submitted.status());
+      EXPECT_GT(hint, 0);
+      ++client.attempt;
+      const int delay =
+          jitter ? attr::backoff_delay_ms(policy, client.attempt, hint,
+                                          client.rng)
+                 : hint;
+      client.next_attempt_ms = now_ms + std::max(1, delay);
+    }
+    // The opening tick is a deliberate collision in both runs; the herd
+    // metric is how hard retries keep colliding AFTER the first refusals.
+    if (now_ms > 0) {
+      outcome.max_collision = std::max(outcome.max_collision, attempts_this_tick);
+    }
+    outcome.ticks_to_drain = now_ms;
+  }
+  EXPECT_EQ(remaining, 0) << "storm never drained";
+  // Exactly-once: every client admitted exactly one job, none lost, none
+  // duplicated by the retry loop.
+  EXPECT_EQ(schedd.queue_size(), static_cast<std::size_t>(clients));
+  return outcome;
+}
+
+TEST_P(ChaosStormTest, RetryAfterJitterDesynchronizesTheHerd) {
+  const std::uint64_t seed = GetParam();
+  Watchdog dog("RetryStorm/seed=" + std::to_string(seed), 60'000);
+  const int kClients = 40;
+
+  const StormOutcome control = run_storm(seed, kClients, /*jitter=*/false);
+  const StormOutcome jittered = run_storm(seed, kClients, /*jitter=*/true);
+
+  // The control shows the storm: honoring the hint verbatim re-arms every
+  // refused client at the same instant, so they keep arriving as a block.
+  EXPECT_GE(control.max_collision, kClients / 2)
+      << "control lost its lockstep - the scenario no longer probes a storm";
+  // Jitter breaks the block apart: collisions shrink by at least half.
+  EXPECT_LE(jittered.max_collision, control.max_collision / 2)
+      << "jittered herd still retries in lockstep";
+  EXPECT_GT(jittered.ticks_to_drain, 0);
+}
+
+// --- the brownout storm (real pool, real health engine) ---
+
+struct StormCluster {
+  std::shared_ptr<net::Transport> transport = chaos::make_base(chaos::Wire::kInProc);
+  std::map<std::string, std::shared_ptr<proc::SimProcessBackend>> backends;
+  std::map<std::string, std::unique_ptr<journal::Journal>> claim_journals;
+  std::unique_ptr<journal::Journal> schedd_journal = journal::Journal::in_memory();
+  attr::AttributeStore cass;
+  std::unique_ptr<Pool> pool;
+
+  explicit StormCluster(int machines) {
+    PoolConfig config;
+    config.transport = transport;
+    config.use_real_files = false;
+    config.tool_wait_timeout_ms = 30'000;
+    config.backend_factory = [this](const std::string& machine) {
+      auto backend = std::make_shared<proc::SimProcessBackend>();
+      backends[machine] = backend;
+      return backend;
+    };
+    config.enable_liveness = true;
+    config.startd_lease.ttl_micros = 150'000;
+    config.startd_lease.grace_micros = 80'000;
+    config.startd_lease.beat_interval_micros = 25'000;
+    config.schedd_journal = schedd_journal.get();
+    config.startd_journal_factory =
+        [this](const std::string& machine) -> journal::Journal* {
+      auto& slot = claim_journals[machine];
+      if (!slot) slot = journal::Journal::in_memory();
+      return slot.get();
+    };
+    config.restart_policy.restart_budget = 5;
+    config.restart_policy.base_backoff_ms = 5;
+    config.restart_policy.max_backoff_ms = 50;
+    config.cass_store = &cass;
+    config.health_rules = {
+        "up: machine.alive value below warn=0.9 critical=0.4"};
+    config.frontdoor_rules = {
+        "default: rate=10000 burst=1000 depth=1000",
+        "tenant batch: priority=0",
+        "tenant prod: priority=5",
+        "brownout: warn-floor=1 critical-floor=1 exit-after=2 dwell-ms=50",
+    };
+    pool = std::make_unique<Pool>(std::move(config));
+    for (int i = 0; i < machines; ++i) {
+      const std::string name = "node" + std::to_string(i);
+      pool->add_machine(name, Pool::default_machine_ad(name));
+    }
+  }
+
+  /// One scheduling turn with the health engine in the loop, as the real
+  /// pump cadence would run it.
+  void turn() {
+    pool->negotiate();
+    pool->pump();
+    for (auto& [name, backend] : backends) backend->step(1);
+    pool->publish_health();
+  }
+
+  template <typename Predicate>
+  bool drive(Predicate done, int timeout_ms) {
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      turn();
+      if (done()) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  }
+
+  bool terminal(JobId id) {
+    auto record = pool->schedd().job(id);
+    return record.is_ok() && condor::job_status_terminal(record->status);
+  }
+};
+
+TEST_P(ChaosStormTest, BrownoutShedsRecoversAndSurvivesScheddKill) {
+  const std::uint64_t seed = GetParam();
+  Watchdog dog("BrownoutStorm/seed=" + std::to_string(seed), 110'000);
+  StormCluster cluster(3);
+  Pool& pool = *cluster.pool;
+
+  // A mixed queue: more batch than the 3 machines can start at once, so
+  // some batch jobs are still idle (sheddable) when the brownout hits.
+  std::vector<JobId> jobs;
+  for (int i = 0; i < 5; ++i) {
+    jobs.push_back(*pool.try_submit(storm_job("batch")));
+  }
+  for (int i = 0; i < 2; ++i) {
+    jobs.push_back(*pool.try_submit(storm_job("prod")));
+  }
+  // Seed-varied kill moment: a few turns in, so the claim/activate phase
+  // interleaves differently per seed.
+  const int warmup = static_cast<int>(seed % 5) + 1;
+  for (int i = 0; i < warmup; ++i) cluster.turn();
+
+  // Kill two of three machines and evaluate health BEFORE any pump turn
+  // can revive them: the fold goes critical and the front door browns out.
+  ASSERT_TRUE(pool.kill_startd("node1").is_ok());
+  ASSERT_TRUE(pool.kill_startd("node2").is_ok());
+  pool.publish_health();
+  EXPECT_EQ(cluster.cass.get("cass",
+                             std::string(health::kHealthPrefix) + "startd")
+                .value(),
+            "critical");
+  ASSERT_NE(pool.front_door(), nullptr);
+  EXPECT_EQ(pool.front_door()->state(),
+            condor::BrownoutState::kCriticalBrownout);
+  EXPECT_GT(pool.schedd().shed_jobs(), 0u);
+
+  // Shed tenant: refused with the long hint. Surviving tenant: admitted
+  // best-effort. Both decisions visible in the published pane attrs.
+  auto refused = pool.try_submit(storm_job("batch"));
+  ASSERT_FALSE(refused.is_ok());
+  EXPECT_EQ(refused.status().code(), ErrorCode::kBusy);
+  EXPECT_GT(attr::retry_after_hint_ms(refused.status()), 0);
+  auto degraded = pool.try_submit(storm_job("prod"));
+  ASSERT_TRUE(degraded.is_ok());
+  jobs.push_back(*degraded);
+  EXPECT_TRUE(pool.schedd().job(*degraded)->best_effort);
+  pool.publish_frontdoor();
+  EXPECT_EQ(cluster.cass.get("cass", "tdp.frontdoor.state").value(),
+            "critical-brownout");
+  auto batch_line = cluster.cass.get("cass", "tdp.frontdoor.tenant.batch");
+  ASSERT_TRUE(batch_line.is_ok());
+  EXPECT_NE(batch_line->find("shedding=1"), std::string::npos);
+
+  // Concurrent schedd kill mid-brownout: the queue comes back from the
+  // journal with every job intact and no shed decision applied twice.
+  const std::size_t queued_before = pool.schedd().queue_size();
+  pool.kill_schedd();
+  ASSERT_TRUE(cluster.drive([&] { return !pool.schedd().crashed(); }, 30'000))
+      << "master never revived the schedd";
+  EXPECT_EQ(pool.schedd().queue_size(), queued_before);
+
+  // Recovery: the master revives the machines, health folds back to ok,
+  // and the hysteresis exit un-sheds everything. Every job completes.
+  ASSERT_TRUE(cluster.drive(
+      [&] {
+        if (pool.front_door()->state() != condor::BrownoutState::kNormal) {
+          return false;
+        }
+        for (JobId id : jobs) {
+          if (!cluster.terminal(id)) return false;
+        }
+        return true;
+      },
+      90'000))
+      << "brownout never lifted or jobs never finished";
+
+  // Exactly-once end to end: every submitted job completed, nothing was
+  // lost by the shed/unshed cycle or the schedd replay, and the episode
+  // entered brownout exactly once (hysteresis means no flapping).
+  for (JobId id : jobs) {
+    auto record = pool.schedd().job(id);
+    ASSERT_TRUE(record.is_ok());
+    EXPECT_EQ(record->status, JobStatus::kCompleted) << record->failure_reason;
+  }
+  EXPECT_EQ(pool.schedd().queue_size(), jobs.size());
+  EXPECT_EQ(pool.schedd().shed_jobs(), 0u);
+  EXPECT_EQ(pool.front_door()->brownout_entries(), 1u);
+  EXPECT_EQ(cluster.cass.get("cass",
+                             std::string(health::kHealthPrefix) + "startd")
+                .value(),
+            "ok");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosStormTest,
+                         ::testing::ValuesIn(chaos::seeds()));
+
+}  // namespace
+}  // namespace tdp
